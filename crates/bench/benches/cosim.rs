@@ -1,0 +1,19 @@
+//! Criterion bench of the full integrated co-simulation (E2/E3 pipeline)
+//! at the reduced test resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bright_core::{CoSimulation, Scenario};
+
+fn bench_cosim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosim");
+    group.sample_size(10);
+    let sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
+    group.bench_function("power7_reduced_full_run", |b| {
+        b.iter(|| sim.run().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim);
+criterion_main!(benches);

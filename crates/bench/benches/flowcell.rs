@@ -1,0 +1,53 @@
+//! Criterion benches of the flow-cell solver — the kernels behind Fig. 3
+//! (validation polarization) and Fig. 7 (array V–I).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bright_flowcell::presets;
+
+fn bench_single_voltage_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowcell_solve_at_voltage");
+    group.sample_size(20);
+    let power7 = presets::power7_channel().unwrap();
+    group.bench_function("power7_channel_1V", |b| {
+        b.iter(|| power7.solve_at_voltage(black_box(1.0)).unwrap());
+    });
+    let kjeang = presets::kjeang2007(60.0).unwrap();
+    group.bench_function("kjeang_cell_0.8V", |b| {
+        b.iter(|| kjeang.solve_at_voltage(black_box(0.8)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_polarization_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowcell_polarization");
+    group.sample_size(10);
+    let power7 = presets::power7_channel().unwrap();
+    group.bench_function("fig7_single_channel_12pts", |b| {
+        b.iter(|| power7.polarization_curve(black_box(12)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_current_inversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flowcell_solve_at_current");
+    group.sample_size(10);
+    let power7 = presets::power7_channel().unwrap();
+    group.bench_function("power7_channel_30mA", |b| {
+        b.iter(|| {
+            power7
+                .solve_at_current(black_box(bright_units::Ampere::new(0.03)))
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_voltage_point,
+    bench_polarization_sweep,
+    bench_current_inversion
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches of the power-grid IR-drop solver behind Fig. 8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bright_floorplan::{power7, PowerScenario};
+use bright_mesh::Grid2d;
+use bright_pdn::{presets, PortLayout, PowerGrid};
+use bright_units::Volt;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdn_solve");
+    group.sample_size(10);
+    let grid = presets::power7_cache_rail().unwrap();
+    group.bench_function("fig8_cache_rail_106x85", |b| {
+        b.iter(|| black_box(&grid).solve().unwrap());
+    });
+    group.finish();
+}
+
+fn bench_resolution_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdn_resolution");
+    group.sample_size(10);
+    let plan = power7::floorplan();
+    for (nx, ny) in [(53usize, 43usize), (106, 85), (212, 170)] {
+        let grid = Grid2d::from_extent(plan.width().value(), plan.height().value(), nx, ny)
+            .unwrap();
+        let load = PowerScenario::cache_only().rasterize(&plan, &grid).unwrap();
+        let pg = PowerGrid::new(
+            grid,
+            presets::CACHE_RAIL_SHEET_RESISTANCE,
+            Volt::new(1.0),
+            presets::PORT_RESISTANCE,
+            &PortLayout::UniformArray {
+                pitch: presets::PORT_PITCH,
+            },
+            &load,
+        )
+        .unwrap();
+        group.bench_function(format!("{nx}x{ny}"), |b| {
+            b.iter(|| black_box(&pg).solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_resolution_scaling);
+criterion_main!(benches);

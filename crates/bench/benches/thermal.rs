@@ -1,0 +1,41 @@
+//! Criterion benches of the 3D-ICE-style thermal solver behind Fig. 9.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bright_floorplan::{power7, PowerScenario};
+use bright_thermal::presets;
+use bright_thermal::transient::TransientSimulation;
+
+fn bench_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_steady");
+    group.sample_size(10);
+    let model = presets::power7_stack().unwrap();
+    let power = PowerScenario::full_load()
+        .rasterize(&power7::floorplan(), model.grid())
+        .unwrap();
+    group.bench_function("power7_88x44_full_load", |b| {
+        b.iter(|| model.solve_steady(black_box(&power)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_transient_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_transient");
+    group.sample_size(10);
+    let model = presets::power7_stack().unwrap();
+    let power = PowerScenario::full_load()
+        .rasterize(&power7::floorplan(), model.grid())
+        .unwrap();
+    group.bench_function("power7_step_1ms", |b| {
+        b.iter_batched(
+            || TransientSimulation::new(model.clone(), &power, 300.0, 1e-3).unwrap(),
+            |mut sim| sim.step().unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady, bench_transient_step);
+criterion_main!(benches);

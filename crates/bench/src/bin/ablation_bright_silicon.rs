@@ -1,0 +1,66 @@
+//! **A3** — the conclusion's two-pronged path to full electrochemical
+//! supply: (1) lower chip power density through better architectures,
+//! (2) higher cell power density through better electrochemistry. Sweeps
+//! both axes and prints the coverage fraction of full-chip demand, with
+//! the break-even frontier marked.
+
+use bright_bench::banner;
+use bright_floorplan::power7;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "A3",
+        "bright-silicon frontier: cell density vs chip density",
+    );
+
+    let plan = power7::floorplan();
+    let die_cm2 = plan.die_area().to_square_centimeters();
+    // Electrode area the channel layer offers per cm^2 of die footprint:
+    // 88 channels x 2 side walls x (22 mm x 400 um) over 5.67 cm^2.
+    let electrode_cm2 = 88.0 * 2.0 * (2.2 * 0.04);
+    let area_ratio = electrode_cm2 / die_cm2;
+    println!(
+        "die {die_cm2:.2} cm^2, electrode area {electrode_cm2:.2} cm^2 \
+         (ratio {area_ratio:.2})\n"
+    );
+
+    let chip_densities = [26.7, 20.0, 15.0, 10.0, 5.0, 2.0, 1.0];
+    let cell_densities = [0.3, 0.46, 0.77, 1.0, 2.0, 5.0, 10.0];
+    // 0.46 = our Table II model MPP; 0.3 = membrane-less record [15];
+    // 0.77 = membrane-based record [14]; >1 = the paper's "massively
+    // improved" future cells.
+
+    print!("{:>14}", "chip\\cell W/cm2");
+    for cd in cell_densities {
+        print!("{cd:>8.2}");
+    }
+    println!();
+    for chip in chip_densities {
+        print!("{chip:>14.1}");
+        for cell in cell_densities {
+            let coverage = cell * area_ratio / chip;
+            if coverage >= 1.0 {
+                print!("{:>8}", "BRIGHT");
+            } else {
+                print!("{:>7.0}%", coverage * 100.0);
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\nBRIGHT = the flow-cell layer covers the full chip demand.\n\
+         At the paper's 26.7 W/cm^2 peak and today's <1 W/cm^2 cells the\n\
+         gap is >10x (Section II's '10-50x' statement); the frontier\n\
+         closes at chip densities of a few W/cm^2 (specialized, less\n\
+         power-hungry architectures) or cell densities near 10 W/cm^2 —\n\
+         exactly the two efforts the conclusion calls for."
+    );
+
+    // Sanity anchors for the regression suite.
+    let today = 0.46 * area_ratio / 26.7;
+    assert!(today > 0.02 && today < 0.2, "today's coverage {today}");
+    let bright = 10.0 * area_ratio / 2.0;
+    assert!(bright >= 1.0, "future point should be bright");
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! **A4** — cooling baseline: the paper's microfluidic flow-cell layer
+//! vs a conventional top-mounted heat sink on the same full-load
+//! POWER7+. Quantifies the "issue (3)" framing of the introduction (the
+//! energy/temperature cost of conventional heat removal).
+
+use bright_bench::{banner, print_table};
+use bright_floorplan::{power7, PowerScenario};
+use bright_thermal::stack::{LayerSpec, StackConfig, TopCooling};
+use bright_thermal::{presets, Material, ThermalModel};
+use bright_units::{Kelvin, Meters};
+
+fn conventional_stack(h: f64) -> ThermalModel {
+    let plan = power7::floorplan();
+    ThermalModel::new(StackConfig {
+        width: plan.width(),
+        height: plan.height(),
+        nx: 88,
+        ny: 44,
+        layers: vec![LayerSpec::Solid {
+            name: "die".into(),
+            material: Material::silicon(),
+            thickness: Meters::from_micrometers(700.0),
+            sublayers: 3,
+        }],
+        top_cooling: Some(TopCooling {
+            coefficient: h,
+            ambient: Kelvin::new(298.15),
+        }),
+    })
+    .expect("valid conventional stack")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("A4", "microfluidic flow-cell cooling vs conventional heat sinks");
+
+    let plan = power7::floorplan();
+    let micro = presets::power7_stack()?;
+    let power = PowerScenario::full_load().rasterize(&plan, micro.grid())?;
+    println!("full-load chip: {:.1} W\n", power.integral());
+
+    let mut rows = Vec::new();
+    for (label, h) in [
+        ("natural convection", 50.0),
+        ("forced air heat sink", 1500.0),
+        ("high-end air / heat pipes", 5000.0),
+        ("cold plate", 20000.0),
+    ] {
+        let model = conventional_stack(h);
+        let sol = model.solve_steady(&power)?;
+        rows.push(vec![
+            label.to_string(),
+            format!("{h:.0}"),
+            format!("{:.1}", sol.max_temperature().to_celsius().value()),
+            "0".to_string(),
+        ]);
+    }
+    let sol = micro.solve_steady(&power)?;
+    rows.push(vec![
+        "microfluidic flow cells".to_string(),
+        "-".to_string(),
+        format!("{:.1}", sol.max_temperature().to_celsius().value()),
+        "~4".to_string(),
+    ]);
+    print_table(
+        &["cooling", "h (W/m2K)", "peak degC", "gen (W)"],
+        &rows,
+    );
+
+    println!(
+        "\nreading: only the cold-plate class matches the flow-cell layer's\n\
+         peak temperature — and every conventional option *consumes* fan or\n\
+         pump power, while the paper's channels *return* ~4 W of\n\
+         electrochemical power on top of the cooling (Fig. 7/E3)."
+    );
+    Ok(())
+}

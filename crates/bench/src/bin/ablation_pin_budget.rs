@@ -1,0 +1,53 @@
+//! **A2** — the introduction's I/O argument: conventional designs burn C4
+//! bumps on power delivery (limiting off-chip bandwidth); fluidic power
+//! delivery frees them for I/O.
+
+use bright_bench::{banner, print_table};
+use bright_floorplan::power7;
+use bright_pdn::pins::PinModel;
+use bright_units::Ampere;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("A2", "C4 pin budget: conventional vs fluidic power delivery");
+
+    let plan = power7::floorplan();
+    let die = plan.die_area();
+    let model = PinModel::default();
+    // Full-load POWER7+ at 1 V in this reconstruction: ~73 A.
+    let chip_current = Ampere::new(73.0);
+
+    println!(
+        "die {:.1} mm^2, bump pitch {:.0} um, {:.0} mA/bump, 2x redundancy\n",
+        die.value() * 1e6,
+        model.bump_pitch * 1e6,
+        model.max_current_per_bump * 1e3
+    );
+
+    let mut rows = Vec::new();
+    for (label, fraction) in [
+        ("conventional (0%)", 0.0),
+        ("caches fluidic (8%)", 0.077),
+        ("half fluidic (50%)", 0.5),
+        ("fully fluidic (100%)", 1.0),
+    ] {
+        let b = model.with_fluidic_delivery(die, chip_current, fraction)?;
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", b.total),
+            format!("{}", b.power_ground),
+            format!("{}", b.io),
+            format!("{:.1}%", b.io_fraction() * 100.0),
+        ]);
+    }
+    print_table(&["scenario", "total", "pwr/gnd", "io", "io frac"], &rows);
+
+    let conv = model.with_fluidic_delivery(die, chip_current, 0.0)?;
+    let full = model.with_fluidic_delivery(die, chip_current, 1.0)?;
+    println!(
+        "\nfully fluidic delivery frees {} bumps (+{:.1}% I/O) — the paper's \
+         'MPSoCs are expected to gain in I/O connectivity' claim.",
+        full.io - conv.io,
+        (full.io as f64 / conv.io as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}

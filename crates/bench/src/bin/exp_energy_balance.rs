@@ -1,0 +1,46 @@
+//! **E3** — the paper's headline energy balance: the flow-cell array can
+//! power the POWER7+ cache memories (paper: up to 6 W at 1 V vs a ~5 A
+//! requirement) while cooling the whole chip to ~41 °C, spending less on
+//! pumping (paper: 4.4 W) than it generates.
+
+use bright_bench::{banner, compare_row};
+use bright_core::{CoSimulation, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("E3", "integrated energy balance (the bright-silicon claim)");
+
+    let report = CoSimulation::new(Scenario::power7_nominal())?.run()?;
+    println!("{}", report.summary());
+
+    println!("{}", compare_row("peak temperature", 41.0, report.peak_temperature.to_celsius().value(), "degC"));
+    println!("{}", compare_row("array power at 1 V", 6.0, report.power_at_1v.value(), "W"));
+    println!("{}", compare_row("cache-rail demand", 5.0, report.rail_power.value() , "W"));
+    println!("{}", compare_row("pumping power", 4.4, report.pumping_power.value(), "W"));
+    println!(
+        "  net electrical gain at 1 V: {:+.2} W ({})",
+        report.net_power_at_1v().value(),
+        if report.is_net_positive() {
+            "generation exceeds pumping: net-positive"
+        } else {
+            "pumping exceeds generation"
+        }
+    );
+
+    match &report.operating_point {
+        Some(op) => println!(
+            "  matched operating point: array {:.3} V / {:.2} A -> rail {:.2} W \
+             through a {:.0}%-efficient VRM",
+            op.array_voltage.value(),
+            op.array_current.value(),
+            op.rail_power.value(),
+            op.vrm_efficiency * 100.0
+        ),
+        None => println!("  NO matched operating point: supply deficit"),
+    }
+
+    println!("\ncache-rail voltage map (Fig. 8 view):");
+    println!("{}", report.render_voltage_map(72, 20));
+    println!("junction thermal map (Fig. 9 view, degC):");
+    println!("{}", report.render_thermal_map(72, 20));
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! **E1** — Section III-B hydraulics: pressure drop and pumping power of
+//! the Table II operating point. The paper quotes a 1.5 bar/cm gradient
+//! (citing smaller cooling channels from the literature) and a 4.4 W pump
+//! at η = 50 %; the first-principles laminar values for the 200×400 µm
+//! channels are lower — both are printed.
+
+use bright_bench::{banner, compare_row};
+use bright_flow::fluid::TemperatureDependentFluid;
+use bright_flow::{array::ChannelArray, hydraulics, laminar, RectChannel};
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters, Pascal};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("E1", "hydraulics of the 676 ml/min operating point");
+
+    let channel = RectChannel::new(
+        Meters::from_micrometers(200.0),
+        Meters::from_micrometers(400.0),
+        Meters::from_millimeters(22.0),
+    )?;
+    let array = ChannelArray::new(channel, 88, Meters::from_micrometers(300.0))?;
+    let props = TemperatureDependentFluid::vanadium_electrolyte().at(Kelvin::new(300.0))?;
+    let flow = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+
+    let v = array.mean_velocity(flow);
+    let re = laminar::reynolds(&props, v, &channel);
+    let dp = array.pressure_drop(&props, flow);
+    let grad = dp / channel.length();
+    let pump = array.pumping_power(&props, flow, hydraulics::DEFAULT_PUMP_EFFICIENCY)?;
+
+    println!("{}", compare_row("mean channel velocity", 1.4, v.value(), "m/s"));
+    println!("  Reynolds number: {re:.0} (laminar: {})", laminar::is_laminar(&props, v, &channel));
+    println!(
+        "{}",
+        compare_row(
+            "pressure gradient",
+            1.5,
+            grad.to_bar_per_centimeter(),
+            "bar/cm"
+        )
+    );
+    println!(
+        "{}",
+        compare_row("total pressure drop", 3.3, dp.to_bar(), "bar")
+    );
+    println!("{}", compare_row("pumping power", 4.4, pump.value(), "W"));
+
+    // The paper's own arithmetic, reproduced with its quoted gradient:
+    let paper_dp = Pascal::from_bar(1.95);
+    let paper_pump = hydraulics::pumping_power(paper_dp, flow, 0.5)?;
+    println!(
+        "\ncross-check of the paper's arithmetic: dp*V/eta with dp = 1.95 bar \
+         gives {paper_pump:.2} = the quoted 4.4 W."
+    );
+    println!(
+        "first-principles laminar friction for these (relatively large)\n\
+         200x400 um channels gives {:.2} bar/cm; the 1.5 bar/cm the paper\n\
+         quotes references ~50 um cooling channels from the literature.\n\
+         The energy-balance conclusion is unchanged (see E3).",
+        grad.to_bar_per_centimeter()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! **E2** — Section III-B temperature coupling: at the nominal 676 ml/min
+//! the chip's heat barely changes the polarization (≤4 % more current at
+//! fixed potential); throttling to 48 ml/min or pre-heating the inlet to
+//! 37 °C raises the generated power by up to 23 %.
+
+use bright_bench::{banner, compare_row};
+use bright_core::{CoSimulation, Scenario};
+
+fn run(label: &str, scenario: Scenario) -> Result<bright_core::CoSimReport, Box<dyn std::error::Error>> {
+    let report = CoSimulation::new(scenario)?.run()?;
+    println!(
+        "  {label:<28} peak {:>6.1} degC   I(1V) {:>6.3} A   boost {:+6.1}%",
+        report.peak_temperature.to_celsius().value(),
+        report.current_at_1v.value(),
+        report.thermal_boost_percent
+    );
+    Ok(report)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("E2", "thermal enhancement of power generation");
+    println!("  (boost = current at 1 V with chip heat vs isothermal inlet)\n");
+
+    let nominal = run("nominal 676 ml/min, 27 C", Scenario::power7_nominal())?;
+    let throttled = run("throttled 48 ml/min", Scenario::power7_throttled())?;
+    let warm = run("warm inlet 37 C", Scenario::power7_warm_inlet())?;
+
+    println!();
+    println!(
+        "{}",
+        compare_row(
+            "nominal-flow boost (paper: <= 4 %)",
+            4.0,
+            nominal.thermal_boost_percent,
+            "%"
+        )
+    );
+    println!(
+        "{}",
+        compare_row(
+            "throttled-flow boost (paper: up to 23 %)",
+            23.0,
+            throttled.thermal_boost_percent,
+            "%"
+        )
+    );
+    // The warm-inlet comparison in the paper is against the 27 C inlet:
+    // compare currents at 1 V between the two runs directly.
+    let warm_gain =
+        (warm.current_at_1v.value() / nominal.current_at_1v.value() - 1.0) * 100.0;
+    println!(
+        "{}",
+        compare_row("37 C inlet gain vs 27 C (paper: up to 23 %)", 23.0, warm_gain, "%")
+    );
+    println!(
+        "\nthrottled peak temperature: {:.1} degC (hotter chip, better cell)",
+        throttled.peak_temperature.to_celsius().value()
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Exports a full co-simulation report as JSON (for plotting/downstream
+//! tooling). Pass `--nominal`, `--throttled`, `--warm-inlet` or
+//! `--reduced` (default `--reduced` to keep the run short).
+
+use bright_core::{CoSimulation, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "--reduced".into());
+    let scenario = match arg.as_str() {
+        "--nominal" => Scenario::power7_nominal(),
+        "--throttled" => Scenario::power7_throttled(),
+        "--warm-inlet" => Scenario::power7_warm_inlet(),
+        "--reduced" => Scenario::power7_reduced(),
+        other => {
+            eprintln!(
+                "unknown scenario '{other}'; expected --nominal, --throttled, \
+                 --warm-inlet or --reduced"
+            );
+            std::process::exit(2);
+        }
+    };
+    let report = CoSimulation::new(scenario)?.run()?;
+    println!("{}", serde_json::to_string_pretty(&report)?);
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! **F3 / E4** — Fig. 3 of the paper: polarization curves of the Table I
+//! validation cell at 2.5/10/60/300 µL/min, model vs (approximately
+//! digitized) experimental data, plus the paper's "model within 10 % of
+//! experiment" validation metric (our tolerance vs the approximate
+//! digitization is wider; see EXPERIMENTS.md).
+
+use bright_bench::{banner, print_table};
+use bright_flowcell::presets;
+use bright_flowcell::validation::{kjeang_fig3_reference, max_relative_error};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "F3",
+        "Fig. 3 - validation-cell polarization, model vs experiment",
+    );
+
+    let reference = kjeang_fig3_reference();
+    let mut worst = 0.0_f64;
+
+    for series in &reference {
+        let model = presets::kjeang2007(series.flow_ul_min)?;
+        let mut rows = Vec::new();
+        let mut model_currents = Vec::new();
+        for (v, exp_j) in series.voltage.iter().zip(&series.current_density_ma_cm2) {
+            let sol = model.solve_at_voltage(*v)?;
+            let j = sol
+                .mean_current_density()
+                .to_milliamps_per_square_centimeter();
+            model_currents.push(j);
+            rows.push(vec![
+                format!("{v:.1}"),
+                format!("{exp_j:.1}"),
+                format!("{j:.1}"),
+            ]);
+        }
+        println!("\nflow rate {} uL/min per stream:", series.flow_ul_min);
+        print_table(&["V (V)", "exp (mA/cm2)", "model (mA/cm2)"], &rows);
+        let err = max_relative_error(&series.current_density_ma_cm2, &model_currents)?;
+        println!("  max relative deviation vs digitized experiment: {:.0}%", err * 100.0);
+        worst = worst.max(err);
+
+        let ocv = model.open_circuit_voltage()?;
+        println!("  model OCV: {ocv:.3} (experimental curves start ~1.3-1.4 V)");
+    }
+
+    println!("\nworst-case deviation across all series: {:.0}%", worst * 100.0);
+    println!("paper claims <=10% against the true experimental data; our");
+    println!("reference here is an approximate digitization, so the regression");
+    println!("gate in tests/ checks the physically robust quantities instead:");
+    println!("limiting-current plateaus within 35% and Q^(1/3) flow ordering.");
+
+    // Plateau comparison (the transport-limited low-voltage end).
+    println!("\nlimiting-current plateaus (at 0.1 V):");
+    for series in &reference {
+        let model = presets::kjeang2007(series.flow_ul_min)?;
+        let j = model
+            .solve_at_voltage(0.1)?
+            .mean_current_density()
+            .to_milliamps_per_square_centimeter();
+        let exp = *series.current_density_ma_cm2.last().expect("non-empty");
+        println!(
+            "  {:>5} uL/min: exp {exp:>5.1}, model {j:>5.1} mA/cm^2 ({:+.0}%)",
+            series.flow_ul_min,
+            (j / exp - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

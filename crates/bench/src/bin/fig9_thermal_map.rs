@@ -1,0 +1,61 @@
+//! **F9** — Fig. 9 of the paper: thermal map of the POWER7+ at full load
+//! cooled by the redox flow-cell array (676 ml/min, 27 °C inlet; paper
+//! reports a 41 °C peak).
+
+use bright_bench::{banner, compare_row};
+use bright_floorplan::{power7, PowerScenario};
+use bright_mesh::render::{render_ascii, RenderOptions};
+use bright_thermal::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("F9", "Fig. 9 - full-load thermal map under flow-cell cooling");
+
+    let model = presets::power7_stack()?;
+    let plan = power7::floorplan();
+    let power = PowerScenario::full_load().rasterize(&plan, model.grid())?;
+    println!(
+        "chip load: {:.1} W over {:.2} cm^2 (peak density 26.7 W/cm^2 in cores)\n",
+        power.integral(),
+        plan.die_area().to_square_centimeters()
+    );
+
+    let sol = model.solve_steady(&power)?;
+    let mut celsius = sol.junction_map().clone();
+    celsius.map_in_place(|k| k - 273.15);
+    println!("junction temperature map (degC):");
+    println!(
+        "{}",
+        render_ascii(
+            &celsius,
+            &RenderOptions {
+                width: 80,
+                height: 24,
+                ..RenderOptions::default()
+            }
+        )
+    );
+
+    let peak_c = sol.max_temperature().to_celsius().value();
+    let (lvl, ix, iy) = sol.max_location();
+    println!(
+        "hottest cell: level {lvl}, channel column {ix}, station {iy} \
+         (channels flow bottom-to-top)"
+    );
+    println!();
+    println!("{}", compare_row("peak temperature", 41.0, peak_c, "degC"));
+    println!(
+        "{}",
+        compare_row(
+            "coolant outlet mean",
+            28.5,
+            sol.outlet_mean().to_celsius().value(),
+            "degC"
+        )
+    );
+    println!(
+        "  energy balance: injected {:.2} W vs absorbed {:.2} W",
+        power.integral(),
+        sol.absorbed_power().value()
+    );
+    Ok(())
+}

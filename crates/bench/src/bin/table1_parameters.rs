@@ -1,0 +1,67 @@
+//! **T1** — Table I of the paper: parameters of the validation flow cell
+//! (Kjeang et al. 2007 geometry). Prints the encoded values and verifies
+//! they match the published table.
+
+use bright_bench::{banner, print_table};
+use bright_flowcell::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("T1", "Table I - validation redox flow cell parameters");
+
+    let model = presets::kjeang2007(60.0)?;
+    let chem = model.chemistry();
+    let ch = model.geometry().channel();
+
+    println!(
+        "geometry: {:.1} mm x {:.1} mm x {:.0} um (length x width x height)\n",
+        ch.length().to_millimeters(),
+        ch.width().to_millimeters(),
+        ch.height().to_micrometers()
+    );
+
+    let rows = vec![
+        vec![
+            "E0 (V)".to_string(),
+            format!("{:.3}", chem.negative.kinetics.couple().standard_potential().value()),
+            format!("{:.3}", chem.positive.kinetics.couple().standard_potential().value()),
+            "-0.255 / 0.991".to_string(),
+        ],
+        vec![
+            "C*_Ox (mol/m3)".to_string(),
+            format!("{:.0}", chem.negative.inlet.c_ox.value()),
+            format!("{:.0}", chem.positive.inlet.c_ox.value()),
+            "80 / 992".to_string(),
+        ],
+        vec![
+            "C*_Red (mol/m3)".to_string(),
+            format!("{:.0}", chem.negative.inlet.c_red.value()),
+            format!("{:.0}", chem.positive.inlet.c_red.value()),
+            "920 / 8".to_string(),
+        ],
+        vec![
+            "D (1e-10 m2/s)".to_string(),
+            format!("{:.1}", chem.negative.diffusivity.value() * 1e10),
+            format!("{:.1}", chem.positive.diffusivity.value() * 1e10),
+            "1.7 / 1.3".to_string(),
+        ],
+        vec![
+            "k0 (1e-5 m/s)".to_string(),
+            format!("{:.0}", chem.negative.kinetics.rate_constant().value() * 1e5),
+            format!("{:.0}", chem.positive.kinetics.rate_constant().value() * 1e5),
+            "2 / 1".to_string(),
+        ],
+    ];
+    print_table(&["parameter", "anode", "cathode", "paper"], &rows);
+
+    // Hard checks: the encoded values ARE the published ones.
+    assert_eq!(chem.negative.inlet.c_ox.value(), 80.0);
+    assert_eq!(chem.negative.inlet.c_red.value(), 920.0);
+    assert_eq!(chem.positive.inlet.c_ox.value(), 992.0);
+    assert_eq!(chem.positive.inlet.c_red.value(), 8.0);
+    assert_eq!(chem.negative.diffusivity.value(), 1.7e-10);
+    assert_eq!(chem.positive.diffusivity.value(), 1.3e-10);
+    assert_eq!(chem.negative.kinetics.rate_constant().value(), 2.0e-5);
+    assert_eq!(chem.positive.kinetics.rate_constant().value(), 1.0e-5);
+    println!("\nall Table I values encoded exactly.");
+    Ok(())
+}

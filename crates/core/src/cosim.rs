@@ -1,0 +1,343 @@
+//! The coupled electro-thermal-electrical solve.
+
+use crate::reports::{CoSimReport, OperatingPoint};
+use crate::scenario::Scenario;
+use crate::CoreError;
+use bright_flow::array::ChannelArray;
+use bright_flow::fluid::TemperatureDependentFluid;
+use bright_flowcell::options::TemperatureProfile;
+use bright_flowcell::{CellArray, CellGeometry, CellModel};
+use bright_flow::RectChannel;
+use bright_mesh::Grid2d;
+use bright_pdn::PowerGrid;
+use bright_thermal::stack::{LayerSpec, MicrochannelSpec, StackConfig};
+use bright_thermal::{Material, ThermalModel};
+use bright_units::{Meters, Volt};
+
+/// A configured co-simulation.
+#[derive(Debug, Clone)]
+pub struct CoSimulation {
+    scenario: Scenario,
+}
+
+impl CoSimulation {
+    /// Creates a co-simulation after validating the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidScenario`] for invalid scenarios.
+    pub fn new(scenario: Scenario) -> Result<Self, CoreError> {
+        scenario.validate()?;
+        Ok(Self { scenario })
+    }
+
+    /// The scenario being simulated.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    fn thermal_model(&self) -> Result<ThermalModel, CoreError> {
+        let s = &self.scenario;
+        let fluid = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(s.inlet_temperature)
+            .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+        Ok(ThermalModel::new(StackConfig {
+            width: s.floorplan.width(),
+            height: s.floorplan.height(),
+            nx: s.thermal_columns,
+            ny: s.thermal_ny,
+            layers: vec![
+                LayerSpec::Solid {
+                    name: "die".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(400.0),
+                    sublayers: 2,
+                },
+                LayerSpec::Microchannel {
+                    name: "flow-cell channels".into(),
+                    spec: MicrochannelSpec {
+                        channel_width: Meters::from_micrometers(200.0),
+                        channel_height: Meters::from_micrometers(400.0),
+                        channels_per_cell: s.channel_count / s.thermal_columns,
+                        fluid,
+                        total_flow: s.total_flow,
+                        inlet_temperature: s.inlet_temperature,
+                        wall_material: Material::silicon(),
+                    },
+                },
+                LayerSpec::Solid {
+                    name: "cap".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(300.0),
+                    sublayers: 1,
+                },
+            ],
+            top_cooling: None,
+        })?)
+    }
+
+    fn cell_template(&self) -> Result<CellModel, CoreError> {
+        let s = &self.scenario;
+        let channel = RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+        Ok(CellModel::new(
+            CellGeometry::new(channel),
+            bright_echem::vanadium::power7_cell_chemistry(),
+            s.total_flow / s.channel_count as f64,
+            TemperatureProfile::Uniform(s.inlet_temperature),
+            s.cell_options.clone(),
+        )?)
+    }
+
+    /// Runs the coupled solve.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sub-model failures; returns
+    /// [`CoreError::SupplyDeficit`] when the rail demand exceeds the
+    /// array's capability (reported, not fatal, via
+    /// [`CoSimReport::operating_point`] being `None` — the error is only
+    /// returned for genuinely broken configurations).
+    pub fn run(&self) -> Result<CoSimReport, CoreError> {
+        let s = &self.scenario;
+
+        // 1. Thermal solve under the full chip load.
+        let thermal = self.thermal_model()?;
+        let power_map = s.thermal_load.rasterize(&s.floorplan, thermal.grid())?;
+        let chip_power = power_map.integral();
+        let thermal_sol = thermal.solve_steady(&power_map)?;
+
+        // 2. Per-channel temperature profiles into the electrochemistry.
+        // Channels sharing a thermal column are identical, so the coupled
+        // array is solved per column and scaled by the group size.
+        let template = self.cell_template()?;
+        let group = s.channel_count / s.thermal_columns;
+        let array = if s.couple_temperature {
+            let profiles: Vec<TemperatureProfile> = (0..s.thermal_columns)
+                .map(|ix| TemperatureProfile::Sampled(thermal_sol.channel_profile(ix)))
+                .collect();
+            CellArray::new(template.clone(), s.thermal_columns)?
+                .with_channel_temperatures(profiles)?
+        } else {
+            CellArray::new(template.clone(), s.thermal_columns)?
+        };
+
+        // 3. Array characteristics (scaled from columns to channels).
+        let curve = array.polarization_curve(s.sweep_points)?.scaled_parallel(group);
+        let ocv = curve.open_circuit_voltage();
+        let at_1v_cols = array.solve_at_voltage(1.0)?;
+        let at_1v_current = at_1v_cols.current * group as f64;
+        let at_1v_power = at_1v_cols.power * group as f64;
+        let isothermal_at_1v = CellArray::new(template, s.channel_count)?.solve_at_voltage(1.0)?;
+        let thermal_boost_percent = if isothermal_at_1v.current.value() > 0.0 {
+            (at_1v_current.value() / isothermal_at_1v.current.value() - 1.0) * 100.0
+        } else {
+            0.0
+        };
+
+        // 4. Operating point against the rail demand through the VRM.
+        let rail_power = s.rail_load.total_power(&s.floorplan)?;
+        let operating_point = self.find_operating_point(&curve, rail_power.value())?;
+
+        // 5. Cache-rail IR-drop map at the VRM output.
+        let pdn_grid = Grid2d::from_extent(
+            s.floorplan.width().value(),
+            s.floorplan.height().value(),
+            s.pdn.nx,
+            s.pdn.ny,
+        )
+        .map_err(|e| CoreError::Pdn(e.to_string()))?;
+        let rail_map = s.rail_load.rasterize(&s.floorplan, &pdn_grid)?;
+        let pdn = PowerGrid::new(
+            pdn_grid,
+            s.pdn.sheet_resistance,
+            s.vrm.output_voltage(),
+            s.pdn.port_resistance,
+            &s.pdn.ports,
+            &rail_map,
+        )?;
+        let pdn_sol = pdn.solve()?;
+
+        // 6. Hydraulics.
+        let channel = *self.cell_template()?.geometry().channel();
+        let pitch = Meters::new(s.floorplan.width().value() / s.channel_count as f64);
+        let hydraulic_array = ChannelArray::new(channel, s.channel_count, pitch)?;
+        let props = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(s.inlet_temperature)
+            .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+        let pressure_drop = hydraulic_array.pressure_drop(&props, s.total_flow);
+        let pumping_power =
+            hydraulic_array.pumping_power(&props, s.total_flow, s.pump_efficiency)?;
+
+        Ok(CoSimReport {
+            chip_power: bright_units::Watt::new(chip_power),
+            rail_power,
+            peak_temperature: thermal_sol.max_temperature(),
+            outlet_temperature: thermal_sol.outlet_mean(),
+            inlet_temperature: s.inlet_temperature,
+            array_ocv: ocv,
+            current_at_1v: at_1v_current,
+            power_at_1v: at_1v_power,
+            isothermal_current_at_1v: isothermal_at_1v.current,
+            thermal_boost_percent,
+            operating_point,
+            pdn_min_voltage: pdn_sol.min_voltage(),
+            pdn_max_voltage: pdn_sol.max_voltage(),
+            pdn_worst_drop: pdn_sol.worst_drop(),
+            pressure_drop,
+            pumping_power,
+            polarization: curve,
+            junction_map: thermal_sol.junction_map().clone(),
+            fluid_map: thermal_sol.level_map(thermal_sol.fluid_levels()[0]).clone(),
+            voltage_map: pdn_sol.voltage_map().clone(),
+        })
+    }
+
+    /// Finds the stable (high-voltage) intersection of the array power
+    /// curve with the VRM input demand.
+    fn find_operating_point(
+        &self,
+        curve: &bright_flowcell::PolarizationCurve,
+        rail_power: f64,
+    ) -> Result<Option<OperatingPoint>, CoreError> {
+        let s = &self.scenario;
+        let v_out = s.vrm.output_voltage().value();
+        let ocv = curve.open_circuit_voltage().value();
+        if ocv <= v_out {
+            return Ok(None);
+        }
+        // Scan from the OCV downward on a fine voltage ladder; the first
+        // crossing (array supply >= demand) is the stable branch.
+        let n = 400;
+        let mut best: Option<OperatingPoint> = None;
+        let mut max_available = 0.0_f64;
+        for k in 1..n {
+            let v = ocv - (ocv - v_out) * k as f64 / n as f64;
+            let Some(current) = curve.current_at_voltage(v) else {
+                continue;
+            };
+            let supply = v * current.value();
+            let eff = s
+                .vrm
+                .efficiency_at(Volt::new(v))
+                .map_err(|e| CoreError::Pdn(e.to_string()))?;
+            let demand = rail_power / eff;
+            max_available = max_available.max(supply);
+            if supply >= demand {
+                best = Some(OperatingPoint {
+                    array_voltage: Volt::new(v),
+                    array_current: current,
+                    array_power: bright_units::Watt::new(supply),
+                    vrm_efficiency: eff,
+                    rail_voltage: s.vrm.output_voltage(),
+                    rail_power: bright_units::Watt::new(rail_power),
+                });
+                break;
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reduced_report() -> CoSimReport {
+        CoSimulation::new(Scenario::power7_reduced())
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn nominal_reduced_run_reproduces_headlines() {
+        let r = reduced_report();
+        // Peak temperature in the paper's band (Fig. 9: 41 degC).
+        let peak_c = r.peak_temperature.to_celsius().value();
+        assert!(peak_c > 30.0 && peak_c < 50.0, "peak {peak_c} degC");
+        // OCV near the Fig. 7 intercept.
+        assert!((r.array_ocv.value() - 1.65).abs() < 0.05);
+        // Array covers the cache demand at 1 V (paper: 6 A available vs
+        // ~2.4-5.7 A required).
+        assert!(r.current_at_1v.value() > 2.0, "{}", r.current_at_1v);
+        // Net-positive energy balance: generation at 1 V beats pumping.
+        assert!(r.power_at_1v.value() > r.pumping_power.value());
+        // The operating point exists and sits above the rail voltage.
+        let op = r.operating_point.as_ref().expect("array meets demand");
+        assert!(op.array_voltage.value() >= 1.0);
+        assert!(op.array_power.value() >= op.rail_power.value());
+        // Fig. 8 droop band.
+        assert!(r.pdn_min_voltage.value() > 0.9 && r.pdn_min_voltage.value() < 1.0);
+    }
+
+    #[test]
+    fn thermal_coupling_boosts_generation() {
+        let r = reduced_report();
+        // Section III-B: a few percent at nominal flow.
+        assert!(
+            r.thermal_boost_percent > 0.0 && r.thermal_boost_percent < 15.0,
+            "boost {}%",
+            r.thermal_boost_percent
+        );
+        assert!(r.current_at_1v.value() >= r.isothermal_current_at_1v.value());
+    }
+
+    #[test]
+    fn throttled_flow_heats_up_and_boosts_more() {
+        let mut throttled = Scenario::power7_reduced();
+        throttled.total_flow =
+            bright_units::CubicMetersPerSecond::from_milliliters_per_minute(48.0);
+        let r_nominal = reduced_report();
+        let r_throttled = CoSimulation::new(throttled).unwrap().run().unwrap();
+        assert!(
+            r_throttled.peak_temperature.value() > r_nominal.peak_temperature.value() + 5.0,
+            "throttled {} vs nominal {}",
+            r_throttled.peak_temperature,
+            r_nominal.peak_temperature
+        );
+        assert!(
+            r_throttled.thermal_boost_percent > r_nominal.thermal_boost_percent,
+            "throttled boost {} vs nominal {}",
+            r_throttled.thermal_boost_percent,
+            r_nominal.thermal_boost_percent
+        );
+    }
+
+    #[test]
+    fn energy_conservation_across_reports() {
+        let r = reduced_report();
+        // Fluid absorbs the chip power: outlet rise consistent with
+        // capacity rate (47 W/K at nominal flow).
+        let rise = r.outlet_temperature.value() - r.inlet_temperature.value();
+        let expected = r.chip_power.value() / 47.2;
+        assert!(
+            (rise - expected).abs() < 0.35 * expected,
+            "rise {rise} K vs expected {expected} K"
+        );
+    }
+
+    #[test]
+    fn supply_deficit_reported_as_missing_operating_point() {
+        let mut s = Scenario::power7_reduced();
+        // Demand far beyond the array: power every block from the rail at
+        // full load densities.
+        s.rail_load = bright_floorplan::PowerScenario::full_load();
+        let r = CoSimulation::new(s).unwrap().run().unwrap();
+        assert!(r.operating_point.is_none());
+        assert!(r.rail_power.value() > 50.0);
+    }
+
+    #[test]
+    fn summary_mentions_key_figures() {
+        let r = reduced_report();
+        let text = r.summary();
+        assert!(text.contains("peak temperature"));
+        assert!(text.contains("pumping"));
+        assert!(text.contains("OCV"));
+    }
+}

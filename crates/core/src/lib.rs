@@ -1,0 +1,119 @@
+//! Integrated co-simulation of microfluidic power generation and cooling.
+//!
+//! This crate is the paper's headline contribution: it couples the three
+//! domain models of the workspace over the IBM POWER7+ case study —
+//!
+//! 1. the chip's power map heats the die ([`bright_thermal`]),
+//! 2. the electrolyte streams absorb that heat, which accelerates their
+//!    electrochemistry ([`bright_flowcell`] with per-channel temperature
+//!    profiles),
+//! 3. the flow-cell array feeds the cache rail through VRMs and the
+//!    on-chip grid ([`bright_pdn`]),
+//! 4. the hydraulic cost of pushing the electrolytes closes the energy
+//!    balance ([`bright_flow`]).
+//!
+//! The [`scenario::Scenario`] builder describes an operating point; a
+//! [`cosim::CoSimulation`] runs the coupled solve and produces a
+//! [`reports::CoSimReport`] with every quantity the paper reports (peak
+//! temperature, array V–I, cache-rail voltage map, pumping power,
+//! thermal enhancement of generation).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use bright_core::scenario::Scenario;
+//! use bright_core::cosim::CoSimulation;
+//!
+//! let report = CoSimulation::new(Scenario::power7_nominal())
+//!     .expect("valid scenario")
+//!     .run()
+//!     .expect("co-simulation converges");
+//! println!("{}", report.summary());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cosim;
+pub mod reports;
+pub mod scenario;
+pub mod sweeps;
+
+pub use cosim::CoSimulation;
+pub use reports::CoSimReport;
+pub use scenario::Scenario;
+
+use std::fmt;
+
+/// Errors produced by the co-simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid scenario description.
+    InvalidScenario(String),
+    /// The thermal sub-model failed.
+    Thermal(String),
+    /// The flow-cell sub-model failed.
+    FlowCell(String),
+    /// The PDN sub-model failed.
+    Pdn(String),
+    /// The hydraulics sub-model failed.
+    Fluidics(String),
+    /// The floorplan/power-map stage failed.
+    Floorplan(String),
+    /// The supply cannot meet the demand at any operating point.
+    SupplyDeficit {
+        /// Power demanded at the VRM input (W).
+        demand: f64,
+        /// Maximum array power (W).
+        available: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidScenario(m) => write!(f, "invalid scenario: {m}"),
+            CoreError::Thermal(m) => write!(f, "thermal model: {m}"),
+            CoreError::FlowCell(m) => write!(f, "flow-cell model: {m}"),
+            CoreError::Pdn(m) => write!(f, "PDN model: {m}"),
+            CoreError::Fluidics(m) => write!(f, "fluidics: {m}"),
+            CoreError::Floorplan(m) => write!(f, "floorplan: {m}"),
+            CoreError::SupplyDeficit { demand, available } => write!(
+                f,
+                "supply deficit: VRM demands {demand:.2} W but the array peaks at {available:.2} W"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<bright_thermal::ThermalError> for CoreError {
+    fn from(e: bright_thermal::ThermalError) -> Self {
+        CoreError::Thermal(e.to_string())
+    }
+}
+
+impl From<bright_flowcell::FlowCellError> for CoreError {
+    fn from(e: bright_flowcell::FlowCellError) -> Self {
+        CoreError::FlowCell(e.to_string())
+    }
+}
+
+impl From<bright_pdn::PdnError> for CoreError {
+    fn from(e: bright_pdn::PdnError) -> Self {
+        CoreError::Pdn(e.to_string())
+    }
+}
+
+impl From<bright_flow::FlowError> for CoreError {
+    fn from(e: bright_flow::FlowError) -> Self {
+        CoreError::Fluidics(e.to_string())
+    }
+}
+
+impl From<bright_floorplan::FloorplanError> for CoreError {
+    fn from(e: bright_floorplan::FloorplanError) -> Self {
+        CoreError::Floorplan(e.to_string())
+    }
+}

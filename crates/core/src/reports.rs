@@ -1,0 +1,227 @@
+//! Co-simulation reports.
+
+use bright_flowcell::PolarizationCurve;
+use bright_mesh::render::{render_ascii, RenderOptions};
+use bright_mesh::Field2d;
+use bright_units::{Ampere, Kelvin, Pascal, Volt, Watt};
+use serde::{Deserialize, Serialize};
+
+/// The matched array/VRM/rail operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Flow-cell array terminal voltage.
+    pub array_voltage: Volt,
+    /// Array current at that voltage.
+    pub array_current: Ampere,
+    /// Array output power.
+    pub array_power: Watt,
+    /// VRM efficiency at this input voltage.
+    pub vrm_efficiency: f64,
+    /// Regulated rail voltage.
+    pub rail_voltage: Volt,
+    /// Power demanded by the rail loads.
+    pub rail_power: Watt,
+}
+
+/// Everything the paper reports for one integrated operating point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoSimReport {
+    /// Total heat dissipated by the chip (thermal load).
+    pub chip_power: Watt,
+    /// Power drawn from the microfluidic rail (cache load).
+    pub rail_power: Watt,
+    /// Peak temperature anywhere in the stack (Fig. 9's headline).
+    pub peak_temperature: Kelvin,
+    /// Mean fluid outlet temperature.
+    pub outlet_temperature: Kelvin,
+    /// Fluid inlet temperature.
+    pub inlet_temperature: Kelvin,
+    /// Array open-circuit voltage (Fig. 7's zero-current intercept).
+    pub array_ocv: Volt,
+    /// Array current at the 1.0 V supply point (Fig. 7's "6 A" marker),
+    /// with thermal coupling.
+    pub current_at_1v: Ampere,
+    /// Array power at the 1.0 V supply point.
+    pub power_at_1v: Watt,
+    /// The same current for an isothermal (inlet-temperature) array.
+    pub isothermal_current_at_1v: Ampere,
+    /// Generation gain from the chip's heat, percent (Section III-B's
+    /// ≤4 % at nominal flow, up to 23 % throttled/warm).
+    pub thermal_boost_percent: f64,
+    /// The matched operating point, `None` if the array cannot meet the
+    /// rail demand (supply deficit).
+    pub operating_point: Option<OperatingPoint>,
+    /// Minimum rail voltage over the die (Fig. 8's dark end, ≈0.96 V).
+    pub pdn_min_voltage: Volt,
+    /// Maximum rail voltage (≈ the supply).
+    pub pdn_max_voltage: Volt,
+    /// Worst-case IR drop.
+    pub pdn_worst_drop: Volt,
+    /// Channel pressure drop at the operating flow.
+    pub pressure_drop: Pascal,
+    /// Pump shaft power (Section III-B's 4.4 W account).
+    pub pumping_power: Watt,
+    /// The array polarization curve (Fig. 7).
+    pub polarization: PolarizationCurve,
+    /// Junction (active silicon) temperature map in kelvin (Fig. 9).
+    pub junction_map: Field2d,
+    /// Fluid temperature map in kelvin.
+    pub fluid_map: Field2d,
+    /// Cache-rail voltage map (Fig. 8).
+    pub voltage_map: Field2d,
+}
+
+impl CoSimReport {
+    /// Net electrical benefit at the 1 V supply point: generation minus
+    /// pumping cost.
+    pub fn net_power_at_1v(&self) -> Watt {
+        self.power_at_1v - self.pumping_power
+    }
+
+    /// `true` when generation at 1 V exceeds the pumping cost — the
+    /// paper's closing energy-balance claim.
+    pub fn is_net_positive(&self) -> bool {
+        self.net_power_at_1v().value() > 0.0
+    }
+
+    /// A human-readable multi-line summary of the run.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "chip load: {:.1} (rail share {:.2})\n",
+            self.chip_power, self.rail_power
+        ));
+        s.push_str(&format!(
+            "peak temperature: {:.1} degC (inlet {:.1} degC, outlet {:.1} degC)\n",
+            self.peak_temperature.to_celsius().value(),
+            self.inlet_temperature.to_celsius().value(),
+            self.outlet_temperature.to_celsius().value()
+        ));
+        s.push_str(&format!(
+            "array OCV: {:.3}; at 1.0 V: {:.2} ({:.2}); thermal boost {:+.1}%\n",
+            self.array_ocv, self.current_at_1v, self.power_at_1v, self.thermal_boost_percent
+        ));
+        match &self.operating_point {
+            Some(op) => s.push_str(&format!(
+                "operating point: array {:.3} / {:.2} -> rail {:.2} at {:.3} (VRM eta {:.0}%)\n",
+                op.array_voltage,
+                op.array_current,
+                op.rail_power,
+                op.rail_voltage,
+                op.vrm_efficiency * 100.0
+            )),
+            None => s.push_str("operating point: SUPPLY DEFICIT (demand exceeds array)\n"),
+        }
+        s.push_str(&format!(
+            "cache rail: {:.3} .. {:.3} (worst drop {:.1} mV)\n",
+            self.pdn_min_voltage,
+            self.pdn_max_voltage,
+            self.pdn_worst_drop.value() * 1e3
+        ));
+        s.push_str(&format!(
+            "hydraulics: dp {:.3} bar, pumping {:.2}; net at 1 V {:+.2}\n",
+            self.pressure_drop.to_bar(),
+            self.pumping_power,
+            self.net_power_at_1v()
+        ));
+        s
+    }
+
+    /// ASCII rendering of the junction temperature map in °C (Fig. 9).
+    pub fn render_thermal_map(&self, width: usize, height: usize) -> String {
+        let mut celsius = self.junction_map.clone();
+        celsius.map_in_place(|k| k - 273.15);
+        render_ascii(
+            &celsius,
+            &RenderOptions {
+                width,
+                height,
+                ..RenderOptions::default()
+            },
+        )
+    }
+
+    /// ASCII rendering of the cache-rail voltage map (Fig. 8).
+    pub fn render_voltage_map(&self, width: usize, height: usize) -> String {
+        render_ascii(
+            &self.voltage_map,
+            &RenderOptions {
+                width,
+                height,
+                ..RenderOptions::default()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bright_flowcell::polarization::PolarizationPoint;
+    use bright_mesh::Grid2d;
+
+    fn dummy_report() -> CoSimReport {
+        let grid = Grid2d::new(8, 8, 1e-3, 1e-3).unwrap();
+        let curve = PolarizationCurve::new(vec![
+            PolarizationPoint {
+                voltage: Volt::new(1.6),
+                current: Ampere::new(0.0),
+                power: Watt::new(0.0),
+            },
+            PolarizationPoint {
+                voltage: Volt::new(1.0),
+                current: Ampere::new(4.0),
+                power: Watt::new(4.0),
+            },
+        ])
+        .unwrap();
+        CoSimReport {
+            chip_power: Watt::new(73.0),
+            rail_power: Watt::new(2.4),
+            peak_temperature: Kelvin::new(314.0),
+            outlet_temperature: Kelvin::new(301.5),
+            inlet_temperature: Kelvin::new(300.0),
+            array_ocv: Volt::new(1.65),
+            current_at_1v: Ampere::new(4.0),
+            power_at_1v: Watt::new(4.0),
+            isothermal_current_at_1v: Ampere::new(3.9),
+            thermal_boost_percent: 2.5,
+            operating_point: None,
+            pdn_min_voltage: Volt::new(0.96),
+            pdn_max_voltage: Volt::new(1.0),
+            pdn_worst_drop: Volt::new(0.04),
+            pressure_drop: Pascal::from_bar(0.39),
+            pumping_power: Watt::new(0.88),
+            polarization: curve,
+            junction_map: Field2d::constant(grid.clone(), 310.0),
+            fluid_map: Field2d::constant(grid.clone(), 302.0),
+            voltage_map: Field2d::constant(grid, 0.98),
+        }
+    }
+
+    #[test]
+    fn net_power_accounting() {
+        let r = dummy_report();
+        assert!((r.net_power_at_1v().value() - 3.12).abs() < 1e-12);
+        assert!(r.is_net_positive());
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_scaled() {
+        let r = dummy_report();
+        let t = r.render_thermal_map(16, 8);
+        assert!(t.contains("scale:"));
+        assert!(t.lines().count() >= 9);
+        let v = r.render_voltage_map(16, 8);
+        assert!(v.contains("scale:"));
+    }
+
+    #[test]
+    fn report_serializes_roundtrip() {
+        let r = dummy_report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CoSimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.chip_power, r.chip_power);
+        assert_eq!(back.voltage_map, r.voltage_map);
+    }
+}

@@ -1,0 +1,50 @@
+//! The full co-simulation report serializes and deserializes losslessly —
+//! downstream tooling (plotting, CI dashboards) depends on this.
+
+use bright_core::{CoSimReport, CoSimulation, Scenario};
+
+/// serde_json prints the shortest representation that parses back to the
+/// same f64 *in most cases*, but the final ULP can differ — compare to
+/// machine precision rather than bitwise.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 4.0 * f64::EPSILON * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn full_report_json_roundtrip() {
+    let report = CoSimulation::new(Scenario::power7_reduced())
+        .unwrap()
+        .run()
+        .unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: CoSimReport = serde_json::from_str(&json).unwrap();
+
+    assert!(close(
+        back.peak_temperature.value(),
+        report.peak_temperature.value()
+    ));
+    assert!(close(back.current_at_1v.value(), report.current_at_1v.value()));
+    assert!(close(back.pumping_power.value(), report.pumping_power.value()));
+    assert!(close(
+        back.pdn_min_voltage.value(),
+        report.pdn_min_voltage.value()
+    ));
+    assert_eq!(
+        back.polarization.points().len(),
+        report.polarization.points().len()
+    );
+    assert_eq!(back.junction_map.grid(), report.junction_map.grid());
+    for (a, b) in back
+        .junction_map
+        .as_slice()
+        .iter()
+        .zip(report.junction_map.as_slice())
+    {
+        assert!(close(*a, *b));
+    }
+    assert_eq!(
+        back.operating_point.is_some(),
+        report.operating_point.is_some()
+    );
+    assert_eq!(back.voltage_map.grid(), report.voltage_map.grid());
+}

@@ -1,0 +1,130 @@
+//! Full-cell chemistry descriptions: two half-cells plus the ionic path.
+
+use crate::electrolyte::IonicConductivity;
+use crate::nernst::equilibrium_potential;
+use crate::temperature::{diffusivity_law, rate_constant_law};
+use crate::{ButlerVolmer, EchemError, Electrolyte};
+use bright_units::{Kelvin, MetersPerSecondRate, SquareMetersPerSecond, Volt};
+use serde::{Deserialize, Serialize};
+
+/// One half-cell: kinetics, inlet composition and species diffusivity.
+///
+/// The tables of the paper quote a single diffusion coefficient per side;
+/// it is applied to both the reactant and the product of that half-cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalfCellChemistry {
+    /// Butler–Volmer kinetics (couple, k⁰, reference concentrations).
+    pub kinetics: ButlerVolmer,
+    /// Inlet bulk composition of this half-cell's stream.
+    pub inlet: Electrolyte,
+    /// Diffusion coefficient of the vanadium species in this stream.
+    pub diffusivity: SquareMetersPerSecond,
+}
+
+impl HalfCellChemistry {
+    /// Equilibrium potential of this electrode at its inlet composition.
+    ///
+    /// # Errors
+    ///
+    /// As [`equilibrium_potential`].
+    pub fn equilibrium_potential(&self, t: Kelvin) -> Result<Volt, EchemError> {
+        equilibrium_potential(self.kinetics.couple(), self.inlet.c_ox, self.inlet.c_red, t)
+    }
+}
+
+/// A full redox flow cell: negative electrode (anode during discharge),
+/// positive electrode (cathode during discharge) and the ionic
+/// conductivity of the electrolyte between them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellChemistry {
+    /// Negative-electrode half cell (V²⁺/V³⁺ in the vanadium system).
+    pub negative: HalfCellChemistry,
+    /// Positive-electrode half cell (VO₂⁺/VO²⁺).
+    pub positive: HalfCellChemistry,
+    /// Ionic conductivity model of the electrolyte.
+    pub conductivity: IonicConductivity,
+    /// Temperature at which the kinetic/transport parameters are quoted.
+    pub reference_temperature: Kelvin,
+}
+
+impl CellChemistry {
+    /// Open-circuit voltage `U = E_pos − E_neg` at the inlet compositions.
+    ///
+    /// # Errors
+    ///
+    /// As [`equilibrium_potential`].
+    pub fn open_circuit_voltage(&self, t: Kelvin) -> Result<Volt, EchemError> {
+        Ok(self.positive.equilibrium_potential(t)? - self.negative.equilibrium_potential(t)?)
+    }
+
+    /// Returns the chemistry with kinetic rate constants and diffusivities
+    /// re-evaluated at temperature `t` via the default Arrhenius laws
+    /// ([`crate::temperature`]), leaving compositions unchanged.
+    ///
+    /// This is the electro-thermal coupling of Section III-B: the chip's
+    /// heat makes the cell a better generator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter/temperature validation errors.
+    pub fn at_temperature(&self, t: Kelvin) -> Result<Self, EchemError> {
+        let t_ref = self.reference_temperature;
+        let scale_half = |half: &HalfCellChemistry| -> Result<HalfCellChemistry, EchemError> {
+            let k_law = rate_constant_law(half.kinetics.rate_constant().value(), t_ref)?;
+            let d_law = diffusivity_law(half.diffusivity.value(), t_ref)?;
+            Ok(HalfCellChemistry {
+                kinetics: half
+                    .kinetics
+                    .with_rate_constant(MetersPerSecondRate::new(k_law.at(t)?))?,
+                inlet: half.inlet,
+                diffusivity: SquareMetersPerSecond::new(d_law.at(t)?),
+            })
+        };
+        Ok(Self {
+            negative: scale_half(&self.negative)?,
+            positive: scale_half(&self.positive)?,
+            conductivity: self.conductivity,
+            reference_temperature: t_ref,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::vanadium;
+    use bright_units::Kelvin;
+
+    #[test]
+    fn warm_cell_has_faster_kinetics_and_diffusion() {
+        let cell = vanadium::power7_cell_chemistry();
+        let warm = cell.at_temperature(Kelvin::new(313.0)).unwrap();
+        assert!(
+            warm.negative.kinetics.rate_constant().value()
+                > cell.negative.kinetics.rate_constant().value()
+        );
+        assert!(warm.positive.diffusivity.value() > cell.positive.diffusivity.value());
+        // Compositions unchanged.
+        assert_eq!(warm.negative.inlet, cell.negative.inlet);
+    }
+
+    #[test]
+    fn reference_temperature_is_identity() {
+        let cell = vanadium::power7_cell_chemistry();
+        let same = cell.at_temperature(cell.reference_temperature).unwrap();
+        let rel = (same.negative.kinetics.rate_constant().value()
+            - cell.negative.kinetics.rate_constant().value())
+        .abs()
+            / cell.negative.kinetics.rate_constant().value();
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn ocv_decomposes_into_electrode_potentials() {
+        let cell = vanadium::power7_cell_chemistry();
+        let t = Kelvin::new(300.0);
+        let u = cell.open_circuit_voltage(t).unwrap();
+        let e_pos = cell.positive.equilibrium_potential(t).unwrap();
+        let e_neg = cell.negative.equilibrium_potential(t).unwrap();
+        assert!((u.value() - (e_pos.value() - e_neg.value())).abs() < 1e-12);
+    }
+}

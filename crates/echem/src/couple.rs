@@ -1,0 +1,110 @@
+//! Redox couples: `Ox + n·e⁻ ⇌ Red`.
+
+use crate::EchemError;
+use bright_units::Volt;
+use serde::{Deserialize, Serialize};
+
+/// A reversible one-step redox couple.
+///
+/// The all-vanadium system of the paper uses two couples:
+///
+/// * negative electrode (eq. 2): `V³⁺ + e⁻ ⇌ V²⁺`, `E⁰ = −0.255 V` vs SHE,
+/// * positive electrode (eq. 3): `VO₂⁺ + 2H⁺ + e⁻ ⇌ VO²⁺ + H₂O`,
+///   `E⁰ = +0.991 V` vs SHE.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RedoxCouple {
+    name: String,
+    standard_potential: Volt,
+    electrons: u32,
+    alpha: f64,
+}
+
+impl RedoxCouple {
+    /// Creates a couple with standard potential `E⁰` (V vs SHE), number of
+    /// transferred electrons `n` and cathodic transfer coefficient `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchemError::InvalidParameter`] if `n == 0`, `α ∉ (0, 1)`
+    /// or `E⁰` is not finite.
+    pub fn new(
+        name: impl Into<String>,
+        standard_potential: Volt,
+        electrons: u32,
+        alpha: f64,
+    ) -> Result<Self, EchemError> {
+        if electrons == 0 {
+            return Err(EchemError::InvalidParameter(
+                "electron count must be positive".into(),
+            ));
+        }
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(EchemError::InvalidParameter(format!(
+                "transfer coefficient must be in (0,1), got {alpha}"
+            )));
+        }
+        if !standard_potential.is_finite() {
+            return Err(EchemError::InvalidParameter(format!(
+                "non-finite standard potential {standard_potential}"
+            )));
+        }
+        Ok(Self {
+            name: name.into(),
+            standard_potential,
+            electrons,
+            alpha,
+        })
+    }
+
+    /// Human-readable name of the couple.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Standard electrode potential `E⁰` vs SHE.
+    #[inline]
+    pub fn standard_potential(&self) -> Volt {
+        self.standard_potential
+    }
+
+    /// Number of electrons `n` transferred per formula unit.
+    #[inline]
+    pub fn electrons(&self) -> u32 {
+        self.electrons
+    }
+
+    /// Cathodic transfer coefficient `α` (anodic is `1 − α`).
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Anodic transfer coefficient `1 − α`.
+    #[inline]
+    pub fn alpha_anodic(&self) -> f64 {
+        1.0 - self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = RedoxCouple::new("V2+/V3+", Volt::new(-0.255), 1, 0.5).unwrap();
+        assert_eq!(c.name(), "V2+/V3+");
+        assert_eq!(c.electrons(), 1);
+        assert!((c.alpha() - 0.5).abs() < 1e-15);
+        assert!((c.alpha_anodic() - 0.5).abs() < 1e-15);
+        assert_eq!(c.standard_potential(), Volt::new(-0.255));
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(RedoxCouple::new("x", Volt::new(0.0), 0, 0.5).is_err());
+        assert!(RedoxCouple::new("x", Volt::new(0.0), 1, 0.0).is_err());
+        assert!(RedoxCouple::new("x", Volt::new(0.0), 1, 1.0).is_err());
+        assert!(RedoxCouple::new("x", Volt::new(f64::NAN), 1, 0.5).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Electrolyte compositions, state of charge and ionic conductivity.
+
+use crate::EchemError;
+use bright_units::{Kelvin, MolePerCubicMeter, SiemensPerMeter};
+use serde::{Deserialize, Serialize};
+
+/// The composition of one electrolyte stream (one half-cell).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Electrolyte {
+    /// Oxidized-form concentration in the bulk.
+    pub c_ox: MolePerCubicMeter,
+    /// Reduced-form concentration in the bulk.
+    pub c_red: MolePerCubicMeter,
+}
+
+impl Electrolyte {
+    /// Creates a composition, validating positivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchemError::InvalidConcentration`] unless both
+    /// concentrations are positive and finite.
+    pub fn new(c_ox: MolePerCubicMeter, c_red: MolePerCubicMeter) -> Result<Self, EchemError> {
+        for (name, c) in [("oxidant", c_ox), ("reductant", c_red)] {
+            if !(c.value() > 0.0 && c.is_finite()) {
+                return Err(EchemError::InvalidConcentration(format!(
+                    "{name} concentration must be positive and finite, got {c}"
+                )));
+            }
+        }
+        Ok(Self { c_ox, c_red })
+    }
+
+    /// Total vanadium concentration `C_ox + C_red`.
+    pub fn total(&self) -> MolePerCubicMeter {
+        self.c_ox + self.c_red
+    }
+
+    /// Builds the composition of a *negative*-side electrolyte (charged
+    /// species is the reduced form, V²⁺) at the given state of charge:
+    /// `C_red = SoC·C_total`, `C_ox = (1−SoC)·C_total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchemError::InvalidParameter`] if `soc ∉ (0, 1)`.
+    pub fn negative_at_soc(
+        total: MolePerCubicMeter,
+        soc: f64,
+    ) -> Result<Self, EchemError> {
+        if !(soc > 0.0 && soc < 1.0) {
+            return Err(EchemError::InvalidParameter(format!(
+                "state of charge must be in (0,1), got {soc}"
+            )));
+        }
+        Self::new(total * (1.0 - soc), total * soc)
+    }
+
+    /// Builds the composition of a *positive*-side electrolyte (charged
+    /// species is the oxidized form, VO₂⁺) at the given state of charge:
+    /// `C_ox = SoC·C_total`, `C_red = (1−SoC)·C_total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchemError::InvalidParameter`] if `soc ∉ (0, 1)`.
+    pub fn positive_at_soc(
+        total: MolePerCubicMeter,
+        soc: f64,
+    ) -> Result<Self, EchemError> {
+        if !(soc > 0.0 && soc < 1.0) {
+            return Err(EchemError::InvalidParameter(format!(
+                "state of charge must be in (0,1), got {soc}"
+            )));
+        }
+        Self::new(total * soc, total * (1.0 - soc))
+    }
+}
+
+/// Temperature-dependent ionic conductivity `σ(T) = σ_ref·(1 + s·(T−T_ref))`.
+///
+/// Sulfuric-acid vanadium electrolytes have σ ≈ 30–50 S/m with a positive
+/// temperature coefficient of 1–2 %/K (Al-Fetlawi 2009).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IonicConductivity {
+    /// Conductivity at the reference temperature.
+    pub reference: SiemensPerMeter,
+    /// Reference temperature.
+    pub reference_temperature: Kelvin,
+    /// Relative slope (1/K).
+    pub slope: f64,
+}
+
+impl IonicConductivity {
+    /// The default electrolyte conductivity model: 40 S/m at 300 K,
+    /// +1.5 %/K.
+    pub fn vanadium_default() -> Self {
+        Self {
+            reference: SiemensPerMeter::new(40.0),
+            reference_temperature: Kelvin::new(300.0),
+            slope: 0.015,
+        }
+    }
+
+    /// Evaluates σ at temperature `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchemError::InvalidTemperature`] for non-physical `t` or
+    /// if the linear model would produce a non-positive conductivity.
+    pub fn at(&self, t: Kelvin) -> Result<SiemensPerMeter, EchemError> {
+        if !t.is_physical() {
+            return Err(EchemError::InvalidTemperature(format!(
+                "non-physical temperature {t}"
+            )));
+        }
+        let dt = t.value() - self.reference_temperature.value();
+        let sigma = self.reference.value() * (1.0 + self.slope * dt);
+        if sigma <= 0.0 {
+            return Err(EchemError::InvalidTemperature(format!(
+                "conductivity model extrapolated to {sigma} S/m at {t}"
+            )));
+        }
+        Ok(SiemensPerMeter::new(sigma))
+    }
+}
+
+/// Area-specific ohmic resistance (Ω·m²) of a planar electrolyte gap of
+/// thickness `gap` (m) and conductivity `sigma`: `R·A = gap/σ`.
+///
+/// This is the `η_Ω = R·I` term of the paper for the co-laminar geometry,
+/// where current crosses the channel width between the wall electrodes.
+pub fn area_specific_resistance(gap: f64, sigma: SiemensPerMeter) -> Result<f64, EchemError> {
+    if !(gap > 0.0 && gap.is_finite()) {
+        return Err(EchemError::InvalidParameter(format!(
+            "gap must be positive, got {gap}"
+        )));
+    }
+    if !(sigma.value() > 0.0 && sigma.is_finite()) {
+        return Err(EchemError::InvalidParameter(format!(
+            "conductivity must be positive, got {sigma}"
+        )));
+    }
+    Ok(gap / sigma.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_compositions_sum_to_total() {
+        let total = MolePerCubicMeter::new(2000.0);
+        let neg = Electrolyte::negative_at_soc(total, 0.8).unwrap();
+        assert!((neg.total().value() - 2000.0).abs() < 1e-9);
+        assert!((neg.c_red.value() - 1600.0).abs() < 1e-9);
+        let pos = Electrolyte::positive_at_soc(total, 0.8).unwrap();
+        assert!((pos.c_ox.value() - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soc_bounds_are_enforced() {
+        let total = MolePerCubicMeter::new(1000.0);
+        assert!(Electrolyte::negative_at_soc(total, 0.0).is_err());
+        assert!(Electrolyte::negative_at_soc(total, 1.0).is_err());
+        assert!(Electrolyte::positive_at_soc(total, -0.5).is_err());
+    }
+
+    #[test]
+    fn conductivity_increases_with_temperature() {
+        let m = IonicConductivity::vanadium_default();
+        let cold = m.at(Kelvin::new(300.0)).unwrap();
+        let warm = m.at(Kelvin::new(310.0)).unwrap();
+        assert!(warm.value() > cold.value());
+        assert!((warm.value() / cold.value() - 1.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductivity_guards_extrapolation() {
+        let m = IonicConductivity::vanadium_default();
+        assert!(m.at(Kelvin::new(100.0)).is_err()); // sigma would go negative
+        assert!(m.at(Kelvin::new(-5.0)).is_err());
+    }
+
+    #[test]
+    fn asr_of_table2_geometry() {
+        // 200 um gap, 40 S/m -> 5e-6 ohm m2 = 0.05 ohm cm2.
+        let asr = area_specific_resistance(200e-6, SiemensPerMeter::new(40.0)).unwrap();
+        assert!((asr - 5e-6).abs() < 1e-12);
+        assert!(area_specific_resistance(0.0, SiemensPerMeter::new(40.0)).is_err());
+        assert!(area_specific_resistance(1e-4, SiemensPerMeter::new(0.0)).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Nernst equilibrium potentials (paper eqs. 4–5).
+
+use crate::{EchemError, RedoxCouple};
+use bright_units::constants::thermal_voltage;
+use bright_units::{Kelvin, MolePerCubicMeter, Volt};
+
+/// Equilibrium electrode potential from the Nernst equation:
+/// `E = E⁰ + (R·T)/(n·F) · ln(C_ox / C_red)`.
+///
+/// # Errors
+///
+/// * [`EchemError::InvalidTemperature`] for non-physical `t`,
+/// * [`EchemError::InvalidConcentration`] for non-positive concentrations.
+///
+/// # Examples
+///
+/// ```
+/// use bright_echem::nernst::equilibrium_potential;
+/// use bright_echem::RedoxCouple;
+/// use bright_units::{Kelvin, MolePerCubicMeter, Volt};
+///
+/// let couple = RedoxCouple::new("test", Volt::new(0.5), 1, 0.5)?;
+/// // Equal concentrations: E = E0 exactly.
+/// let e = equilibrium_potential(
+///     &couple,
+///     MolePerCubicMeter::new(100.0),
+///     MolePerCubicMeter::new(100.0),
+///     Kelvin::new(300.0),
+/// )?;
+/// assert!((e.value() - 0.5).abs() < 1e-12);
+/// # Ok::<(), bright_echem::EchemError>(())
+/// ```
+pub fn equilibrium_potential(
+    couple: &RedoxCouple,
+    c_ox: MolePerCubicMeter,
+    c_red: MolePerCubicMeter,
+    t: Kelvin,
+) -> Result<Volt, EchemError> {
+    if !t.is_physical() {
+        return Err(EchemError::InvalidTemperature(format!(
+            "non-physical temperature {t}"
+        )));
+    }
+    for (name, c) in [("oxidant", c_ox), ("reductant", c_red)] {
+        if !(c.value() > 0.0 && c.is_finite()) {
+            return Err(EchemError::InvalidConcentration(format!(
+                "{name} concentration must be positive and finite, got {c}"
+            )));
+        }
+    }
+    let vt = thermal_voltage(t.value()) / couple.electrons() as f64;
+    Ok(couple.standard_potential() + Volt::new(vt * (c_ox / c_red).ln()))
+}
+
+/// Standard open-circuit voltage `U⁰ = E⁰_pos − E⁰_neg` of a full cell.
+pub fn standard_ocv(positive: &RedoxCouple, negative: &RedoxCouple) -> Volt {
+    positive.standard_potential() - negative.standard_potential()
+}
+
+/// Open-circuit voltage of a full cell with the given bulk compositions:
+/// `U = E_pos − E_neg` with both electrode potentials from
+/// [`equilibrium_potential`].
+///
+/// # Errors
+///
+/// As [`equilibrium_potential`].
+#[allow(clippy::too_many_arguments)]
+pub fn open_circuit_voltage(
+    positive: &RedoxCouple,
+    pos_c_ox: MolePerCubicMeter,
+    pos_c_red: MolePerCubicMeter,
+    negative: &RedoxCouple,
+    neg_c_ox: MolePerCubicMeter,
+    neg_c_red: MolePerCubicMeter,
+    t: Kelvin,
+) -> Result<Volt, EchemError> {
+    let e_pos = equilibrium_potential(positive, pos_c_ox, pos_c_red, t)?;
+    let e_neg = equilibrium_potential(negative, neg_c_ox, neg_c_red, t)?;
+    Ok(e_pos - e_neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vanadium;
+
+    #[test]
+    fn standard_ocv_of_vanadium_is_1_25() {
+        let pos = vanadium::positive_couple();
+        let neg = vanadium::negative_couple();
+        let u0 = standard_ocv(&pos, &neg);
+        // E0_pos - E0_neg = 0.991 - (-0.255) = 1.246 ~ the paper's 1.25 V.
+        assert!((u0.value() - 1.246).abs() < 0.01, "U0 = {u0}");
+    }
+
+    #[test]
+    fn nernst_shifts_by_59mv_per_decade_at_25c() {
+        let c = RedoxCouple::new("t", Volt::new(0.0), 1, 0.5).unwrap();
+        let t = Kelvin::new(298.15);
+        let e1 = equilibrium_potential(
+            &c,
+            MolePerCubicMeter::new(1000.0),
+            MolePerCubicMeter::new(100.0),
+            t,
+        )
+        .unwrap();
+        assert!((e1.value() - 0.0591).abs() < 0.0005, "shift {e1}");
+    }
+
+    #[test]
+    fn two_electron_couple_halves_the_shift() {
+        let c1 = RedoxCouple::new("n1", Volt::new(0.0), 1, 0.5).unwrap();
+        let c2 = RedoxCouple::new("n2", Volt::new(0.0), 2, 0.5).unwrap();
+        let t = Kelvin::new(300.0);
+        let hi = MolePerCubicMeter::new(500.0);
+        let lo = MolePerCubicMeter::new(50.0);
+        let e1 = equilibrium_potential(&c1, hi, lo, t).unwrap();
+        let e2 = equilibrium_potential(&c2, hi, lo, t).unwrap();
+        assert!((e1.value() - 2.0 * e2.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ocv_grows_with_charge_ratio() {
+        let pos = vanadium::positive_couple();
+        let neg = vanadium::negative_couple();
+        let t = Kelvin::new(300.0);
+        let balanced = open_circuit_voltage(
+            &pos,
+            MolePerCubicMeter::new(1000.0),
+            MolePerCubicMeter::new(1000.0),
+            &neg,
+            MolePerCubicMeter::new(1000.0),
+            MolePerCubicMeter::new(1000.0),
+            t,
+        )
+        .unwrap();
+        let charged = open_circuit_voltage(
+            &pos,
+            MolePerCubicMeter::new(1990.0),
+            MolePerCubicMeter::new(10.0),
+            &neg,
+            MolePerCubicMeter::new(10.0),
+            MolePerCubicMeter::new(1990.0),
+            t,
+        )
+        .unwrap();
+        assert!(charged.value() > balanced.value() + 0.2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let c = RedoxCouple::new("t", Volt::new(0.0), 1, 0.5).unwrap();
+        let good = MolePerCubicMeter::new(1.0);
+        assert!(equilibrium_potential(&c, good, good, Kelvin::new(-1.0)).is_err());
+        assert!(
+            equilibrium_potential(&c, MolePerCubicMeter::new(0.0), good, Kelvin::new(300.0))
+                .is_err()
+        );
+        assert!(equilibrium_potential(
+            &c,
+            good,
+            MolePerCubicMeter::new(f64::NAN),
+            Kelvin::new(300.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Rectangles and typed floorplan blocks.
+
+use crate::FloorplanError;
+use bright_units::{Meters, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle in die coordinates (metres, origin at the
+/// lower-left die corner).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// Width (x extent).
+    pub w: f64,
+    /// Height (y extent).
+    pub h: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle, validating extent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FloorplanError::InvalidRect`] for non-positive extents or
+    /// non-finite coordinates.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Result<Self, FloorplanError> {
+        if ![x, y, w, h].iter().all(|v| v.is_finite()) {
+            return Err(FloorplanError::InvalidRect(format!(
+                "non-finite coordinates ({x}, {y}, {w}, {h})"
+            )));
+        }
+        if w <= 0.0 || h <= 0.0 {
+            return Err(FloorplanError::InvalidRect(format!(
+                "non-positive extent {w} x {h}"
+            )));
+        }
+        Ok(Self { x, y, w, h })
+    }
+
+    /// Creates a rectangle from millimetre coordinates (convenience for
+    /// floorplan literals).
+    ///
+    /// # Errors
+    ///
+    /// As [`Rect::new`].
+    pub fn from_millimeters(x: f64, y: f64, w: f64, h: f64) -> Result<Self, FloorplanError> {
+        Self::new(x * 1e-3, y * 1e-3, w * 1e-3, h * 1e-3)
+    }
+
+    /// Area `w·h`.
+    #[inline]
+    pub fn area(&self) -> SquareMeters {
+        SquareMeters::new(self.w * self.h)
+    }
+
+    /// Right edge `x + w`.
+    #[inline]
+    pub fn x_max(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Top edge `y + h`.
+    #[inline]
+    pub fn y_max(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Returns `true` if the point lies inside (boundary-inclusive on the
+    /// low edges, exclusive on the high edges, so tiled rectangles
+    /// partition points uniquely).
+    #[inline]
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x && x < self.x_max() && y >= self.y && y < self.y_max()
+    }
+
+    /// Area of intersection with another rectangle.
+    pub fn intersection_area(&self, other: &Rect) -> f64 {
+        let dx = self.x_max().min(other.x_max()) - self.x.max(other.x);
+        let dy = self.y_max().min(other.y_max()) - self.y.max(other.y);
+        if dx > 0.0 && dy > 0.0 {
+            dx * dy
+        } else {
+            0.0
+        }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + 0.5 * self.w, self.y + 0.5 * self.h)
+    }
+}
+
+/// Functional classification of a floorplan block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// A processor core.
+    Core,
+    /// Private L2 cache slice.
+    L2Cache,
+    /// Shared L3 (eDRAM) cache.
+    L3Cache,
+    /// Uncore logic (bus, memory controller, accelerators).
+    Logic,
+    /// I/O and SerDes strips.
+    Io,
+}
+
+impl BlockKind {
+    /// All kinds, for iteration in scenarios and reports.
+    pub const ALL: [BlockKind; 5] = [
+        BlockKind::Core,
+        BlockKind::L2Cache,
+        BlockKind::L3Cache,
+        BlockKind::Logic,
+        BlockKind::Io,
+    ];
+
+    /// `true` for the cache kinds (L2 or L3) — the region the microfluidic
+    /// supply powers in the paper's case study.
+    pub fn is_cache(&self) -> bool {
+        matches!(self, BlockKind::L2Cache | BlockKind::L3Cache)
+    }
+}
+
+/// A named, typed block of the floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    name: String,
+    kind: BlockKind,
+    rect: Rect,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(name: impl Into<String>, kind: BlockKind, rect: Rect) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            rect,
+        }
+    }
+
+    /// Block name (unique within a floorplan by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Block kind.
+    #[inline]
+    pub fn kind(&self) -> BlockKind {
+        self.kind
+    }
+
+    /// Block rectangle.
+    #[inline]
+    pub fn rect(&self) -> &Rect {
+        &self.rect
+    }
+
+    /// Block area.
+    #[inline]
+    pub fn area(&self) -> SquareMeters {
+        self.rect.area()
+    }
+
+    /// Width/height as `Meters` (for reports).
+    pub fn dimensions(&self) -> (Meters, Meters) {
+        (Meters::new(self.rect.w), Meters::new(self.rect.h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::from_millimeters(1.0, 2.0, 3.0, 4.0).unwrap();
+        assert!((r.area().value() - 12e-6).abs() < 1e-15);
+        assert!(r.contains(2e-3, 3e-3));
+        assert!(!r.contains(4.1e-3, 3e-3));
+        // High edges exclusive.
+        assert!(!r.contains(r.x_max(), r.y));
+        let (cx, cy) = r.center();
+        assert!((cx - 2.5e-3).abs() < 1e-12 && (cy - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_areas() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0).unwrap();
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0).unwrap();
+        assert!((a.intersection_area(&b) - 1.0).abs() < 1e-12);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0).unwrap();
+        assert_eq!(a.intersection_area(&c), 0.0);
+        // Touching edges do not overlap.
+        let d = Rect::new(2.0, 0.0, 1.0, 2.0).unwrap();
+        assert_eq!(a.intersection_area(&d), 0.0);
+    }
+
+    #[test]
+    fn rect_validation() {
+        assert!(Rect::new(0.0, 0.0, 0.0, 1.0).is_err());
+        assert!(Rect::new(0.0, 0.0, 1.0, -1.0).is_err());
+        assert!(Rect::new(f64::NAN, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn cache_kinds() {
+        assert!(BlockKind::L2Cache.is_cache());
+        assert!(BlockKind::L3Cache.is_cache());
+        assert!(!BlockKind::Core.is_cache());
+        assert_eq!(BlockKind::ALL.len(), 5);
+    }
+}

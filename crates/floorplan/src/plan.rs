@@ -1,0 +1,197 @@
+//! Validated floorplans.
+
+use crate::{Block, BlockKind, FloorplanError, Rect};
+use bright_units::{Meters, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// A die floorplan: a set of non-overlapping blocks tiling a rectangle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    width: f64,
+    height: f64,
+    blocks: Vec<Block>,
+}
+
+impl Floorplan {
+    /// Relative coverage-gap tolerance of [`Floorplan::new`] (fraction of
+    /// die area allowed to be uncovered, to absorb rounding in block
+    /// coordinates).
+    pub const COVERAGE_TOLERANCE: f64 = 1e-6;
+
+    /// Creates a floorplan for a `width × height` die and validates it:
+    /// every block inside the die, no pairwise overlaps, full coverage.
+    ///
+    /// # Errors
+    ///
+    /// * [`FloorplanError::InvalidRect`] for a degenerate die,
+    /// * [`FloorplanError::OutsideDie`] / [`FloorplanError::Overlap`] /
+    ///   [`FloorplanError::IncompleteCoverage`] per validation rule.
+    pub fn new(width: Meters, height: Meters, blocks: Vec<Block>) -> Result<Self, FloorplanError> {
+        let w = width.value();
+        let h = height.value();
+        if !(w > 0.0 && h > 0.0 && w.is_finite() && h.is_finite()) {
+            return Err(FloorplanError::InvalidRect(format!(
+                "die extent {w} x {h}"
+            )));
+        }
+        let die = Rect::new(0.0, 0.0, w, h)?;
+        let eps = 1e-9 * w.max(h);
+        for b in &blocks {
+            let r = b.rect();
+            if r.x < -eps || r.y < -eps || r.x_max() > w + eps || r.y_max() > h + eps {
+                return Err(FloorplanError::OutsideDie {
+                    block: b.name().to_string(),
+                });
+            }
+        }
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let inter = blocks[i].rect().intersection_area(blocks[j].rect());
+                if inter > Self::COVERAGE_TOLERANCE * die.area().value() {
+                    return Err(FloorplanError::Overlap {
+                        first: blocks[i].name().to_string(),
+                        second: blocks[j].name().to_string(),
+                    });
+                }
+            }
+        }
+        let covered: f64 = blocks.iter().map(|b| b.area().value()).sum();
+        let gap = die.area().value() - covered;
+        if gap.abs() > Self::COVERAGE_TOLERANCE * die.area().value() {
+            return Err(FloorplanError::IncompleteCoverage { gap_area: gap });
+        }
+        Ok(Self {
+            width: w,
+            height: h,
+            blocks,
+        })
+    }
+
+    /// Die width (x extent).
+    #[inline]
+    pub fn width(&self) -> Meters {
+        Meters::new(self.width)
+    }
+
+    /// Die height (y extent).
+    #[inline]
+    pub fn height(&self) -> Meters {
+        Meters::new(self.height)
+    }
+
+    /// Die area.
+    #[inline]
+    pub fn die_area(&self) -> SquareMeters {
+        SquareMeters::new(self.width * self.height)
+    }
+
+    /// The blocks in declaration order.
+    #[inline]
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block containing point `(x, y)`, if any (high edges exclusive).
+    pub fn block_at(&self, x: f64, y: f64) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.rect().contains(x, y))
+    }
+
+    /// Total area of blocks of a given kind.
+    pub fn area_of_kind(&self, kind: BlockKind) -> SquareMeters {
+        SquareMeters::new(
+            self.blocks
+                .iter()
+                .filter(|b| b.kind() == kind)
+                .map(|b| b.area().value())
+                .sum(),
+        )
+    }
+
+    /// Total cache (L2+L3) area — the region the paper powers through the
+    /// microfluidic cells.
+    pub fn cache_area(&self) -> SquareMeters {
+        SquareMeters::new(
+            self.blocks
+                .iter()
+                .filter(|b| b.kind().is_cache())
+                .map(|b| b.area().value())
+                .sum(),
+        )
+    }
+
+    /// Looks a block up by name.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.name() == name)
+    }
+
+    /// Number of blocks of a kind.
+    pub fn count_of_kind(&self, kind: BlockKind) -> usize {
+        self.blocks.iter().filter(|b| b.kind() == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_plan() -> Floorplan {
+        let b = |n: &str, k, x, y| {
+            Block::new(n, k, Rect::new(x, y, 1.0, 1.0).unwrap())
+        };
+        Floorplan::new(
+            Meters::new(2.0),
+            Meters::new(2.0),
+            vec![
+                b("core0", BlockKind::Core, 0.0, 0.0),
+                b("l2", BlockKind::L2Cache, 1.0, 0.0),
+                b("l3", BlockKind::L3Cache, 0.0, 1.0),
+                b("io", BlockKind::Io, 1.0, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_plan_queries() {
+        let p = quad_plan();
+        assert_eq!(p.block_at(0.5, 0.5).unwrap().name(), "core0");
+        assert_eq!(p.block_at(1.5, 0.5).unwrap().name(), "l2");
+        assert!(p.block_at(2.5, 0.5).is_none());
+        assert_eq!(p.cache_area().value(), 2.0);
+        assert_eq!(p.count_of_kind(BlockKind::Core), 1);
+        assert!(p.block("l3").is_some());
+        assert!(p.block("nope").is_none());
+    }
+
+    #[test]
+    fn detects_overlap() {
+        let blocks = vec![
+            Block::new("a", BlockKind::Core, Rect::new(0.0, 0.0, 1.5, 2.0).unwrap()),
+            Block::new("b", BlockKind::Logic, Rect::new(1.0, 0.0, 1.0, 2.0).unwrap()),
+        ];
+        let err = Floorplan::new(Meters::new(2.0), Meters::new(2.0), blocks).unwrap_err();
+        assert!(matches!(err, FloorplanError::Overlap { .. }));
+    }
+
+    #[test]
+    fn detects_gap() {
+        let blocks = vec![Block::new(
+            "a",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 1.0, 2.0).unwrap(),
+        )];
+        let err = Floorplan::new(Meters::new(2.0), Meters::new(2.0), blocks).unwrap_err();
+        assert!(matches!(err, FloorplanError::IncompleteCoverage { .. }));
+    }
+
+    #[test]
+    fn detects_outside_die() {
+        let blocks = vec![Block::new(
+            "a",
+            BlockKind::Core,
+            Rect::new(0.0, 0.0, 3.0, 2.0).unwrap(),
+        )];
+        let err = Floorplan::new(Meters::new(2.0), Meters::new(2.0), blocks).unwrap_err();
+        assert!(matches!(err, FloorplanError::OutsideDie { .. }));
+    }
+}

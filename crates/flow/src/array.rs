@@ -1,0 +1,172 @@
+//! Manifolded arrays of parallel microchannels.
+//!
+//! The POWER7+ case study lays 88 identical channels at 300 µm pitch over
+//! the die (Table II); a common manifold splits the total flow equally
+//! among them (identical channels ⇒ identical hydraulic resistance).
+
+use crate::hydraulics::{pressure_drop, pumping_power};
+use crate::{FlowError, FluidProperties, RectChannel};
+use bright_units::{CubicMetersPerSecond, Meters, MetersPerSecond, Pascal, Watt};
+use serde::{Deserialize, Serialize};
+
+/// An array of identical parallel rectangular channels fed by one manifold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelArray {
+    channel: RectChannel,
+    count: usize,
+    pitch: Meters,
+}
+
+impl ChannelArray {
+    /// Creates an array of `count` channels at center-to-center `pitch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidGeometry`] if `count == 0` or the pitch
+    /// is smaller than the channel width (overlapping channels).
+    pub fn new(channel: RectChannel, count: usize, pitch: Meters) -> Result<Self, FlowError> {
+        if count == 0 {
+            return Err(FlowError::InvalidGeometry("zero channels".into()));
+        }
+        if pitch.value() < channel.width().value() {
+            return Err(FlowError::InvalidGeometry(format!(
+                "pitch {pitch} smaller than channel width {}",
+                channel.width()
+            )));
+        }
+        Ok(Self {
+            channel,
+            count,
+            pitch,
+        })
+    }
+
+    /// The repeated channel geometry.
+    #[inline]
+    pub fn channel(&self) -> &RectChannel {
+        &self.channel
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Center-to-center pitch.
+    #[inline]
+    pub fn pitch(&self) -> Meters {
+        self.pitch
+    }
+
+    /// Footprint width covered by the array (`count × pitch`).
+    pub fn footprint_width(&self) -> Meters {
+        self.pitch * self.count as f64
+    }
+
+    /// Per-channel flow for a given total flow (equal split).
+    pub fn per_channel_flow(&self, total: CubicMetersPerSecond) -> CubicMetersPerSecond {
+        total / self.count as f64
+    }
+
+    /// Mean velocity in each channel for a given total flow.
+    pub fn mean_velocity(&self, total: CubicMetersPerSecond) -> MetersPerSecond {
+        self.per_channel_flow(total)
+            .mean_velocity(self.channel.cross_section())
+    }
+
+    /// Pressure drop across the array (equal to the single-channel drop,
+    /// since the channels are in parallel).
+    pub fn pressure_drop(
+        &self,
+        props: &FluidProperties,
+        total: CubicMetersPerSecond,
+    ) -> Pascal {
+        pressure_drop(props, self.mean_velocity(total), &self.channel)
+    }
+
+    /// Pumping power to push `total` flow through the array with a pump of
+    /// the given efficiency.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::hydraulics::pumping_power`].
+    pub fn pumping_power(
+        &self,
+        props: &FluidProperties,
+        total: CubicMetersPerSecond,
+        efficiency: f64,
+    ) -> Result<Watt, FlowError> {
+        pumping_power(self.pressure_drop(props, total), total, efficiency)
+    }
+
+    /// Total heat-exchange wall area of all channels.
+    pub fn total_wall_area(&self) -> bright_units::SquareMeters {
+        bright_units::SquareMeters::new(self.channel.wall_area().value() * self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::TemperatureDependentFluid;
+    use bright_units::Kelvin;
+
+    fn power7_like_array() -> ChannelArray {
+        let ch = RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .unwrap();
+        ChannelArray::new(ch, 88, Meters::from_micrometers(300.0)).unwrap()
+    }
+
+    #[test]
+    fn footprint_covers_the_die_width() {
+        // 88 x 300 um = 26.4 mm ~ the 26.55 mm die dimension.
+        let a = power7_like_array();
+        assert!((a.footprint_width().to_millimeters() - 26.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_mean_velocity_near_paper_value() {
+        let a = power7_like_array();
+        let v = a.mean_velocity(CubicMetersPerSecond::from_milliliters_per_minute(676.0));
+        // Paper quotes an average flow velocity of 1.4 m/s; plain Q/A gives
+        // 1.6 m/s.
+        assert!(v.value() > 1.3 && v.value() < 1.7, "v = {v}");
+    }
+
+    #[test]
+    fn array_pumping_power_is_watt_scale() {
+        let a = power7_like_array();
+        let props = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(Kelvin::new(300.0))
+            .unwrap();
+        let total = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+        let p = a.pumping_power(&props, total, 0.5).unwrap();
+        // First-principles: ~1 W (paper's 4.4 W uses a larger quoted dp).
+        assert!(p.value() > 0.2 && p.value() < 5.0, "P = {p}");
+    }
+
+    #[test]
+    fn parallel_channels_share_flow() {
+        let a = power7_like_array();
+        let total = CubicMetersPerSecond::from_milliliters_per_minute(880.0);
+        let per = a.per_channel_flow(total);
+        assert!((per.to_milliliters_per_minute() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_overlapping_channels() {
+        let ch = RectChannel::new(
+            Meters::from_micrometers(400.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .unwrap();
+        assert!(ChannelArray::new(ch, 10, Meters::from_micrometers(300.0)).is_err());
+        assert!(ChannelArray::new(ch, 0, Meters::from_micrometers(500.0)).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Rectangular microchannel geometry.
+
+use crate::FlowError;
+use bright_units::{Meters, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// A straight rectangular microchannel.
+///
+/// Orientation convention used throughout the workspace: `width` is the
+/// in-plane dimension separating the two electrodes of a flow cell (the
+/// co-laminar interface is parallel to the side walls), `height` is the
+/// etch depth, `length` is the streamwise dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RectChannel {
+    width: Meters,
+    height: Meters,
+    length: Meters,
+}
+
+impl RectChannel {
+    /// Creates a channel from width × height × length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidGeometry`] if any dimension is not
+    /// strictly positive and finite.
+    pub fn new(width: Meters, height: Meters, length: Meters) -> Result<Self, FlowError> {
+        for (name, v) in [("width", width), ("height", height), ("length", length)] {
+            if !(v.value() > 0.0 && v.is_finite()) {
+                return Err(FlowError::InvalidGeometry(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        Ok(Self {
+            width,
+            height,
+            length,
+        })
+    }
+
+    /// Channel width (inter-electrode dimension).
+    #[inline]
+    pub fn width(&self) -> Meters {
+        self.width
+    }
+
+    /// Channel height (etch depth).
+    #[inline]
+    pub fn height(&self) -> Meters {
+        self.height
+    }
+
+    /// Channel length (streamwise).
+    #[inline]
+    pub fn length(&self) -> Meters {
+        self.length
+    }
+
+    /// Cross-section area `w·h`.
+    #[inline]
+    pub fn cross_section(&self) -> SquareMeters {
+        self.width * self.height
+    }
+
+    /// Wetted perimeter `2(w+h)`.
+    #[inline]
+    pub fn wetted_perimeter(&self) -> Meters {
+        (self.width + self.height) * 2.0
+    }
+
+    /// Hydraulic diameter `D_h = 4A/P = 2wh/(w+h)`.
+    #[inline]
+    pub fn hydraulic_diameter(&self) -> Meters {
+        Meters::new(4.0 * self.cross_section().value() / self.wetted_perimeter().value())
+    }
+
+    /// Aspect ratio `min(w,h)/max(w,h)` ∈ (0, 1].
+    #[inline]
+    pub fn aspect_ratio(&self) -> f64 {
+        let w = self.width.value();
+        let h = self.height.value();
+        if w < h {
+            w / h
+        } else {
+            h / w
+        }
+    }
+
+    /// Area of one side wall (`length × height`) — the electrode area of a
+    /// flow cell with wall electrodes.
+    #[inline]
+    pub fn side_wall_area(&self) -> SquareMeters {
+        self.length * self.height
+    }
+
+    /// Area of the floor/ceiling (`length × width`).
+    #[inline]
+    pub fn floor_area(&self) -> SquareMeters {
+        self.length * self.width
+    }
+
+    /// Total wall area in contact with the fluid.
+    #[inline]
+    pub fn wall_area(&self) -> SquareMeters {
+        SquareMeters::new(self.wetted_perimeter().value() * self.length.value())
+    }
+
+    /// Internal volume.
+    #[inline]
+    pub fn volume(&self) -> bright_units::CubicMeters {
+        self.cross_section() * self.length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table2_channel() -> RectChannel {
+        RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table2_geometry() {
+        let ch = table2_channel();
+        assert!((ch.hydraulic_diameter().to_micrometers() - 800.0 / 3.0).abs() < 1e-9);
+        assert!((ch.aspect_ratio() - 0.5).abs() < 1e-12);
+        assert!((ch.cross_section().value() - 8e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn kjeang_geometry() {
+        // Table I validation cell: 33 mm x 2 mm x 150 um.
+        let ch = RectChannel::new(
+            Meters::from_millimeters(2.0),
+            Meters::from_micrometers(150.0),
+            Meters::from_millimeters(33.0),
+        )
+        .unwrap();
+        assert!((ch.aspect_ratio() - 0.075).abs() < 1e-12);
+        // Dh = 2*2000*150/(2000+150) um = 279.07 um
+        assert!((ch.hydraulic_diameter().to_micrometers() - 279.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn square_channel_dh_is_side() {
+        let ch = RectChannel::new(
+            Meters::from_micrometers(100.0),
+            Meters::from_micrometers(100.0),
+            Meters::from_millimeters(1.0),
+        )
+        .unwrap();
+        assert!((ch.hydraulic_diameter().to_micrometers() - 100.0).abs() < 1e-9);
+        assert_eq!(ch.aspect_ratio(), 1.0);
+    }
+
+    #[test]
+    fn wall_areas_are_consistent() {
+        let ch = table2_channel();
+        let total = ch.wall_area().value();
+        let parts =
+            2.0 * ch.side_wall_area().value() + 2.0 * ch.floor_area().value();
+        assert!((total - parts).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rejects_degenerate_dimensions() {
+        assert!(RectChannel::new(
+            Meters::new(0.0),
+            Meters::new(1e-4),
+            Meters::new(1e-2)
+        )
+        .is_err());
+        assert!(RectChannel::new(
+            Meters::new(1e-4),
+            Meters::new(-1e-4),
+            Meters::new(1e-2)
+        )
+        .is_err());
+        assert!(RectChannel::new(
+            Meters::new(1e-4),
+            Meters::new(1e-4),
+            Meters::new(f64::INFINITY)
+        )
+        .is_err());
+    }
+}

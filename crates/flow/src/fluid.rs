@@ -1,0 +1,241 @@
+//! Electrolyte/coolant property sets with temperature dependence.
+//!
+//! Tables I and II of the paper fix the reference properties of the
+//! sulfuric-acid vanadium electrolyte (ρ = 1260 kg/m³, µ = 2.53 mPa·s,
+//! k = 0.67 W/(m·K), ρc_p = 4.187 MJ/(m³·K)). The temperature laws follow
+//! the non-isothermal VRB model of Al-Fetlawi et al. (2009) cited by the
+//! paper: Vogel-type viscosity, linear density, linear conductivity.
+
+use crate::FlowError;
+use bright_units::{
+    JoulePerCubicMeterKelvin, Kelvin, KilogramPerCubicMeter, PascalSecond, WattPerMeterKelvin,
+};
+use serde::{Deserialize, Serialize};
+
+/// Thermophysical properties of a liquid at a specific temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluidProperties {
+    /// Mass density ρ.
+    pub density: KilogramPerCubicMeter,
+    /// Dynamic viscosity µ.
+    pub viscosity: PascalSecond,
+    /// Thermal conductivity k.
+    pub thermal_conductivity: WattPerMeterKelvin,
+    /// Volumetric heat capacity ρ·c_p.
+    pub volumetric_heat_capacity: JoulePerCubicMeterKelvin,
+}
+
+impl FluidProperties {
+    /// Kinematic viscosity ν = µ/ρ in m²/s.
+    #[inline]
+    pub fn kinematic_viscosity(&self) -> f64 {
+        self.viscosity.value() / self.density.value()
+    }
+
+    /// Prandtl number `Pr = µ·c_p/k = ν/α`.
+    #[inline]
+    pub fn prandtl(&self) -> f64 {
+        let cp_mass = self.volumetric_heat_capacity.value() / self.density.value();
+        self.viscosity.value() * cp_mass / self.thermal_conductivity.value()
+    }
+
+    /// Thermal diffusivity α = k/(ρ·c_p) in m²/s.
+    #[inline]
+    pub fn thermal_diffusivity(&self) -> f64 {
+        self.thermal_conductivity.value() / self.volumetric_heat_capacity.value()
+    }
+
+    /// Validates that every property is strictly positive and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidFluid`] otherwise.
+    pub fn validate(&self) -> Result<(), FlowError> {
+        for (name, v) in [
+            ("density", self.density.value()),
+            ("viscosity", self.viscosity.value()),
+            ("thermal conductivity", self.thermal_conductivity.value()),
+            (
+                "volumetric heat capacity",
+                self.volumetric_heat_capacity.value(),
+            ),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(FlowError::InvalidFluid(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A temperature-dependent fluid model built around reference properties.
+///
+/// * viscosity: Vogel–Fulcher form `µ(T) = µ_ref·exp[B·(1/(T−T₀) −
+///   1/(T_ref−T₀))]` — decreasing with temperature,
+/// * density: linear thermal expansion `ρ(T) = ρ_ref·(1 − β·(T−T_ref))`,
+/// * conductivity and heat capacity: linear in `T` with configurable
+///   slopes (zero by default — the paper treats them as constant).
+///
+/// # Examples
+///
+/// ```
+/// use bright_flow::fluid::TemperatureDependentFluid;
+/// use bright_units::Kelvin;
+///
+/// let model = TemperatureDependentFluid::vanadium_electrolyte();
+/// let cold = model.at(Kelvin::new(300.0)).unwrap();
+/// let warm = model.at(Kelvin::new(320.0)).unwrap();
+/// assert!(warm.viscosity < cold.viscosity);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureDependentFluid {
+    /// Properties at the reference temperature.
+    pub reference: FluidProperties,
+    /// Reference temperature.
+    pub reference_temperature: Kelvin,
+    /// Vogel `B` parameter (K). Zero disables viscosity variation.
+    pub viscosity_vogel_b: f64,
+    /// Vogel `T₀` parameter (K), must be well below operating range.
+    pub viscosity_vogel_t0: f64,
+    /// Volumetric thermal-expansion coefficient β (1/K).
+    pub expansion_coefficient: f64,
+    /// Relative slope of thermal conductivity (1/K).
+    pub conductivity_slope: f64,
+}
+
+impl TemperatureDependentFluid {
+    /// A fluid whose properties do not vary with temperature.
+    pub fn constant(reference: FluidProperties, reference_temperature: Kelvin) -> Self {
+        Self {
+            reference,
+            reference_temperature,
+            viscosity_vogel_b: 0.0,
+            viscosity_vogel_t0: 150.0,
+            expansion_coefficient: 0.0,
+            conductivity_slope: 0.0,
+        }
+    }
+
+    /// The sulfuric-acid vanadium electrolyte of Tables I/II at a 300 K
+    /// reference, with temperature coefficients from the non-isothermal
+    /// VRB literature (viscosity roughly −2 %/K near room temperature,
+    /// water-like expansion).
+    pub fn vanadium_electrolyte() -> Self {
+        Self {
+            reference: FluidProperties {
+                density: KilogramPerCubicMeter::new(1260.0),
+                viscosity: PascalSecond::new(2.53e-3),
+                thermal_conductivity: WattPerMeterKelvin::new(0.67),
+                volumetric_heat_capacity: JoulePerCubicMeterKelvin::new(4.187e6),
+            },
+            reference_temperature: Kelvin::new(300.0),
+            // Vogel fit reproducing ~-2%/K at 300 K: B = 0.02*(300-160)^2 ≈ 392.
+            viscosity_vogel_b: 392.0,
+            viscosity_vogel_t0: 160.0,
+            expansion_coefficient: 4.0e-4,
+            conductivity_slope: 1.5e-3,
+        }
+    }
+
+    /// Evaluates the property set at temperature `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidOperatingPoint`] for non-physical
+    /// temperatures (≤ 0 K, below the Vogel singularity, or non-finite)
+    /// and [`FlowError::InvalidFluid`] if the evaluated set is
+    /// non-physical (e.g. density driven negative by extreme expansion).
+    pub fn at(&self, t: Kelvin) -> Result<FluidProperties, FlowError> {
+        if !t.is_physical() {
+            return Err(FlowError::InvalidOperatingPoint(format!(
+                "non-physical temperature {t}"
+            )));
+        }
+        if t.value() <= self.viscosity_vogel_t0 + 10.0 {
+            return Err(FlowError::InvalidOperatingPoint(format!(
+                "temperature {t} too close to Vogel singularity T0 = {} K",
+                self.viscosity_vogel_t0
+            )));
+        }
+        let t_ref = self.reference_temperature.value();
+        let dt = t.value() - t_ref;
+
+        let visc = self.reference.viscosity.value()
+            * (self.viscosity_vogel_b
+                * (1.0 / (t.value() - self.viscosity_vogel_t0)
+                    - 1.0 / (t_ref - self.viscosity_vogel_t0)))
+                .exp();
+        let dens = self.reference.density.value() * (1.0 - self.expansion_coefficient * dt);
+        let cond =
+            self.reference.thermal_conductivity.value() * (1.0 + self.conductivity_slope * dt);
+        let props = FluidProperties {
+            density: KilogramPerCubicMeter::new(dens),
+            viscosity: PascalSecond::new(visc),
+            thermal_conductivity: WattPerMeterKelvin::new(cond),
+            volumetric_heat_capacity: self.reference.volumetric_heat_capacity,
+        };
+        props.validate()?;
+        Ok(props)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_paper_tables() {
+        let f = TemperatureDependentFluid::vanadium_electrolyte();
+        let p = f.at(Kelvin::new(300.0)).unwrap();
+        assert!((p.density.value() - 1260.0).abs() < 1e-9);
+        assert!((p.viscosity.value() - 2.53e-3).abs() < 1e-12);
+        assert!((p.thermal_conductivity.value() - 0.67).abs() < 1e-12);
+        assert!((p.volumetric_heat_capacity.value() - 4.187e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn viscosity_drops_about_two_percent_per_kelvin() {
+        let f = TemperatureDependentFluid::vanadium_electrolyte();
+        let p300 = f.at(Kelvin::new(300.0)).unwrap();
+        let p301 = f.at(Kelvin::new(301.0)).unwrap();
+        let rel = (p300.viscosity.value() - p301.viscosity.value()) / p300.viscosity.value();
+        assert!(rel > 0.015 && rel < 0.025, "got {rel}");
+    }
+
+    #[test]
+    fn prandtl_is_large_for_electrolyte() {
+        // Water-like liquids have Pr ~ 5-15; the electrolyte is more
+        // viscous, so larger.
+        let f = TemperatureDependentFluid::vanadium_electrolyte();
+        let pr = f.at(Kelvin::new(300.0)).unwrap().prandtl();
+        assert!(pr > 8.0 && pr < 20.0, "got {pr}");
+    }
+
+    #[test]
+    fn constant_model_ignores_temperature() {
+        let base = TemperatureDependentFluid::vanadium_electrolyte().reference;
+        let f = TemperatureDependentFluid::constant(base, Kelvin::new(300.0));
+        let a = f.at(Kelvin::new(280.0)).unwrap();
+        let b = f.at(Kelvin::new(340.0)).unwrap();
+        assert_eq!(a.viscosity, b.viscosity);
+        assert_eq!(a.density, b.density);
+    }
+
+    #[test]
+    fn rejects_non_physical_temperatures() {
+        let f = TemperatureDependentFluid::vanadium_electrolyte();
+        assert!(f.at(Kelvin::new(-3.0)).is_err());
+        assert!(f.at(Kelvin::new(0.0)).is_err());
+        assert!(f.at(Kelvin::new(165.0)).is_err());
+        assert!(f.at(Kelvin::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_properties() {
+        let mut p = TemperatureDependentFluid::vanadium_electrolyte().reference;
+        p.density = KilogramPerCubicMeter::new(-1.0);
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Laminar duct-flow correlations and dimensionless groups.
+//!
+//! The channel Reynolds numbers in the paper (Re ≈ 100–300 for the POWER7+
+//! array, Re < 10 for the validation cell) are deep in the laminar regime,
+//! where the friction factor and Nusselt number of rectangular ducts are
+//! known functions of the aspect ratio alone (Shah & London 1978).
+
+use crate::{FluidProperties, RectChannel};
+use bright_units::MetersPerSecond;
+
+/// Reynolds number `Re = ρ·v·D_h/µ`.
+pub fn reynolds(
+    props: &FluidProperties,
+    velocity: MetersPerSecond,
+    channel: &RectChannel,
+) -> f64 {
+    props.density.value() * velocity.value() * channel.hydraulic_diameter().value()
+        / props.viscosity.value()
+}
+
+/// Mass-transfer Péclet number `Pe = v·D_h/D` with species diffusivity
+/// `d` (m²/s).
+pub fn peclet_mass(velocity: MetersPerSecond, channel: &RectChannel, diffusivity: f64) -> f64 {
+    velocity.value() * channel.hydraulic_diameter().value() / diffusivity
+}
+
+/// Critical Reynolds number below which duct flow is laminar.
+pub const RE_LAMINAR_LIMIT: f64 = 2300.0;
+
+/// Returns `true` when the operating point is laminar — a precondition for
+/// both the co-laminar flow-cell concept (no convective mixing of fuel and
+/// oxidant) and for every correlation in this module.
+pub fn is_laminar(
+    props: &FluidProperties,
+    velocity: MetersPerSecond,
+    channel: &RectChannel,
+) -> bool {
+    reynolds(props, velocity, channel) < RE_LAMINAR_LIMIT
+}
+
+/// Fanning `f·Re` product for fully developed laminar flow in a
+/// rectangular duct of aspect ratio `alpha` ∈ (0, 1] (Shah & London
+/// polynomial, accurate to 0.05 %).
+///
+/// `alpha = 1` (square) gives 14.23; `alpha → 0` (parallel plates) gives
+/// 24. Multiply by 4 for the Darcy convention.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+pub fn f_re_fanning(alpha: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "aspect ratio must be in (0,1], got {alpha}"
+    );
+    24.0 * (1.0
+        - 1.3553 * alpha
+        + 1.9467 * alpha.powi(2)
+        - 1.7012 * alpha.powi(3)
+        + 0.9564 * alpha.powi(4)
+        - 0.2537 * alpha.powi(5))
+}
+
+/// Darcy `f·Re` product (`= 4 ×` Fanning).
+pub fn f_re_darcy(alpha: f64) -> f64 {
+    4.0 * f_re_fanning(alpha)
+}
+
+/// Fully developed Nusselt number for a rectangular duct with the H1
+/// boundary condition (axially constant heat flux, circumferentially
+/// constant temperature — the standard choice for microchannel heat
+/// sinks; Shah & London polynomial).
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+pub fn nusselt_h1(alpha: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "aspect ratio must be in (0,1], got {alpha}"
+    );
+    8.235
+        * (1.0 - 2.0421 * alpha + 3.0853 * alpha.powi(2) - 2.4765 * alpha.powi(3)
+            + 1.0578 * alpha.powi(4)
+            - 0.1861 * alpha.powi(5))
+}
+
+/// Heat-transfer coefficient `h = Nu·k/D_h` for fully developed laminar
+/// flow (W/(m²·K)).
+pub fn heat_transfer_coefficient(props: &FluidProperties, channel: &RectChannel) -> f64 {
+    nusselt_h1(channel.aspect_ratio()) * props.thermal_conductivity.value()
+        / channel.hydraulic_diameter().value()
+}
+
+/// Hydrodynamic entrance length `L_h ≈ 0.05·Re·D_h` (m).
+pub fn hydrodynamic_entrance_length(
+    props: &FluidProperties,
+    velocity: MetersPerSecond,
+    channel: &RectChannel,
+) -> f64 {
+    0.05 * reynolds(props, velocity, channel) * channel.hydraulic_diameter().value()
+}
+
+/// Thermal entrance length `L_t ≈ 0.05·Re·Pr·D_h` (m).
+pub fn thermal_entrance_length(
+    props: &FluidProperties,
+    velocity: MetersPerSecond,
+    channel: &RectChannel,
+) -> f64 {
+    hydrodynamic_entrance_length(props, velocity, channel) * props.prandtl()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fluid::TemperatureDependentFluid;
+    use bright_units::{Kelvin, Meters};
+
+    fn electrolyte() -> FluidProperties {
+        TemperatureDependentFluid::vanadium_electrolyte()
+            .at(Kelvin::new(300.0))
+            .unwrap()
+    }
+
+    fn table2_channel() -> RectChannel {
+        RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shah_london_limits() {
+        assert!((f_re_fanning(1.0) - 14.23).abs() < 0.03);
+        // Parallel-plate limit.
+        assert!((f_re_fanning(1e-9) - 24.0).abs() < 1e-6);
+        // Aspect 0.5 tabulated value 15.548.
+        assert!((f_re_fanning(0.5) - 15.548).abs() < 0.02);
+        assert!((f_re_darcy(0.5) - 62.19).abs() < 0.1);
+    }
+
+    #[test]
+    fn nusselt_tabulated_values() {
+        // Shah & London H1 values: alpha=1 -> 3.61, alpha=0.5 -> 4.12,
+        // alpha->0 -> 8.235.
+        assert!((nusselt_h1(1.0) - 3.61).abs() < 0.05);
+        assert!((nusselt_h1(0.5) - 4.12).abs() < 0.05);
+        assert!((nusselt_h1(1e-9) - 8.235).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_operating_point_is_laminar() {
+        let p = electrolyte();
+        let ch = table2_channel();
+        let re = reynolds(&p, MetersPerSecond::new(1.6), &ch);
+        assert!(re > 150.0 && re < 300.0, "Re = {re}");
+        assert!(is_laminar(&p, MetersPerSecond::new(1.6), &ch));
+    }
+
+    #[test]
+    fn heat_transfer_coefficient_magnitude() {
+        // h = Nu k / Dh ~ 4.12 * 0.67 / 2.67e-4 ~ 10^4 W/m^2K.
+        let h = heat_transfer_coefficient(&electrolyte(), &table2_channel());
+        assert!(h > 8_000.0 && h < 13_000.0, "h = {h}");
+    }
+
+    #[test]
+    fn entrance_lengths_are_short_vs_channel() {
+        let p = electrolyte();
+        let ch = table2_channel();
+        let lh = hydrodynamic_entrance_length(&p, MetersPerSecond::new(1.6), &ch);
+        // ~0.05*213*2.67e-4 = 2.8 mm << 22 mm: fully developed treatment OK.
+        assert!(lh < 0.2 * ch.length().value(), "Lh = {lh}");
+    }
+
+    #[test]
+    fn peclet_is_huge_for_species() {
+        // D ~ 1e-10 m2/s -> Pe ~ 1e6: axial diffusion negligible,
+        // justifying the marching transport solver.
+        let pe = peclet_mass(MetersPerSecond::new(1.6), &table2_channel(), 1.26e-10);
+        assert!(pe > 1e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect ratio")]
+    fn f_re_rejects_bad_aspect() {
+        let _ = f_re_fanning(1.5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the microfluidics models.
+
+use proptest::prelude::*;
+
+use bright_flow::fluid::TemperatureDependentFluid;
+use bright_flow::hydraulics::{laminar_pressure_gradient, pressure_drop, pumping_power};
+use bright_flow::laminar::{f_re_fanning, nusselt_h1, reynolds};
+use bright_flow::RectChannel;
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters, MetersPerSecond};
+
+fn channel(w_um: f64, h_um: f64, l_mm: f64) -> RectChannel {
+    RectChannel::new(
+        Meters::from_micrometers(w_um),
+        Meters::from_micrometers(h_um),
+        Meters::from_millimeters(l_mm),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hydraulic_diameter_between_min_side_and_twice_min_side(
+        w in 20.0..2000.0f64,
+        h in 20.0..2000.0f64,
+    ) {
+        let ch = channel(w, h, 10.0);
+        let dh = ch.hydraulic_diameter().to_micrometers();
+        let min_side = w.min(h);
+        prop_assert!(dh >= min_side - 1e-9);
+        prop_assert!(dh <= 2.0 * min_side + 1e-9);
+    }
+
+    #[test]
+    fn f_re_and_nusselt_are_bounded_and_monotone(a in 0.01..1.0f64, da in 0.001..0.5f64) {
+        let a2 = (a + da).min(1.0);
+        // Friction and Nu both decrease toward the square duct.
+        prop_assert!(f_re_fanning(a) >= f_re_fanning(a2) - 1e-9);
+        prop_assert!(nusselt_h1(a) >= nusselt_h1(a2) - 1e-9);
+        // Global bounds.
+        prop_assert!(f_re_fanning(a) <= 24.0 + 1e-9);
+        prop_assert!(f_re_fanning(a) >= 14.2);
+        prop_assert!(nusselt_h1(a) <= 8.235 + 1e-9);
+        prop_assert!(nusselt_h1(a) >= 3.55);
+    }
+
+    #[test]
+    fn pressure_drop_monotone_in_velocity_and_length(
+        v1 in 0.05..3.0f64,
+        dv in 0.01..2.0f64,
+        l in 5.0..50.0f64,
+        dl in 1.0..30.0f64,
+    ) {
+        let props = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(Kelvin::new(300.0))
+            .unwrap();
+        let c1 = channel(200.0, 400.0, l);
+        let c2 = channel(200.0, 400.0, l + dl);
+        let p_v1 = pressure_drop(&props, MetersPerSecond::new(v1), &c1).value();
+        let p_v2 = pressure_drop(&props, MetersPerSecond::new(v1 + dv), &c1).value();
+        prop_assert!(p_v2 > p_v1);
+        let p_l2 = pressure_drop(&props, MetersPerSecond::new(v1), &c2).value();
+        prop_assert!(p_l2 > p_v1);
+    }
+
+    #[test]
+    fn gradient_times_length_equals_drop(
+        v in 0.05..3.0f64,
+        w in 50.0..1000.0f64,
+        h in 50.0..1000.0f64,
+    ) {
+        let props = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(Kelvin::new(300.0))
+            .unwrap();
+        let ch = channel(w, h, 22.0);
+        let grad = laminar_pressure_gradient(&props, MetersPerSecond::new(v), &ch).value();
+        let dp = pressure_drop(&props, MetersPerSecond::new(v), &ch).value();
+        prop_assert!((grad * ch.length().value() - dp).abs() < 1e-9 * dp.max(1e-300));
+    }
+
+    #[test]
+    fn pumping_power_scales_inverse_with_efficiency(
+        eta in 0.05..1.0f64,
+        dp_bar in 0.01..5.0f64,
+        flow_ml in 1.0..2000.0f64,
+    ) {
+        let dp = bright_units::Pascal::from_bar(dp_bar);
+        let q = CubicMetersPerSecond::from_milliliters_per_minute(flow_ml);
+        let p = pumping_power(dp, q, eta).unwrap().value();
+        let p_ideal = pumping_power(dp, q, 1.0).unwrap().value();
+        prop_assert!((p * eta - p_ideal).abs() < 1e-9 * p_ideal.max(1e-300));
+    }
+
+    #[test]
+    fn warmer_fluid_flows_easier(t1 in 285.0..330.0f64, dt in 1.0..20.0f64) {
+        let model = TemperatureDependentFluid::vanadium_electrolyte();
+        let cold = model.at(Kelvin::new(t1)).unwrap();
+        let warm = model.at(Kelvin::new(t1 + dt)).unwrap();
+        prop_assert!(warm.viscosity.value() < cold.viscosity.value());
+        // And the Reynolds number rises accordingly at fixed velocity.
+        let ch = channel(200.0, 400.0, 22.0);
+        let re_cold = reynolds(&cold, MetersPerSecond::new(1.6), &ch);
+        let re_warm = reynolds(&warm, MetersPerSecond::new(1.6), &ch);
+        prop_assert!(re_warm > re_cold);
+    }
+}

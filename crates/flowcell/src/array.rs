@@ -1,0 +1,285 @@
+//! Arrays of flow cells electrically in parallel.
+//!
+//! The POWER7+ integration lays 88 channels over the die, all fed by one
+//! manifold and connected in parallel (same terminal voltage, currents
+//! add). When the thermal model supplies per-channel temperature profiles
+//! the channels differ and are solved individually (in parallel threads);
+//! otherwise a single representative channel is solved and scaled.
+
+use crate::options::TemperatureProfile;
+use crate::polarization::{PolarizationCurve, PolarizationPoint};
+use crate::solver::CellModel;
+use crate::FlowCellError;
+use bright_num::roots::{brent, RootOptions};
+use bright_units::{Ampere, Volt, Watt};
+
+/// An array of `count` flow-cell channels electrically in parallel.
+#[derive(Debug, Clone)]
+pub struct CellArray {
+    template: CellModel,
+    count: usize,
+    per_channel_temperatures: Option<Vec<TemperatureProfile>>,
+}
+
+/// Aggregate operating point of an array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayOperatingPoint {
+    /// Terminal voltage (common to all channels).
+    pub voltage: Volt,
+    /// Total delivered current.
+    pub current: Ampere,
+    /// Total delivered power.
+    pub power: Watt,
+}
+
+impl CellArray {
+    /// Creates an array of `count` identical channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] if `count == 0`.
+    pub fn new(template: CellModel, count: usize) -> Result<Self, FlowCellError> {
+        if count == 0 {
+            return Err(FlowCellError::InvalidConfig("zero channels".into()));
+        }
+        Ok(Self {
+            template,
+            count,
+            per_channel_temperatures: None,
+        })
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The template channel model.
+    #[inline]
+    pub fn template(&self) -> &CellModel {
+        &self.template
+    }
+
+    /// Assigns an individual temperature profile to every channel (from
+    /// the thermal solver). The vector length must equal the channel
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] on length mismatch.
+    pub fn with_channel_temperatures(
+        mut self,
+        temps: Vec<TemperatureProfile>,
+    ) -> Result<Self, FlowCellError> {
+        if temps.len() != self.count {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "{} temperature profiles for {} channels",
+                temps.len(),
+                self.count
+            )));
+        }
+        self.per_channel_temperatures = Some(temps);
+        Ok(self)
+    }
+
+    /// Removes per-channel temperatures (back to the template profile).
+    pub fn without_channel_temperatures(mut self) -> Self {
+        self.per_channel_temperatures = None;
+        self
+    }
+
+    fn channel_models(&self) -> Result<Vec<CellModel>, FlowCellError> {
+        match &self.per_channel_temperatures {
+            None => Ok(vec![self.template.clone()]),
+            Some(temps) => temps
+                .iter()
+                .map(|t| self.template.with_temperature(t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Total array current at a terminal voltage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-solver errors.
+    pub fn solve_at_voltage(&self, voltage: f64) -> Result<ArrayOperatingPoint, FlowCellError> {
+        let models = self.channel_models()?;
+        let total = if models.len() == 1 {
+            self.count as f64 * models[0].solve_at_voltage(voltage)?.current().value()
+        } else {
+            solve_channels_parallel(&models, voltage)?
+        };
+        Ok(ArrayOperatingPoint {
+            voltage: Volt::new(voltage),
+            current: Ampere::new(total),
+            power: Volt::new(voltage) * Ampere::new(total),
+        })
+    }
+
+    /// Terminal voltage when the array delivers `target` total current.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowCellError::Infeasible`] if `target` exceeds the array's
+    /// limiting current.
+    pub fn solve_at_current(&self, target: Ampere) -> Result<ArrayOperatingPoint, FlowCellError> {
+        if !(target.value() >= 0.0 && target.is_finite()) {
+            return Err(FlowCellError::Infeasible(format!(
+                "target current must be non-negative, got {target}"
+            )));
+        }
+        let v_floor = 0.02;
+        let at_floor = self.solve_at_voltage(v_floor)?;
+        if target.value() > at_floor.current.value() {
+            return Err(FlowCellError::Infeasible(format!(
+                "target {target} exceeds array limiting current {:.3} A",
+                at_floor.current.value()
+            )));
+        }
+        let ocv = self.template.open_circuit_voltage()?.value() + 0.05;
+        let v = brent(
+            |v| match self.solve_at_voltage(v) {
+                Ok(op) => op.current.value() - target.value(),
+                Err(_) => f64::NAN,
+            },
+            v_floor,
+            ocv,
+            &RootOptions {
+                x_tolerance: 1e-6,
+                f_tolerance: (target.value() * 1e-6).max(1e-12),
+                max_iterations: 100,
+            },
+        )
+        .map_err(FlowCellError::from)?;
+        self.solve_at_voltage(v)
+    }
+
+    /// The array polarization curve (Fig. 7) with `n` sweep points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel-solver errors.
+    pub fn polarization_curve(&self, n: usize) -> Result<PolarizationCurve, FlowCellError> {
+        match &self.per_channel_temperatures {
+            None => Ok(self
+                .template
+                .polarization_curve(n)?
+                .scaled_parallel(self.count)),
+            Some(_) => {
+                if n < 2 {
+                    return Err(FlowCellError::InvalidConfig(
+                        "need at least 2 sweep points".into(),
+                    ));
+                }
+                let ocv = self.template.open_circuit_voltage()?.value();
+                let v_lo = 0.05_f64.min(ocv / 2.0);
+                let mut pts = Vec::with_capacity(n + 1);
+                for k in 0..n {
+                    let v = v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (n - 1) as f64;
+                    let op = self.solve_at_voltage(v)?;
+                    pts.push(PolarizationPoint {
+                        voltage: op.voltage,
+                        current: op.current,
+                        power: op.power,
+                    });
+                }
+                pts.push(PolarizationPoint {
+                    voltage: Volt::new(ocv),
+                    current: Ampere::new(0.0),
+                    power: Watt::new(0.0),
+                });
+                PolarizationCurve::new(pts)
+            }
+        }
+    }
+}
+
+/// Solves many channel models at the same voltage on worker threads and
+/// returns the summed current.
+fn solve_channels_parallel(models: &[CellModel], voltage: f64) -> Result<f64, FlowCellError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(models.len())
+        .max(1);
+    let chunk = models.len().div_ceil(workers);
+    let mut results: Vec<Result<f64, FlowCellError>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for batch in models.chunks(chunk) {
+            handles.push(scope.spawn(move |_| -> Result<f64, FlowCellError> {
+                let mut acc = 0.0;
+                for m in batch {
+                    acc += m.solve_at_voltage(voltage)?.current().value();
+                }
+                Ok(acc)
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("channel solver thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut total = 0.0;
+    for r in results {
+        total += r?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use bright_units::Kelvin;
+
+    #[test]
+    fn uniform_array_scales_single_channel() {
+        let array = presets::power7_array().unwrap();
+        let single = presets::power7_channel().unwrap();
+        let op = array.solve_at_voltage(1.0).unwrap();
+        let i1 = single.solve_at_voltage(1.0).unwrap().current().value();
+        assert!((op.current.value() - 88.0 * i1).abs() < 1e-9 * 88.0 * i1.max(1e-12));
+    }
+
+    #[test]
+    fn per_channel_temperatures_change_the_answer() {
+        let array = presets::power7_array().unwrap();
+        let cold = array.solve_at_voltage(1.0).unwrap().current.value();
+        let temps: Vec<TemperatureProfile> = (0..88)
+            .map(|k| {
+                // Center channels run hotter (under the cores).
+                let t = 300.0 + 10.0 * (-((k as f64 - 43.5) / 20.0).powi(2)).exp();
+                TemperatureProfile::Uniform(Kelvin::new(t))
+            })
+            .collect();
+        let warm_array = presets::power7_array()
+            .unwrap()
+            .with_channel_temperatures(temps)
+            .unwrap();
+        let warm = warm_array.solve_at_voltage(1.0).unwrap().current.value();
+        assert!(warm > cold, "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn solve_at_current_hits_target() {
+        let array = presets::power7_array().unwrap();
+        let op = array.solve_at_current(Ampere::new(2.0)).unwrap();
+        assert!((op.current.value() - 2.0).abs() < 1e-4);
+        assert!(op.voltage.value() > 0.5 && op.voltage.value() < 1.7);
+    }
+
+    #[test]
+    fn infeasible_and_invalid_inputs() {
+        let array = presets::power7_array().unwrap();
+        assert!(array.solve_at_current(Ampere::new(1e6)).is_err());
+        assert!(array.solve_at_current(Ampere::new(-1.0)).is_err());
+        assert!(CellArray::new(presets::power7_channel().unwrap(), 0).is_err());
+        let wrong_len = presets::power7_array()
+            .unwrap()
+            .with_channel_temperatures(vec![TemperatureProfile::Uniform(Kelvin::new(300.0)); 3]);
+        assert!(wrong_len.is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Flow-cell geometry: a rectangular channel with wall electrodes.
+
+use crate::FlowCellError;
+use bright_flow::RectChannel;
+use bright_units::{Meters, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one co-laminar flow cell.
+///
+/// The two electrolyte streams share the channel side by side across the
+/// *width*; the anode lines the side wall at `y = 0` and the cathode the
+/// wall at `y = width` (Fig. 2 of the paper). Each electrode therefore has
+/// geometric area `length × height`, and the ionic current crosses the
+/// full channel width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellGeometry {
+    channel: RectChannel,
+    electrode_coverage: f64,
+}
+
+impl CellGeometry {
+    /// Creates a cell geometry with electrodes covering the full channel
+    /// length (`coverage = 1`).
+    pub fn new(channel: RectChannel) -> Self {
+        Self {
+            channel,
+            electrode_coverage: 1.0,
+        }
+    }
+
+    /// Creates a cell whose electrodes cover only the downstream fraction
+    /// `coverage ∈ (0, 1]` of the channel length (some experimental cells
+    /// leave an inlet development section uncoated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] for coverage outside
+    /// `(0, 1]`.
+    pub fn with_coverage(channel: RectChannel, coverage: f64) -> Result<Self, FlowCellError> {
+        if !(coverage > 0.0 && coverage <= 1.0) {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "electrode coverage must be in (0,1], got {coverage}"
+            )));
+        }
+        Ok(Self {
+            channel,
+            electrode_coverage: coverage,
+        })
+    }
+
+    /// The channel.
+    #[inline]
+    pub fn channel(&self) -> &RectChannel {
+        &self.channel
+    }
+
+    /// Fraction of the channel length covered by the electrodes.
+    #[inline]
+    pub fn electrode_coverage(&self) -> f64 {
+        self.electrode_coverage
+    }
+
+    /// Electrode length along the channel.
+    #[inline]
+    pub fn electrode_length(&self) -> Meters {
+        self.channel.length() * self.electrode_coverage
+    }
+
+    /// Geometric area of one electrode (`electrode length × channel
+    /// height`).
+    #[inline]
+    pub fn electrode_area(&self) -> SquareMeters {
+        self.electrode_length() * self.channel.height()
+    }
+
+    /// Width of one electrolyte stream (`channel width / 2`).
+    #[inline]
+    pub fn stream_half_width(&self) -> Meters {
+        self.channel.width() / 2.0
+    }
+
+    /// Inter-electrode gap (the full channel width).
+    #[inline]
+    pub fn electrode_gap(&self) -> Meters {
+        self.channel.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> RectChannel {
+        RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn electrode_area_is_sidewall() {
+        let g = CellGeometry::new(channel());
+        // 22 mm x 400 um = 8.8e-6 m^2 = 0.088 cm^2.
+        assert!((g.electrode_area().to_square_centimeters() - 0.088).abs() < 1e-9);
+        assert!((g.electrode_gap().to_micrometers() - 200.0).abs() < 1e-9);
+        assert!((g.stream_half_width().to_micrometers() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_coverage_scales_area() {
+        let g = CellGeometry::with_coverage(channel(), 0.5).unwrap();
+        assert!((g.electrode_area().to_square_centimeters() - 0.044).abs() < 1e-9);
+        assert!(CellGeometry::with_coverage(channel(), 0.0).is_err());
+        assert!(CellGeometry::with_coverage(channel(), 1.5).is_err());
+    }
+}

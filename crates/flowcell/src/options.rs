@@ -1,0 +1,213 @@
+//! Solver options and temperature profiles.
+
+use crate::FlowCellError;
+use bright_units::Kelvin;
+use serde::{Deserialize, Serialize};
+
+/// How the streamwise velocity profile is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VelocityModel {
+    /// Plane-Poiseuille parabola across the width (adequate for wide flat
+    /// cells like the Table I validation geometry).
+    PlanePoiseuille,
+    /// Numerical rectangular-duct solution averaged over the channel
+    /// height, with the given internal z-resolution.
+    Duct {
+        /// Cross-section resolution across the channel height.
+        nz: usize,
+    },
+}
+
+/// Discretization and physics switches of the cell solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolverOptions {
+    /// Cells across each half-width (electrode-normal direction).
+    pub ny: usize,
+    /// Marching stations along the channel.
+    pub nx: usize,
+    /// Velocity profile model.
+    pub velocity: VelocityModel,
+    /// Track product species (surface accumulation raises the local
+    /// equilibrium potential). Disabling reduces the model to
+    /// reactant-depletion-only transport.
+    pub track_products: bool,
+    /// Additional contact/electrode area-specific resistance (Ω·m²) in
+    /// series with the electrolyte path.
+    pub contact_asr: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            ny: 64,
+            nx: 220,
+            velocity: VelocityModel::Duct { nz: 24 },
+            track_products: true,
+            contact_asr: 0.0,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Validates the discretization parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] for degenerate resolutions
+    /// or a negative contact resistance.
+    pub fn validate(&self) -> Result<(), FlowCellError> {
+        if self.ny < 4 {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "ny must be >= 4, got {}",
+                self.ny
+            )));
+        }
+        if self.nx < 4 {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "nx must be >= 4, got {}",
+                self.nx
+            )));
+        }
+        if let VelocityModel::Duct { nz } = self.velocity {
+            if nz < 2 {
+                return Err(FlowCellError::InvalidConfig(format!(
+                    "duct velocity nz must be >= 2, got {nz}"
+                )));
+            }
+        }
+        if !(self.contact_asr >= 0.0 && self.contact_asr.is_finite()) {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "contact ASR must be non-negative, got {}",
+                self.contact_asr
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Temperature along the channel, as seen by the electrochemistry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TemperatureProfile {
+    /// A single temperature everywhere (isothermal operation).
+    Uniform(Kelvin),
+    /// Per-position samples from inlet (`x = 0`) to outlet (`x = L`),
+    /// linearly resampled onto the marching stations.
+    Sampled(Vec<Kelvin>),
+}
+
+impl TemperatureProfile {
+    /// Resamples the profile onto `n` stations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] if a sampled profile is
+    /// empty or contains non-physical temperatures.
+    pub fn resample(&self, n: usize) -> Result<Vec<Kelvin>, FlowCellError> {
+        match self {
+            TemperatureProfile::Uniform(t) => {
+                if !t.is_physical() {
+                    return Err(FlowCellError::InvalidConfig(format!(
+                        "non-physical temperature {t}"
+                    )));
+                }
+                Ok(vec![*t; n])
+            }
+            TemperatureProfile::Sampled(samples) => {
+                if samples.is_empty() {
+                    return Err(FlowCellError::InvalidConfig(
+                        "empty temperature profile".into(),
+                    ));
+                }
+                if samples.iter().any(|t| !t.is_physical()) {
+                    return Err(FlowCellError::InvalidConfig(
+                        "non-physical temperature in profile".into(),
+                    ));
+                }
+                if samples.len() == 1 {
+                    return Ok(vec![samples[0]; n]);
+                }
+                let mut out = Vec::with_capacity(n);
+                for k in 0..n {
+                    let pos = (k as f64 + 0.5) / n as f64 * (samples.len() - 1) as f64;
+                    let i = (pos.floor() as usize).min(samples.len() - 2);
+                    let t = pos - i as f64;
+                    out.push(Kelvin::new(
+                        samples[i].value() * (1.0 - t) + samples[i + 1].value() * t,
+                    ));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Mean temperature of the profile.
+    pub fn mean(&self) -> Kelvin {
+        match self {
+            TemperatureProfile::Uniform(t) => *t,
+            TemperatureProfile::Sampled(s) => {
+                Kelvin::new(s.iter().map(|t| t.value()).sum::<f64>() / s.len().max(1) as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_validate() {
+        assert!(SolverOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let mut o = SolverOptions::default();
+        o.ny = 2;
+        assert!(o.validate().is_err());
+        let mut o = SolverOptions::default();
+        o.nx = 1;
+        assert!(o.validate().is_err());
+        let mut o = SolverOptions::default();
+        o.velocity = VelocityModel::Duct { nz: 1 };
+        assert!(o.validate().is_err());
+        let mut o = SolverOptions::default();
+        o.contact_asr = -1.0;
+        assert!(o.validate().is_err());
+    }
+
+    #[test]
+    fn uniform_profile_resamples_to_constant() {
+        let p = TemperatureProfile::Uniform(Kelvin::new(300.0));
+        let v = p.resample(7).unwrap();
+        assert_eq!(v.len(), 7);
+        assert!(v.iter().all(|t| t.value() == 300.0));
+        assert_eq!(p.mean().value(), 300.0);
+    }
+
+    #[test]
+    fn sampled_profile_interpolates_linearly() {
+        let p = TemperatureProfile::Sampled(vec![Kelvin::new(300.0), Kelvin::new(310.0)]);
+        let v = p.resample(10).unwrap();
+        assert_eq!(v.len(), 10);
+        // Station centers: 300 + 10*(k+0.5)/10.
+        assert!((v[0].value() - 300.5).abs() < 1e-9);
+        assert!((v[9].value() - 309.5).abs() < 1e-9);
+        assert!(v.windows(2).all(|w| w[1].value() > w[0].value()));
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(TemperatureProfile::Uniform(Kelvin::new(-5.0))
+            .resample(4)
+            .is_err());
+        assert!(TemperatureProfile::Sampled(vec![]).resample(4).is_err());
+        assert!(
+            TemperatureProfile::Sampled(vec![Kelvin::new(300.0), Kelvin::new(-1.0)])
+                .resample(4)
+                .is_err()
+        );
+        let single = TemperatureProfile::Sampled(vec![Kelvin::new(305.0)]);
+        assert!(single.resample(3).unwrap().iter().all(|t| t.value() == 305.0));
+    }
+}

@@ -1,0 +1,236 @@
+//! Polarization curves (cell voltage vs current) and operating points.
+
+use crate::FlowCellError;
+use bright_units::{Ampere, Volt, Watt};
+use serde::{Deserialize, Serialize};
+
+/// One point of a polarization curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolarizationPoint {
+    /// Cell (or array) terminal voltage.
+    pub voltage: Volt,
+    /// Delivered current (positive = discharge).
+    pub current: Ampere,
+    /// Delivered electrical power `V·I`.
+    pub power: Watt,
+}
+
+/// A polarization curve: voltage monotonically decreasing with current.
+///
+/// This is the object plotted in Fig. 3 (validation cell, as current
+/// *density*) and Fig. 7 (the 88-channel array, as absolute current).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolarizationCurve {
+    points: Vec<PolarizationPoint>,
+}
+
+impl PolarizationCurve {
+    /// Builds a curve from points; they are sorted by current ascending
+    /// and validated for monotonicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] if fewer than 2 points or
+    /// if voltage fails to decrease (within a small tolerance) as current
+    /// grows.
+    pub fn new(mut points: Vec<PolarizationPoint>) -> Result<Self, FlowCellError> {
+        if points.len() < 2 {
+            return Err(FlowCellError::InvalidConfig(
+                "polarization curve needs at least 2 points".into(),
+            ));
+        }
+        points.sort_by(|a, b| {
+            a.current
+                .value()
+                .partial_cmp(&b.current.value())
+                .expect("finite currents")
+                .then(
+                    // Transport-limited plateaus produce exactly equal
+                    // currents at different voltages; order those by
+                    // descending voltage so the curve stays monotone.
+                    b.voltage
+                        .value()
+                        .partial_cmp(&a.voltage.value())
+                        .expect("finite voltages"),
+                )
+        });
+        let v_scale = points
+            .iter()
+            .map(|p| p.voltage.value().abs())
+            .fold(0.0_f64, f64::max);
+        for w in points.windows(2) {
+            if w[1].voltage.value() > w[0].voltage.value() + 1e-6 * v_scale.max(1.0) {
+                return Err(FlowCellError::InvalidConfig(format!(
+                    "voltage must decrease with current: {} A -> {} V after {} A -> {} V",
+                    w[1].current.value(),
+                    w[1].voltage.value(),
+                    w[0].current.value(),
+                    w[0].voltage.value()
+                )));
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// The curve's points, sorted by current ascending.
+    pub fn points(&self) -> &[PolarizationPoint] {
+        &self.points
+    }
+
+    /// Open-circuit voltage (the voltage of the lowest-current point,
+    /// which the solvers place at exactly zero current).
+    pub fn open_circuit_voltage(&self) -> Volt {
+        self.points[0].voltage
+    }
+
+    /// Largest computed current (the transport-limited plateau when the
+    /// sweep reaches it).
+    pub fn limiting_current(&self) -> Ampere {
+        self.points[self.points.len() - 1].current
+    }
+
+    /// Interpolates the current at a terminal voltage.
+    ///
+    /// Returns `None` outside the curve's voltage range.
+    pub fn current_at_voltage(&self, voltage: f64) -> Option<Ampere> {
+        let n = self.points.len();
+        // Voltage decreases along `points`; find the bracketing pair.
+        if voltage > self.points[0].voltage.value() || voltage < self.points[n - 1].voltage.value()
+        {
+            return None;
+        }
+        for w in self.points.windows(2) {
+            let (v_hi, v_lo) = (w[0].voltage.value(), w[1].voltage.value());
+            if voltage <= v_hi && voltage >= v_lo {
+                if (v_hi - v_lo).abs() < 1e-15 {
+                    return Some(w[0].current);
+                }
+                let t = (v_hi - voltage) / (v_hi - v_lo);
+                return Some(Ampere::new(
+                    w[0].current.value() + t * (w[1].current.value() - w[0].current.value()),
+                ));
+            }
+        }
+        None
+    }
+
+    /// Interpolates the terminal voltage at a delivered current.
+    ///
+    /// Returns `None` outside the curve's current range.
+    pub fn voltage_at_current(&self, current: f64) -> Option<Volt> {
+        let n = self.points.len();
+        if current < self.points[0].current.value() || current > self.points[n - 1].current.value()
+        {
+            return None;
+        }
+        for w in self.points.windows(2) {
+            let (i_lo, i_hi) = (w[0].current.value(), w[1].current.value());
+            if current >= i_lo && current <= i_hi {
+                if (i_hi - i_lo).abs() < 1e-15 {
+                    return Some(w[0].voltage);
+                }
+                let t = (current - i_lo) / (i_hi - i_lo);
+                return Some(Volt::new(
+                    w[0].voltage.value() + t * (w[1].voltage.value() - w[0].voltage.value()),
+                ));
+            }
+        }
+        None
+    }
+
+    /// The maximum-power point of the curve.
+    pub fn max_power_point(&self) -> PolarizationPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                a.power
+                    .value()
+                    .partial_cmp(&b.power.value())
+                    .expect("finite powers")
+            })
+            .expect("non-empty by construction")
+    }
+
+    /// Scales the curve to `n` identical cells electrically in parallel:
+    /// same voltages, currents and powers multiplied by `n`.
+    pub fn scaled_parallel(&self, n: usize) -> PolarizationCurve {
+        let k = n as f64;
+        PolarizationCurve {
+            points: self
+                .points
+                .iter()
+                .map(|p| PolarizationPoint {
+                    voltage: p.voltage,
+                    current: p.current * k,
+                    power: p.power * k,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> PolarizationCurve {
+        let pts = [(0.0, 1.6), (2.0, 1.3), (4.0, 1.0), (5.0, 0.5), (5.5, 0.1)]
+            .iter()
+            .map(|&(i, v)| PolarizationPoint {
+                voltage: Volt::new(v),
+                current: Ampere::new(i),
+                power: Watt::new(v * i),
+            })
+            .collect();
+        PolarizationCurve::new(pts).unwrap()
+    }
+
+    #[test]
+    fn interpolation_both_ways() {
+        let c = curve();
+        assert!((c.current_at_voltage(1.15).unwrap().value() - 3.0).abs() < 1e-12);
+        assert!((c.voltage_at_current(3.0).unwrap().value() - 1.15).abs() < 1e-12);
+        // Exact nodes.
+        assert!((c.current_at_voltage(1.0).unwrap().value() - 4.0).abs() < 1e-12);
+        // Out of range.
+        assert!(c.current_at_voltage(1.7).is_none());
+        assert!(c.current_at_voltage(0.05).is_none());
+        assert!(c.voltage_at_current(6.0).is_none());
+    }
+
+    #[test]
+    fn summary_quantities() {
+        let c = curve();
+        assert_eq!(c.open_circuit_voltage().value(), 1.6);
+        assert_eq!(c.limiting_current().value(), 5.5);
+        let mpp = c.max_power_point();
+        assert_eq!(mpp.current.value(), 4.0); // 4 W beats 2.6, 2.5, 0.55
+    }
+
+    #[test]
+    fn parallel_scaling() {
+        let c = curve().scaled_parallel(88);
+        assert_eq!(c.limiting_current().value(), 5.5 * 88.0);
+        assert_eq!(c.open_circuit_voltage().value(), 1.6);
+        assert!((c.max_power_point().power.value() - 4.0 * 88.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nonmonotone() {
+        let pts = vec![
+            PolarizationPoint {
+                voltage: Volt::new(1.0),
+                current: Ampere::new(0.0),
+                power: Watt::new(0.0),
+            },
+            PolarizationPoint {
+                voltage: Volt::new(1.2),
+                current: Ampere::new(1.0),
+                power: Watt::new(1.2),
+            },
+        ];
+        assert!(PolarizationCurve::new(pts).is_err());
+        assert!(PolarizationCurve::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Ready-made configurations for the paper's Table I and Table II.
+
+use crate::array::CellArray;
+use crate::geometry::CellGeometry;
+use crate::options::{SolverOptions, TemperatureProfile, VelocityModel};
+use crate::solver::CellModel;
+use crate::FlowCellError;
+use bright_echem::vanadium;
+use bright_flow::RectChannel;
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
+
+/// Number of channels in the POWER7+ array (Table II).
+pub const POWER7_CHANNEL_COUNT: usize = 88;
+
+/// Total volumetric flow of the POWER7+ array in ml/min (Table II).
+pub const POWER7_TOTAL_FLOW_ML_MIN: f64 = 676.0;
+
+/// Area-specific series resistance of the Kjeang graphite-rod cell
+/// (Ω·m²): rod electrodes, contacts and external wiring dominate the
+/// measured polarization slope of the 2007 experiment (cell resistances
+/// of tens of Ω over the 0.05 cm² electrodes ⇒ ~20 Ω·cm²).
+pub const KJEANG_CONTACT_ASR: f64 = 2.0e-3;
+
+/// The Kjeang et al. (2007) validation cell of Table I at a given
+/// *per-stream* flow rate in µL/min (the table lists 2.5, 10, 60 and
+/// 300 µL/min).
+///
+/// Geometry: 33 mm long, 2 mm wide (inter-electrode), 150 µm high, with
+/// graphite electrodes along the side walls and the experimental series
+/// resistance [`KJEANG_CONTACT_ASR`].
+///
+/// # Errors
+///
+/// Returns [`FlowCellError`] variants for invalid flow rates.
+pub fn kjeang2007(flow_ul_min_per_stream: f64) -> Result<CellModel, FlowCellError> {
+    let channel = RectChannel::new(
+        Meters::from_millimeters(2.0),
+        Meters::from_micrometers(150.0),
+        Meters::from_millimeters(33.0),
+    )?;
+    let total_flow =
+        CubicMetersPerSecond::from_microliters_per_minute(2.0 * flow_ul_min_per_stream);
+    CellModel::new(
+        CellGeometry::new(channel),
+        vanadium::kjeang_cell_chemistry(),
+        total_flow,
+        TemperatureProfile::Uniform(Kelvin::new(300.0)),
+        SolverOptions {
+            ny: 96,
+            nx: 260,
+            velocity: VelocityModel::Duct { nz: 12 },
+            contact_asr: KJEANG_CONTACT_ASR,
+            ..SolverOptions::default()
+        },
+    )
+}
+
+/// The four per-stream flow rates of Table I (µL/min).
+pub const KJEANG_FLOW_RATES_UL_MIN: [f64; 4] = [2.5, 10.0, 60.0, 300.0];
+
+/// One channel of the POWER7+ array (Table II): 200 µm × 400 µm × 22 mm at
+/// the nominal per-channel share of the 676 ml/min total flow, isothermal
+/// at the 300 K inlet temperature.
+///
+/// # Errors
+///
+/// Returns [`FlowCellError`] variants if construction fails (cannot happen
+/// for the encoded constants).
+pub fn power7_channel() -> Result<CellModel, FlowCellError> {
+    power7_channel_at(
+        CubicMetersPerSecond::from_milliliters_per_minute(
+            POWER7_TOTAL_FLOW_ML_MIN / POWER7_CHANNEL_COUNT as f64,
+        ),
+        TemperatureProfile::Uniform(Kelvin::new(300.0)),
+    )
+}
+
+/// One POWER7+ channel at an explicit per-channel flow and temperature
+/// profile (used by the co-simulation and the flow/temperature sweeps).
+///
+/// # Errors
+///
+/// As [`power7_channel`].
+pub fn power7_channel_at(
+    per_channel_flow: CubicMetersPerSecond,
+    temperature: TemperatureProfile,
+) -> Result<CellModel, FlowCellError> {
+    let channel = RectChannel::new(
+        Meters::from_micrometers(200.0),
+        Meters::from_micrometers(400.0),
+        Meters::from_millimeters(22.0),
+    )?;
+    CellModel::new(
+        CellGeometry::new(channel),
+        vanadium::power7_cell_chemistry(),
+        per_channel_flow,
+        temperature,
+        SolverOptions::default(),
+    )
+}
+
+/// The full 88-channel POWER7+ array of Table II (Fig. 7's device).
+///
+/// # Errors
+///
+/// As [`power7_channel`].
+pub fn power7_array() -> Result<CellArray, FlowCellError> {
+    CellArray::new(power7_channel()?, POWER7_CHANNEL_COUNT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        assert!(kjeang2007(60.0).is_ok());
+        assert!(power7_channel().is_ok());
+        assert!(power7_array().is_ok());
+        assert!(kjeang2007(-1.0).is_err());
+    }
+
+    #[test]
+    fn power7_channel_flow_share() {
+        let m = power7_channel().unwrap();
+        assert!((m.flow().to_milliliters_per_minute() - 676.0 / 88.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kjeang_total_flow_doubles_stream_flow() {
+        let m = kjeang2007(60.0).unwrap();
+        assert!((m.flow().to_microliters_per_minute() - 120.0).abs() < 1e-9);
+    }
+}

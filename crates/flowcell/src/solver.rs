@@ -1,0 +1,639 @@
+//! The coupled flow-cell solver.
+//!
+//! For a trial terminal voltage `V`, the solver marches down the channel;
+//! at every station the local current density `i(x)` must satisfy the
+//! voltage balance (paper Section II-A):
+//!
+//! ```text
+//! V = U_eq(T) − η_act+mt,anode(i) + η_act+mt,cathode(i) − i·ASR(T)
+//! ```
+//!
+//! where the activation and mass-transfer overpotentials come from the
+//! Butler–Volmer inversion with *surface* concentrations, which the
+//! transport marcher exposes as exact affine functions of the wall flux.
+//! The scalar balance is solved per station with Brent's method; the
+//! committed flux then advances both streams' concentration fields.
+
+use crate::geometry::CellGeometry;
+use crate::options::{SolverOptions, TemperatureProfile, VelocityModel};
+use crate::polarization::{PolarizationCurve, PolarizationPoint};
+use crate::transport::HalfCellMarcher;
+use crate::FlowCellError;
+use bright_echem::electrolyte::area_specific_resistance;
+use bright_echem::{CellChemistry, SurfaceState};
+use bright_flow::profile::{plane_poiseuille, DuctFlowSolution};
+use bright_num::roots::{brent, RootOptions};
+use bright_units::constants::FARADAY;
+use bright_units::{
+    Ampere, AmperePerSquareMeter, CubicMetersPerSecond, Kelvin, MolePerCubicMeter, SquareMeters,
+    Volt, Watt,
+};
+
+/// A configured single-channel flow cell.
+#[derive(Debug, Clone)]
+pub struct CellModel {
+    geometry: CellGeometry,
+    chemistry: CellChemistry,
+    flow: CubicMetersPerSecond,
+    temperature: TemperatureProfile,
+    options: SolverOptions,
+}
+
+/// Per-station chemistry snapshot (temperature-resolved).
+#[derive(Debug, Clone)]
+struct StationChem {
+    chem: CellChemistry,
+    ocv: f64,
+    asr: f64,
+    t: Kelvin,
+}
+
+/// Precomputed solve context shared by all voltage points of a sweep.
+#[derive(Debug, Clone)]
+struct SolveContext {
+    stations: Vec<StationChem>,
+    velocity_half: Vec<f64>,
+    dx: f64,
+}
+
+/// The solved state of a cell at one operating point.
+#[derive(Debug, Clone)]
+pub struct CellSolution {
+    voltage: Volt,
+    current: Ampere,
+    current_density: Vec<f64>,
+    eta_anode: Vec<f64>,
+    eta_cathode: Vec<f64>,
+    electrode_area: SquareMeters,
+    transport_limited_stations: usize,
+}
+
+impl CellSolution {
+    /// Terminal voltage.
+    #[inline]
+    pub fn voltage(&self) -> Volt {
+        self.voltage
+    }
+
+    /// Delivered current.
+    #[inline]
+    pub fn current(&self) -> Ampere {
+        self.current
+    }
+
+    /// Delivered power `V·I`.
+    #[inline]
+    pub fn power(&self) -> Watt {
+        self.voltage * self.current
+    }
+
+    /// Local current density per marching station (A/m²), inlet to outlet.
+    pub fn current_density_profile(&self) -> &[f64] {
+        &self.current_density
+    }
+
+    /// Mean current density over the electrode.
+    pub fn mean_current_density(&self) -> AmperePerSquareMeter {
+        self.current / self.electrode_area
+    }
+
+    /// Anode overpotential per station (V).
+    pub fn anode_overpotential_profile(&self) -> &[f64] {
+        &self.eta_anode
+    }
+
+    /// Cathode overpotential per station (V, negative in discharge).
+    pub fn cathode_overpotential_profile(&self) -> &[f64] {
+        &self.eta_cathode
+    }
+
+    /// Electrode geometric area used to convert current ↔ density.
+    #[inline]
+    pub fn electrode_area(&self) -> SquareMeters {
+        self.electrode_area
+    }
+
+    /// Number of stations clamped at the local transport limit. Non-zero
+    /// values indicate operation on the limiting-current plateau.
+    #[inline]
+    pub fn transport_limited_stations(&self) -> usize {
+        self.transport_limited_stations
+    }
+}
+
+impl CellModel {
+    /// Creates a cell model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] for invalid options or a
+    /// non-positive flow rate.
+    pub fn new(
+        geometry: CellGeometry,
+        chemistry: CellChemistry,
+        flow: CubicMetersPerSecond,
+        temperature: TemperatureProfile,
+        options: SolverOptions,
+    ) -> Result<Self, FlowCellError> {
+        options.validate()?;
+        if !(flow.value() > 0.0 && flow.is_finite()) {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "flow must be positive, got {flow}"
+            )));
+        }
+        temperature.resample(options.nx)?;
+        Ok(Self {
+            geometry,
+            chemistry,
+            flow,
+            temperature,
+            options,
+        })
+    }
+
+    /// The cell geometry.
+    #[inline]
+    pub fn geometry(&self) -> &CellGeometry {
+        &self.geometry
+    }
+
+    /// The cell chemistry.
+    #[inline]
+    pub fn chemistry(&self) -> &CellChemistry {
+        &self.chemistry
+    }
+
+    /// Per-channel volumetric flow rate.
+    #[inline]
+    pub fn flow(&self) -> CubicMetersPerSecond {
+        self.flow
+    }
+
+    /// The temperature profile seen by the cell.
+    #[inline]
+    pub fn temperature(&self) -> &TemperatureProfile {
+        &self.temperature
+    }
+
+    /// Solver options.
+    #[inline]
+    pub fn options(&self) -> &SolverOptions {
+        &self.options
+    }
+
+    /// Returns a copy with a different temperature profile (used by the
+    /// electro-thermal co-simulation loop).
+    ///
+    /// # Errors
+    ///
+    /// As [`CellModel::new`].
+    pub fn with_temperature(&self, temperature: TemperatureProfile) -> Result<Self, FlowCellError> {
+        Self::new(
+            self.geometry,
+            self.chemistry.clone(),
+            self.flow,
+            temperature,
+            self.options.clone(),
+        )
+    }
+
+    /// Returns a copy with a different per-channel flow rate.
+    ///
+    /// # Errors
+    ///
+    /// As [`CellModel::new`].
+    pub fn with_flow(&self, flow: CubicMetersPerSecond) -> Result<Self, FlowCellError> {
+        Self::new(
+            self.geometry,
+            self.chemistry.clone(),
+            flow,
+            self.temperature.clone(),
+            self.options.clone(),
+        )
+    }
+
+    /// Open-circuit voltage at the mean channel temperature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chemistry validation errors.
+    pub fn open_circuit_voltage(&self) -> Result<Volt, FlowCellError> {
+        Ok(self.chemistry.open_circuit_voltage(self.temperature.mean())?)
+    }
+
+    fn context(&self) -> Result<SolveContext, FlowCellError> {
+        let nx = self.options.nx;
+        let ny = self.options.ny;
+        let temps = self.temperature.resample(nx)?;
+
+        // Per-station chemistry; reuse a single snapshot when isothermal.
+        let uniform = temps.windows(2).all(|w| w[0] == w[1]);
+        let mut stations = Vec::with_capacity(nx);
+        let make = |t: Kelvin| -> Result<StationChem, FlowCellError> {
+            let chem = self.chemistry.at_temperature(t)?;
+            let ocv = chem.open_circuit_voltage(t)?.value();
+            let sigma = chem.conductivity.at(t)?;
+            let asr = area_specific_resistance(self.geometry.electrode_gap().value(), sigma)?
+                + self.options.contact_asr;
+            Ok(StationChem { chem, ocv, asr, t })
+        };
+        if uniform {
+            let proto = make(temps[0])?;
+            for _ in 0..nx {
+                stations.push(proto.clone());
+            }
+        } else {
+            for t in &temps {
+                stations.push(make(*t)?);
+            }
+        }
+
+        // Height-averaged velocity profile across the half width.
+        let v_mean = self
+            .flow
+            .mean_velocity(self.geometry.channel().cross_section())
+            .value();
+        let velocity_half: Vec<f64> = match self.options.velocity {
+            VelocityModel::PlanePoiseuille => (0..ny)
+                .map(|j| {
+                    let xi = (j as f64 + 0.5) / (2.0 * ny as f64);
+                    v_mean * plane_poiseuille(xi)
+                })
+                .collect(),
+            VelocityModel::Duct { nz } => {
+                let sol = DuctFlowSolution::solve(self.geometry.channel(), 2 * ny, nz)?;
+                sol.width_profile()[..ny]
+                    .iter()
+                    .map(|u| u * v_mean)
+                    .collect()
+            }
+        };
+        Ok(SolveContext {
+            stations,
+            velocity_half,
+            dx: self.geometry.electrode_length().value() / nx as f64,
+        })
+    }
+
+    fn marchers(
+        &self,
+        ctx: &SolveContext,
+    ) -> Result<(HalfCellMarcher, HalfCellMarcher), FlowCellError> {
+        let half_w = self.geometry.stream_half_width().value();
+        let len = self.geometry.electrode_length().value();
+        let anode = HalfCellMarcher::new(
+            half_w,
+            len,
+            self.options.nx,
+            ctx.velocity_half.clone(),
+            self.chemistry.negative.inlet.c_red.value(),
+            self.chemistry.negative.inlet.c_ox.value(),
+        )?;
+        let cathode = HalfCellMarcher::new(
+            half_w,
+            len,
+            self.options.nx,
+            ctx.velocity_half.clone(),
+            self.chemistry.positive.inlet.c_ox.value(),
+            self.chemistry.positive.inlet.c_red.value(),
+        )?;
+        Ok((anode, cathode))
+    }
+
+    fn solve_with_context(
+        &self,
+        voltage: f64,
+        ctx: &SolveContext,
+    ) -> Result<CellSolution, FlowCellError> {
+        if !(voltage >= 0.0 && voltage.is_finite()) {
+            return Err(FlowCellError::Infeasible(format!(
+                "terminal voltage must be non-negative and finite, got {voltage}"
+            )));
+        }
+        let nx = self.options.nx;
+        let (mut anode, mut cathode) = self.marchers(ctx)?;
+        let mut current_density = Vec::with_capacity(nx);
+        let mut eta_anode = Vec::with_capacity(nx);
+        let mut eta_cathode = Vec::with_capacity(nx);
+        let mut clamped = 0usize;
+
+        for st in ctx.stations.iter() {
+            let n_neg = st.chem.negative.kinetics.couple().electrons() as f64;
+            let n_pos = st.chem.positive.kinetics.couple().electrons() as f64;
+            let resp_a = anode.prepare(st.chem.negative.diffusivity.value())?;
+            let resp_c = cathode.prepare(st.chem.positive.diffusivity.value())?;
+
+            let track = self.options.track_products;
+            let eval = |i: f64| -> Result<(f64, f64, f64), FlowCellError> {
+                let q_a = i / (n_neg * FARADAY);
+                let q_c = i / (n_pos * FARADAY);
+                let surf_a = SurfaceState {
+                    c_red: MolePerCubicMeter::new(resp_a.reactant_surface(q_a)),
+                    c_ox: MolePerCubicMeter::new(if track {
+                        resp_a.product_surface(q_a)
+                    } else {
+                        resp_a.p0
+                    }),
+                };
+                let eta_a = st.chem.negative.kinetics.overpotential_for_current(
+                    AmperePerSquareMeter::new(i),
+                    surf_a,
+                    st.t,
+                )?;
+                let surf_c = SurfaceState {
+                    c_ox: MolePerCubicMeter::new(resp_c.reactant_surface(q_c)),
+                    c_red: MolePerCubicMeter::new(if track {
+                        resp_c.product_surface(q_c)
+                    } else {
+                        resp_c.p0
+                    }),
+                };
+                let eta_c = st.chem.positive.kinetics.overpotential_for_current(
+                    AmperePerSquareMeter::new(-i),
+                    surf_c,
+                    st.t,
+                )?;
+                let residual = st.ocv - eta_a + eta_c - i * st.asr - voltage;
+                Ok((residual, eta_a, eta_c))
+            };
+
+            let (r0, ea0, ec0) = eval(0.0)?;
+            let (i_k, ea_k, ec_k, was_clamped) = if r0 <= 0.0 {
+                // Local balance wants zero (or charging) current: clamp.
+                (0.0, ea0, ec0, false)
+            } else {
+                let i_hi = (1.0 - 1e-9)
+                    * (resp_a.q_max * n_neg * FARADAY).min(resp_c.q_max * n_pos * FARADAY);
+                let (r_hi, _, _) = eval(i_hi)?;
+                if r_hi >= 0.0 {
+                    // Even near-total surface depletion cannot absorb the
+                    // driving force: transport-limited plateau.
+                    let (_, ea, ec) = eval(i_hi)?;
+                    (i_hi, ea, ec, true)
+                } else {
+                    let root = brent(
+                        |i| match eval(i) {
+                            Ok((r, _, _)) => r,
+                            Err(_) => f64::NAN,
+                        },
+                        0.0,
+                        i_hi,
+                        &RootOptions {
+                            x_tolerance: (i_hi * 1e-12).max(1e-14),
+                            f_tolerance: 1e-10,
+                            max_iterations: 200,
+                        },
+                    )
+                    .map_err(FlowCellError::from)?;
+                    let (_, ea, ec) = eval(root)?;
+                    (root, ea, ec, false)
+                }
+            };
+            if was_clamped {
+                clamped += 1;
+            }
+            anode.commit(i_k / (n_neg * FARADAY));
+            cathode.commit(i_k / (n_pos * FARADAY));
+            current_density.push(i_k);
+            eta_anode.push(ea_k);
+            eta_cathode.push(ec_k);
+        }
+
+        let height = self.geometry.channel().height().value();
+        let current: f64 = current_density.iter().sum::<f64>() * ctx.dx * height;
+        Ok(CellSolution {
+            voltage: Volt::new(voltage),
+            current: Ampere::new(current),
+            current_density,
+            eta_anode,
+            eta_cathode,
+            electrode_area: self.geometry.electrode_area(),
+            transport_limited_stations: clamped,
+        })
+    }
+
+    /// Solves the cell at a fixed terminal voltage.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowCellError::Infeasible`] for a negative/non-finite voltage,
+    /// * solver errors propagated from transport and kinetics.
+    pub fn solve_at_voltage(&self, voltage: f64) -> Result<CellSolution, FlowCellError> {
+        let ctx = self.context()?;
+        self.solve_with_context(voltage, &ctx)
+    }
+
+    /// Solves the cell at a fixed delivered current by inverting the
+    /// voltage–current map with Brent's method.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowCellError::Infeasible`] if `target` exceeds the cell's
+    /// limiting current (or is negative).
+    pub fn solve_at_current(&self, target: Ampere) -> Result<CellSolution, FlowCellError> {
+        if !(target.value() >= 0.0 && target.is_finite()) {
+            return Err(FlowCellError::Infeasible(format!(
+                "target current must be non-negative, got {target}"
+            )));
+        }
+        let ctx = self.context()?;
+        let v_floor = 0.02;
+        let i_max = self.solve_with_context(v_floor, &ctx)?.current.value();
+        if target.value() > i_max {
+            return Err(FlowCellError::Infeasible(format!(
+                "target {target} exceeds limiting current {i_max:.4} A at {v_floor} V"
+            )));
+        }
+        let ocv = ctx
+            .stations
+            .iter()
+            .map(|s| s.ocv)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let v = brent(
+            |v| match self.solve_with_context(v, &ctx) {
+                Ok(sol) => sol.current.value() - target.value(),
+                Err(_) => f64::NAN,
+            },
+            v_floor,
+            ocv,
+            &RootOptions {
+                x_tolerance: 1e-7,
+                f_tolerance: (target.value() * 1e-7).max(1e-12),
+                max_iterations: 100,
+            },
+        )
+        .map_err(FlowCellError::from)?;
+        self.solve_with_context(v, &ctx)
+    }
+
+    /// Sweeps the polarization curve with `n ≥ 2` voltage points between
+    /// 0.05 V and the open-circuit voltage (the exact OCV/zero-current
+    /// point is appended).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; [`FlowCellError::InvalidConfig`] if
+    /// `n < 2`.
+    pub fn polarization_curve(&self, n: usize) -> Result<PolarizationCurve, FlowCellError> {
+        if n < 2 {
+            return Err(FlowCellError::InvalidConfig(
+                "need at least 2 sweep points".into(),
+            ));
+        }
+        let ctx = self.context()?;
+        let ocv = ctx
+            .stations
+            .iter()
+            .map(|s| s.ocv)
+            .sum::<f64>()
+            / ctx.stations.len() as f64;
+        let v_lo = 0.05_f64.min(ocv / 2.0);
+        let mut points = Vec::with_capacity(n + 1);
+        for k in 0..n {
+            let v = v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (n - 1) as f64;
+            let sol = self.solve_with_context(v, &ctx)?;
+            points.push(PolarizationPoint {
+                voltage: sol.voltage(),
+                current: sol.current(),
+                power: sol.power(),
+            });
+        }
+        points.push(PolarizationPoint {
+            voltage: Volt::new(ocv),
+            current: Ampere::new(0.0),
+            power: Watt::new(0.0),
+        });
+        PolarizationCurve::new(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn power7_channel_model() -> CellModel {
+        presets::power7_channel().expect("valid preset")
+    }
+
+    #[test]
+    fn ocv_is_the_zero_current_point() {
+        let m = power7_channel_model();
+        let ocv = m.open_circuit_voltage().unwrap().value();
+        let sol = m.solve_at_voltage(ocv).unwrap();
+        assert!(
+            sol.current.value().abs() < 1e-6,
+            "I at OCV = {}",
+            sol.current
+        );
+    }
+
+    #[test]
+    fn current_increases_as_voltage_drops() {
+        let m = power7_channel_model();
+        let i_12 = m.solve_at_voltage(1.2).unwrap().current.value();
+        let i_10 = m.solve_at_voltage(1.0).unwrap().current.value();
+        let i_06 = m.solve_at_voltage(0.6).unwrap().current.value();
+        assert!(i_12 < i_10 && i_10 < i_06, "{i_12} {i_10} {i_06}");
+        assert!(i_10 > 0.0);
+    }
+
+    #[test]
+    fn per_channel_current_at_1v_is_tens_of_milliamps() {
+        // 88 channels supply ~amps in Fig. 7, so each channel delivers
+        // tens of mA at 1 V.
+        let m = power7_channel_model();
+        let i = m.solve_at_voltage(1.0).unwrap().current.value();
+        assert!(i > 0.01 && i < 0.2, "I = {i} A");
+    }
+
+    #[test]
+    fn solve_at_current_roundtrips() {
+        let m = power7_channel_model();
+        let sol_v = m.solve_at_voltage(1.1).unwrap();
+        let sol_i = m.solve_at_current(sol_v.current()).unwrap();
+        assert!(
+            (sol_i.voltage().value() - 1.1).abs() < 1e-3,
+            "V = {}",
+            sol_i.voltage()
+        );
+    }
+
+    #[test]
+    fn infeasible_current_is_rejected() {
+        let m = power7_channel_model();
+        assert!(matches!(
+            m.solve_at_current(Ampere::new(100.0)),
+            Err(FlowCellError::Infeasible(_))
+        ));
+        assert!(m.solve_at_current(Ampere::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn polarization_curve_is_monotone_with_plateau() {
+        let m = power7_channel_model();
+        let curve = m.polarization_curve(12).unwrap();
+        assert!(curve.open_circuit_voltage().value() > 1.5);
+        // The low-voltage end approaches the transport-limited plateau:
+        // current at 0.2 V within 25% of current at 0.05 V.
+        let i_low = curve.current_at_voltage(0.2).unwrap().value();
+        let i_lim = curve.limiting_current().value();
+        assert!(i_low > 0.7 * i_lim, "knee: {i_low} vs plateau {i_lim}");
+    }
+
+    #[test]
+    fn warmer_cell_delivers_more_current() {
+        // The paper's Section III-B observation, at channel scale.
+        let m = power7_channel_model();
+        let warm = m
+            .with_temperature(TemperatureProfile::Uniform(Kelvin::new(310.0)))
+            .unwrap();
+        let i_cold = m.solve_at_voltage(1.0).unwrap().current.value();
+        let i_warm = warm.solve_at_voltage(1.0).unwrap().current.value();
+        assert!(
+            i_warm > i_cold * 1.05,
+            "cold {i_cold} A vs warm {i_warm} A"
+        );
+    }
+
+    #[test]
+    fn higher_flow_raises_limiting_current() {
+        let m = power7_channel_model();
+        let half_flow = m.with_flow(m.flow() / 2.0).unwrap();
+        let i_full = m.solve_at_voltage(0.3).unwrap().current.value();
+        let i_half = half_flow.solve_at_voltage(0.3).unwrap().current.value();
+        assert!(i_full > i_half, "full {i_full} vs half {i_half}");
+    }
+
+    #[test]
+    fn transport_limit_flags_at_low_voltage() {
+        let m = power7_channel_model();
+        let sol = m.solve_at_voltage(0.05).unwrap();
+        assert!(sol.transport_limited_stations() > 0 || sol.current.value() > 0.0);
+    }
+
+    #[test]
+    fn current_density_decays_downstream() {
+        // Boundary-layer growth starves downstream stations.
+        let m = power7_channel_model();
+        let sol = m.solve_at_voltage(0.6).unwrap();
+        let prof = sol.current_density_profile();
+        let inlet_avg: f64 = prof[..10].iter().sum::<f64>() / 10.0;
+        let outlet_avg: f64 = prof[prof.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(
+            inlet_avg > outlet_avg,
+            "inlet {inlet_avg} vs outlet {outlet_avg}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let m = power7_channel_model();
+        assert!(m.solve_at_voltage(-0.1).is_err());
+        assert!(m.solve_at_voltage(f64::NAN).is_err());
+        assert!(m.polarization_curve(1).is_err());
+        assert!(m
+            .with_flow(CubicMetersPerSecond::new(0.0))
+            .is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Streamwise-marching species transport in one half-channel.
+//!
+//! At the paper's operating points the species Péclet number is 10⁴–10⁶,
+//! so axial diffusion is negligible and the steady transport equation
+//! (paper eq. 12) reduces to a parabolic problem that can be marched down
+//! the channel:
+//!
+//! ```text
+//! u(y)·∂C/∂x = D·∂²C/∂y²,   D·∂C/∂y|wall = ±q,   ∂C/∂y|interface = 0
+//! ```
+//!
+//! Each station performs implicit (unconditionally stable) cross-stream
+//! diffusion solves. Because the discrete operator is *linear* in the wall
+//! flux `q`, the station exposes the surface concentrations as exact
+//! affine functions of `q` — the cell solver uses this to couple transport
+//! with Butler–Volmer kinetics without nested iteration.
+
+use crate::FlowCellError;
+use bright_num::tridiag::TridiagonalWorkspace;
+
+/// Affine response of a station's surface state to the wall molar flux
+/// `q` (mol/(m²·s), positive = reactant consumed at the wall):
+///
+/// * reactant surface concentration: `r_surf(q) = r0 − q·sens`,
+/// * product  surface concentration: `p_surf(q) = p0 + q·sens`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StationResponse {
+    /// Reactant surface concentration at `q = 0`.
+    pub r0: f64,
+    /// Product surface concentration at `q = 0`.
+    pub p0: f64,
+    /// Surface sensitivity to the wall flux (m²·s/m³ — concentration per
+    /// unit flux).
+    pub sens: f64,
+    /// Largest flux that keeps the reactant surface concentration
+    /// non-negative: `q_max = r0/sens`.
+    pub q_max: f64,
+}
+
+impl StationResponse {
+    /// Reactant surface concentration at flux `q`.
+    #[inline]
+    pub fn reactant_surface(&self, q: f64) -> f64 {
+        (self.r0 - q * self.sens).max(0.0)
+    }
+
+    /// Product surface concentration at flux `q`.
+    #[inline]
+    pub fn product_surface(&self, q: f64) -> f64 {
+        (self.p0 + q * self.sens).max(0.0)
+    }
+}
+
+/// Marching transport solver for one electrolyte stream (half-channel).
+///
+/// The y-grid covers the half-width with `ny` cells; index 0 is adjacent
+/// to the electrode wall, index `ny−1` to the co-laminar interface.
+#[derive(Debug, Clone)]
+pub struct HalfCellMarcher {
+    ny: usize,
+    dy: f64,
+    dx: f64,
+    velocity: Vec<f64>,
+    reactant: Vec<f64>,
+    product: Vec<f64>,
+    // Station scratch state (filled by `prepare`).
+    r_zero_flux: Vec<f64>,
+    p_zero_flux: Vec<f64>,
+    sensitivity: Vec<f64>,
+    station_d: f64,
+    ws: TridiagonalWorkspace,
+    lower: Vec<f64>,
+    diag: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl HalfCellMarcher {
+    /// Creates a marcher.
+    ///
+    /// * `half_width` — stream width (m), electrode wall to interface,
+    /// * `electrode_length` — marched length (m),
+    /// * `nx` — number of stations,
+    /// * `velocity` — streamwise velocity at the `ny` cell centers (m/s),
+    ///   wall-first ordering,
+    /// * `c_reactant_in`, `c_product_in` — inlet concentrations (mol/m³).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] for degenerate dimensions
+    /// or non-physical inputs.
+    pub fn new(
+        half_width: f64,
+        electrode_length: f64,
+        nx: usize,
+        velocity: Vec<f64>,
+        c_reactant_in: f64,
+        c_product_in: f64,
+    ) -> Result<Self, FlowCellError> {
+        let ny = velocity.len();
+        if ny < 4 {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "need >= 4 cross-stream cells, got {ny}"
+            )));
+        }
+        if nx < 2 {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "need >= 2 stations, got {nx}"
+            )));
+        }
+        if !(half_width > 0.0 && half_width.is_finite())
+            || !(electrode_length > 0.0 && electrode_length.is_finite())
+        {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "bad domain {half_width} x {electrode_length}"
+            )));
+        }
+        if velocity.iter().any(|u| !(*u >= 0.0) || !u.is_finite()) {
+            return Err(FlowCellError::InvalidConfig(
+                "velocity profile must be non-negative and finite".into(),
+            ));
+        }
+        if velocity.iter().all(|u| *u == 0.0) {
+            return Err(FlowCellError::InvalidConfig(
+                "velocity profile is identically zero".into(),
+            ));
+        }
+        if !(c_reactant_in >= 0.0) || !(c_product_in >= 0.0) {
+            return Err(FlowCellError::InvalidConfig(
+                "negative inlet concentration".into(),
+            ));
+        }
+        Ok(Self {
+            ny,
+            dy: half_width / ny as f64,
+            dx: electrode_length / nx as f64,
+            velocity,
+            reactant: vec![c_reactant_in; ny],
+            product: vec![c_product_in; ny],
+            r_zero_flux: vec![0.0; ny],
+            p_zero_flux: vec![0.0; ny],
+            sensitivity: vec![0.0; ny],
+            station_d: 0.0,
+            ws: TridiagonalWorkspace::new(ny),
+            lower: vec![0.0; ny - 1],
+            diag: vec![0.0; ny],
+            upper: vec![0.0; ny - 1],
+        })
+    }
+
+    /// Streamwise station spacing (m).
+    #[inline]
+    pub fn dx(&self) -> f64 {
+        self.dx
+    }
+
+    /// Current reactant profile (wall-first).
+    #[inline]
+    pub fn reactant(&self) -> &[f64] {
+        &self.reactant
+    }
+
+    /// Current product profile (wall-first).
+    #[inline]
+    pub fn product(&self) -> &[f64] {
+        &self.product
+    }
+
+    /// Convected reactant molar flow per unit channel height
+    /// (mol/(m·s)): `Σ u_j·C_j·dy`. Used by conservation tests.
+    pub fn convected_reactant_flux(&self) -> f64 {
+        self.velocity
+            .iter()
+            .zip(&self.reactant)
+            .map(|(u, c)| u * c)
+            .sum::<f64>()
+            * self.dy
+    }
+
+    /// Prepares the next station with diffusivity `d`, returning the
+    /// affine surface response to the wall flux.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowCellError::InvalidConfig`] for a non-positive diffusivity,
+    /// * [`FlowCellError::Numerical`] if a tridiagonal solve fails.
+    pub fn prepare(&mut self, d: f64) -> Result<StationResponse, FlowCellError> {
+        if !(d > 0.0 && d.is_finite()) {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "diffusivity must be positive, got {d}"
+            )));
+        }
+        let w = d / (self.dy * self.dy);
+        for j in 0..self.ny {
+            let adv = self.velocity[j] / self.dx;
+            let mut diag = adv;
+            if j > 0 {
+                self.lower[j - 1] = -w;
+                diag += w;
+            }
+            if j + 1 < self.ny {
+                self.upper[j] = -w;
+                diag += w;
+            }
+            self.diag[j] = diag;
+        }
+        // Wall cells with u ~ 0 would make the zero-flux row singular-ish;
+        // the diffusion terms keep the diagonal positive for ny >= 2.
+
+        // Zero-flux advance of both species.
+        self.r_zero_flux.copy_from_slice(&self.reactant);
+        for (rhs, u) in self.r_zero_flux.iter_mut().zip(&self.velocity) {
+            *rhs *= u / self.dx;
+        }
+        self.ws
+            .solve_in_place(&self.lower, &self.diag, &self.upper, &mut self.r_zero_flux)
+            .map_err(FlowCellError::from)?;
+
+        self.p_zero_flux.copy_from_slice(&self.product);
+        for (rhs, u) in self.p_zero_flux.iter_mut().zip(&self.velocity) {
+            *rhs *= u / self.dx;
+        }
+        self.ws
+            .solve_in_place(&self.lower, &self.diag, &self.upper, &mut self.p_zero_flux)
+            .map_err(FlowCellError::from)?;
+
+        // Sensitivity: response to a unit wall flux (1 mol/(m^2 s) removed
+        // from the wall cell).
+        for s in self.sensitivity.iter_mut() {
+            *s = 0.0;
+        }
+        self.sensitivity[0] = 1.0 / self.dy;
+        self.ws
+            .solve_in_place(&self.lower, &self.diag, &self.upper, &mut self.sensitivity)
+            .map_err(FlowCellError::from)?;
+
+        self.station_d = d;
+        // Half-cell correction: extrapolate from the wall-cell center to
+        // the wall itself using the imposed flux gradient q/D over dy/2.
+        let sens_surface = self.sensitivity[0] + self.dy / (2.0 * d);
+        let r0_surf = self.r_zero_flux[0];
+        let p0_surf = self.p_zero_flux[0];
+        Ok(StationResponse {
+            r0: r0_surf,
+            p0: p0_surf,
+            sens: sens_surface,
+            q_max: if sens_surface > 0.0 {
+                r0_surf / sens_surface
+            } else {
+                f64::INFINITY
+            },
+        })
+    }
+
+    /// Commits the prepared station with the chosen wall flux `q`
+    /// (mol/(m²·s), positive = reactant consumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called before [`HalfCellMarcher::prepare`].
+    pub fn commit(&mut self, q: f64) {
+        debug_assert!(self.station_d > 0.0, "commit before prepare");
+        for j in 0..self.ny {
+            self.reactant[j] = (self.r_zero_flux[j] - q * self.sensitivity[j]).max(0.0);
+            self.product[j] = (self.p_zero_flux[j] + q * self.sensitivity[j]).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_marcher(ny: usize, nx: usize) -> HalfCellMarcher {
+        HalfCellMarcher::new(100e-6, 22e-3, nx, vec![1.5; ny], 2000.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn zero_flux_preserves_uniform_profile() {
+        let mut m = uniform_marcher(32, 50);
+        for _ in 0..50 {
+            let resp = m.prepare(1.26e-10).unwrap();
+            assert!((resp.r0 - 2000.0).abs() < 1e-6, "r0 = {}", resp.r0);
+            m.commit(0.0);
+        }
+        assert!(m.reactant().iter().all(|c| (c - 2000.0).abs() < 1e-6));
+        assert!(m.product().iter().all(|c| (c - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn constant_flux_develops_boundary_layer() {
+        let mut m = uniform_marcher(64, 100);
+        let q = 5e-3; // mol/(m^2 s)
+        let mut last_surf = 2000.0;
+        for _ in 0..100 {
+            let resp = m.prepare(1.26e-10).unwrap();
+            let surf = resp.reactant_surface(q);
+            assert!(surf <= last_surf + 1e-9, "surface must deplete monotonically");
+            last_surf = surf;
+            m.commit(q);
+        }
+        // Depleted at the wall, untouched at the interface.
+        assert!(m.reactant()[0] < 2000.0);
+        assert!((m.reactant()[63] - 2000.0).abs() < 1.0);
+        // Product accumulates at the wall.
+        assert!(m.product()[0] > 1.0);
+    }
+
+    #[test]
+    fn mass_conservation_under_wall_extraction() {
+        let mut m = uniform_marcher(48, 80);
+        let q = 2e-3;
+        let inflow = m.convected_reactant_flux();
+        for _ in 0..80 {
+            m.prepare(4.13e-10).unwrap();
+            m.commit(q);
+        }
+        let outflow = m.convected_reactant_flux();
+        let extracted = q * m.dx() * 80.0;
+        let balance = inflow - outflow - extracted;
+        assert!(
+            balance.abs() < 1e-3 * extracted,
+            "imbalance {balance} vs extracted {extracted}"
+        );
+    }
+
+    #[test]
+    fn affine_response_matches_committed_state() {
+        let mut a = uniform_marcher(32, 40);
+        let mut b = uniform_marcher(32, 40);
+        let q = 1e-3;
+        // March `a` twice with q; predict `b`'s second-station surface via
+        // the affine response, then commit and compare.
+        let ra = a.prepare(1e-10).unwrap();
+        a.commit(q);
+        let rb = b.prepare(1e-10).unwrap();
+        assert!((ra.r0 - rb.r0).abs() < 1e-12);
+        b.commit(q);
+        let ra2 = a.prepare(1e-10).unwrap();
+        let rb2 = b.prepare(1e-10).unwrap();
+        assert!((ra2.reactant_surface(q) - rb2.reactant_surface(q)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q_max_prevents_negative_surface() {
+        let mut m = uniform_marcher(32, 40);
+        let resp = m.prepare(1e-10).unwrap();
+        let almost = resp.q_max * 0.999999;
+        assert!(resp.reactant_surface(almost) >= 0.0);
+        assert!(resp.reactant_surface(resp.q_max * 1.1) == 0.0); // clamped
+        m.commit(almost);
+        assert!(m.reactant()[0] >= 0.0);
+    }
+
+    #[test]
+    fn station_sensitivity_is_memoryless_but_depletion_accumulates() {
+        // The affine sensitivity is a single-station response: with a
+        // station-independent operator it is identical at every station.
+        // The boundary-layer *memory* lives in the committed profiles:
+        // under constant flux the zero-flux surface value r0 keeps
+        // falling downstream.
+        let mut m = uniform_marcher(64, 60);
+        let first = m.prepare(1.26e-10).unwrap();
+        m.commit(2e-3);
+        let mut r0_prev = first.r0;
+        for k in 0..58 {
+            let resp = m.prepare(1.26e-10).unwrap();
+            assert!(
+                (resp.sens - first.sens).abs() < 1e-9 * first.sens,
+                "sens changed at station {k}"
+            );
+            assert!(resp.r0 < r0_prev + 1e-9, "r0 must decay, station {k}");
+            r0_prev = resp.r0;
+            m.commit(2e-3);
+        }
+        assert!(r0_prev < first.r0 - 10.0, "significant depletion expected");
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(HalfCellMarcher::new(1e-4, 1e-2, 10, vec![1.0; 3], 1.0, 1.0).is_err());
+        assert!(HalfCellMarcher::new(1e-4, 1e-2, 1, vec![1.0; 8], 1.0, 1.0).is_err());
+        assert!(HalfCellMarcher::new(0.0, 1e-2, 10, vec![1.0; 8], 1.0, 1.0).is_err());
+        assert!(HalfCellMarcher::new(1e-4, 1e-2, 10, vec![-1.0; 8], 1.0, 1.0).is_err());
+        assert!(HalfCellMarcher::new(1e-4, 1e-2, 10, vec![0.0; 8], 1.0, 1.0).is_err());
+        assert!(HalfCellMarcher::new(1e-4, 1e-2, 10, vec![1.0; 8], -1.0, 1.0).is_err());
+        let mut m = uniform_marcher(8, 4);
+        assert!(m.prepare(0.0).is_err());
+        assert!(m.prepare(f64::NAN).is_err());
+    }
+}

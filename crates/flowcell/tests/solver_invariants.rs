@@ -1,0 +1,185 @@
+//! Physics invariants of the flow-cell solver across operating points.
+
+use bright_echem::vanadium;
+use bright_flow::RectChannel;
+use bright_flowcell::options::{SolverOptions, TemperatureProfile, VelocityModel};
+use bright_flowcell::{CellGeometry, CellModel};
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
+
+fn fast_model(flow_ml_min: f64, t: f64) -> CellModel {
+    let channel = RectChannel::new(
+        Meters::from_micrometers(200.0),
+        Meters::from_micrometers(400.0),
+        Meters::from_millimeters(22.0),
+    )
+    .unwrap();
+    CellModel::new(
+        CellGeometry::new(channel),
+        vanadium::power7_cell_chemistry(),
+        CubicMetersPerSecond::from_milliliters_per_minute(flow_ml_min),
+        TemperatureProfile::Uniform(Kelvin::new(t)),
+        SolverOptions {
+            ny: 24,
+            nx: 60,
+            velocity: VelocityModel::PlanePoiseuille,
+            ..SolverOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn current_never_negative_over_voltage_sweep() {
+    let m = fast_model(7.68, 300.0);
+    for k in 0..12 {
+        let v = 0.1 + 1.6 * k as f64 / 11.0;
+        let sol = m.solve_at_voltage(v).unwrap();
+        assert!(
+            sol.current().value() >= -1e-12,
+            "negative current {} at {v} V",
+            sol.current()
+        );
+        assert!(
+            sol.current_density_profile().iter().all(|&i| i >= 0.0),
+            "negative local density at {v} V"
+        );
+    }
+}
+
+#[test]
+fn polarization_is_monotone_under_grid_refinement() {
+    // The curve shape must not depend qualitatively on resolution.
+    let coarse = fast_model(7.68, 300.0);
+    let channel = *coarse.geometry().channel();
+    let fine = CellModel::new(
+        CellGeometry::new(channel),
+        vanadium::power7_cell_chemistry(),
+        coarse.flow(),
+        TemperatureProfile::Uniform(Kelvin::new(300.0)),
+        SolverOptions {
+            ny: 48,
+            nx: 120,
+            velocity: VelocityModel::PlanePoiseuille,
+            ..SolverOptions::default()
+        },
+    )
+    .unwrap();
+    let i_coarse = coarse.solve_at_voltage(1.0).unwrap().current().value();
+    let i_fine = fine.solve_at_voltage(1.0).unwrap().current().value();
+    assert!(
+        ((i_coarse - i_fine) / i_fine).abs() < 0.15,
+        "coarse {i_coarse} vs fine {i_fine}"
+    );
+}
+
+#[test]
+fn overpotentials_have_correct_signs_in_discharge() {
+    let m = fast_model(7.68, 300.0);
+    let sol = m.solve_at_voltage(1.0).unwrap();
+    for (ea, ec) in sol
+        .anode_overpotential_profile()
+        .iter()
+        .zip(sol.cathode_overpotential_profile())
+    {
+        assert!(*ea >= -1e-9, "anode overpotential must be >= 0, got {ea}");
+        assert!(*ec <= 1e-9, "cathode overpotential must be <= 0, got {ec}");
+    }
+}
+
+#[test]
+fn power_equals_voltage_times_current() {
+    let m = fast_model(7.68, 300.0);
+    for v in [0.4, 0.8, 1.2] {
+        let sol = m.solve_at_voltage(v).unwrap();
+        let p = sol.power().value();
+        assert!((p - v * sol.current().value()).abs() < 1e-12 * p.max(1.0));
+    }
+}
+
+#[test]
+fn limiting_current_scales_with_cube_root_of_flow() {
+    // Leveque: i_lim ~ Q^(1/3) (shear ~ Q).
+    let m1 = fast_model(4.0, 300.0);
+    let m8 = fast_model(32.0, 300.0);
+    let i1 = m1.solve_at_voltage(0.1).unwrap().current().value();
+    let i8 = m8.solve_at_voltage(0.1).unwrap().current().value();
+    let ratio = i8 / i1;
+    assert!(
+        (ratio - 2.0).abs() < 0.35,
+        "8x flow should double the plateau, ratio {ratio}"
+    );
+}
+
+#[test]
+fn colder_electrolyte_always_loses() {
+    let cold = fast_model(7.68, 290.0);
+    let warm = fast_model(7.68, 320.0);
+    for v in [0.6, 1.0, 1.3] {
+        let i_cold = cold.solve_at_voltage(v).unwrap().current().value();
+        let i_warm = warm.solve_at_voltage(v).unwrap().current().value();
+        assert!(i_warm > i_cold, "at {v} V: warm {i_warm} <= cold {i_cold}");
+    }
+}
+
+#[test]
+fn product_tracking_lowers_the_curve() {
+    // Tracking product accumulation adds a real (Nernstian) penalty.
+    let with = fast_model(7.68, 300.0);
+    let mut opts = with.options().clone();
+    opts.track_products = false;
+    let without = CellModel::new(
+        *with.geometry(),
+        vanadium::power7_cell_chemistry(),
+        with.flow(),
+        TemperatureProfile::Uniform(Kelvin::new(300.0)),
+        opts,
+    )
+    .unwrap();
+    let i_with = with.solve_at_voltage(1.2).unwrap().current().value();
+    let i_without = without.solve_at_voltage(1.2).unwrap().current().value();
+    assert!(
+        i_without >= i_with,
+        "ignoring products must not reduce current: {i_without} vs {i_with}"
+    );
+}
+
+#[test]
+fn contact_resistance_flattens_the_knee() {
+    let base = fast_model(7.68, 300.0);
+    let mut opts = base.options().clone();
+    opts.contact_asr = 2.0e-3;
+    let resistive = CellModel::new(
+        *base.geometry(),
+        vanadium::power7_cell_chemistry(),
+        base.flow(),
+        TemperatureProfile::Uniform(Kelvin::new(300.0)),
+        opts,
+    )
+    .unwrap();
+    // Same OCV...
+    let ocv_a = base.open_circuit_voltage().unwrap().value();
+    let ocv_b = resistive.open_circuit_voltage().unwrap().value();
+    assert!((ocv_a - ocv_b).abs() < 1e-12);
+    // ...but less current at mid-voltage.
+    let i_base = base.solve_at_voltage(1.2).unwrap().current().value();
+    let i_res = resistive.solve_at_voltage(1.2).unwrap().current().value();
+    assert!(i_res < i_base, "resistive {i_res} vs base {i_base}");
+}
+
+#[test]
+fn nonuniform_temperature_profile_beats_its_minimum() {
+    let ramp = TemperatureProfile::Sampled(vec![
+        Kelvin::new(300.0),
+        Kelvin::new(305.0),
+        Kelvin::new(310.0),
+    ]);
+    let base = fast_model(7.68, 300.0);
+    let ramped = base.with_temperature(ramp).unwrap();
+    let i_base = base.solve_at_voltage(1.0).unwrap().current().value();
+    let i_ramp = ramped.solve_at_voltage(1.0).unwrap().current().value();
+    assert!(i_ramp > i_base);
+    // And stays below the everywhere-hot bound.
+    let hot = fast_model(7.68, 310.0);
+    let i_hot = hot.solve_at_voltage(1.0).unwrap().current().value();
+    assert!(i_ramp < i_hot * 1.001);
+}

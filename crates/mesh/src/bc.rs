@@ -1,0 +1,102 @@
+//! Boundary-condition descriptors shared by the PDE assemblers.
+
+use serde::{Deserialize, Serialize};
+
+/// A boundary condition on one face of a discretized domain.
+///
+/// The assemblers in `bright-thermal` and `bright-flowcell` interpret these
+/// as conditions on the transported scalar (temperature, concentration,
+/// potential):
+///
+/// * `Dirichlet(v)` — fixed value `v` at the wall,
+/// * `Neumann(q)` — fixed flux `q` *into* the domain per unit area
+///   (`q = 0` is the adiabatic/insulated wall),
+/// * `Robin { coefficient, ambient }` — convective exchange
+///   `flux = coefficient · (ambient − value)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Boundary {
+    /// Fixed value at the boundary.
+    Dirichlet(f64),
+    /// Fixed inward flux per unit area; 0 means insulated.
+    Neumann(f64),
+    /// Convective (mixed) condition `flux = coefficient·(ambient − value)`.
+    Robin {
+        /// Exchange coefficient (e.g. a heat-transfer coefficient in
+        /// W/(m²·K)).
+        coefficient: f64,
+        /// Far-field value the boundary exchanges with.
+        ambient: f64,
+    },
+}
+
+impl Boundary {
+    /// The insulated (zero-flux) wall.
+    pub const INSULATED: Boundary = Boundary::Neumann(0.0);
+
+    /// Returns `true` if this condition fixes the boundary value.
+    pub fn is_dirichlet(&self) -> bool {
+        matches!(self, Boundary::Dirichlet(_))
+    }
+}
+
+/// The set of boundary conditions around a rectangular domain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RectBoundaries {
+    /// Condition on the west (x = 0) face.
+    pub west: Boundary,
+    /// Condition on the east (x = width) face.
+    pub east: Boundary,
+    /// Condition on the south (y = 0) face.
+    pub south: Boundary,
+    /// Condition on the north (y = height) face.
+    pub north: Boundary,
+}
+
+impl RectBoundaries {
+    /// All four faces insulated — the default for chip edges, which lose
+    /// negligible heat compared to the microchannel layer.
+    pub fn insulated() -> Self {
+        Self {
+            west: Boundary::INSULATED,
+            east: Boundary::INSULATED,
+            south: Boundary::INSULATED,
+            north: Boundary::INSULATED,
+        }
+    }
+
+    /// The same condition on all four faces.
+    pub fn uniform(bc: Boundary) -> Self {
+        Self {
+            west: bc,
+            east: bc,
+            south: bc,
+            north: bc,
+        }
+    }
+}
+
+impl Default for RectBoundaries {
+    fn default() -> Self {
+        Self::insulated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insulated_is_zero_neumann() {
+        assert_eq!(Boundary::INSULATED, Boundary::Neumann(0.0));
+        assert!(!Boundary::INSULATED.is_dirichlet());
+        assert!(Boundary::Dirichlet(1.0).is_dirichlet());
+    }
+
+    #[test]
+    fn uniform_applies_everywhere() {
+        let b = RectBoundaries::uniform(Boundary::Dirichlet(300.0));
+        assert_eq!(b.west, b.north);
+        assert_eq!(b.east, Boundary::Dirichlet(300.0));
+        assert_eq!(RectBoundaries::default(), RectBoundaries::insulated());
+    }
+}

@@ -1,0 +1,243 @@
+//! Scalar fields over 2-D grids.
+
+use crate::{Grid2d, MeshError};
+use serde::{Deserialize, Serialize};
+
+/// A scalar field stored cell-centered on a [`Grid2d`].
+///
+/// # Examples
+///
+/// ```
+/// use bright_mesh::{Grid2d, Field2d};
+///
+/// let grid = Grid2d::new(3, 3, 1e-3, 1e-3)?;
+/// let f = Field2d::from_fn(grid, |ix, iy| (ix + iy) as f64);
+/// assert_eq!(f.get(2, 2), 4.0);
+/// assert_eq!(f.min(), 0.0);
+/// # Ok::<(), bright_mesh::MeshError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field2d {
+    grid: Grid2d,
+    data: Vec<f64>,
+}
+
+impl Field2d {
+    /// Creates a zero-initialized field.
+    pub fn zeros(grid: Grid2d) -> Self {
+        let n = grid.len();
+        Self {
+            grid,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a field filled with `value`.
+    pub fn constant(grid: Grid2d, value: f64) -> Self {
+        let n = grid.len();
+        Self {
+            grid,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a field by evaluating `f(ix, iy)` at every cell.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(grid: Grid2d, mut f: F) -> Self {
+        let data = grid.iter_cells().map(|(ix, iy)| f(ix, iy)).collect();
+        Self { grid, data }
+    }
+
+    /// Wraps existing data (linear order `iy·nx + ix`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::ShapeMismatch`] if `data.len() != grid.len()`.
+    pub fn from_vec(grid: Grid2d, data: Vec<f64>) -> Result<Self, MeshError> {
+        if data.len() != grid.len() {
+            return Err(MeshError::ShapeMismatch(format!(
+                "data length {} != grid size {}",
+                data.len(),
+                grid.len()
+            )));
+        }
+        Ok(Self { grid, data })
+    }
+
+    /// The grid this field lives on.
+    #[inline]
+    pub fn grid(&self) -> &Grid2d {
+        &self.grid
+    }
+
+    /// Raw data in linear order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data in linear order.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the field, returning its data vector.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Reads cell `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        let idx = self
+            .grid
+            .index(ix, iy)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.data[idx]
+    }
+
+    /// Writes cell `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, ix: usize, iy: usize, value: f64) {
+        let idx = self
+            .grid
+            .index(ix, iy)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.data[idx] = value;
+    }
+
+    /// Minimum value (+∞ for an all-NaN field).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum value (−∞ for an all-NaN field).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Location `(ix, iy)` of the maximum value.
+    pub fn argmax(&self) -> (usize, usize) {
+        let mut best = 0;
+        for (i, v) in self.data.iter().enumerate() {
+            if *v > self.data[best] {
+                best = i;
+            }
+        }
+        self.grid.coords(best)
+    }
+
+    /// Location `(ix, iy)` of the minimum value.
+    pub fn argmin(&self) -> (usize, usize) {
+        let mut best = 0;
+        for (i, v) in self.data.iter().enumerate() {
+            if *v < self.data[best] {
+                best = i;
+            }
+        }
+        self.grid.coords(best)
+    }
+
+    /// Area integral `Σ f_i · dx·dy` over the field.
+    pub fn integral(&self) -> f64 {
+        self.data.iter().sum::<f64>() * self.grid.cell_area()
+    }
+
+    /// Mean of the field over cells selected by a predicate on indices.
+    /// Returns `None` if no cell matches.
+    pub fn mean_where<F: FnMut(usize, usize) -> bool>(&self, mut pred: F) -> Option<f64> {
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for (ix, iy) in self.grid.iter_cells() {
+            if pred(ix, iy) {
+                acc += self.get(ix, iy);
+                count += 1;
+            }
+        }
+        (count > 0).then(|| acc / count as f64)
+    }
+
+    /// Applies `f` to every value in place.
+    pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid2d {
+        Grid2d::new(4, 3, 0.5, 0.5).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let mut f = Field2d::zeros(grid());
+        f.set(3, 2, 7.5);
+        assert_eq!(f.get(3, 2), 7.5);
+        assert_eq!(f.get(0, 0), 0.0);
+        let c = Field2d::constant(grid(), 2.0);
+        assert_eq!(c.mean(), 2.0);
+    }
+
+    #[test]
+    fn statistics() {
+        let f = Field2d::from_fn(grid(), |ix, iy| (ix * 10 + iy) as f64);
+        assert_eq!(f.max(), 32.0);
+        assert_eq!(f.argmax(), (3, 2));
+        assert_eq!(f.min(), 0.0);
+        assert_eq!(f.argmin(), (0, 0));
+    }
+
+    #[test]
+    fn integral_scales_with_cell_area() {
+        let f = Field2d::constant(grid(), 3.0);
+        // 12 cells x 0.25 area x 3.0
+        assert!((f.integral() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_mean() {
+        let f = Field2d::from_fn(grid(), |ix, _| ix as f64);
+        let m = f.mean_where(|ix, _| ix >= 2).unwrap();
+        assert_eq!(m, 2.5);
+        assert!(f.mean_where(|_, _| false).is_none());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Field2d::from_vec(grid(), vec![0.0; 11]).is_err());
+        assert!(Field2d::from_vec(grid(), vec![0.0; 12]).is_ok());
+    }
+
+    #[test]
+    fn map_in_place() {
+        let mut f = Field2d::constant(grid(), 300.15);
+        f.map_in_place(|k| k - 273.15);
+        assert!((f.mean() - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn out_of_bounds_get_panics() {
+        let f = Field2d::zeros(grid());
+        let _ = f.get(4, 0);
+    }
+}

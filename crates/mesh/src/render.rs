@@ -1,0 +1,158 @@
+//! ASCII rendering of 2-D fields.
+//!
+//! The paper presents its results as color maps (Fig. 8 voltage map, Fig. 9
+//! thermal map); the reproduction harness renders the same fields as ASCII
+//! heat maps with a value legend so the structure (hot cores, cool cache
+//! bands, inlet-to-outlet gradient) is visible in a terminal log.
+
+use crate::Field2d;
+
+/// Character ramp from low to high value.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Options for [`render_ascii`].
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Target character width of the rendered map.
+    pub width: usize,
+    /// Target character height of the rendered map.
+    pub height: usize,
+    /// Fixed minimum of the color scale; `None` uses the field minimum.
+    pub scale_min: Option<f64>,
+    /// Fixed maximum of the color scale; `None` uses the field maximum.
+    pub scale_max: Option<f64>,
+    /// Flip the y axis so row 0 of the text is the top of the domain
+    /// (matches how floorplans are usually drawn).
+    pub flip_y: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        Self {
+            width: 72,
+            height: 24,
+            scale_min: None,
+            scale_max: None,
+            flip_y: true,
+        }
+    }
+}
+
+/// Renders a field as an ASCII heat map with a legend line.
+///
+/// The field is resampled to the requested character resolution by
+/// averaging the covered cells, then each character cell is mapped onto a
+/// 10-step density ramp.
+pub fn render_ascii(field: &Field2d, opts: &RenderOptions) -> String {
+    let grid = field.grid();
+    let w = opts.width.clamp(1, 400).min(grid.nx());
+    let h = opts.height.clamp(1, 200).min(grid.ny());
+
+    let lo = opts.scale_min.unwrap_or_else(|| field.min());
+    let hi = opts.scale_max.unwrap_or_else(|| field.max());
+    let span = (hi - lo).max(1e-300);
+
+    let mut out = String::with_capacity((w + 1) * h + 80);
+    for row in 0..h {
+        let r = if opts.flip_y { h - 1 - row } else { row };
+        // Cells covered by this character row.
+        let y0 = r * grid.ny() / h;
+        let y1 = ((r + 1) * grid.ny() / h).max(y0 + 1);
+        for col in 0..w {
+            let x0 = col * grid.nx() / w;
+            let x1 = ((col + 1) * grid.nx() / w).max(x0 + 1);
+            let mut acc = 0.0;
+            let mut n = 0usize;
+            for iy in y0..y1 {
+                for ix in x0..x1 {
+                    acc += field.get(ix, iy);
+                    n += 1;
+                }
+            }
+            let v = acc / n as f64;
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "scale: '{}'={:.4} .. '{}'={:.4}\n",
+        RAMP[0] as char,
+        lo,
+        RAMP[RAMP.len() - 1] as char,
+        hi
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Grid2d;
+
+    #[test]
+    fn renders_gradient_with_expected_extremes() {
+        let grid = Grid2d::new(40, 10, 1.0, 1.0).unwrap();
+        let f = Field2d::from_fn(grid, |ix, _| ix as f64);
+        let s = render_ascii(
+            &f,
+            &RenderOptions {
+                width: 40,
+                height: 10,
+                ..RenderOptions::default()
+            },
+        );
+        let first_line = s.lines().next().unwrap();
+        assert!(first_line.starts_with(' '));
+        assert!(first_line.ends_with('@'));
+        assert!(s.contains("scale:"));
+    }
+
+    #[test]
+    fn flip_y_puts_high_rows_on_top() {
+        let grid = Grid2d::new(4, 4, 1.0, 1.0).unwrap();
+        let f = Field2d::from_fn(grid, |_, iy| iy as f64);
+        let flipped = render_ascii(
+            &f,
+            &RenderOptions {
+                width: 4,
+                height: 4,
+                flip_y: true,
+                ..RenderOptions::default()
+            },
+        );
+        // Top text row corresponds to the max-iy band -> densest char.
+        assert!(flipped.lines().next().unwrap().contains('@'));
+        let unflipped = render_ascii(
+            &f,
+            &RenderOptions {
+                width: 4,
+                height: 4,
+                flip_y: false,
+                ..RenderOptions::default()
+            },
+        );
+        assert!(unflipped.lines().next().unwrap().trim().is_empty());
+    }
+
+    #[test]
+    fn constant_field_renders_uniformly() {
+        let grid = Grid2d::new(8, 8, 1.0, 1.0).unwrap();
+        let f = Field2d::constant(grid, 5.0);
+        let s = render_ascii(
+            &f,
+            &RenderOptions {
+                width: 8,
+                height: 8,
+                scale_min: Some(0.0),
+                scale_max: Some(10.0),
+                ..RenderOptions::default()
+            },
+        );
+        // Mid-scale character everywhere on the map lines.
+        for line in s.lines().take(8) {
+            assert!(line.chars().all(|c| c == '+'), "line was {line:?}");
+        }
+    }
+}

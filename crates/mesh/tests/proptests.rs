@@ -1,0 +1,87 @@
+//! Property-based tests of grids, fields and the ASCII renderer.
+
+use proptest::prelude::*;
+
+use bright_mesh::render::{render_ascii, RenderOptions};
+use bright_mesh::{Field2d, Grid2d};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_coords_roundtrip(nx in 1usize..50, ny in 1usize..50, k in 0usize..2500) {
+        let g = Grid2d::new(nx, ny, 1e-3, 2e-3).unwrap();
+        prop_assume!(k < g.len());
+        let (ix, iy) = g.coords(k);
+        prop_assert_eq!(g.index(ix, iy).unwrap(), k);
+    }
+
+    #[test]
+    fn cell_center_locate_roundtrip(
+        nx in 1usize..40,
+        ny in 1usize..40,
+        dx in 1e-6..1e-2f64,
+        dy in 1e-6..1e-2f64,
+    ) {
+        let g = Grid2d::new(nx, ny, dx, dy).unwrap();
+        for (ix, iy) in [(0, 0), (nx - 1, ny - 1), (nx / 2, ny / 2)] {
+            let (x, y) = g.cell_center(ix, iy).unwrap();
+            prop_assert_eq!(g.locate(x, y), (ix, iy));
+        }
+    }
+
+    #[test]
+    fn integral_matches_mean_times_area(
+        nx in 1usize..20,
+        ny in 1usize..20,
+        v in -100.0..100.0f64,
+    ) {
+        let g = Grid2d::new(nx, ny, 0.5e-3, 0.25e-3).unwrap();
+        let f = Field2d::constant(g.clone(), v);
+        let expected = v * g.cell_area() * g.len() as f64;
+        prop_assert!((f.integral() - expected).abs() < 1e-9 * expected.abs().max(1e-12));
+        prop_assert!((f.mean() - v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_is_consistent_with_max(nx in 2usize..20, ny in 2usize..20, seed in 0u64..500) {
+        let g = Grid2d::new(nx, ny, 1.0, 1.0).unwrap();
+        let f = Field2d::from_fn(g, |ix, iy| {
+            let h = (ix as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((iy as u64).wrapping_mul(seed | 1));
+            (h >> 40) as f64
+        });
+        let (ix, iy) = f.argmax();
+        prop_assert_eq!(f.get(ix, iy), f.max());
+        let (jx, jy) = f.argmin();
+        prop_assert_eq!(f.get(jx, jy), f.min());
+    }
+
+    #[test]
+    fn render_has_requested_shape_and_legend(
+        nx in 2usize..60,
+        ny in 2usize..40,
+        w in 2usize..60,
+        h in 2usize..40,
+    ) {
+        let g = Grid2d::new(nx, ny, 1.0, 1.0).unwrap();
+        let f = Field2d::from_fn(g, |ix, iy| (ix * 3 + iy) as f64);
+        let s = render_ascii(
+            &f,
+            &RenderOptions {
+                width: w,
+                height: h,
+                ..RenderOptions::default()
+            },
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        let map_h = h.min(ny);
+        let map_w = w.min(nx);
+        prop_assert_eq!(lines.len(), map_h + 1, "map rows + legend");
+        for line in &lines[..map_h] {
+            prop_assert_eq!(line.chars().count(), map_w);
+        }
+        prop_assert!(lines[map_h].starts_with("scale:"));
+    }
+}

@@ -1,0 +1,354 @@
+//! Dense small matrices with LU factorization.
+//!
+//! Used for the few-unknown Newton systems of the electrode coupling and
+//! for verifying sparse kernels in tests. Not intended for large systems —
+//! the sparse iterative solvers in [`crate::solvers`] cover those.
+
+use crate::NumError;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use bright_num::dense::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok::<(), bright_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] for a zero dimension.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, NumError> {
+        if rows == 0 || cols == 0 {
+            return Err(NumError::InvalidInput("zero matrix dimension".into()));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        })
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if `n == 0`.
+    pub fn identity(n: usize) -> Result<Self, NumError> {
+        let mut m = Self::zeros(n, n)?;
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::InvalidInput`] if rows are empty, and
+    /// [`NumError::DimensionMismatch`] if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(NumError::InvalidInput("empty matrix".into()));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumError::DimensionMismatch(format!(
+                    "row {i} has length {} != {cols}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Writes entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Adds `value` to entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] += value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, NumError> {
+        if x.len() != self.cols {
+            return Err(NumError::DimensionMismatch(format!(
+                "vector length {} != cols {}",
+                x.len(),
+                self.cols
+            )));
+        }
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = crate::vec_ops::dot(row, x);
+        }
+        Ok(y)
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::DimensionMismatch`] if the matrix is not square.
+    /// * [`NumError::SingularMatrix`] if a pivot column is entirely zero.
+    pub fn lu(&self) -> Result<LuFactors, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::DimensionMismatch(format!(
+                "LU requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < f64::MIN_POSITIVE * 16.0 {
+                return Err(NumError::SingularMatrix { index: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors {
+            n,
+            lu,
+            perm,
+            sign,
+        })
+    }
+
+    /// Solves `A·x = b` via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`DenseMatrix::lu`] and
+    /// [`LuFactors::solve`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        self.lu()?.solve(b)
+    }
+
+    /// Determinant via LU. Returns 0.0 for singular matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if the matrix is not square.
+    pub fn det(&self) -> Result<f64, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::DimensionMismatch("det of non-square".into()));
+        }
+        match self.lu() {
+            Ok(f) => Ok(f.det()),
+            Err(NumError::SingularMatrix { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The result of [`DenseMatrix::lu`]: a packed LU factorization with its
+/// row permutation, reusable for multiple right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `b.len()` differs from
+    /// the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumError::DimensionMismatch(format!(
+                "rhs length {} != system size {n}",
+                b.len()
+            )));
+        }
+        // Apply permutation, forward substitution (unit lower), back subst.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_3x3_with_pivoting() {
+        // Leading zero forces a pivot swap.
+        let a = DenseMatrix::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[2.0, 0.0, -1.0],
+        ])
+        .unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn determinant_signs_and_values() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        assert!((a.det().unwrap() - 6.0).abs() < 1e-14);
+        let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((b.det().unwrap() + 1.0).abs() < 1e-14);
+        let s = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(s.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let eye = DenseMatrix::identity(5).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(eye.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn lu_factors_reused_for_multiple_rhs() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let f = a.lu().unwrap();
+        let x1 = f.solve(&[1.0, 0.0]).unwrap();
+        let x2 = f.solve(&[0.0, 1.0]).unwrap();
+        // Columns of A^-1: A^-1 = 1/11 * [[3, -1], [-1, 4]].
+        assert!((x1[0] - 3.0 / 11.0).abs() < 1e-14);
+        assert!((x2[1] - 4.0 / 11.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+        assert!(DenseMatrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        let rect = DenseMatrix::zeros(2, 3).unwrap();
+        assert!(rect.lu().is_err());
+        assert!(rect.det().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_panics_out_of_bounds() {
+        let a = DenseMatrix::zeros(2, 2).unwrap();
+        let _ = a.get(2, 0);
+    }
+}

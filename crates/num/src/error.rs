@@ -1,0 +1,82 @@
+//! Error type shared by the numerical kernels.
+
+use std::fmt;
+
+/// Errors produced by the solvers and factorizations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// Matrix/vector dimensions are inconsistent with the requested
+    /// operation. Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// A pivot (or diagonal entry) was exactly zero or numerically
+    /// negligible, so the factorization or sweep cannot proceed.
+    SingularMatrix {
+        /// Index of the offending row/pivot.
+        index: usize,
+    },
+    /// An iterative method exhausted its iteration budget before reaching
+    /// the requested tolerance.
+    NotConverged {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm when iteration stopped.
+        residual: f64,
+        /// Tolerance that was requested.
+        tolerance: f64,
+    },
+    /// The iterative method broke down (e.g. a zero inner product in
+    /// BiCGSTAB) and cannot continue from this state.
+    Breakdown(String),
+    /// Scalar root finding could not bracket or locate a root.
+    NoRoot(String),
+    /// Input data is invalid (NaN/Inf entries, unsorted abscissae, ...).
+    InvalidInput(String),
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            NumError::SingularMatrix { index } => {
+                write!(f, "singular matrix: zero pivot at index {index}")
+            }
+            NumError::NotConverged {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "iteration did not converge: residual {residual:.3e} > tolerance {tolerance:.3e} \
+                 after {iterations} iterations"
+            ),
+            NumError::Breakdown(msg) => write!(f, "iterative method breakdown: {msg}"),
+            NumError::NoRoot(msg) => write!(f, "root finding failed: {msg}"),
+            NumError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NumError::NotConverged {
+            iterations: 100,
+            residual: 1e-3,
+            tolerance: 1e-9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("1.000e-3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+}

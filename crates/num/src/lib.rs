@@ -1,0 +1,45 @@
+//! Numerical substrate for the `bright-silicon` workspace.
+//!
+//! The DATE 2014 paper this workspace reproduces relied on COMSOL
+//! Multiphysics for its field solves; this crate provides the hand-rolled
+//! replacement kernels every other crate builds on:
+//!
+//! * dense small-matrix LU ([`dense`]),
+//! * tridiagonal (Thomas) solves ([`tridiag`]) for the streamwise marching
+//!   species-transport solver,
+//! * sparse CSR matrices with CG and BiCGSTAB iterative solvers
+//!   ([`sparse`], [`solvers`]) for the thermal network, power grid and the
+//!   full 2-D finite-volume solves,
+//! * scalar root finding ([`roots`]) for polarization operating points,
+//! * interpolation ([`interp`]) and quadrature ([`quadrature`]) helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use bright_num::tridiag::TridiagonalSystem;
+//!
+//! // Solve the 1-D Poisson problem -u'' = 1 on 3 interior nodes.
+//! let sys = TridiagonalSystem::from_bands(
+//!     vec![-1.0, -1.0],
+//!     vec![2.0, 2.0, 2.0],
+//!     vec![-1.0, -1.0],
+//! ).unwrap();
+//! let x = sys.solve(&[1.0, 1.0, 1.0]).unwrap();
+//! assert!((x[1] - 2.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dense;
+pub mod error;
+pub mod interp;
+pub mod quadrature;
+pub mod roots;
+pub mod solvers;
+pub mod sparse;
+pub mod tridiag;
+pub mod vec_ops;
+
+pub use error::NumError;
+pub use sparse::{CsrMatrix, TripletMatrix};

@@ -1,0 +1,128 @@
+//! Numerical quadrature over sampled data.
+//!
+//! Electrode currents are integrals of the local current density along the
+//! channel; these helpers integrate the sampled density profiles.
+
+use crate::NumError;
+
+/// Composite trapezoid rule over irregularly spaced samples `(x_i, y_i)`.
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] if lengths differ,
+/// * [`NumError::InvalidInput`] if fewer than two points or `x` is not
+///   strictly increasing.
+pub fn trapezoid(x: &[f64], y: &[f64]) -> Result<f64, NumError> {
+    if x.len() != y.len() {
+        return Err(NumError::DimensionMismatch(format!(
+            "x has {} points, y has {}",
+            x.len(),
+            y.len()
+        )));
+    }
+    if x.len() < 2 {
+        return Err(NumError::InvalidInput("need at least two points".into()));
+    }
+    if x.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(NumError::InvalidInput(
+            "abscissae must be strictly increasing".into(),
+        ));
+    }
+    let mut acc = 0.0;
+    for i in 0..x.len() - 1 {
+        acc += 0.5 * (y[i] + y[i + 1]) * (x[i + 1] - x[i]);
+    }
+    Ok(acc)
+}
+
+/// Composite trapezoid rule for uniformly spaced samples with step `h`.
+///
+/// # Errors
+///
+/// Returns [`NumError::InvalidInput`] if fewer than two points or
+/// `h <= 0`.
+pub fn trapezoid_uniform(y: &[f64], h: f64) -> Result<f64, NumError> {
+    if y.len() < 2 {
+        return Err(NumError::InvalidInput("need at least two points".into()));
+    }
+    if !(h > 0.0) || !h.is_finite() {
+        return Err(NumError::InvalidInput(format!("bad step {h}")));
+    }
+    let interior: f64 = y[1..y.len() - 1].iter().sum();
+    Ok(h * (0.5 * (y[0] + y[y.len() - 1]) + interior))
+}
+
+/// Composite Simpson rule for uniformly spaced samples (odd point count;
+/// falls back to trapezoid on the last interval for even counts).
+///
+/// # Errors
+///
+/// As [`trapezoid_uniform`].
+pub fn simpson_uniform(y: &[f64], h: f64) -> Result<f64, NumError> {
+    if y.len() < 2 {
+        return Err(NumError::InvalidInput("need at least two points".into()));
+    }
+    if !(h > 0.0) || !h.is_finite() {
+        return Err(NumError::InvalidInput(format!("bad step {h}")));
+    }
+    if y.len() == 2 {
+        return Ok(0.5 * h * (y[0] + y[1]));
+    }
+    let odd_count = if y.len() % 2 == 1 { y.len() } else { y.len() - 1 };
+    let mut acc = y[0] + y[odd_count - 1];
+    for (i, yi) in y.iter().enumerate().take(odd_count - 1).skip(1) {
+        acc += if i % 2 == 1 { 4.0 * yi } else { 2.0 * yi };
+    }
+    let mut total = acc * h / 3.0;
+    if odd_count != y.len() {
+        total += 0.5 * h * (y[y.len() - 2] + y[y.len() - 1]);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_is_exact_for_linear() {
+        let x = [0.0, 1.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let i = trapezoid(&x, &y).unwrap();
+        assert!((i - 20.0).abs() < 1e-13); // ∫0^4 (2x+1) dx = 16+4
+    }
+
+    #[test]
+    fn uniform_matches_general() {
+        let y = [1.0, 4.0, 9.0, 16.0, 25.0];
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = trapezoid(&x, &y).unwrap();
+        let b = trapezoid_uniform(&y, 1.0).unwrap();
+        assert!((a - b).abs() < 1e-13);
+    }
+
+    #[test]
+    fn simpson_is_exact_for_cubic() {
+        // ∫0^2 x^3 dx = 4, 5 points (h = 0.5).
+        let y: Vec<f64> = (0..5).map(|i| (0.5 * i as f64).powi(3)).collect();
+        let s = simpson_uniform(&y, 0.5).unwrap();
+        assert!((s - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_even_count_falls_back() {
+        // 4 points over [0,3] of f = x: exact integral 4.5.
+        let y = [0.0, 1.0, 2.0, 3.0];
+        let s = simpson_uniform(&y, 1.0).unwrap();
+        assert!((s - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(trapezoid(&[0.0], &[1.0]).is_err());
+        assert!(trapezoid(&[0.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(trapezoid(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(trapezoid_uniform(&[1.0, 2.0], 0.0).is_err());
+        assert!(simpson_uniform(&[1.0], 1.0).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! Iterative solvers for sparse linear systems.
+//!
+//! Two Krylov methods cover every field solve in the workspace:
+//!
+//! * [`conjugate_gradient`] — for the symmetric positive-definite systems
+//!   (PDN conductance Laplacian with Dirichlet ports, pure-conduction
+//!   thermal networks);
+//! * [`bicgstab`] — for the nonsymmetric systems created by upwind
+//!   advection (fluid thermal cells, full 2-D convection–diffusion).
+//!
+//! Both support Jacobi (diagonal) preconditioning, which is remarkably
+//! effective for the diagonally dominant matrices these applications
+//! produce. A Gauss–Seidel/SOR smoother is provided for tests and as a
+//! fallback.
+
+use crate::sparse::CsrMatrix;
+use crate::vec_ops::{all_finite, axpy, dot, norm2, sub, xpby};
+use crate::NumError;
+
+/// Options controlling an iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterOptions {
+    /// Relative residual tolerance: stop when `‖r‖₂ ≤ tol·‖b‖₂`.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Apply Jacobi (diagonal) preconditioning.
+    pub jacobi_preconditioner: bool,
+}
+
+impl Default for IterOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 10_000,
+            jacobi_preconditioner: true,
+        }
+    }
+}
+
+/// Outcome of a converged iterative solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖₂ / ‖b‖₂`.
+    pub relative_residual: f64,
+}
+
+fn validate(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>) -> Result<(), NumError> {
+    if a.rows() != a.cols() {
+        return Err(NumError::DimensionMismatch(format!(
+            "iterative solve requires square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.len() != a.rows() {
+        return Err(NumError::DimensionMismatch(format!(
+            "rhs length {} != matrix size {}",
+            b.len(),
+            a.rows()
+        )));
+    }
+    if let Some(x0) = x0 {
+        if x0.len() != a.rows() {
+            return Err(NumError::DimensionMismatch(format!(
+                "initial guess length {} != matrix size {}",
+                x0.len(),
+                a.rows()
+            )));
+        }
+    }
+    if !all_finite(b) {
+        return Err(NumError::InvalidInput("non-finite rhs entry".into()));
+    }
+    Ok(())
+}
+
+fn jacobi_inverse_diagonal(a: &CsrMatrix) -> Result<Vec<f64>, NumError> {
+    let diag = a.diagonal();
+    let mut inv = Vec::with_capacity(diag.len());
+    for (i, d) in diag.iter().enumerate() {
+        if d.abs() < f64::MIN_POSITIVE * 16.0 {
+            return Err(NumError::SingularMatrix { index: i });
+        }
+        inv.push(1.0 / d);
+    }
+    Ok(inv)
+}
+
+/// Preconditioned conjugate gradient for symmetric positive-definite `A`.
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] / [`NumError::InvalidInput`] on bad
+///   inputs,
+/// * [`NumError::SingularMatrix`] if Jacobi preconditioning meets a zero
+///   diagonal,
+/// * [`NumError::Breakdown`] if `pᵀAp ≤ 0` (matrix not SPD),
+/// * [`NumError::NotConverged`] when the budget is exhausted.
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &IterOptions,
+) -> Result<IterSolution, NumError> {
+    validate(a, b, x0)?;
+    let n = b.len();
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(IterSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+    let m_inv = if opts.jacobi_preconditioner {
+        Some(jacobi_inverse_diagonal(a)?)
+    } else {
+        None
+    };
+
+    let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
+    let mut r = vec![0.0; n];
+    let ax = a.matvec(&x)?;
+    sub(b, &ax, &mut r);
+
+    let mut z = r.clone();
+    if let Some(mi) = &m_inv {
+        for (zi, mi) in z.iter_mut().zip(mi) {
+            *zi *= mi;
+        }
+    }
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for it in 0..opts.max_iterations {
+        let res = norm2(&r) / b_norm;
+        if res <= opts.tolerance {
+            return Ok(IterSolution {
+                x,
+                iterations: it,
+                relative_residual: res,
+            });
+        }
+        a.matvec_into(&p, &mut ap)?;
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Err(NumError::Breakdown(format!(
+                "pAp = {pap:.3e} at iteration {it}; matrix not SPD?"
+            )));
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+
+        z.copy_from_slice(&r);
+        if let Some(mi) = &m_inv {
+            for (zi, mi) in z.iter_mut().zip(mi) {
+                *zi *= mi;
+            }
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        xpby(&z, beta, &mut p);
+    }
+    Err(NumError::NotConverged {
+        iterations: opts.max_iterations,
+        residual: norm2(&r) / b_norm,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// Preconditioned BiCGSTAB for general (nonsymmetric) `A`.
+///
+/// # Errors
+///
+/// As [`conjugate_gradient`], with [`NumError::Breakdown`] raised when the
+/// stabilized bi-orthogonal recurrences collapse (`ρ ≈ 0` or `ω ≈ 0`).
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &IterOptions,
+) -> Result<IterSolution, NumError> {
+    validate(a, b, x0)?;
+    let n = b.len();
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(IterSolution {
+            x: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        });
+    }
+    let m_inv = if opts.jacobi_preconditioner {
+        Some(jacobi_inverse_diagonal(a)?)
+    } else {
+        None
+    };
+    let precond = |dst: &mut Vec<f64>, src: &[f64]| {
+        dst.copy_from_slice(src);
+        if let Some(mi) = &m_inv {
+            for (d, m) in dst.iter_mut().zip(mi) {
+                *d *= m;
+            }
+        }
+    };
+
+    let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
+    let mut r = vec![0.0; n];
+    let ax = a.matvec(&x)?;
+    sub(b, &ax, &mut r);
+    let r_hat = r.clone();
+
+    let mut rho = 1.0_f64;
+    let mut alpha = 1.0_f64;
+    let mut omega = 1.0_f64;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut p_hat = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut s_hat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    for it in 0..opts.max_iterations {
+        let res = norm2(&r) / b_norm;
+        if res <= opts.tolerance {
+            return Ok(IterSolution {
+                x,
+                iterations: it,
+                relative_residual: res,
+            });
+        }
+        let rho_new = dot(&r_hat, &r);
+        if rho_new.abs() < 1e-300 {
+            return Err(NumError::Breakdown(format!(
+                "rho = {rho_new:.3e} at iteration {it}"
+            )));
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta (p - omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        precond(&mut p_hat, &p);
+        a.matvec_into(&p_hat, &mut v)?;
+        let rhat_v = dot(&r_hat, &v);
+        if rhat_v.abs() < 1e-300 {
+            return Err(NumError::Breakdown(format!(
+                "r_hat.v = {rhat_v:.3e} at iteration {it}"
+            )));
+        }
+        alpha = rho / rhat_v;
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if norm2(&s) / b_norm <= opts.tolerance {
+            axpy(alpha, &p_hat, &mut x);
+            let ax = a.matvec(&x)?;
+            sub(b, &ax, &mut r);
+            return Ok(IterSolution {
+                x,
+                iterations: it + 1,
+                relative_residual: norm2(&r) / b_norm,
+            });
+        }
+        precond(&mut s_hat, &s);
+        a.matvec_into(&s_hat, &mut t)?;
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(NumError::Breakdown(format!("t.t = 0 at iteration {it}")));
+        }
+        omega = dot(&t, &s) / tt;
+        if omega.abs() < 1e-300 {
+            return Err(NumError::Breakdown(format!("omega = 0 at iteration {it}")));
+        }
+        for i in 0..n {
+            x[i] += alpha * p_hat[i] + omega * s_hat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+    }
+    Err(NumError::NotConverged {
+        iterations: opts.max_iterations,
+        residual: norm2(&r) / b_norm,
+        tolerance: opts.tolerance,
+    })
+}
+
+/// One Gauss–Seidel / SOR sweep: `x ← x + ω·D⁻¹(b − A·x)` row-by-row.
+///
+/// Returns the L∞ norm of the update (useful as a convergence measure).
+///
+/// # Errors
+///
+/// * [`NumError::DimensionMismatch`] on size mismatch,
+/// * [`NumError::SingularMatrix`] on zero diagonal.
+pub fn sor_sweep(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    relaxation: f64,
+) -> Result<f64, NumError> {
+    if a.rows() != a.cols() || b.len() != a.rows() || x.len() != a.rows() {
+        return Err(NumError::DimensionMismatch(
+            "sor_sweep: inconsistent sizes".into(),
+        ));
+    }
+    let mut max_update = 0.0_f64;
+    for i in 0..a.rows() {
+        let mut sigma = 0.0;
+        let mut diag = 0.0;
+        for (j, v) in a.row(i) {
+            if j == i {
+                diag = v;
+            } else {
+                sigma += v * x[j];
+            }
+        }
+        if diag.abs() < f64::MIN_POSITIVE * 16.0 {
+            return Err(NumError::SingularMatrix { index: i });
+        }
+        let x_new = (1.0 - relaxation) * x[i] + relaxation * (b[i] - sigma) / diag;
+        max_update = max_update.max((x_new - x[i]).abs());
+        x[i] = x_new;
+    }
+    Ok(max_update)
+}
+
+/// Solves by repeated SOR sweeps. Intended for tests and small systems;
+/// production paths use the Krylov methods.
+///
+/// # Errors
+///
+/// As [`sor_sweep`], plus [`NumError::NotConverged`].
+pub fn sor_solve(
+    a: &CsrMatrix,
+    b: &[f64],
+    relaxation: f64,
+    opts: &IterOptions,
+) -> Result<IterSolution, NumError> {
+    let mut x = vec![0.0; b.len()];
+    let b_norm = norm2(b).max(1e-300);
+    for it in 0..opts.max_iterations {
+        sor_sweep(a, b, &mut x, relaxation)?;
+        let ax = a.matvec(&x)?;
+        let mut r = vec![0.0; b.len()];
+        sub(b, &ax, &mut r);
+        let res = norm2(&r) / b_norm;
+        if res <= opts.tolerance {
+            return Ok(IterSolution {
+                x,
+                iterations: it + 1,
+                relative_residual: res,
+            });
+        }
+    }
+    let ax = a.matvec(&x)?;
+    let mut r = vec![0.0; b.len()];
+    sub(b, &ax, &mut r);
+    Err(NumError::NotConverged {
+        iterations: opts.max_iterations,
+        residual: norm2(&r) / b_norm,
+        tolerance: opts.tolerance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    /// 2-D 5-point Laplacian with Dirichlet boundaries on an n×n grid.
+    fn laplacian_2d(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n * n, n * n);
+        let idx = |i: usize, j: usize| i * n + j;
+        for i in 0..n {
+            for j in 0..n {
+                t.push(idx(i, j), idx(i, j), 4.0).unwrap();
+                if i > 0 {
+                    t.push(idx(i, j), idx(i - 1, j), -1.0).unwrap();
+                }
+                if i + 1 < n {
+                    t.push(idx(i, j), idx(i + 1, j), -1.0).unwrap();
+                }
+                if j > 0 {
+                    t.push(idx(i, j), idx(i, j - 1), -1.0).unwrap();
+                }
+                if j + 1 < n {
+                    t.push(idx(i, j), idx(i, j + 1), -1.0).unwrap();
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Upwind 1-D convection-diffusion operator (nonsymmetric).
+    fn convection_diffusion_1d(n: usize, peclet: f64) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + peclet).unwrap();
+            if i > 0 {
+                t.push(i, i - 1, -1.0 - peclet).unwrap();
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0).unwrap();
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn cg_solves_2d_laplacian() {
+        let n = 20;
+        let a = laplacian_2d(n);
+        let x_true: Vec<f64> = (0..n * n).map(|i| ((i % 17) as f64) * 0.3 - 1.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let sol = conjugate_gradient(&a, &b, None, &IterOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+        assert!(sol.relative_residual <= 1e-10);
+    }
+
+    #[test]
+    fn cg_preconditioning_reduces_iterations() {
+        let n = 24;
+        let a = laplacian_2d(n);
+        let b = vec![1.0; n * n];
+        let with = conjugate_gradient(
+            &a,
+            &b,
+            None,
+            &IterOptions {
+                jacobi_preconditioner: true,
+                ..IterOptions::default()
+            },
+        )
+        .unwrap();
+        let without = conjugate_gradient(
+            &a,
+            &b,
+            None,
+            &IterOptions {
+                jacobi_preconditioner: false,
+                ..IterOptions::default()
+            },
+        )
+        .unwrap();
+        // Jacobi on a constant-diagonal Laplacian is a pure scaling, so
+        // iteration counts match; this guards that preconditioning never
+        // hurts. (It pays off on the variable-coefficient matrices of the
+        // thermal/PDN crates.)
+        assert!(with.iterations <= without.iterations + 1);
+    }
+
+    #[test]
+    fn cg_rejects_nonspd() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, -1.0).unwrap();
+        t.push(1, 1, -1.0).unwrap();
+        let a = t.to_csr();
+        let err = conjugate_gradient(&a, &[1.0, 1.0], None, &IterOptions::default()).unwrap_err();
+        assert!(matches!(err, NumError::Breakdown(_)));
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        let n = 200;
+        let a = convection_diffusion_1d(n, 3.0);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let sol = bicgstab(&a, &b, None, &IterOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn bicgstab_matches_cg_on_spd() {
+        let n = 12;
+        let a = laplacian_2d(n);
+        let b: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.01).cos()).collect();
+        let c = conjugate_gradient(&a, &b, None, &IterOptions::default()).unwrap();
+        let s = bicgstab(&a, &b, None, &IterOptions::default()).unwrap();
+        for (xc, xs) in c.x.iter().zip(&s.x) {
+            assert!((xc - xs).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let n = 10;
+        let a = laplacian_2d(n);
+        let b = vec![1.0; n * n];
+        let sol = conjugate_gradient(&a, &b, None, &IterOptions::default()).unwrap();
+        let warm = conjugate_gradient(&a, &b, Some(&sol.x), &IterOptions::default()).unwrap();
+        assert!(warm.iterations <= 1);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let a = laplacian_2d(4);
+        let sol = conjugate_gradient(&a, &[0.0; 16], None, &IterOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn iteration_budget_is_enforced() {
+        let a = laplacian_2d(16);
+        let b = vec![1.0; 256];
+        let err = conjugate_gradient(
+            &a,
+            &b,
+            None,
+            &IterOptions {
+                max_iterations: 2,
+                ..IterOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NumError::NotConverged { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn sor_converges_on_dominant_system() {
+        let a = convection_diffusion_1d(40, 1.0);
+        let x_true: Vec<f64> = (0..40).map(|i| 1.0 + (i as f64) * 0.1).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let sol = sor_solve(
+            &a,
+            &b,
+            1.2,
+            &IterOptions {
+                tolerance: 1e-9,
+                max_iterations: 5000,
+                jacobi_preconditioner: false,
+            },
+        )
+        .unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn solvers_validate_inputs() {
+        let a = laplacian_2d(3);
+        assert!(conjugate_gradient(&a, &[1.0], None, &IterOptions::default()).is_err());
+        assert!(bicgstab(&a, &[f64::NAN; 9], None, &IterOptions::default()).is_err());
+        let bad_guess = vec![0.0; 4];
+        assert!(
+            conjugate_gradient(&a, &[1.0; 9], Some(&bad_guess), &IterOptions::default())
+                .is_err()
+        );
+    }
+}

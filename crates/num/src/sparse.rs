@@ -1,0 +1,381 @@
+//! Sparse matrices: triplet (COO) assembly and CSR storage.
+//!
+//! The thermal network, the PDN conductance Laplacian and the full 2-D
+//! finite-volume operator are all assembled as triplets (natural for
+//! stencil/stamp-style assembly, duplicate entries summed) and then
+//! compressed to CSR for the iterative solvers.
+
+use crate::NumError;
+
+/// A growable sparse matrix in coordinate (triplet) form.
+///
+/// Duplicate `(row, col)` entries are allowed during assembly and are summed
+/// when converting to CSR — this is the "stamping" idiom used by circuit and
+/// FV assemblers.
+///
+/// # Examples
+///
+/// ```
+/// use bright_num::{TripletMatrix, CsrMatrix};
+///
+/// let mut t = TripletMatrix::new(2, 2);
+/// t.push(0, 0, 2.0)?;
+/// t.push(0, 0, 1.0)?; // duplicate: summed
+/// t.push(1, 1, 4.0)?;
+/// let a: CsrMatrix = t.to_csr();
+/// assert_eq!(a.get(0, 0), 3.0);
+/// # Ok::<(), bright_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty triplet matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with room for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (possibly duplicate) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends an entry; duplicates accumulate on conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] for out-of-range indices and
+    /// [`NumError::InvalidInput`] for non-finite values.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), NumError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(NumError::DimensionMismatch(format!(
+                "entry ({row},{col}) outside {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        if !value.is_finite() {
+            return Err(NumError::InvalidInput(format!(
+                "non-finite entry at ({row},{col})"
+            )));
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Stamps a 2-terminal conductance between nodes `a` and `b`
+    /// (adds `g` to both diagonals, `−g` to both off-diagonals) — the
+    /// elementary operation of thermal- and power-grid assembly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TripletMatrix::push`].
+    pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) -> Result<(), NumError> {
+        self.push(a, a, g)?;
+        self.push(b, b, g)?;
+        self.push(a, b, -g)?;
+        self.push(b, a, -g)
+    }
+
+    /// Compresses to CSR, summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|x| (x.0, x.1));
+
+        let mut row_counts = vec![0usize; self.rows];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+
+        for &(r, c, v) in &sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("non-empty when last is set") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_counts[r] += 1;
+                last = Some((r, c));
+            }
+        }
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for i in 0..self.rows {
+            row_ptr[i + 1] = row_ptr[i] + row_counts[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros (after duplicate summing).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reads entry `(i, j)`, returning 0.0 for entries outside the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored entries of row `i` as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] on size mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, NumError> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free matrix–vector product `y ← A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] on size mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), NumError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(NumError::DimensionMismatch(format!(
+                "matvec: A is {}x{}, x has {}, y has {}",
+                self.rows,
+                self.cols,
+                x.len(),
+                y.len()
+            )));
+        }
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+        Ok(())
+    }
+
+    /// Extracts the main diagonal (0.0 where absent from the pattern).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Returns `true` if the matrix is (weakly) row diagonally dominant:
+    /// `|a_ii| ≥ Σ_{j≠i} |a_ij|` for every row. Iterative solvers in this
+    /// workspace are applied to matrices with this property.
+    pub fn is_diagonally_dominant(&self) -> bool {
+        for i in 0..self.rows {
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (j, v) in self.row(i) {
+                if j == i {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            if diag + 1e-14 * (diag + off) < off {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks structural and numerical symmetry to a relative tolerance.
+    pub fn is_symmetric(&self, rel_tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                let vt = self.get(j, i);
+                let scale = v.abs().max(vt.abs()).max(1e-300);
+                if (v - vt).abs() > rel_tol * scale {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0).unwrap();
+            if i > 0 {
+                t.push(i, i - 1, -1.0).unwrap();
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -1.0).unwrap();
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 1, 1.0).unwrap();
+        t.push(1, 1, 2.5).unwrap();
+        t.push(0, 2, -1.0).unwrap();
+        t.push(0, 2, -1.0).unwrap();
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(1, 1), 3.5);
+        assert_eq!(a.get(0, 2), -2.0);
+        assert_eq!(a.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let mut t = TripletMatrix::new(4, 4);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(3, 3, 1.0).unwrap();
+        let a = t.to_csr();
+        let y = a.matvec(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense_laplacian() {
+        let a = laplacian_1d(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = a.matvec(&x).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn conductance_stamp_is_symmetric_singular() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.stamp_conductance(0, 1, 5.0).unwrap();
+        let a = t.to_csr();
+        assert!(a.is_symmetric(1e-12));
+        // Row sums are zero (floating network).
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn diagonal_dominance_detection() {
+        assert!(laplacian_1d(8).is_diagonally_dominant());
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(0, 1, -3.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        assert!(!t.to_csr().is_diagonally_dominant());
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(laplacian_1d(6).is_symmetric(1e-14));
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        t.push(0, 0, 1.0).unwrap();
+        assert!(!t.to_csr().is_symmetric(1e-14));
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut t = TripletMatrix::new(2, 2);
+        assert!(t.push(2, 0, 1.0).is_err());
+        assert!(t.push(0, 0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn row_iterator_yields_sorted_columns() {
+        let mut t = TripletMatrix::new(1, 5);
+        t.push(0, 4, 4.0).unwrap();
+        t.push(0, 1, 1.0).unwrap();
+        t.push(0, 3, 3.0).unwrap();
+        let a = t.to_csr();
+        let cols: Vec<usize> = a.row(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 3, 4]);
+    }
+}

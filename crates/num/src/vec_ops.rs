@@ -1,0 +1,109 @@
+//! Small dense-vector kernels used by the iterative solvers.
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute entry (L∞ norm). Returns 0 for an empty slice.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// `y ← a·x + y`.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (the "xpby" update used by CG's direction refresh).
+#[inline]
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `y ← x` (copy).
+#[inline]
+pub fn copy(x: &[f64], y: &mut [f64]) {
+    y.copy_from_slice(x);
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= a;
+    }
+}
+
+/// Component-wise subtraction `out ← a − b`.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// Returns `true` if every entry is finite.
+#[inline]
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn xpby_refreshes_direction() {
+        let x = [1.0, 1.0];
+        let mut y = [3.0, 5.0];
+        xpby(&x, 0.5, &mut y);
+        assert_eq!(y, [2.5, 3.5]);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(all_finite(&[1.0, -2.0]));
+        assert!(!all_finite(&[1.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

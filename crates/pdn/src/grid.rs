@@ -1,0 +1,402 @@
+//! The on-chip power grid as a resistive sheet.
+//!
+//! The rail metal is modelled as a uniform sheet of resistance `R_s`
+//! (Ω/sq) discretized on the simulation grid; block loads are constant
+//! current sinks (`I = P/V_nom`); supply ports connect cells to the VRM
+//! output voltage through a series port resistance. The resulting SPD
+//! system is solved with preconditioned CG, yielding the voltage map of
+//! Fig. 8.
+
+use crate::ports::PortLayout;
+use crate::PdnError;
+use bright_mesh::{Field2d, Grid2d};
+use bright_num::solvers::{conjugate_gradient, IterOptions};
+use bright_num::TripletMatrix;
+use bright_units::{Ampere, Volt, Watt};
+
+/// A configured power grid ready to solve.
+#[derive(Debug, Clone)]
+pub struct PowerGrid {
+    grid: Grid2d,
+    sheet_resistance: f64,
+    supply: Volt,
+    port_resistance: f64,
+    port_cells: Vec<(usize, usize)>,
+    sink_current: Field2d,
+}
+
+/// The solved voltage distribution.
+#[derive(Debug, Clone)]
+pub struct PdnSolution {
+    voltage: Field2d,
+    supply: Volt,
+    total_current: Ampere,
+    sink_current: Field2d,
+}
+
+impl PowerGrid {
+    /// Builds a power grid.
+    ///
+    /// * `grid` — simulation grid over the die,
+    /// * `sheet_resistance` — effective rail sheet resistance (Ω/sq),
+    /// * `supply` — VRM output voltage feeding the ports,
+    /// * `port_resistance` — series resistance of each port (TSV + VRM
+    ///   output impedance), Ω,
+    /// * `ports` — port layout,
+    /// * `power_density` — block power-density map (W/m²) on `grid`;
+    ///   converted to current sinks at the supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::InvalidConfig`] / [`PdnError::GridMismatch`] on bad
+    /// inputs.
+    pub fn new(
+        grid: Grid2d,
+        sheet_resistance: f64,
+        supply: Volt,
+        port_resistance: f64,
+        ports: &PortLayout,
+        power_density: &Field2d,
+    ) -> Result<Self, PdnError> {
+        if !(sheet_resistance > 0.0 && sheet_resistance.is_finite()) {
+            return Err(PdnError::InvalidConfig(format!(
+                "sheet resistance must be positive, got {sheet_resistance}"
+            )));
+        }
+        if !(supply.value() > 0.0 && supply.is_finite()) {
+            return Err(PdnError::InvalidConfig(format!(
+                "supply voltage must be positive, got {supply}"
+            )));
+        }
+        if !(port_resistance >= 0.0 && port_resistance.is_finite()) {
+            return Err(PdnError::InvalidConfig(format!(
+                "port resistance must be non-negative, got {port_resistance}"
+            )));
+        }
+        if power_density.grid() != &grid {
+            return Err(PdnError::GridMismatch(format!(
+                "power map {}x{} vs grid {}x{}",
+                power_density.grid().nx(),
+                power_density.grid().ny(),
+                grid.nx(),
+                grid.ny()
+            )));
+        }
+        if power_density.as_slice().iter().any(|p| *p < 0.0 || !p.is_finite()) {
+            return Err(PdnError::InvalidConfig(
+                "power density must be non-negative and finite".into(),
+            ));
+        }
+        let port_cells = ports.resolve(&grid)?;
+        let cell_area = grid.cell_area();
+        let sink_current = Field2d::from_vec(
+            grid.clone(),
+            power_density
+                .as_slice()
+                .iter()
+                .map(|p| p * cell_area / supply.value())
+                .collect(),
+        )
+        .expect("same grid");
+        Ok(Self {
+            grid,
+            sheet_resistance,
+            supply,
+            port_resistance,
+            port_cells,
+            sink_current,
+        })
+    }
+
+    /// The simulation grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid2d {
+        &self.grid
+    }
+
+    /// Number of supply ports.
+    #[inline]
+    pub fn port_count(&self) -> usize {
+        self.port_cells.len()
+    }
+
+    /// Total sink current at nominal voltage.
+    pub fn total_sink_current(&self) -> Ampere {
+        Ampere::new(self.sink_current.as_slice().iter().sum())
+    }
+
+    /// Solves the grid for the voltage map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::Numerical`] if CG fails.
+    pub fn solve(&self) -> Result<PdnSolution, PdnError> {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let n = self.grid.len();
+        // Square-sheet link conductance: horizontal neighbours span one
+        // square of aspect dy/dx, vertical dx/dy.
+        let g_x = self.grid.dy() / (self.sheet_resistance * self.grid.dx());
+        let g_y = self.grid.dx() / (self.sheet_resistance * self.grid.dy());
+        let mut t = TripletMatrix::with_capacity(n, n, 6 * n);
+        let mut rhs = vec![0.0; n];
+
+        let idx = |ix: usize, iy: usize| iy * nx + ix;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let me = idx(ix, iy);
+                if ix + 1 < nx {
+                    t.stamp_conductance(me, idx(ix + 1, iy), g_x)
+                        .map_err(PdnError::from)?;
+                }
+                if iy + 1 < ny {
+                    t.stamp_conductance(me, idx(ix, iy + 1), g_y)
+                        .map_err(PdnError::from)?;
+                }
+                rhs[me] -= self.sink_current.get(ix, iy);
+            }
+        }
+        let g_port = if self.port_resistance > 0.0 {
+            1.0 / self.port_resistance
+        } else {
+            // An ideal port: huge but finite conductance keeps the system
+            // well-conditioned.
+            1e9
+        };
+        for &(ix, iy) in &self.port_cells {
+            let me = idx(ix, iy);
+            t.push(me, me, g_port).map_err(PdnError::from)?;
+            rhs[me] += g_port * self.supply.value();
+        }
+
+        let a = t.to_csr();
+        let guess = vec![self.supply.value(); n];
+        let sol = conjugate_gradient(
+            &a,
+            &rhs,
+            Some(&guess),
+            &IterOptions {
+                tolerance: 1e-11,
+                max_iterations: 50_000,
+                jacobi_preconditioner: true,
+            },
+        )
+        .map_err(PdnError::from)?;
+        let voltage = Field2d::from_vec(self.grid.clone(), sol.x).expect("sized from grid");
+        Ok(PdnSolution {
+            voltage,
+            supply: self.supply,
+            total_current: self.total_sink_current(),
+            sink_current: self.sink_current.clone(),
+        })
+    }
+}
+
+impl PdnSolution {
+    /// The solved voltage map (V).
+    #[inline]
+    pub fn voltage_map(&self) -> &Field2d {
+        &self.voltage
+    }
+
+    /// Minimum rail voltage (worst-case droop cell).
+    pub fn min_voltage(&self) -> Volt {
+        Volt::new(self.voltage.min())
+    }
+
+    /// Maximum rail voltage.
+    pub fn max_voltage(&self) -> Volt {
+        Volt::new(self.voltage.max())
+    }
+
+    /// Worst-case IR drop from the supply.
+    pub fn worst_drop(&self) -> Volt {
+        Volt::new(self.supply.value() - self.voltage.min())
+    }
+
+    /// The nominal supply voltage.
+    #[inline]
+    pub fn supply(&self) -> Volt {
+        self.supply
+    }
+
+    /// Total load current.
+    #[inline]
+    pub fn total_current(&self) -> Ampere {
+        self.total_current
+    }
+
+    /// Total power dissipated in the loads at the *actual* (drooped)
+    /// node voltages.
+    pub fn delivered_power(&self) -> Watt {
+        let mut acc = 0.0;
+        for (ix, iy) in self.voltage.grid().iter_cells() {
+            acc += self.sink_current.get(ix, iy) * self.voltage.get(ix, iy);
+        }
+        Watt::new(acc)
+    }
+
+    /// Mean voltage over cells selected by the predicate (e.g. one cache
+    /// block). `None` if no cell matches.
+    pub fn mean_voltage_where<F: FnMut(f64, f64) -> bool>(&self, mut pred: F) -> Option<Volt> {
+        let grid = self.voltage.grid().clone();
+        self.voltage
+            .mean_where(|ix, iy| {
+                let (x, y) = grid.cell_center(ix, iy).expect("valid cell");
+                pred(x, y)
+            })
+            .map(Volt::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> Grid2d {
+        Grid2d::from_extent(10e-3, 10e-3, 20, 20).unwrap()
+    }
+
+    #[test]
+    fn no_load_means_no_drop() {
+        let grid = small_grid();
+        let zero = Field2d::zeros(grid.clone());
+        let pg = PowerGrid::new(
+            grid,
+            0.05,
+            Volt::new(1.0),
+            0.01,
+            &PortLayout::UniformArray { pitch: 3e-3 },
+            &zero,
+        )
+        .unwrap();
+        let sol = pg.solve().unwrap();
+        assert!((sol.min_voltage().value() - 1.0).abs() < 1e-9);
+        assert!((sol.worst_drop().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_pulls_voltage_down_but_ports_hold_it() {
+        let grid = small_grid();
+        let load = Field2d::constant(grid.clone(), 1e4); // 1 W/cm^2
+        let pg = PowerGrid::new(
+            grid,
+            0.05,
+            Volt::new(1.0),
+            0.01,
+            &PortLayout::UniformArray { pitch: 3e-3 },
+            &load,
+        )
+        .unwrap();
+        let sol = pg.solve().unwrap();
+        assert!(sol.min_voltage().value() < 1.0);
+        assert!(sol.min_voltage().value() > 0.9);
+        assert!(sol.max_voltage().value() <= 1.0 + 1e-9);
+        // 1 W/cm^2 over 1 cm^2 at 1 V nominal -> 1 A total.
+        assert!((sol.total_current().value() - 1.0).abs() < 1e-9);
+        assert!(sol.delivered_power().value() < 1.0);
+    }
+
+    #[test]
+    fn denser_ports_reduce_droop() {
+        let grid = small_grid();
+        let load = Field2d::constant(grid.clone(), 2e4);
+        let sparse = PowerGrid::new(
+            grid.clone(),
+            0.08,
+            Volt::new(1.0),
+            0.01,
+            &PortLayout::EdgeColumns {
+                columns: 1,
+                pitch: 2e-3,
+            },
+            &load,
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        let dense = PowerGrid::new(
+            grid,
+            0.08,
+            Volt::new(1.0),
+            0.01,
+            &PortLayout::UniformArray { pitch: 2e-3 },
+            &load,
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        assert!(
+            dense.worst_drop().value() < sparse.worst_drop().value(),
+            "dense {} vs sparse {}",
+            dense.worst_drop().value(),
+            sparse.worst_drop().value()
+        );
+    }
+
+    #[test]
+    fn droop_scales_with_sheet_resistance() {
+        let grid = small_grid();
+        let load = Field2d::constant(grid.clone(), 1e4);
+        let ports = PortLayout::EdgeColumns {
+            columns: 1,
+            pitch: 2e-3,
+        };
+        let drop_of = |rs: f64| {
+            PowerGrid::new(grid.clone(), rs, Volt::new(1.0), 0.0, &ports, &load)
+                .unwrap()
+                .solve()
+                .unwrap()
+                .worst_drop()
+                .value()
+        };
+        let d1 = drop_of(0.02);
+        let d2 = drop_of(0.04);
+        assert!(
+            (d2 / d1 - 2.0).abs() < 0.05,
+            "drops {d1} and {d2} should scale linearly"
+        );
+    }
+
+    #[test]
+    fn mean_voltage_where_selects_regions() {
+        let grid = small_grid();
+        let mut load = Field2d::zeros(grid.clone());
+        // Load only the left half.
+        for iy in 0..20 {
+            for ix in 0..10 {
+                load.set(ix, iy, 3e4);
+            }
+        }
+        let pg = PowerGrid::new(
+            grid,
+            0.05,
+            Volt::new(1.0),
+            0.005,
+            &PortLayout::UniformArray { pitch: 4e-3 },
+            &load,
+        )
+        .unwrap();
+        let sol = pg.solve().unwrap();
+        let left = sol.mean_voltage_where(|x, _| x < 5e-3).unwrap();
+        let right = sol.mean_voltage_where(|x, _| x >= 5e-3).unwrap();
+        assert!(left.value() < right.value());
+        assert!(sol.mean_voltage_where(|_, _| false).is_none());
+    }
+
+    #[test]
+    fn validation() {
+        let grid = small_grid();
+        let zero = Field2d::zeros(grid.clone());
+        let ports = PortLayout::UniformArray { pitch: 3e-3 };
+        assert!(PowerGrid::new(grid.clone(), 0.0, Volt::new(1.0), 0.01, &ports, &zero).is_err());
+        assert!(PowerGrid::new(grid.clone(), 0.05, Volt::new(0.0), 0.01, &ports, &zero).is_err());
+        assert!(
+            PowerGrid::new(grid.clone(), 0.05, Volt::new(1.0), -0.01, &ports, &zero).is_err()
+        );
+        let wrong = Field2d::zeros(Grid2d::new(5, 5, 1e-3, 1e-3).unwrap());
+        assert!(PowerGrid::new(grid.clone(), 0.05, Volt::new(1.0), 0.01, &ports, &wrong).is_err());
+        let neg = Field2d::constant(grid.clone(), -1.0);
+        assert!(PowerGrid::new(grid, 0.05, Volt::new(1.0), 0.01, &ports, &neg).is_err());
+    }
+}

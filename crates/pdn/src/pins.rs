@@ -1,0 +1,209 @@
+//! The C4 pin-budget argument (paper introduction, issue (2)).
+//!
+//! Conventional MPSoCs dedicate a majority of their controlled-collapse
+//! chip-connection (C4) bumps to power and ground to keep the PDN
+//! resistance acceptable — bumps that are then unavailable for I/O
+//! (Wright et al., ECTC 2006). Delivering power through the coolant frees
+//! those bumps. This module quantifies the trade.
+
+use crate::PdnError;
+use bright_units::{Ampere, SquareMeters};
+use serde::{Deserialize, Serialize};
+
+/// A package bump (C4) budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinBudget {
+    /// Total bumps available on the die footprint.
+    pub total: usize,
+    /// Bumps used for power/ground delivery.
+    pub power_ground: usize,
+    /// Bumps available for signal I/O.
+    pub io: usize,
+}
+
+/// Parameters of the pin-budget model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PinModel {
+    /// C4 bump pitch (m); ~200 µm for the paper's era.
+    pub bump_pitch: f64,
+    /// Maximum sustained current per power bump (A); ~200 mA
+    /// electromigration-limited.
+    pub max_current_per_bump: f64,
+    /// Power-integrity derating: extra power/ground bumps beyond the
+    /// DC-current minimum (pairs for return current, redundancy). 2.0
+    /// doubles the raw count (one ground per power bump).
+    pub redundancy: f64,
+}
+
+impl Default for PinModel {
+    fn default() -> Self {
+        Self {
+            bump_pitch: 200e-6,
+            max_current_per_bump: 0.2,
+            redundancy: 2.0,
+        }
+    }
+}
+
+impl PinModel {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidConfig`] for non-positive parameters.
+    pub fn validate(&self) -> Result<(), PdnError> {
+        for (name, v) in [
+            ("bump pitch", self.bump_pitch),
+            ("max current per bump", self.max_current_per_bump),
+            ("redundancy", self.redundancy),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(PdnError::InvalidConfig(format!(
+                    "{name} must be positive, got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total bumps on a die of the given area (full-area array).
+    ///
+    /// # Errors
+    ///
+    /// As [`PinModel::validate`].
+    pub fn total_bumps(&self, die_area: SquareMeters) -> Result<usize, PdnError> {
+        self.validate()?;
+        if !(die_area.value() > 0.0) {
+            return Err(PdnError::InvalidConfig(format!(
+                "die area must be positive, got {die_area}"
+            )));
+        }
+        Ok((die_area.value() / (self.bump_pitch * self.bump_pitch)).floor() as usize)
+    }
+
+    /// Pin budget of a *conventional* package delivering `chip_current`
+    /// entirely through bumps.
+    ///
+    /// # Errors
+    ///
+    /// As [`PinModel::total_bumps`]; also
+    /// [`PdnError::InvalidConfig`] if the power bumps alone exceed the
+    /// package's total.
+    pub fn conventional(
+        &self,
+        die_area: SquareMeters,
+        chip_current: Ampere,
+    ) -> Result<PinBudget, PdnError> {
+        let total = self.total_bumps(die_area)?;
+        if !(chip_current.value() >= 0.0 && chip_current.is_finite()) {
+            return Err(PdnError::InvalidConfig(format!(
+                "chip current must be non-negative, got {chip_current}"
+            )));
+        }
+        let raw = (chip_current.value() / self.max_current_per_bump).ceil();
+        let power_ground = (raw * self.redundancy).ceil() as usize;
+        if power_ground > total {
+            return Err(PdnError::InvalidConfig(format!(
+                "{power_ground} power/ground bumps exceed the {total} available"
+            )));
+        }
+        Ok(PinBudget {
+            total,
+            power_ground,
+            io: total - power_ground,
+        })
+    }
+
+    /// Pin budget when a fraction `fluidic_fraction ∈ [0, 1]` of the chip
+    /// current is delivered through the microfluidic network instead of
+    /// bumps (1.0 = the paper's end vision: all power through the fluid).
+    ///
+    /// # Errors
+    ///
+    /// As [`PinModel::conventional`]; also rejects fractions outside
+    /// `[0, 1]`.
+    pub fn with_fluidic_delivery(
+        &self,
+        die_area: SquareMeters,
+        chip_current: Ampere,
+        fluidic_fraction: f64,
+    ) -> Result<PinBudget, PdnError> {
+        if !(0.0..=1.0).contains(&fluidic_fraction) {
+            return Err(PdnError::InvalidConfig(format!(
+                "fluidic fraction must be in [0,1], got {fluidic_fraction}"
+            )));
+        }
+        self.conventional(
+            die_area,
+            Ampere::new(chip_current.value() * (1.0 - fluidic_fraction)),
+        )
+    }
+}
+
+impl PinBudget {
+    /// Fraction of bumps available for I/O.
+    pub fn io_fraction(&self) -> f64 {
+        self.io as f64 / self.total.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> SquareMeters {
+        // The POWER7+ die.
+        SquareMeters::new(26.55e-3 * 21.34e-3)
+    }
+
+    #[test]
+    fn total_bumps_match_pitch() {
+        let m = PinModel::default();
+        let total = m.total_bumps(die()).unwrap();
+        // 566.6 mm^2 / 0.04 mm^2 = 14164.
+        assert_eq!(total, 14_164);
+    }
+
+    #[test]
+    fn conventional_budget_for_a_hungry_chip() {
+        let m = PinModel::default();
+        // ~73 W at 1 V -> 73 A -> 365 power bumps x2 redundancy = 730.
+        let b = m.conventional(die(), Ampere::new(73.0)).unwrap();
+        assert_eq!(b.power_ground, 730);
+        assert_eq!(b.io, b.total - 730);
+    }
+
+    #[test]
+    fn fluidic_delivery_frees_pins() {
+        let m = PinModel::default();
+        let conv = m.conventional(die(), Ampere::new(100.0)).unwrap();
+        let half = m
+            .with_fluidic_delivery(die(), Ampere::new(100.0), 0.5)
+            .unwrap();
+        let full = m
+            .with_fluidic_delivery(die(), Ampere::new(100.0), 1.0)
+            .unwrap();
+        assert!(half.io > conv.io);
+        assert!(full.io > half.io);
+        assert_eq!(full.power_ground, 0);
+        assert!(full.io_fraction() > 0.999);
+    }
+
+    #[test]
+    fn validation() {
+        let m = PinModel::default();
+        assert!(m.with_fluidic_delivery(die(), Ampere::new(10.0), 1.5).is_err());
+        assert!(m.conventional(die(), Ampere::new(-1.0)).is_err());
+        assert!(m.conventional(SquareMeters::new(0.0), Ampere::new(1.0)).is_err());
+        let mut bad = PinModel::default();
+        bad.bump_pitch = 0.0;
+        assert!(bad.validate().is_err());
+        // Power demand beyond the package's bump count.
+        let tiny = PinModel {
+            bump_pitch: 1e-3,
+            max_current_per_bump: 0.01,
+            redundancy: 2.0,
+        };
+        assert!(tiny.conventional(die(), Ampere::new(1000.0)).is_err());
+    }
+}

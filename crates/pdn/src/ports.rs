@@ -1,0 +1,170 @@
+//! Supply-port layouts: where the regulated rail voltage enters the grid.
+
+use crate::PdnError;
+use bright_mesh::Grid2d;
+use serde::{Deserialize, Serialize};
+
+/// Where TSV/VRM supply ports connect to the on-chip grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PortLayout {
+    /// A uniform array of ports at the given pitch (m) across the whole
+    /// die — the microfluidic concept, where every channel segment can
+    /// drop a TSV (Fig. 5).
+    UniformArray {
+        /// Port-to-port pitch in metres.
+        pitch: f64,
+    },
+    /// Ports along the left and right die edges only (a conventional
+    /// package-fed rail for comparison).
+    EdgeColumns {
+        /// Number of grid columns per edge carrying ports.
+        columns: usize,
+        /// Port pitch along the edge in metres.
+        pitch: f64,
+    },
+    /// Explicit cell indices.
+    Explicit {
+        /// `(ix, iy)` grid cells hosting ports.
+        cells: Vec<(usize, usize)>,
+    },
+}
+
+impl PortLayout {
+    /// Resolves the layout to grid cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidConfig`] if the layout produces no
+    /// ports or references cells outside the grid.
+    pub fn resolve(&self, grid: &Grid2d) -> Result<Vec<(usize, usize)>, PdnError> {
+        let cells = match self {
+            PortLayout::UniformArray { pitch } => {
+                if !(*pitch > 0.0 && pitch.is_finite()) {
+                    return Err(PdnError::InvalidConfig(format!(
+                        "port pitch must be positive, got {pitch}"
+                    )));
+                }
+                let mut cells = Vec::new();
+                let nx_ports = (grid.width() / pitch).floor().max(1.0) as usize;
+                let ny_ports = (grid.height() / pitch).floor().max(1.0) as usize;
+                for py in 0..ny_ports {
+                    for px in 0..nx_ports {
+                        let x = (px as f64 + 0.5) * grid.width() / nx_ports as f64;
+                        let y = (py as f64 + 0.5) * grid.height() / ny_ports as f64;
+                        cells.push(grid.locate(x, y));
+                    }
+                }
+                cells.sort_unstable();
+                cells.dedup();
+                cells
+            }
+            PortLayout::EdgeColumns { columns, pitch } => {
+                if *columns == 0 || *columns * 2 > grid.nx() {
+                    return Err(PdnError::InvalidConfig(format!(
+                        "edge columns {columns} incompatible with grid width {}",
+                        grid.nx()
+                    )));
+                }
+                if !(*pitch > 0.0 && pitch.is_finite()) {
+                    return Err(PdnError::InvalidConfig(format!(
+                        "port pitch must be positive, got {pitch}"
+                    )));
+                }
+                let n_rows = (grid.height() / pitch).floor().max(1.0) as usize;
+                let mut cells = Vec::new();
+                for row in 0..n_rows {
+                    let y = (row as f64 + 0.5) * grid.height() / n_rows as f64;
+                    let (_, iy) = grid.locate(0.0, y);
+                    for c in 0..*columns {
+                        cells.push((c, iy));
+                        cells.push((grid.nx() - 1 - c, iy));
+                    }
+                }
+                cells.sort_unstable();
+                cells.dedup();
+                cells
+            }
+            PortLayout::Explicit { cells } => {
+                for &(ix, iy) in cells {
+                    if ix >= grid.nx() || iy >= grid.ny() {
+                        return Err(PdnError::InvalidConfig(format!(
+                            "port cell ({ix},{iy}) outside grid {}x{}",
+                            grid.nx(),
+                            grid.ny()
+                        )));
+                    }
+                }
+                cells.clone()
+            }
+        };
+        if cells.is_empty() {
+            return Err(PdnError::InvalidConfig("layout produced no ports".into()));
+        }
+        Ok(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid2d {
+        Grid2d::from_extent(26.55e-3, 21.34e-3, 88, 71).unwrap()
+    }
+
+    #[test]
+    fn uniform_array_covers_die() {
+        let ports = PortLayout::UniformArray { pitch: 3e-3 }
+            .resolve(&grid())
+            .unwrap();
+        // 8 x 7 port sites.
+        assert_eq!(ports.len(), 56);
+        // Spread across the die, not clustered at one edge.
+        let min_x = ports.iter().map(|p| p.0).min().unwrap();
+        let max_x = ports.iter().map(|p| p.0).max().unwrap();
+        assert!(min_x < 10 && max_x > 75);
+    }
+
+    #[test]
+    fn edge_columns_sit_on_edges() {
+        let ports = PortLayout::EdgeColumns {
+            columns: 2,
+            pitch: 2e-3,
+        }
+        .resolve(&grid())
+        .unwrap();
+        assert!(ports.iter().all(|&(ix, _)| !(2..86).contains(&ix)));
+        assert!(ports.len() >= 40);
+    }
+
+    #[test]
+    fn explicit_is_validated() {
+        let ok = PortLayout::Explicit {
+            cells: vec![(0, 0), (87, 70)],
+        };
+        assert_eq!(ok.resolve(&grid()).unwrap().len(), 2);
+        let bad = PortLayout::Explicit {
+            cells: vec![(88, 0)],
+        };
+        assert!(bad.resolve(&grid()).is_err());
+        let empty = PortLayout::Explicit { cells: vec![] };
+        assert!(empty.resolve(&grid()).is_err());
+    }
+
+    #[test]
+    fn degenerate_layouts_rejected() {
+        assert!(PortLayout::UniformArray { pitch: 0.0 }.resolve(&grid()).is_err());
+        assert!(PortLayout::EdgeColumns {
+            columns: 0,
+            pitch: 1e-3
+        }
+        .resolve(&grid())
+        .is_err());
+        assert!(PortLayout::EdgeColumns {
+            columns: 60,
+            pitch: 1e-3
+        }
+        .resolve(&grid())
+        .is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Voltage-regulator module (VRM) models.
+//!
+//! The flow cells produce ~1.2–1.65 V set by vanadium thermodynamics; the
+//! cache rail wants 1.0 V. The paper places VRMs inside the package
+//! (switched-capacitor converters per Andersen et al. \[22\] — 86 %
+//! efficiency at 4.6 W/mm² — or stacked buck converters per Onizuka et
+//! al. \[23\]) between the cell electrodes and the on-chip grid.
+
+use crate::PdnError;
+use bright_units::{Ampere, Volt, Watt};
+use serde::{Deserialize, Serialize};
+
+/// A DC-DC converter between the flow-cell array and the chip rail.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Vrm {
+    /// Lossless conversion to the rail voltage (upper-bound analysis).
+    Ideal {
+        /// Output (rail) voltage.
+        output: Volt,
+    },
+    /// Fixed power efficiency regardless of operating point.
+    FixedEfficiency {
+        /// Output (rail) voltage.
+        output: Volt,
+        /// Power efficiency in (0, 1].
+        efficiency: f64,
+    },
+    /// Switched-capacitor converter: discrete conversion ratio with a
+    /// peak efficiency that degrades as the input departs from
+    /// `ratio × output` (Andersen et al. 2013).
+    SwitchedCapacitor {
+        /// Output (rail) voltage.
+        output: Volt,
+        /// Ideal (rational) conversion ratio `V_in/V_out`.
+        ratio: f64,
+        /// Peak efficiency at the matched input in (0, 1].
+        peak_efficiency: f64,
+    },
+}
+
+impl Vrm {
+    /// The paper's reference converter: 86 % efficient switched-capacitor
+    /// at ratio 3:2 onto a 1.0 V rail (matched input 1.5 V ≈ the cell
+    /// array near its max-power point).
+    pub fn andersen_switched_capacitor() -> Self {
+        Vrm::SwitchedCapacitor {
+            output: Volt::new(1.0),
+            ratio: 1.5,
+            peak_efficiency: 0.86,
+        }
+    }
+
+    /// Output (rail) voltage.
+    pub fn output_voltage(&self) -> Volt {
+        match self {
+            Vrm::Ideal { output }
+            | Vrm::FixedEfficiency { output, .. }
+            | Vrm::SwitchedCapacitor { output, .. } => *output,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidConfig`] for non-positive voltages,
+    /// ratios, or efficiencies outside (0, 1].
+    pub fn validate(&self) -> Result<(), PdnError> {
+        let out = self.output_voltage().value();
+        if !(out > 0.0 && out.is_finite()) {
+            return Err(PdnError::InvalidConfig(format!(
+                "VRM output voltage must be positive, got {out}"
+            )));
+        }
+        match self {
+            Vrm::Ideal { .. } => Ok(()),
+            Vrm::FixedEfficiency { efficiency, .. } => {
+                if !(*efficiency > 0.0 && *efficiency <= 1.0) {
+                    return Err(PdnError::InvalidConfig(format!(
+                        "efficiency must be in (0,1], got {efficiency}"
+                    )));
+                }
+                Ok(())
+            }
+            Vrm::SwitchedCapacitor {
+                ratio,
+                peak_efficiency,
+                ..
+            } => {
+                if !(*ratio > 0.0 && ratio.is_finite()) {
+                    return Err(PdnError::InvalidConfig(format!(
+                        "ratio must be positive, got {ratio}"
+                    )));
+                }
+                if !(*peak_efficiency > 0.0 && *peak_efficiency <= 1.0) {
+                    return Err(PdnError::InvalidConfig(format!(
+                        "peak efficiency must be in (0,1], got {peak_efficiency}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Power efficiency when converting from the given input voltage.
+    ///
+    /// For the switched-capacitor model the intrinsic (charge-sharing)
+    /// efficiency is capped by `V_matched/V_in` when the input exceeds
+    /// the matched voltage `ratio × V_out` — the classic SC linear loss —
+    /// scaled by the peak efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidConfig`] for a non-positive input or if
+    /// the input is below the output-referred minimum (conversion
+    /// impossible for a step-down converter).
+    pub fn efficiency_at(&self, input: Volt) -> Result<f64, PdnError> {
+        self.validate()?;
+        let v_in = input.value();
+        if !(v_in > 0.0 && v_in.is_finite()) {
+            return Err(PdnError::InvalidConfig(format!(
+                "input voltage must be positive, got {v_in}"
+            )));
+        }
+        let v_out = self.output_voltage().value();
+        if v_in < v_out {
+            return Err(PdnError::InvalidConfig(format!(
+                "step-down VRM cannot boost {v_in} V to {v_out} V"
+            )));
+        }
+        Ok(match self {
+            Vrm::Ideal { .. } => 1.0,
+            Vrm::FixedEfficiency { efficiency, .. } => *efficiency,
+            Vrm::SwitchedCapacitor {
+                ratio,
+                peak_efficiency,
+                ..
+            } => {
+                let matched = ratio * v_out;
+                let intrinsic = if v_in <= matched { 1.0 } else { matched / v_in };
+                peak_efficiency * intrinsic
+            }
+        })
+    }
+
+    /// Input power needed to deliver `output_power` at the rail from the
+    /// given input voltage.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vrm::efficiency_at`]; also rejects negative output power.
+    pub fn input_power(&self, output_power: Watt, input: Volt) -> Result<Watt, PdnError> {
+        if output_power.value() < 0.0 {
+            return Err(PdnError::InvalidConfig(format!(
+                "output power must be non-negative, got {output_power}"
+            )));
+        }
+        Ok(Watt::new(
+            output_power.value() / self.efficiency_at(input)?,
+        ))
+    }
+
+    /// Input current drawn from the cell array for a rail current, at the
+    /// given input voltage: `I_in = V_out·I_out/(η·V_in)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vrm::efficiency_at`].
+    pub fn input_current(&self, output_current: Ampere, input: Volt) -> Result<Ampere, PdnError> {
+        let p_out = self.output_voltage() * output_current;
+        let p_in = self.input_power(p_out, input)?;
+        Ok(Ampere::new(p_in.value() / input.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_lossless() {
+        let v = Vrm::Ideal {
+            output: Volt::new(1.0),
+        };
+        assert_eq!(v.efficiency_at(Volt::new(1.5)).unwrap(), 1.0);
+        let p = v.input_power(Watt::new(6.0), Volt::new(1.5)).unwrap();
+        assert_eq!(p.value(), 6.0);
+    }
+
+    #[test]
+    fn fixed_efficiency_scales_power() {
+        let v = Vrm::FixedEfficiency {
+            output: Volt::new(1.0),
+            efficiency: 0.86,
+        };
+        let p = v.input_power(Watt::new(6.0), Volt::new(1.5)).unwrap();
+        assert!((p.value() - 6.0 / 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn switched_capacitor_peaks_at_matched_ratio() {
+        let v = Vrm::andersen_switched_capacitor();
+        let at_match = v.efficiency_at(Volt::new(1.5)).unwrap();
+        assert!((at_match - 0.86).abs() < 1e-12);
+        // Above the matched input the intrinsic SC loss kicks in.
+        let above = v.efficiency_at(Volt::new(1.65)).unwrap();
+        assert!((above - 0.86 * 1.5 / 1.65).abs() < 1e-12);
+        // Below matched (but above V_out) stays at peak.
+        let below = v.efficiency_at(Volt::new(1.2)).unwrap();
+        assert!((below - 0.86).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_current_reflects_voltage_ratio() {
+        let v = Vrm::Ideal {
+            output: Volt::new(1.0),
+        };
+        // 6 A at 1 V from a 1.5 V source: 4 A drawn.
+        let i = v.input_current(Ampere::new(6.0), Volt::new(1.5)).unwrap();
+        assert!((i.value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(Vrm::FixedEfficiency {
+            output: Volt::new(1.0),
+            efficiency: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(Vrm::SwitchedCapacitor {
+            output: Volt::new(-1.0),
+            ratio: 1.5,
+            peak_efficiency: 0.86
+        }
+        .validate()
+        .is_err());
+        let v = Vrm::andersen_switched_capacitor();
+        assert!(v.efficiency_at(Volt::new(0.5)).is_err()); // below output
+        assert!(v.efficiency_at(Volt::new(-1.0)).is_err());
+        assert!(v.input_power(Watt::new(-1.0), Volt::new(1.5)).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Electrical invariants of the power-grid solver.
+
+use bright_mesh::{Field2d, Grid2d};
+use bright_pdn::{PortLayout, PowerGrid};
+use bright_units::Volt;
+
+fn grid() -> Grid2d {
+    Grid2d::from_extent(20e-3, 20e-3, 40, 40).unwrap()
+}
+
+fn solve(load_w_cm2: f64, rs: f64, ports: &PortLayout) -> bright_pdn::PdnSolution {
+    let g = grid();
+    let load = Field2d::constant(g.clone(), load_w_cm2 * 1e4);
+    PowerGrid::new(g, rs, Volt::new(1.0), 0.01, ports, &load)
+        .unwrap()
+        .solve()
+        .unwrap()
+}
+
+#[test]
+fn linearity_in_load() {
+    let ports = PortLayout::UniformArray { pitch: 5e-3 };
+    let d1 = solve(1.0, 0.1, &ports).worst_drop().value();
+    let d2 = solve(2.0, 0.1, &ports).worst_drop().value();
+    assert!((d2 - 2.0 * d1).abs() < 0.02 * d2, "drops {d1} vs {d2}");
+}
+
+#[test]
+fn voltage_never_exceeds_supply() {
+    let ports = PortLayout::UniformArray { pitch: 4e-3 };
+    let sol = solve(3.0, 0.2, &ports);
+    assert!(sol.max_voltage().value() <= 1.0 + 1e-9);
+    assert!(sol.min_voltage().value() > 0.0);
+}
+
+#[test]
+fn symmetry_of_symmetric_problem() {
+    // Uniform load + symmetric ports: the voltage map must be symmetric
+    // under x-mirror.
+    let ports = PortLayout::EdgeColumns {
+        columns: 1,
+        pitch: 4e-3,
+    };
+    let sol = solve(2.0, 0.1, &ports);
+    let map = sol.voltage_map();
+    let nx = map.grid().nx();
+    for iy in [0usize, 13, 27, 39] {
+        for ix in 0..nx / 2 {
+            let a = map.get(ix, iy);
+            let b = map.get(nx - 1 - ix, iy);
+            assert!((a - b).abs() < 1e-7, "asymmetry at ({ix},{iy}): {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn delivered_power_below_nominal_under_droop() {
+    // Constant-current loads at drooped voltages deliver less than the
+    // nominal P = sum(density*area).
+    let ports = PortLayout::UniformArray { pitch: 6e-3 };
+    let sol = solve(2.0, 0.3, &ports);
+    let nominal = 2.0 * 4.0; // 2 W/cm^2 x 4 cm^2
+    let delivered = sol.delivered_power().value();
+    assert!(delivered < nominal);
+    assert!(delivered > 0.7 * nominal, "delivered {delivered}");
+}
+
+#[test]
+fn port_resistance_adds_uniform_droop() {
+    let g = grid();
+    let load = Field2d::constant(g.clone(), 1e4);
+    let ports = PortLayout::UniformArray { pitch: 4e-3 };
+    let tight = PowerGrid::new(g.clone(), 0.05, Volt::new(1.0), 0.0, &ports, &load)
+        .unwrap()
+        .solve()
+        .unwrap();
+    let loose = PowerGrid::new(g, 0.05, Volt::new(1.0), 0.1, &ports, &load)
+        .unwrap()
+        .solve()
+        .unwrap();
+    assert!(loose.min_voltage().value() < tight.min_voltage().value());
+    assert!(loose.max_voltage().value() < tight.max_voltage().value() + 1e-12);
+}
+
+#[test]
+fn current_conservation_through_ports() {
+    // Sum of port currents equals total sink current: check via power
+    // balance P_ports = sum over sinks of I_sink * V_node + I^2R losses.
+    // Weak form: delivered power + grid losses <= supply power, within
+    // tolerance of the solve.
+    let ports = PortLayout::UniformArray { pitch: 5e-3 };
+    let sol = solve(1.5, 0.15, &ports);
+    let supply_power = sol.total_current().value() * 1.0; // all current from 1 V ports
+    let delivered = sol.delivered_power().value();
+    assert!(delivered <= supply_power + 1e-9);
+    // Losses are positive but bounded (< 15% here).
+    let losses = supply_power - delivered;
+    assert!(losses > 0.0 && losses < 0.15 * supply_power, "losses {losses}");
+}

@@ -1,0 +1,84 @@
+//! Thermal material library.
+
+use bright_units::{JoulePerCubicMeterKelvin, WattPerMeterKelvin};
+use serde::{Deserialize, Serialize};
+
+/// A solid material's thermal properties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Thermal conductivity (W/(m·K)).
+    pub conductivity: WattPerMeterKelvin,
+    /// Volumetric heat capacity (J/(m³·K)).
+    pub heat_capacity: JoulePerCubicMeterKelvin,
+}
+
+impl Material {
+    /// Bulk silicon near operating temperature (k ≈ 130 W/(m·K) at 350 K,
+    /// ρc_p ≈ 1.63 MJ/(m³·K)) — the 3D-ICE default.
+    pub fn silicon() -> Self {
+        Self {
+            conductivity: WattPerMeterKelvin::new(130.0),
+            heat_capacity: JoulePerCubicMeterKelvin::new(1.63e6),
+        }
+    }
+
+    /// Silicon dioxide (BEOL dielectric).
+    pub fn silicon_dioxide() -> Self {
+        Self {
+            conductivity: WattPerMeterKelvin::new(1.4),
+            heat_capacity: JoulePerCubicMeterKelvin::new(1.65e6),
+        }
+    }
+
+    /// Copper (power/ground planes, heat spreaders).
+    pub fn copper() -> Self {
+        Self {
+            conductivity: WattPerMeterKelvin::new(400.0),
+            heat_capacity: JoulePerCubicMeterKelvin::new(3.44e6),
+        }
+    }
+
+    /// A typical thermal interface material.
+    pub fn tim() -> Self {
+        Self {
+            conductivity: WattPerMeterKelvin::new(4.0),
+            heat_capacity: JoulePerCubicMeterKelvin::new(2.0e6),
+        }
+    }
+
+    /// Checks the properties are positive and finite.
+    pub fn is_physical(&self) -> bool {
+        self.conductivity.value() > 0.0
+            && self.conductivity.is_finite()
+            && self.heat_capacity.value() > 0.0
+            && self.heat_capacity.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_physical_and_ordered() {
+        for m in [
+            Material::silicon(),
+            Material::silicon_dioxide(),
+            Material::copper(),
+            Material::tim(),
+        ] {
+            assert!(m.is_physical());
+        }
+        assert!(Material::copper().conductivity > Material::silicon().conductivity);
+        assert!(Material::silicon().conductivity > Material::silicon_dioxide().conductivity);
+    }
+
+    #[test]
+    fn degenerate_material_detected() {
+        let bad = Material {
+            conductivity: WattPerMeterKelvin::new(0.0),
+            heat_capacity: JoulePerCubicMeterKelvin::new(1.0),
+        };
+        assert!(!bad.is_physical());
+    }
+}

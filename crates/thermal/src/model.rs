@@ -1,0 +1,777 @@
+//! Assembly and steady-state solution of the thermal network.
+
+use crate::stack::{LayerSpec, MicrochannelSpec, StackConfig};
+use crate::ThermalError;
+use bright_flow::laminar::heat_transfer_coefficient;
+use bright_flow::RectChannel;
+use bright_mesh::{Field2d, Grid2d};
+use bright_num::solvers::{bicgstab, IterOptions};
+use bright_num::TripletMatrix;
+use bright_units::{Kelvin, Meters, Watt};
+
+/// One vertical level of the flattened stack.
+#[derive(Debug, Clone)]
+enum Level {
+    Solid {
+        conductivity: f64,
+        heat_capacity: f64,
+        dz: f64,
+    },
+    Fluid {
+        spec: MicrochannelSpec,
+        /// Advective capacity rate per channel, ρc·V̇ (W/K).
+        capacity_rate: f64,
+        /// Convective conductance to the solid below/above per cell (W/K),
+        /// fin-homogenized.
+        g_conv: f64,
+        /// Vertical wall (fin) conduction bypass per cell (W/K).
+        g_wall: f64,
+    },
+}
+
+/// The assembled compact thermal model.
+#[derive(Debug, Clone)]
+pub struct ThermalModel {
+    config: StackConfig,
+    levels: Vec<Level>,
+    grid: Grid2d,
+}
+
+/// A solved temperature field.
+#[derive(Debug, Clone)]
+pub struct ThermalSolution {
+    levels: Vec<Field2d>,
+    fluid_levels: Vec<usize>,
+    inlet: Kelvin,
+    capacity_rate: f64,
+}
+
+impl ThermalModel {
+    /// Builds a model from a stack configuration.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidConfig`] from [`StackConfig::validate`],
+    ///   if the stack has no microchannel layer (the network would float
+    ///   with all-adiabatic boundaries), or if two microchannel layers are
+    ///   adjacent.
+    pub fn new(config: StackConfig) -> Result<Self, ThermalError> {
+        config.validate()?;
+        if config.top_cooling.is_none()
+            && !config
+                .layers
+                .iter()
+                .any(|l| matches!(l, LayerSpec::Microchannel { .. }))
+        {
+            return Err(ThermalError::InvalidConfig(
+                "stack needs a microchannel layer or top cooling (adiabatic outer walls)"
+                    .into(),
+            ));
+        }
+        for w in config.layers.windows(2) {
+            if matches!(w[0], LayerSpec::Microchannel { .. })
+                && matches!(w[1], LayerSpec::Microchannel { .. })
+            {
+                return Err(ThermalError::InvalidConfig(
+                    "adjacent microchannel layers are not supported".into(),
+                ));
+            }
+        }
+        let grid = Grid2d::from_extent(
+            config.width.value(),
+            config.height.value(),
+            config.nx,
+            config.ny,
+        )
+        .map_err(|e| ThermalError::InvalidConfig(e.to_string()))?;
+
+        let pitch = config.pitch().value();
+        let dy = grid.dy();
+        let mut levels = Vec::with_capacity(config.total_levels());
+        for layer in &config.layers {
+            match layer {
+                LayerSpec::Solid {
+                    material,
+                    thickness,
+                    sublayers,
+                    ..
+                } => {
+                    let dz = thickness.value() / *sublayers as f64;
+                    for _ in 0..*sublayers {
+                        levels.push(Level::Solid {
+                            conductivity: material.conductivity.value(),
+                            heat_capacity: material.heat_capacity.value(),
+                            dz,
+                        });
+                    }
+                }
+                LayerSpec::Microchannel { spec, .. } => {
+                    let w = spec.channel_width.value();
+                    let h_ch = spec.channel_height.value();
+                    let cpc = spec.channels_per_cell as f64;
+                    // Wall (fin) thickness attributed to each channel.
+                    let t_wall = (pitch - cpc * w) / cpc;
+                    // Capacity rate of all channels lumped in one cell.
+                    let capacity_rate = spec.fluid.volumetric_heat_capacity.value()
+                        * spec.total_flow.value()
+                        / config.nx as f64;
+                    // Heat-transfer coefficient from the laminar H1
+                    // Nusselt correlation for one physical channel.
+                    let duct = RectChannel::new(
+                        Meters::new(w),
+                        Meters::new(h_ch),
+                        Meters::new(config.height.value()),
+                    )
+                    .map_err(|e| ThermalError::InvalidConfig(e.to_string()))?;
+                    let htc = heat_transfer_coefficient(&spec.fluid, &duct);
+                    // Fin homogenization: side walls are fins of thickness
+                    // t_wall wetted on both faces, split top/bottom; each
+                    // cell aggregates `cpc` channels.
+                    let k_wall = spec.wall_material.conductivity.value();
+                    let g_conv = if t_wall > 0.0 {
+                        let m = (2.0 * htc / (k_wall * t_wall)).sqrt();
+                        let mh = m * h_ch / 2.0;
+                        let eta = if mh > 1e-12 { mh.tanh() / mh } else { 1.0 };
+                        cpc * htc * dy * (w + eta * h_ch)
+                    } else {
+                        cpc * htc * dy * w
+                    };
+                    let g_wall = if t_wall > 0.0 {
+                        cpc * k_wall * t_wall * dy / h_ch
+                    } else {
+                        0.0
+                    };
+                    levels.push(Level::Fluid {
+                        spec: *spec,
+                        capacity_rate,
+                        g_conv,
+                        g_wall,
+                    });
+                }
+            }
+        }
+        Ok(Self {
+            config,
+            levels,
+            grid,
+        })
+    }
+
+    /// The shared in-plane grid (power maps must live on this grid).
+    #[inline]
+    pub fn grid(&self) -> &Grid2d {
+        &self.grid
+    }
+
+    /// The stack configuration.
+    #[inline]
+    pub fn config(&self) -> &StackConfig {
+        &self.config
+    }
+
+    /// Number of vertical levels.
+    #[inline]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Indices of the fluid levels.
+    pub fn fluid_levels(&self) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| matches!(l, Level::Fluid { .. }).then_some(i))
+            .collect()
+    }
+
+    /// Volumetric heat capacity × flow (W/K) summed over all channels of
+    /// the first microchannel layer — the fluid's total capacity rate.
+    pub fn total_capacity_rate(&self) -> f64 {
+        self.levels
+            .iter()
+            .find_map(|l| match l {
+                Level::Fluid { capacity_rate, .. } => {
+                    Some(capacity_rate * self.config.nx as f64)
+                }
+                _ => None,
+            })
+            .unwrap_or(0.0)
+    }
+
+    fn cell_index(&self, level: usize, ix: usize, iy: usize) -> usize {
+        level * self.grid.len() + iy * self.grid.nx() + ix
+    }
+
+    /// Assembles the steady conductance system `G·T = P` and the RHS for
+    /// power maps injected at the given levels.
+    #[allow(clippy::type_complexity)]
+    fn assemble(
+        &self,
+        sources: &[(usize, &Field2d)],
+    ) -> Result<(bright_num::CsrMatrix, Vec<f64>), ThermalError> {
+        for (level, power) in sources {
+            if power.grid() != &self.grid {
+                return Err(ThermalError::PowerMapMismatch(format!(
+                    "power grid {}x{} != model grid {}x{}",
+                    power.grid().nx(),
+                    power.grid().ny(),
+                    self.grid.nx(),
+                    self.grid.ny()
+                )));
+            }
+            if *level >= self.levels.len() {
+                return Err(ThermalError::PowerMapMismatch(format!(
+                    "injection level {level} outside the {}-level stack",
+                    self.levels.len()
+                )));
+            }
+            if matches!(self.levels[*level], Level::Fluid { .. }) {
+                return Err(ThermalError::PowerMapMismatch(format!(
+                    "injection level {level} is a fluid layer"
+                )));
+            }
+        }
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let dx = self.grid.dx();
+        let dy = self.grid.dy();
+        let n_levels = self.levels.len();
+        let n = n_levels * self.grid.len();
+        let mut t = TripletMatrix::with_capacity(n, n, 8 * n);
+        let mut rhs = vec![0.0; n];
+
+        // In-plane conduction within solid levels.
+        for (lvl, level) in self.levels.iter().enumerate() {
+            if let Level::Solid {
+                conductivity, dz, ..
+            } = level
+            {
+                let gx = conductivity * dz * dy / dx;
+                let gy = conductivity * dz * dx / dy;
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let me = self.cell_index(lvl, ix, iy);
+                        if ix + 1 < nx {
+                            t.stamp_conductance(me, self.cell_index(lvl, ix + 1, iy), gx)
+                                .map_err(ThermalError::from)?;
+                        }
+                        if iy + 1 < ny {
+                            t.stamp_conductance(me, self.cell_index(lvl, ix, iy + 1), gy)
+                                .map_err(ThermalError::from)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Vertical coupling between adjacent levels.
+        let area = dx * dy;
+        for lvl in 0..n_levels.saturating_sub(1) {
+            let (below, above) = (&self.levels[lvl], &self.levels[lvl + 1]);
+            match (below, above) {
+                (
+                    Level::Solid {
+                        conductivity: kb,
+                        dz: dzb,
+                        ..
+                    },
+                    Level::Solid {
+                        conductivity: ka,
+                        dz: dza,
+                        ..
+                    },
+                ) => {
+                    let g = area / (dzb / (2.0 * kb) + dza / (2.0 * ka));
+                    for iy in 0..ny {
+                        for ix in 0..nx {
+                            t.stamp_conductance(
+                                self.cell_index(lvl, ix, iy),
+                                self.cell_index(lvl + 1, ix, iy),
+                                g,
+                            )
+                            .map_err(ThermalError::from)?;
+                        }
+                    }
+                }
+                (
+                    Level::Solid {
+                        conductivity: ks,
+                        dz: dzs,
+                        ..
+                    },
+                    Level::Fluid { g_conv, .. },
+                )
+                | (
+                    Level::Fluid { g_conv, .. },
+                    Level::Solid {
+                        conductivity: ks,
+                        dz: dzs,
+                        ..
+                    },
+                ) => {
+                    // Solid half-cell conduction in series with the
+                    // fin-homogenized convective conductance.
+                    let g_half = 2.0 * ks * area / dzs;
+                    let g = 1.0 / (1.0 / g_half + 1.0 / g_conv);
+                    for iy in 0..ny {
+                        for ix in 0..nx {
+                            t.stamp_conductance(
+                                self.cell_index(lvl, ix, iy),
+                                self.cell_index(lvl + 1, ix, iy),
+                                g,
+                            )
+                            .map_err(ThermalError::from)?;
+                        }
+                    }
+                }
+                (Level::Fluid { .. }, Level::Fluid { .. }) => {
+                    unreachable!("adjacent fluid layers rejected at construction")
+                }
+            }
+        }
+
+        // Wall (fin) vertical bypass across fluid levels.
+        for lvl in 0..n_levels {
+            if let Level::Fluid { g_wall, .. } = &self.levels[lvl] {
+                if *g_wall > 0.0 && lvl > 0 && lvl + 1 < n_levels {
+                    for iy in 0..ny {
+                        for ix in 0..nx {
+                            t.stamp_conductance(
+                                self.cell_index(lvl - 1, ix, iy),
+                                self.cell_index(lvl + 1, ix, iy),
+                                *g_wall,
+                            )
+                            .map_err(ThermalError::from)?;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fluid advection (upwind along +y) and inlet forcing.
+        for lvl in 0..n_levels {
+            if let Level::Fluid {
+                spec,
+                capacity_rate,
+                ..
+            } = &self.levels[lvl]
+            {
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let me = self.cell_index(lvl, ix, iy);
+                        t.push(me, me, *capacity_rate).map_err(ThermalError::from)?;
+                        if iy > 0 {
+                            t.push(me, self.cell_index(lvl, ix, iy - 1), -capacity_rate)
+                                .map_err(ThermalError::from)?;
+                        } else {
+                            rhs[me] += capacity_rate * spec.inlet_temperature.value();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Conventional heat-sink boundary on the top face, if configured:
+        // solid half-cell conduction in series with the film coefficient.
+        if let Some(tc) = &self.config.top_cooling {
+            if let Level::Solid {
+                conductivity: ks,
+                dz: dzs,
+                ..
+            } = &self.levels[n_levels - 1]
+            {
+                let g_half = 2.0 * ks * area / dzs;
+                let g_film = tc.coefficient * area;
+                let g = 1.0 / (1.0 / g_half + 1.0 / g_film);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let me = self.cell_index(n_levels - 1, ix, iy);
+                        t.push(me, me, g).map_err(ThermalError::from)?;
+                        rhs[me] += g * tc.ambient.value();
+                    }
+                }
+            }
+        }
+
+        // Power injection at the active levels.
+        for (level, power) in sources {
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    rhs[self.cell_index(*level, ix, iy)] += power.get(ix, iy) * area;
+                }
+            }
+        }
+
+        Ok((t.to_csr(), rhs))
+    }
+
+    /// Solves the steady-state temperature field for a power-density map
+    /// (W/m² on the model grid).
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::PowerMapMismatch`] if the map grid differs,
+    /// * [`ThermalError::Numerical`] if BiCGSTAB fails.
+    pub fn solve_steady(&self, power: &Field2d) -> Result<ThermalSolution, ThermalError> {
+        self.solve_steady_with_sources(&[(0, power)])
+    }
+
+    /// Solves the steady state with power maps injected at arbitrary
+    /// solid levels — the 3D-stacking case of the paper's introduction
+    /// (multiple active dies with interlayer cooling, refs [6-8]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::solve_steady`], plus
+    /// [`ThermalError::PowerMapMismatch`] for a level index outside the
+    /// stack or on a fluid layer.
+    pub fn solve_steady_with_sources(
+        &self,
+        sources: &[(usize, &Field2d)],
+    ) -> Result<ThermalSolution, ThermalError> {
+        let (a, rhs) = self.assemble(sources)?;
+        let inlet = self.inlet_temperature();
+        let guess = vec![inlet.value(); rhs.len()];
+        let sol = bicgstab(
+            &a,
+            &rhs,
+            Some(&guess),
+            &IterOptions {
+                tolerance: 1e-10,
+                max_iterations: 60_000,
+                jacobi_preconditioner: true,
+            },
+        )
+        .map_err(ThermalError::from)?;
+        self.wrap_solution(sol.x)
+    }
+
+    /// The coolant reference temperature: the inlet of the first
+    /// microchannel layer, or the top-cooling ambient for stacks without
+    /// fluid layers.
+    pub fn inlet_temperature(&self) -> Kelvin {
+        self.levels
+            .iter()
+            .find_map(|l| match l {
+                Level::Fluid { spec, .. } => Some(spec.inlet_temperature),
+                _ => None,
+            })
+            .or(self.config.top_cooling.map(|tc| tc.ambient))
+            .expect("validated: a microchannel layer or top cooling exists")
+    }
+
+    pub(crate) fn wrap_solution(&self, x: Vec<f64>) -> Result<ThermalSolution, ThermalError> {
+        let cells = self.grid.len();
+        let mut maps = Vec::with_capacity(self.levels.len());
+        for lvl in 0..self.levels.len() {
+            let data = x[lvl * cells..(lvl + 1) * cells].to_vec();
+            maps.push(
+                Field2d::from_vec(self.grid.clone(), data)
+                    .map_err(|e| ThermalError::Numerical(e.to_string()))?,
+            );
+        }
+        Ok(ThermalSolution {
+            levels: maps,
+            fluid_levels: self.fluid_levels(),
+            inlet: self.inlet_temperature(),
+            capacity_rate: self.total_capacity_rate() / self.config.nx as f64,
+        })
+    }
+
+    pub(crate) fn levels_heat_capacity_volumes(&self) -> Vec<f64> {
+        // Per-cell heat capacity (J/K) per level, for the transient solver.
+        let dx = self.grid.dx();
+        let dy = self.grid.dy();
+        self.levels
+            .iter()
+            .map(|l| match l {
+                Level::Solid {
+                    heat_capacity, dz, ..
+                } => heat_capacity * dx * dy * dz,
+                Level::Fluid { spec, .. } => {
+                    spec.fluid.volumetric_heat_capacity.value()
+                        * spec.channel_width.value()
+                        * spec.channel_height.value()
+                        * spec.channels_per_cell as f64
+                        * dy
+                }
+            })
+            .collect()
+    }
+
+    pub(crate) fn assemble_for_transient(
+        &self,
+        power: &Field2d,
+    ) -> Result<(bright_num::CsrMatrix, Vec<f64>), ThermalError> {
+        self.assemble(&[(0, power)])
+    }
+}
+
+impl ThermalSolution {
+    /// Number of levels.
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Temperature map (kelvin) of one level (0 = active silicon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_map(&self, level: usize) -> &Field2d {
+        &self.levels[level]
+    }
+
+    /// The junction (bottom, active-silicon) temperature map.
+    pub fn junction_map(&self) -> &Field2d {
+        &self.levels[0]
+    }
+
+    /// Peak temperature over the whole stack.
+    pub fn max_temperature(&self) -> Kelvin {
+        Kelvin::new(
+            self.levels
+                .iter()
+                .map(Field2d::max)
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// `(level, ix, iy)` of the hottest cell.
+    pub fn max_location(&self) -> (usize, usize, usize) {
+        let mut best = (0, 0, 0);
+        let mut best_t = f64::NEG_INFINITY;
+        for (lvl, map) in self.levels.iter().enumerate() {
+            let (ix, iy) = map.argmax();
+            let t = map.get(ix, iy);
+            if t > best_t {
+                best_t = t;
+                best = (lvl, ix, iy);
+            }
+        }
+        best
+    }
+
+    /// Indices of the fluid levels.
+    pub fn fluid_levels(&self) -> &[usize] {
+        &self.fluid_levels
+    }
+
+    /// Fluid temperature profile along channel `ix` of the first fluid
+    /// level, inlet to outlet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no fluid level or `ix` is out of range.
+    pub fn channel_profile(&self, ix: usize) -> Vec<Kelvin> {
+        let map = &self.levels[self.fluid_levels[0]];
+        (0..map.grid().ny())
+            .map(|iy| Kelvin::new(map.get(ix, iy)))
+            .collect()
+    }
+
+    /// Mean fluid outlet temperature of the first fluid level.
+    pub fn outlet_mean(&self) -> Kelvin {
+        let map = &self.levels[self.fluid_levels[0]];
+        let ny = map.grid().ny();
+        let mean = map
+            .mean_where(|_, iy| iy == ny - 1)
+            .expect("non-empty outlet row");
+        Kelvin::new(mean)
+    }
+
+    /// Heat absorbed by the coolant, `Σ_ch ṁc·(T_out − T_in)` — equals
+    /// the injected power at steady state (energy balance).
+    pub fn absorbed_power(&self) -> Watt {
+        let map = &self.levels[self.fluid_levels[0]];
+        let ny = map.grid().ny();
+        let mut acc = 0.0;
+        for ix in 0..map.grid().nx() {
+            acc += self.capacity_rate * (map.get(ix, ny - 1) - self.inlet.value());
+        }
+        Watt::new(acc)
+    }
+
+    /// Coolant inlet temperature.
+    pub fn inlet_temperature(&self) -> Kelvin {
+        self.inlet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use bright_floorplan::{power7, PowerScenario};
+
+    fn power_map(model: &ThermalModel, scenario: &PowerScenario) -> Field2d {
+        scenario
+            .rasterize(&power7::floorplan(), model.grid())
+            .unwrap()
+    }
+
+    #[test]
+    fn energy_balance_holds() {
+        let model = presets::power7_stack().unwrap();
+        let power = power_map(&model, &PowerScenario::full_load());
+        let injected = power.integral();
+        let sol = model.solve_steady(&power).unwrap();
+        let absorbed = sol.absorbed_power().value();
+        assert!(
+            ((injected - absorbed) / injected).abs() < 1e-5,
+            "injected {injected} vs absorbed {absorbed}"
+        );
+    }
+
+    #[test]
+    fn full_load_peak_matches_paper_ballpark() {
+        // Fig. 9: peak 41 degC at 676 ml/min, 27 degC inlet.
+        let model = presets::power7_stack().unwrap();
+        let power = power_map(&model, &PowerScenario::full_load());
+        let sol = model.solve_steady(&power).unwrap();
+        let peak_c = sol.max_temperature().to_celsius().value();
+        assert!(peak_c > 32.0 && peak_c < 50.0, "peak = {peak_c} degC");
+        // Hottest spot sits in the active layer.
+        let (lvl, _, _) = sol.max_location();
+        assert_eq!(lvl, 0);
+    }
+
+    #[test]
+    fn fluid_heats_downstream() {
+        let model = presets::power7_stack().unwrap();
+        let power = power_map(&model, &PowerScenario::full_load());
+        let sol = model.solve_steady(&power).unwrap();
+        let prof = sol.channel_profile(44);
+        assert!(prof.last().unwrap().value() > prof.first().unwrap().value());
+        assert!(sol.outlet_mean().value() > sol.inlet_temperature().value());
+    }
+
+    #[test]
+    fn zero_power_stays_at_inlet() {
+        let model = presets::power7_stack().unwrap();
+        let zero = Field2d::zeros(model.grid().clone());
+        let sol = model.solve_steady(&zero).unwrap();
+        let max = sol.max_temperature().value();
+        let inlet = sol.inlet_temperature().value();
+        assert!((max - inlet).abs() < 1e-6, "max {max} vs inlet {inlet}");
+    }
+
+    #[test]
+    fn hotter_cores_show_in_junction_map() {
+        let model = presets::power7_stack().unwrap();
+        let power = power_map(&model, &PowerScenario::full_load());
+        let sol = model.solve_steady(&power).unwrap();
+        let j = sol.junction_map();
+        // Core band (bottom band y ~ 2.5 mm) hotter than center L3 band.
+        let core_t = j
+            .mean_where(|ix, iy| {
+                let (x, y) = j.grid().cell_center(ix, iy).unwrap();
+                (1.3e-3..24e-3).contains(&x) && y < 5e-3
+            })
+            .unwrap();
+        let l3_t = j
+            .mean_where(|_, iy| {
+                let y = (iy as f64 + 0.5) * j.grid().dy();
+                (8e-3..13e-3).contains(&y)
+            })
+            .unwrap();
+        assert!(core_t > l3_t, "core {core_t} vs L3 {l3_t}");
+    }
+
+    #[test]
+    fn doubled_flow_lowers_peak() {
+        let base = presets::power7_stack().unwrap();
+        let power = power_map(&base, &PowerScenario::full_load());
+        let hot = base.solve_steady(&power).unwrap().max_temperature();
+
+        let mut config = base.config().clone();
+        if let LayerSpec::Microchannel { spec, .. } = &mut config.layers[1] {
+            spec.total_flow = spec.total_flow * 2.0;
+        }
+        let fast = ThermalModel::new(config).unwrap();
+        let cool = fast.solve_steady(&power).unwrap().max_temperature();
+        assert!(cool.value() < hot.value());
+    }
+
+    #[test]
+    fn power_map_grid_is_checked() {
+        let model = presets::power7_stack().unwrap();
+        let wrong = Field2d::zeros(Grid2d::new(10, 10, 1e-3, 1e-3).unwrap());
+        assert!(matches!(
+            model.solve_steady(&wrong),
+            Err(ThermalError::PowerMapMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn stack_without_channels_is_rejected() {
+        let mut config = presets::power7_stack().unwrap().config().clone();
+        config.layers.retain(|l| matches!(l, LayerSpec::Solid { .. }));
+        assert!(matches!(
+            ThermalModel::new(config),
+            Err(ThermalError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn single_cell_stack_matches_hand_calculation() {
+        // 1x1 grid: the network reduces to a resistance chain that can be
+        // checked by hand. All power P flows into the single fluid cell:
+        // T_fluid = T_in + P/(rho c V), T_junction = T_fluid + P/G with
+        // 1/G = 1/G_half + 1/G_conv.
+        use crate::stack::{LayerSpec, MicrochannelSpec, StackConfig};
+        use crate::Material;
+        use bright_flow::fluid::TemperatureDependentFluid;
+        use bright_units::CubicMetersPerSecond;
+
+        let fluid = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(Kelvin::new(300.0))
+            .unwrap();
+        let config = StackConfig {
+            width: Meters::from_micrometers(300.0),
+            height: Meters::from_millimeters(22.0),
+            nx: 1,
+            ny: 1,
+            layers: vec![
+                LayerSpec::Solid {
+                    name: "die".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(400.0),
+                    sublayers: 1,
+                },
+                LayerSpec::Microchannel {
+                    name: "mc".into(),
+                    spec: MicrochannelSpec {
+                        channel_width: Meters::from_micrometers(200.0),
+                        channel_height: Meters::from_micrometers(400.0),
+                        channels_per_cell: 1,
+                        fluid,
+                        total_flow: CubicMetersPerSecond::from_milliliters_per_minute(7.68),
+                        inlet_temperature: Kelvin::new(300.0),
+                        wall_material: Material::silicon(),
+                    },
+                },
+            ],
+            top_cooling: None,
+        };
+        let model = ThermalModel::new(config).unwrap();
+        let p = 1.0; // W
+        let area = model.grid().cell_area();
+        let power = Field2d::constant(model.grid().clone(), p / area);
+        let sol = model.solve_steady(&power).unwrap();
+
+        let cap_rate = model.total_capacity_rate();
+        let t_fluid_expected = 300.0 + p / cap_rate;
+        let fluid_lvl = model.fluid_levels()[0];
+        let t_fluid = sol.level_map(fluid_lvl).get(0, 0);
+        assert!(
+            (t_fluid - t_fluid_expected).abs() < 1e-6,
+            "{t_fluid} vs {t_fluid_expected}"
+        );
+        // Junction is hotter than the fluid, by P/G for some finite G.
+        let t_j = sol.junction_map().get(0, 0);
+        assert!(t_j > t_fluid);
+        let g_implied = p / (t_j - t_fluid);
+        assert!(g_implied > 0.1 && g_implied < 100.0, "G = {g_implied} W/K");
+    }
+}

@@ -1,0 +1,332 @@
+//! Layer-stack description of the chip + cooling assembly.
+
+use crate::{Material, ThermalError};
+use bright_flow::FluidProperties;
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
+use serde::{Deserialize, Serialize};
+
+/// A microchannel cooling layer: parallel channels etched across the die,
+/// `channels_per_cell` channels per grid column (x index), flowing along
+/// +y. Lumping several physical channels into one grid column
+/// (`channels_per_cell > 1`) trades in-plane resolution for speed while
+/// keeping the per-area convective physics identical.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicrochannelSpec {
+    /// Channel width (x extent of one fluid slot) in metres.
+    pub channel_width: Meters,
+    /// Layer thickness = channel height in metres.
+    pub channel_height: Meters,
+    /// Physical channels lumped into each grid column (≥ 1).
+    pub channels_per_cell: usize,
+    /// Coolant properties (evaluated at the inlet temperature).
+    pub fluid: FluidProperties,
+    /// Total volumetric flow through all channels.
+    pub total_flow: CubicMetersPerSecond,
+    /// Coolant inlet temperature.
+    pub inlet_temperature: Kelvin,
+    /// Material of the channel walls (fins).
+    pub wall_material: Material,
+}
+
+/// One layer of the stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// A solid layer, vertically subdivided into `sublayers` cells.
+    Solid {
+        /// Human-readable name (for reports).
+        name: String,
+        /// Material.
+        material: Material,
+        /// Total layer thickness (m).
+        thickness: Meters,
+        /// Number of vertical subdivisions (≥ 1).
+        sublayers: usize,
+    },
+    /// A microchannel liquid-cooling layer.
+    Microchannel {
+        /// Human-readable name.
+        name: String,
+        /// Channel configuration.
+        spec: MicrochannelSpec,
+    },
+}
+
+impl LayerSpec {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerSpec::Solid { name, .. } | LayerSpec::Microchannel { name, .. } => name,
+        }
+    }
+
+    /// Number of vertical cell levels this layer contributes.
+    pub fn levels(&self) -> usize {
+        match self {
+            LayerSpec::Solid { sublayers, .. } => *sublayers,
+            LayerSpec::Microchannel { .. } => 1,
+        }
+    }
+}
+
+/// Convective cooling applied to the top face of the stack — the
+/// *conventional* heat-sink baseline the paper's approach replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopCooling {
+    /// Effective heat-transfer coefficient of the sink referred to the
+    /// die footprint (W/(m²·K)); ~20–50 for natural convection, 500–2000
+    /// for forced-air heat sinks, 10⁴+ for cold plates.
+    pub coefficient: f64,
+    /// Coolant/ambient temperature.
+    pub ambient: Kelvin,
+}
+
+impl TopCooling {
+    /// A forced-air heat-sink baseline: 1500 W/(m²·K) to 25 °C air —
+    /// representative of a good server heat sink referred to die area.
+    pub fn forced_air() -> Self {
+        Self {
+            coefficient: 1500.0,
+            ambient: Kelvin::new(298.15),
+        }
+    }
+}
+
+/// Full stack + discretization description.
+///
+/// The in-plane grid is shared by all layers: `nx` columns across the die
+/// width (one microchannel per column), `ny` rows along the channel/flow
+/// direction. Power is injected at the bottom level (the active silicon
+/// of a flip-chip die with channels etched on top, Fig. 1/Fig. 5 of the
+/// paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Die width (x, across channels) in metres.
+    pub width: Meters,
+    /// Die height (y, along channels) in metres.
+    pub height: Meters,
+    /// Grid columns (= number of channels of microchannel layers).
+    pub nx: usize,
+    /// Grid rows along the flow direction.
+    pub ny: usize,
+    /// Layers bottom-up (index 0 = active silicon side).
+    pub layers: Vec<LayerSpec>,
+    /// Optional convective boundary on the top face (conventional
+    /// heat-sink baseline). Stacks need either this or at least one
+    /// microchannel layer to carry heat away.
+    #[serde(default)]
+    pub top_cooling: Option<TopCooling>,
+}
+
+impl StackConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidConfig`] with a description of the
+    /// first violated rule.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        if self.nx == 0 || self.ny == 0 {
+            return Err(ThermalError::InvalidConfig(format!(
+                "grid must be non-empty, got {}x{}",
+                self.nx, self.ny
+            )));
+        }
+        if !(self.width.value() > 0.0 && self.height.value() > 0.0) {
+            return Err(ThermalError::InvalidConfig(format!(
+                "die extent must be positive, got {} x {}",
+                self.width, self.height
+            )));
+        }
+        if self.layers.is_empty() {
+            return Err(ThermalError::InvalidConfig("no layers".into()));
+        }
+        let pitch = self.width.value() / self.nx as f64;
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Solid {
+                    name,
+                    material,
+                    thickness,
+                    sublayers,
+                } => {
+                    if !material.is_physical() {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': non-physical material"
+                        )));
+                    }
+                    if !(thickness.value() > 0.0 && thickness.is_finite()) {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': bad thickness {thickness}"
+                        )));
+                    }
+                    if *sublayers == 0 {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': zero sublayers"
+                        )));
+                    }
+                }
+                LayerSpec::Microchannel { name, spec } => {
+                    spec.fluid.validate().map_err(|e| {
+                        ThermalError::InvalidConfig(format!("layer {i} '{name}': {e}"))
+                    })?;
+                    if spec.channels_per_cell == 0 {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': zero channels per cell"
+                        )));
+                    }
+                    let occupied = spec.channel_width.value() * spec.channels_per_cell as f64;
+                    if !(spec.channel_width.value() > 0.0 && occupied < pitch) {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': {} channels of width {} exceed the pitch \
+                             {pitch:.3e}",
+                            spec.channels_per_cell, spec.channel_width
+                        )));
+                    }
+                    if !(spec.channel_height.value() > 0.0) {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': bad channel height {}",
+                            spec.channel_height
+                        )));
+                    }
+                    if !(spec.total_flow.value() > 0.0) {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': bad flow {}",
+                            spec.total_flow
+                        )));
+                    }
+                    if !spec.inlet_temperature.is_physical() {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': bad inlet temperature {}",
+                            spec.inlet_temperature
+                        )));
+                    }
+                    if !spec.wall_material.is_physical() {
+                        return Err(ThermalError::InvalidConfig(format!(
+                            "layer {i} '{name}': non-physical wall material"
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(tc) = &self.top_cooling {
+            if !(tc.coefficient > 0.0 && tc.coefficient.is_finite()) {
+                return Err(ThermalError::InvalidConfig(format!(
+                    "top cooling coefficient must be positive, got {}",
+                    tc.coefficient
+                )));
+            }
+            if !tc.ambient.is_physical() {
+                return Err(ThermalError::InvalidConfig(format!(
+                    "non-physical top-cooling ambient {}",
+                    tc.ambient
+                )));
+            }
+            if matches!(self.layers.last(), Some(LayerSpec::Microchannel { .. })) {
+                return Err(ThermalError::InvalidConfig(
+                    "top cooling requires a solid top layer".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total vertical cell levels of the stack.
+    pub fn total_levels(&self) -> usize {
+        self.layers.iter().map(LayerSpec::levels).sum()
+    }
+
+    /// Channel pitch implied by the grid (`width/nx`).
+    pub fn pitch(&self) -> Meters {
+        Meters::new(self.width.value() / self.nx as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bright_flow::fluid::TemperatureDependentFluid;
+
+    fn channel_spec() -> MicrochannelSpec {
+        MicrochannelSpec {
+            channel_width: Meters::from_micrometers(200.0),
+            channel_height: Meters::from_micrometers(400.0),
+            channels_per_cell: 1,
+            fluid: TemperatureDependentFluid::vanadium_electrolyte()
+                .at(Kelvin::new(300.0))
+                .unwrap(),
+            total_flow: CubicMetersPerSecond::from_milliliters_per_minute(676.0),
+            inlet_temperature: Kelvin::new(300.0),
+            wall_material: Material::silicon(),
+        }
+    }
+
+    fn config() -> StackConfig {
+        StackConfig {
+            width: Meters::from_millimeters(26.55),
+            height: Meters::from_millimeters(21.34),
+            nx: 88,
+            ny: 44,
+            layers: vec![
+                LayerSpec::Solid {
+                    name: "die".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(400.0),
+                    sublayers: 2,
+                },
+                LayerSpec::Microchannel {
+                    name: "channels".into(),
+                    spec: channel_spec(),
+                },
+                LayerSpec::Solid {
+                    name: "cap".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(300.0),
+                    sublayers: 1,
+                },
+            ],
+            top_cooling: None,
+        }
+    }
+
+    #[test]
+    fn valid_stack_passes() {
+        let c = config();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_levels(), 4);
+        assert!((c.pitch().to_micrometers() - 301.7).abs() < 0.1);
+        assert_eq!(c.layers[1].name(), "channels");
+        assert_eq!(c.layers[0].levels(), 2);
+    }
+
+    #[test]
+    fn rejects_channel_wider_than_pitch() {
+        let mut c = config();
+        if let LayerSpec::Microchannel { spec, .. } = &mut c.layers[1] {
+            spec.channel_width = Meters::from_micrometers(400.0);
+        }
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        let mut c = config();
+        c.nx = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = config();
+        c.layers.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = config();
+        if let LayerSpec::Solid { sublayers, .. } = &mut c.layers[0] {
+            *sublayers = 0;
+        }
+        assert!(c.validate().is_err());
+
+        let mut c = config();
+        if let LayerSpec::Microchannel { spec, .. } = &mut c.layers[1] {
+            spec.inlet_temperature = Kelvin::new(-3.0);
+        }
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Transient thermal simulation (backward Euler).
+//!
+//! 3D-ICE's hallmark is fast transient simulation of liquid-cooled
+//! stacks. This module adds first-order implicit time stepping on top of
+//! the steady assembly: `(C/Δt + G)·T⁺ = C/Δt·T + P`, which is
+//! unconditionally stable — large steps simply approach the steady state.
+
+use crate::model::{ThermalModel, ThermalSolution};
+use crate::ThermalError;
+use bright_mesh::Field2d;
+use bright_num::solvers::{bicgstab, IterOptions};
+use bright_num::{CsrMatrix, TripletMatrix};
+
+/// A transient thermal simulation with a fixed power map and time step.
+#[derive(Debug, Clone)]
+pub struct TransientSimulation {
+    model: ThermalModel,
+    system: CsrMatrix,
+    rhs_steady: Vec<f64>,
+    capacity_over_dt: Vec<f64>,
+    temperatures: Vec<f64>,
+    time: f64,
+    dt: f64,
+}
+
+impl TransientSimulation {
+    /// Creates a transient run from an initial uniform temperature.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidConfig`] for a non-positive `dt`,
+    /// * assembly errors as in [`ThermalModel::solve_steady`].
+    pub fn new(
+        model: ThermalModel,
+        power: &Field2d,
+        initial_temperature: f64,
+        dt: f64,
+    ) -> Result<Self, ThermalError> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(ThermalError::InvalidConfig(format!(
+                "time step must be positive, got {dt}"
+            )));
+        }
+        if !(initial_temperature > 0.0 && initial_temperature.is_finite()) {
+            return Err(ThermalError::InvalidConfig(format!(
+                "initial temperature must be positive, got {initial_temperature}"
+            )));
+        }
+        let (g, rhs_steady) = model.assemble_for_transient(power)?;
+        let per_level_caps = model.levels_heat_capacity_volumes();
+        let cells = model.grid().len();
+        let n = g.rows();
+        let mut capacity_over_dt = vec![0.0; n];
+        for (lvl, cap) in per_level_caps.iter().enumerate() {
+            for cell in 0..cells {
+                capacity_over_dt[lvl * cells + cell] = cap / dt;
+            }
+        }
+        // System matrix: G + C/dt on the diagonal.
+        let mut t = TripletMatrix::with_capacity(n, n, g.nnz() + n);
+        for i in 0..n {
+            for (j, v) in g.row(i) {
+                t.push(i, j, v).map_err(ThermalError::from)?;
+            }
+            t.push(i, i, capacity_over_dt[i])
+                .map_err(ThermalError::from)?;
+        }
+        Ok(Self {
+            model,
+            system: t.to_csr(),
+            rhs_steady,
+            capacity_over_dt,
+            temperatures: vec![initial_temperature; n],
+            time: 0.0,
+            dt,
+        })
+    }
+
+    /// Elapsed simulated time (s).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The fixed time step (s).
+    #[inline]
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances one step and returns the new peak temperature (K).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Numerical`] if the solve fails.
+    pub fn step(&mut self) -> Result<f64, ThermalError> {
+        let n = self.temperatures.len();
+        let mut rhs = self.rhs_steady.clone();
+        for i in 0..n {
+            rhs[i] += self.capacity_over_dt[i] * self.temperatures[i];
+        }
+        let sol = bicgstab(
+            &self.system,
+            &rhs,
+            Some(&self.temperatures),
+            &IterOptions {
+                tolerance: 1e-10,
+                max_iterations: 60_000,
+                jacobi_preconditioner: true,
+            },
+        )
+        .map_err(ThermalError::from)?;
+        self.temperatures = sol.x;
+        self.time += self.dt;
+        Ok(self
+            .temperatures
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Advances `n` steps.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSimulation::step`].
+    pub fn run(&mut self, n: usize) -> Result<f64, ThermalError> {
+        let mut peak = f64::NEG_INFINITY;
+        for _ in 0..n {
+            peak = self.step()?;
+        }
+        Ok(peak)
+    }
+
+    /// A snapshot of the current temperature field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates field-construction errors (cannot happen for a
+    /// well-formed simulation).
+    pub fn snapshot(&self) -> Result<ThermalSolution, ThermalError> {
+        self.model.wrap_solution(self.temperatures.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use bright_floorplan::{power7, PowerScenario};
+
+    fn setup() -> (ThermalModel, Field2d) {
+        let model = presets::power7_stack().unwrap();
+        let power = PowerScenario::full_load()
+            .rasterize(&power7::floorplan(), model.grid())
+            .unwrap();
+        (model, power)
+    }
+
+    #[test]
+    fn transient_approaches_steady_state() {
+        let (model, power) = setup();
+        let steady = model.solve_steady(&power).unwrap().max_temperature().value();
+        let mut sim = TransientSimulation::new(model, &power, 300.0, 5e-3).unwrap();
+        // Thermal time constants here are ~ms (thin layers, strong
+        // convection): 400 x 5 ms = 2 s is deep in steady state.
+        let peak = sim.run(400).unwrap();
+        assert!(
+            (peak - steady).abs() < 0.05,
+            "transient {peak} vs steady {steady}"
+        );
+        assert!((sim.time() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_from_cold_start() {
+        let (model, power) = setup();
+        let mut sim = TransientSimulation::new(model, &power, 300.0, 1e-3).unwrap();
+        let mut last = 300.0;
+        for _ in 0..5 {
+            let peak = sim.step().unwrap();
+            assert!(peak >= last - 1e-9, "peak fell: {peak} < {last}");
+            last = peak;
+        }
+        assert!(last > 300.5, "should have warmed: {last}");
+    }
+
+    #[test]
+    fn snapshot_matches_internal_state() {
+        let (model, power) = setup();
+        let mut sim = TransientSimulation::new(model, &power, 300.0, 1e-3).unwrap();
+        let p = sim.step().unwrap();
+        let snap = sim.snapshot().unwrap();
+        assert!((snap.max_temperature().value() - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let (model, power) = setup();
+        assert!(TransientSimulation::new(model.clone(), &power, 300.0, 0.0).is_err());
+        assert!(TransientSimulation::new(model, &power, -3.0, 1e-3).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Physics invariants of the compact thermal model.
+
+use bright_floorplan::{power7, PowerScenario};
+use bright_mesh::Field2d;
+use bright_thermal::presets;
+use bright_thermal::stack::LayerSpec;
+use bright_thermal::ThermalModel;
+use bright_units::{CubicMetersPerSecond, Kelvin};
+
+fn full_load_map(model: &ThermalModel) -> Field2d {
+    PowerScenario::full_load()
+        .rasterize(&power7::floorplan(), model.grid())
+        .unwrap()
+}
+
+#[test]
+fn linearity_doubling_power_doubles_the_rise() {
+    // The network is linear: T(2P) - T_in = 2 (T(P) - T_in).
+    let model = presets::power7_stack().unwrap();
+    let p1 = full_load_map(&model);
+    let mut p2 = p1.clone();
+    p2.map_in_place(|v| 2.0 * v);
+    let t1 = model.solve_steady(&p1).unwrap();
+    let t2 = model.solve_steady(&p2).unwrap();
+    let inlet = t1.inlet_temperature().value();
+    let rise1 = t1.max_temperature().value() - inlet;
+    let rise2 = t2.max_temperature().value() - inlet;
+    assert!(
+        (rise2 - 2.0 * rise1).abs() < 1e-4 * rise1,
+        "rise {rise1} vs doubled {rise2}"
+    );
+}
+
+#[test]
+fn superposition_of_power_maps() {
+    let model = presets::power7_stack().unwrap();
+    let plan = power7::floorplan();
+    let full = PowerScenario::full_load().rasterize(&plan, model.grid()).unwrap();
+    let cache = PowerScenario::cache_only().rasterize(&plan, model.grid()).unwrap();
+    // residual = full - cache (cores + logic + io only).
+    let residual = Field2d::from_vec(
+        model.grid().clone(),
+        full.as_slice()
+            .iter()
+            .zip(cache.as_slice())
+            .map(|(f, c)| f - c)
+            .collect(),
+    )
+    .unwrap();
+
+    let t_full = model.solve_steady(&full).unwrap();
+    let t_cache = model.solve_steady(&cache).unwrap();
+    let t_res = model.solve_steady(&residual).unwrap();
+    let inlet = t_full.inlet_temperature().value();
+
+    // Check superposition at a handful of probe cells on the junction map.
+    for (ix, iy) in [(10, 10), (44, 22), (80, 40), (0, 0)] {
+        let a = t_full.junction_map().get(ix, iy) - inlet;
+        let b = (t_cache.junction_map().get(ix, iy) - inlet)
+            + (t_res.junction_map().get(ix, iy) - inlet);
+        assert!((a - b).abs() < 1e-5 * a.abs().max(1e-3), "cell ({ix},{iy}): {a} vs {b}");
+    }
+}
+
+#[test]
+fn every_cell_at_or_above_inlet_with_nonnegative_power() {
+    let model = presets::power7_stack().unwrap();
+    let sol = model.solve_steady(&full_load_map(&model)).unwrap();
+    let inlet = sol.inlet_temperature().value();
+    for lvl in 0..sol.level_count() {
+        let min = sol.level_map(lvl).min();
+        assert!(
+            min >= inlet - 1e-6,
+            "level {lvl} dips below inlet: {min} < {inlet}"
+        );
+    }
+}
+
+#[test]
+fn warmer_inlet_shifts_the_whole_field() {
+    // With temperature-independent properties, T(inlet + d) = T(inlet) + d.
+    let cold_model = presets::power7_stack_at(
+        CubicMetersPerSecond::from_milliliters_per_minute(676.0),
+        Kelvin::new(300.0),
+    )
+    .unwrap();
+    let warm_model = presets::power7_stack_at(
+        CubicMetersPerSecond::from_milliliters_per_minute(676.0),
+        Kelvin::new(310.0),
+    )
+    .unwrap();
+    let p = full_load_map(&cold_model);
+    let cold = cold_model.solve_steady(&p).unwrap();
+    let warm = warm_model.solve_steady(&p).unwrap();
+    let d_peak = warm.max_temperature().value() - cold.max_temperature().value();
+    // Fluid properties change slightly with inlet temperature (viscosity,
+    // conductivity), so allow a modest band around the exact +10 K shift.
+    assert!((d_peak - 10.0).abs() < 1.0, "peak shift {d_peak}");
+}
+
+#[test]
+fn thicker_die_spreads_better_but_insulates_more() {
+    let base = presets::power7_stack().unwrap();
+    let mut config = base.config().clone();
+    if let LayerSpec::Solid { thickness, .. } = &mut config.layers[0] {
+        *thickness = *thickness * 3.0;
+    }
+    let thick = ThermalModel::new(config).unwrap();
+    let p = full_load_map(&base);
+    let t_base = base.solve_steady(&p).unwrap().max_temperature().value();
+    let t_thick = thick.solve_steady(&p).unwrap().max_temperature().value();
+    // Tripling the die thickness adds vertical resistance; with strong
+    // in-plane spreading the peak may drop slightly instead — accept
+    // either, but the change must be bounded and the solve stable.
+    assert!(
+        (t_thick - t_base).abs() < 5.0,
+        "base {t_base} vs thick {t_thick}"
+    );
+}
+
+#[test]
+fn flow_sweep_monotone_peak_temperature() {
+    let p = full_load_map(&presets::power7_stack().unwrap());
+    let mut last = f64::INFINITY;
+    for flow in [100.0, 300.0, 676.0, 1500.0] {
+        let model = presets::power7_stack_at(
+            CubicMetersPerSecond::from_milliliters_per_minute(flow),
+            Kelvin::new(300.0),
+        )
+        .unwrap();
+        let peak = model.solve_steady(&p).unwrap().max_temperature().value();
+        assert!(peak < last, "peak should fall with flow: {peak} at {flow}");
+        last = peak;
+    }
+}
+
+#[test]
+fn multi_source_injection_superposes_and_validates() {
+    let model = presets::power7_stack().unwrap();
+    let p = full_load_map(&model);
+    // Injecting at level 0 via both APIs must agree exactly.
+    let a = model.solve_steady(&p).unwrap();
+    let b = model.solve_steady_with_sources(&[(0, &p)]).unwrap();
+    assert!((a.max_temperature().value() - b.max_temperature().value()).abs() < 1e-9);
+
+    // Splitting the same power across two calls of half magnitude at the
+    // same level superposes linearly.
+    let mut half = p.clone();
+    half.map_in_place(|v| 0.5 * v);
+    let c = model
+        .solve_steady_with_sources(&[(0, &half), (0, &half)])
+        .unwrap();
+    assert!((a.max_temperature().value() - c.max_temperature().value()).abs() < 1e-6);
+
+    // Injecting into the cap (level 3, above the channels) heats less at
+    // the junction than injecting at the junction itself.
+    let top = model.solve_steady_with_sources(&[(3, &p)]).unwrap();
+    assert!(top.junction_map().max() < a.junction_map().max());
+    // Energy balance still exact.
+    assert!(
+        (top.absorbed_power().value() - p.integral()).abs() < 1e-4 * p.integral()
+    );
+
+    // Validation: fluid level and out-of-range level are rejected.
+    assert!(model.solve_steady_with_sources(&[(2, &p)]).is_err());
+    assert!(model.solve_steady_with_sources(&[(9, &p)]).is_err());
+}
+
+#[test]
+fn conventional_heat_sink_baseline_behaves() {
+    use bright_thermal::stack::{StackConfig, TopCooling};
+    use bright_thermal::Material;
+    use bright_units::Meters;
+
+    let plan = power7::floorplan();
+    let stack = |h: f64| {
+        ThermalModel::new(StackConfig {
+            width: plan.width(),
+            height: plan.height(),
+            nx: 44,
+            ny: 22,
+            layers: vec![LayerSpec::Solid {
+                name: "die".into(),
+                material: Material::silicon(),
+                thickness: Meters::from_micrometers(700.0),
+                sublayers: 2,
+            }],
+            top_cooling: Some(TopCooling {
+                coefficient: h,
+                ambient: Kelvin::new(298.15),
+            }),
+        })
+        .unwrap()
+    };
+    let power = PowerScenario::full_load()
+        .rasterize(&plan, stack(1500.0).grid())
+        .unwrap();
+
+    // Better sinks give cooler chips, approaching a 1-D bound:
+    // dT >= q_peak/h locally.
+    let mut last = f64::INFINITY;
+    for h in [200.0, 1500.0, 20000.0] {
+        let peak = stack(h).solve_steady(&power).unwrap().max_temperature().value();
+        assert!(peak < last, "peak {peak} at h={h}");
+        // Never below ambient.
+        assert!(peak > 298.15);
+        last = peak;
+    }
+    // A forced-air sink runs the 71 W chip far hotter than the
+    // microfluidic layer does (the paper's motivation).
+    let air = stack(1500.0).solve_steady(&power).unwrap().max_temperature().value();
+    let micro = presets::power7_stack()
+        .unwrap()
+        .solve_steady(
+            &PowerScenario::full_load()
+                .rasterize(&plan, presets::power7_stack().unwrap().grid())
+                .unwrap(),
+        )
+        .unwrap()
+        .max_temperature()
+        .value();
+    assert!(air > micro + 20.0, "air {air} vs micro {micro}");
+
+    // A stack with neither channels nor top cooling is rejected.
+    let floating = StackConfig {
+        width: plan.width(),
+        height: plan.height(),
+        nx: 10,
+        ny: 10,
+        layers: vec![LayerSpec::Solid {
+            name: "die".into(),
+            material: Material::silicon(),
+            thickness: Meters::from_micrometers(700.0),
+            sublayers: 1,
+        }],
+        top_cooling: None,
+    };
+    assert!(ThermalModel::new(floating).is_err());
+}

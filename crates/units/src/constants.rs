@@ -1,0 +1,59 @@
+//! Universal physical constants (CODATA 2018 values).
+
+/// Universal (molar) gas constant `R` in J/(mol·K).
+pub const GAS_CONSTANT: f64 = 8.314_462_618;
+
+/// Faraday constant `F` in C/mol.
+pub const FARADAY: f64 = 96_485.332_12;
+
+/// Standard atmospheric pressure in Pa.
+pub const ATMOSPHERE: f64 = 101_325.0;
+
+/// Absolute zero expressed in degrees Celsius.
+pub const ABSOLUTE_ZERO_CELSIUS: f64 = -273.15;
+
+/// Boltzmann constant `k_B` in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Elementary charge `e` in C.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Avogadro constant `N_A` in 1/mol.
+pub const AVOGADRO: f64 = 6.022_140_76e23;
+
+/// Thermal voltage `RT/F` in volts at the given absolute temperature.
+///
+/// This is the scale of the Nernst and Butler–Volmer exponentials;
+/// ≈ 25.7 mV at 298.15 K.
+///
+/// # Examples
+///
+/// ```
+/// let vt = bright_units::constants::thermal_voltage(298.15);
+/// assert!((vt - 0.02569).abs() < 1e-4);
+/// ```
+#[inline]
+pub fn thermal_voltage(temperature_kelvin: f64) -> f64 {
+    GAS_CONSTANT * temperature_kelvin / FARADAY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faraday_is_avogadro_times_charge() {
+        assert!((FARADAY - AVOGADRO * ELEMENTARY_CHARGE).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gas_constant_is_avogadro_times_boltzmann() {
+        assert!((GAS_CONSTANT - AVOGADRO * BOLTZMANN).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_voltage_at_body_temperature() {
+        let vt = thermal_voltage(310.15);
+        assert!(vt > 0.0266 && vt < 0.0268, "got {vt}");
+    }
+}

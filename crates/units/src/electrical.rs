@@ -1,0 +1,194 @@
+//! Electrical quantities: potential, current, power, resistance, charge.
+
+use crate::geometry::SquareMeters;
+
+/// Electric potential in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Volt(f64);
+quantity_impl!(Volt, "V");
+
+/// Electric current in amperes. Positive cell current denotes discharge
+/// (power delivered to the load) throughout the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ampere(f64);
+quantity_impl!(Ampere, "A");
+
+/// Electric power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Watt(f64);
+quantity_impl!(Watt, "W");
+
+/// Electrical resistance in ohms.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ohm(f64);
+quantity_impl!(Ohm, "ohm");
+
+/// Electric charge in coulombs.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Coulomb(f64);
+quantity_impl!(Coulomb, "C");
+
+/// Current density in A/m². (1 mA/cm² = 10 A/m².)
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct AmperePerSquareMeter(f64);
+quantity_impl!(AmperePerSquareMeter, "A/m^2");
+
+/// Areal power density in W/m². (1 W/cm² = 10⁴ W/m².)
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct WattPerSquareMeter(f64);
+quantity_impl!(WattPerSquareMeter, "W/m^2");
+
+/// Ionic or electronic conductivity in S/m.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SiemensPerMeter(f64);
+quantity_impl!(SiemensPerMeter, "S/m");
+
+impl core::ops::Mul<Ampere> for Volt {
+    type Output = Watt;
+    #[inline]
+    fn mul(self, rhs: Ampere) -> Watt {
+        Watt::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Volt> for Ampere {
+    type Output = Watt;
+    #[inline]
+    fn mul(self, rhs: Volt) -> Watt {
+        Watt::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Ampere> for Ohm {
+    type Output = Volt;
+    #[inline]
+    fn mul(self, rhs: Ampere) -> Volt {
+        Volt::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Mul<Ohm> for Ampere {
+    type Output = Volt;
+    #[inline]
+    fn mul(self, rhs: Ohm) -> Volt {
+        Volt::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Div<Ampere> for Volt {
+    type Output = Ohm;
+    #[inline]
+    fn div(self, rhs: Ampere) -> Ohm {
+        Ohm::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Div<Volt> for Watt {
+    type Output = Ampere;
+    #[inline]
+    fn div(self, rhs: Volt) -> Ampere {
+        Ampere::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Div<Ampere> for Watt {
+    type Output = Volt;
+    #[inline]
+    fn div(self, rhs: Ampere) -> Volt {
+        Volt::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Mul<SquareMeters> for AmperePerSquareMeter {
+    type Output = Ampere;
+    #[inline]
+    fn mul(self, rhs: SquareMeters) -> Ampere {
+        Ampere::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Mul<SquareMeters> for WattPerSquareMeter {
+    type Output = Watt;
+    #[inline]
+    fn mul(self, rhs: SquareMeters) -> Watt {
+        Watt::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Div<SquareMeters> for Ampere {
+    type Output = AmperePerSquareMeter;
+    #[inline]
+    fn div(self, rhs: SquareMeters) -> AmperePerSquareMeter {
+        AmperePerSquareMeter::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Div<SquareMeters> for Watt {
+    type Output = WattPerSquareMeter;
+    #[inline]
+    fn div(self, rhs: SquareMeters) -> WattPerSquareMeter {
+        WattPerSquareMeter::new(self.0 / rhs.value())
+    }
+}
+
+impl AmperePerSquareMeter {
+    /// Expresses the current density in mA/cm², the unit of the paper's
+    /// polarization plots (Fig. 3).
+    #[inline]
+    pub fn to_milliamps_per_square_centimeter(self) -> f64 {
+        self.0 / 10.0
+    }
+
+    /// Builds a current density from a value in mA/cm².
+    #[inline]
+    pub fn from_milliamps_per_square_centimeter(value: f64) -> Self {
+        Self::new(value * 10.0)
+    }
+}
+
+impl WattPerSquareMeter {
+    /// Expresses the power density in W/cm², the unit used for chip power
+    /// densities in the paper (e.g. 26.7 W/cm² peak for the POWER7+).
+    #[inline]
+    pub fn to_watts_per_square_centimeter(self) -> f64 {
+        self.0 / 1e4
+    }
+
+    /// Builds a power density from a value in W/cm².
+    #[inline]
+    pub fn from_watts_per_square_centimeter(value: f64) -> Self {
+        Self::new(value * 1e4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Meters;
+
+    #[test]
+    fn ohms_law_and_power() {
+        let v = Volt::new(1.0);
+        let i = Ampere::new(6.0);
+        assert_eq!((v * i).value(), 6.0);
+        assert_eq!((i * v).value(), 6.0);
+        assert!(((v / i).value() - 1.0 / 6.0).abs() < 1e-15);
+        assert_eq!((Ohm::new(0.5) * Ampere::new(2.0)).value(), 1.0);
+    }
+
+    #[test]
+    fn density_times_area() {
+        let a = Meters::new(0.02) * Meters::new(0.002); // 33x smaller than chip
+        let j = AmperePerSquareMeter::from_milliamps_per_square_centimeter(30.0);
+        let i = j * a;
+        assert!((i.value() - 300.0 * 4e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let j = AmperePerSquareMeter::new(250.0);
+        assert!((j.to_milliamps_per_square_centimeter() - 25.0).abs() < 1e-12);
+        let p = WattPerSquareMeter::from_watts_per_square_centimeter(26.7);
+        assert!((p.value() - 2.67e5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Flow-rate and velocity quantities.
+
+use crate::geometry::SquareMeters;
+
+/// Volumetric flow rate in m³/s.
+///
+/// The paper quotes flow rates in µL/min (validation cell, Table I) and
+/// ml/min (POWER7+ array, Table II); converters for both are provided.
+///
+/// # Examples
+///
+/// ```
+/// use bright_units::CubicMetersPerSecond;
+///
+/// let array_flow = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+/// assert!((array_flow.value() - 1.1267e-5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct CubicMetersPerSecond(f64);
+quantity_impl!(CubicMetersPerSecond, "m^3/s");
+
+/// Linear velocity in m/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct MetersPerSecond(f64);
+quantity_impl!(MetersPerSecond, "m/s");
+
+/// Mass flow rate in kg/s.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct KilogramsPerSecond(f64);
+quantity_impl!(KilogramsPerSecond, "kg/s");
+
+impl CubicMetersPerSecond {
+    /// Builds a flow rate from µL/min (unit of Table I).
+    #[inline]
+    pub fn from_microliters_per_minute(value: f64) -> Self {
+        Self::new(value * 1e-9 / 60.0)
+    }
+
+    /// Builds a flow rate from ml/min (unit of Table II).
+    #[inline]
+    pub fn from_milliliters_per_minute(value: f64) -> Self {
+        Self::new(value * 1e-6 / 60.0)
+    }
+
+    /// Expresses the flow rate in µL/min.
+    #[inline]
+    pub fn to_microliters_per_minute(self) -> f64 {
+        self.0 * 60.0 / 1e-9
+    }
+
+    /// Expresses the flow rate in ml/min.
+    #[inline]
+    pub fn to_milliliters_per_minute(self) -> f64 {
+        self.0 * 60.0 / 1e-6
+    }
+
+    /// Mean velocity through a duct of the given cross-section.
+    #[inline]
+    pub fn mean_velocity(self, cross_section: SquareMeters) -> MetersPerSecond {
+        MetersPerSecond::new(self.0 / cross_section.value())
+    }
+}
+
+impl core::ops::Div<SquareMeters> for CubicMetersPerSecond {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn div(self, rhs: SquareMeters) -> MetersPerSecond {
+        MetersPerSecond::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Mul<SquareMeters> for MetersPerSecond {
+    type Output = CubicMetersPerSecond;
+    #[inline]
+    fn mul(self, rhs: SquareMeters) -> CubicMetersPerSecond {
+        CubicMetersPerSecond::new(self.0 * rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Meters;
+
+    #[test]
+    fn microliter_conversion_roundtrip() {
+        for v in [2.5, 10.0, 60.0, 300.0] {
+            let q = CubicMetersPerSecond::from_microliters_per_minute(v);
+            assert!((q.to_microliters_per_minute() - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table2_mean_velocity() {
+        // 676 ml/min through 88 channels of 200 um x 400 um gives ~1.6 m/s;
+        // the paper rounds the average flow velocity to 1.4 m/s.
+        let total = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+        let per_channel = total / 88.0;
+        let area = Meters::from_micrometers(200.0) * Meters::from_micrometers(400.0);
+        let v = per_channel.mean_velocity(area);
+        assert!(v.value() > 1.3 && v.value() < 1.7, "got {v}");
+    }
+
+    #[test]
+    fn velocity_times_area_is_flow() {
+        let v = MetersPerSecond::new(1.5);
+        let a = SquareMeters::new(8e-8);
+        let q = v * a;
+        assert!((q.value() - 1.2e-7).abs() < 1e-20);
+    }
+}

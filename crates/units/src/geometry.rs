@@ -1,0 +1,116 @@
+//! Length, area and volume quantities.
+
+/// Length in metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Meters(f64);
+quantity_impl!(Meters, "m");
+
+/// Area in square metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SquareMeters(f64);
+quantity_impl!(SquareMeters, "m^2");
+
+/// Volume in cubic metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct CubicMeters(f64);
+quantity_impl!(CubicMeters, "m^3");
+
+impl Meters {
+    /// Builds a length from a value in millimetres.
+    #[inline]
+    pub fn from_millimeters(value: f64) -> Self {
+        Self::new(value * 1e-3)
+    }
+
+    /// Builds a length from a value in micrometres.
+    #[inline]
+    pub fn from_micrometers(value: f64) -> Self {
+        Self::new(value * 1e-6)
+    }
+
+    /// Expresses the length in millimetres.
+    #[inline]
+    pub fn to_millimeters(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Expresses the length in micrometres.
+    #[inline]
+    pub fn to_micrometers(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl SquareMeters {
+    /// Expresses the area in square centimetres.
+    #[inline]
+    pub fn to_square_centimeters(self) -> f64 {
+        self.0 * 1e4
+    }
+
+    /// Builds an area from a value in square centimetres.
+    #[inline]
+    pub fn from_square_centimeters(value: f64) -> Self {
+        Self::new(value * 1e-4)
+    }
+}
+
+impl core::ops::Mul<Meters> for Meters {
+    type Output = SquareMeters;
+    #[inline]
+    fn mul(self, rhs: Meters) -> SquareMeters {
+        SquareMeters::new(self.0 * rhs.0)
+    }
+}
+
+impl core::ops::Mul<Meters> for SquareMeters {
+    type Output = CubicMeters;
+    #[inline]
+    fn mul(self, rhs: Meters) -> CubicMeters {
+        CubicMeters::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Div<Meters> for SquareMeters {
+    type Output = Meters;
+    #[inline]
+    fn div(self, rhs: Meters) -> Meters {
+        Meters::new(self.0 / rhs.value())
+    }
+}
+
+impl core::ops::Div<Meters> for CubicMeters {
+    type Output = SquareMeters;
+    #[inline]
+    fn div(self, rhs: Meters) -> SquareMeters {
+        SquareMeters::new(self.0 / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_area_in_square_centimeters() {
+        // The POWER7+ die of the paper: 21.34 mm x 26.55 mm = 5.666 cm^2.
+        let area = Meters::from_millimeters(21.34) * Meters::from_millimeters(26.55);
+        assert!((area.to_square_centimeters() - 5.66577).abs() < 1e-4);
+    }
+
+    #[test]
+    fn micrometer_conversion() {
+        let w = Meters::from_micrometers(200.0);
+        assert!((w.value() - 2e-4).abs() < 1e-18);
+        assert!((w.to_micrometers() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_length_algebra() {
+        let a = SquareMeters::new(6.0);
+        let l = Meters::new(2.0);
+        assert_eq!((a / l).value(), 3.0);
+        assert_eq!((a * l).value(), 12.0);
+        assert_eq!((CubicMeters::new(12.0) / l).value(), 6.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Pressure and pressure-gradient quantities.
+
+use crate::flowrate::CubicMetersPerSecond;
+use crate::geometry::Meters;
+
+/// Pressure in pascals.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Pascal(f64);
+quantity_impl!(Pascal, "Pa");
+
+/// Pressure gradient in Pa/m.
+///
+/// The paper quotes channel pressure drops per unit length in bar/cm
+/// (1 bar/cm = 10⁷ Pa/m).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct PascalPerMeter(f64);
+quantity_impl!(PascalPerMeter, "Pa/m");
+
+impl Pascal {
+    /// Builds a pressure from a value in bar.
+    #[inline]
+    pub fn from_bar(value: f64) -> Self {
+        Self::new(value * 1e5)
+    }
+
+    /// Expresses the pressure in bar.
+    #[inline]
+    pub fn to_bar(self) -> f64 {
+        self.0 / 1e5
+    }
+
+    /// Ideal hydraulic power `Δp·V̇` of a stream pushed against this
+    /// pressure drop, in watts. Divide by pump efficiency for shaft power.
+    #[inline]
+    pub fn hydraulic_power(self, flow: CubicMetersPerSecond) -> crate::Watt {
+        crate::Watt::new(self.0 * flow.value())
+    }
+}
+
+impl PascalPerMeter {
+    /// Builds a pressure gradient from a value in bar/cm.
+    #[inline]
+    pub fn from_bar_per_centimeter(value: f64) -> Self {
+        Self::new(value * 1e7)
+    }
+
+    /// Expresses the pressure gradient in bar/cm.
+    #[inline]
+    pub fn to_bar_per_centimeter(self) -> f64 {
+        self.0 / 1e7
+    }
+}
+
+impl core::ops::Mul<Meters> for PascalPerMeter {
+    type Output = Pascal;
+    #[inline]
+    fn mul(self, rhs: Meters) -> Pascal {
+        Pascal::new(self.0 * rhs.value())
+    }
+}
+
+impl core::ops::Div<Meters> for Pascal {
+    type Output = PascalPerMeter;
+    #[inline]
+    fn div(self, rhs: Meters) -> PascalPerMeter {
+        PascalPerMeter::new(self.0 / rhs.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_conversions() {
+        let grad = PascalPerMeter::from_bar_per_centimeter(1.5);
+        assert!((grad.value() - 1.5e7).abs() < 1e-6);
+        assert!((grad.to_bar_per_centimeter() - 1.5).abs() < 1e-12);
+        let p = Pascal::from_bar(3.3);
+        assert!((p.value() - 3.3e5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_times_length() {
+        let grad = PascalPerMeter::from_bar_per_centimeter(1.5);
+        let dp = grad * Meters::from_millimeters(22.0);
+        assert!((dp.to_bar() - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hydraulic_power_matches_paper_scale() {
+        // dp * flow for the paper's quoted numbers lands in the watt range.
+        let dp = Pascal::from_bar(1.95);
+        let flow = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+        let p = dp.hydraulic_power(flow);
+        assert!(p.value() > 1.0 && p.value() < 3.0, "got {p}");
+    }
+}

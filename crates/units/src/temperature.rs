@@ -1,0 +1,90 @@
+//! Absolute and relative temperature types.
+
+use crate::constants::ABSOLUTE_ZERO_CELSIUS;
+
+/// Absolute (thermodynamic) temperature in kelvin.
+///
+/// All physics code in the workspace carries temperatures as `Kelvin`;
+/// [`Celsius`] exists for human-facing input/output only.
+///
+/// # Examples
+///
+/// ```
+/// use bright_units::{Kelvin, Celsius};
+///
+/// let t = Kelvin::new(300.0);
+/// assert!((t.to_celsius().value() - 26.85).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Kelvin(f64);
+quantity_impl!(Kelvin, "K");
+
+/// Temperature on the Celsius scale, for display and configuration.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+quantity_impl!(Celsius, "degC");
+
+impl Kelvin {
+    /// Converts to the Celsius scale.
+    #[inline]
+    pub fn to_celsius(self) -> Celsius {
+        Celsius::new(self.0 + ABSOLUTE_ZERO_CELSIUS)
+    }
+
+    /// Returns `true` for physically meaningful absolute temperatures
+    /// (finite and strictly positive).
+    #[inline]
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 > 0.0
+    }
+}
+
+impl Celsius {
+    /// Converts to the absolute (kelvin) scale.
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin::new(self.0 - ABSOLUTE_ZERO_CELSIUS)
+    }
+}
+
+impl From<Celsius> for Kelvin {
+    #[inline]
+    fn from(c: Celsius) -> Kelvin {
+        c.to_kelvin()
+    }
+}
+
+impl From<Kelvin> for Celsius {
+    #[inline]
+    fn from(k: Kelvin) -> Celsius {
+        k.to_celsius()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn celsius_kelvin_roundtrip() {
+        let c = Celsius::new(27.0);
+        let k: Kelvin = c.into();
+        assert!((k.value() - 300.15).abs() < 1e-12);
+        let back: Celsius = k.into();
+        assert!((back.value() - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physicality_check() {
+        assert!(Kelvin::new(300.0).is_physical());
+        assert!(!Kelvin::new(0.0).is_physical());
+        assert!(!Kelvin::new(-1.0).is_physical());
+        assert!(!Kelvin::new(f64::NAN).is_physical());
+    }
+
+    #[test]
+    fn display_formats_with_unit() {
+        assert_eq!(format!("{:.2}", Kelvin::new(300.154)), "300.15 K");
+        assert_eq!(format!("{}", Celsius::new(41.0)), "41 degC");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the quantity algebra.
+
+use proptest::prelude::*;
+
+use bright_units::{
+    Ampere, Celsius, CubicMetersPerSecond, Kelvin, Meters, Pascal, PascalPerMeter, SquareMeters,
+    Volt, Watt,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_is_commutative_and_scaling_distributes(
+        a in -1e6..1e6f64,
+        b in -1e6..1e6f64,
+        k in -100.0..100.0f64,
+    ) {
+        let x = Watt::new(a);
+        let y = Watt::new(b);
+        prop_assert_eq!((x + y).value(), (y + x).value());
+        let lhs = (x + y) * k;
+        let rhs = x * k + y * k;
+        prop_assert!((lhs.value() - rhs.value()).abs() < 1e-6 * lhs.value().abs().max(1.0));
+    }
+
+    #[test]
+    fn power_identities(v in 0.01..10.0f64, i in 0.01..100.0f64) {
+        let volt = Volt::new(v);
+        let amp = Ampere::new(i);
+        let p = volt * amp;
+        prop_assert!((p.value() - v * i).abs() < 1e-12 * (v * i));
+        // P / V = I and P / I = V.
+        prop_assert!(((p / volt).value() - i).abs() < 1e-9 * i);
+        prop_assert!(((p / amp).value() - v).abs() < 1e-9 * v);
+        // Ohm's law roundtrip.
+        let r = volt / amp;
+        prop_assert!(((r * amp).value() - v).abs() < 1e-9 * v);
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip(x in 1e-9..1e3f64) {
+        prop_assert!((Meters::from_millimeters(x).to_millimeters() - x).abs() < 1e-9 * x);
+        prop_assert!((Meters::from_micrometers(x).to_micrometers() - x).abs() < 1e-9 * x);
+        prop_assert!(
+            (CubicMetersPerSecond::from_microliters_per_minute(x)
+                .to_microliters_per_minute()
+                - x)
+                .abs()
+                < 1e-9 * x
+        );
+        prop_assert!((Pascal::from_bar(x).to_bar() - x).abs() < 1e-9 * x);
+        prop_assert!(
+            (PascalPerMeter::from_bar_per_centimeter(x).to_bar_per_centimeter() - x).abs()
+                < 1e-9 * x
+        );
+        prop_assert!(
+            (SquareMeters::from_square_centimeters(x).to_square_centimeters() - x).abs()
+                < 1e-9 * x
+        );
+    }
+
+    #[test]
+    fn temperature_scale_offset_is_exact(c in -273.0..1000.0f64) {
+        let k = Celsius::new(c).to_kelvin();
+        prop_assert!((k.value() - (c + 273.15)).abs() < 1e-9);
+        prop_assert!((k.to_celsius().value() - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kelvin_physicality(k in -500.0..500.0f64) {
+        prop_assert_eq!(Kelvin::new(k).is_physical(), k > 0.0 && k.is_finite());
+    }
+
+    #[test]
+    fn mean_velocity_definition(q in 1e-12..1e-3f64, a in 1e-10..1e-3f64) {
+        let flow = CubicMetersPerSecond::new(q);
+        let area = SquareMeters::new(a);
+        let v = flow.mean_velocity(area);
+        prop_assert!((v * area).value() - q < 1e-12 * q.max(1e-300));
+    }
+
+    #[test]
+    fn serde_roundtrip(x in -1e12..1e12f64) {
+        let w = Watt::new(x);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Watt = serde_json::from_str(&json).unwrap();
+        // serde_json's shortest-representation float printing can differ
+        // in the final ULP; require f64-level agreement.
+        prop_assert!(
+            (back.value() - x).abs() <= f64::EPSILON * x.abs(),
+            "{} vs {x}",
+            back.value()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Dark-silicon framing: a conventional power budget forces cores off;
+//! the integrated microfluidic supply keeps the cache subsystem powered
+//! "for free" and cools whatever does run.
+//!
+//! Simulates three activity levels of the POWER7+ (8, 6 and 4 live
+//! cores), comparing peak temperature and the share of the chip the
+//! flow-cell array can carry.
+//!
+//! Run with: `cargo run --release --example dark_silicon`
+
+use bright_silicon::core::{CoSimulation, Scenario};
+use bright_silicon::units::WattPerSquareMeter;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("dark cores   chip W   peak degC   array W @1V   rail W   covered");
+    for dark in [0usize, 2, 4] {
+        let mut scenario = Scenario::power7_reduced();
+        // Switch off `dark` cores (per-block overrides).
+        for i in 0..dark {
+            scenario
+                .thermal_load
+                .set_block_density(format!("core{i}"), WattPerSquareMeter::new(0.0));
+        }
+        let report = CoSimulation::new(scenario)?.run()?;
+        let covered = report.operating_point.is_some();
+        println!(
+            "{:>10}   {:>6.1}   {:>9.1}   {:>11.2}   {:>6.2}   {}",
+            dark,
+            report.chip_power.value(),
+            report.peak_temperature.to_celsius().value(),
+            report.power_at_1v.value(),
+            report.rail_power.value(),
+            if covered { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nreading: even at full 8-core load the die stays far below\n\
+         thermal limits (no thermally-forced dark silicon), and the cache\n\
+         rail is covered by the coolant itself at every activity level —\n\
+         the paper's 'avoiding dark silicon' argument in one table."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the paper's headline experiment in a dozen lines.
+//!
+//! Builds the Table II microfluidic fuel-cell array (88 channels over the
+//! IBM POWER7+ die), sweeps its polarization curve, and checks the
+//! paper's energy-balance claim: the array generates more electrical
+//! power at the cache supply point than the pump spends pushing the
+//! electrolytes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use bright_silicon::flow::fluid::TemperatureDependentFluid;
+use bright_silicon::flow::{array::ChannelArray, hydraulics};
+use bright_silicon::flowcell::presets;
+use bright_silicon::units::{CubicMetersPerSecond, Kelvin, Meters};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Electrical side: the 88-channel array of Table II -------------
+    let array = presets::power7_array()?;
+    println!(
+        "array: {} channels, electrode area {:.3} cm^2 each",
+        array.count(),
+        array
+            .template()
+            .geometry()
+            .electrode_area()
+            .to_square_centimeters()
+    );
+
+    let ocv = array.template().open_circuit_voltage()?;
+    println!("open-circuit voltage: {ocv:.3}");
+
+    let curve = array.polarization_curve(16)?;
+    println!("\n  V (V)    I (A)    P (W)");
+    for p in curve.points() {
+        println!(
+            "  {:5.3}   {:6.3}   {:6.3}",
+            p.voltage.value(),
+            p.current.value(),
+            p.power.value()
+        );
+    }
+
+    let i_at_1v = curve
+        .current_at_voltage(1.0)
+        .expect("1 V lies on the curve");
+    let p_at_1v = i_at_1v.value() * 1.0;
+    println!("\nat the 1 V cache supply point: {i_at_1v:.3} -> {p_at_1v:.2} W");
+
+    // --- Hydraulic side: pumping power at 676 ml/min --------------------
+    let channels = ChannelArray::new(
+        *array.template().geometry().channel(),
+        array.count(),
+        Meters::from_micrometers(300.0),
+    )?;
+    let props = TemperatureDependentFluid::vanadium_electrolyte().at(Kelvin::new(300.0))?;
+    let total_flow = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+    let dp = channels.pressure_drop(&props, total_flow);
+    let pump = channels.pumping_power(&props, total_flow, hydraulics::DEFAULT_PUMP_EFFICIENCY)?;
+    println!(
+        "pressure drop: {:.3} bar ({:.3} bar/cm), pumping power: {pump:.2}",
+        dp.to_bar(),
+        (dp / channels.channel().length()).to_bar_per_centimeter(),
+    );
+
+    let mpp = curve.max_power_point();
+    println!(
+        "max power point: {:.2} at {:.3} / {:.3}",
+        mpp.power.value(),
+        mpp.voltage,
+        mpp.current
+    );
+    if mpp.power.value() > pump.value() {
+        println!("=> generation exceeds pumping cost: net-positive integrated supply");
+    } else {
+        println!("=> pumping exceeds generation at this operating point");
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # bright-silicon
+//!
+//! A Rust reproduction of *"Integrated Microfluidic Power Generation and
+//! Cooling for Bright Silicon MPSoCs"* (Sabry, Sridhar, Atienza, Ruch,
+//! Michel — DATE 2014): an MPSoC whose on-chip microchannels host a
+//! membrane-less vanadium redox flow cell array that simultaneously powers
+//! the chip's cache memories and cools the whole die.
+//!
+//! This facade crate re-exports the workspace crates under a single
+//! namespace:
+//!
+//! * [`units`] — physical quantities and constants,
+//! * [`num`] — sparse/dense linear algebra and scalar solvers,
+//! * [`mesh`] — structured grids and fields,
+//! * [`flow`] — microfluidics (laminar flow, pressure drop, pumping power),
+//! * [`echem`] — electrochemistry (Nernst, Butler–Volmer, vanadium couples),
+//! * [`flowcell`] — the microfluidic fuel-cell model and cell arrays,
+//! * [`thermal`] — the 3D-ICE-style compact thermal model,
+//! * [`pdn`] — the on-chip power-delivery-network model,
+//! * [`floorplan`] — block floorplans (IBM POWER7+ reconstruction),
+//! * [`core`] — the integrated electro-thermal co-simulation engine.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bright_silicon::flowcell::presets;
+//!
+//! // The paper's Table II array: 88 channels over the POWER7+ die.
+//! let array = presets::power7_array().expect("valid Table II preset");
+//! let curve = array.polarization_curve(12).expect("polarization solve");
+//! let i_at_1v = curve.current_at_voltage(1.0).expect("1 V is on the curve");
+//! assert!(i_at_1v.value() > 2.5, "array delivers amperes at 1 V");
+//! ```
+
+pub use bright_core as core;
+pub use bright_echem as echem;
+pub use bright_floorplan as floorplan;
+pub use bright_flow as flow;
+pub use bright_flowcell as flowcell;
+pub use bright_mesh as mesh;
+pub use bright_num as num;
+pub use bright_pdn as pdn;
+pub use bright_thermal as thermal;
+pub use bright_units as units;

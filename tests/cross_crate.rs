@@ -1,0 +1,154 @@
+//! Cross-crate consistency checks: the same physical quantities computed
+//! through different crate combinations must agree.
+
+use bright_silicon::echem::vanadium;
+use bright_silicon::flow::fluid::TemperatureDependentFluid;
+use bright_silicon::flow::{array::ChannelArray, laminar, profile::DuctFlowSolution, RectChannel};
+use bright_silicon::floorplan::{power7, BlockKind, PowerScenario};
+use bright_silicon::mesh::Grid2d;
+use bright_silicon::thermal::presets as thermal_presets;
+use bright_silicon::units::{CubicMetersPerSecond, Kelvin, Meters};
+
+fn table2_channel() -> RectChannel {
+    RectChannel::new(
+        Meters::from_micrometers(200.0),
+        Meters::from_micrometers(400.0),
+        Meters::from_millimeters(22.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn thermal_energy_balance_matches_floorplan_power() {
+    // floorplan -> power map -> thermal solve -> coolant enthalpy rise.
+    let model = thermal_presets::power7_stack().unwrap();
+    let plan = power7::floorplan();
+    let scenario = PowerScenario::full_load();
+    let map = scenario.rasterize(&plan, model.grid()).unwrap();
+    let injected = map.integral();
+    let block_sum = scenario.total_power(&plan).unwrap().value();
+    // Rasterization at channel resolution tracks the exact block sum.
+    assert!(
+        ((injected - block_sum) / block_sum).abs() < 0.05,
+        "raster {injected} vs blocks {block_sum}"
+    );
+    let sol = model.solve_steady(&map).unwrap();
+    let absorbed = sol.absorbed_power().value();
+    assert!(
+        ((injected - absorbed) / injected).abs() < 1e-5,
+        "injected {injected} vs absorbed {absorbed}"
+    );
+}
+
+#[test]
+fn numerical_duct_friction_matches_correlation_for_table2_shape() {
+    // bright-flow's numerical Poisson solve vs the Shah-London fit used
+    // by the hydraulics and thermal paths.
+    let ch = table2_channel();
+    let numeric = DuctFlowSolution::solve(&ch, 36, 72).unwrap().f_re_darcy();
+    let correlated = laminar::f_re_darcy(ch.aspect_ratio());
+    assert!(
+        ((numeric - correlated) / correlated).abs() < 0.015,
+        "numeric {numeric} vs correlation {correlated}"
+    );
+}
+
+#[test]
+fn pumping_power_consistent_between_flow_and_core_paths() {
+    let ch = table2_channel();
+    let array = ChannelArray::new(ch, 88, Meters::from_micrometers(301.7)).unwrap();
+    let props = TemperatureDependentFluid::vanadium_electrolyte()
+        .at(Kelvin::new(300.0))
+        .unwrap();
+    let flow = CubicMetersPerSecond::from_milliliters_per_minute(676.0);
+    let direct = array.pumping_power(&props, flow, 0.5).unwrap().value();
+
+    let report = bright_silicon::core::CoSimulation::new(
+        bright_silicon::core::Scenario::power7_reduced(),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    let from_cosim = report.pumping_power.value();
+    assert!(
+        ((direct - from_cosim) / direct).abs() < 0.05,
+        "direct {direct} vs cosim {from_cosim}"
+    );
+}
+
+#[test]
+fn cache_rail_current_consistent_between_floorplan_and_pdn() {
+    let plan = power7::floorplan();
+    let expected_amps = plan.cache_area().to_square_centimeters() * 1.0; // 1 W/cm^2 at 1 V
+    let pg = bright_silicon::pdn::presets::power7_cache_rail().unwrap();
+    let from_pdn = pg.total_sink_current().value();
+    assert!(
+        ((expected_amps - from_pdn) / expected_amps).abs() < 0.05,
+        "blocks {expected_amps} A vs PDN {from_pdn} A"
+    );
+}
+
+#[test]
+fn ocv_consistent_between_echem_and_flowcell() {
+    let chem = vanadium::power7_cell_chemistry();
+    let direct = chem.open_circuit_voltage(Kelvin::new(300.0)).unwrap().value();
+    let via_model = bright_silicon::flowcell::presets::power7_channel()
+        .unwrap()
+        .open_circuit_voltage()
+        .unwrap()
+        .value();
+    assert!((direct - via_model).abs() < 1e-9);
+}
+
+#[test]
+fn floorplan_blocks_rasterize_onto_arbitrary_grids() {
+    let plan = power7::floorplan();
+    let scenario = PowerScenario::full_load();
+    let exact = scenario.total_power(&plan).unwrap().value();
+    for (nx, ny) in [(44usize, 22usize), (88, 44), (177, 142)] {
+        let grid =
+            Grid2d::from_extent(plan.width().value(), plan.height().value(), nx, ny).unwrap();
+        let raster = scenario.rasterize(&plan, &grid).unwrap().integral();
+        assert!(
+            ((raster - exact) / exact).abs() < 0.08,
+            "{nx}x{ny}: raster {raster} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn cache_blocks_cover_expected_die_fraction() {
+    let plan = power7::floorplan();
+    let cache = plan.cache_area().value();
+    let die = plan.die_area().value();
+    let cores = plan.area_of_kind(BlockKind::Core).value();
+    assert!(cache / die > 0.3 && cache / die < 0.5);
+    assert!(cores / die > 0.35 && cores / die < 0.5);
+    // Exact tiling.
+    let total: f64 = plan.blocks().iter().map(|b| b.area().value()).sum();
+    assert!(((total - die) / die).abs() < 1e-9);
+}
+
+#[test]
+fn channel_temperature_profiles_feed_flowcell_cleanly() {
+    // thermal -> TemperatureProfile -> flowcell solve.
+    let model = thermal_presets::power7_stack().unwrap();
+    let plan = power7::floorplan();
+    let map = PowerScenario::full_load().rasterize(&plan, model.grid()).unwrap();
+    let sol = model.solve_steady(&map).unwrap();
+    let profile = sol.channel_profile(44);
+    assert_eq!(profile.len(), 44);
+    let tp = bright_silicon::flowcell::TemperatureProfile::Sampled(profile);
+    let cell = bright_silicon::flowcell::presets::power7_channel()
+        .unwrap()
+        .with_temperature(tp)
+        .unwrap();
+    let warm = cell.solve_at_voltage(1.0).unwrap().current().value();
+    let cold = bright_silicon::flowcell::presets::power7_channel()
+        .unwrap()
+        .solve_at_voltage(1.0)
+        .unwrap()
+        .current()
+        .value();
+    assert!(warm > cold, "warm {warm} vs cold {cold}");
+}

@@ -1,0 +1,189 @@
+//! Regression gates on the paper's reported numbers.
+//!
+//! These run at reduced resolution so `cargo test --workspace` stays fast
+//! in debug builds; the `crates/bench` binaries regenerate every figure
+//! at full resolution. Bands are deliberately generous — they encode the
+//! *shape* criteria of EXPERIMENTS.md (who wins, by what factor), not
+//! exact numerics.
+
+use bright_silicon::core::{CoSimulation, Scenario};
+use bright_silicon::flowcell::options::{SolverOptions, TemperatureProfile, VelocityModel};
+use bright_silicon::flowcell::{presets, CellArray, CellGeometry, CellModel};
+use bright_silicon::echem::vanadium;
+use bright_silicon::flow::RectChannel;
+use bright_silicon::floorplan::{power7, PowerScenario};
+use bright_silicon::pdn;
+use bright_silicon::thermal;
+use bright_silicon::units::{CubicMetersPerSecond, Kelvin, Meters};
+
+fn fast_power7_channel() -> CellModel {
+    let channel = RectChannel::new(
+        Meters::from_micrometers(200.0),
+        Meters::from_micrometers(400.0),
+        Meters::from_millimeters(22.0),
+    )
+    .unwrap();
+    CellModel::new(
+        CellGeometry::new(channel),
+        vanadium::power7_cell_chemistry(),
+        CubicMetersPerSecond::from_milliliters_per_minute(676.0 / 88.0),
+        TemperatureProfile::Uniform(Kelvin::new(300.0)),
+        SolverOptions {
+            ny: 32,
+            nx: 100,
+            velocity: VelocityModel::PlanePoiseuille,
+            ..SolverOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn fig7_array_ocv_and_current_at_1v() {
+    let array = CellArray::new(fast_power7_channel(), 88).unwrap();
+    let ocv = array.template().open_circuit_voltage().unwrap().value();
+    // Paper Fig. 7 zero-current intercept ~1.6 V (Nernst at Table II
+    // compositions gives 1.648 V).
+    assert!((ocv - 1.648).abs() < 0.02, "OCV {ocv}");
+
+    let op = array.solve_at_voltage(1.0).unwrap();
+    // Paper: 6 A at 1 V. Our transport-resolved model lands at ~2/3 of
+    // that; gate the band [2.5, 8] A so the "can power the caches
+    // (>= 2.4 A)" conclusion stays pinned.
+    assert!(
+        op.current.value() > 2.5 && op.current.value() < 8.0,
+        "I(1V) = {}",
+        op.current
+    );
+}
+
+#[test]
+fn fig7_polarization_shape() {
+    let array = CellArray::new(fast_power7_channel(), 88).unwrap();
+    let curve = array.polarization_curve(10).unwrap();
+    // Monotone V-I with a transport plateau: current at 0.3 V within 25%
+    // of the limiting current.
+    let i_low = curve.current_at_voltage(0.3).unwrap().value();
+    let i_lim = curve.limiting_current().value();
+    assert!(i_low > 0.75 * i_lim, "knee {i_low} vs plateau {i_lim}");
+    // Max power point sits near 1 V (paper's supply point).
+    let mpp = curve.max_power_point();
+    assert!(
+        mpp.voltage.value() > 0.8 && mpp.voltage.value() < 1.4,
+        "MPP at {}",
+        mpp.voltage
+    );
+}
+
+#[test]
+fn fig3_limiting_currents_follow_flow_ordering() {
+    // Lightweight version of the Fig. 3 gate: two flow rates, plateau
+    // ordering and magnitude.
+    // The 2 mm x 150 um cell is wide and flat: the velocity rises over
+    // ~H/2 near the side-wall electrodes, which plane Poiseuille across
+    // the full width cannot represent — keep the duct profile here.
+    let opts = SolverOptions {
+        ny: 64,
+        nx: 140,
+        velocity: VelocityModel::Duct { nz: 8 },
+        contact_asr: presets::KJEANG_CONTACT_ASR,
+        ..SolverOptions::default()
+    };
+    let make = |flow_ul: f64| {
+        let channel = RectChannel::new(
+            Meters::from_millimeters(2.0),
+            Meters::from_micrometers(150.0),
+            Meters::from_millimeters(33.0),
+        )
+        .unwrap();
+        CellModel::new(
+            CellGeometry::new(channel),
+            vanadium::kjeang_cell_chemistry(),
+            CubicMetersPerSecond::from_microliters_per_minute(2.0 * flow_ul),
+            TemperatureProfile::Uniform(Kelvin::new(300.0)),
+            opts.clone(),
+        )
+        .unwrap()
+    };
+    let j = |flow_ul: f64| {
+        make(flow_ul)
+            .solve_at_voltage(0.1)
+            .unwrap()
+            .mean_current_density()
+            .to_milliamps_per_square_centimeter()
+    };
+    let j60 = j(60.0);
+    let j300 = j(300.0);
+    // Paper Fig. 3: ~28 and ~41 mA/cm^2. Accept ±35%.
+    assert!((j60 - 28.0).abs() / 28.0 < 0.35, "j(60) = {j60}");
+    assert!((j300 - 41.0).abs() / 41.0 < 0.35, "j(300) = {j300}");
+    // Leveque flow scaling: Q^(1/3) within 25%.
+    let expected_ratio = 5.0_f64.powf(1.0 / 3.0);
+    assert!(
+        (j300 / j60 - expected_ratio).abs() / expected_ratio < 0.25,
+        "ratio {}",
+        j300 / j60
+    );
+}
+
+#[test]
+fn fig9_peak_temperature_band() {
+    let model = thermal::presets::power7_stack().unwrap();
+    let power = PowerScenario::full_load()
+        .rasterize(&power7::floorplan(), model.grid())
+        .unwrap();
+    let sol = model.solve_steady(&power).unwrap();
+    let peak_c = sol.max_temperature().to_celsius().value();
+    // Paper: 41 degC. Gate 32..50.
+    assert!(peak_c > 32.0 && peak_c < 50.0, "peak {peak_c}");
+    // Inlet-relative rise within 2x of the paper's 14 K.
+    let rise = peak_c - 26.85;
+    assert!(rise > 5.0 && rise < 28.0, "rise {rise} K");
+}
+
+#[test]
+fn fig8_voltage_band() {
+    let sol = pdn::presets::power7_cache_rail()
+        .unwrap()
+        .solve()
+        .unwrap();
+    // Paper Fig. 8 color scale: 0.96 .. 1.0 V.
+    assert!(sol.min_voltage().value() > 0.93 && sol.min_voltage().value() < 0.995);
+    assert!(sol.max_voltage().value() > 0.99 && sol.max_voltage().value() <= 1.0 + 1e-9);
+}
+
+#[test]
+fn e2_thermal_boost_ordering() {
+    let nominal = CoSimulation::new(Scenario::power7_reduced())
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut throttled_scenario = Scenario::power7_reduced();
+    throttled_scenario.total_flow = CubicMetersPerSecond::from_milliliters_per_minute(48.0);
+    let throttled = CoSimulation::new(throttled_scenario).unwrap().run().unwrap();
+
+    // Paper Section III-B: <=4% at nominal, up to 23% throttled.
+    assert!(
+        nominal.thermal_boost_percent >= 0.0 && nominal.thermal_boost_percent < 8.0,
+        "nominal boost {}",
+        nominal.thermal_boost_percent
+    );
+    assert!(
+        throttled.thermal_boost_percent > 10.0 && throttled.thermal_boost_percent < 35.0,
+        "throttled boost {}",
+        throttled.thermal_boost_percent
+    );
+}
+
+#[test]
+fn e3_energy_balance_is_net_positive() {
+    let report = CoSimulation::new(Scenario::power7_reduced())
+        .unwrap()
+        .run()
+        .unwrap();
+    // Generation at the 1 V point exceeds pumping cost (paper: 6 W vs
+    // 4.4 W; ours: ~4 W vs ~0.9 W).
+    assert!(report.is_net_positive(), "{}", report.summary());
+    // And the array covers the cache-rail demand through the VRM.
+    assert!(report.operating_point.is_some(), "{}", report.summary());
+}
