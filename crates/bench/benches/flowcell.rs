@@ -27,6 +27,9 @@ fn bench_polarization_sweep(c: &mut Criterion) {
     group.bench_function("fig7_single_channel_12pts", |b| {
         b.iter(|| power7.polarization_curve(black_box(12)).unwrap());
     });
+    group.bench_function("fig7_single_channel_64pts", |b| {
+        b.iter(|| power7.polarization_curve(black_box(64)).unwrap());
+    });
     group.finish();
 }
 

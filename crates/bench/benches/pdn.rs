@@ -15,6 +15,11 @@ fn bench_fig8(c: &mut Criterion) {
     group.bench_function("fig8_cache_rail_106x85", |b| {
         b.iter(|| black_box(&grid).solve().unwrap());
     });
+    // The sweep path: pre-assembled system + warm-started CG.
+    let mut ws = bright_pdn::PdnWorkspace::new();
+    group.bench_function("fig8_cache_rail_106x85_warm", |b| {
+        b.iter(|| black_box(&grid).solve_warm(&mut ws).unwrap());
+    });
     group.finish();
 }
 

@@ -1,0 +1,285 @@
+//! PR-1 performance gate: measures the amortized-assembly/warm-start
+//! sweep paths against seed-equivalent cold baselines and records the
+//! results in `BENCH_PR1.json`.
+//!
+//! Four benchmarks, mirroring the acceptance criteria:
+//!
+//! * `polarization_curve_64` — 64-point single-channel polarization
+//!   sweep. Baseline rebuilds the solve context at every point (the
+//!   seed's array-sweep behaviour); the new path runs
+//!   `polarization_curve` with the cached context, factored transport
+//!   operators and warm-started root brackets. Target ≥ 2×.
+//! * `thermal_steady_repeat` — repeated `ThermalModel::solve_steady`
+//!   with unchanged pattern. Baseline re-assembles the operator per
+//!   solve (fresh model, the seed behaviour); the new path reuses the
+//!   cached operator and warm-starts from the previous solution.
+//!   Target ≥ 1.5×.
+//! * `pdn_solve_repeat` — repeated `PowerGrid::solve`. Baseline
+//!   re-assembles per solve; the new path uses `solve_warm`.
+//!   Target ≥ 1.5×.
+//! * `cosim_full_run` — the full reduced co-simulation, fresh engine per
+//!   run vs. a reused engine (cached thermal operator and cell
+//!   template). Reported for the bench trajectory; no gate.
+//!
+//! Usage: `bench_pr1 [--quick] [--out <path>]` (default `BENCH_PR1.json`).
+
+use bright_floorplan::{power7, PowerScenario};
+use bright_jsonio::Value;
+use bright_pdn::{PdnWorkspace, PowerGrid};
+use bright_thermal::{ThermalModel, ThermalWorkspace};
+use bright_units::Volt;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct BenchRow {
+    name: &'static str,
+    baseline_s: f64,
+    optimized_s: f64,
+    units_per_solve: f64,
+    unit: &'static str,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_s / self.optimized_s
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("name".into(), Value::String(self.name.into())),
+            ("baseline_s".into(), Value::Number(self.baseline_s)),
+            ("optimized_s".into(), Value::Number(self.optimized_s)),
+            ("speedup".into(), Value::Number(self.speedup())),
+            (
+                "baseline_per_sec".into(),
+                Value::Number(self.units_per_solve / self.baseline_s),
+            ),
+            (
+                "optimized_per_sec".into(),
+                Value::Number(self.units_per_solve / self.optimized_s),
+            ),
+            ("unit".into(), Value::String(self.unit.into())),
+        ])
+    }
+}
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up, then the best of `reps` timed repetitions
+    // (minimum is the least noisy statistic on a shared host).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_polarization(reps: usize) -> BenchRow {
+    let points = 64usize;
+    let template = bright_flowcell::presets::power7_channel().expect("Table II preset");
+    let ocv = template
+        .open_circuit_voltage()
+        .expect("valid chemistry")
+        .value();
+    let v_lo = 0.05_f64.min(ocv / 2.0);
+    let voltages: Vec<f64> = (0..points)
+        .map(|k| v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (points - 1) as f64)
+        .collect();
+
+    // Baseline: context rebuilt at every sweep point (fresh model per
+    // point — the seed's per-point `solve_at_voltage` array path).
+    let baseline_s = time(reps, || {
+        for &v in &voltages {
+            let fresh = template
+                .with_temperature(template.temperature().clone())
+                .expect("same profile revalidates");
+            black_box(fresh.solve_at_voltage(v).expect("solve"));
+        }
+    });
+
+    // Optimized: the sweep path (cached context, factored transport
+    // operators, warm-started brackets).
+    let optimized_s = time(reps, || {
+        black_box(
+            template
+                .polarization_curve(points)
+                .expect("polarization solve"),
+        );
+    });
+    BenchRow {
+        name: "polarization_curve_64",
+        baseline_s,
+        optimized_s,
+        units_per_solve: points as f64,
+        unit: "points",
+    }
+}
+
+fn bench_thermal(reps: usize, solves_per_rep: usize) -> BenchRow {
+    let model = bright_thermal::presets::power7_stack().expect("Table II stack");
+    let power = PowerScenario::full_load()
+        .rasterize(&power7::floorplan(), model.grid())
+        .expect("power map");
+    let config = model.config().clone();
+
+    let baseline_s = time(reps, || {
+        for _ in 0..solves_per_rep {
+            let fresh = ThermalModel::new(config.clone()).expect("valid stack");
+            black_box(fresh.solve_steady(&power).expect("steady solve"));
+        }
+    });
+
+    let optimized_s = time(reps, || {
+        let mut ws = ThermalWorkspace::new();
+        for _ in 0..solves_per_rep {
+            black_box(model.solve_steady_warm(&power, &mut ws).expect("steady solve"));
+        }
+    });
+    BenchRow {
+        name: "thermal_steady_repeat",
+        baseline_s,
+        optimized_s,
+        units_per_solve: solves_per_rep as f64,
+        unit: "solves",
+    }
+}
+
+fn bench_pdn(reps: usize, solves_per_rep: usize) -> BenchRow {
+    let plan = power7::floorplan();
+    let grid = bright_mesh::Grid2d::from_extent(
+        plan.width().value(),
+        plan.height().value(),
+        bright_pdn::presets::FIG8_NX,
+        bright_pdn::presets::FIG8_NY,
+    )
+    .expect("grid");
+    let load = PowerScenario::cache_only()
+        .rasterize(&plan, &grid)
+        .expect("rail map");
+    let ports = bright_pdn::PortLayout::UniformArray {
+        pitch: bright_pdn::presets::PORT_PITCH,
+    };
+    let make = || {
+        PowerGrid::new(
+            grid.clone(),
+            bright_pdn::presets::CACHE_RAIL_SHEET_RESISTANCE,
+            Volt::new(1.0),
+            bright_pdn::presets::PORT_RESISTANCE,
+            &ports,
+            &load,
+        )
+        .expect("valid grid")
+    };
+
+    let baseline_s = time(reps, || {
+        for _ in 0..solves_per_rep {
+            let pg = make();
+            black_box(pg.solve().expect("pdn solve"));
+        }
+    });
+
+    let pg = make();
+    let optimized_s = time(reps, || {
+        let mut ws = PdnWorkspace::new();
+        for _ in 0..solves_per_rep {
+            black_box(pg.solve_warm(&mut ws).expect("pdn solve"));
+        }
+    });
+    BenchRow {
+        name: "pdn_solve_repeat",
+        baseline_s,
+        optimized_s,
+        units_per_solve: solves_per_rep as f64,
+        unit: "solves",
+    }
+}
+
+fn bench_cosim(reps: usize) -> BenchRow {
+    use bright_core::{CoSimulation, Scenario};
+    let baseline_s = time(reps, || {
+        let sim = CoSimulation::new(Scenario::power7_reduced()).expect("valid scenario");
+        black_box(sim.run().expect("cosim run"));
+    });
+    let sim = CoSimulation::new(Scenario::power7_reduced()).expect("valid scenario");
+    let optimized_s = time(reps, || {
+        black_box(sim.run().expect("cosim run"));
+    });
+    BenchRow {
+        name: "cosim_full_run",
+        baseline_s,
+        optimized_s,
+        units_per_solve: 1.0,
+        unit: "runs",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let reps = if quick { 2 } else { 5 };
+    let solves_per_rep = if quick { 3 } else { 5 };
+
+    bright_bench::banner("BENCH_PR1", "warm-start workspaces + amortized assembly");
+    let rows = [
+        bench_polarization(reps),
+        bench_thermal(reps, solves_per_rep),
+        bench_pdn(reps, solves_per_rep),
+        bench_cosim(reps),
+    ];
+    for row in &rows {
+        println!(
+            "  {:<24} baseline {:>9.4} s  optimized {:>9.4} s  speedup {:>5.2}x  ({:.1} {}/s optimized)",
+            row.name,
+            row.baseline_s,
+            row.optimized_s,
+            row.speedup(),
+            row.units_per_solve / row.optimized_s,
+            row.unit,
+        );
+    }
+
+    let doc = Value::object([
+        ("benchmarks".into(), Value::Array(rows.iter().map(BenchRow::to_json).collect())),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "gates".into(),
+            Value::object([
+                (
+                    "polarization_curve_64_min_speedup".into(),
+                    Value::Number(2.0),
+                ),
+                (
+                    "thermal_steady_repeat_min_speedup".into(),
+                    Value::Number(1.5),
+                ),
+                ("pdn_solve_repeat_min_speedup".into(), Value::Number(1.5)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json_string_pretty() + "\n").expect("write BENCH_PR1.json");
+    println!("  results written to {out_path}");
+
+    // Fail loudly when an acceptance gate regresses.
+    let gate = |name: &str, min: f64| {
+        let row = rows.iter().find(|r| r.name == name).expect("known row");
+        if row.speedup() < min {
+            eprintln!(
+                "GATE FAILED: {name} speedup {:.2}x < required {min:.1}x",
+                row.speedup()
+            );
+            std::process::exit(1);
+        }
+    };
+    gate("polarization_curve_64", 2.0);
+    gate("thermal_steady_repeat", 1.5);
+    gate("pdn_solve_repeat", 1.5);
+    println!("  all performance gates passed");
+}

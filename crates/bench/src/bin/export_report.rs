@@ -20,6 +20,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let report = CoSimulation::new(scenario)?.run()?;
-    println!("{}", serde_json::to_string_pretty(&report)?);
+    println!("{}", report.to_json_string_pretty());
     Ok(())
 }

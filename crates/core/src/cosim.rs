@@ -5,6 +5,7 @@ use crate::scenario::Scenario;
 use crate::CoreError;
 use bright_flow::array::ChannelArray;
 use bright_flow::fluid::TemperatureDependentFluid;
+use bright_flowcell::array::ArrayOperatingPoint;
 use bright_flowcell::options::TemperatureProfile;
 use bright_flowcell::{CellArray, CellGeometry, CellModel};
 use bright_flow::RectChannel;
@@ -13,11 +14,19 @@ use bright_pdn::PowerGrid;
 use bright_thermal::stack::{LayerSpec, MicrochannelSpec, StackConfig};
 use bright_thermal::{Material, ThermalModel};
 use bright_units::{Meters, Volt};
+use std::sync::OnceLock;
 
 /// A configured co-simulation.
+///
+/// The thermal model and the flow-cell template (with their assembled
+/// operators and solve contexts) are built once per `CoSimulation` and
+/// reused by every [`CoSimulation::run`] — repeated runs of one scenario
+/// (benchmark loops, server-style reuse) skip straight to the solves.
 #[derive(Debug, Clone)]
 pub struct CoSimulation {
     scenario: Scenario,
+    thermal: OnceLock<ThermalModel>,
+    template: OnceLock<CellModel>,
 }
 
 impl CoSimulation {
@@ -28,7 +37,11 @@ impl CoSimulation {
     /// Returns [`CoreError::InvalidScenario`] for invalid scenarios.
     pub fn new(scenario: Scenario) -> Result<Self, CoreError> {
         scenario.validate()?;
-        Ok(Self { scenario })
+        Ok(Self {
+            scenario,
+            thermal: OnceLock::new(),
+            template: OnceLock::new(),
+        })
     }
 
     /// The scenario being simulated.
@@ -36,7 +49,12 @@ impl CoSimulation {
         &self.scenario
     }
 
-    fn thermal_model(&self) -> Result<ThermalModel, CoreError> {
+    /// The cached thermal model, built on first use.
+    fn thermal_model(&self) -> Result<&ThermalModel, CoreError> {
+        bright_num::lazy::get_or_try_init(&self.thermal, || self.build_thermal_model())
+    }
+
+    fn build_thermal_model(&self) -> Result<ThermalModel, CoreError> {
         let s = &self.scenario;
         let fluid = TemperatureDependentFluid::vanadium_electrolyte()
             .at(s.inlet_temperature)
@@ -76,7 +94,12 @@ impl CoSimulation {
         })?)
     }
 
-    fn cell_template(&self) -> Result<CellModel, CoreError> {
+    /// The cached flow-cell channel template, built on first use.
+    fn cell_template(&self) -> Result<&CellModel, CoreError> {
+        bright_num::lazy::get_or_try_init(&self.template, || self.build_cell_template())
+    }
+
+    fn build_cell_template(&self) -> Result<CellModel, CoreError> {
         let s = &self.scenario;
         let channel = RectChannel::new(
             Meters::from_micrometers(200.0),
@@ -113,7 +136,9 @@ impl CoSimulation {
 
         // 2. Per-channel temperature profiles into the electrochemistry.
         // Channels sharing a thermal column are identical, so the coupled
-        // array is solved per column and scaled by the group size.
+        // array is solved per column and scaled by the group size. The
+        // template (and its cached solve context) is shared by steps 2, 3
+        // and 6.
         let template = self.cell_template()?;
         let group = s.channel_count / s.thermal_columns;
         let array = if s.couple_temperature {
@@ -132,7 +157,19 @@ impl CoSimulation {
         let at_1v_cols = array.solve_at_voltage(1.0)?;
         let at_1v_current = at_1v_cols.current * group as f64;
         let at_1v_power = at_1v_cols.power * group as f64;
-        let isothermal_at_1v = CellArray::new(template, s.channel_count)?.solve_at_voltage(1.0)?;
+        let isothermal_at_1v = if s.couple_temperature {
+            CellArray::new(template.clone(), s.channel_count)?.solve_at_voltage(1.0)?
+        } else {
+            // Without thermal coupling the array already runs at the
+            // inlet temperature: the isothermal baseline is the solve
+            // above (scaled to the full channel count), so skip the
+            // redundant full-array re-solve.
+            ArrayOperatingPoint {
+                voltage: at_1v_cols.voltage,
+                current: at_1v_current,
+                power: at_1v_power,
+            }
+        };
         let thermal_boost_percent = if isothermal_at_1v.current.value() > 0.0 {
             (at_1v_current.value() / isothermal_at_1v.current.value() - 1.0) * 100.0
         } else {
@@ -162,8 +199,8 @@ impl CoSimulation {
         )?;
         let pdn_sol = pdn.solve()?;
 
-        // 6. Hydraulics.
-        let channel = *self.cell_template()?.geometry().channel();
+        // 6. Hydraulics (reusing the step-2 template's geometry).
+        let channel = *template.geometry().channel();
         let pitch = Meters::new(s.floorplan.width().value() / s.channel_count as f64);
         let hydraulic_array = ChannelArray::new(channel, s.channel_count, pitch)?;
         let props = TemperatureDependentFluid::vanadium_electrolyte()

@@ -60,6 +60,8 @@ pub enum CoreError {
     Fluidics(String),
     /// The floorplan/power-map stage failed.
     Floorplan(String),
+    /// Report (de)serialization failed.
+    Report(String),
     /// The supply cannot meet the demand at any operating point.
     SupplyDeficit {
         /// Power demanded at the VRM input (W).
@@ -78,6 +80,7 @@ impl fmt::Display for CoreError {
             CoreError::Pdn(m) => write!(f, "PDN model: {m}"),
             CoreError::Fluidics(m) => write!(f, "fluidics: {m}"),
             CoreError::Floorplan(m) => write!(f, "floorplan: {m}"),
+            CoreError::Report(m) => write!(f, "report: {m}"),
             CoreError::SupplyDeficit { demand, available } => write!(
                 f,
                 "supply deficit: VRM demands {demand:.2} W but the array peaks at {available:.2} W"

@@ -1,13 +1,15 @@
 //! Co-simulation reports.
 
+use crate::CoreError;
+use bright_flowcell::polarization::PolarizationPoint;
 use bright_flowcell::PolarizationCurve;
+use bright_jsonio::Value;
 use bright_mesh::render::{render_ascii, RenderOptions};
-use bright_mesh::Field2d;
+use bright_mesh::{Field2d, Grid2d};
 use bright_units::{Ampere, Kelvin, Pascal, Volt, Watt};
-use serde::{Deserialize, Serialize};
 
 /// The matched array/VRM/rail operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Flow-cell array terminal voltage.
     pub array_voltage: Volt,
@@ -24,7 +26,7 @@ pub struct OperatingPoint {
 }
 
 /// Everything the paper reports for one integrated operating point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CoSimReport {
     /// Total heat dissipated by the chip (thermal load).
     pub chip_power: Watt,
@@ -152,6 +154,245 @@ impl CoSimReport {
             },
         )
     }
+
+    /// The report as a JSON value tree.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("chip_power".into(), Value::Number(self.chip_power.value())),
+            ("rail_power".into(), Value::Number(self.rail_power.value())),
+            (
+                "peak_temperature".into(),
+                Value::Number(self.peak_temperature.value()),
+            ),
+            (
+                "outlet_temperature".into(),
+                Value::Number(self.outlet_temperature.value()),
+            ),
+            (
+                "inlet_temperature".into(),
+                Value::Number(self.inlet_temperature.value()),
+            ),
+            ("array_ocv".into(), Value::Number(self.array_ocv.value())),
+            (
+                "current_at_1v".into(),
+                Value::Number(self.current_at_1v.value()),
+            ),
+            ("power_at_1v".into(), Value::Number(self.power_at_1v.value())),
+            (
+                "isothermal_current_at_1v".into(),
+                Value::Number(self.isothermal_current_at_1v.value()),
+            ),
+            (
+                "thermal_boost_percent".into(),
+                Value::Number(self.thermal_boost_percent),
+            ),
+            (
+                "operating_point".into(),
+                match &self.operating_point {
+                    Some(op) => op.to_json(),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "pdn_min_voltage".into(),
+                Value::Number(self.pdn_min_voltage.value()),
+            ),
+            (
+                "pdn_max_voltage".into(),
+                Value::Number(self.pdn_max_voltage.value()),
+            ),
+            (
+                "pdn_worst_drop".into(),
+                Value::Number(self.pdn_worst_drop.value()),
+            ),
+            (
+                "pressure_drop".into(),
+                Value::Number(self.pressure_drop.value()),
+            ),
+            (
+                "pumping_power".into(),
+                Value::Number(self.pumping_power.value()),
+            ),
+            ("polarization".into(), curve_to_json(&self.polarization)),
+            ("junction_map".into(), field_to_json(&self.junction_map)),
+            ("fluid_map".into(), field_to_json(&self.fluid_map)),
+            ("voltage_map".into(), field_to_json(&self.voltage_map)),
+        ])
+    }
+
+    /// Compact JSON text of the report.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Pretty-printed JSON text of the report.
+    pub fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_json_string_pretty()
+    }
+
+    /// Rebuilds a report from its JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] for missing/mistyped fields.
+    pub fn from_json(v: &Value) -> Result<Self, CoreError> {
+        let op = match v.get("operating_point") {
+            None => return Err(report_err("operating_point")),
+            Some(Value::Null) => None,
+            Some(op) => Some(OperatingPoint::from_json(op)?),
+        };
+        Ok(Self {
+            chip_power: Watt::new(num_field(v, "chip_power")?),
+            rail_power: Watt::new(num_field(v, "rail_power")?),
+            peak_temperature: Kelvin::new(num_field(v, "peak_temperature")?),
+            outlet_temperature: Kelvin::new(num_field(v, "outlet_temperature")?),
+            inlet_temperature: Kelvin::new(num_field(v, "inlet_temperature")?),
+            array_ocv: Volt::new(num_field(v, "array_ocv")?),
+            current_at_1v: Ampere::new(num_field(v, "current_at_1v")?),
+            power_at_1v: Watt::new(num_field(v, "power_at_1v")?),
+            isothermal_current_at_1v: Ampere::new(num_field(v, "isothermal_current_at_1v")?),
+            thermal_boost_percent: num_field(v, "thermal_boost_percent")?,
+            operating_point: op,
+            pdn_min_voltage: Volt::new(num_field(v, "pdn_min_voltage")?),
+            pdn_max_voltage: Volt::new(num_field(v, "pdn_max_voltage")?),
+            pdn_worst_drop: Volt::new(num_field(v, "pdn_worst_drop")?),
+            pressure_drop: Pascal::new(num_field(v, "pressure_drop")?),
+            pumping_power: Watt::new(num_field(v, "pumping_power")?),
+            polarization: curve_from_json(
+                v.get("polarization").ok_or_else(|| report_err("polarization"))?,
+            )?,
+            junction_map: field_from_json(
+                v.get("junction_map").ok_or_else(|| report_err("junction_map"))?,
+            )?,
+            fluid_map: field_from_json(
+                v.get("fluid_map").ok_or_else(|| report_err("fluid_map"))?,
+            )?,
+            voltage_map: field_from_json(
+                v.get("voltage_map").ok_or_else(|| report_err("voltage_map"))?,
+            )?,
+        })
+    }
+
+    /// Parses a report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// As [`CoSimReport::from_json`], plus parse errors.
+    pub fn from_json_str(text: &str) -> Result<Self, CoreError> {
+        let v = Value::parse(text).map_err(|e| CoreError::Report(e.to_string()))?;
+        Self::from_json(&v)
+    }
+}
+
+impl OperatingPoint {
+    /// The operating point as a JSON value.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            (
+                "array_voltage".into(),
+                Value::Number(self.array_voltage.value()),
+            ),
+            (
+                "array_current".into(),
+                Value::Number(self.array_current.value()),
+            ),
+            ("array_power".into(), Value::Number(self.array_power.value())),
+            ("vrm_efficiency".into(), Value::Number(self.vrm_efficiency)),
+            (
+                "rail_voltage".into(),
+                Value::Number(self.rail_voltage.value()),
+            ),
+            ("rail_power".into(), Value::Number(self.rail_power.value())),
+        ])
+    }
+
+    /// Rebuilds an operating point from its JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] for missing/mistyped fields.
+    pub fn from_json(v: &Value) -> Result<Self, CoreError> {
+        Ok(Self {
+            array_voltage: Volt::new(num_field(v, "array_voltage")?),
+            array_current: Ampere::new(num_field(v, "array_current")?),
+            array_power: Watt::new(num_field(v, "array_power")?),
+            vrm_efficiency: num_field(v, "vrm_efficiency")?,
+            rail_voltage: Volt::new(num_field(v, "rail_voltage")?),
+            rail_power: Watt::new(num_field(v, "rail_power")?),
+        })
+    }
+}
+
+fn report_err(field: &str) -> CoreError {
+    CoreError::Report(format!("missing or mistyped field '{field}'"))
+}
+
+fn num_field(v: &Value, field: &str) -> Result<f64, CoreError> {
+    v.get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| report_err(field))
+}
+
+fn field_to_json(field: &Field2d) -> Value {
+    let g = field.grid();
+    Value::object([
+        ("nx".into(), Value::Number(g.nx() as f64)),
+        ("ny".into(), Value::Number(g.ny() as f64)),
+        ("dx".into(), Value::Number(g.dx())),
+        ("dy".into(), Value::Number(g.dy())),
+        ("data".into(), Value::from_f64_slice(field.as_slice())),
+    ])
+}
+
+fn field_from_json(v: &Value) -> Result<Field2d, CoreError> {
+    let nx = v
+        .get("nx")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| report_err("nx"))?;
+    let ny = v
+        .get("ny")
+        .and_then(Value::as_usize)
+        .ok_or_else(|| report_err("ny"))?;
+    let dx = num_field(v, "dx")?;
+    let dy = num_field(v, "dy")?;
+    let data = v
+        .get("data")
+        .and_then(Value::as_f64_vec)
+        .ok_or_else(|| report_err("data"))?;
+    let grid = Grid2d::new(nx, ny, dx, dy).map_err(|e| CoreError::Report(e.to_string()))?;
+    Field2d::from_vec(grid, data).map_err(|e| CoreError::Report(e.to_string()))
+}
+
+fn curve_to_json(curve: &PolarizationCurve) -> Value {
+    Value::Array(
+        curve
+            .points()
+            .iter()
+            .map(|p| {
+                Value::object([
+                    ("voltage".into(), Value::Number(p.voltage.value())),
+                    ("current".into(), Value::Number(p.current.value())),
+                    ("power".into(), Value::Number(p.power.value())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn curve_from_json(v: &Value) -> Result<PolarizationCurve, CoreError> {
+    let points = v
+        .as_array()
+        .ok_or_else(|| report_err("polarization"))?
+        .iter()
+        .map(|p| {
+            Ok(PolarizationPoint {
+                voltage: Volt::new(num_field(p, "voltage")?),
+                current: Ampere::new(num_field(p, "current")?),
+                power: Watt::new(num_field(p, "power")?),
+            })
+        })
+        .collect::<Result<Vec<_>, CoreError>>()?;
+    PolarizationCurve::new(points).map_err(|e| CoreError::Report(e.to_string()))
 }
 
 #[cfg(test)]
@@ -219,9 +460,14 @@ mod tests {
     #[test]
     fn report_serializes_roundtrip() {
         let r = dummy_report();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: CoSimReport = serde_json::from_str(&json).unwrap();
+        let json = r.to_json_string();
+        let back = CoSimReport::from_json_str(&json).unwrap();
         assert_eq!(back.chip_power, r.chip_power);
         assert_eq!(back.voltage_map, r.voltage_map);
+        // Pretty output parses back to the same document.
+        let pretty = CoSimReport::from_json_str(&r.to_json_string_pretty()).unwrap();
+        assert_eq!(pretty.voltage_map, r.voltage_map);
+        // Missing fields are reported, not panicked on.
+        assert!(CoSimReport::from_json_str("{}").is_err());
     }
 }

@@ -7,10 +7,9 @@ use bright_floorplan::{power7, Floorplan, PowerScenario};
 use bright_pdn::ports::PortLayout;
 use bright_pdn::Vrm;
 use bright_units::{CubicMetersPerSecond, Kelvin};
-use serde::{Deserialize, Serialize};
 
 /// PDN parameters of a scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PdnParams {
     /// Rail sheet resistance (Ω/sq).
     pub sheet_resistance: f64,
@@ -152,7 +151,7 @@ impl Scenario {
         if self.thermal_ny == 0 {
             return Err(CoreError::InvalidScenario("zero thermal rows".into()));
         }
-        if !(self.total_flow.value() > 0.0) {
+        if !self.total_flow.is_finite() || self.total_flow.value() <= 0.0 {
             return Err(CoreError::InvalidScenario(format!(
                 "flow must be positive, got {}",
                 self.total_flow

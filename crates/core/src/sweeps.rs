@@ -1,20 +1,87 @@
-//! Parameter sweeps for the paper's design-space discussion.
+//! Parameter sweeps for the paper's design-space discussion, plus the
+//! parallel sweep executor every sweep in the workspace runs on.
 //!
 //! The conclusion of the paper describes "an assessment of the power
 //! density as function of channel dimensions, flow rate and temperature".
 //! These helpers regenerate that assessment (ablation **A1** in
 //! DESIGN.md) and back the flow/temperature experiments of Section III-B.
+//!
+//! The executor ([`parallel_map`]/[`try_parallel_map`]) fans independent
+//! sweep points across worker threads with dynamic load balancing; each
+//! worker owns its state (solver workspaces live per closure call or per
+//! thread), and on a single-core host the work runs inline with zero
+//! thread overhead. `BRIGHT_SWEEP_THREADS` caps the worker count.
 
+use crate::cosim::CoSimulation;
+use crate::reports::CoSimReport;
+use crate::scenario::Scenario;
 use crate::CoreError;
 use bright_echem::vanadium;
 use bright_flowcell::options::{SolverOptions, TemperatureProfile, VelocityModel};
 use bright_flowcell::{CellGeometry, CellModel};
 use bright_flow::RectChannel;
 use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
-use serde::{Deserialize, Serialize};
+
+/// Number of workers a sweep over `items` elements should use — the
+/// workspace-wide policy of [`bright_num::parallel::worker_count`]
+/// (available parallelism, capped by the item count and by
+/// `BRIGHT_SWEEP_THREADS`).
+#[must_use]
+pub fn sweep_workers(items: usize) -> usize {
+    bright_num::parallel::worker_count(items)
+}
+
+/// Applies `f` to every item, fanning the calls across worker threads.
+///
+/// Items are claimed dynamically (an atomic cursor), so unevenly sized
+/// sweep points still balance; results are returned in input order. With
+/// one worker the sweep runs inline on the caller's thread.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with_workers(items, sweep_workers(items.len()), f)
+}
+
+/// [`parallel_map`] with an explicit worker count (single-core hosts can
+/// still exercise the threaded path, e.g. in tests). The execution
+/// engine is shared workspace-wide: [`bright_num::parallel`].
+fn parallel_map_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    bright_num::parallel::parallel_map_indexed(items, workers, f)
+}
+
+/// Fallible [`parallel_map`]: runs every point, then returns the first
+/// error in input order (or all results).
+///
+/// # Errors
+///
+/// The first `Err` produced by `f`, in input order.
+pub fn try_parallel_map<T, R, E, F>(items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, f).into_iter().collect()
+}
+
+/// Runs many scenarios through the full co-simulation in parallel — the
+/// fan-out behind design-space bins and ablation batteries.
+#[must_use]
+pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<Result<CoSimReport, CoreError>> {
+    parallel_map(scenarios, |_, s| CoSimulation::new(s.clone())?.run())
+}
 
 /// One row of a power-density sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerDensityRow {
     /// Channel width (µm).
     pub width_um: f64,
@@ -87,23 +154,18 @@ pub fn width_sweep(
     mean_velocity: f64,
     temperature: Kelvin,
 ) -> Result<Vec<PowerDensityRow>, CoreError> {
-    widths_um
-        .iter()
-        .map(|&w_um| {
-            let width = Meters::from_micrometers(w_um);
-            let height = Meters::from_micrometers(height_um);
-            let flow = CubicMetersPerSecond::new(
-                mean_velocity * width.value() * height.value(),
-            );
-            power_density_at(
-                width,
-                height,
-                Meters::from_millimeters(22.0),
-                flow,
-                temperature,
-            )
-        })
-        .collect()
+    try_parallel_map(widths_um, |_, &w_um| {
+        let width = Meters::from_micrometers(w_um);
+        let height = Meters::from_micrometers(height_um);
+        let flow = CubicMetersPerSecond::new(mean_velocity * width.value() * height.value());
+        power_density_at(
+            width,
+            height,
+            Meters::from_millimeters(22.0),
+            flow,
+            temperature,
+        )
+    })
 }
 
 /// Sweeps per-channel flow rates at the Table II geometry.
@@ -115,18 +177,15 @@ pub fn flow_sweep(
     flows_ul_min: &[f64],
     temperature: Kelvin,
 ) -> Result<Vec<PowerDensityRow>, CoreError> {
-    flows_ul_min
-        .iter()
-        .map(|&f| {
-            power_density_at(
-                Meters::from_micrometers(200.0),
-                Meters::from_micrometers(400.0),
-                Meters::from_millimeters(22.0),
-                CubicMetersPerSecond::from_microliters_per_minute(f),
-                temperature,
-            )
-        })
-        .collect()
+    try_parallel_map(flows_ul_min, |_, &f| {
+        power_density_at(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+            CubicMetersPerSecond::from_microliters_per_minute(f),
+            temperature,
+        )
+    })
 }
 
 /// Sweeps electrolyte temperatures at the Table II geometry and nominal
@@ -136,23 +195,69 @@ pub fn flow_sweep(
 ///
 /// As [`power_density_at`].
 pub fn temperature_sweep(temperatures_k: &[f64]) -> Result<Vec<PowerDensityRow>, CoreError> {
-    temperatures_k
-        .iter()
-        .map(|&t| {
-            power_density_at(
-                Meters::from_micrometers(200.0),
-                Meters::from_micrometers(400.0),
-                Meters::from_millimeters(22.0),
-                CubicMetersPerSecond::from_milliliters_per_minute(676.0 / 88.0),
-                Kelvin::new(t),
-            )
-        })
-        .collect()
+    try_parallel_map(temperatures_k, |_, &t| {
+        power_density_at(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+            CubicMetersPerSecond::from_milliliters_per_minute(676.0 / 88.0),
+            Kelvin::new(t),
+        )
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_and_balances() {
+        let items: Vec<usize> = (0..57).collect();
+        let doubled = parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            2 * x
+        });
+        assert_eq!(doubled, (0..57).map(|x| 2 * x).collect::<Vec<_>>());
+        // Empty input short-circuits.
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, |_, &x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn threaded_path_matches_inline_path() {
+        // `sweep_workers` returns 1 on single-core hosts, so exercise the
+        // multi-worker branch explicitly: order, completeness, and
+        // equality with the inline result.
+        let items: Vec<usize> = (0..101).collect();
+        let inline = parallel_map_with_workers(&items, 1, |_, &x| x * x);
+        for workers in [2, 4, 7] {
+            let threaded = parallel_map_with_workers(&items, workers, |_, &x| x * x);
+            assert_eq!(threaded, inline, "{workers} workers");
+        }
+        // More workers than items is fine.
+        let few: Vec<usize> = (0..3).collect();
+        assert_eq!(
+            parallel_map_with_workers(&few, 8, |_, &x| x + 1),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn try_parallel_map_returns_first_error_in_input_order() {
+        let items: Vec<i32> = (0..20).collect();
+        let err = try_parallel_map(&items, |_, &x| if x >= 7 { Err(x) } else { Ok(x) });
+        assert_eq!(err, Err(7));
+        let ok = try_parallel_map(&items, |_, &x| Ok::<_, ()>(x)).unwrap();
+        assert_eq!(ok, items);
+    }
+
+    #[test]
+    fn sweep_workers_respects_env_cap_and_item_count() {
+        // At most one worker per item; at least one worker overall.
+        assert_eq!(sweep_workers(0), 1);
+        assert_eq!(sweep_workers(1), 1);
+        assert!(sweep_workers(64) >= 1);
+    }
 
     #[test]
     fn power_density_below_state_of_the_art_ceiling() {

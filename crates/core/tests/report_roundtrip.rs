@@ -3,9 +3,9 @@
 
 use bright_core::{CoSimReport, CoSimulation, Scenario};
 
-/// serde_json prints the shortest representation that parses back to the
-/// same f64 *in most cases*, but the final ULP can differ — compare to
-/// machine precision rather than bitwise.
+/// The JSON writer prints the shortest representation that parses back to
+/// the same f64, but keep the comparison at machine precision so the test
+/// stays robust to writer changes.
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 4.0 * f64::EPSILON * a.abs().max(b.abs()).max(1.0)
 }
@@ -16,8 +16,8 @@ fn full_report_json_roundtrip() {
         .unwrap()
         .run()
         .unwrap();
-    let json = serde_json::to_string(&report).unwrap();
-    let back: CoSimReport = serde_json::from_str(&json).unwrap();
+    let json = report.to_json_string();
+    let back = CoSimReport::from_json_str(&json).unwrap();
 
     assert!(close(
         back.peak_temperature.value(),

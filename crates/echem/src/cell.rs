@@ -5,13 +5,12 @@ use crate::nernst::equilibrium_potential;
 use crate::temperature::{diffusivity_law, rate_constant_law};
 use crate::{ButlerVolmer, EchemError, Electrolyte};
 use bright_units::{Kelvin, MetersPerSecondRate, SquareMetersPerSecond, Volt};
-use serde::{Deserialize, Serialize};
 
 /// One half-cell: kinetics, inlet composition and species diffusivity.
 ///
 /// The tables of the paper quote a single diffusion coefficient per side;
 /// it is applied to both the reactant and the product of that half-cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HalfCellChemistry {
     /// Butler–Volmer kinetics (couple, k⁰, reference concentrations).
     pub kinetics: ButlerVolmer,
@@ -35,7 +34,7 @@ impl HalfCellChemistry {
 /// A full redox flow cell: negative electrode (anode during discharge),
 /// positive electrode (cathode during discharge) and the ionic
 /// conductivity of the electrolyte between them.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellChemistry {
     /// Negative-electrode half cell (V²⁺/V³⁺ in the vanadium system).
     pub negative: HalfCellChemistry,

@@ -2,7 +2,6 @@
 
 use crate::EchemError;
 use bright_units::Volt;
-use serde::{Deserialize, Serialize};
 
 /// A reversible one-step redox couple.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// * negative electrode (eq. 2): `V³⁺ + e⁻ ⇌ V²⁺`, `E⁰ = −0.255 V` vs SHE,
 /// * positive electrode (eq. 3): `VO₂⁺ + 2H⁺ + e⁻ ⇌ VO²⁺ + H₂O`,
 ///   `E⁰ = +0.991 V` vs SHE.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RedoxCouple {
     name: String,
     standard_potential: Volt,

@@ -2,10 +2,9 @@
 
 use crate::EchemError;
 use bright_units::{Kelvin, MolePerCubicMeter, SiemensPerMeter};
-use serde::{Deserialize, Serialize};
 
 /// The composition of one electrolyte stream (one half-cell).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Electrolyte {
     /// Oxidized-form concentration in the bulk.
     pub c_ox: MolePerCubicMeter,
@@ -79,7 +78,7 @@ impl Electrolyte {
 ///
 /// Sulfuric-acid vanadium electrolytes have σ ≈ 30–50 S/m with a positive
 /// temperature coefficient of 1–2 %/K (Al-Fetlawi 2009).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IonicConductivity {
     /// Conductivity at the reference temperature.
     pub reference: SiemensPerMeter,

@@ -17,13 +17,12 @@ use crate::{EchemError, RedoxCouple};
 use bright_units::constants::FARADAY;
 use bright_units::constants::thermal_voltage;
 use bright_units::{AmperePerSquareMeter, Kelvin, MetersPerSecondRate, MolePerCubicMeter};
-use serde::{Deserialize, Serialize};
 
 /// Butler–Volmer kinetics for one electrode.
 ///
 /// Holds the couple, the kinetic rate constant `k⁰` and the reference
 /// (inlet bulk) concentrations that normalize the surface terms.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ButlerVolmer {
     couple: RedoxCouple,
     rate_constant: MetersPerSecondRate,
@@ -32,7 +31,7 @@ pub struct ButlerVolmer {
 }
 
 /// Surface concentrations at an electrode.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SurfaceState {
     /// Oxidized-species concentration at the electrode surface.
     pub c_ox: MolePerCubicMeter,
@@ -211,7 +210,7 @@ impl ButlerVolmer {
         }
         let a_red = surface.c_red / self.c_red_ref;
         let a_ox = surface.c_ox / self.c_ox_ref;
-        if !(a_red >= 0.0 && a_ox >= 0.0) || !a_red.is_finite() || !a_ox.is_finite() {
+        if !a_red.is_finite() || !a_ox.is_finite() || a_red < 0.0 || a_ox < 0.0 {
             return Err(EchemError::InvalidConcentration(format!(
                 "bad surface ratios a_red={a_red}, a_ox={a_ox}"
             )));
@@ -240,7 +239,7 @@ impl ButlerVolmer {
                 // a_red == 0, y <= 0: X = -a_ox / y.
                 -a_ox / y
             };
-            if !(x > 0.0) || !x.is_finite() {
+            if !x.is_finite() || x <= 0.0 {
                 return Err(EchemError::InfeasibleOperatingPoint(format!(
                     "no overpotential satisfies i/i0 = {y:.3e} at a_red={a_red:.3e}, \
                      a_ox={a_ox:.3e}"

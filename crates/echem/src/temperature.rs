@@ -17,10 +17,9 @@
 use crate::EchemError;
 use bright_units::constants::GAS_CONSTANT;
 use bright_units::{JoulePerMole, Kelvin};
-use serde::{Deserialize, Serialize};
 
 /// An Arrhenius-scaled scalar parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Arrhenius {
     /// Value at the reference temperature.
     pub reference_value: f64,

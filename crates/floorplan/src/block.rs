@@ -2,11 +2,10 @@
 
 use crate::FloorplanError;
 use bright_units::{Meters, SquareMeters};
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle in die coordinates (metres, origin at the
 /// lower-left die corner).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// Lower-left x.
     pub x: f64,
@@ -93,7 +92,7 @@ impl Rect {
 }
 
 /// Functional classification of a floorplan block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BlockKind {
     /// A processor core.
     Core,
@@ -125,7 +124,7 @@ impl BlockKind {
 }
 
 /// A named, typed block of the floorplan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     name: String,
     kind: BlockKind,

@@ -2,10 +2,9 @@
 
 use crate::{Block, BlockKind, FloorplanError, Rect};
 use bright_units::{Meters, SquareMeters};
-use serde::{Deserialize, Serialize};
 
 /// A die floorplan: a set of non-overlapping blocks tiling a rectangle.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     width: f64,
     height: f64,

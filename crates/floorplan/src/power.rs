@@ -3,7 +3,6 @@
 use crate::{BlockKind, Floorplan, FloorplanError};
 use bright_mesh::{Field2d, Grid2d};
 use bright_units::{Watt, WattPerSquareMeter};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A power assignment: areal density per block kind, with optional
@@ -11,7 +10,7 @@ use std::collections::HashMap;
 ///
 /// Densities are stored in W/m²; constructors take the W/cm² figures the
 /// paper quotes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerScenario {
     by_kind: HashMap<String, f64>,
     by_name: HashMap<String, f64>,

@@ -7,10 +7,9 @@
 use crate::hydraulics::{pressure_drop, pumping_power};
 use crate::{FlowError, FluidProperties, RectChannel};
 use bright_units::{CubicMetersPerSecond, Meters, MetersPerSecond, Pascal, Watt};
-use serde::{Deserialize, Serialize};
 
 /// An array of identical parallel rectangular channels fed by one manifold.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChannelArray {
     channel: RectChannel,
     count: usize,

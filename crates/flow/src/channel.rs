@@ -2,7 +2,6 @@
 
 use crate::FlowError;
 use bright_units::{Meters, SquareMeters};
-use serde::{Deserialize, Serialize};
 
 /// A straight rectangular microchannel.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// in-plane dimension separating the two electrodes of a flow cell (the
 /// co-laminar interface is parallel to the side walls), `height` is the
 /// etch depth, `length` is the streamwise dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RectChannel {
     width: Meters,
     height: Meters,

@@ -10,10 +10,9 @@ use crate::FlowError;
 use bright_units::{
     JoulePerCubicMeterKelvin, Kelvin, KilogramPerCubicMeter, PascalSecond, WattPerMeterKelvin,
 };
-use serde::{Deserialize, Serialize};
 
 /// Thermophysical properties of a liquid at a specific temperature.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FluidProperties {
     /// Mass density ρ.
     pub density: KilogramPerCubicMeter,
@@ -89,7 +88,7 @@ impl FluidProperties {
 /// let warm = model.at(Kelvin::new(320.0)).unwrap();
 /// assert!(warm.viscosity < cold.viscosity);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TemperatureDependentFluid {
     /// Properties at the reference temperature.
     pub reference: FluidProperties,

@@ -152,8 +152,8 @@ impl DuctFlowSolution {
     pub fn width_profile(&self) -> Vec<f64> {
         let mut prof = vec![0.0; self.ny];
         for iz in 0..self.nz {
-            for iy in 0..self.ny {
-                prof[iy] += self.u[iz * self.ny + iy];
+            for (iy, p) in prof.iter_mut().enumerate() {
+                *p += self.u[iz * self.ny + iy];
             }
         }
         let scale = 1.0 / (self.nz as f64 * self.mean_u);

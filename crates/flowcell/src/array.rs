@@ -12,6 +12,7 @@ use crate::solver::CellModel;
 use crate::FlowCellError;
 use bright_num::roots::{brent, RootOptions};
 use bright_units::{Ampere, Volt, Watt};
+use std::sync::OnceLock;
 
 /// An array of `count` flow-cell channels electrically in parallel.
 #[derive(Debug, Clone)]
@@ -19,6 +20,10 @@ pub struct CellArray {
     template: CellModel,
     count: usize,
     per_channel_temperatures: Option<Vec<TemperatureProfile>>,
+    /// Lazily built per-channel models (one template clone per distinct
+    /// temperature profile). Every solve on the array reuses them — and
+    /// with them each model's cached solve context.
+    models: OnceLock<Vec<CellModel>>,
 }
 
 /// Aggregate operating point of an array.
@@ -46,6 +51,7 @@ impl CellArray {
             template,
             count,
             per_channel_temperatures: None,
+            models: OnceLock::new(),
         })
     }
 
@@ -80,23 +86,29 @@ impl CellArray {
             )));
         }
         self.per_channel_temperatures = Some(temps);
+        self.models = OnceLock::new();
         Ok(self)
     }
 
     /// Removes per-channel temperatures (back to the template profile).
     pub fn without_channel_temperatures(mut self) -> Self {
         self.per_channel_temperatures = None;
+        self.models = OnceLock::new();
         self
     }
 
-    fn channel_models(&self) -> Result<Vec<CellModel>, FlowCellError> {
-        match &self.per_channel_temperatures {
-            None => Ok(vec![self.template.clone()]),
-            Some(temps) => temps
-                .iter()
-                .map(|t| self.template.with_temperature(t.clone()))
-                .collect(),
-        }
+    /// The cached per-channel models, built on first use.
+    fn channel_models(&self) -> Result<&[CellModel], FlowCellError> {
+        let models = bright_num::lazy::get_or_try_init(&self.models, || {
+            match &self.per_channel_temperatures {
+                None => Ok(vec![self.template.clone()]),
+                Some(temps) => temps
+                    .iter()
+                    .map(|t| self.template.with_temperature(t.clone()))
+                    .collect::<Result<Vec<_>, _>>(),
+            }
+        })?;
+        Ok(models)
     }
 
     /// Total array current at a terminal voltage.
@@ -109,7 +121,7 @@ impl CellArray {
         let total = if models.len() == 1 {
             self.count as f64 * models[0].solve_at_voltage(voltage)?.current().value()
         } else {
-            solve_channels_parallel(&models, voltage)?
+            solve_channels_parallel(models, voltage)?
         };
         Ok(ArrayOperatingPoint {
             voltage: Volt::new(voltage),
@@ -175,14 +187,25 @@ impl CellArray {
                 }
                 let ocv = self.template.open_circuit_voltage()?.value();
                 let v_lo = 0.05_f64.min(ocv / 2.0);
+                let voltages: Vec<f64> = (0..n)
+                    .map(|k| v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (n - 1) as f64)
+                    .collect();
+                // Channel-major sweep: each channel walks the whole
+                // voltage ladder against its cached context with
+                // warm-started root brackets; channels fan out across
+                // worker threads.
+                let models = self.channel_models()?;
+                let per_channel = map_channels(models, |m| m.sweep_at_voltages(&voltages))?;
                 let mut pts = Vec::with_capacity(n + 1);
-                for k in 0..n {
-                    let v = v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (n - 1) as f64;
-                    let op = self.solve_at_voltage(v)?;
+                for (k, &v) in voltages.iter().enumerate() {
+                    let total: f64 = per_channel
+                        .iter()
+                        .map(|sols| sols[k].current().value())
+                        .sum();
                     pts.push(PolarizationPoint {
-                        voltage: op.voltage,
-                        current: op.current,
-                        power: op.power,
+                        voltage: Volt::new(v),
+                        current: Ampere::new(total),
+                        power: Volt::new(v) * Ampere::new(total),
                     });
                 }
                 pts.push(PolarizationPoint {
@@ -196,37 +219,43 @@ impl CellArray {
     }
 }
 
+/// Applies `f` to every channel model, fanning the channels across worker
+/// threads (order-preserving). With a single worker — or a single model —
+/// the work runs inline with zero thread overhead.
+fn map_channels<R, F>(models: &[CellModel], f: F) -> Result<Vec<R>, FlowCellError>
+where
+    R: Send,
+    F: Fn(&CellModel) -> Result<R, FlowCellError> + Sync,
+{
+    // Shared workspace-wide policy: BRIGHT_SWEEP_THREADS caps this inner
+    // fan-out too, so outer scenario sweeps can serialize everything.
+    map_channels_with_workers(models, bright_num::parallel::worker_count(models.len()), f)
+}
+
+/// [`map_channels`] with an explicit worker count (single-core hosts can
+/// still exercise the threaded path, e.g. in tests). The execution
+/// engine is shared workspace-wide: [`bright_num::parallel`].
+fn map_channels_with_workers<R, F>(
+    models: &[CellModel],
+    workers: usize,
+    f: F,
+) -> Result<Vec<R>, FlowCellError>
+where
+    R: Send,
+    F: Fn(&CellModel) -> Result<R, FlowCellError> + Sync,
+{
+    bright_num::parallel::parallel_map_indexed(models, workers, |_, m| f(m))
+        .into_iter()
+        .collect()
+}
+
 /// Solves many channel models at the same voltage on worker threads and
 /// returns the summed current.
 fn solve_channels_parallel(models: &[CellModel], voltage: f64) -> Result<f64, FlowCellError> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(models.len())
-        .max(1);
-    let chunk = models.len().div_ceil(workers);
-    let mut results: Vec<Result<f64, FlowCellError>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for batch in models.chunks(chunk) {
-            handles.push(scope.spawn(move |_| -> Result<f64, FlowCellError> {
-                let mut acc = 0.0;
-                for m in batch {
-                    acc += m.solve_at_voltage(voltage)?.current().value();
-                }
-                Ok(acc)
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("channel solver thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    let mut total = 0.0;
-    for r in results {
-        total += r?;
-    }
-    Ok(total)
+    let currents = map_channels(models, |m| {
+        Ok(m.solve_at_voltage(voltage)?.current().value())
+    })?;
+    Ok(currents.iter().sum())
 }
 
 #[cfg(test)]
@@ -261,6 +290,32 @@ mod tests {
             .unwrap();
         let warm = warm_array.solve_at_voltage(1.0).unwrap().current.value();
         assert!(warm > cold, "warm {warm} vs cold {cold}");
+    }
+
+    #[test]
+    fn threaded_channel_map_matches_inline() {
+        // Single-core hosts never take the threaded branch organically;
+        // force it and compare against the inline result.
+        let temps: Vec<TemperatureProfile> = (0..6)
+            .map(|k| TemperatureProfile::Uniform(Kelvin::new(300.0 + k as f64)))
+            .collect();
+        let template = presets::power7_channel().unwrap();
+        let models: Vec<CellModel> = temps
+            .iter()
+            .map(|t| template.with_temperature(t.clone()).unwrap())
+            .collect();
+        let inline = map_channels_with_workers(&models, 1, |m| {
+            Ok(m.solve_at_voltage(1.0)?.current().value())
+        })
+        .unwrap();
+        let threaded = map_channels_with_workers(&models, 3, |m| {
+            Ok(m.solve_at_voltage(1.0)?.current().value())
+        })
+        .unwrap();
+        assert_eq!(inline, threaded);
+        // Errors propagate from worker threads too.
+        let err = map_channels_with_workers(&models, 3, |m| m.solve_at_voltage(-1.0).map(|_| ()));
+        assert!(err.is_err());
     }
 
     #[test]

@@ -66,7 +66,7 @@ impl FullTransportSolution {
                 wall_flux.len()
             )));
         }
-        if !(d > 0.0 && d.is_finite()) || !(c_in >= 0.0) {
+        if !d.is_finite() || d <= 0.0 || !c_in.is_finite() || c_in < 0.0 {
             return Err(FlowCellError::InvalidConfig(
                 "bad diffusivity or inlet concentration".into(),
             ));
@@ -80,6 +80,9 @@ impl FullTransportSolution {
 
         let mut t = TripletMatrix::with_capacity(n, n, 5 * n);
         let mut b = vec![0.0; n];
+        // i/j index several arrays and feed `idx`; the range loop is the
+        // clear form here.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..nx {
             for j in 0..ny {
                 let me = idx(i, j);

@@ -3,7 +3,6 @@
 use crate::FlowCellError;
 use bright_flow::RectChannel;
 use bright_units::{Meters, SquareMeters};
-use serde::{Deserialize, Serialize};
 
 /// Geometry of one co-laminar flow cell.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// wall at `y = width` (Fig. 2 of the paper). Each electrode therefore has
 /// geometric area `length × height`, and the ionic current crosses the
 /// full channel width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellGeometry {
     channel: RectChannel,
     electrode_coverage: f64,

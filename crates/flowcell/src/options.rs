@@ -2,10 +2,9 @@
 
 use crate::FlowCellError;
 use bright_units::Kelvin;
-use serde::{Deserialize, Serialize};
 
 /// How the streamwise velocity profile is modelled.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VelocityModel {
     /// Plane-Poiseuille parabola across the width (adequate for wide flat
     /// cells like the Table I validation geometry).
@@ -19,7 +18,7 @@ pub enum VelocityModel {
 }
 
 /// Discretization and physics switches of the cell solver.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
     /// Cells across each half-width (electrode-normal direction).
     pub ny: usize,
@@ -86,7 +85,7 @@ impl SolverOptions {
 }
 
 /// Temperature along the channel, as seen by the electrochemistry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TemperatureProfile {
     /// A single temperature everywhere (isothermal operation).
     Uniform(Kelvin),
@@ -162,17 +161,16 @@ mod tests {
 
     #[test]
     fn bad_options_rejected() {
-        let mut o = SolverOptions::default();
-        o.ny = 2;
+        let o = SolverOptions { ny: 2, ..SolverOptions::default() };
         assert!(o.validate().is_err());
-        let mut o = SolverOptions::default();
-        o.nx = 1;
+        let o = SolverOptions { nx: 1, ..SolverOptions::default() };
         assert!(o.validate().is_err());
-        let mut o = SolverOptions::default();
-        o.velocity = VelocityModel::Duct { nz: 1 };
+        let o = SolverOptions {
+            velocity: VelocityModel::Duct { nz: 1 },
+            ..SolverOptions::default()
+        };
         assert!(o.validate().is_err());
-        let mut o = SolverOptions::default();
-        o.contact_asr = -1.0;
+        let o = SolverOptions { contact_asr: -1.0, ..SolverOptions::default() };
         assert!(o.validate().is_err());
     }
 

@@ -2,10 +2,9 @@
 
 use crate::FlowCellError;
 use bright_units::{Ampere, Volt, Watt};
-use serde::{Deserialize, Serialize};
 
 /// One point of a polarization curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PolarizationPoint {
     /// Cell (or array) terminal voltage.
     pub voltage: Volt,
@@ -19,7 +18,7 @@ pub struct PolarizationPoint {
 ///
 /// This is the object plotted in Fig. 3 (validation cell, as current
 /// *density*) and Fig. 7 (the 88-channel array, as absolute current).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PolarizationCurve {
     points: Vec<PolarizationPoint>,
 }

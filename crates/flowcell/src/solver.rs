@@ -17,8 +17,9 @@
 use crate::geometry::CellGeometry;
 use crate::options::{SolverOptions, TemperatureProfile, VelocityModel};
 use crate::polarization::{PolarizationCurve, PolarizationPoint};
-use crate::transport::HalfCellMarcher;
+use crate::transport::{HalfCellMarcher, TransportOp};
 use crate::FlowCellError;
+use std::sync::{Arc, OnceLock};
 use bright_echem::electrolyte::area_specific_resistance;
 use bright_echem::{CellChemistry, SurfaceState};
 use bright_flow::profile::{plane_poiseuille, DuctFlowSolution};
@@ -37,6 +38,11 @@ pub struct CellModel {
     flow: CubicMetersPerSecond,
     temperature: TemperatureProfile,
     options: SolverOptions,
+    /// Lazily built solve context (station chemistry, velocity profile,
+    /// factored transport operators), shared by every solve on this
+    /// model. Rebuilt automatically by `with_*` since those construct a
+    /// fresh model.
+    ctx: OnceLock<SolveContext>,
 }
 
 /// Per-station chemistry snapshot (temperature-resolved).
@@ -48,12 +54,18 @@ struct StationChem {
     t: Kelvin,
 }
 
-/// Precomputed solve context shared by all voltage points of a sweep.
+/// Precomputed solve context shared by all voltage points of a sweep:
+/// per-station chemistry snapshots plus the factored cross-stream
+/// transport operators of both electrode streams (stations with equal
+/// diffusivity share one operator via `Arc`, so the isothermal case
+/// factors exactly once per side).
 #[derive(Debug, Clone)]
 struct SolveContext {
     stations: Vec<StationChem>,
     velocity_half: Vec<f64>,
     dx: f64,
+    anode_ops: Vec<Arc<TransportOp>>,
+    cathode_ops: Vec<Arc<TransportOp>>,
 }
 
 /// The solved state of a cell at one operating point.
@@ -148,6 +160,7 @@ impl CellModel {
             flow,
             temperature,
             options,
+            ctx: OnceLock::new(),
         })
     }
 
@@ -221,7 +234,12 @@ impl CellModel {
         Ok(self.chemistry.open_circuit_voltage(self.temperature.mean())?)
     }
 
-    fn context(&self) -> Result<SolveContext, FlowCellError> {
+    /// The cached solve context, built on first use.
+    fn context(&self) -> Result<&SolveContext, FlowCellError> {
+        bright_num::lazy::get_or_try_init(&self.ctx, || self.build_context())
+    }
+
+    fn build_context(&self) -> Result<SolveContext, FlowCellError> {
         let nx = self.options.nx;
         let ny = self.options.ny;
         let temps = self.temperature.resample(nx)?;
@@ -268,10 +286,32 @@ impl CellModel {
                     .collect()
             }
         };
+        // Factor the cross-stream transport operators once per distinct
+        // diffusivity (equal-temperature stations share one `Arc`).
+        let dx = self.geometry.electrode_length().value() / nx as f64;
+        let dy = self.geometry.stream_half_width().value() / ny as f64;
+        let mut anode_ops: Vec<Arc<TransportOp>> = Vec::with_capacity(nx);
+        let mut cathode_ops: Vec<Arc<TransportOp>> = Vec::with_capacity(nx);
+        for st in &stations {
+            let d_a = st.chem.negative.diffusivity.value();
+            let d_c = st.chem.positive.diffusivity.value();
+            let op_a = match anode_ops.last() {
+                Some(prev) if prev.diffusivity() == d_a => Arc::clone(prev),
+                _ => Arc::new(TransportOp::new(&velocity_half, dx, dy, d_a)?),
+            };
+            let op_c = match cathode_ops.last() {
+                Some(prev) if prev.diffusivity() == d_c => Arc::clone(prev),
+                _ => Arc::new(TransportOp::new(&velocity_half, dx, dy, d_c)?),
+            };
+            anode_ops.push(op_a);
+            cathode_ops.push(op_c);
+        }
         Ok(SolveContext {
             stations,
             velocity_half,
-            dx: self.geometry.electrode_length().value() / nx as f64,
+            dx,
+            anode_ops,
+            cathode_ops,
         })
     }
 
@@ -305,6 +345,22 @@ impl CellModel {
         voltage: f64,
         ctx: &SolveContext,
     ) -> Result<CellSolution, FlowCellError> {
+        self.solve_with_context_warm(voltage, ctx, None)
+    }
+
+    /// Core marching solve. `hint`, when present, carries the station
+    /// current densities of a previously solved nearby operating point
+    /// (e.g. the neighbouring voltage of a polarization sweep); each
+    /// station then brackets Brent's method around its hint instead of
+    /// the full `[0, i_lim]` interval, cutting the kinetics evaluations
+    /// roughly in half. The committed result satisfies the same residual
+    /// tolerance as the cold path.
+    fn solve_with_context_warm(
+        &self,
+        voltage: f64,
+        ctx: &SolveContext,
+        hint: Option<&[f64]>,
+    ) -> Result<CellSolution, FlowCellError> {
         if !(voltage >= 0.0 && voltage.is_finite()) {
             return Err(FlowCellError::Infeasible(format!(
                 "terminal voltage must be non-negative and finite, got {voltage}"
@@ -317,11 +373,11 @@ impl CellModel {
         let mut eta_cathode = Vec::with_capacity(nx);
         let mut clamped = 0usize;
 
-        for st in ctx.stations.iter() {
+        for (station, st) in ctx.stations.iter().enumerate() {
             let n_neg = st.chem.negative.kinetics.couple().electrons() as f64;
             let n_pos = st.chem.positive.kinetics.couple().electrons() as f64;
-            let resp_a = anode.prepare(st.chem.negative.diffusivity.value())?;
-            let resp_c = cathode.prepare(st.chem.positive.diffusivity.value())?;
+            let resp_a = anode.prepare_with(&ctx.anode_ops[station])?;
+            let resp_c = cathode.prepare_with(&ctx.cathode_ops[station])?;
 
             let track = self.options.track_products;
             let eval = |i: f64| -> Result<(f64, f64, f64), FlowCellError> {
@@ -364,20 +420,38 @@ impl CellModel {
             } else {
                 let i_hi = (1.0 - 1e-9)
                     * (resp_a.q_max * n_neg * FARADAY).min(resp_c.q_max * n_pos * FARADAY);
-                let (r_hi, _, _) = eval(i_hi)?;
+                let (r_hi, ea_hi, ec_hi) = eval(i_hi)?;
                 if r_hi >= 0.0 {
                     // Even near-total surface depletion cannot absorb the
                     // driving force: transport-limited plateau.
-                    let (_, ea, ec) = eval(i_hi)?;
-                    (i_hi, ea, ec, true)
+                    (i_hi, ea_hi, ec_hi, true)
                 } else {
+                    // The residual decreases monotonically in `i`, so a
+                    // hint from a nearby operating point splits the
+                    // bracket by one sign probe.
+                    let (mut lo, mut hi) = (0.0, i_hi);
+                    if let Some(h) = hint {
+                        let i_h = h
+                            .get(station)
+                            .copied()
+                            .unwrap_or(0.0)
+                            .clamp(0.0, i_hi * (1.0 - 1e-9));
+                        if i_h > 0.0 {
+                            let (r_h, _, _) = eval(i_h)?;
+                            if r_h > 0.0 {
+                                lo = i_h;
+                            } else {
+                                hi = i_h;
+                            }
+                        }
+                    }
                     let root = brent(
                         |i| match eval(i) {
                             Ok((r, _, _)) => r,
                             Err(_) => f64::NAN,
                         },
-                        0.0,
-                        i_hi,
+                        lo,
+                        hi,
                         &RootOptions {
                             x_tolerance: (i_hi * 1e-12).max(1e-14),
                             f_tolerance: 1e-10,
@@ -420,7 +494,27 @@ impl CellModel {
     /// * solver errors propagated from transport and kinetics.
     pub fn solve_at_voltage(&self, voltage: f64) -> Result<CellSolution, FlowCellError> {
         let ctx = self.context()?;
-        self.solve_with_context(voltage, &ctx)
+        self.solve_with_context(voltage, ctx)
+    }
+
+    /// Solves a whole voltage ladder with one cached context, each point
+    /// warm-starting its station root brackets from the previous point's
+    /// current-density profile — the amortized path used by polarization
+    /// sweeps and the sweep engines.
+    ///
+    /// # Errors
+    ///
+    /// As [`CellModel::solve_at_voltage`].
+    pub fn sweep_at_voltages(&self, voltages: &[f64]) -> Result<Vec<CellSolution>, FlowCellError> {
+        let ctx = self.context()?;
+        let mut out: Vec<CellSolution> = Vec::with_capacity(voltages.len());
+        let mut hint: Option<Vec<f64>> = None;
+        for &v in voltages {
+            let sol = self.solve_with_context_warm(v, ctx, hint.as_deref())?;
+            hint = Some(sol.current_density.clone());
+            out.push(sol);
+        }
+        Ok(out)
     }
 
     /// Solves the cell at a fixed delivered current by inverting the
@@ -438,7 +532,7 @@ impl CellModel {
         }
         let ctx = self.context()?;
         let v_floor = 0.02;
-        let i_max = self.solve_with_context(v_floor, &ctx)?.current.value();
+        let i_max = self.solve_with_context(v_floor, ctx)?.current.value();
         if target.value() > i_max {
             return Err(FlowCellError::Infeasible(format!(
                 "target {target} exceeds limiting current {i_max:.4} A at {v_floor} V"
@@ -450,7 +544,7 @@ impl CellModel {
             .map(|s| s.ocv)
             .fold(f64::NEG_INFINITY, f64::max);
         let v = brent(
-            |v| match self.solve_with_context(v, &ctx) {
+            |v| match self.solve_with_context(v, ctx) {
                 Ok(sol) => sol.current.value() - target.value(),
                 Err(_) => f64::NAN,
             },
@@ -463,7 +557,7 @@ impl CellModel {
             },
         )
         .map_err(FlowCellError::from)?;
-        self.solve_with_context(v, &ctx)
+        self.solve_with_context(v, ctx)
     }
 
     /// Sweeps the polarization curve with `n ≥ 2` voltage points between
@@ -488,16 +582,18 @@ impl CellModel {
             .sum::<f64>()
             / ctx.stations.len() as f64;
         let v_lo = 0.05_f64.min(ocv / 2.0);
-        let mut points = Vec::with_capacity(n + 1);
-        for k in 0..n {
-            let v = v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (n - 1) as f64;
-            let sol = self.solve_with_context(v, &ctx)?;
-            points.push(PolarizationPoint {
+        let voltages: Vec<f64> = (0..n)
+            .map(|k| v_lo + (ocv - 1e-4 - v_lo) * k as f64 / (n - 1) as f64)
+            .collect();
+        let mut points: Vec<PolarizationPoint> = self
+            .sweep_at_voltages(&voltages)?
+            .iter()
+            .map(|sol| PolarizationPoint {
                 voltage: sol.voltage(),
                 current: sol.current(),
                 power: sol.power(),
-            });
-        }
+            })
+            .collect();
         points.push(PolarizationPoint {
             voltage: Volt::new(ocv),
             current: Ampere::new(0.0),

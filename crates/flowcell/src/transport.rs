@@ -16,7 +16,7 @@
 //! with Butler–Volmer kinetics without nested iteration.
 
 use crate::FlowCellError;
-use bright_num::tridiag::TridiagonalWorkspace;
+use bright_num::tridiag::{TridiagonalFactorization, TridiagonalWorkspace};
 
 /// Affine response of a station's surface state to the wall molar flux
 /// `q` (mol/(m²·s), positive = reactant consumed at the wall):
@@ -48,6 +48,93 @@ impl StationResponse {
     #[inline]
     pub fn product_surface(&self, q: f64) -> f64 {
         (self.p0 + q * self.sens).max(0.0)
+    }
+}
+
+/// Precomputed cross-stream operator for one `(velocity profile,
+/// diffusivity)` pair.
+///
+/// The implicit diffusion operator of [`HalfCellMarcher::prepare`]
+/// depends only on the velocity profile, the grid spacings and the
+/// diffusivity — none of which change across the stations of an
+/// isothermal channel or across the voltage points of a polarization
+/// sweep. Factoring it once (and solving the flux-sensitivity system
+/// once, since that right-hand side is operator-determined too) turns
+/// each station visit into two back-substitutions instead of three full
+/// Thomas solves plus band assembly. This is the flow-cell counterpart
+/// of the sparse symbolic/numeric split in `bright-num`.
+#[derive(Debug, Clone)]
+pub struct TransportOp {
+    fac: TridiagonalFactorization,
+    /// Response of the concentration field to a unit wall flux.
+    sensitivity: Vec<f64>,
+    /// Surface (wall-extrapolated) sensitivity, including the half-cell
+    /// correction.
+    sens_surface: f64,
+    d: f64,
+    dy: f64,
+    dx: f64,
+}
+
+impl TransportOp {
+    /// Builds and factors the station operator.
+    ///
+    /// * `velocity` — streamwise velocity at the `ny` cell centers
+    ///   (wall-first),
+    /// * `dx` — station spacing (m),
+    /// * `dy` — cross-stream cell size (m),
+    /// * `d` — species diffusivity (m²/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::InvalidConfig`] for a non-positive
+    /// diffusivity and [`FlowCellError::Numerical`] if the factorization
+    /// fails.
+    pub fn new(velocity: &[f64], dx: f64, dy: f64, d: f64) -> Result<Self, FlowCellError> {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "diffusivity must be positive, got {d}"
+            )));
+        }
+        let ny = velocity.len();
+        let w = d / (dy * dy);
+        let mut lower = vec![0.0; ny.saturating_sub(1)];
+        let mut upper = vec![0.0; ny.saturating_sub(1)];
+        let mut diag = vec![0.0; ny];
+        for j in 0..ny {
+            let adv = velocity[j] / dx;
+            let mut dj = adv;
+            if j > 0 {
+                lower[j - 1] = -w;
+                dj += w;
+            }
+            if j + 1 < ny {
+                upper[j] = -w;
+                dj += w;
+            }
+            diag[j] = dj;
+        }
+        let fac =
+            TridiagonalFactorization::factor(&lower, &diag, &upper).map_err(FlowCellError::from)?;
+        let mut sensitivity = vec![0.0; ny];
+        sensitivity[0] = 1.0 / dy;
+        fac.solve_in_place(&mut sensitivity)
+            .map_err(FlowCellError::from)?;
+        let sens_surface = sensitivity[0] + dy / (2.0 * d);
+        Ok(Self {
+            fac,
+            sensitivity,
+            sens_surface,
+            d,
+            dy,
+            dx,
+        })
+    }
+
+    /// The diffusivity this operator was built for.
+    #[inline]
+    pub fn diffusivity(&self) -> f64 {
+        self.d
     }
 }
 
@@ -107,14 +194,16 @@ impl HalfCellMarcher {
                 "need >= 2 stations, got {nx}"
             )));
         }
-        if !(half_width > 0.0 && half_width.is_finite())
-            || !(electrode_length > 0.0 && electrode_length.is_finite())
+        if !half_width.is_finite()
+            || half_width <= 0.0
+            || !electrode_length.is_finite()
+            || electrode_length <= 0.0
         {
             return Err(FlowCellError::InvalidConfig(format!(
                 "bad domain {half_width} x {electrode_length}"
             )));
         }
-        if velocity.iter().any(|u| !(*u >= 0.0) || !u.is_finite()) {
+        if velocity.iter().any(|u| !u.is_finite() || *u < 0.0) {
             return Err(FlowCellError::InvalidConfig(
                 "velocity profile must be non-negative and finite".into(),
             ));
@@ -124,7 +213,11 @@ impl HalfCellMarcher {
                 "velocity profile is identically zero".into(),
             ));
         }
-        if !(c_reactant_in >= 0.0) || !(c_product_in >= 0.0) {
+        if !c_reactant_in.is_finite()
+            || c_reactant_in < 0.0
+            || !c_product_in.is_finite()
+            || c_product_in < 0.0
+        {
             return Err(FlowCellError::InvalidConfig(
                 "negative inlet concentration".into(),
             ));
@@ -245,6 +338,70 @@ impl HalfCellMarcher {
             sens: sens_surface,
             q_max: if sens_surface > 0.0 {
                 r0_surf / sens_surface
+            } else {
+                f64::INFINITY
+            },
+        })
+    }
+
+    /// As [`HalfCellMarcher::prepare`], but against a precomputed
+    /// [`TransportOp`]: two back-substitutions, no band assembly, no
+    /// sensitivity solve. Produces the same response as `prepare` with
+    /// the operator's diffusivity (up to factorization round-off).
+    ///
+    /// The operator must have been built from this marcher's geometry
+    /// *and velocity profile* (the profile is baked into the factored
+    /// bands and is too large to compare per station; the `ny`/`dy`/`dx`
+    /// checks below catch geometry mixups, not a different profile on
+    /// the same grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowCellError::Numerical`] if the operator's grid does
+    /// not match this marcher's.
+    pub fn prepare_with(&mut self, op: &TransportOp) -> Result<StationResponse, FlowCellError> {
+        if op.sensitivity.len() != self.ny
+            || (op.dy - self.dy).abs() > 1e-15 * self.dy
+            || (op.dx - self.dx).abs() > 1e-15 * self.dx
+        {
+            return Err(FlowCellError::Numerical(format!(
+                "transport operator sized {} (dy {:.3e}, dx {:.3e}) vs marcher {} \
+                 (dy {:.3e}, dx {:.3e})",
+                op.sensitivity.len(),
+                op.dy,
+                op.dx,
+                self.ny,
+                self.dy,
+                self.dx
+            )));
+        }
+        // Zero-flux advance of both species.
+        self.r_zero_flux.copy_from_slice(&self.reactant);
+        for (rhs, u) in self.r_zero_flux.iter_mut().zip(&self.velocity) {
+            *rhs *= u / self.dx;
+        }
+        op.fac
+            .solve_in_place(&mut self.r_zero_flux)
+            .map_err(FlowCellError::from)?;
+
+        self.p_zero_flux.copy_from_slice(&self.product);
+        for (rhs, u) in self.p_zero_flux.iter_mut().zip(&self.velocity) {
+            *rhs *= u / self.dx;
+        }
+        op.fac
+            .solve_in_place(&mut self.p_zero_flux)
+            .map_err(FlowCellError::from)?;
+
+        self.sensitivity.copy_from_slice(&op.sensitivity);
+        self.station_d = op.d;
+        let r0_surf = self.r_zero_flux[0];
+        let p0_surf = self.p_zero_flux[0];
+        Ok(StationResponse {
+            r0: r0_surf,
+            p0: p0_surf,
+            sens: op.sens_surface,
+            q_max: if op.sens_surface > 0.0 {
+                r0_surf / op.sens_surface
             } else {
                 f64::INFINITY
             },
@@ -373,6 +530,50 @@ mod tests {
             m.commit(2e-3);
         }
         assert!(r0_prev < first.r0 - 10.0, "significant depletion expected");
+    }
+
+    #[test]
+    fn prepare_with_matches_prepare() {
+        // The factored-operator path must reproduce the per-station
+        // assembly path over a full march with extraction.
+        let d = 1.26e-10;
+        let q = 3e-3;
+        let mut a = uniform_marcher(48, 60);
+        let mut b = uniform_marcher(48, 60);
+        let op = TransportOp::new(&vec![1.5; 48], a.dx(), 100e-6 / 48.0, d).unwrap();
+        assert_eq!(op.diffusivity(), d);
+        for station in 0..60 {
+            let ra = a.prepare(d).unwrap();
+            let rb = b.prepare_with(&op).unwrap();
+            assert!(
+                (ra.r0 - rb.r0).abs() < 1e-9 * ra.r0.abs().max(1.0),
+                "station {station}: r0 {} vs {}",
+                ra.r0,
+                rb.r0
+            );
+            assert!((ra.sens - rb.sens).abs() < 1e-9 * ra.sens);
+            a.commit(q);
+            b.commit(q);
+        }
+        for (ca, cb) in a.reactant().iter().zip(b.reactant()) {
+            assert!((ca - cb).abs() < 1e-6, "{ca} vs {cb}");
+        }
+    }
+
+    #[test]
+    fn transport_op_validates() {
+        assert!(TransportOp::new(&[1.0; 8], 1e-3, 1e-5, 0.0).is_err());
+        assert!(TransportOp::new(&[1.0; 8], 1e-3, 1e-5, f64::NAN).is_err());
+        let op = TransportOp::new(&[1.0; 8], 1e-3, 1e-5, 1e-10).unwrap();
+        let mut m = uniform_marcher(16, 4);
+        // Mismatched operator size is rejected.
+        assert!(m.prepare_with(&op).is_err());
+        // Matching ny/dy but a different station spacing is rejected too
+        // (dx is baked into the factored bands).
+        let mut m32 = uniform_marcher(32, 40);
+        let wrong_dx =
+            TransportOp::new(&vec![1.5; 32], m32.dx() * 2.0, 100e-6 / 32.0, 1e-10).unwrap();
+        assert!(m32.prepare_with(&wrong_dx).is_err());
     }
 
     #[test]

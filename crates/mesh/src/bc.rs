@@ -1,6 +1,5 @@
 //! Boundary-condition descriptors shared by the PDE assemblers.
 
-use serde::{Deserialize, Serialize};
 
 /// A boundary condition on one face of a discretized domain.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 ///   (`q = 0` is the adiabatic/insulated wall),
 /// * `Robin { coefficient, ambient }` — convective exchange
 ///   `flux = coefficient · (ambient − value)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Boundary {
     /// Fixed value at the boundary.
     Dirichlet(f64),
@@ -40,7 +39,7 @@ impl Boundary {
 }
 
 /// The set of boundary conditions around a rectangular domain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RectBoundaries {
     /// Condition on the west (x = 0) face.
     pub west: Boundary,

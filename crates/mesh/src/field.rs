@@ -1,7 +1,6 @@
 //! Scalar fields over 2-D grids.
 
 use crate::{Grid2d, MeshError};
-use serde::{Deserialize, Serialize};
 
 /// A scalar field stored cell-centered on a [`Grid2d`].
 ///
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(f.min(), 0.0);
 /// # Ok::<(), bright_mesh::MeshError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Field2d {
     grid: Grid2d,
     data: Vec<f64>,

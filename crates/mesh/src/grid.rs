@@ -1,7 +1,6 @@
 //! Uniform cell-centered rectangular grids.
 
 use crate::MeshError;
-use serde::{Deserialize, Serialize};
 
 /// A uniform, cell-centered 2-D grid.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// linear index is `iy·nx + ix` (x fastest), matching the assembly order of
 /// the sparse solvers. Physical cell centers are at
 /// `((ix + ½)·dx, (iy + ½)·dy)` relative to the grid origin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid2d {
     nx: usize,
     ny: usize,

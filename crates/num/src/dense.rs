@@ -143,9 +143,9 @@ impl DenseMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = crate::vec_ops::dot(row, x);
+            *yi = crate::vec_ops::dot(row, x);
         }
         Ok(y)
     }
@@ -261,17 +261,12 @@ impl LuFactors {
         // Apply permutation, forward substitution (unit lower), back subst.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
-            let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[i * n + j] * x[j];
-            }
+            let acc = x[i] - crate::vec_ops::dot(&self.lu[i * n..i * n + i], &x[..i]);
             x[i] = acc;
         }
         for i in (0..n).rev() {
-            let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[i * n + j] * x[j];
-            }
+            let acc =
+                x[i] - crate::vec_ops::dot(&self.lu[i * n + i + 1..(i + 1) * n], &x[i + 1..]);
             x[i] = acc / self.lu[i * n + i];
         }
         Ok(x)

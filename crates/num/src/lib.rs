@@ -34,6 +34,8 @@
 pub mod dense;
 pub mod error;
 pub mod interp;
+pub mod lazy;
+pub mod parallel;
 pub mod quadrature;
 pub mod roots;
 pub mod solvers;
@@ -42,4 +44,5 @@ pub mod tridiag;
 pub mod vec_ops;
 
 pub use error::NumError;
-pub use sparse::{CsrMatrix, TripletMatrix};
+pub use solvers::{KrylovWorkspace, SolveStats};
+pub use sparse::{CsrMatrix, CsrSymbolic, TripletMatrix};

@@ -1,0 +1,96 @@
+//! Order-preserving parallel map over slices.
+//!
+//! The single threaded-fan-out implementation shared by every sweep
+//! layer in the workspace (`bright_core::sweeps`, the flow-cell channel
+//! fan-out). Items are claimed dynamically from an atomic cursor so
+//! unevenly sized work still balances, results come back in input
+//! order, and a worker count of 1 runs inline on the caller's thread
+//! with zero overhead. Worker-count *policy* (hardware detection,
+//! environment caps) stays with the callers; this module only executes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for a fan-out over `items` elements: the machine's
+/// available parallelism, capped by the item count and by the
+/// `BRIGHT_SWEEP_THREADS` environment variable when set. Every fan-out
+/// in the workspace (scenario sweeps, channel solves) uses this one
+/// policy, so `BRIGHT_SWEEP_THREADS=1` serializes *all* of them — nested
+/// fan-outs included.
+#[must_use]
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let cap = std::env::var("BRIGHT_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX)
+        .max(1);
+    hw.min(cap).min(items).max(1)
+}
+
+/// Applies `f(index, item)` to every item using `workers` threads,
+/// returning results in input order.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map_indexed<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(i, item)));
+                }
+                collected
+                    .lock()
+                    .expect("parallel_map worker poisoned the result lock")
+                    .extend(local);
+            });
+        }
+    });
+    let mut tagged = collected
+        .into_inner()
+        .expect("parallel_map workers poisoned the result lock");
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_inline_for_any_worker_count() {
+        let items: Vec<usize> = (0..101).collect();
+        let inline = parallel_map_indexed(&items, 1, |i, &x| (i, x * x));
+        for workers in [2, 3, 8, 200] {
+            assert_eq!(
+                parallel_map_indexed(&items, workers, |i, &x| (i, x * x)),
+                inline,
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map_indexed(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map_indexed(&[7u8], 4, |_, &x| x + 1), vec![8]);
+    }
+}

@@ -45,7 +45,7 @@ pub fn trapezoid_uniform(y: &[f64], h: f64) -> Result<f64, NumError> {
     if y.len() < 2 {
         return Err(NumError::InvalidInput("need at least two points".into()));
     }
-    if !(h > 0.0) || !h.is_finite() {
+    if !h.is_finite() || h <= 0.0 {
         return Err(NumError::InvalidInput(format!("bad step {h}")));
     }
     let interior: f64 = y[1..y.len() - 1].iter().sum();
@@ -62,7 +62,7 @@ pub fn simpson_uniform(y: &[f64], h: f64) -> Result<f64, NumError> {
     if y.len() < 2 {
         return Err(NumError::InvalidInput("need at least two points".into()));
     }
-    if !(h > 0.0) || !h.is_finite() {
+    if !h.is_finite() || h <= 0.0 {
         return Err(NumError::InvalidInput(format!("bad step {h}")));
     }
     if y.len() == 2 {

@@ -79,16 +79,82 @@ fn validate(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>) -> Result<(), NumError
     Ok(())
 }
 
-fn jacobi_inverse_diagonal(a: &CsrMatrix) -> Result<Vec<f64>, NumError> {
-    let diag = a.diagonal();
-    let mut inv = Vec::with_capacity(diag.len());
-    for (i, d) in diag.iter().enumerate() {
+fn jacobi_inverse_diagonal_into(a: &CsrMatrix, inv: &mut Vec<f64>) -> Result<(), NumError> {
+    a.diagonal_into(inv);
+    for (i, d) in inv.iter_mut().enumerate() {
         if d.abs() < f64::MIN_POSITIVE * 16.0 {
             return Err(NumError::SingularMatrix { index: i });
         }
-        inv.push(1.0 / d);
+        *d = 1.0 / *d;
     }
-    Ok(inv)
+    Ok(())
+}
+
+/// Iteration statistics of a converged workspace-based solve (the
+/// solution itself lives in the caller's `x` buffer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A·x‖₂ / ‖b‖₂`.
+    pub relative_residual: f64,
+}
+
+/// Preallocated scratch vectors for the Krylov solvers.
+///
+/// A sweep engine creates one workspace (per thread) and reuses it across
+/// every solve of the sweep; buffers grow on first use and are never
+/// reallocated while the system size is unchanged. The same workspace can
+/// serve both [`conjugate_gradient_with_workspace`] and
+/// [`bicgstab_with_workspace`].
+#[derive(Debug, Clone, Default)]
+pub struct KrylovWorkspace {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    r_hat: Vec<f64>,
+    v: Vec<f64>,
+    p_hat: Vec<f64>,
+    s: Vec<f64>,
+    s_hat: Vec<f64>,
+    t: Vec<f64>,
+    m_inv: Vec<f64>,
+}
+
+impl KrylovWorkspace {
+    /// Creates an empty workspace (buffers grow on first solve).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn resize_cg(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
+
+    fn resize_bicgstab(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.r_hat.resize(n, 0.0);
+        self.v.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.p_hat.resize(n, 0.0);
+        self.s.resize(n, 0.0);
+        self.s_hat.resize(n, 0.0);
+        self.t.resize(n, 0.0);
+    }
+}
+
+/// Prepares the warm-start/solution buffer: a correctly sized `x` is kept
+/// as the initial guess; any other length is reset to a zero cold start.
+fn prime_guess(x: &mut Vec<f64>, n: usize) {
+    if x.len() != n {
+        x.clear();
+        x.resize(n, 0.0);
+    }
 }
 
 /// Preconditioned conjugate gradient for symmetric positive-definite `A`.
@@ -108,70 +174,105 @@ pub fn conjugate_gradient(
     opts: &IterOptions,
 ) -> Result<IterSolution, NumError> {
     validate(a, b, x0)?;
+    let mut x = x0.map_or_else(Vec::new, <[f64]>::to_vec);
+    let mut ws = KrylovWorkspace::new();
+    let stats = conjugate_gradient_with_workspace(a, b, &mut x, opts, &mut ws)?;
+    Ok(IterSolution {
+        x,
+        iterations: stats.iterations,
+        relative_residual: stats.relative_residual,
+    })
+}
+
+/// Preconditioned conjugate gradient using caller-owned buffers.
+///
+/// `x` doubles as warm start and result: when its length matches the
+/// system it is used as the initial guess (pass the previous sweep
+/// point's solution to warm-start); any other length — e.g. an empty
+/// vector — is reset to a zero cold start. On success `x` holds the
+/// solution. `ws` supplies all scratch vectors, so a sweep performs no
+/// per-solve allocation after the first call.
+///
+/// [`conjugate_gradient`] is a thin wrapper over this function with a
+/// fresh workspace, so results are identical between the two entry
+/// points.
+///
+/// # Errors
+///
+/// As [`conjugate_gradient`].
+pub fn conjugate_gradient_with_workspace(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut Vec<f64>,
+    opts: &IterOptions,
+    ws: &mut KrylovWorkspace,
+) -> Result<SolveStats, NumError> {
+    validate(a, b, None)?;
     let n = b.len();
+    prime_guess(x, n);
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(IterSolution {
-            x: vec![0.0; n],
+        x.iter_mut().for_each(|xi| *xi = 0.0);
+        return Ok(SolveStats {
             iterations: 0,
             relative_residual: 0.0,
         });
     }
-    let m_inv = if opts.jacobi_preconditioner {
-        Some(jacobi_inverse_diagonal(a)?)
-    } else {
-        None
-    };
+    let use_jacobi = opts.jacobi_preconditioner;
+    if use_jacobi {
+        jacobi_inverse_diagonal_into(a, &mut ws.m_inv)?;
+    }
+    ws.resize_cg(n);
+    let r = &mut ws.r;
+    let z = &mut ws.z;
+    let p = &mut ws.p;
+    let ap = &mut ws.ap;
 
-    let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
-    let mut r = vec![0.0; n];
-    let ax = a.matvec(&x)?;
-    sub(b, &ax, &mut r);
+    a.matvec_into(x, ap)?;
+    sub(b, ap, r);
 
-    let mut z = r.clone();
-    if let Some(mi) = &m_inv {
-        for (zi, mi) in z.iter_mut().zip(mi) {
+    z.copy_from_slice(r);
+    if use_jacobi {
+        for (zi, mi) in z.iter_mut().zip(&ws.m_inv) {
             *zi *= mi;
         }
     }
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    p.copy_from_slice(z);
+    let mut rz = dot(r, z);
 
     for it in 0..opts.max_iterations {
-        let res = norm2(&r) / b_norm;
+        let res = norm2(r) / b_norm;
         if res <= opts.tolerance {
-            return Ok(IterSolution {
-                x,
+            return Ok(SolveStats {
                 iterations: it,
                 relative_residual: res,
             });
         }
-        a.matvec_into(&p, &mut ap)?;
-        let pap = dot(&p, &ap);
+        a.matvec_into(p, ap)?;
+        let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             return Err(NumError::Breakdown(format!(
                 "pAp = {pap:.3e} at iteration {it}; matrix not SPD?"
             )));
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
 
-        z.copy_from_slice(&r);
-        if let Some(mi) = &m_inv {
-            for (zi, mi) in z.iter_mut().zip(mi) {
+        z.copy_from_slice(r);
+        if use_jacobi {
+            for (zi, mi) in z.iter_mut().zip(&ws.m_inv) {
                 *zi *= mi;
             }
         }
-        let rz_new = dot(&r, &z);
+        let rz_new = dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        xpby(&z, beta, &mut p);
+        xpby(z, beta, p);
     }
     Err(NumError::NotConverged {
         iterations: opts.max_iterations,
-        residual: norm2(&r) / b_norm,
+        residual: norm2(r) / b_norm,
         tolerance: opts.tolerance,
     })
 }
@@ -189,55 +290,85 @@ pub fn bicgstab(
     opts: &IterOptions,
 ) -> Result<IterSolution, NumError> {
     validate(a, b, x0)?;
+    let mut x = x0.map_or_else(Vec::new, <[f64]>::to_vec);
+    let mut ws = KrylovWorkspace::new();
+    let stats = bicgstab_with_workspace(a, b, &mut x, opts, &mut ws)?;
+    Ok(IterSolution {
+        x,
+        iterations: stats.iterations,
+        relative_residual: stats.relative_residual,
+    })
+}
+
+/// Preconditioned BiCGSTAB using caller-owned buffers.
+///
+/// Warm-start/result semantics of `x` and workspace reuse are as in
+/// [`conjugate_gradient_with_workspace`]; [`bicgstab`] is a thin wrapper
+/// over this function, so results are identical between the entry points.
+///
+/// # Errors
+///
+/// As [`bicgstab`].
+pub fn bicgstab_with_workspace(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut Vec<f64>,
+    opts: &IterOptions,
+    ws: &mut KrylovWorkspace,
+) -> Result<SolveStats, NumError> {
+    validate(a, b, None)?;
     let n = b.len();
+    prime_guess(x, n);
     let b_norm = norm2(b);
     if b_norm == 0.0 {
-        return Ok(IterSolution {
-            x: vec![0.0; n],
+        x.iter_mut().for_each(|xi| *xi = 0.0);
+        return Ok(SolveStats {
             iterations: 0,
             relative_residual: 0.0,
         });
     }
-    let m_inv = if opts.jacobi_preconditioner {
-        Some(jacobi_inverse_diagonal(a)?)
-    } else {
-        None
-    };
-    let precond = |dst: &mut Vec<f64>, src: &[f64]| {
+    let use_jacobi = opts.jacobi_preconditioner;
+    if use_jacobi {
+        jacobi_inverse_diagonal_into(a, &mut ws.m_inv)?;
+    }
+    ws.resize_bicgstab(n);
+    let m_inv = &ws.m_inv;
+    let precond = |dst: &mut [f64], src: &[f64]| {
         dst.copy_from_slice(src);
-        if let Some(mi) = &m_inv {
-            for (d, m) in dst.iter_mut().zip(mi) {
+        if use_jacobi {
+            for (d, m) in dst.iter_mut().zip(m_inv) {
                 *d *= m;
             }
         }
     };
+    let r = &mut ws.r;
+    let r_hat = &mut ws.r_hat;
+    let v = &mut ws.v;
+    let p = &mut ws.p;
+    let p_hat = &mut ws.p_hat;
+    let s = &mut ws.s;
+    let s_hat = &mut ws.s_hat;
+    let t = &mut ws.t;
 
-    let mut x = x0.map_or_else(|| vec![0.0; n], <[f64]>::to_vec);
-    let mut r = vec![0.0; n];
-    let ax = a.matvec(&x)?;
-    sub(b, &ax, &mut r);
-    let r_hat = r.clone();
+    a.matvec_into(x, v)?;
+    sub(b, v, r);
+    r_hat.copy_from_slice(r);
+    v.iter_mut().for_each(|vi| *vi = 0.0);
+    p.iter_mut().for_each(|pi| *pi = 0.0);
 
     let mut rho = 1.0_f64;
     let mut alpha = 1.0_f64;
     let mut omega = 1.0_f64;
-    let mut v = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut p_hat = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut s_hat = vec![0.0; n];
-    let mut t = vec![0.0; n];
 
     for it in 0..opts.max_iterations {
-        let res = norm2(&r) / b_norm;
+        let res = norm2(r) / b_norm;
         if res <= opts.tolerance {
-            return Ok(IterSolution {
-                x,
+            return Ok(SolveStats {
                 iterations: it,
                 relative_residual: res,
             });
         }
-        let rho_new = dot(&r_hat, &r);
+        let rho_new = dot(r_hat, r);
         if rho_new.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!(
                 "rho = {rho_new:.3e} at iteration {it}"
@@ -249,9 +380,9 @@ pub fn bicgstab(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        precond(&mut p_hat, &p);
-        a.matvec_into(&p_hat, &mut v)?;
-        let rhat_v = dot(&r_hat, &v);
+        precond(p_hat, p);
+        a.matvec_into(p_hat, v)?;
+        let rhat_v = dot(r_hat, v);
         if rhat_v.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!(
                 "r_hat.v = {rhat_v:.3e} at iteration {it}"
@@ -261,23 +392,22 @@ pub fn bicgstab(
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        if norm2(&s) / b_norm <= opts.tolerance {
-            axpy(alpha, &p_hat, &mut x);
-            let ax = a.matvec(&x)?;
-            sub(b, &ax, &mut r);
-            return Ok(IterSolution {
-                x,
+        if norm2(s) / b_norm <= opts.tolerance {
+            axpy(alpha, p_hat, x);
+            a.matvec_into(x, t)?;
+            sub(b, t, r);
+            return Ok(SolveStats {
                 iterations: it + 1,
-                relative_residual: norm2(&r) / b_norm,
+                relative_residual: norm2(r) / b_norm,
             });
         }
-        precond(&mut s_hat, &s);
-        a.matvec_into(&s_hat, &mut t)?;
-        let tt = dot(&t, &t);
+        precond(s_hat, s);
+        a.matvec_into(s_hat, t)?;
+        let tt = dot(t, t);
         if tt.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!("t.t = 0 at iteration {it}")));
         }
-        omega = dot(&t, &s) / tt;
+        omega = dot(t, s) / tt;
         if omega.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!("omega = 0 at iteration {it}")));
         }
@@ -288,7 +418,7 @@ pub fn bicgstab(
     }
     Err(NumError::NotConverged {
         iterations: opts.max_iterations,
-        residual: norm2(&r) / b_norm,
+        residual: norm2(r) / b_norm,
         tolerance: opts.tolerance,
     })
 }

@@ -156,6 +156,121 @@ impl TridiagonalSystem {
     }
 }
 
+/// A precomputed Thomas (LU) factorization of a tridiagonal operator.
+///
+/// The marching transport solver applies the *same* cross-stream operator
+/// at every station of every sweep point; factoring once and reusing the
+/// factorization turns each solve into a forward/backward substitution
+/// with no divisions, which is the amortized-assembly counterpart of
+/// [`TridiagonalWorkspace`].
+///
+/// # Examples
+///
+/// ```
+/// use bright_num::tridiag::{TridiagonalFactorization, TridiagonalSystem};
+///
+/// let lower = vec![-1.0];
+/// let diag = vec![4.0, 4.0];
+/// let upper = vec![-1.0];
+/// let fac = TridiagonalFactorization::factor(&lower, &diag, &upper)?;
+/// let mut x = vec![3.0, 3.0];
+/// fac.solve_in_place(&mut x)?;
+/// let sys = TridiagonalSystem::from_bands(lower, diag, upper)?;
+/// let expect = sys.solve(&[3.0, 3.0])?;
+/// assert!((x[0] - expect[0]).abs() < 1e-14);
+/// # Ok::<(), bright_num::NumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TridiagonalFactorization {
+    lower: Vec<f64>,
+    inv_beta: Vec<f64>,
+    c_prime: Vec<f64>,
+}
+
+impl TridiagonalFactorization {
+    /// Factors the operator given by its bands.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::DimensionMismatch`] for inconsistent band lengths,
+    /// * [`NumError::SingularMatrix`] if a pivot underflows.
+    pub fn factor(lower: &[f64], diag: &[f64], upper: &[f64]) -> Result<Self, NumError> {
+        let n = diag.len();
+        if n == 0 || lower.len() + 1 != n || upper.len() + 1 != n {
+            return Err(NumError::DimensionMismatch(format!(
+                "bands must have lengths (n-1, n, n-1) with n > 0; got ({}, {}, {})",
+                lower.len(),
+                n,
+                upper.len()
+            )));
+        }
+        let mut inv_beta = vec![0.0; n];
+        let mut c_prime = vec![0.0; n];
+        let mut beta = diag[0];
+        if beta.abs() < f64::MIN_POSITIVE * 16.0 {
+            return Err(NumError::SingularMatrix { index: 0 });
+        }
+        inv_beta[0] = 1.0 / beta;
+        if n > 1 {
+            c_prime[0] = upper[0] * inv_beta[0];
+        }
+        for i in 1..n {
+            beta = diag[i] - lower[i - 1] * c_prime[i - 1];
+            if beta.abs() < f64::MIN_POSITIVE * 16.0 {
+                return Err(NumError::SingularMatrix { index: i });
+            }
+            inv_beta[i] = 1.0 / beta;
+            if i < n - 1 {
+                c_prime[i] = upper[i] * inv_beta[i];
+            }
+        }
+        Ok(Self {
+            lower: lower.to_vec(),
+            inv_beta,
+            c_prime,
+        })
+    }
+
+    /// Number of unknowns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inv_beta.len()
+    }
+
+    /// `true` if the factorization is empty (never true for a
+    /// successfully constructed factorization).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inv_beta.is_empty()
+    }
+
+    /// Solves in place: `x` enters holding the right-hand side and exits
+    /// holding the solution. Substitution only — no divisions and no
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `x.len() != self.len()`.
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<(), NumError> {
+        let n = self.len();
+        if x.len() != n {
+            return Err(NumError::DimensionMismatch(format!(
+                "rhs length {} != factored system size {n}",
+                x.len()
+            )));
+        }
+        x[0] *= self.inv_beta[0];
+        for i in 1..n {
+            x[i] = (x[i] - self.lower[i - 1] * x[i - 1]) * self.inv_beta[i];
+        }
+        for i in (0..n - 1).rev() {
+            let next = x[i + 1];
+            x[i] -= self.c_prime[i] * next;
+        }
+        Ok(())
+    }
+}
+
 /// Workspace-reusing Thomas solver for repeated solves of same-sized
 /// systems (the marching solver calls this once per axial station).
 ///
@@ -311,6 +426,45 @@ mod tests {
         for (a, e) in x.iter().zip(&expected) {
             assert!((a - e).abs() < 1e-13);
         }
+    }
+
+    #[test]
+    fn factorization_matches_allocating_solver() {
+        let n = 24;
+        let lower: Vec<f64> = (0..n - 1).map(|i| -(1.0 + 0.1 * i as f64)).collect();
+        let upper: Vec<f64> = (0..n - 1).map(|i| -(0.5 + 0.05 * i as f64)).collect();
+        let diag: Vec<f64> = (0..n).map(|i| 4.0 + 0.2 * i as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let sys =
+            TridiagonalSystem::from_bands(lower.clone(), diag.clone(), upper.clone()).unwrap();
+        let expected = sys.solve(&b).unwrap();
+        let fac = TridiagonalFactorization::factor(&lower, &diag, &upper).unwrap();
+        // Factor once, solve repeatedly.
+        for _ in 0..3 {
+            let mut x = b.clone();
+            fac.solve_in_place(&mut x).unwrap();
+            for (a, e) in x.iter().zip(&expected) {
+                assert!((a - e).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn factorization_validates() {
+        assert!(TridiagonalFactorization::factor(&[1.0], &[1.0], &[]).is_err());
+        assert!(TridiagonalFactorization::factor(&[], &[], &[]).is_err());
+        assert!(matches!(
+            TridiagonalFactorization::factor(&[1.0], &[0.0, 1.0], &[1.0]),
+            Err(NumError::SingularMatrix { index: 0 })
+        ));
+        let fac = TridiagonalFactorization::factor(&[], &[2.0], &[]).unwrap();
+        assert_eq!(fac.len(), 1);
+        assert!(!fac.is_empty());
+        let mut wrong = vec![1.0, 2.0];
+        assert!(fac.solve_in_place(&mut wrong).is_err());
+        let mut x = vec![10.0];
+        fac.solve_in_place(&mut x).unwrap();
+        assert_eq!(x, vec![5.0]);
     }
 
     #[test]

@@ -5,7 +5,10 @@ use proptest::prelude::*;
 use bright_num::dense::DenseMatrix;
 use bright_num::quadrature::{simpson_uniform, trapezoid_uniform};
 use bright_num::roots::{brent, RootOptions};
-use bright_num::solvers::{conjugate_gradient, sor_solve, IterOptions};
+use bright_num::solvers::{
+    bicgstab, bicgstab_with_workspace, conjugate_gradient, conjugate_gradient_with_workspace,
+    sor_solve, IterOptions, KrylovWorkspace,
+};
 use bright_num::vec_ops;
 use bright_num::TripletMatrix;
 
@@ -16,6 +19,43 @@ fn lcg(seed: u64, i: u64, salt: u64) -> f64 {
     ((x >> 33) as f64 / (1u64 << 31) as f64) - 0.5
 }
 
+/// Random SPD system: symmetric off-diagonals under a dominant diagonal.
+fn random_spd(n: usize, seed: u64) -> bright_num::CsrMatrix {
+    let mut t = TripletMatrix::new(n, n);
+    let mut diag = vec![1.0; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = lcg(seed, (i * n + j) as u64, 41) * 0.5;
+            if v.abs() > 0.1 {
+                t.push(i, j, v).unwrap();
+                t.push(j, i, v).unwrap();
+                diag[i] += v.abs();
+                diag[j] += v.abs();
+            }
+        }
+    }
+    for (i, d) in diag.iter().enumerate() {
+        t.push(i, i, d + 0.5).unwrap();
+    }
+    t.to_csr()
+}
+
+/// Random nonsymmetric diagonally dominant system (upwind-like).
+fn random_nonsymmetric(n: usize, seed: u64) -> bright_num::CsrMatrix {
+    let mut t = TripletMatrix::new(n, n);
+    for i in 0..n {
+        let peclet = 0.5 + lcg(seed, i as u64, 43).abs() * 4.0;
+        t.push(i, i, 2.0 + peclet + lcg(seed, i as u64, 47).abs()).unwrap();
+        if i > 0 {
+            t.push(i, i - 1, -1.0 - peclet).unwrap();
+        }
+        if i + 1 < n {
+            t.push(i, i + 1, -1.0).unwrap();
+        }
+    }
+    t.to_csr()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -23,6 +63,9 @@ proptest! {
     fn csr_matvec_matches_dense(n in 1usize..10, seed in 0u64..500) {
         let mut t = TripletMatrix::new(n, n);
         let mut rows = vec![vec![0.0; n]; n];
+        // i/j index both the triplets and the dense mirror; the range
+        // loop is the clear form here.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in 0..n {
                 let v = lcg(seed, (i * n + j) as u64, 7);
@@ -140,5 +183,133 @@ proptest! {
         let m = DenseMatrix::from_rows(&[&[a, b], &[c, d]]).unwrap();
         let det = m.det().unwrap();
         prop_assert!((det - (a * d - b * c)).abs() < 1e-9 * (1.0 + (a * d - b * c).abs()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cg_warm_start_matches_cold_start_on_random_spd(
+        n in 2usize..24,
+        seed in 0u64..400,
+    ) {
+        let a = random_spd(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 53)).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, jacobi_preconditioner: true };
+
+        let cold = conjugate_gradient(&a, &b, None, &opts).unwrap();
+
+        // Warm start from a perturbed nearby solution (a "previous sweep
+        // point"), solved through the workspace path.
+        let mut ws = KrylovWorkspace::new();
+        let mut x: Vec<f64> = cold.x.iter().enumerate()
+            .map(|(i, v)| v + 0.05 * lcg(seed, i as u64, 59))
+            .collect();
+        let stats = conjugate_gradient_with_workspace(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        prop_assert!(stats.relative_residual <= opts.tolerance);
+        prop_assert!(stats.iterations <= cold.iterations + 1,
+            "warm start took {} iterations vs cold {}", stats.iterations, cold.iterations);
+        let b_scale = b.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+        for (w, c) in x.iter().zip(&cold.x) {
+            prop_assert!((w - c).abs() < 1e-6 * b_scale.max(1.0), "{w} vs {c}");
+        }
+
+        // Reusing the same workspace and solution for the same system
+        // converges (nearly) immediately.
+        let stats2 = conjugate_gradient_with_workspace(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        prop_assert!(stats2.iterations <= 1);
+    }
+
+    #[test]
+    fn bicgstab_warm_start_matches_cold_start_on_random_nonsymmetric(
+        n in 4usize..64,
+        seed in 0u64..400,
+    ) {
+        let a = random_nonsymmetric(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 61)).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, jacobi_preconditioner: true };
+
+        let cold = bicgstab(&a, &b, None, &opts).unwrap();
+
+        let mut ws = KrylovWorkspace::new();
+        let mut x: Vec<f64> = cold.x.iter().enumerate()
+            .map(|(i, v)| v + 0.05 * lcg(seed, i as u64, 67))
+            .collect();
+        let stats = bicgstab_with_workspace(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        prop_assert!(stats.relative_residual <= opts.tolerance);
+        for (w, c) in x.iter().zip(&cold.x) {
+            prop_assert!((w - c).abs() < 1e-6, "{w} vs {c}");
+        }
+
+        let stats2 = bicgstab_with_workspace(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        prop_assert!(stats2.iterations <= 1);
+    }
+
+    #[test]
+    fn workspace_wrappers_are_bit_identical_when_fresh(
+        n in 2usize..20,
+        seed in 0u64..200,
+    ) {
+        // The public cold-start APIs are wrappers over the workspace
+        // variants; with a fresh workspace the iterates are the same
+        // floating-point sequence, so results agree exactly.
+        let a = random_spd(n, seed);
+        let b: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 71)).collect();
+        let opts = IterOptions::default();
+        let via_wrapper = conjugate_gradient(&a, &b, None, &opts).unwrap();
+        let mut ws = KrylovWorkspace::new();
+        let mut x = Vec::new();
+        let stats = conjugate_gradient_with_workspace(&a, &b, &mut x, &opts, &mut ws).unwrap();
+        prop_assert_eq!(via_wrapper.iterations, stats.iterations);
+        for (u, v) in via_wrapper.x.iter().zip(&x) {
+            prop_assert!(u == v, "wrapper {u} vs workspace {v}");
+        }
+    }
+
+    #[test]
+    fn refresh_values_matches_fresh_compression(
+        n in 2usize..16,
+        seed in 0u64..400,
+        scale in 0.1..10.0f64,
+    ) {
+        // Stamp the same pattern with two coefficient sets; refreshing the
+        // first matrix with the second triplet list must equal a fresh
+        // to_csr of the second list.
+        let stamp = |k: f64| {
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let v = lcg(seed, (i * n + j) as u64, 73);
+                    if v.abs() > 0.25 {
+                        t.push(i, j, v * k).unwrap();
+                        if i != j {
+                            // Duplicate stamps exercise slot accumulation.
+                            t.push(i, j, 0.5 * v * k).unwrap();
+                        }
+                    }
+                }
+            }
+            t
+        };
+        let base = stamp(1.0);
+        let sym = base.to_csr_symbolic();
+        let mut m = sym.numeric(&base).unwrap();
+        prop_assert_eq!(&m, &base.to_csr());
+
+        let restamped = stamp(scale);
+        sym.refresh_values(&mut m, &restamped).unwrap();
+        let fresh = restamped.to_csr();
+        prop_assert_eq!(m.nnz(), fresh.nnz());
+        for i in 0..n {
+            for j in 0..n {
+                let a = m.get(i, j);
+                let b = fresh.get(i, j);
+                prop_assert!((a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0),
+                    "({i},{j}): {a} vs {b}");
+            }
+        }
     }
 }

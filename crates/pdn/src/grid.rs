@@ -10,11 +10,38 @@
 use crate::ports::PortLayout;
 use crate::PdnError;
 use bright_mesh::{Field2d, Grid2d};
-use bright_num::solvers::{conjugate_gradient, IterOptions};
-use bright_num::TripletMatrix;
+use bright_num::solvers::{conjugate_gradient_with_workspace, IterOptions, KrylovWorkspace};
+use bright_num::{CsrMatrix, TripletMatrix};
 use bright_units::{Ampere, Volt, Watt};
 
+/// Reusable per-solve state for PDN sweeps: Krylov scratch plus the
+/// previous voltage map, used to warm-start the next solve (IR-drop maps
+/// change little between neighbouring sweep points).
+#[derive(Debug, Clone, Default)]
+pub struct PdnWorkspace {
+    krylov: KrylovWorkspace,
+    /// Warm start in, solution out.
+    x: Vec<f64>,
+}
+
+impl PdnWorkspace {
+    /// Creates an empty workspace (buffers grow on first solve).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the warm start so the next solve is cold.
+    pub fn reset_warm_start(&mut self) {
+        self.x.clear();
+    }
+}
+
 /// A configured power grid ready to solve.
+///
+/// The conductance system is assembled once at construction (the matrix
+/// depends only on the grid, sheet resistance and ports); repeated solves
+/// and power-map updates reuse it.
 #[derive(Debug, Clone)]
 pub struct PowerGrid {
     grid: Grid2d,
@@ -23,6 +50,8 @@ pub struct PowerGrid {
     port_resistance: f64,
     port_cells: Vec<(usize, usize)>,
     sink_current: Field2d,
+    system: CsrMatrix,
+    rhs: Vec<f64>,
 }
 
 /// The solved voltage distribution.
@@ -98,14 +127,124 @@ impl PowerGrid {
                 .collect(),
         )
         .expect("same grid");
-        Ok(Self {
+        let mut pg = Self {
             grid,
             sheet_resistance,
             supply,
             port_resistance,
             port_cells,
             sink_current,
-        })
+            system: CsrMatrix::empty(),
+            rhs: Vec::new(),
+        };
+        pg.assemble()?;
+        Ok(pg)
+    }
+
+    /// Assembles the conductance matrix and RHS. Called once from
+    /// [`PowerGrid::new`]; [`PowerGrid::set_power_density`] refreshes the
+    /// RHS only (the matrix is load-independent).
+    fn assemble(&mut self) -> Result<(), PdnError> {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let n = self.grid.len();
+        // Square-sheet link conductance: horizontal neighbours span one
+        // square of aspect dy/dx, vertical dx/dy.
+        let g_x = self.grid.dy() / (self.sheet_resistance * self.grid.dx());
+        let g_y = self.grid.dx() / (self.sheet_resistance * self.grid.dy());
+        // Exact stamp count: 4 entries per interior link + one diagonal
+        // push per port.
+        let cap = 4 * ((nx - 1) * ny + nx * (ny - 1)) + self.port_cells.len();
+        let mut t = TripletMatrix::with_capacity(n, n, cap);
+
+        let idx = |ix: usize, iy: usize| iy * nx + ix;
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let me = idx(ix, iy);
+                if ix + 1 < nx {
+                    t.stamp_conductance(me, idx(ix + 1, iy), g_x)
+                        .map_err(PdnError::from)?;
+                }
+                if iy + 1 < ny {
+                    t.stamp_conductance(me, idx(ix, iy + 1), g_y)
+                        .map_err(PdnError::from)?;
+                }
+            }
+        }
+        let g_port = self.port_conductance();
+        for &(ix, iy) in &self.port_cells {
+            let me = idx(ix, iy);
+            t.push(me, me, g_port).map_err(PdnError::from)?;
+        }
+        self.system = t.to_csr();
+        self.rebuild_rhs();
+        Ok(())
+    }
+
+    fn port_conductance(&self) -> f64 {
+        if self.port_resistance > 0.0 {
+            1.0 / self.port_resistance
+        } else {
+            // An ideal port: huge but finite conductance keeps the system
+            // well-conditioned.
+            1e9
+        }
+    }
+
+    fn rebuild_rhs(&mut self) {
+        let nx = self.grid.nx();
+        let n = self.grid.len();
+        self.rhs.clear();
+        self.rhs.resize(n, 0.0);
+        for (r, s) in self.rhs.iter_mut().zip(self.sink_current.as_slice()) {
+            *r = -s;
+        }
+        let g_port = self.port_conductance();
+        for &(ix, iy) in &self.port_cells {
+            self.rhs[iy * nx + ix] += g_port * self.supply.value();
+        }
+    }
+
+    /// Swaps in a new power-density map (W/m² on the same grid) without
+    /// re-assembling the conductance matrix — the amortized path for
+    /// load sweeps and ablations.
+    ///
+    /// # Errors
+    ///
+    /// [`PdnError::GridMismatch`] / [`PdnError::InvalidConfig`] on bad
+    /// maps, as in [`PowerGrid::new`].
+    pub fn set_power_density(&mut self, power_density: &Field2d) -> Result<(), PdnError> {
+        if power_density.grid() != &self.grid {
+            return Err(PdnError::GridMismatch(format!(
+                "power map {}x{} vs grid {}x{}",
+                power_density.grid().nx(),
+                power_density.grid().ny(),
+                self.grid.nx(),
+                self.grid.ny()
+            )));
+        }
+        if power_density
+            .as_slice()
+            .iter()
+            .any(|p| *p < 0.0 || !p.is_finite())
+        {
+            return Err(PdnError::InvalidConfig(
+                "power density must be non-negative and finite".into(),
+            ));
+        }
+        let cell_area = self.grid.cell_area();
+        let supply = self.supply.value();
+        self.sink_current = Field2d::from_vec(
+            self.grid.clone(),
+            power_density
+                .as_slice()
+                .iter()
+                .map(|p| p * cell_area / supply)
+                .collect(),
+        )
+        .expect("same grid");
+        self.rebuild_rhs();
+        Ok(())
     }
 
     /// The simulation grid.
@@ -131,58 +270,43 @@ impl PowerGrid {
     ///
     /// Returns [`PdnError::Numerical`] if CG fails.
     pub fn solve(&self) -> Result<PdnSolution, PdnError> {
-        let nx = self.grid.nx();
-        let ny = self.grid.ny();
+        let mut ws = PdnWorkspace::new();
+        self.solve_warm(&mut ws)
+    }
+
+    /// As [`PowerGrid::solve`], but reusing a caller-owned workspace: the
+    /// Krylov scratch is reused across solves and the solve warm-starts
+    /// from the previous voltage map held in `ws` — the fast path when
+    /// sweeping loads via [`PowerGrid::set_power_density`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PowerGrid::solve`].
+    pub fn solve_warm(&self, ws: &mut PdnWorkspace) -> Result<PdnSolution, PdnError> {
         let n = self.grid.len();
-        // Square-sheet link conductance: horizontal neighbours span one
-        // square of aspect dy/dx, vertical dx/dy.
-        let g_x = self.grid.dy() / (self.sheet_resistance * self.grid.dx());
-        let g_y = self.grid.dx() / (self.sheet_resistance * self.grid.dy());
-        let mut t = TripletMatrix::with_capacity(n, n, 6 * n);
-        let mut rhs = vec![0.0; n];
-
-        let idx = |ix: usize, iy: usize| iy * nx + ix;
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let me = idx(ix, iy);
-                if ix + 1 < nx {
-                    t.stamp_conductance(me, idx(ix + 1, iy), g_x)
-                        .map_err(PdnError::from)?;
-                }
-                if iy + 1 < ny {
-                    t.stamp_conductance(me, idx(ix, iy + 1), g_y)
-                        .map_err(PdnError::from)?;
-                }
-                rhs[me] -= self.sink_current.get(ix, iy);
-            }
+        if ws.x.len() != n {
+            // No previous solution: start from the flat supply voltage,
+            // matching the cold-start path.
+            ws.x.clear();
+            ws.x.resize(n, self.supply.value());
         }
-        let g_port = if self.port_resistance > 0.0 {
-            1.0 / self.port_resistance
-        } else {
-            // An ideal port: huge but finite conductance keeps the system
-            // well-conditioned.
-            1e9
-        };
-        for &(ix, iy) in &self.port_cells {
-            let me = idx(ix, iy);
-            t.push(me, me, g_port).map_err(PdnError::from)?;
-            rhs[me] += g_port * self.supply.value();
-        }
-
-        let a = t.to_csr();
-        let guess = vec![self.supply.value(); n];
-        let sol = conjugate_gradient(
-            &a,
-            &rhs,
-            Some(&guess),
+        if let Err(e) = conjugate_gradient_with_workspace(
+            &self.system,
+            &self.rhs,
+            &mut ws.x,
             &IterOptions {
                 tolerance: 1e-11,
                 max_iterations: 50_000,
                 jacobi_preconditioner: true,
             },
-        )
-        .map_err(PdnError::from)?;
-        let voltage = Field2d::from_vec(self.grid.clone(), sol.x).expect("sized from grid");
+            &mut ws.krylov,
+        ) {
+            // A failed iterate must not become the next point's warm
+            // start; drop it so the following solve cold-starts.
+            ws.reset_warm_start();
+            return Err(PdnError::from(e));
+        }
+        let voltage = Field2d::from_vec(self.grid.clone(), ws.x.clone()).expect("sized from grid");
         Ok(PdnSolution {
             voltage,
             supply: self.supply,
@@ -382,6 +506,50 @@ mod tests {
         let right = sol.mean_voltage_where(|x, _| x >= 5e-3).unwrap();
         assert!(left.value() < right.value());
         assert!(sol.mean_voltage_where(|_, _| false).is_none());
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_and_power_updates_apply() {
+        let grid = small_grid();
+        let light = Field2d::constant(grid.clone(), 5e3);
+        let heavy = Field2d::constant(grid.clone(), 3e4);
+        let ports = PortLayout::UniformArray { pitch: 3e-3 };
+        let mut pg = PowerGrid::new(grid.clone(), 0.05, Volt::new(1.0), 0.01, &ports, &light)
+            .unwrap();
+
+        let cold = pg.solve().unwrap();
+        let mut ws = PdnWorkspace::new();
+        let warm_first = pg.solve_warm(&mut ws).unwrap();
+        for (a, b) in cold
+            .voltage_map()
+            .as_slice()
+            .iter()
+            .zip(warm_first.voltage_map().as_slice())
+        {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+
+        // Swap the load without re-assembling; the warm-started result
+        // must match a freshly built grid at the new load.
+        pg.set_power_density(&heavy).unwrap();
+        let warm = pg.solve_warm(&mut ws).unwrap();
+        let fresh = PowerGrid::new(grid.clone(), 0.05, Volt::new(1.0), 0.01, &ports, &heavy)
+            .unwrap()
+            .solve()
+            .unwrap();
+        for (a, b) in warm
+            .voltage_map()
+            .as_slice()
+            .iter()
+            .zip(fresh.voltage_map().as_slice())
+        {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        // The update validates its input.
+        let wrong = Field2d::zeros(Grid2d::new(5, 5, 1e-3, 1e-3).unwrap());
+        assert!(pg.set_power_density(&wrong).is_err());
+        let neg = Field2d::constant(grid, -1.0);
+        assert!(pg.set_power_density(&neg).is_err());
     }
 
     #[test]

@@ -8,10 +8,9 @@
 
 use crate::PdnError;
 use bright_units::{Ampere, SquareMeters};
-use serde::{Deserialize, Serialize};
 
 /// A package bump (C4) budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PinBudget {
     /// Total bumps available on the die footprint.
     pub total: usize,
@@ -22,7 +21,7 @@ pub struct PinBudget {
 }
 
 /// Parameters of the pin-budget model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PinModel {
     /// C4 bump pitch (m); ~200 µm for the paper's era.
     pub bump_pitch: f64,
@@ -73,7 +72,7 @@ impl PinModel {
     /// As [`PinModel::validate`].
     pub fn total_bumps(&self, die_area: SquareMeters) -> Result<usize, PdnError> {
         self.validate()?;
-        if !(die_area.value() > 0.0) {
+        if !die_area.is_finite() || die_area.value() <= 0.0 {
             return Err(PdnError::InvalidConfig(format!(
                 "die area must be positive, got {die_area}"
             )));
@@ -195,8 +194,10 @@ mod tests {
         assert!(m.with_fluidic_delivery(die(), Ampere::new(10.0), 1.5).is_err());
         assert!(m.conventional(die(), Ampere::new(-1.0)).is_err());
         assert!(m.conventional(SquareMeters::new(0.0), Ampere::new(1.0)).is_err());
-        let mut bad = PinModel::default();
-        bad.bump_pitch = 0.0;
+        let bad = PinModel {
+            bump_pitch: 0.0,
+            ..PinModel::default()
+        };
         assert!(bad.validate().is_err());
         // Power demand beyond the package's bump count.
         let tiny = PinModel {

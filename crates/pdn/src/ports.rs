@@ -2,10 +2,9 @@
 
 use crate::PdnError;
 use bright_mesh::Grid2d;
-use serde::{Deserialize, Serialize};
 
 /// Where TSV/VRM supply ports connect to the on-chip grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum PortLayout {
     /// A uniform array of ports at the given pitch (m) across the whole
     /// die — the microfluidic concept, where every channel segment can

@@ -8,10 +8,9 @@
 
 use crate::PdnError;
 use bright_units::{Ampere, Volt, Watt};
-use serde::{Deserialize, Serialize};
 
 /// A DC-DC converter between the flow-cell array and the chip rail.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Vrm {
     /// Lossless conversion to the rail voltage (upper-bound analysis).
     Ideal {

@@ -1,10 +1,9 @@
 //! Thermal material library.
 
 use bright_units::{JoulePerCubicMeterKelvin, WattPerMeterKelvin};
-use serde::{Deserialize, Serialize};
 
 /// A solid material's thermal properties.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Material {
     /// Thermal conductivity (W/(m·K)).
     pub conductivity: WattPerMeterKelvin,

@@ -5,9 +5,10 @@ use crate::ThermalError;
 use bright_flow::laminar::heat_transfer_coefficient;
 use bright_flow::RectChannel;
 use bright_mesh::{Field2d, Grid2d};
-use bright_num::solvers::{bicgstab, IterOptions};
+use bright_num::solvers::{bicgstab_with_workspace, IterOptions, KrylovWorkspace};
 use bright_num::TripletMatrix;
 use bright_units::{Kelvin, Meters, Watt};
+use std::sync::OnceLock;
 
 /// One vertical level of the flattened stack.
 #[derive(Debug, Clone)]
@@ -29,12 +30,53 @@ enum Level {
     },
 }
 
+/// The assembled conductance operator and its source-independent RHS —
+/// both are functions of the stack geometry only, so they are built once
+/// per model and shared by every solve (steady sweeps, transients).
+#[derive(Debug, Clone)]
+pub(crate) struct ThermalOperator {
+    pub(crate) matrix: bright_num::CsrMatrix,
+    /// Inlet forcing and top-cooling ambient terms (power-independent).
+    pub(crate) rhs_base: Vec<f64>,
+}
+
+/// Reusable per-solve state for steady thermal sweeps.
+///
+/// Holds the Krylov scratch vectors, the RHS buffer, and the previous
+/// solution used as the warm start of the next solve. One workspace per
+/// sweep (or per worker thread) amortizes every allocation and lets each
+/// sweep point start from the last point's temperature field.
+#[derive(Debug, Clone, Default)]
+pub struct ThermalWorkspace {
+    krylov: KrylovWorkspace,
+    /// Warm start in, solution out.
+    x: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+impl ThermalWorkspace {
+    /// Creates an empty workspace (buffers grow on first solve).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the warm start so the next solve is cold (used when the
+    /// next sweep point is unrelated to the previous one).
+    pub fn reset_warm_start(&mut self) {
+        self.x.clear();
+    }
+}
+
 /// The assembled compact thermal model.
 #[derive(Debug, Clone)]
 pub struct ThermalModel {
     config: StackConfig,
     levels: Vec<Level>,
     grid: Grid2d,
+    /// Lazily built, then shared by all solves on this model (clones
+    /// carry the cache along).
+    operator: OnceLock<ThermalOperator>,
 }
 
 /// A solved temperature field.
@@ -154,6 +196,7 @@ impl ThermalModel {
             config,
             levels,
             grid,
+            operator: OnceLock::new(),
         })
     }
 
@@ -202,42 +245,56 @@ impl ThermalModel {
         level * self.grid.len() + iy * self.grid.nx() + ix
     }
 
-    /// Assembles the steady conductance system `G·T = P` and the RHS for
-    /// power maps injected at the given levels.
-    #[allow(clippy::type_complexity)]
-    fn assemble(
-        &self,
-        sources: &[(usize, &Field2d)],
-    ) -> Result<(bright_num::CsrMatrix, Vec<f64>), ThermalError> {
-        for (level, power) in sources {
-            if power.grid() != &self.grid {
-                return Err(ThermalError::PowerMapMismatch(format!(
-                    "power grid {}x{} != model grid {}x{}",
-                    power.grid().nx(),
-                    power.grid().ny(),
-                    self.grid.nx(),
-                    self.grid.ny()
-                )));
-            }
-            if *level >= self.levels.len() {
-                return Err(ThermalError::PowerMapMismatch(format!(
-                    "injection level {level} outside the {}-level stack",
-                    self.levels.len()
-                )));
-            }
-            if matches!(self.levels[*level], Level::Fluid { .. }) {
-                return Err(ThermalError::PowerMapMismatch(format!(
-                    "injection level {level} is a fluid layer"
-                )));
+    /// Exact stamp count of [`ThermalModel::assemble_operator`], so the
+    /// triplet buffer is sized once with no growth reallocation in the
+    /// assembly loops.
+    fn operator_stamp_count(&self) -> usize {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let cells = self.grid.len();
+        let n_levels = self.levels.len();
+        let mut count = 0usize;
+        for (lvl, level) in self.levels.iter().enumerate() {
+            match level {
+                Level::Solid { .. } => {
+                    // In-plane conductance stamps: 4 entries each.
+                    count += 4 * ((nx - 1) * ny + nx * (ny - 1));
+                }
+                Level::Fluid { g_wall, .. } => {
+                    // Advection: diagonal everywhere + upwind neighbour
+                    // away from the inlet row.
+                    count += cells + nx * (ny - 1);
+                    if *g_wall > 0.0 && lvl > 0 && lvl + 1 < n_levels {
+                        count += 4 * cells;
+                    }
+                }
             }
         }
+        // Vertical coupling between adjacent levels.
+        count += 4 * cells * n_levels.saturating_sub(1);
+        if self.config.top_cooling.is_some() && matches!(self.levels[n_levels - 1], Level::Solid { .. })
+        {
+            count += cells;
+        }
+        count
+    }
+
+    /// The cached conductance operator, assembled on first use.
+    pub(crate) fn operator(&self) -> Result<&ThermalOperator, ThermalError> {
+        bright_num::lazy::get_or_try_init(&self.operator, || self.assemble_operator())
+    }
+
+    /// Assembles the steady conductance matrix `G` and the
+    /// power-independent part of the RHS (inlet forcing, top-cooling
+    /// ambient). Called once per model; every solve reuses the result.
+    fn assemble_operator(&self) -> Result<ThermalOperator, ThermalError> {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
         let dx = self.grid.dx();
         let dy = self.grid.dy();
         let n_levels = self.levels.len();
         let n = n_levels * self.grid.len();
-        let mut t = TripletMatrix::with_capacity(n, n, 8 * n);
+        let mut t = TripletMatrix::with_capacity(n, n, self.operator_stamp_count());
         let mut rhs = vec![0.0; n];
 
         // In-plane conduction within solid levels.
@@ -393,16 +450,52 @@ impl ThermalModel {
             }
         }
 
-        // Power injection at the active levels.
+        let matrix = t.to_csr();
+        Ok(ThermalOperator {
+            matrix,
+            rhs_base: rhs,
+        })
+    }
+
+    fn validate_sources(&self, sources: &[(usize, &Field2d)]) -> Result<(), ThermalError> {
         for (level, power) in sources {
-            for iy in 0..ny {
-                for ix in 0..nx {
-                    rhs[self.cell_index(*level, ix, iy)] += power.get(ix, iy) * area;
-                }
+            if power.grid() != &self.grid {
+                return Err(ThermalError::PowerMapMismatch(format!(
+                    "power grid {}x{} != model grid {}x{}",
+                    power.grid().nx(),
+                    power.grid().ny(),
+                    self.grid.nx(),
+                    self.grid.ny()
+                )));
+            }
+            if *level >= self.levels.len() {
+                return Err(ThermalError::PowerMapMismatch(format!(
+                    "injection level {level} outside the {}-level stack",
+                    self.levels.len()
+                )));
+            }
+            if matches!(self.levels[*level], Level::Fluid { .. }) {
+                return Err(ThermalError::PowerMapMismatch(format!(
+                    "injection level {level} is a fluid layer"
+                )));
             }
         }
+        Ok(())
+    }
 
-        Ok((t.to_csr(), rhs))
+    /// Fills `rhs` with the base RHS plus the power injection of the
+    /// (already validated) sources.
+    fn build_rhs(&self, rhs_base: &[f64], sources: &[(usize, &Field2d)], rhs: &mut Vec<f64>) {
+        rhs.clear();
+        rhs.extend_from_slice(rhs_base);
+        let area = self.grid.dx() * self.grid.dy();
+        let cells = self.grid.len();
+        for (level, power) in sources {
+            let dst = &mut rhs[level * cells..(level + 1) * cells];
+            for (d, p) in dst.iter_mut().zip(power.as_slice()) {
+                *d += p * area;
+            }
+        }
     }
 
     /// Solves the steady-state temperature field for a power-density map
@@ -414,6 +507,23 @@ impl ThermalModel {
     /// * [`ThermalError::Numerical`] if BiCGSTAB fails.
     pub fn solve_steady(&self, power: &Field2d) -> Result<ThermalSolution, ThermalError> {
         self.solve_steady_with_sources(&[(0, power)])
+    }
+
+    /// As [`ThermalModel::solve_steady`], but reusing a caller-owned
+    /// workspace: the operator stays cached on the model, the Krylov
+    /// scratch is reused, and the solve warm-starts from the previous
+    /// solution held in `ws` — the fast path for sweeps where the power
+    /// map changes gradually between points.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::solve_steady`].
+    pub fn solve_steady_warm(
+        &self,
+        power: &Field2d,
+        ws: &mut ThermalWorkspace,
+    ) -> Result<ThermalSolution, ThermalError> {
+        self.solve_steady_with_sources_warm(&[(0, power)], ws)
     }
 
     /// Solves the steady state with power maps injected at arbitrary
@@ -429,21 +539,49 @@ impl ThermalModel {
         &self,
         sources: &[(usize, &Field2d)],
     ) -> Result<ThermalSolution, ThermalError> {
-        let (a, rhs) = self.assemble(sources)?;
-        let inlet = self.inlet_temperature();
-        let guess = vec![inlet.value(); rhs.len()];
-        let sol = bicgstab(
-            &a,
-            &rhs,
-            Some(&guess),
+        let mut ws = ThermalWorkspace::new();
+        self.solve_steady_with_sources_warm(sources, &mut ws)
+    }
+
+    /// Workspace/warm-start variant of
+    /// [`ThermalModel::solve_steady_with_sources`]; see
+    /// [`ThermalModel::solve_steady_warm`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::solve_steady_with_sources`].
+    pub fn solve_steady_with_sources_warm(
+        &self,
+        sources: &[(usize, &Field2d)],
+        ws: &mut ThermalWorkspace,
+    ) -> Result<ThermalSolution, ThermalError> {
+        self.validate_sources(sources)?;
+        let op = self.operator()?;
+        let n = op.rhs_base.len();
+        self.build_rhs(&op.rhs_base, sources, &mut ws.rhs);
+        if ws.x.len() != n {
+            // No previous solution of this size: start from a uniform
+            // inlet-temperature field, matching the cold-start path.
+            ws.x.clear();
+            ws.x.resize(n, self.inlet_temperature().value());
+        }
+        if let Err(e) = bicgstab_with_workspace(
+            &op.matrix,
+            &ws.rhs,
+            &mut ws.x,
             &IterOptions {
                 tolerance: 1e-10,
                 max_iterations: 60_000,
                 jacobi_preconditioner: true,
             },
-        )
-        .map_err(ThermalError::from)?;
-        self.wrap_solution(sol.x)
+            &mut ws.krylov,
+        ) {
+            // A failed iterate must not become the next point's warm
+            // start; drop it so the following solve cold-starts.
+            ws.reset_warm_start();
+            return Err(ThermalError::from(e));
+        }
+        self.wrap_solution(ws.x.clone())
     }
 
     /// The coolant reference temperature: the inlet of the first
@@ -503,7 +641,12 @@ impl ThermalModel {
         &self,
         power: &Field2d,
     ) -> Result<(bright_num::CsrMatrix, Vec<f64>), ThermalError> {
-        self.assemble(&[(0, power)])
+        let sources: &[(usize, &Field2d)] = &[(0, power)];
+        self.validate_sources(sources)?;
+        let op = self.operator()?;
+        let mut rhs = Vec::with_capacity(op.rhs_base.len());
+        self.build_rhs(&op.rhs_base, sources, &mut rhs);
+        Ok((op.matrix.clone(), rhs))
     }
 }
 

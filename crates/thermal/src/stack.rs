@@ -3,14 +3,13 @@
 use crate::{Material, ThermalError};
 use bright_flow::FluidProperties;
 use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
-use serde::{Deserialize, Serialize};
 
 /// A microchannel cooling layer: parallel channels etched across the die,
 /// `channels_per_cell` channels per grid column (x index), flowing along
 /// +y. Lumping several physical channels into one grid column
 /// (`channels_per_cell > 1`) trades in-plane resolution for speed while
 /// keeping the per-area convective physics identical.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicrochannelSpec {
     /// Channel width (x extent of one fluid slot) in metres.
     pub channel_width: Meters,
@@ -29,7 +28,7 @@ pub struct MicrochannelSpec {
 }
 
 /// One layer of the stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LayerSpec {
     /// A solid layer, vertically subdivided into `sublayers` cells.
     Solid {
@@ -70,7 +69,7 @@ impl LayerSpec {
 
 /// Convective cooling applied to the top face of the stack — the
 /// *conventional* heat-sink baseline the paper's approach replaces.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopCooling {
     /// Effective heat-transfer coefficient of the sink referred to the
     /// die footprint (W/(m²·K)); ~20–50 for natural convection, 500–2000
@@ -98,7 +97,7 @@ impl TopCooling {
 /// direction. Power is injected at the bottom level (the active silicon
 /// of a flip-chip die with channels etched on top, Fig. 1/Fig. 5 of the
 /// paper).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackConfig {
     /// Die width (x, across channels) in metres.
     pub width: Meters,
@@ -113,7 +112,6 @@ pub struct StackConfig {
     /// Optional convective boundary on the top face (conventional
     /// heat-sink baseline). Stacks need either this or at least one
     /// microchannel layer to carry heat away.
-    #[serde(default)]
     pub top_cooling: Option<TopCooling>,
 }
 
@@ -182,13 +180,13 @@ impl StackConfig {
                             spec.channels_per_cell, spec.channel_width
                         )));
                     }
-                    if !(spec.channel_height.value() > 0.0) {
+                    if !spec.channel_height.is_finite() || spec.channel_height.value() <= 0.0 {
                         return Err(ThermalError::InvalidConfig(format!(
                             "layer {i} '{name}': bad channel height {}",
                             spec.channel_height
                         )));
                     }
-                    if !(spec.total_flow.value() > 0.0) {
+                    if !spec.total_flow.is_finite() || spec.total_flow.value() <= 0.0 {
                         return Err(ThermalError::InvalidConfig(format!(
                             "layer {i} '{name}': bad flow {}",
                             spec.total_flow

@@ -8,7 +8,7 @@
 use crate::model::{ThermalModel, ThermalSolution};
 use crate::ThermalError;
 use bright_mesh::Field2d;
-use bright_num::solvers::{bicgstab, IterOptions};
+use bright_num::solvers::{bicgstab_with_workspace, IterOptions, KrylovWorkspace};
 use bright_num::{CsrMatrix, TripletMatrix};
 
 /// A transient thermal simulation with a fixed power map and time step.
@@ -21,6 +21,14 @@ pub struct TransientSimulation {
     temperatures: Vec<f64>,
     time: f64,
     dt: f64,
+    /// Krylov scratch reused by every step; the step solve warm-starts
+    /// from the current temperature field.
+    workspace: KrylovWorkspace,
+    rhs: Vec<f64>,
+    /// Solve buffer: the iterate lands here and is committed to
+    /// `temperatures` only on success, so a failed step leaves the
+    /// simulation state untouched.
+    solution: Vec<f64>,
 }
 
 impl TransientSimulation {
@@ -58,12 +66,11 @@ impl TransientSimulation {
         }
         // System matrix: G + C/dt on the diagonal.
         let mut t = TripletMatrix::with_capacity(n, n, g.nnz() + n);
-        for i in 0..n {
+        for (i, cap) in capacity_over_dt.iter().enumerate() {
             for (j, v) in g.row(i) {
                 t.push(i, j, v).map_err(ThermalError::from)?;
             }
-            t.push(i, i, capacity_over_dt[i])
-                .map_err(ThermalError::from)?;
+            t.push(i, i, *cap).map_err(ThermalError::from)?;
         }
         Ok(Self {
             model,
@@ -73,6 +80,9 @@ impl TransientSimulation {
             temperatures: vec![initial_temperature; n],
             time: 0.0,
             dt,
+            workspace: KrylovWorkspace::new(),
+            rhs: vec![0.0; n],
+            solution: Vec::new(),
         })
     }
 
@@ -95,22 +105,28 @@ impl TransientSimulation {
     /// Returns [`ThermalError::Numerical`] if the solve fails.
     pub fn step(&mut self) -> Result<f64, ThermalError> {
         let n = self.temperatures.len();
-        let mut rhs = self.rhs_steady.clone();
+        self.rhs.clear();
+        self.rhs.extend_from_slice(&self.rhs_steady);
         for i in 0..n {
-            rhs[i] += self.capacity_over_dt[i] * self.temperatures[i];
+            self.rhs[i] += self.capacity_over_dt[i] * self.temperatures[i];
         }
-        let sol = bicgstab(
+        // Warm-start from the current field, but iterate in a separate
+        // buffer: a failed solve must not corrupt `temperatures`.
+        self.solution.clear();
+        self.solution.extend_from_slice(&self.temperatures);
+        bicgstab_with_workspace(
             &self.system,
-            &rhs,
-            Some(&self.temperatures),
+            &self.rhs,
+            &mut self.solution,
             &IterOptions {
                 tolerance: 1e-10,
                 max_iterations: 60_000,
                 jacobi_preconditioner: true,
             },
+            &mut self.workspace,
         )
         .map_err(ThermalError::from)?;
-        self.temperatures = sol.x;
+        std::mem::swap(&mut self.temperatures, &mut self.solution);
         self.time += self.dt;
         Ok(self
             .temperatures

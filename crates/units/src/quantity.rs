@@ -6,7 +6,7 @@
 /// * `Display` with the given unit suffix
 /// * `Add`/`Sub` with itself, `Mul`/`Div` by `f64` (both orders for `Mul`),
 ///   unary `Neg`, and `Div` by itself yielding a dimensionless `f64`
-/// * `From<f64>` and `serde` impls via the inner value.
+/// * `From<f64>` via the inner value.
 ///
 /// The macro is internal to `bright-units`; downstream crates interact with
 /// the generated inherent methods and operator impls only.
@@ -148,16 +148,5 @@ macro_rules! quantity_impl {
             }
         }
 
-        impl serde::Serialize for $name {
-            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-                s.serialize_f64(self.0)
-            }
-        }
-
-        impl<'de> serde::Deserialize<'de> for $name {
-            fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-                f64::deserialize(d).map(Self)
-            }
-        }
     };
 }
