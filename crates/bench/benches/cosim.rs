@@ -8,7 +8,7 @@ use bright_core::{CoSimulation, Scenario};
 fn bench_cosim(c: &mut Criterion) {
     let mut group = c.benchmark_group("cosim");
     group.sample_size(10);
-    let sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
+    let mut sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
     group.bench_function("power7_reduced_full_run", |b| {
         b.iter(|| sim.run().unwrap());
     });

@@ -16,9 +16,9 @@ fn bench_fig8(c: &mut Criterion) {
         b.iter(|| black_box(&grid).solve().unwrap());
     });
     // The sweep path: pre-assembled system + warm-started CG.
-    let mut ws = bright_pdn::PdnWorkspace::new();
+    let mut session = grid.session();
     group.bench_function("fig8_cache_rail_106x85_warm", |b| {
-        b.iter(|| black_box(&grid).solve_warm(&mut ws).unwrap());
+        b.iter(|| black_box(&grid).solve_warm(&mut session).unwrap());
     });
     group.finish();
 }

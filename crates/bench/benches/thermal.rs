@@ -18,9 +18,9 @@ fn bench_steady(c: &mut Criterion) {
         b.iter(|| model.solve_steady(black_box(&power)).unwrap());
     });
     // The sweep path: cached operator + Krylov workspace + warm start.
-    let mut ws = bright_thermal::ThermalWorkspace::new();
+    let mut session = model.session().unwrap();
     group.bench_function("power7_88x44_full_load_warm", |b| {
-        b.iter(|| model.solve_steady_warm(black_box(&power), &mut ws).unwrap());
+        b.iter(|| model.solve_steady_warm(black_box(&power), &mut session).unwrap());
     });
     group.finish();
 }

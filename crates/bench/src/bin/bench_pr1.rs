@@ -25,8 +25,8 @@
 
 use bright_floorplan::{power7, PowerScenario};
 use bright_jsonio::Value;
-use bright_pdn::{PdnWorkspace, PowerGrid};
-use bright_thermal::{ThermalModel, ThermalWorkspace};
+use bright_pdn::PowerGrid;
+use bright_thermal::ThermalModel;
 use bright_units::Volt;
 use std::hint::black_box;
 use std::time::Instant;
@@ -132,9 +132,9 @@ fn bench_thermal(reps: usize, solves_per_rep: usize) -> BenchRow {
     });
 
     let optimized_s = time(reps, || {
-        let mut ws = ThermalWorkspace::new();
+        let mut session = model.session().expect("assembled operator");
         for _ in 0..solves_per_rep {
-            black_box(model.solve_steady_warm(&power, &mut ws).expect("steady solve"));
+            black_box(model.solve_steady_warm(&power, &mut session).expect("steady solve"));
         }
     });
     BenchRow {
@@ -182,9 +182,9 @@ fn bench_pdn(reps: usize, solves_per_rep: usize) -> BenchRow {
 
     let pg = make();
     let optimized_s = time(reps, || {
-        let mut ws = PdnWorkspace::new();
+        let mut session = pg.session();
         for _ in 0..solves_per_rep {
-            black_box(pg.solve_warm(&mut ws).expect("pdn solve"));
+            black_box(pg.solve_warm(&mut session).expect("pdn solve"));
         }
     });
     BenchRow {
@@ -199,10 +199,10 @@ fn bench_pdn(reps: usize, solves_per_rep: usize) -> BenchRow {
 fn bench_cosim(reps: usize) -> BenchRow {
     use bright_core::{CoSimulation, Scenario};
     let baseline_s = time(reps, || {
-        let sim = CoSimulation::new(Scenario::power7_reduced()).expect("valid scenario");
+        let mut sim = CoSimulation::new(Scenario::power7_reduced()).expect("valid scenario");
         black_box(sim.run().expect("cosim run"));
     });
-    let sim = CoSimulation::new(Scenario::power7_reduced()).expect("valid scenario");
+    let mut sim = CoSimulation::new(Scenario::power7_reduced()).expect("valid scenario");
     let optimized_s = time(reps, || {
         black_box(sim.run().expect("cosim run"));
     });

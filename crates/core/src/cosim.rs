@@ -1,7 +1,7 @@
 //! The coupled electro-thermal-electrical solve.
 
 use crate::reports::{CoSimReport, OperatingPoint};
-use crate::scenario::Scenario;
+use crate::scenario::{PdnParams, Scenario};
 use crate::CoreError;
 use bright_flow::array::ChannelArray;
 use bright_flow::fluid::TemperatureDependentFluid;
@@ -10,23 +10,57 @@ use bright_flowcell::options::TemperatureProfile;
 use bright_flowcell::{CellArray, CellGeometry, CellModel};
 use bright_flow::RectChannel;
 use bright_mesh::Grid2d;
+use bright_num::SolverSession;
 use bright_pdn::PowerGrid;
 use bright_thermal::stack::{LayerSpec, MicrochannelSpec, StackConfig};
 use bright_thermal::{Material, ThermalModel};
 use bright_units::{Meters, Volt};
 use std::sync::OnceLock;
 
+/// Cache key of the PDN conductance system: everything that shapes the
+/// operator (grid, sheet/port resistances, layout, supply). Loads change
+/// per run via `set_power_density` without invalidating it.
+#[derive(Debug, Clone, PartialEq)]
+struct PdnKey {
+    params: PdnParams,
+    supply: Volt,
+    die_width: f64,
+    die_height: f64,
+}
+
+impl PdnKey {
+    fn of(scenario: &Scenario) -> Self {
+        Self {
+            params: scenario.pdn.clone(),
+            supply: scenario.vrm.output_voltage(),
+            die_width: scenario.floorplan.width().value(),
+            die_height: scenario.floorplan.height().value(),
+        }
+    }
+}
+
 /// A configured co-simulation.
 ///
 /// The thermal model and the flow-cell template (with their assembled
 /// operators and solve contexts) are built once per `CoSimulation` and
-/// reused by every [`CoSimulation::run`] — repeated runs of one scenario
-/// (benchmark loops, server-style reuse) skip straight to the solves.
+/// reused by every [`CoSimulation::run`]; the PDN conductance system and
+/// the thermal/PDN [`SolverSession`]s (Krylov scratch, preconditioner,
+/// warm start) persist across runs too. Long-lived servers keep one
+/// engine per operator pattern and move it between operating points with
+/// [`CoSimulation::retarget`], which refreshes cached operators in place
+/// wherever the pattern allows.
 #[derive(Debug, Clone)]
 pub struct CoSimulation {
     scenario: Scenario,
     thermal: OnceLock<ThermalModel>,
     template: OnceLock<CellModel>,
+    /// Cached PDN system, keyed by everything that shapes its operator.
+    pdn: Option<(PdnKey, PowerGrid)>,
+    thermal_session: SolverSession,
+    pdn_session: SolverSession,
+    /// Scenarios this engine has served (1 after `new` + first `run`;
+    /// grows with `retarget`).
+    retargets: u64,
 }
 
 impl CoSimulation {
@@ -41,6 +75,12 @@ impl CoSimulation {
             scenario,
             thermal: OnceLock::new(),
             template: OnceLock::new(),
+            pdn: None,
+            thermal_session: SolverSession::new(ThermalModel::iter_options()),
+            pdn_session: SolverSession::new(PowerGrid::iter_options(
+                PowerGrid::default_preconditioner(),
+            )),
+            retargets: 0,
         })
     }
 
@@ -49,9 +89,22 @@ impl CoSimulation {
         &self.scenario
     }
 
+    /// Number of successful [`CoSimulation::retarget`] calls.
+    #[inline]
+    pub fn retarget_count(&self) -> u64 {
+        self.retargets
+    }
+
     /// The cached thermal model, built on first use.
     fn thermal_model(&self) -> Result<&ThermalModel, CoreError> {
         bright_num::lazy::get_or_try_init(&self.thermal, || self.build_thermal_model())
+    }
+
+    /// Number of full thermal-operator assemblies this engine has paid
+    /// for so far (0 before the first run; stays at 1 across
+    /// pattern-compatible retargets).
+    pub fn thermal_assembly_count(&self) -> usize {
+        self.thermal.get().map_or(0, ThermalModel::assembly_count)
     }
 
     fn build_thermal_model(&self) -> Result<ThermalModel, CoreError> {
@@ -116,6 +169,73 @@ impl CoSimulation {
         )?)
     }
 
+    /// True when both scenarios produce a thermal operator with the same
+    /// sparsity pattern (grid, layer structure, channel lumping) — the
+    /// condition for refreshing coefficients in place.
+    fn thermal_pattern_compatible(a: &Scenario, b: &Scenario) -> bool {
+        a.thermal_columns == b.thermal_columns
+            && a.thermal_ny == b.thermal_ny
+            && a.channel_count == b.channel_count
+            && a.floorplan == b.floorplan
+    }
+
+    /// Points this engine at a different operating point, preserving
+    /// every cache the new scenario's operator patterns allow:
+    ///
+    /// * same thermal pattern (grid/layers/lumping) → the cached thermal
+    ///   operator is **refreshed in place** (O(nnz) value re-stamp, new
+    ///   coolant property snapshot at the new inlet) instead of rebuilt;
+    /// * same PDN key → the cached conductance system is kept, only the
+    ///   load RHS changes on the next run;
+    /// * the flow-cell template is rebuilt only when flow, inlet or
+    ///   solver options change (its solve context depends on all three).
+    ///
+    /// Sessions (scratch + warm starts) always survive; warm starts
+    /// carry over, which is exactly right for sweeps moving gradually
+    /// through the design space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] for invalid scenarios; thermal
+    /// refresh errors as in [`ThermalModel::refresh_microchannels`]. On
+    /// error the engine keeps its previous scenario and caches.
+    pub fn retarget(&mut self, scenario: Scenario) -> Result<(), CoreError> {
+        scenario.validate()?;
+        if Self::thermal_pattern_compatible(&self.scenario, &scenario) {
+            let flow_changed =
+                self.scenario.total_flow.value() != scenario.total_flow.value();
+            let inlet_changed = self.scenario.inlet_temperature.value()
+                != scenario.inlet_temperature.value();
+            if (flow_changed || inlet_changed) && self.thermal.get().is_some() {
+                let fluid = TemperatureDependentFluid::vanadium_electrolyte()
+                    .at(scenario.inlet_temperature)
+                    .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+                let (flow, inlet) = (scenario.total_flow, scenario.inlet_temperature);
+                let model = self.thermal.get_mut().expect("checked above");
+                model.refresh_microchannels(|spec| {
+                    spec.fluid = fluid;
+                    spec.total_flow = flow;
+                    spec.inlet_temperature = inlet;
+                })?;
+            }
+        } else {
+            // Different pattern: drop the operator; the session rebinds
+            // (and cold-starts) on the next run.
+            self.thermal = OnceLock::new();
+        }
+        let template_reusable = self.scenario.channel_count == scenario.channel_count
+            && self.scenario.total_flow.value() == scenario.total_flow.value()
+            && self.scenario.inlet_temperature.value() == scenario.inlet_temperature.value()
+            && self.scenario.cell_options == scenario.cell_options;
+        if !template_reusable {
+            self.template = OnceLock::new();
+        }
+        // The PDN cache is validated against its key inside `run`.
+        self.scenario = scenario;
+        self.retargets += 1;
+        Ok(())
+    }
+
     /// Runs the coupled solve.
     ///
     /// # Errors
@@ -125,21 +245,27 @@ impl CoSimulation {
     /// array's capability (reported, not fatal, via
     /// [`CoSimReport::operating_point`] being `None` — the error is only
     /// returned for genuinely broken configurations).
-    pub fn run(&self) -> Result<CoSimReport, CoreError> {
+    pub fn run(&mut self) -> Result<CoSimReport, CoreError> {
+        // Ensure the cached models exist, then work through direct field
+        // borrows (the sessions need disjoint `&mut` access).
+        self.thermal_model()?;
+        self.cell_template()?;
         let s = &self.scenario;
 
-        // 1. Thermal solve under the full chip load.
-        let thermal = self.thermal_model()?;
+        // 1. Thermal solve under the full chip load, through the
+        //    persistent session (warm-started across runs/retargets).
+        let thermal = self.thermal.get().expect("built above");
         let power_map = s.thermal_load.rasterize(&s.floorplan, thermal.grid())?;
         let chip_power = power_map.integral();
-        let thermal_sol = thermal.solve_steady(&power_map)?;
+        let thermal_sol = thermal
+            .solve_steady_with_sources_warm(&[(0, &power_map)], &mut self.thermal_session)?;
 
         // 2. Per-channel temperature profiles into the electrochemistry.
         // Channels sharing a thermal column are identical, so the coupled
         // array is solved per column and scaled by the group size. The
         // template (and its cached solve context) is shared by steps 2, 3
         // and 6.
-        let template = self.cell_template()?;
+        let template = self.template.get().expect("built above");
         let group = s.channel_count / s.thermal_columns;
         let array = if s.couple_temperature {
             let profiles: Vec<TemperatureProfile> = (0..s.thermal_columns)
@@ -180,24 +306,21 @@ impl CoSimulation {
         let rail_power = s.rail_load.total_power(&s.floorplan)?;
         let operating_point = self.find_operating_point(&curve, rail_power.value())?;
 
-        // 5. Cache-rail IR-drop map at the VRM output.
-        let pdn_grid = Grid2d::from_extent(
-            s.floorplan.width().value(),
-            s.floorplan.height().value(),
-            s.pdn.nx,
-            s.pdn.ny,
-        )
-        .map_err(|e| CoreError::Pdn(e.to_string()))?;
-        let rail_map = s.rail_load.rasterize(&s.floorplan, &pdn_grid)?;
-        let pdn = PowerGrid::new(
-            pdn_grid,
-            s.pdn.sheet_resistance,
-            s.vrm.output_voltage(),
-            s.pdn.port_resistance,
-            &s.pdn.ports,
-            &rail_map,
-        )?;
-        let pdn_sol = pdn.solve()?;
+        // 5. Cache-rail IR-drop map at the VRM output, through the
+        //    cached conductance system (rebuilt only when its key
+        //    changes) and the persistent PDN session.
+        let s = &self.scenario;
+        let key = PdnKey::of(s);
+        match &mut self.pdn {
+            Some((cached_key, pdn)) if *cached_key == key => {
+                // Same conductance system: swap the load RHS only.
+                let rail_map = s.rail_load.rasterize(&s.floorplan, pdn.grid())?;
+                pdn.set_power_density(&rail_map)?;
+            }
+            cache => *cache = Some((key, Self::build_pdn(s)?)),
+        }
+        let pdn = &self.pdn.as_ref().expect("cached above").1;
+        let pdn_sol = pdn.solve_warm(&mut self.pdn_session)?;
 
         // 6. Hydraulics (reusing the step-2 template's geometry).
         let channel = *template.geometry().channel();
@@ -232,6 +355,27 @@ impl CoSimulation {
             fluid_map: thermal_sol.level_map(thermal_sol.fluid_levels()[0]).clone(),
             voltage_map: pdn_sol.voltage_map().clone(),
         })
+    }
+
+    /// Builds the PDN conductance system for the current scenario, with
+    /// the rail load already stamped into the RHS.
+    fn build_pdn(s: &Scenario) -> Result<PowerGrid, CoreError> {
+        let pdn_grid = Grid2d::from_extent(
+            s.floorplan.width().value(),
+            s.floorplan.height().value(),
+            s.pdn.nx,
+            s.pdn.ny,
+        )
+        .map_err(|e| CoreError::Pdn(e.to_string()))?;
+        let rail_map = s.rail_load.rasterize(&s.floorplan, &pdn_grid)?;
+        Ok(PowerGrid::new(
+            pdn_grid,
+            s.pdn.sheet_resistance,
+            s.vrm.output_voltage(),
+            s.pdn.port_resistance,
+            &s.pdn.ports,
+            &rail_map,
+        )?)
     }
 
     /// Finds the stable (high-voltage) intersection of the array power
@@ -367,6 +511,86 @@ mod tests {
         let r = CoSimulation::new(s).unwrap().run().unwrap();
         assert!(r.operating_point.is_none());
         assert!(r.rail_power.value() > 50.0);
+    }
+
+    #[test]
+    fn repeated_runs_reuse_caches_and_agree() {
+        let mut sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
+        let a = sim.run().unwrap();
+        let b = sim.run().unwrap();
+        assert!((a.peak_temperature.value() - b.peak_temperature.value()).abs() < 1e-6);
+        assert!((a.pdn_min_voltage.value() - b.pdn_min_voltage.value()).abs() < 1e-9);
+        assert_eq!(sim.thermal_assembly_count(), 1);
+    }
+
+    #[test]
+    fn retarget_refreshes_instead_of_rebuilding() {
+        // Sweep flow through one engine: the thermal operator must be
+        // assembled exactly once, and every report must match a cold
+        // engine at the same point.
+        let mut sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
+        sim.run().unwrap();
+        for ml_min in [400.0, 120.0, 48.0] {
+            let mut s = Scenario::power7_reduced();
+            s.total_flow =
+                bright_units::CubicMetersPerSecond::from_milliliters_per_minute(ml_min);
+            sim.retarget(s.clone()).unwrap();
+            let warm = sim.run().unwrap();
+            let cold = CoSimulation::new(s).unwrap().run().unwrap();
+            assert!(
+                (warm.peak_temperature.value() - cold.peak_temperature.value()).abs() < 1e-4,
+                "{ml_min} ml/min: warm {} vs cold {}",
+                warm.peak_temperature,
+                cold.peak_temperature
+            );
+            assert!(
+                (warm.pdn_min_voltage.value() - cold.pdn_min_voltage.value()).abs() < 1e-7
+            );
+            assert!(
+                (warm.current_at_1v.value() - cold.current_at_1v.value()).abs()
+                    < 1e-6 * cold.current_at_1v.value().abs().max(1.0)
+            );
+        }
+        assert_eq!(sim.thermal_assembly_count(), 1, "retargets must not re-assemble");
+        assert_eq!(sim.retarget_count(), 3);
+    }
+
+    #[test]
+    fn retarget_inlet_updates_fluid_snapshot() {
+        // A warm-inlet retarget must match a cold engine bitwise-closely:
+        // this fails if the coolant property snapshot is not re-evaluated
+        // at the new inlet temperature.
+        let mut sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
+        sim.run().unwrap();
+        let mut warm_inlet = Scenario::power7_reduced();
+        warm_inlet.inlet_temperature = bright_units::Kelvin::new(310.15);
+        sim.retarget(warm_inlet.clone()).unwrap();
+        let warm = sim.run().unwrap();
+        let cold = CoSimulation::new(warm_inlet).unwrap().run().unwrap();
+        assert!(
+            (warm.peak_temperature.value() - cold.peak_temperature.value()).abs() < 1e-4,
+            "warm {} vs cold {}",
+            warm.peak_temperature,
+            cold.peak_temperature
+        );
+        assert!((warm.outlet_temperature.value() - cold.outlet_temperature.value()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn retarget_to_incompatible_pattern_rebuilds() {
+        let mut sim = CoSimulation::new(Scenario::power7_reduced()).unwrap();
+        sim.run().unwrap();
+        let mut finer = Scenario::power7_reduced();
+        finer.thermal_columns = 44;
+        finer.thermal_ny = 44;
+        sim.retarget(finer.clone()).unwrap();
+        let warm = sim.run().unwrap();
+        let cold = CoSimulation::new(finer).unwrap().run().unwrap();
+        assert!(
+            (warm.peak_temperature.value() - cold.peak_temperature.value()).abs() < 1e-4
+        );
+        // New pattern: a second assembly was necessary.
+        assert_eq!(sim.thermal_assembly_count(), 1); // fresh model, its own count
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Batched scenario serving: a long-lived engine over the co-simulation.
+//!
+//! The paper's results — and the ROADMAP's production north star — are
+//! dense design-space sweeps: many [`Scenario`]s whose operators share
+//! sparsity patterns and differ only in coefficients (flow rate, inlet
+//! temperature, loads). A [`ScenarioEngine`] accepts a stream of
+//! requests, groups them by **operator pattern** (thermal grid + layer
+//! lumping, PDN grid), and serves each group through a cached
+//! [`CoSimulation`] worker that is *retargeted* between requests instead
+//! of rebuilt: thermal coefficients re-stamp through the cached pattern,
+//! the PDN system and both solver sessions persist, and warm starts
+//! carry from one operating point to the next.
+//!
+//! Batches are dispatched through the PR-1 sweep executor
+//! ([`crate::sweeps::parallel_map`]): different pattern groups run on
+//! different workers, and a single large group is split into chunks,
+//! each chunk served by a clone of the group's worker (sessions clone
+//! cheaply; preconditioners rebuild lazily). Results come back as
+//! [`ScenarioReport`]s in submission order, with per-request reuse
+//! telemetry and engine-wide [`EngineStats`].
+//!
+//! ```no_run
+//! use bright_core::engine::ScenarioEngine;
+//! use bright_core::Scenario;
+//! use bright_units::CubicMetersPerSecond;
+//!
+//! let mut engine = ScenarioEngine::new();
+//! for ml_min in [676.0, 400.0, 200.0, 100.0, 48.0] {
+//!     let mut s = Scenario::power7_nominal();
+//!     s.total_flow = CubicMetersPerSecond::from_milliliters_per_minute(ml_min);
+//!     engine.submit(s);
+//! }
+//! for report in engine.run_pending() {
+//!     let r = report.result.expect("solves converge");
+//!     println!("request {}: peak {}", report.request_id, r.peak_temperature);
+//! }
+//! // One pattern: at most one operator build per executor chunk (a
+//! // single build on single-worker hosts; a new pattern's group may be
+//! // chunked across workers on its first batch).
+//! let stats = engine.stats();
+//! assert!(stats.operators_built >= 1 && stats.operators_built + stats.operator_reuses == 5);
+//! ```
+
+use crate::cosim::CoSimulation;
+use crate::reports::CoSimReport;
+use crate::scenario::Scenario;
+use crate::sweeps::{parallel_map, sweep_workers};
+use crate::CoreError;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The operator-pattern fingerprint requests are grouped by: scenarios
+/// with equal keys share thermal and PDN sparsity patterns, so one
+/// worker serves them all with in-place coefficient refreshes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    /// Thermal grid columns (= lumped channel columns).
+    pub thermal_columns: usize,
+    /// Thermal grid rows.
+    pub thermal_ny: usize,
+    /// Physical channel count (fixes channels-per-cell lumping).
+    pub channel_count: usize,
+    /// PDN grid columns.
+    pub pdn_nx: usize,
+    /// PDN grid rows.
+    pub pdn_ny: usize,
+    /// Die width in metres (bit pattern; keys only need equality).
+    die_width_bits: u64,
+    /// Die height in metres (bit pattern).
+    die_height_bits: u64,
+}
+
+impl PatternKey {
+    /// The pattern key of a scenario.
+    #[must_use]
+    pub fn of(scenario: &Scenario) -> Self {
+        Self {
+            thermal_columns: scenario.thermal_columns,
+            thermal_ny: scenario.thermal_ny,
+            channel_count: scenario.channel_count,
+            pdn_nx: scenario.pdn.nx,
+            pdn_ny: scenario.pdn.ny,
+            die_width_bits: scenario.floorplan.width().value().to_bits(),
+            die_height_bits: scenario.floorplan.height().value().to_bits(),
+        }
+    }
+
+    /// Compact human-readable digest (for logs and reports).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        format!(
+            "thermal {}x{} / {} ch / pdn {}x{}",
+            self.thermal_columns, self.thermal_ny, self.channel_count, self.pdn_nx, self.pdn_ny
+        )
+    }
+}
+
+/// The engine's answer to one submitted scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The id returned by [`ScenarioEngine::submit`].
+    pub request_id: u64,
+    /// Digest of the operator-pattern group the request was served in.
+    pub pattern: String,
+    /// True when the request was served by a worker whose operators
+    /// already existed (cached from this or an earlier batch); false
+    /// when it paid for the assembly itself.
+    pub reused_operator: bool,
+    /// The co-simulation outcome.
+    pub result: Result<CoSimReport, CoreError>,
+}
+
+/// Engine-wide counters (monotonic over the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Batches dispatched ([`ScenarioEngine::run_pending`] calls that
+    /// had work).
+    pub batches: u64,
+    /// Workers built from scratch (one full operator assembly each).
+    pub operators_built: u64,
+    /// Requests served by retargeting an existing worker.
+    pub operator_reuses: u64,
+}
+
+/// One pattern group's slice of a batch, plus the worker serving it
+/// (`None` until the first request of a brand-new pattern builds it).
+struct GroupJob {
+    key: PatternKey,
+    worker: Option<CoSimulation>,
+    requests: Vec<(u64, Scenario)>,
+}
+
+/// The outcome of one group job.
+struct GroupResult {
+    key: PatternKey,
+    worker: Option<CoSimulation>,
+    reports: Vec<ScenarioReport>,
+    built: u64,
+    reused: u64,
+}
+
+/// A long-lived, batched scenario-serving engine. See the [module
+/// docs](self).
+#[derive(Debug, Default)]
+pub struct ScenarioEngine {
+    workers: HashMap<PatternKey, CoSimulation>,
+    queue: Vec<(u64, Scenario)>,
+    next_id: u64,
+    stats: EngineStats,
+}
+
+impl ScenarioEngine {
+    /// Creates an empty engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a scenario and returns its request id. Validation happens
+    /// at dispatch; an invalid scenario surfaces as an `Err` in its
+    /// [`ScenarioReport::result`].
+    pub fn submit(&mut self, scenario: Scenario) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push((id, scenario));
+        id
+    }
+
+    /// Number of queued, not-yet-dispatched requests.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of pattern workers (cached operator sets) currently held.
+    #[must_use]
+    pub fn cached_patterns(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Engine-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Drops all cached workers (operators, sessions, warm starts); the
+    /// next batch rebuilds on demand. Queue and counters are unaffected.
+    pub fn evict_workers(&mut self) {
+        self.workers.clear();
+    }
+
+    /// Convenience: submits every scenario, dispatches, and returns the
+    /// reports in input order.
+    pub fn run_batch(&mut self, scenarios: impl IntoIterator<Item = Scenario>) -> Vec<ScenarioReport> {
+        for s in scenarios {
+            self.submit(s);
+        }
+        self.run_pending()
+    }
+
+    /// Dispatches every queued request and returns their reports in
+    /// submission order.
+    ///
+    /// Requests are grouped by [`PatternKey`]; each group is served
+    /// serially by one retargeted worker so operators and warm starts
+    /// are reused point-to-point, and groups run in parallel on the
+    /// sweep executor. When the batch has fewer groups than available
+    /// workers, large groups are split into chunks served by clones of
+    /// the group worker.
+    pub fn run_pending(&mut self) -> Vec<ScenarioReport> {
+        let queue = std::mem::take(&mut self.queue);
+        if queue.is_empty() {
+            return Vec::new();
+        }
+        self.stats.batches += 1;
+        self.stats.requests += queue.len() as u64;
+
+        // Group in first-seen order.
+        let mut order: Vec<PatternKey> = Vec::new();
+        let mut groups: HashMap<PatternKey, Vec<(u64, Scenario)>> = HashMap::new();
+        for (id, scenario) in queue {
+            match groups.entry(PatternKey::of(&scenario)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().push((id, scenario));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(vec![(id, scenario)]);
+                }
+            }
+        }
+
+        // Split groups into jobs. Budget the split so the batch can use
+        // the executor's parallelism even when one pattern dominates:
+        // each extra chunk serves its slice through a *clone* of the
+        // group worker (operators come along; sessions re-factor
+        // lazily).
+        let total: usize = groups.values().map(Vec::len).sum();
+        let budget = sweep_workers(total).max(1);
+        let per_group_chunks = budget.div_ceil(order.len().max(1)).max(1);
+        let mut jobs: Vec<Mutex<Option<GroupJob>>> = Vec::new();
+        for key in order {
+            let requests = groups.remove(&key).expect("grouped above");
+            let mut cached_worker = self.workers.remove(&key);
+            let chunks = per_group_chunks.min(requests.len()).max(1);
+            let chunk_size = requests.len().div_ceil(chunks);
+            let mut slices: Vec<Vec<(u64, Scenario)>> = Vec::with_capacity(chunks);
+            let mut iter = requests.into_iter().peekable();
+            while iter.peek().is_some() {
+                slices.push(iter.by_ref().take(chunk_size).collect());
+            }
+            let n_slices = slices.len();
+            for (ci, chunk) in slices.into_iter().enumerate() {
+                let worker = if ci + 1 == n_slices {
+                    cached_worker.take()
+                } else {
+                    cached_worker.clone()
+                };
+                jobs.push(Mutex::new(Some(GroupJob {
+                    key: key.clone(),
+                    worker,
+                    requests: chunk,
+                })));
+            }
+        }
+
+        // Dispatch through the sweep executor.
+        let results: Vec<GroupResult> = parallel_map(&jobs, |_, slot| {
+            let job = slot
+                .lock()
+                .expect("group job mutex poisoned")
+                .take()
+                .expect("each job runs exactly once");
+            Self::run_group(job)
+        });
+
+        // Return one worker per pattern to the cache and fold stats.
+        let mut reports: Vec<ScenarioReport> = Vec::new();
+        for r in results {
+            if let Some(worker) = r.worker {
+                self.workers.entry(r.key).or_insert(worker);
+            }
+            self.stats.operators_built += r.built;
+            self.stats.operator_reuses += r.reused;
+            reports.extend(r.reports);
+        }
+        reports.sort_unstable_by_key(|r| r.request_id);
+        reports
+    }
+
+    /// Serves one group job serially, retargeting its worker between
+    /// requests.
+    fn run_group(job: GroupJob) -> GroupResult {
+        let GroupJob {
+            key,
+            mut worker,
+            requests,
+        } = job;
+        let digest = key.digest();
+        let mut reports = Vec::with_capacity(requests.len());
+        let mut built = 0u64;
+        let mut reused = 0u64;
+        for (id, scenario) in requests {
+            let (reused_operator, result) = match &mut worker {
+                // A failed retarget serves nothing, so it is not a reuse.
+                Some(w) => match w.retarget(scenario) {
+                    Ok(()) => (true, w.run()),
+                    Err(e) => (false, Err(e)),
+                },
+                None => match CoSimulation::new(scenario) {
+                    Ok(mut w) => {
+                        built += 1;
+                        let r = w.run();
+                        worker = Some(w);
+                        (false, r)
+                    }
+                    Err(e) => (false, Err(e)),
+                },
+            };
+            if reused_operator {
+                reused += 1;
+            }
+            reports.push(ScenarioReport {
+                request_id: id,
+                pattern: digest.clone(),
+                reused_operator,
+                result,
+            });
+        }
+        GroupResult {
+            key,
+            worker,
+            reports,
+            built,
+            reused,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bright_units::{CubicMetersPerSecond, Kelvin};
+
+    fn flow_scenario(ml_min: f64) -> Scenario {
+        let mut s = Scenario::power7_reduced();
+        s.total_flow = CubicMetersPerSecond::from_milliliters_per_minute(ml_min);
+        s
+    }
+
+    #[test]
+    fn batch_matches_cold_runs_and_reuses_operators() {
+        let flows = [676.0, 200.0, 48.0];
+        let mut engine = ScenarioEngine::new();
+        let reports = engine.run_batch(flows.iter().map(|&f| flow_scenario(f)));
+        assert_eq!(reports.len(), flows.len());
+        for (report, &f) in reports.iter().zip(&flows) {
+            let warm = report.result.as_ref().expect("engine run converges");
+            let cold = CoSimulation::new(flow_scenario(f))
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(
+                (warm.peak_temperature.value() - cold.peak_temperature.value()).abs() < 1e-4,
+                "{f} ml/min: engine {} vs cold {}",
+                warm.peak_temperature,
+                cold.peak_temperature
+            );
+            assert!(
+                (warm.pdn_min_voltage.value() - cold.pdn_min_voltage.value()).abs() < 1e-7
+            );
+        }
+        // One pattern: one operator assembly, the rest reused (chunking
+        // may add clones on multi-core hosts, but never more builds than
+        // requests and at least one reuse on a 3-request group).
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 3);
+        assert!(stats.operators_built >= 1);
+        assert!(
+            stats.operators_built + stats.operator_reuses >= 3,
+            "{stats:?}"
+        );
+        assert_eq!(engine.cached_patterns(), 1);
+    }
+
+    #[test]
+    fn reports_come_back_in_submission_order_across_patterns() {
+        let mut engine = ScenarioEngine::new();
+        let mut coarse = Scenario::power7_reduced();
+        coarse.thermal_columns = 11;
+        coarse.thermal_ny = 11;
+        let ids = [
+            engine.submit(flow_scenario(676.0)),
+            engine.submit(coarse.clone()),
+            engine.submit(flow_scenario(120.0)),
+            engine.submit(coarse),
+        ];
+        assert_eq!(engine.pending(), 4);
+        let reports = engine.run_pending();
+        assert_eq!(engine.pending(), 0);
+        let got: Vec<u64> = reports.iter().map(|r| r.request_id).collect();
+        assert_eq!(got, ids.to_vec());
+        // Two distinct pattern groups.
+        assert_eq!(engine.cached_patterns(), 2);
+        let digests: std::collections::HashSet<&str> =
+            reports.iter().map(|r| r.pattern.as_str()).collect();
+        assert_eq!(digests.len(), 2);
+        assert!(reports.iter().all(|r| r.result.is_ok()));
+    }
+
+    #[test]
+    fn second_batch_reuses_cached_workers() {
+        let mut engine = ScenarioEngine::new();
+        engine.run_batch([flow_scenario(676.0)]);
+        let built_before = engine.stats().operators_built;
+        let reports = engine.run_batch([flow_scenario(400.0), flow_scenario(250.0)]);
+        assert!(reports.iter().all(|r| r.result.is_ok()));
+        assert!(reports.iter().all(|r| r.reused_operator));
+        assert_eq!(engine.stats().operators_built, built_before);
+        assert_eq!(engine.stats().batches, 2);
+
+        engine.evict_workers();
+        assert_eq!(engine.cached_patterns(), 0);
+    }
+
+    #[test]
+    fn invalid_scenarios_fail_individually() {
+        let mut engine = ScenarioEngine::new();
+        let mut bad = flow_scenario(400.0);
+        bad.sweep_points = 1;
+        let reports = engine.run_batch([flow_scenario(676.0), bad]);
+        assert!(reports[0].result.is_ok());
+        assert!(matches!(
+            reports[1].result,
+            Err(CoreError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn inlet_temperature_sweep_serves_through_one_pattern() {
+        let mut engine = ScenarioEngine::new();
+        let reports = engine.run_batch([300.0, 305.0, 310.15].map(|t| {
+            let mut s = Scenario::power7_reduced();
+            s.inlet_temperature = Kelvin::new(t);
+            s
+        }));
+        let peaks: Vec<f64> = reports
+            .iter()
+            .map(|r| r.result.as_ref().unwrap().peak_temperature.value())
+            .collect();
+        // Warmer inlet, warmer chip.
+        assert!(peaks.windows(2).all(|w| w[1] > w[0]), "{peaks:?}");
+        assert_eq!(engine.cached_patterns(), 1);
+    }
+}

@@ -16,7 +16,10 @@
 //! [`cosim::CoSimulation`] runs the coupled solve and produces a
 //! [`reports::CoSimReport`] with every quantity the paper reports (peak
 //! temperature, array V–I, cache-rail voltage map, pumping power,
-//! thermal enhancement of generation).
+//! thermal enhancement of generation). For streams of operating points
+//! — design sweeps, server-style workloads — the
+//! [`engine::ScenarioEngine`] batches requests by operator pattern and
+//! serves them through cached, retargeted co-simulations.
 //!
 //! # Examples
 //!
@@ -35,11 +38,13 @@
 #![warn(clippy::all)]
 
 pub mod cosim;
+pub mod engine;
 pub mod reports;
 pub mod scenario;
 pub mod sweeps;
 
 pub use cosim::CoSimulation;
+pub use engine::{EngineStats, ScenarioEngine, ScenarioReport};
 pub use reports::CoSimReport;
 pub use scenario::Scenario;
 

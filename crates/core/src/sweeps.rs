@@ -12,7 +12,6 @@
 //! thread), and on a single-core host the work runs inline with zero
 //! thread overhead. `BRIGHT_SWEEP_THREADS` caps the worker count.
 
-use crate::cosim::CoSimulation;
 use crate::reports::CoSimReport;
 use crate::scenario::Scenario;
 use crate::CoreError;
@@ -73,11 +72,22 @@ where
     parallel_map(items, f).into_iter().collect()
 }
 
-/// Runs many scenarios through the full co-simulation in parallel — the
-/// fan-out behind design-space bins and ablation batteries.
+/// Runs many scenarios through the full co-simulation — the fan-out
+/// behind design-space bins and ablation batteries.
+///
+/// Routed through a [`crate::engine::ScenarioEngine`]: scenarios sharing
+/// an operator pattern are served by one cached, retargeted worker
+/// (assemble once, refresh coefficients per point) while distinct
+/// patterns — and chunks of large same-pattern batches — fan out across
+/// the executor's workers.
 #[must_use]
 pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<Result<CoSimReport, CoreError>> {
-    parallel_map(scenarios, |_, s| CoSimulation::new(s.clone())?.run())
+    let mut engine = crate::engine::ScenarioEngine::new();
+    engine
+        .run_batch(scenarios.iter().cloned())
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
 }
 
 /// One row of a power-density sweep.

@@ -109,7 +109,7 @@ impl DuctFlowSolution {
             &IterOptions {
                 tolerance: 1e-12,
                 max_iterations: 20_000,
-                jacobi_preconditioner: true,
+                preconditioner: bright_num::PrecondSpec::Jacobi,
             },
         )
         .map_err(FlowError::from)?;

@@ -137,7 +137,7 @@ impl FullTransportSolution {
             &IterOptions {
                 tolerance: 1e-11,
                 max_iterations: 40_000,
-                jacobi_preconditioner: true,
+                preconditioner: bright_num::PrecondSpec::Jacobi,
             },
         )
         .map_err(FlowCellError::from)?;

@@ -10,6 +10,9 @@
 //! * sparse CSR matrices with CG and BiCGSTAB iterative solvers
 //!   ([`sparse`], [`solvers`]) for the thermal network, power grid and the
 //!   full 2-D finite-volume solves,
+//! * pluggable preconditioners ([`precond`]: Jacobi, SSOR, IC(0)) and
+//!   reusable solver sessions ([`session`]) that amortize pattern,
+//!   scratch, warm start and factorization across repeated solves,
 //! * scalar root finding ([`roots`]) for polarization operating points,
 //! * interpolation ([`interp`]) and quadrature ([`quadrature`]) helpers.
 //!
@@ -36,13 +39,17 @@ pub mod error;
 pub mod interp;
 pub mod lazy;
 pub mod parallel;
+pub mod precond;
 pub mod quadrature;
 pub mod roots;
+pub mod session;
 pub mod solvers;
 pub mod sparse;
 pub mod tridiag;
 pub mod vec_ops;
 
 pub use error::NumError;
+pub use precond::{PrecondSpec, Preconditioner};
+pub use session::{SessionStats, SolverSession};
 pub use solvers::{KrylovWorkspace, SolveStats};
 pub use sparse::{CsrMatrix, CsrSymbolic, TripletMatrix};

@@ -1,0 +1,610 @@
+//! Pluggable preconditioners for the Krylov solvers.
+//!
+//! The PR-1 solvers hard-wired Jacobi (diagonal) preconditioning into the
+//! iteration loops. This module moves that choice behind the
+//! [`Preconditioner`] trait so solver *sessions* can pick (and amortize)
+//! stronger options on a cached sparsity pattern:
+//!
+//! * [`JacobiPrecond`] — diagonal scaling; cheap, effective on strongly
+//!   diagonally dominant systems (the PR-1 default, unchanged numerics);
+//! * [`SsorPrecond`] — symmetric SOR: one forward and one backward
+//!   triangular sweep per application. Markedly fewer iterations than
+//!   Jacobi on the weakly dominant PDN sheet Laplacians;
+//! * [`Ic0Precond`] — incomplete Cholesky with zero fill on the matrix's
+//!   own lower-triangular pattern. The strongest option for the SPD
+//!   systems (PDN grid, conduction networks); requires SPD input;
+//! * [`IdentityPrecond`] — no preconditioning (tests/baselines).
+//!
+//! A [`PrecondSpec`] names a choice declaratively (it is `Copy` and lives
+//! in [`crate::solvers::IterOptions`]); [`PrecondSpec::build`] constructs
+//! the boxed operator. Setup (factorization, triangle extraction) is
+//! separated from application so a [`crate::session::SolverSession`] can
+//! re-run setup only when the operator's *values* change and keep the
+//! pattern-dependent allocations across refreshes.
+
+use crate::sparse::CsrMatrix;
+use crate::NumError;
+
+/// Declarative preconditioner choice, carried by
+/// [`crate::solvers::IterOptions`] and solver sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PrecondSpec {
+    /// No preconditioning.
+    None,
+    /// Diagonal (Jacobi) scaling.
+    #[default]
+    Jacobi,
+    /// Symmetric SOR with the given relaxation factor `omega ∈ (0, 2)`;
+    /// `omega = 1` is symmetric Gauss–Seidel.
+    Ssor {
+        /// Relaxation factor.
+        omega: f64,
+    },
+    /// Incomplete Cholesky, zero fill-in. SPD matrices only.
+    Ic0,
+}
+
+impl PrecondSpec {
+    /// SSOR at the symmetric Gauss–Seidel point (`omega = 1`).
+    #[must_use]
+    pub fn ssor() -> Self {
+        Self::Ssor { omega: 1.0 }
+    }
+
+    /// Constructs the preconditioner this spec names (un-set-up; call
+    /// [`Preconditioner::setup`] with the operator before applying).
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Preconditioner> {
+        match *self {
+            Self::None => Box::new(IdentityPrecond),
+            Self::Jacobi => Box::new(JacobiPrecond::default()),
+            Self::Ssor { omega } => Box::new(SsorPrecond::new(omega)),
+            Self::Ic0 => Box::new(Ic0Precond::default()),
+        }
+    }
+
+    /// Short human-readable name (reports, benches).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Jacobi => "jacobi",
+            Self::Ssor { .. } => "ssor",
+            Self::Ic0 => "ic0",
+        }
+    }
+}
+
+/// A left preconditioner `M ≈ A`: [`Preconditioner::apply`] computes
+/// `dst = M⁻¹·src`.
+///
+/// Implementations separate [`Preconditioner::setup`] (factorization on
+/// the operator's current values — re-run after every coefficient
+/// refresh) from application (once per Krylov iteration). `apply` takes
+/// `&mut self` so implementations can keep internal scratch buffers
+/// without interior mutability.
+pub trait Preconditioner: std::fmt::Debug + Send {
+    /// Prepares the preconditioner for the given operator. Must be called
+    /// before [`Preconditioner::apply`], and again whenever the
+    /// operator's values change.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::SingularMatrix`] on a (near-)zero diagonal,
+    /// * [`NumError::Breakdown`] if a factorization collapses (e.g. IC(0)
+    ///   on a non-SPD matrix),
+    /// * [`NumError::InvalidInput`] for invalid parameters.
+    fn setup(&mut self, a: &CsrMatrix) -> Result<(), NumError>;
+
+    /// Applies `dst = M⁻¹·src`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a successful
+    /// [`Preconditioner::setup`] or with mismatched lengths.
+    fn apply(&mut self, dst: &mut [f64], src: &[f64]);
+
+    /// The spec this preconditioner was built from.
+    fn spec(&self) -> PrecondSpec;
+}
+
+/// No-op preconditioner (`M = I`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn setup(&mut self, _a: &CsrMatrix) -> Result<(), NumError> {
+        Ok(())
+    }
+
+    fn apply(&mut self, dst: &mut [f64], src: &[f64]) {
+        dst.copy_from_slice(src);
+    }
+
+    fn spec(&self) -> PrecondSpec {
+        PrecondSpec::None
+    }
+}
+
+const TINY_DIAGONAL: f64 = f64::MIN_POSITIVE * 16.0;
+
+/// Diagonal (Jacobi) scaling: `M = diag(A)`.
+#[derive(Debug, Clone, Default)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn setup(&mut self, a: &CsrMatrix) -> Result<(), NumError> {
+        a.diagonal_into(&mut self.inv_diag);
+        for (i, d) in self.inv_diag.iter_mut().enumerate() {
+            if d.abs() < TINY_DIAGONAL {
+                return Err(NumError::SingularMatrix { index: i });
+            }
+            *d = 1.0 / *d;
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, dst: &mut [f64], src: &[f64]) {
+        dst.copy_from_slice(src);
+        for (d, m) in dst.iter_mut().zip(&self.inv_diag) {
+            *d *= m;
+        }
+    }
+
+    fn spec(&self) -> PrecondSpec {
+        PrecondSpec::Jacobi
+    }
+}
+
+/// Strict triangle of a CSR matrix (diagonal excluded), rows in order,
+/// columns sorted — the storage both sweep-based preconditioners share.
+#[derive(Debug, Clone, Default)]
+struct TriangleCsr {
+    row_ptr: Vec<usize>,
+    col: Vec<usize>,
+    val: Vec<f64>,
+}
+
+impl TriangleCsr {
+    fn clear(&mut self) {
+        self.row_ptr.clear();
+        self.col.clear();
+        self.val.clear();
+    }
+
+    fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.val[lo..hi].iter().copied())
+    }
+}
+
+/// Symmetric SOR preconditioner:
+/// `M = (D/ω + L)·(ω/(2−ω))·D⁻¹·(D/ω + U)`.
+///
+/// One application is a forward sweep, a diagonal scaling and a backward
+/// sweep — about two extra matrix-vector products per iteration, paid
+/// back several times over in iteration count on the weakly dominant
+/// sheet Laplacians. For symmetric `A`, `M` is SPD whenever `A`'s
+/// diagonal is positive, so it is safe inside CG; for nonsymmetric `A`
+/// it acts as a symmetric Gauss–Seidel smoother inside BiCGSTAB.
+#[derive(Debug, Clone)]
+pub struct SsorPrecond {
+    omega: f64,
+    lower: TriangleCsr,
+    upper: TriangleCsr,
+    diag: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl SsorPrecond {
+    /// Creates an SSOR preconditioner with relaxation `omega ∈ (0, 2)`.
+    #[must_use]
+    pub fn new(omega: f64) -> Self {
+        Self {
+            omega,
+            lower: TriangleCsr::default(),
+            upper: TriangleCsr::default(),
+            diag: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Preconditioner for SsorPrecond {
+    fn setup(&mut self, a: &CsrMatrix) -> Result<(), NumError> {
+        if !(self.omega > 0.0 && self.omega < 2.0) {
+            return Err(NumError::InvalidInput(format!(
+                "SSOR omega must lie in (0, 2), got {}",
+                self.omega
+            )));
+        }
+        let n = a.rows();
+        self.lower.clear();
+        self.upper.clear();
+        self.diag.clear();
+        self.diag.resize(n, 0.0);
+        self.scratch.clear();
+        self.scratch.resize(n, 0.0);
+        self.lower.row_ptr.reserve(n + 1);
+        self.upper.row_ptr.reserve(n + 1);
+        self.lower.row_ptr.push(0);
+        self.upper.row_ptr.push(0);
+        for i in 0..n {
+            for (j, v) in a.row(i) {
+                match j.cmp(&i) {
+                    std::cmp::Ordering::Less => {
+                        self.lower.col.push(j);
+                        self.lower.val.push(v);
+                    }
+                    std::cmp::Ordering::Equal => self.diag[i] = v,
+                    std::cmp::Ordering::Greater => {
+                        self.upper.col.push(j);
+                        self.upper.val.push(v);
+                    }
+                }
+            }
+            self.lower.row_ptr.push(self.lower.col.len());
+            self.upper.row_ptr.push(self.upper.col.len());
+            if self.diag[i].abs() < TINY_DIAGONAL {
+                return Err(NumError::SingularMatrix { index: i });
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, dst: &mut [f64], src: &[f64]) {
+        let n = self.diag.len();
+        assert_eq!(dst.len(), n, "SSOR apply: dst length mismatch");
+        assert_eq!(src.len(), n, "SSOR apply: src length mismatch");
+        let w = self.omega;
+        let y = &mut self.scratch;
+        // Forward sweep: (D/ω + L)·y = src.
+        for i in 0..n {
+            let mut s = src[i];
+            for (j, v) in self.lower.row(i) {
+                s -= v * y[j];
+            }
+            y[i] = s * w / self.diag[i];
+        }
+        // Diagonal scaling: y ← ((2−ω)/ω)·D·y.
+        let scale = (2.0 - w) / w;
+        for (yi, d) in y.iter_mut().zip(&self.diag) {
+            *yi *= scale * d;
+        }
+        // Backward sweep: (D/ω + U)·dst = y.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for (j, v) in self.upper.row(i) {
+                s -= v * dst[j];
+            }
+            dst[i] = s * w / self.diag[i];
+        }
+    }
+
+    fn spec(&self) -> PrecondSpec {
+        PrecondSpec::Ssor { omega: self.omega }
+    }
+}
+
+/// Incomplete Cholesky with zero fill-in: `A ≈ L·Lᵀ` where `L` keeps
+/// exactly the lower-triangular pattern of `A`.
+///
+/// The factorization runs in `O(Σᵢ nnzᵢ²)` over rows — effectively
+/// linear for the bounded-stencil matrices of this workspace — and each
+/// application is a forward and a backward triangular solve. Valid for
+/// SPD input only; a non-positive pivot aborts with
+/// [`NumError::Breakdown`] so callers can fall back to a weaker
+/// preconditioner.
+#[derive(Debug, Clone, Default)]
+pub struct Ic0Precond {
+    /// Lower factor, diagonal included, columns sorted per row.
+    row_ptr: Vec<usize>,
+    col: Vec<usize>,
+    val: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl Ic0Precond {
+    fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// Sparse dot of `L[i, ..limit)` and `L[j, ..limit)` via a merge walk
+    /// (both rows have sorted columns).
+    fn row_dot_below(&self, i: usize, j: usize, limit: usize) -> f64 {
+        let (mut p, pe) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        let (mut q, qe) = (self.row_ptr[j], self.row_ptr[j + 1]);
+        let mut acc = 0.0;
+        while p < pe && q < qe {
+            let (cp, cq) = (self.col[p], self.col[q]);
+            if cp >= limit || cq >= limit {
+                break;
+            }
+            match cp.cmp(&cq) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.val[p] * self.val[q];
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl Preconditioner for Ic0Precond {
+    fn setup(&mut self, a: &CsrMatrix) -> Result<(), NumError> {
+        let n = a.rows();
+        self.row_ptr.clear();
+        self.col.clear();
+        self.val.clear();
+        self.scratch.clear();
+        self.scratch.resize(n, 0.0);
+        self.row_ptr.reserve(n + 1);
+        self.row_ptr.push(0);
+        // Copy the lower triangle (incl. diagonal); CSR rows are sorted.
+        for i in 0..n {
+            let mut has_diag = false;
+            for (j, v) in a.row(i) {
+                if j < i {
+                    self.col.push(j);
+                    self.val.push(v);
+                } else if j == i {
+                    self.col.push(j);
+                    self.val.push(v);
+                    has_diag = true;
+                }
+            }
+            if !has_diag {
+                return Err(NumError::SingularMatrix { index: i });
+            }
+            self.row_ptr.push(self.col.len());
+        }
+        // Factor in place, row by row.
+        for i in 0..n {
+            let range = self.row_range(i);
+            for idx in range {
+                let j = self.col[idx];
+                if j < i {
+                    // l_ij = (a_ij − Σ_{k<j} l_ik·l_jk) / l_jj.
+                    let dot = self.row_dot_below(i, j, j);
+                    let diag_idx = self.row_ptr[j + 1] - 1;
+                    debug_assert_eq!(self.col[diag_idx], j, "factor row must end on its diagonal");
+                    self.val[idx] = (self.val[idx] - dot) / self.val[diag_idx];
+                } else {
+                    // l_ii = √(a_ii − Σ_{k<i} l_ik²).
+                    let dot = self.row_dot_below(i, i, i);
+                    let pivot = self.val[idx] - dot;
+                    if !(pivot > 0.0 && pivot.is_finite()) {
+                        return Err(NumError::Breakdown(format!(
+                            "IC(0) pivot {pivot:.3e} at row {i}; matrix not SPD?"
+                        )));
+                    }
+                    self.val[idx] = pivot.sqrt();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, dst: &mut [f64], src: &[f64]) {
+        let n = self.scratch.len();
+        assert_eq!(dst.len(), n, "IC(0) apply: dst length mismatch");
+        assert_eq!(src.len(), n, "IC(0) apply: src length mismatch");
+        let y = &mut self.scratch;
+        // Forward solve L·y = src.
+        for i in 0..n {
+            let mut s = src[i];
+            let range = self.row_ptr[i]..self.row_ptr[i + 1] - 1;
+            for idx in range {
+                s -= self.val[idx] * y[self.col[idx]];
+            }
+            y[i] = s / self.val[self.row_ptr[i + 1] - 1];
+        }
+        // Backward solve Lᵀ·dst = y (column-sweep form).
+        dst.copy_from_slice(y);
+        for i in (0..n).rev() {
+            let diag_idx = self.row_ptr[i + 1] - 1;
+            dst[i] /= self.val[diag_idx];
+            let xi = dst[i];
+            for idx in self.row_ptr[i]..diag_idx {
+                dst[self.col[idx]] -= self.val[idx] * xi;
+            }
+        }
+    }
+
+    fn spec(&self) -> PrecondSpec {
+        PrecondSpec::Ic0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletMatrix;
+
+    fn laplacian_2d(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n * n, n * n);
+        let idx = |i: usize, j: usize| i * n + j;
+        for i in 0..n {
+            for j in 0..n {
+                t.push(idx(i, j), idx(i, j), 4.0).unwrap();
+                if i > 0 {
+                    t.push(idx(i, j), idx(i - 1, j), -1.0).unwrap();
+                }
+                if i + 1 < n {
+                    t.push(idx(i, j), idx(i + 1, j), -1.0).unwrap();
+                }
+                if j > 0 {
+                    t.push(idx(i, j), idx(i, j - 1), -1.0).unwrap();
+                }
+                if j + 1 < n {
+                    t.push(idx(i, j), idx(i, j + 1), -1.0).unwrap();
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Dense solve of `A·x = b` via Gaussian elimination, for reference.
+    fn dense_solve(a: &CsrMatrix, b: &[f64]) -> Vec<f64> {
+        let n = a.rows();
+        let mut m = vec![vec![0.0; n + 1]; n];
+        for i in 0..n {
+            for (j, v) in a.row(i) {
+                m[i][j] = v;
+            }
+            m[i][n] = b[i];
+        }
+        for k in 0..n {
+            let piv = (k..n).max_by(|&p, &q| m[p][k].abs().total_cmp(&m[q][k].abs())).unwrap();
+            m.swap(k, piv);
+            for i in k + 1..n {
+                let f = m[i][k] / m[k][k];
+                let (pivot_rows, rest) = m.split_at_mut(k + 1);
+                let (pivot, row) = (&pivot_rows[k], &mut rest[i - k - 1]);
+                for (mij, mkj) in row[k..].iter_mut().zip(&pivot[k..]) {
+                    *mij -= f * mkj;
+                }
+            }
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = m[i][n];
+            for j in i + 1..n {
+                s -= m[i][j] * x[j];
+            }
+            x[i] = s / m[i][i];
+        }
+        x
+    }
+
+    #[test]
+    fn jacobi_apply_is_diagonal_scaling() {
+        let a = laplacian_2d(3);
+        let mut p = JacobiPrecond::default();
+        p.setup(&a).unwrap();
+        let src = vec![2.0; 9];
+        let mut dst = vec![0.0; 9];
+        p.apply(&mut dst, &src);
+        assert!(dst.iter().all(|&v| (v - 0.5).abs() < 1e-15));
+    }
+
+    #[test]
+    fn ssor_apply_matches_direct_inverse_of_m() {
+        // M = (D/ω + L)·(ω/(2−ω))·D⁻¹·(D/ω + U); verify M·(M⁻¹·src) = src.
+        let a = laplacian_2d(3);
+        let n = a.rows();
+        let omega = 1.3;
+        let mut p = SsorPrecond::new(omega);
+        p.setup(&a).unwrap();
+        let src: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+        let mut z = vec![0.0; n];
+        p.apply(&mut z, &src);
+        // Recompute M·z densely from the definition.
+        let mut dl = vec![vec![0.0; n]; n]; // D/ω + L
+        let mut du = vec![vec![0.0; n]; n]; // D/ω + U
+        let mut dinv = vec![0.0; n];
+        for i in 0..n {
+            for (j, v) in a.row(i) {
+                match j.cmp(&i) {
+                    std::cmp::Ordering::Less => dl[i][j] = v,
+                    std::cmp::Ordering::Equal => {
+                        dl[i][i] = v / omega;
+                        du[i][i] = v / omega;
+                        dinv[i] = 1.0 / v;
+                    }
+                    std::cmp::Ordering::Greater => du[i][j] = v,
+                }
+            }
+        }
+        let scale = omega / (2.0 - omega);
+        let mut t1 = vec![0.0; n]; // (D/ω + U)·z
+        for i in 0..n {
+            t1[i] = du[i].iter().zip(&z).map(|(m, x)| m * x).sum();
+        }
+        for i in 0..n {
+            t1[i] *= scale * dinv[i];
+        }
+        let mut mz = vec![0.0; n];
+        for i in 0..n {
+            mz[i] = dl[i].iter().zip(&t1).map(|(m, x)| m * x).sum();
+        }
+        for (got, want) in mz.iter().zip(&src) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ic0_is_exact_cholesky_on_tridiagonal() {
+        // A tridiagonal SPD matrix has no fill-in, so IC(0) equals the
+        // full Cholesky factor and M⁻¹·b is the exact solution.
+        let n = 12;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 + 0.1 * i as f64).unwrap();
+            if i > 0 {
+                t.push(i, i - 1, -1.0).unwrap();
+                t.push(i - 1, i, -1.0).unwrap();
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.3).cos()).collect();
+        let mut p = Ic0Precond::default();
+        p.setup(&a).unwrap();
+        let mut x = vec![0.0; n];
+        p.apply(&mut x, &b);
+        let x_ref = dense_solve(&a, &b);
+        for (got, want) in x.iter().zip(&x_ref) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn ic0_rejects_indefinite_matrices() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(0, 1, 3.0).unwrap();
+        t.push(1, 0, 3.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        let a = t.to_csr();
+        let mut p = Ic0Precond::default();
+        assert!(matches!(p.setup(&a), Err(NumError::Breakdown(_))));
+    }
+
+    #[test]
+    fn ssor_rejects_bad_omega_and_zero_diagonal() {
+        let a = laplacian_2d(2);
+        assert!(SsorPrecond::new(2.5).setup(&a).is_err());
+        assert!(SsorPrecond::new(0.0).setup(&a).is_err());
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        let singular = t.to_csr();
+        assert!(SsorPrecond::new(1.0).setup(&singular).is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_build() {
+        for spec in [
+            PrecondSpec::None,
+            PrecondSpec::Jacobi,
+            PrecondSpec::Ssor { omega: 1.4 },
+            PrecondSpec::Ic0,
+        ] {
+            let built = spec.build();
+            assert_eq!(built.spec(), spec);
+        }
+        assert_eq!(PrecondSpec::default(), PrecondSpec::Jacobi);
+        assert_eq!(PrecondSpec::ssor(), PrecondSpec::Ssor { omega: 1.0 });
+        assert_eq!(PrecondSpec::Ic0.name(), "ic0");
+    }
+}

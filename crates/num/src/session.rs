@@ -1,0 +1,551 @@
+//! Reusable solver sessions: one object owning everything a repeated
+//! sparse solve amortizes.
+//!
+//! PR 1 grew three parallel caching designs — `ThermalWorkspace`,
+//! `PdnWorkspace` and the transient stepper's private buffers — each
+//! reinventing "pattern + Krylov scratch + warm start". A
+//! [`SolverSession`] consolidates them: it owns
+//!
+//! * the [`CsrSymbolic`] sparsity pattern and the numeric [`CsrMatrix`]
+//!   stamped through it,
+//! * a [`KrylovWorkspace`] of scratch vectors,
+//! * the warm-start/solution vector,
+//! * a pluggable [`Preconditioner`] (built from a [`PrecondSpec`]),
+//!   set up lazily and re-set-up only when the operator's values change,
+//! * an internal RHS buffer for allocation-free per-solve assembly.
+//!
+//! Domain solvers bind a session to their operator
+//! ([`SolverSession::bind`] / [`SolverSession::bind_triplets`]) and keep
+//! it in sync across coefficient refreshes with an *(operator tag,
+//! epoch)* pair: the tag (allocate with [`next_operator_tag`]) names the
+//! operator identity, the epoch counts value refreshes. A session handed
+//! a different tag rebinds from scratch; a stale epoch triggers a cheap
+//! O(nnz) value reload ([`SolverSession::load_values`]) plus
+//! preconditioner re-setup — never a symbolic re-assembly.
+//!
+//! Sessions are `Clone` (for fan-out across sweep workers; the
+//! preconditioner factorization is rebuilt lazily in the clone) and
+//! track [`SessionStats`] so benches and tests can assert how much work
+//! was actually amortized.
+
+use crate::precond::{PrecondSpec, Preconditioner};
+use crate::solvers::{
+    bicgstab_preconditioned, conjugate_gradient_preconditioned, IterOptions, KrylovWorkspace,
+    SolveStats,
+};
+use crate::sparse::{CsrMatrix, CsrSymbolic, TripletMatrix};
+use crate::NumError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static OPERATOR_TAGS: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique operator tag. Domain solvers draw one per
+/// assembled operator so sessions can tell "same operator, new
+/// coefficients" (epoch bump → value reload) from "different operator"
+/// (tag change → full rebind).
+#[must_use]
+pub fn next_operator_tag() -> u64 {
+    OPERATOR_TAGS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Counters of the work a session performed (all monotonically
+/// increasing over the session's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Full binds: pattern + values adopted from an operator.
+    pub binds: u64,
+    /// O(nnz) value reloads/refreshes through the cached pattern.
+    pub refreshes: u64,
+    /// Preconditioner setups (factorizations).
+    pub precond_setups: u64,
+    /// Linear solves performed.
+    pub solves: u64,
+}
+
+/// A reusable solve context: cached pattern, numeric operator, Krylov
+/// workspace, warm start and preconditioner. See the [module
+/// docs](self) for the amortization contract.
+#[derive(Debug)]
+pub struct SolverSession {
+    symbolic: Option<CsrSymbolic>,
+    matrix: CsrMatrix,
+    opts: IterOptions,
+    precond: Option<Box<dyn Preconditioner>>,
+    precond_stale: bool,
+    ws: KrylovWorkspace,
+    x: Vec<f64>,
+    rhs: Vec<f64>,
+    operator_tag: u64,
+    epoch: u64,
+    last: SolveStats,
+    stats: SessionStats,
+}
+
+impl Default for SolverSession {
+    fn default() -> Self {
+        Self::new(IterOptions::default())
+    }
+}
+
+impl Clone for SolverSession {
+    /// Clones the pattern, operator, warm start and options. The
+    /// preconditioner factorization is *not* cloned — the clone rebuilds
+    /// it lazily on its first solve — so cloned sessions are cheap to
+    /// fan out across sweep workers. [`SessionStats`] restart at zero:
+    /// the clone reports only the work *it* performs (summing stats
+    /// across workers must not double-count the parent's).
+    fn clone(&self) -> Self {
+        Self {
+            symbolic: self.symbolic.clone(),
+            matrix: self.matrix.clone(),
+            opts: self.opts.clone(),
+            precond: None,
+            precond_stale: true,
+            ws: KrylovWorkspace::new(),
+            x: self.x.clone(),
+            rhs: Vec::new(),
+            operator_tag: self.operator_tag,
+            epoch: self.epoch,
+            last: self.last,
+            stats: SessionStats::default(),
+        }
+    }
+}
+
+impl SolverSession {
+    /// Creates an unbound session with the given solve options
+    /// (tolerance, iteration budget, preconditioner choice).
+    #[must_use]
+    pub fn new(opts: IterOptions) -> Self {
+        Self {
+            symbolic: None,
+            matrix: CsrMatrix::empty(),
+            opts,
+            precond: None,
+            precond_stale: true,
+            ws: KrylovWorkspace::new(),
+            x: Vec::new(),
+            rhs: Vec::new(),
+            operator_tag: 0,
+            epoch: 0,
+            last: SolveStats::default(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Creates an unbound session with default options and the given
+    /// preconditioner.
+    #[must_use]
+    pub fn with_preconditioner(spec: PrecondSpec) -> Self {
+        Self::new(IterOptions {
+            preconditioner: spec,
+            ..IterOptions::default()
+        })
+    }
+
+    /// The solve options in effect.
+    #[inline]
+    pub fn options(&self) -> &IterOptions {
+        &self.opts
+    }
+
+    /// Replaces the preconditioner choice; the new operator is built on
+    /// the next solve.
+    pub fn set_preconditioner(&mut self, spec: PrecondSpec) {
+        if self.opts.preconditioner != spec {
+            self.opts.preconditioner = spec;
+            self.precond = None;
+            self.precond_stale = true;
+        }
+    }
+
+    /// True until the session has been bound to an operator.
+    #[inline]
+    pub fn is_bound(&self) -> bool {
+        self.symbolic.is_some()
+    }
+
+    /// True when the session is current for the operator identified by
+    /// `(tag, epoch)` — the check domain solvers run before deciding
+    /// between a no-op, a value reload and a full rebind.
+    #[must_use]
+    pub fn is_current(&self, tag: u64, epoch: u64) -> bool {
+        self.is_bound() && self.operator_tag == tag && self.epoch == epoch
+    }
+
+    /// The operator tag this session is bound to (0 when unbound).
+    #[inline]
+    pub fn operator_tag(&self) -> u64 {
+        self.operator_tag
+    }
+
+    /// The coefficient epoch the session's values are at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Binds the session to an operator: adopts (clones) the pattern and
+    /// the numeric matrix, marks the preconditioner for re-setup and
+    /// drops the warm start (a new operator's solution space is
+    /// unrelated).
+    pub fn bind(&mut self, symbolic: &CsrSymbolic, matrix: &CsrMatrix, tag: u64, epoch: u64) {
+        self.symbolic = Some(symbolic.clone());
+        self.matrix = matrix.clone();
+        self.operator_tag = tag;
+        self.epoch = epoch;
+        self.precond_stale = true;
+        self.x.clear();
+        self.stats.binds += 1;
+    }
+
+    /// Binds the session directly from a triplet assembly: builds the
+    /// symbolic pattern and the numeric matrix in one step (allocating a
+    /// fresh operator tag).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CsrSymbolic::numeric`] errors.
+    pub fn bind_triplets(&mut self, triplets: &TripletMatrix) -> Result<(), NumError> {
+        let symbolic = triplets.to_csr_symbolic();
+        let matrix = symbolic.numeric(triplets)?;
+        self.bind(&symbolic, &matrix, next_operator_tag(), 0);
+        Ok(())
+    }
+
+    /// Re-stamps the session's matrix values from a triplet list with
+    /// the bound pattern (same stamp sequence, new coefficients) and
+    /// marks the preconditioner for re-setup. O(nnz), no allocation.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumError::InvalidInput`] if the session is unbound,
+    /// * [`CsrSymbolic::refresh_values`] errors on a mismatched list.
+    pub fn refresh_values(&mut self, triplets: &TripletMatrix, epoch: u64) -> Result<(), NumError> {
+        let Some(symbolic) = &self.symbolic else {
+            return Err(NumError::InvalidInput(
+                "refresh_values on an unbound session".into(),
+            ));
+        };
+        symbolic.refresh_values(&mut self.matrix, triplets)?;
+        self.epoch = epoch;
+        self.precond_stale = true;
+        self.stats.refreshes += 1;
+        Ok(())
+    }
+
+    /// Copies the values of a same-pattern matrix into the session's
+    /// operator (the cheap sync path when the binding solver already
+    /// refreshed its own copy). O(nnz), no allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::DimensionMismatch`] if shapes or nnz differ.
+    pub fn load_values(&mut self, src: &CsrMatrix, epoch: u64) -> Result<(), NumError> {
+        self.matrix.copy_values_from(src)?;
+        self.epoch = epoch;
+        self.precond_stale = true;
+        self.stats.refreshes += 1;
+        Ok(())
+    }
+
+    /// The bound operator.
+    #[inline]
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.matrix
+    }
+
+    /// Clears and returns the internal RHS buffer for the caller to
+    /// fill, then solve with [`SolverSession::solve_spd_in_place`] /
+    /// [`SolverSession::solve_general_in_place`].
+    pub fn rhs_mut(&mut self) -> &mut Vec<f64> {
+        self.rhs.clear();
+        &mut self.rhs
+    }
+
+    /// The warm-start/solution vector (empty = cold start next solve).
+    #[inline]
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Seeds the warm start for the next solve.
+    pub fn set_warm_start(&mut self, x: &[f64]) {
+        self.x.clear();
+        self.x.extend_from_slice(x);
+    }
+
+    /// Fills the warm start with `n` copies of `value` — the uniform
+    /// initial field domain solvers use for cold starts.
+    pub fn seed_uniform(&mut self, n: usize, value: f64) {
+        self.x.clear();
+        self.x.resize(n, value);
+    }
+
+    /// Drops the warm start so the next solve is cold (used when the
+    /// next point is unrelated to the previous one).
+    pub fn reset_warm_start(&mut self) {
+        self.x.clear();
+    }
+
+    /// Statistics of the last completed solve.
+    #[inline]
+    pub fn last_stats(&self) -> SolveStats {
+        self.last
+    }
+
+    /// Lifetime counters (binds, refreshes, preconditioner setups,
+    /// solves).
+    #[inline]
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn ensure_precond(&mut self) -> Result<(), NumError> {
+        if self.precond.is_none() {
+            self.precond = Some(self.opts.preconditioner.build());
+            self.precond_stale = true;
+        }
+        if self.precond_stale {
+            self.precond
+                .as_mut()
+                .expect("preconditioner built above")
+                .setup(&self.matrix)?;
+            self.precond_stale = false;
+            self.stats.precond_setups += 1;
+        }
+        Ok(())
+    }
+
+    fn solve_with(&mut self, b_is_internal: bool, spd: bool, b: &[f64]) -> Result<SolveStats, NumError> {
+        if !self.is_bound() {
+            return Err(NumError::InvalidInput("solve on an unbound session".into()));
+        }
+        self.ensure_precond()?;
+        let precond = self
+            .precond
+            .as_mut()
+            .expect("preconditioner ensured above")
+            .as_mut();
+        // `b` aliases `self.rhs` on the in-place path; reborrow it from
+        // the field so the borrow checker sees disjoint fields.
+        let rhs = if b_is_internal { &self.rhs } else { b };
+        let result = if spd {
+            conjugate_gradient_preconditioned(
+                &self.matrix,
+                rhs,
+                &mut self.x,
+                &self.opts,
+                &mut self.ws,
+                precond,
+            )
+        } else {
+            bicgstab_preconditioned(
+                &self.matrix,
+                rhs,
+                &mut self.x,
+                &self.opts,
+                &mut self.ws,
+                precond,
+            )
+        };
+        match result {
+            Ok(stats) => {
+                self.last = stats;
+                self.stats.solves += 1;
+                Ok(stats)
+            }
+            Err(e) => {
+                // A failed iterate must not become the next solve's warm
+                // start.
+                self.x.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Solves `A·x = b` with preconditioned CG (SPD operators),
+    /// warm-starting from the current solution vector. On success the
+    /// solution is in [`SolverSession::solution`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::solvers::conjugate_gradient`], plus
+    /// [`NumError::InvalidInput`] on an unbound session.
+    pub fn solve_spd(&mut self, b: &[f64]) -> Result<SolveStats, NumError> {
+        self.solve_with(false, true, b)
+    }
+
+    /// Solves `A·x = b` with preconditioned BiCGSTAB (general
+    /// operators); otherwise as [`SolverSession::solve_spd`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::solvers::bicgstab`], plus [`NumError::InvalidInput`]
+    /// on an unbound session.
+    pub fn solve_general(&mut self, b: &[f64]) -> Result<SolveStats, NumError> {
+        self.solve_with(false, false, b)
+    }
+
+    /// As [`SolverSession::solve_spd`], reading the RHS from the
+    /// internal buffer filled via [`SolverSession::rhs_mut`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SolverSession::solve_spd`].
+    pub fn solve_spd_in_place(&mut self) -> Result<SolveStats, NumError> {
+        self.solve_with(true, true, &[])
+    }
+
+    /// As [`SolverSession::solve_general`], reading the RHS from the
+    /// internal buffer filled via [`SolverSession::rhs_mut`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SolverSession::solve_general`].
+    pub fn solve_general_in_place(&mut self) -> Result<SolveStats, NumError> {
+        self.solve_with(true, false, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stamps a 1-D conduction chain with link conductance `g`.
+    fn chain(n: usize, g: f64) -> TripletMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 2.0 * g + 1.0).unwrap();
+            if i > 0 {
+                t.push(i, i - 1, -g).unwrap();
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -g).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn bind_solve_and_warm_restart() {
+        let n = 40;
+        let t = chain(n, 1.0);
+        let mut s = SolverSession::default();
+        assert!(!s.is_bound());
+        assert!(s.solve_spd(&vec![1.0; n]).is_err());
+
+        s.bind_triplets(&t).unwrap();
+        assert!(s.is_bound());
+        let b = vec![1.0; n];
+        let cold = s.solve_spd(&b).unwrap();
+        assert!(cold.relative_residual <= s.options().tolerance);
+        assert!(cold.iterations > 0);
+        // Same system again: the warm start converges immediately.
+        let warm = s.solve_spd(&b).unwrap();
+        assert!(warm.iterations <= 1, "warm took {}", warm.iterations);
+        assert_eq!(s.stats().solves, 2);
+        assert_eq!(s.stats().binds, 1);
+        assert_eq!(s.stats().precond_setups, 1);
+    }
+
+    #[test]
+    fn refresh_values_updates_operator_and_precond() {
+        let n = 30;
+        let mut s = SolverSession::with_preconditioner(PrecondSpec::Ic0);
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let b = vec![1.0; n];
+        s.solve_spd(&b).unwrap();
+        let x1: Vec<f64> = s.solution().to_vec();
+
+        // New coefficients through the cached pattern.
+        s.refresh_values(&chain(n, 5.0), 1).unwrap();
+        assert_eq!(s.epoch(), 1);
+        s.solve_spd(&b).unwrap();
+        let x2: Vec<f64> = s.solution().to_vec();
+        // Stiffer chain → solution closer to b/diag, definitely different.
+        assert!(x1.iter().zip(&x2).any(|(a, b)| (a - b).abs() > 1e-6));
+        // Reference: a fresh session on the refreshed coefficients.
+        let mut fresh = SolverSession::with_preconditioner(PrecondSpec::Ic0);
+        fresh.bind_triplets(&chain(n, 5.0)).unwrap();
+        fresh.solve_spd(&b).unwrap();
+        for (a, b) in x2.iter().zip(fresh.solution()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        assert_eq!(s.stats().refreshes, 1);
+        assert_eq!(s.stats().precond_setups, 2);
+    }
+
+    #[test]
+    fn in_place_rhs_path_matches_external() {
+        let n = 25;
+        let t = chain(n, 2.0);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut s1 = SolverSession::default();
+        s1.bind_triplets(&t).unwrap();
+        s1.solve_general(&b).unwrap();
+        let mut s2 = SolverSession::default();
+        s2.bind_triplets(&t).unwrap();
+        s2.rhs_mut().extend_from_slice(&b);
+        s2.solve_general_in_place().unwrap();
+        for (a, c) in s1.solution().iter().zip(s2.solution()) {
+            assert!((a - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clone_rebuilds_preconditioner_lazily() {
+        let n = 20;
+        let mut s = SolverSession::with_preconditioner(PrecondSpec::ssor());
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let b = vec![1.0; n];
+        s.solve_spd(&b).unwrap();
+        let mut c = s.clone();
+        // The clone carries the warm start, so it converges immediately —
+        // after silently rebuilding its own preconditioner.
+        let stats = c.solve_spd(&b).unwrap();
+        assert!(stats.iterations <= 1);
+        assert!(c.is_current(s.operator_tag(), s.epoch()));
+    }
+
+    #[test]
+    fn currency_check_distinguishes_tag_and_epoch() {
+        let mut s = SolverSession::default();
+        s.bind_triplets(&chain(8, 1.0)).unwrap();
+        let tag = s.operator_tag();
+        assert!(s.is_current(tag, 0));
+        assert!(!s.is_current(tag + 1, 0));
+        assert!(!s.is_current(tag, 3));
+        s.refresh_values(&chain(8, 2.0), 3).unwrap();
+        assert!(s.is_current(tag, 3));
+        // Unique tags.
+        assert_ne!(next_operator_tag(), next_operator_tag());
+    }
+
+    #[test]
+    fn failed_solve_drops_warm_start() {
+        let n = 12;
+        let mut s = SolverSession::new(IterOptions {
+            max_iterations: 1,
+            tolerance: 1e-14,
+            preconditioner: PrecondSpec::Jacobi,
+        });
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        assert!(s.solve_spd(&vec![1.0; n]).is_err());
+        assert!(s.solution().is_empty());
+    }
+
+    #[test]
+    fn preconditioner_swap_takes_effect() {
+        let n = 50;
+        let mut s = SolverSession::with_preconditioner(PrecondSpec::Jacobi);
+        s.bind_triplets(&chain(n, 10.0)).unwrap();
+        let b = vec![1.0; n];
+        let jac = s.solve_spd(&b).unwrap();
+        s.set_preconditioner(PrecondSpec::Ic0);
+        s.reset_warm_start();
+        let ic0 = s.solve_spd(&b).unwrap();
+        assert!(ic0.iterations < jac.iterations, "{} vs {}", ic0.iterations, jac.iterations);
+        assert_eq!(s.stats().precond_setups, 2);
+    }
+}

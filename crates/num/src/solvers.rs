@@ -8,11 +8,15 @@
 //! * [`bicgstab`] — for the nonsymmetric systems created by upwind
 //!   advection (fluid thermal cells, full 2-D convection–diffusion).
 //!
-//! Both support Jacobi (diagonal) preconditioning, which is remarkably
-//! effective for the diagonally dominant matrices these applications
-//! produce. A Gauss–Seidel/SOR smoother is provided for tests and as a
-//! fallback.
+//! Preconditioning is pluggable via [`crate::precond::Preconditioner`]:
+//! [`IterOptions::preconditioner`] names a [`PrecondSpec`] (Jacobi by
+//! default — remarkably effective for the diagonally dominant matrices
+//! these applications produce; SSOR and IC(0) for the tougher grids),
+//! and the `_preconditioned` entry points accept an already-set-up
+//! preconditioner so sessions can amortize factorizations across solves.
+//! A Gauss–Seidel/SOR smoother is provided for tests and as a fallback.
 
+use crate::precond::{PrecondSpec, Preconditioner};
 use crate::sparse::CsrMatrix;
 use crate::vec_ops::{all_finite, axpy, dot, norm2, sub, xpby};
 use crate::NumError;
@@ -24,8 +28,10 @@ pub struct IterOptions {
     pub tolerance: f64,
     /// Iteration budget.
     pub max_iterations: usize,
-    /// Apply Jacobi (diagonal) preconditioning.
-    pub jacobi_preconditioner: bool,
+    /// Preconditioner choice ([`PrecondSpec::Jacobi`] by default). The
+    /// `_preconditioned` entry points ignore this field and use the
+    /// caller-supplied operator instead.
+    pub preconditioner: PrecondSpec,
 }
 
 impl Default for IterOptions {
@@ -33,7 +39,7 @@ impl Default for IterOptions {
         Self {
             tolerance: 1e-10,
             max_iterations: 10_000,
-            jacobi_preconditioner: true,
+            preconditioner: PrecondSpec::Jacobi,
         }
     }
 }
@@ -79,17 +85,6 @@ fn validate(a: &CsrMatrix, b: &[f64], x0: Option<&[f64]>) -> Result<(), NumError
     Ok(())
 }
 
-fn jacobi_inverse_diagonal_into(a: &CsrMatrix, inv: &mut Vec<f64>) -> Result<(), NumError> {
-    a.diagonal_into(inv);
-    for (i, d) in inv.iter_mut().enumerate() {
-        if d.abs() < f64::MIN_POSITIVE * 16.0 {
-            return Err(NumError::SingularMatrix { index: i });
-        }
-        *d = 1.0 / *d;
-    }
-    Ok(())
-}
-
 /// Iteration statistics of a converged workspace-based solve (the
 /// solution itself lives in the caller's `x` buffer).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,6 +93,15 @@ pub struct SolveStats {
     pub iterations: usize,
     /// Final relative residual `‖b − A·x‖₂ / ‖b‖₂`.
     pub relative_residual: f64,
+}
+
+impl Default for SolveStats {
+    fn default() -> Self {
+        Self {
+            iterations: 0,
+            relative_residual: f64::NAN,
+        }
+    }
 }
 
 /// Preallocated scratch vectors for the Krylov solvers.
@@ -119,7 +123,6 @@ pub struct KrylovWorkspace {
     s: Vec<f64>,
     s_hat: Vec<f64>,
     t: Vec<f64>,
-    m_inv: Vec<f64>,
 }
 
 impl KrylovWorkspace {
@@ -163,8 +166,8 @@ fn prime_guess(x: &mut Vec<f64>, n: usize) {
 ///
 /// * [`NumError::DimensionMismatch`] / [`NumError::InvalidInput`] on bad
 ///   inputs,
-/// * [`NumError::SingularMatrix`] if Jacobi preconditioning meets a zero
-///   diagonal,
+/// * [`NumError::SingularMatrix`] / [`NumError::Breakdown`] from
+///   preconditioner setup (zero diagonal, failed IC(0) pivot),
 /// * [`NumError::Breakdown`] if `pᵀAp ≤ 0` (matrix not SPD),
 /// * [`NumError::NotConverged`] when the budget is exhausted.
 pub fn conjugate_gradient(
@@ -191,7 +194,10 @@ pub fn conjugate_gradient(
 /// point's solution to warm-start); any other length — e.g. an empty
 /// vector — is reset to a zero cold start. On success `x` holds the
 /// solution. `ws` supplies all scratch vectors, so a sweep performs no
-/// per-solve allocation after the first call.
+/// per-solve allocation after the first call. The preconditioner named
+/// by `opts` is built and set up per call; use
+/// [`conjugate_gradient_preconditioned`] (or a
+/// [`crate::session::SolverSession`]) to amortize setup too.
 ///
 /// [`conjugate_gradient`] is a thin wrapper over this function with a
 /// fresh workspace, so results are identical between the two entry
@@ -207,6 +213,29 @@ pub fn conjugate_gradient_with_workspace(
     opts: &IterOptions,
     ws: &mut KrylovWorkspace,
 ) -> Result<SolveStats, NumError> {
+    let mut m = opts.preconditioner.build();
+    m.setup(a)?;
+    conjugate_gradient_preconditioned(a, b, x, opts, ws, m.as_mut())
+}
+
+/// Preconditioned conjugate gradient with a caller-supplied,
+/// already-set-up preconditioner — the amortized entry point used by
+/// [`crate::session::SolverSession`].
+///
+/// `opts.preconditioner` is ignored; `m` must have been
+/// [`Preconditioner::setup`] on (the current values of) `a`.
+///
+/// # Errors
+///
+/// As [`conjugate_gradient`].
+pub fn conjugate_gradient_preconditioned(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut Vec<f64>,
+    opts: &IterOptions,
+    ws: &mut KrylovWorkspace,
+    m: &mut dyn Preconditioner,
+) -> Result<SolveStats, NumError> {
     validate(a, b, None)?;
     let n = b.len();
     prime_guess(x, n);
@@ -218,10 +247,6 @@ pub fn conjugate_gradient_with_workspace(
             relative_residual: 0.0,
         });
     }
-    let use_jacobi = opts.jacobi_preconditioner;
-    if use_jacobi {
-        jacobi_inverse_diagonal_into(a, &mut ws.m_inv)?;
-    }
     ws.resize_cg(n);
     let r = &mut ws.r;
     let z = &mut ws.z;
@@ -231,12 +256,7 @@ pub fn conjugate_gradient_with_workspace(
     a.matvec_into(x, ap)?;
     sub(b, ap, r);
 
-    z.copy_from_slice(r);
-    if use_jacobi {
-        for (zi, mi) in z.iter_mut().zip(&ws.m_inv) {
-            *zi *= mi;
-        }
-    }
+    m.apply(z, r);
     p.copy_from_slice(z);
     let mut rz = dot(r, z);
 
@@ -259,12 +279,7 @@ pub fn conjugate_gradient_with_workspace(
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
 
-        z.copy_from_slice(r);
-        if use_jacobi {
-            for (zi, mi) in z.iter_mut().zip(&ws.m_inv) {
-                *zi *= mi;
-            }
-        }
+        m.apply(z, r);
         let rz_new = dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
@@ -316,6 +331,29 @@ pub fn bicgstab_with_workspace(
     opts: &IterOptions,
     ws: &mut KrylovWorkspace,
 ) -> Result<SolveStats, NumError> {
+    let mut m = opts.preconditioner.build();
+    m.setup(a)?;
+    bicgstab_preconditioned(a, b, x, opts, ws, m.as_mut())
+}
+
+/// Preconditioned BiCGSTAB with a caller-supplied, already-set-up
+/// preconditioner — the amortized entry point used by
+/// [`crate::session::SolverSession`].
+///
+/// `opts.preconditioner` is ignored; `m` must have been
+/// [`Preconditioner::setup`] on (the current values of) `a`.
+///
+/// # Errors
+///
+/// As [`bicgstab`].
+pub fn bicgstab_preconditioned(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut Vec<f64>,
+    opts: &IterOptions,
+    ws: &mut KrylovWorkspace,
+    m: &mut dyn Preconditioner,
+) -> Result<SolveStats, NumError> {
     validate(a, b, None)?;
     let n = b.len();
     prime_guess(x, n);
@@ -327,20 +365,7 @@ pub fn bicgstab_with_workspace(
             relative_residual: 0.0,
         });
     }
-    let use_jacobi = opts.jacobi_preconditioner;
-    if use_jacobi {
-        jacobi_inverse_diagonal_into(a, &mut ws.m_inv)?;
-    }
     ws.resize_bicgstab(n);
-    let m_inv = &ws.m_inv;
-    let precond = |dst: &mut [f64], src: &[f64]| {
-        dst.copy_from_slice(src);
-        if use_jacobi {
-            for (d, m) in dst.iter_mut().zip(m_inv) {
-                *d *= m;
-            }
-        }
-    };
     let r = &mut ws.r;
     let r_hat = &mut ws.r_hat;
     let v = &mut ws.v;
@@ -380,7 +405,7 @@ pub fn bicgstab_with_workspace(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        precond(p_hat, p);
+        m.apply(p_hat, p);
         a.matvec_into(p_hat, v)?;
         let rhat_v = dot(r_hat, v);
         if rhat_v.abs() < 1e-300 {
@@ -401,7 +426,7 @@ pub fn bicgstab_with_workspace(
                 relative_residual: norm2(r) / b_norm,
             });
         }
-        precond(s_hat, s);
+        m.apply(s_hat, s);
         a.matvec_into(s_hat, t)?;
         let tt = dot(t, t);
         if tt.abs() < 1e-300 {
@@ -568,7 +593,7 @@ mod tests {
             &b,
             None,
             &IterOptions {
-                jacobi_preconditioner: true,
+                preconditioner: PrecondSpec::Jacobi,
                 ..IterOptions::default()
             },
         )
@@ -578,7 +603,7 @@ mod tests {
             &b,
             None,
             &IterOptions {
-                jacobi_preconditioner: false,
+                preconditioner: PrecondSpec::None,
                 ..IterOptions::default()
             },
         )
@@ -588,6 +613,68 @@ mod tests {
         // hurts. (It pays off on the variable-coefficient matrices of the
         // thermal/PDN crates.)
         assert!(with.iterations <= without.iterations + 1);
+    }
+
+    #[test]
+    fn stronger_preconditioners_cut_iterations_on_laplacian() {
+        let n = 24;
+        let a = laplacian_2d(n);
+        let b = vec![1.0; n * n];
+        let iters = |spec: PrecondSpec| {
+            conjugate_gradient(
+                &a,
+                &b,
+                None,
+                &IterOptions {
+                    preconditioner: spec,
+                    ..IterOptions::default()
+                },
+            )
+            .unwrap()
+            .iterations
+        };
+        let jacobi = iters(PrecondSpec::Jacobi);
+        let ssor = iters(PrecondSpec::ssor());
+        let ic0 = iters(PrecondSpec::Ic0);
+        // ≥1.5× on this small grid; the gap widens with grid size (the
+        // PR-2 bench gates ≥2× on the production-size PDN grid).
+        assert!(
+            3 * ssor <= 2 * jacobi,
+            "SSOR should cut CG iterations ≥1.5x: {ssor} vs {jacobi}"
+        );
+        assert!(
+            3 * ic0 <= 2 * jacobi,
+            "IC(0) should cut CG iterations ≥1.5x: {ic0} vs {jacobi}"
+        );
+    }
+
+    #[test]
+    fn all_preconditioners_reach_the_same_solution() {
+        let n = 16;
+        let a = laplacian_2d(n);
+        let x_true: Vec<f64> = (0..n * n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        for spec in [
+            PrecondSpec::None,
+            PrecondSpec::Jacobi,
+            PrecondSpec::ssor(),
+            PrecondSpec::Ssor { omega: 1.5 },
+            PrecondSpec::Ic0,
+        ] {
+            let sol = conjugate_gradient(
+                &a,
+                &b,
+                None,
+                &IterOptions {
+                    preconditioner: spec,
+                    ..IterOptions::default()
+                },
+            )
+            .unwrap();
+            for (xi, ti) in sol.x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-6, "{:?}: {xi} vs {ti}", spec);
+            }
+        }
     }
 
     #[test]
@@ -609,6 +696,28 @@ mod tests {
         let sol = bicgstab(&a, &b, None, &IterOptions::default()).unwrap();
         for (xi, ti) in sol.x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-6, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn bicgstab_with_ssor_matches_jacobi_on_nonsymmetric() {
+        let n = 120;
+        let a = convection_diffusion_1d(n, 2.0);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let jac = bicgstab(&a, &b, None, &IterOptions::default()).unwrap();
+        let ssor = bicgstab(
+            &a,
+            &b,
+            None,
+            &IterOptions {
+                preconditioner: PrecondSpec::ssor(),
+                ..IterOptions::default()
+            },
+        )
+        .unwrap();
+        for (u, v) in jac.x.iter().zip(&ssor.x) {
+            assert!((u - v).abs() < 1e-6, "{u} vs {v}");
         }
     }
 
@@ -671,7 +780,7 @@ mod tests {
             &IterOptions {
                 tolerance: 1e-9,
                 max_iterations: 5000,
-                jacobi_preconditioner: false,
+                preconditioner: PrecondSpec::None,
             },
         )
         .unwrap();

@@ -420,6 +420,35 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Copies the stored values of a same-pattern matrix into this one —
+    /// the O(nnz) sync path solver sessions use when the owning solver
+    /// has already refreshed its own copy of the operator.
+    ///
+    /// Only shape and nnz are checked (a full pattern comparison would
+    /// cost as much as the copy); both matrices originating from the
+    /// same [`CsrSymbolic`] is the caller's contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if shapes or nnz differ.
+    pub fn copy_values_from(&mut self, src: &CsrMatrix) -> Result<(), NumError> {
+        if self.rows != src.rows || self.cols != src.cols || self.values.len() != src.values.len()
+        {
+            return Err(NumError::DimensionMismatch(format!(
+                "copy_values_from: {}x{} ({} nnz) vs {}x{} ({} nnz)",
+                self.rows,
+                self.cols,
+                self.values.len(),
+                src.rows,
+                src.cols,
+                src.values.len()
+            )));
+        }
+        debug_assert_eq!(self.col_idx, src.col_idx, "copy_values_from: pattern mismatch");
+        self.values.copy_from_slice(&src.values);
+        Ok(())
+    }
+
     /// Extracts the main diagonal (0.0 where absent from the pattern).
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()

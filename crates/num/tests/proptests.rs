@@ -10,7 +10,7 @@ use bright_num::solvers::{
     sor_solve, IterOptions, KrylovWorkspace,
 };
 use bright_num::vec_ops;
-use bright_num::TripletMatrix;
+use bright_num::{PrecondSpec, SolverSession, TripletMatrix};
 
 fn lcg(seed: u64, i: u64, salt: u64) -> f64 {
     let x = i
@@ -106,7 +106,7 @@ proptest! {
         let sol = conjugate_gradient(&a, &rhs, None, &IterOptions {
             tolerance: 1e-12,
             max_iterations: 20_000,
-            jacobi_preconditioner: true,
+            preconditioner: PrecondSpec::Jacobi,
         }).unwrap();
         for (xs, xt) in sol.x.iter().zip(&x_true) {
             prop_assert!((xs - xt).abs() < 1e-6, "{xs} vs {xt}");
@@ -136,7 +136,7 @@ proptest! {
         let a = t.to_csr();
         prop_assume!(a.is_diagonally_dominant());
         let rhs: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 29)).collect();
-        let opts = IterOptions { tolerance: 1e-11, max_iterations: 50_000, jacobi_preconditioner: true };
+        let opts = IterOptions { tolerance: 1e-11, max_iterations: 50_000, preconditioner: PrecondSpec::Jacobi };
         let cg = conjugate_gradient(&a, &rhs, None, &opts);
         prop_assume!(cg.is_ok()); // skip the rare non-SPD draw
         let cg = cg.unwrap();
@@ -197,7 +197,7 @@ proptest! {
         let a = random_spd(n, seed);
         let x_true: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 53)).collect();
         let b = a.matvec(&x_true).unwrap();
-        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, jacobi_preconditioner: true };
+        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, preconditioner: PrecondSpec::Jacobi };
 
         let cold = conjugate_gradient(&a, &b, None, &opts).unwrap();
 
@@ -230,7 +230,7 @@ proptest! {
         let a = random_nonsymmetric(n, seed);
         let x_true: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 61)).collect();
         let b = a.matvec(&x_true).unwrap();
-        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, jacobi_preconditioner: true };
+        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, preconditioner: PrecondSpec::Jacobi };
 
         let cold = bicgstab(&a, &b, None, &opts).unwrap();
 
@@ -311,5 +311,100 @@ proptest! {
                     "({i},{j}): {a} vs {b}");
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ssor_and_ic0_cg_match_jacobi_solution(n in 3usize..28, seed in 0u64..300) {
+        // All preconditioner choices solve the *same* system to the same
+        // relative residual; the returned solutions must agree within
+        // the convergence tolerance.
+        let a = random_spd(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 83)).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let solve = |spec: PrecondSpec| {
+            conjugate_gradient(&a, &b, None, &IterOptions {
+                tolerance: 1e-11,
+                max_iterations: 20_000,
+                preconditioner: spec,
+            }).unwrap()
+        };
+        let jacobi = solve(PrecondSpec::Jacobi);
+        for spec in [PrecondSpec::ssor(), PrecondSpec::Ssor { omega: 1.4 }, PrecondSpec::Ic0] {
+            let other = solve(spec);
+            prop_assert!(other.relative_residual <= 1e-11);
+            for (u, v) in jacobi.x.iter().zip(&other.x) {
+                prop_assert!((u - v).abs() < 1e-7, "{spec:?}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ssor_bicgstab_matches_jacobi_on_nonsymmetric(n in 4usize..48, seed in 0u64..300) {
+        let a = random_nonsymmetric(n, seed);
+        let x_true: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 89)).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let solve = |spec: PrecondSpec| {
+            bicgstab(&a, &b, None, &IterOptions {
+                tolerance: 1e-11,
+                max_iterations: 20_000,
+                preconditioner: spec,
+            }).unwrap()
+        };
+        let jacobi = solve(PrecondSpec::Jacobi);
+        let ssor = solve(PrecondSpec::ssor());
+        prop_assert!(ssor.relative_residual <= 1e-11);
+        for (u, v) in jacobi.x.iter().zip(&ssor.x) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn session_solves_match_direct_solver_across_refreshes(
+        n in 3usize..20,
+        seed in 0u64..200,
+        scale in 0.2..5.0f64,
+    ) {
+        // A session bound once and refreshed must produce the same
+        // solutions as one-shot solves on freshly assembled operators.
+        let stamp = |k: f64| {
+            let mut t = TripletMatrix::new(n, n);
+            for i in 0..n {
+                let mut off = 0.0;
+                for j in 0..n {
+                    if i != j {
+                        let v = lcg(seed, (i * n + j) as u64, 97) * k;
+                        if v.abs() > 0.12 * k.abs() {
+                            t.push(i, j, v).unwrap();
+                            off += v.abs();
+                        }
+                    }
+                }
+                t.push(i, i, 2.0 * off + k.abs() + 1.0).unwrap();
+            }
+            t
+        };
+        let b: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 101)).collect();
+        let opts = IterOptions { tolerance: 1e-11, max_iterations: 20_000, preconditioner: PrecondSpec::ssor() };
+
+        let mut session = SolverSession::new(opts.clone());
+        session.bind_triplets(&stamp(1.0)).unwrap();
+        session.solve_general(&b).unwrap();
+        let direct = bicgstab(&stamp(1.0).to_csr(), &b, None, &opts).unwrap();
+        for (u, v) in session.solution().iter().zip(&direct.x) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+
+        session.refresh_values(&stamp(scale), 1).unwrap();
+        session.solve_general(&b).unwrap();
+        let direct2 = bicgstab(&stamp(scale).to_csr(), &b, None, &opts).unwrap();
+        for (u, v) in session.solution().iter().zip(&direct2.x) {
+            prop_assert!((u - v).abs() < 1e-7, "{u} vs {v}");
+        }
+        prop_assert_eq!(session.stats().binds, 1);
+        prop_assert_eq!(session.stats().refreshes, 1);
     }
 }

@@ -6,36 +6,24 @@
 //! output voltage through a series port resistance. The resulting SPD
 //! system is solved with preconditioned CG, yielding the voltage map of
 //! Fig. 8.
+//!
+//! The conductance system is assembled once through the symbolic/numeric
+//! CSR split and never changes afterwards
+//! ([`PowerGrid::set_power_density`] touches only the RHS), so repeated
+//! solves run through a [`SolverSession`] bound once to the operator:
+//! Krylov scratch, warm start and the preconditioner factorization are
+//! all amortized across the sweep. The default session preconditioner is
+//! SSOR — the weakly dominant sheet Laplacian is where it beats Jacobi
+//! by the largest margin (see `BENCH_PR2.json`).
 
 use crate::ports::PortLayout;
 use crate::PdnError;
 use bright_mesh::{Field2d, Grid2d};
-use bright_num::solvers::{conjugate_gradient_with_workspace, IterOptions, KrylovWorkspace};
-use bright_num::{CsrMatrix, TripletMatrix};
+use bright_num::session::next_operator_tag;
+use bright_num::solvers::IterOptions;
+use bright_num::{CsrMatrix, CsrSymbolic, PrecondSpec, SolverSession};
+use bright_num::TripletMatrix;
 use bright_units::{Ampere, Volt, Watt};
-
-/// Reusable per-solve state for PDN sweeps: Krylov scratch plus the
-/// previous voltage map, used to warm-start the next solve (IR-drop maps
-/// change little between neighbouring sweep points).
-#[derive(Debug, Clone, Default)]
-pub struct PdnWorkspace {
-    krylov: KrylovWorkspace,
-    /// Warm start in, solution out.
-    x: Vec<f64>,
-}
-
-impl PdnWorkspace {
-    /// Creates an empty workspace (buffers grow on first solve).
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Drops the warm start so the next solve is cold.
-    pub fn reset_warm_start(&mut self) {
-        self.x.clear();
-    }
-}
 
 /// A configured power grid ready to solve.
 ///
@@ -50,8 +38,11 @@ pub struct PowerGrid {
     port_resistance: f64,
     port_cells: Vec<(usize, usize)>,
     sink_current: Field2d,
+    symbolic: CsrSymbolic,
     system: CsrMatrix,
     rhs: Vec<f64>,
+    /// Session-facing operator identity.
+    tag: u64,
 }
 
 /// The solved voltage distribution.
@@ -134,16 +125,19 @@ impl PowerGrid {
             port_resistance,
             port_cells,
             sink_current,
+            symbolic: TripletMatrix::new(0, 0).to_csr_symbolic(),
             system: CsrMatrix::empty(),
             rhs: Vec::new(),
+            tag: next_operator_tag(),
         };
         pg.assemble()?;
         Ok(pg)
     }
 
-    /// Assembles the conductance matrix and RHS. Called once from
-    /// [`PowerGrid::new`]; [`PowerGrid::set_power_density`] refreshes the
-    /// RHS only (the matrix is load-independent).
+    /// Assembles the conductance matrix and RHS through the
+    /// symbolic/numeric split. Called once from [`PowerGrid::new`];
+    /// [`PowerGrid::set_power_density`] refreshes the RHS only (the
+    /// matrix is load-independent).
     fn assemble(&mut self) -> Result<(), PdnError> {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
@@ -176,7 +170,8 @@ impl PowerGrid {
             let me = idx(ix, iy);
             t.push(me, me, g_port).map_err(PdnError::from)?;
         }
-        self.system = t.to_csr();
+        self.symbolic = t.to_csr_symbolic();
+        self.system = self.symbolic.numeric(&t).map_err(PdnError::from)?;
         self.rebuild_rhs();
         Ok(())
     }
@@ -264,49 +259,75 @@ impl PowerGrid {
         Ampere::new(self.sink_current.as_slice().iter().sum())
     }
 
+    /// Iteration options tuned for the PDN solve (CG on the SPD sheet
+    /// Laplacian), with the given preconditioner.
+    #[must_use]
+    pub fn iter_options(preconditioner: PrecondSpec) -> IterOptions {
+        IterOptions {
+            tolerance: 1e-11,
+            max_iterations: 50_000,
+            preconditioner,
+        }
+    }
+
+    /// The default session preconditioner: SSOR over-relaxed for the
+    /// sheet Laplacian (≈3× fewer CG iterations than Jacobi on the
+    /// production grids; see `BENCH_PR2.json`).
+    #[must_use]
+    pub fn default_preconditioner() -> PrecondSpec {
+        PrecondSpec::Ssor { omega: 1.5 }
+    }
+
+    /// Creates a solver session bound to this grid's conductance system
+    /// with the default preconditioner. One session per sweep (or per
+    /// worker thread) amortizes scratch, factorization and warm start.
+    #[must_use]
+    pub fn session(&self) -> SolverSession {
+        self.session_with(Self::default_preconditioner())
+    }
+
+    /// As [`PowerGrid::session`] with an explicit preconditioner choice
+    /// (benches compare Jacobi/SSOR/IC(0) this way).
+    #[must_use]
+    pub fn session_with(&self, preconditioner: PrecondSpec) -> SolverSession {
+        let mut session = SolverSession::new(Self::iter_options(preconditioner));
+        session.bind(&self.symbolic, &self.system, self.tag, 0);
+        session
+    }
+
     /// Solves the grid for the voltage map.
     ///
     /// # Errors
     ///
     /// Returns [`PdnError::Numerical`] if CG fails.
     pub fn solve(&self) -> Result<PdnSolution, PdnError> {
-        let mut ws = PdnWorkspace::new();
-        self.solve_warm(&mut ws)
+        let mut session = self.session();
+        self.solve_warm(&mut session)
     }
 
-    /// As [`PowerGrid::solve`], but reusing a caller-owned workspace: the
-    /// Krylov scratch is reused across solves and the solve warm-starts
-    /// from the previous voltage map held in `ws` — the fast path when
-    /// sweeping loads via [`PowerGrid::set_power_density`].
+    /// As [`PowerGrid::solve`], but reusing a caller-owned
+    /// [`SolverSession`]: scratch and preconditioner are reused across
+    /// solves and the solve warm-starts from the previous voltage map —
+    /// the fast path when sweeping loads via
+    /// [`PowerGrid::set_power_density`]. An unbound or foreign session
+    /// is (re)bound to this grid's operator automatically.
     ///
     /// # Errors
     ///
     /// As [`PowerGrid::solve`].
-    pub fn solve_warm(&self, ws: &mut PdnWorkspace) -> Result<PdnSolution, PdnError> {
+    pub fn solve_warm(&self, session: &mut SolverSession) -> Result<PdnSolution, PdnError> {
+        if !session.is_current(self.tag, 0) {
+            session.bind(&self.symbolic, &self.system, self.tag, 0);
+        }
         let n = self.grid.len();
-        if ws.x.len() != n {
+        if session.solution().len() != n {
             // No previous solution: start from the flat supply voltage,
             // matching the cold-start path.
-            ws.x.clear();
-            ws.x.resize(n, self.supply.value());
+            session.seed_uniform(n, self.supply.value());
         }
-        if let Err(e) = conjugate_gradient_with_workspace(
-            &self.system,
-            &self.rhs,
-            &mut ws.x,
-            &IterOptions {
-                tolerance: 1e-11,
-                max_iterations: 50_000,
-                jacobi_preconditioner: true,
-            },
-            &mut ws.krylov,
-        ) {
-            // A failed iterate must not become the next point's warm
-            // start; drop it so the following solve cold-starts.
-            ws.reset_warm_start();
-            return Err(PdnError::from(e));
-        }
-        let voltage = Field2d::from_vec(self.grid.clone(), ws.x.clone()).expect("sized from grid");
+        session.solve_spd(&self.rhs).map_err(PdnError::from)?;
+        let voltage =
+            Field2d::from_vec(self.grid.clone(), session.solution().to_vec()).expect("sized from grid");
         Ok(PdnSolution {
             voltage,
             supply: self.supply,
@@ -518,8 +539,8 @@ mod tests {
             .unwrap();
 
         let cold = pg.solve().unwrap();
-        let mut ws = PdnWorkspace::new();
-        let warm_first = pg.solve_warm(&mut ws).unwrap();
+        let mut session = pg.session();
+        let warm_first = pg.solve_warm(&mut session).unwrap();
         for (a, b) in cold
             .voltage_map()
             .as_slice()
@@ -532,7 +553,7 @@ mod tests {
         // Swap the load without re-assembling; the warm-started result
         // must match a freshly built grid at the new load.
         pg.set_power_density(&heavy).unwrap();
-        let warm = pg.solve_warm(&mut ws).unwrap();
+        let warm = pg.solve_warm(&mut session).unwrap();
         let fresh = PowerGrid::new(grid.clone(), 0.05, Volt::new(1.0), 0.01, &ports, &heavy)
             .unwrap()
             .solve()
@@ -545,11 +566,72 @@ mod tests {
         {
             assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }
+        // Session bound once, preconditioner factored once, 2 solves.
+        assert_eq!(session.stats().binds, 1);
+        assert_eq!(session.stats().precond_setups, 1);
+        assert_eq!(session.stats().solves, 2);
         // The update validates its input.
         let wrong = Field2d::zeros(Grid2d::new(5, 5, 1e-3, 1e-3).unwrap());
         assert!(pg.set_power_density(&wrong).is_err());
         let neg = Field2d::constant(grid, -1.0);
         assert!(pg.set_power_density(&neg).is_err());
+    }
+
+    #[test]
+    fn preconditioner_choices_agree_and_ssor_ic0_iterate_less() {
+        let grid = small_grid();
+        let load = Field2d::constant(grid.clone(), 2e4);
+        let pg = PowerGrid::new(
+            grid,
+            0.05,
+            Volt::new(1.0),
+            0.01,
+            &PortLayout::UniformArray { pitch: 3e-3 },
+            &load,
+        )
+        .unwrap();
+        let run = |spec: PrecondSpec| {
+            let mut s = pg.session_with(spec);
+            let sol = pg.solve_warm(&mut s).unwrap();
+            (sol, s.last_stats().iterations)
+        };
+        let (v_jac, it_jac) = run(PrecondSpec::Jacobi);
+        for spec in [PrecondSpec::ssor(), PowerGrid::default_preconditioner(), PrecondSpec::Ic0] {
+            let (v, it) = run(spec);
+            assert!(it < it_jac, "{spec:?}: {it} vs jacobi {it_jac}");
+            for (a, b) in v
+                .voltage_map()
+                .as_slice()
+                .iter()
+                .zip(v_jac.voltage_map().as_slice())
+            {
+                assert!((a - b).abs() < 1e-8, "{spec:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_session_is_rebound() {
+        // A session bound to one grid keeps working when handed to
+        // another (it rebinds and cold-starts).
+        let grid = small_grid();
+        let load = Field2d::constant(grid.clone(), 1e4);
+        let ports = PortLayout::UniformArray { pitch: 3e-3 };
+        let a = PowerGrid::new(grid.clone(), 0.05, Volt::new(1.0), 0.01, &ports, &load).unwrap();
+        let b = PowerGrid::new(grid, 0.10, Volt::new(1.0), 0.01, &ports, &load).unwrap();
+        let mut session = a.session();
+        a.solve_warm(&mut session).unwrap();
+        let sol_b = b.solve_warm(&mut session).unwrap();
+        let fresh_b = b.solve().unwrap();
+        for (x, y) in sol_b
+            .voltage_map()
+            .as_slice()
+            .iter()
+            .zip(fresh_b.voltage_map().as_slice())
+        {
+            assert!((x - y).abs() < 1e-8);
+        }
+        assert_eq!(session.stats().binds, 2);
     }
 
     #[test]

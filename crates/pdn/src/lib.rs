@@ -35,7 +35,7 @@ pub mod ports;
 pub mod presets;
 pub mod vrm;
 
-pub use grid::{PdnSolution, PdnWorkspace, PowerGrid};
+pub use grid::{PdnSolution, PowerGrid};
 pub use ports::PortLayout;
 pub use vrm::Vrm;
 

@@ -40,7 +40,7 @@ pub mod stack;
 pub mod transient;
 
 pub use materials::Material;
-pub use model::{ThermalModel, ThermalSolution, ThermalWorkspace};
+pub use model::{ThermalModel, ThermalSolution};
 pub use stack::{LayerSpec, MicrochannelSpec, StackConfig};
 
 use std::fmt;

@@ -1,13 +1,26 @@
 //! Assembly and steady-state solution of the thermal network.
+//!
+//! The operator is assembled **once** per model through the symbolic/
+//! numeric CSR split: the stamp list, the compiled [`CsrSymbolic`]
+//! pattern and the numeric matrix are all cached. Flow-rate and
+//! inlet-temperature sweeps call [`ThermalModel::refresh_coefficients`]
+//! to re-stamp *values* through the cached pattern in O(nnz) — the
+//! sparsity is identical between such configurations, only conductances
+//! change — instead of rebuilding the model. Solves run through a
+//! [`SolverSession`] (Krylov scratch + warm start + preconditioner),
+//! kept in sync with the operator by an (operator tag, coefficient
+//! epoch) pair.
 
 use crate::stack::{LayerSpec, MicrochannelSpec, StackConfig};
 use crate::ThermalError;
 use bright_flow::laminar::heat_transfer_coefficient;
 use bright_flow::RectChannel;
 use bright_mesh::{Field2d, Grid2d};
-use bright_num::solvers::{bicgstab_with_workspace, IterOptions, KrylovWorkspace};
-use bright_num::TripletMatrix;
-use bright_units::{Kelvin, Meters, Watt};
+use bright_num::session::next_operator_tag;
+use bright_num::solvers::IterOptions;
+use bright_num::{CsrSymbolic, PrecondSpec, SolverSession, TripletMatrix};
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters, Watt};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// One vertical level of the flattened stack.
@@ -30,46 +43,25 @@ enum Level {
     },
 }
 
-/// The assembled conductance operator and its source-independent RHS —
-/// both are functions of the stack geometry only, so they are built once
-/// per model and shared by every solve (steady sweeps, transients).
+/// The assembled conductance operator: the stamp list, the compiled
+/// sparsity pattern, the numeric matrix and the source-independent RHS.
+/// Built once per model; coefficient refreshes re-stamp the values
+/// through the cached pattern.
 #[derive(Debug, Clone)]
 pub(crate) struct ThermalOperator {
+    /// The stamp list of the last assembly/refresh (kept so refreshes
+    /// reuse the allocation and the scatter map stays valid).
+    triplets: TripletMatrix,
+    symbolic: CsrSymbolic,
     pub(crate) matrix: bright_num::CsrMatrix,
     /// Inlet forcing and top-cooling ambient terms (power-independent).
     pub(crate) rhs_base: Vec<f64>,
-}
-
-/// Reusable per-solve state for steady thermal sweeps.
-///
-/// Holds the Krylov scratch vectors, the RHS buffer, and the previous
-/// solution used as the warm start of the next solve. One workspace per
-/// sweep (or per worker thread) amortizes every allocation and lets each
-/// sweep point start from the last point's temperature field.
-#[derive(Debug, Clone, Default)]
-pub struct ThermalWorkspace {
-    krylov: KrylovWorkspace,
-    /// Warm start in, solution out.
-    x: Vec<f64>,
-    rhs: Vec<f64>,
-}
-
-impl ThermalWorkspace {
-    /// Creates an empty workspace (buffers grow on first solve).
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Drops the warm start so the next solve is cold (used when the
-    /// next sweep point is unrelated to the previous one).
-    pub fn reset_warm_start(&mut self) {
-        self.x.clear();
-    }
+    /// Session-facing operator identity (see [`next_operator_tag`]).
+    tag: u64,
 }
 
 /// The assembled compact thermal model.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ThermalModel {
     config: StackConfig,
     levels: Vec<Level>,
@@ -77,6 +69,28 @@ pub struct ThermalModel {
     /// Lazily built, then shared by all solves on this model (clones
     /// carry the cache along).
     operator: OnceLock<ThermalOperator>,
+    /// Coefficient epoch: bumped by every refresh so bound sessions can
+    /// resync values without re-assembly.
+    epoch: u64,
+    /// Full (symbolic) operator assemblies over this model's lifetime —
+    /// the counter sweep tests use to prove refreshes don't re-assemble.
+    assemblies: AtomicUsize,
+    /// Value-only refreshes over this model's lifetime.
+    refreshes: usize,
+}
+
+impl Clone for ThermalModel {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            levels: self.levels.clone(),
+            grid: self.grid.clone(),
+            operator: self.operator.clone(),
+            epoch: self.epoch,
+            assemblies: AtomicUsize::new(self.assemblies.load(Ordering::Relaxed)),
+            refreshes: self.refreshes,
+        }
+    }
 }
 
 /// A solved temperature field.
@@ -86,6 +100,78 @@ pub struct ThermalSolution {
     fluid_levels: Vec<usize>,
     inlet: Kelvin,
     capacity_rate: f64,
+}
+
+/// Builds the per-level coefficient table from a (validated) stack
+/// configuration. Shared by construction and coefficient refreshes so
+/// both produce bit-identical values.
+fn build_levels(config: &StackConfig, grid: &Grid2d) -> Result<Vec<Level>, ThermalError> {
+    let pitch = config.pitch().value();
+    let dy = grid.dy();
+    let mut levels = Vec::with_capacity(config.total_levels());
+    for layer in &config.layers {
+        match layer {
+            LayerSpec::Solid {
+                material,
+                thickness,
+                sublayers,
+                ..
+            } => {
+                let dz = thickness.value() / *sublayers as f64;
+                for _ in 0..*sublayers {
+                    levels.push(Level::Solid {
+                        conductivity: material.conductivity.value(),
+                        heat_capacity: material.heat_capacity.value(),
+                        dz,
+                    });
+                }
+            }
+            LayerSpec::Microchannel { spec, .. } => {
+                let w = spec.channel_width.value();
+                let h_ch = spec.channel_height.value();
+                let cpc = spec.channels_per_cell as f64;
+                // Wall (fin) thickness attributed to each channel.
+                let t_wall = (pitch - cpc * w) / cpc;
+                // Capacity rate of all channels lumped in one cell.
+                let capacity_rate = spec.fluid.volumetric_heat_capacity.value()
+                    * spec.total_flow.value()
+                    / config.nx as f64;
+                // Heat-transfer coefficient from the laminar H1
+                // Nusselt correlation for one physical channel.
+                let duct = RectChannel::new(
+                    Meters::new(w),
+                    Meters::new(h_ch),
+                    Meters::new(config.height.value()),
+                )
+                .map_err(|e| ThermalError::InvalidConfig(e.to_string()))?;
+                let htc = heat_transfer_coefficient(&spec.fluid, &duct);
+                // Fin homogenization: side walls are fins of thickness
+                // t_wall wetted on both faces, split top/bottom; each
+                // cell aggregates `cpc` channels.
+                let k_wall = spec.wall_material.conductivity.value();
+                let g_conv = if t_wall > 0.0 {
+                    let m = (2.0 * htc / (k_wall * t_wall)).sqrt();
+                    let mh = m * h_ch / 2.0;
+                    let eta = if mh > 1e-12 { mh.tanh() / mh } else { 1.0 };
+                    cpc * htc * dy * (w + eta * h_ch)
+                } else {
+                    cpc * htc * dy * w
+                };
+                let g_wall = if t_wall > 0.0 {
+                    cpc * k_wall * t_wall * dy / h_ch
+                } else {
+                    0.0
+                };
+                levels.push(Level::Fluid {
+                    spec: *spec,
+                    capacity_rate,
+                    g_conv,
+                    g_wall,
+                });
+            }
+        }
+    }
+    Ok(levels)
 }
 
 impl ThermalModel {
@@ -126,77 +212,15 @@ impl ThermalModel {
             config.ny,
         )
         .map_err(|e| ThermalError::InvalidConfig(e.to_string()))?;
-
-        let pitch = config.pitch().value();
-        let dy = grid.dy();
-        let mut levels = Vec::with_capacity(config.total_levels());
-        for layer in &config.layers {
-            match layer {
-                LayerSpec::Solid {
-                    material,
-                    thickness,
-                    sublayers,
-                    ..
-                } => {
-                    let dz = thickness.value() / *sublayers as f64;
-                    for _ in 0..*sublayers {
-                        levels.push(Level::Solid {
-                            conductivity: material.conductivity.value(),
-                            heat_capacity: material.heat_capacity.value(),
-                            dz,
-                        });
-                    }
-                }
-                LayerSpec::Microchannel { spec, .. } => {
-                    let w = spec.channel_width.value();
-                    let h_ch = spec.channel_height.value();
-                    let cpc = spec.channels_per_cell as f64;
-                    // Wall (fin) thickness attributed to each channel.
-                    let t_wall = (pitch - cpc * w) / cpc;
-                    // Capacity rate of all channels lumped in one cell.
-                    let capacity_rate = spec.fluid.volumetric_heat_capacity.value()
-                        * spec.total_flow.value()
-                        / config.nx as f64;
-                    // Heat-transfer coefficient from the laminar H1
-                    // Nusselt correlation for one physical channel.
-                    let duct = RectChannel::new(
-                        Meters::new(w),
-                        Meters::new(h_ch),
-                        Meters::new(config.height.value()),
-                    )
-                    .map_err(|e| ThermalError::InvalidConfig(e.to_string()))?;
-                    let htc = heat_transfer_coefficient(&spec.fluid, &duct);
-                    // Fin homogenization: side walls are fins of thickness
-                    // t_wall wetted on both faces, split top/bottom; each
-                    // cell aggregates `cpc` channels.
-                    let k_wall = spec.wall_material.conductivity.value();
-                    let g_conv = if t_wall > 0.0 {
-                        let m = (2.0 * htc / (k_wall * t_wall)).sqrt();
-                        let mh = m * h_ch / 2.0;
-                        let eta = if mh > 1e-12 { mh.tanh() / mh } else { 1.0 };
-                        cpc * htc * dy * (w + eta * h_ch)
-                    } else {
-                        cpc * htc * dy * w
-                    };
-                    let g_wall = if t_wall > 0.0 {
-                        cpc * k_wall * t_wall * dy / h_ch
-                    } else {
-                        0.0
-                    };
-                    levels.push(Level::Fluid {
-                        spec: *spec,
-                        capacity_rate,
-                        g_conv,
-                        g_wall,
-                    });
-                }
-            }
-        }
+        let levels = build_levels(&config, &grid)?;
         Ok(Self {
             config,
             levels,
             grid,
             operator: OnceLock::new(),
+            epoch: 0,
+            assemblies: AtomicUsize::new(0),
+            refreshes: 0,
         })
     }
 
@@ -245,7 +269,7 @@ impl ThermalModel {
         level * self.grid.len() + iy * self.grid.nx() + ix
     }
 
-    /// Exact stamp count of [`ThermalModel::assemble_operator`], so the
+    /// Exact stamp count of [`ThermalModel::stamp_operator`], so the
     /// triplet buffer is sized once with no growth reallocation in the
     /// assembly loops.
     fn operator_stamp_count(&self) -> usize {
@@ -279,23 +303,52 @@ impl ThermalModel {
         count
     }
 
-    /// The cached conductance operator, assembled on first use.
+    /// The cached operator, assembled on first use.
     pub(crate) fn operator(&self) -> Result<&ThermalOperator, ThermalError> {
         bright_num::lazy::get_or_try_init(&self.operator, || self.assemble_operator())
     }
 
-    /// Assembles the steady conductance matrix `G` and the
-    /// power-independent part of the RHS (inlet forcing, top-cooling
-    /// ambient). Called once per model; every solve reuses the result.
-    fn assemble_operator(&self) -> Result<ThermalOperator, ThermalError> {
+    /// Number of full (symbolic) operator assemblies this model has
+    /// performed. Sweeps routed through
+    /// [`ThermalModel::refresh_coefficients`] keep this at 1 however
+    /// many points they evaluate.
+    pub fn assembly_count(&self) -> usize {
+        self.assemblies.load(Ordering::Relaxed)
+    }
+
+    /// Number of O(nnz) coefficient refreshes this model has performed.
+    #[inline]
+    pub fn refresh_count(&self) -> usize {
+        self.refreshes
+    }
+
+    /// The coefficient epoch (bumped by every refresh); sessions bound
+    /// to this model resync automatically when it advances.
+    #[inline]
+    pub fn coefficient_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Stamps the steady conductance matrix `G` and the power-independent
+    /// part of the RHS (inlet forcing, top-cooling ambient) into `t` and
+    /// `rhs`. The stamp *sequence* depends only on the grid and the layer
+    /// structure — never on coefficient values (the
+    /// [`CsrSymbolic::refresh_values`] contract) — with one exception:
+    /// the `g_wall > 0` fin-bypass branch, which is structural and
+    /// guarded against in [`ThermalModel::refresh_microchannels`].
+    fn stamp_operator(
+        &self,
+        t: &mut TripletMatrix,
+        rhs: &mut Vec<f64>,
+    ) -> Result<(), ThermalError> {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
         let dx = self.grid.dx();
         let dy = self.grid.dy();
         let n_levels = self.levels.len();
         let n = n_levels * self.grid.len();
-        let mut t = TripletMatrix::with_capacity(n, n, self.operator_stamp_count());
-        let mut rhs = vec![0.0; n];
+        rhs.clear();
+        rhs.resize(n, 0.0);
 
         // In-plane conduction within solid levels.
         for (lvl, level) in self.levels.iter().enumerate() {
@@ -449,12 +502,158 @@ impl ThermalModel {
                 }
             }
         }
+        Ok(())
+    }
 
-        let matrix = t.to_csr();
+    /// Assembles the operator: stamps the triplet list, compiles the
+    /// symbolic pattern and materializes the numeric matrix. Called once
+    /// per model; refreshes reuse the pattern.
+    fn assemble_operator(&self) -> Result<ThermalOperator, ThermalError> {
+        let n = self.levels.len() * self.grid.len();
+        let mut t = TripletMatrix::with_capacity(n, n, self.operator_stamp_count());
+        let mut rhs = Vec::new();
+        self.stamp_operator(&mut t, &mut rhs)?;
+        let symbolic = t.to_csr_symbolic();
+        let matrix = symbolic.numeric(&t).map_err(ThermalError::from)?;
+        self.assemblies.fetch_add(1, Ordering::Relaxed);
         Ok(ThermalOperator {
+            triplets: t,
+            symbolic,
             matrix,
             rhs_base: rhs,
+            tag: next_operator_tag(),
         })
+    }
+
+    /// Re-derives the level coefficients after a microchannel update and
+    /// re-stamps the cached operator's values through its pattern —
+    /// O(nnz), no sorting, no symbolic work. `update` is applied to every
+    /// microchannel layer's spec.
+    ///
+    /// Permitted updates are those that change coefficient *values* only
+    /// (flow, inlet temperature, fluid snapshot, wall material, channel
+    /// geometry within the pitch). An update that would change the
+    /// sparsity pattern (e.g. making the fin bypass appear or vanish) is
+    /// rejected; build a fresh model for those.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidConfig`] if the updated configuration
+    ///   fails validation or changes the operator pattern.
+    pub fn refresh_microchannels(
+        &mut self,
+        mut update: impl FnMut(&mut MicrochannelSpec),
+    ) -> Result<(), ThermalError> {
+        let mut config = self.config.clone();
+        for layer in &mut config.layers {
+            if let LayerSpec::Microchannel { spec, .. } = layer {
+                update(spec);
+            }
+        }
+        config.validate()?;
+        let levels = build_levels(&config, &self.grid)?;
+        // Structural guard: the fin-bypass branch is the only stamp whose
+        // presence depends on a coefficient; refuse a flip.
+        let bypass = |ls: &[Level]| -> Vec<bool> {
+            ls.iter()
+                .map(|l| matches!(l, Level::Fluid { g_wall, .. } if *g_wall > 0.0))
+                .collect()
+        };
+        if bypass(&levels) != bypass(&self.levels) {
+            return Err(ThermalError::InvalidConfig(
+                "update changes the operator pattern (fin bypass appeared/vanished); \
+                 build a new ThermalModel instead"
+                    .into(),
+            ));
+        }
+        self.config = config;
+        self.levels = levels;
+        // Take the operator out so `stamp_operator` can borrow `self`
+        // (an error mid-refresh drops the cache; the next solve
+        // re-assembles lazily with the committed coefficients).
+        if let Some(mut op) = self.operator.take() {
+            op.triplets.clear();
+            // Re-stamp with the same sequence; only values differ.
+            self.stamp_operator(&mut op.triplets, &mut op.rhs_base)?;
+            op.symbolic
+                .refresh_values(&mut op.matrix, &op.triplets)
+                .map_err(ThermalError::from)?;
+            let _ = self.operator.set(op);
+            self.epoch += 1;
+            self.refreshes += 1;
+        }
+        Ok(())
+    }
+
+    /// Re-stamps the cached operator for a new total flow rate and inlet
+    /// temperature — the fast path for the paper's flow-rate and
+    /// inlet-temperature design sweeps. The coolant property snapshot is
+    /// left unchanged; callers that re-evaluate fluid properties at the
+    /// new inlet temperature should use
+    /// [`ThermalModel::refresh_microchannels`] and update
+    /// [`MicrochannelSpec::fluid`] too.
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalModel::refresh_microchannels`].
+    pub fn refresh_coefficients(
+        &mut self,
+        total_flow: CubicMetersPerSecond,
+        inlet_temperature: Kelvin,
+    ) -> Result<(), ThermalError> {
+        self.refresh_microchannels(|spec| {
+            spec.total_flow = total_flow;
+            spec.inlet_temperature = inlet_temperature;
+        })
+    }
+
+    /// Iteration options tuned for the thermal operator: BiCGSTAB on the
+    /// nonsymmetric advection system with symmetric Gauss–Seidel (SSOR
+    /// ω=1) preconditioning — ~4× fewer iterations than Jacobi on the
+    /// POWER7+ stack (see `BENCH_PR2.json`).
+    #[must_use]
+    pub fn iter_options() -> IterOptions {
+        IterOptions {
+            tolerance: 1e-10,
+            max_iterations: 60_000,
+            preconditioner: PrecondSpec::ssor(),
+        }
+    }
+
+    /// Creates a solver session bound to this model's operator, with the
+    /// thermal solve defaults. One session per sweep (or per worker
+    /// thread) amortizes the Krylov scratch, the preconditioner and the
+    /// warm start across every solve.
+    ///
+    /// # Errors
+    ///
+    /// Assembly errors as in [`ThermalModel::solve_steady`].
+    pub fn session(&self) -> Result<SolverSession, ThermalError> {
+        let mut session = SolverSession::new(Self::iter_options());
+        let op = self.operator()?;
+        session.bind(&op.symbolic, &op.matrix, op.tag, self.epoch);
+        Ok(session)
+    }
+
+    /// Brings a caller-owned session in sync with the operator: binds an
+    /// unbound/foreign session, reloads values after a coefficient
+    /// refresh, and leaves a current session untouched.
+    fn sync_session(
+        &self,
+        op: &ThermalOperator,
+        session: &mut SolverSession,
+    ) -> Result<(), ThermalError> {
+        if session.is_current(op.tag, self.epoch) {
+            return Ok(());
+        }
+        if session.is_bound() && session.operator_tag() == op.tag {
+            session
+                .load_values(&op.matrix, self.epoch)
+                .map_err(ThermalError::from)?;
+        } else {
+            session.bind(&op.symbolic, &op.matrix, op.tag, self.epoch);
+        }
+        Ok(())
     }
 
     fn validate_sources(&self, sources: &[(usize, &Field2d)]) -> Result<(), ThermalError> {
@@ -510,10 +709,13 @@ impl ThermalModel {
     }
 
     /// As [`ThermalModel::solve_steady`], but reusing a caller-owned
-    /// workspace: the operator stays cached on the model, the Krylov
-    /// scratch is reused, and the solve warm-starts from the previous
-    /// solution held in `ws` — the fast path for sweeps where the power
-    /// map changes gradually between points.
+    /// [`SolverSession`]: the operator pattern, the Krylov scratch and
+    /// the preconditioner are reused, and the solve warm-starts from the
+    /// previous solution held in the session — the fast path for sweeps
+    /// where the power map (or, via
+    /// [`ThermalModel::refresh_coefficients`], the coefficients) change
+    /// gradually between points. An unbound session is bound on first
+    /// use; a stale one is resynced automatically.
     ///
     /// # Errors
     ///
@@ -521,9 +723,9 @@ impl ThermalModel {
     pub fn solve_steady_warm(
         &self,
         power: &Field2d,
-        ws: &mut ThermalWorkspace,
+        session: &mut SolverSession,
     ) -> Result<ThermalSolution, ThermalError> {
-        self.solve_steady_with_sources_warm(&[(0, power)], ws)
+        self.solve_steady_with_sources_warm(&[(0, power)], session)
     }
 
     /// Solves the steady state with power maps injected at arbitrary
@@ -539,13 +741,12 @@ impl ThermalModel {
         &self,
         sources: &[(usize, &Field2d)],
     ) -> Result<ThermalSolution, ThermalError> {
-        let mut ws = ThermalWorkspace::new();
-        self.solve_steady_with_sources_warm(sources, &mut ws)
+        let mut session = SolverSession::new(Self::iter_options());
+        self.solve_steady_with_sources_warm(sources, &mut session)
     }
 
-    /// Workspace/warm-start variant of
-    /// [`ThermalModel::solve_steady_with_sources`]; see
-    /// [`ThermalModel::solve_steady_warm`].
+    /// Session variant of [`ThermalModel::solve_steady_with_sources`];
+    /// see [`ThermalModel::solve_steady_warm`].
     ///
     /// # Errors
     ///
@@ -553,35 +754,25 @@ impl ThermalModel {
     pub fn solve_steady_with_sources_warm(
         &self,
         sources: &[(usize, &Field2d)],
-        ws: &mut ThermalWorkspace,
+        session: &mut SolverSession,
     ) -> Result<ThermalSolution, ThermalError> {
         self.validate_sources(sources)?;
         let op = self.operator()?;
+        self.sync_session(op, session)?;
         let n = op.rhs_base.len();
-        self.build_rhs(&op.rhs_base, sources, &mut ws.rhs);
-        if ws.x.len() != n {
+        {
+            let rhs = session.rhs_mut();
+            self.build_rhs(&op.rhs_base, sources, rhs);
+        }
+        if session.solution().len() != n {
             // No previous solution of this size: start from a uniform
             // inlet-temperature field, matching the cold-start path.
-            ws.x.clear();
-            ws.x.resize(n, self.inlet_temperature().value());
+            session.seed_uniform(n, self.inlet_temperature().value());
         }
-        if let Err(e) = bicgstab_with_workspace(
-            &op.matrix,
-            &ws.rhs,
-            &mut ws.x,
-            &IterOptions {
-                tolerance: 1e-10,
-                max_iterations: 60_000,
-                jacobi_preconditioner: true,
-            },
-            &mut ws.krylov,
-        ) {
-            // A failed iterate must not become the next point's warm
-            // start; drop it so the following solve cold-starts.
-            ws.reset_warm_start();
-            return Err(ThermalError::from(e));
-        }
-        self.wrap_solution(ws.x.clone())
+        session
+            .solve_general_in_place()
+            .map_err(ThermalError::from)?;
+        self.wrap_solution(session.solution().to_vec())
     }
 
     /// The coolant reference temperature: the inlet of the first
@@ -834,6 +1025,89 @@ mod tests {
         let fast = ThermalModel::new(config).unwrap();
         let cool = fast.solve_steady(&power).unwrap().max_temperature();
         assert!(cool.value() < hot.value());
+    }
+
+    #[test]
+    fn refresh_coefficients_matches_cold_rebuild_exactly() {
+        // A model refreshed to (flow₂, T₂) must carry the *bitwise* same
+        // operator values and base RHS as a model built at (flow₂, T₂)
+        // from scratch — both run the same stamp sequence through the
+        // same accumulation order.
+        let mut model = presets::power7_stack().unwrap();
+        let power = power_map(&model, &PowerScenario::full_load());
+        model.solve_steady(&power).unwrap(); // force assembly
+        let flow2 = CubicMetersPerSecond::from_milliliters_per_minute(211.0);
+        let inlet2 = Kelvin::new(306.0);
+
+        let mut config2 = model.config().clone();
+        for layer in &mut config2.layers {
+            if let LayerSpec::Microchannel { spec, .. } = layer {
+                spec.total_flow = flow2;
+                spec.inlet_temperature = inlet2;
+            }
+        }
+        let fresh = ThermalModel::new(config2).unwrap();
+        let fresh_op = fresh.operator().unwrap();
+
+        model.refresh_coefficients(flow2, inlet2).unwrap();
+        let refreshed_op = model.operator().unwrap();
+
+        assert_eq!(refreshed_op.matrix, fresh_op.matrix, "operator values diverged");
+        assert_eq!(refreshed_op.rhs_base, fresh_op.rhs_base, "base RHS diverged");
+        assert_eq!(model.assembly_count(), 1);
+        assert_eq!(model.refresh_count(), 1);
+        assert_eq!(model.coefficient_epoch(), 1);
+
+        // And the solutions agree.
+        let a = model.solve_steady(&power).unwrap();
+        let b = fresh.solve_steady(&power).unwrap();
+        assert!((a.max_temperature().value() - b.max_temperature().value()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn flow_sweep_through_refresh_assembles_once() {
+        // The paper's flow-rate ablation: one model, one assembly, N
+        // refreshed solves; the warm session follows along.
+        let mut model = presets::power7_stack().unwrap();
+        let power = power_map(&model, &PowerScenario::full_load());
+        let mut session = model.session().unwrap();
+        let mut peaks = Vec::new();
+        for ml_min in [676.0, 400.0, 200.0, 100.0, 48.0] {
+            model
+                .refresh_coefficients(
+                    CubicMetersPerSecond::from_milliliters_per_minute(ml_min),
+                    Kelvin::new(300.0),
+                )
+                .unwrap();
+            let sol = model.solve_steady_warm(&power, &mut session).unwrap();
+            peaks.push(sol.max_temperature().value());
+        }
+        // Less flow → hotter chip, monotonically.
+        for pair in peaks.windows(2) {
+            assert!(pair[1] > pair[0], "peaks not monotone: {peaks:?}");
+        }
+        assert_eq!(model.assembly_count(), 1, "sweep must not re-assemble");
+        assert_eq!(model.refresh_count(), 5);
+        // The session re-synced values per refresh but never re-bound.
+        assert_eq!(session.stats().binds, 1);
+        assert_eq!(session.stats().refreshes, 5);
+    }
+
+    #[test]
+    fn refresh_rejects_invalid_updates_and_leaves_model_usable() {
+        let mut model = presets::power7_stack().unwrap();
+        model.operator().unwrap();
+        let before_epoch = model.coefficient_epoch();
+        // Widening the channels beyond the pitch fails validation; the
+        // model must be left untouched and still solvable.
+        let pitch_um = model.config().pitch().to_micrometers();
+        let err = model.refresh_microchannels(|spec| {
+            spec.channel_width = Meters::from_micrometers(pitch_um * 1.5);
+        });
+        assert!(err.is_err(), "invalid update must be rejected");
+        assert_eq!(model.coefficient_epoch(), before_epoch);
+        let power = power_map(&model, &PowerScenario::full_load());
+        model.solve_steady(&power).unwrap();
     }
 
     #[test]

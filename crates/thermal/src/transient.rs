@@ -4,31 +4,27 @@
 //! stacks. This module adds first-order implicit time stepping on top of
 //! the steady assembly: `(C/Δt + G)·T⁺ = C/Δt·T + P`, which is
 //! unconditionally stable — large steps simply approach the steady state.
+//!
+//! The stepper owns a [`SolverSession`] bound to the `C/Δt + G` system:
+//! the pattern, Krylov scratch and preconditioner are set up once at
+//! construction and every step is a warm-started, allocation-free solve.
 
 use crate::model::{ThermalModel, ThermalSolution};
 use crate::ThermalError;
 use bright_mesh::Field2d;
-use bright_num::solvers::{bicgstab_with_workspace, IterOptions, KrylovWorkspace};
-use bright_num::{CsrMatrix, TripletMatrix};
+use bright_num::{SolverSession, TripletMatrix};
 
 /// A transient thermal simulation with a fixed power map and time step.
 #[derive(Debug, Clone)]
 pub struct TransientSimulation {
     model: ThermalModel,
-    system: CsrMatrix,
+    /// Session bound to `G + C/Δt` (pattern + scratch + preconditioner).
+    session: SolverSession,
     rhs_steady: Vec<f64>,
     capacity_over_dt: Vec<f64>,
     temperatures: Vec<f64>,
     time: f64,
     dt: f64,
-    /// Krylov scratch reused by every step; the step solve warm-starts
-    /// from the current temperature field.
-    workspace: KrylovWorkspace,
-    rhs: Vec<f64>,
-    /// Solve buffer: the iterate lands here and is committed to
-    /// `temperatures` only on success, so a failed step leaves the
-    /// simulation state untouched.
-    solution: Vec<f64>,
 }
 
 impl TransientSimulation {
@@ -72,17 +68,16 @@ impl TransientSimulation {
             }
             t.push(i, i, *cap).map_err(ThermalError::from)?;
         }
+        let mut session = SolverSession::new(ThermalModel::iter_options());
+        session.bind_triplets(&t).map_err(ThermalError::from)?;
         Ok(Self {
             model,
-            system: t.to_csr(),
+            session,
             rhs_steady,
             capacity_over_dt,
             temperatures: vec![initial_temperature; n],
             time: 0.0,
             dt,
-            workspace: KrylovWorkspace::new(),
-            rhs: vec![0.0; n],
-            solution: Vec::new(),
         })
     }
 
@@ -104,29 +99,24 @@ impl TransientSimulation {
     ///
     /// Returns [`ThermalError::Numerical`] if the solve fails.
     pub fn step(&mut self) -> Result<f64, ThermalError> {
-        let n = self.temperatures.len();
-        self.rhs.clear();
-        self.rhs.extend_from_slice(&self.rhs_steady);
-        for i in 0..n {
-            self.rhs[i] += self.capacity_over_dt[i] * self.temperatures[i];
+        {
+            let rhs = self.session.rhs_mut();
+            rhs.extend_from_slice(&self.rhs_steady);
+            for ((r, c), t) in rhs
+                .iter_mut()
+                .zip(&self.capacity_over_dt)
+                .zip(&self.temperatures)
+            {
+                *r += c * t;
+            }
         }
-        // Warm-start from the current field, but iterate in a separate
-        // buffer: a failed solve must not corrupt `temperatures`.
-        self.solution.clear();
-        self.solution.extend_from_slice(&self.temperatures);
-        bicgstab_with_workspace(
-            &self.system,
-            &self.rhs,
-            &mut self.solution,
-            &IterOptions {
-                tolerance: 1e-10,
-                max_iterations: 60_000,
-                jacobi_preconditioner: true,
-            },
-            &mut self.workspace,
-        )
-        .map_err(ThermalError::from)?;
-        std::mem::swap(&mut self.temperatures, &mut self.solution);
+        // Warm-start from the current field; the session iterates in its
+        // own buffer, so a failed solve leaves `temperatures` untouched.
+        self.session.set_warm_start(&self.temperatures);
+        self.session
+            .solve_general_in_place()
+            .map_err(ThermalError::from)?;
+        self.temperatures.copy_from_slice(self.session.solution());
         self.time += self.dt;
         Ok(self
             .temperatures

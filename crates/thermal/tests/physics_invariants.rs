@@ -237,3 +237,98 @@ fn conventional_heat_sink_baseline_behaves() {
     };
     assert!(ThermalModel::new(floating).is_err());
 }
+
+mod refresh_properties {
+    use super::*;
+    use bright_thermal::stack::{MicrochannelSpec, StackConfig};
+    use bright_thermal::Material;
+    use bright_units::Meters;
+    use proptest::prelude::*;
+
+    /// A coarse stack (fast enough for property-test case counts).
+    fn coarse_config(flow_ml_min: f64, inlet_k: f64) -> StackConfig {
+        let fluid = bright_flow::fluid::TemperatureDependentFluid::vanadium_electrolyte()
+            .at(Kelvin::new(inlet_k))
+            .unwrap();
+        StackConfig {
+            width: Meters::from_millimeters(8.0),
+            height: Meters::from_millimeters(8.0),
+            nx: 8,
+            ny: 8,
+            layers: vec![
+                LayerSpec::Solid {
+                    name: "die".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(400.0),
+                    sublayers: 2,
+                },
+                LayerSpec::Microchannel {
+                    name: "mc".into(),
+                    spec: MicrochannelSpec {
+                        channel_width: Meters::from_micrometers(200.0),
+                        channel_height: Meters::from_micrometers(400.0),
+                        channels_per_cell: 1,
+                        fluid,
+                        total_flow: CubicMetersPerSecond::from_milliliters_per_minute(
+                            flow_ml_min,
+                        ),
+                        inlet_temperature: Kelvin::new(inlet_k),
+                        wall_material: Material::silicon(),
+                    },
+                },
+                LayerSpec::Solid {
+                    name: "cap".into(),
+                    material: Material::silicon(),
+                    thickness: Meters::from_micrometers(300.0),
+                    sublayers: 1,
+                },
+            ],
+            top_cooling: None,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `refresh_coefficients` must land on exactly the state a cold
+        /// rebuild at the target point produces, from any starting
+        /// point: same solution field (checked to solver tolerance) and
+        /// no re-assembly.
+        #[test]
+        fn refresh_matches_cold_rebuild(
+            flow0 in 40.0..700.0f64,
+            flow1 in 40.0..700.0f64,
+            inlet_k in 295.0..320.0f64,
+        ) {
+            let mut model = ThermalModel::new(coarse_config(flow0, inlet_k)).unwrap();
+            let power = Field2d::constant(model.grid().clone(), 5e4); // 5 W/cm^2
+            let mut session = model.session().unwrap();
+            model.solve_steady_warm(&power, &mut session).unwrap();
+
+            model
+                .refresh_coefficients(
+                    CubicMetersPerSecond::from_milliliters_per_minute(flow1),
+                    Kelvin::new(inlet_k),
+                )
+                .unwrap();
+            let refreshed = model.solve_steady_warm(&power, &mut session).unwrap();
+            let cold = ThermalModel::new(coarse_config(flow1, inlet_k))
+                .unwrap()
+                .solve_steady(&power)
+                .unwrap();
+
+            for lvl in 0..refreshed.level_count() {
+                for (a, b) in refreshed
+                    .level_map(lvl)
+                    .as_slice()
+                    .iter()
+                    .zip(cold.level_map(lvl).as_slice())
+                {
+                    prop_assert!((a - b).abs() < 1e-5, "level {lvl}: {a} vs {b}");
+                }
+            }
+            prop_assert_eq!(model.assembly_count(), 1);
+            prop_assert_eq!(model.refresh_count(), 1);
+        }
+    }
+}

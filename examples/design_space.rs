@@ -3,11 +3,18 @@
 //! paper's conclusion describes), plus the dark-silicon framing — what
 //! fraction of the cache demand each design point covers.
 //!
+//! The closing section sweeps the *coupled* system (flow rate and inlet
+//! temperature against peak die temperature) through the batched
+//! [`ScenarioEngine`]: every ablation point shares one cached thermal
+//! operator whose coefficients are re-stamped in place — no per-point
+//! model rebuilds.
+//!
 //! Run with: `cargo run --release --example design_space`
 
-use bright_silicon::core::sweeps;
+use bright_silicon::core::engine::ScenarioEngine;
+use bright_silicon::core::{sweeps, Scenario};
 use bright_silicon::floorplan::power7;
-use bright_silicon::units::Kelvin;
+use bright_silicon::units::{CubicMetersPerSecond, Kelvin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = power7::floorplan();
@@ -64,6 +71,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nreading: every design point covers the cache rail several times \
          over, but remains 10-50x short of the full-chip demand — exactly \
          the gap the paper's outlook describes."
+    );
+
+    // Coupled flow-rate / inlet-temperature ablation through the batched
+    // engine: one thermal operator assembly serves every point below
+    // (coefficients are refreshed in place between requests).
+    let mut points: Vec<Scenario> = Vec::new();
+    for ml_min in [676.0, 400.0, 200.0, 100.0, 48.0] {
+        let mut s = Scenario::power7_reduced();
+        s.total_flow = CubicMetersPerSecond::from_milliliters_per_minute(ml_min);
+        points.push(s);
+    }
+    for inlet_c in [32.0, 37.0] {
+        let mut s = Scenario::power7_reduced();
+        s.inlet_temperature = Kelvin::new(273.15 + inlet_c);
+        points.push(s);
+    }
+    let mut engine = ScenarioEngine::new();
+    let reports = engine.run_batch(points.iter().cloned());
+    println!("\ncoupled flow/inlet ablation (batched engine, reduced grid):");
+    println!("  Q (ml/min)   T_in (degC)   peak (degC)   boost (%)");
+    for (scenario, report) in points.iter().zip(reports) {
+        let r = report.result?;
+        println!(
+            "  {:>10.0}   {:>11.1}   {:>11.1}   {:>9.2}",
+            scenario.total_flow.to_milliliters_per_minute(),
+            scenario.inlet_temperature.to_celsius().value(),
+            r.peak_temperature.to_celsius().value(),
+            r.thermal_boost_percent,
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "  engine: {} requests, {} operator build(s), {} reuse(s)",
+        stats.requests, stats.operators_built, stats.operator_reuses
     );
     Ok(())
 }
