@@ -1,0 +1,381 @@
+//! PR-3 performance gate: adaptive-Δt transient stepping and
+//! checkpoint-branch reuse. Records the results in `BENCH_PR3.json`.
+//!
+//! Two benchmark families, mirroring the acceptance criteria:
+//!
+//! * `adaptive_vs_fixed` — the throttling trace (full load → gated →
+//!   full load on the 48 ml/min POWER7+ stack) integrated by the
+//!   adaptive controller vs. fixed-Δt backward Euler *at equal
+//!   accuracy*: both runs are measured against a fine-Δt reference at
+//!   every segment boundary (tracking error), and the fixed baseline is
+//!   the coarsest step whose error does not exceed the adaptive run's.
+//!   Gate: the adaptive run needs ≤ half of the baseline's time steps.
+//!   (Raw solve counts are also recorded — each adaptive step costs 3
+//!   solves for the step-doubling estimate.)
+//! * `checkpoint_branch` — a 4-variant duty-cycle batch whose traces
+//!   share a 2-segment prefix, served by the engine's segment-prefix
+//!   tree vs. integrating each variant independently. Gates: ≥ 1.2×
+//!   end-to-end and the expected shared-segment count.
+//!
+//! Usage: `bench_pr3 [--quick] [--out <path>]` (default `BENCH_PR3.json`).
+
+use bright_core::{LoadStep, ScenarioEngine, SteppingMode, TransientRequest};
+use bright_floorplan::{power7, PowerScenario};
+use bright_jsonio::Value;
+use bright_num::vec_ops::wrms_diff;
+use bright_thermal::{
+    presets, AdaptiveConfig, AdaptiveTransient, PowerTrace, ThermalModel, TraceSegment,
+    TransientSimulation,
+};
+use bright_units::{CubicMetersPerSecond, Kelvin};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up, then the best of `reps` timed repetitions
+    // (minimum is the least noisy statistic on a shared host).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct AdaptiveRow {
+    adaptive_solves: u64,
+    adaptive_steps: u64,
+    adaptive_err: f64,
+    fixed_steps: u64,
+    fixed_dt: f64,
+    fixed_err: f64,
+    step_ratio: f64,
+}
+
+/// The throttling trace: full load, a power-gated dip, full load again —
+/// on the 48 ml/min (throttled-pump) stack.
+fn throttling_setup(scale: f64) -> (ThermalModel, PowerTrace, AdaptiveConfig) {
+    let model = presets::power7_stack_at(
+        CubicMetersPerSecond::from_milliliters_per_minute(48.0),
+        Kelvin::new(300.0),
+    )
+    .expect("Table II stack");
+    let plan = power7::floorplan();
+    let full = PowerScenario::full_load()
+        .rasterize(&plan, model.grid())
+        .expect("power map");
+    let gated = PowerScenario::cache_only()
+        .rasterize(&plan, model.grid())
+        .expect("power map");
+    let trace = PowerTrace::new(vec![
+        TraceSegment { duration: 0.10 * scale, power: full.clone() },
+        TraceSegment { duration: 0.30 * scale, power: gated },
+        TraceSegment { duration: 0.20 * scale, power: full },
+    ])
+    .expect("valid trace");
+    let cfg = AdaptiveConfig {
+        abs_tol: 0.01,
+        dt_init: 1e-3,
+        dt_min: 2.5e-4,
+        dt_max: 0.1,
+        ..AdaptiveConfig::default()
+    };
+    (model, trace, cfg)
+}
+
+/// Integrates the trace at fixed Δt, sampling the field at every
+/// segment boundary; returns (steps, samples).
+fn run_fixed_sampled(
+    model: &ThermalModel,
+    trace: &PowerTrace,
+    t0: f64,
+    dt: f64,
+) -> (u64, Vec<Vec<f64>>) {
+    let mut sim = TransientSimulation::new(model.clone(), &trace.segments()[0].power, t0, dt)
+        .expect("fixed sim");
+    let mut samples = Vec::with_capacity(trace.len());
+    for seg in trace.segments() {
+        let single = PowerTrace::new(vec![seg.clone()]).expect("segment trace");
+        sim.run_trace(&single).expect("fixed trace");
+        samples.push(sim.temperatures().to_vec());
+    }
+    (sim.step_count(), samples)
+}
+
+/// Tracking error: the worst weighted-RMS distance from the reference
+/// over the segment-boundary samples (end-of-trace-only comparison
+/// would let a coarse stepper coast — this dissipative system forgets
+/// early errors).
+fn tracking_err(samples: &[Vec<f64>], reference: &[Vec<f64>], cfg: &AdaptiveConfig) -> f64 {
+    samples
+        .iter()
+        .zip(reference)
+        .map(|(s, r)| wrms_diff(s, r, cfg.abs_tol, cfg.rel_tol))
+        .fold(0.0, f64::max)
+}
+
+fn bench_adaptive_vs_fixed(quick: bool) -> AdaptiveRow {
+    let scale = if quick { 0.5 } else { 1.0 };
+    let (model, trace, cfg) = throttling_setup(scale);
+    let t0 = 300.0;
+
+    // Reference: fine fixed Δt (at the adaptive controller's floor).
+    let (_, ref_samples) = run_fixed_sampled(&model, &trace, t0, cfg.dt_min);
+
+    // Adaptive run, sampled at the same segment boundaries.
+    let mut adaptive =
+        AdaptiveTransient::new(model.clone(), trace.clone(), t0, cfg).expect("adaptive sim");
+    let mut samples: Vec<Vec<f64>> = Vec::with_capacity(trace.len());
+    let mut cursor = 0;
+    while !adaptive.finished() {
+        adaptive.step().expect("adaptive step");
+        if adaptive.segment_index() > cursor {
+            samples.push(adaptive.temperatures().to_vec());
+            cursor = adaptive.segment_index();
+        }
+    }
+    let adaptive_err = tracking_err(&samples, &ref_samples, &cfg);
+    let stats = adaptive.stats();
+    println!(
+        "  adaptive: {} steps ({} rejected), {} solves, tracking err {:.3} tol units",
+        stats.accepted, stats.rejected, stats.solves, adaptive_err
+    );
+
+    // Fixed baseline at equal accuracy: the coarsest Δt (halving ladder)
+    // whose tracking error does not exceed the adaptive run's. If even
+    // the finest candidate is less accurate, it still *under*-counts the
+    // steps equal accuracy would need, so the gate stays conservative.
+    let mut fixed_steps = 0u64;
+    let mut fixed_dt = 0.0;
+    let mut fixed_err = f64::INFINITY;
+    let mut dt = 16e-3;
+    while dt >= cfg.dt_min * 2.0 - 1e-12 {
+        let (steps, fixed_samples) = run_fixed_sampled(&model, &trace, t0, dt);
+        let err = tracking_err(&fixed_samples, &ref_samples, &cfg);
+        println!(
+            "  fixed dt {:>6.2} ms: {:>5} steps, tracking err {:.3} tol units",
+            dt * 1e3,
+            steps,
+            err
+        );
+        fixed_steps = steps;
+        fixed_dt = dt;
+        fixed_err = err;
+        if err <= adaptive_err {
+            break;
+        }
+        dt /= 2.0;
+    }
+    let step_ratio = fixed_steps as f64 / stats.accepted as f64;
+    println!(
+        "  adaptive_vs_fixed: {} fixed steps (dt {:.2} ms) vs {} adaptive => {:.2}x fewer \
+         (solves: {} vs {})",
+        fixed_steps,
+        fixed_dt * 1e3,
+        stats.accepted,
+        step_ratio,
+        fixed_steps,
+        stats.solves,
+    );
+    AdaptiveRow {
+        adaptive_solves: stats.solves,
+        adaptive_steps: stats.accepted,
+        adaptive_err,
+        fixed_steps,
+        fixed_dt,
+        fixed_err,
+        step_ratio,
+    }
+}
+
+struct BranchRow {
+    baseline_s: f64,
+    optimized_s: f64,
+    segments_integrated: u64,
+    segments_reused: u64,
+    variants: usize,
+}
+
+impl BranchRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_s / self.optimized_s
+    }
+}
+
+fn duty_cycle_requests(variants: usize, seg_s: f64) -> Vec<TransientRequest> {
+    let dimmed = |dark: usize| {
+        let mut load = PowerScenario::full_load();
+        for i in 0..dark {
+            load.set_block_density(
+                format!("core{i}"),
+                bright_units::WattPerSquareMeter::new(0.0),
+            );
+        }
+        load
+    };
+    (0..variants)
+        .map(|k| TransientRequest {
+            scenario: bright_core::Scenario::power7_reduced(),
+            trace: vec![
+                // Shared warm-up prefix...
+                LoadStep { duration: seg_s, load: PowerScenario::full_load() },
+                LoadStep { duration: seg_s, load: PowerScenario::cache_only() },
+                // ...then a distinct duty-cycle tail per variant.
+                LoadStep { duration: seg_s, load: dimmed(k + 1) },
+            ],
+            initial_temperature: Kelvin::new(300.0),
+            stepping: SteppingMode::Adaptive(AdaptiveConfig::default()),
+        })
+        .collect()
+}
+
+fn bench_checkpoint_branch(reps: usize, quick: bool) -> BranchRow {
+    let variants = 4;
+    let seg_s = if quick { 0.02 } else { 0.04 };
+    let requests = duty_cycle_requests(variants, seg_s);
+
+    // Baseline: every variant integrates its whole trace alone (each in
+    // its own engine: no prefix sharing, no model cache).
+    let baseline_s = time(reps, || {
+        for r in &requests {
+            let mut engine = ScenarioEngine::new();
+            let reports = engine.run_transient_batch([r.clone()]);
+            assert!(reports[0].result.is_ok(), "baseline variant failed");
+            black_box(reports);
+        }
+    });
+
+    // Optimized: one batch; the shared prefix is integrated once and
+    // branched from a checkpoint.
+    let mut segments_integrated = 0;
+    let mut segments_reused = 0;
+    let optimized_s = time(reps, || {
+        let mut engine = ScenarioEngine::new();
+        let reports = engine.run_transient_batch(requests.iter().cloned());
+        for r in &reports {
+            assert!(r.result.is_ok(), "batched variant failed: {:?}", r.result);
+        }
+        let stats = engine.stats();
+        segments_integrated = stats.trace_segments_integrated;
+        segments_reused = stats.trace_segments_reused;
+        black_box(reports);
+    });
+    println!(
+        "  checkpoint_branch: baseline {baseline_s:>8.4} s  batched {optimized_s:>8.4} s  \
+         speedup {:>5.2}x  ({segments_integrated} nodes integrated, {segments_reused} reused)",
+        baseline_s / optimized_s
+    );
+    BranchRow {
+        baseline_s,
+        optimized_s,
+        segments_integrated,
+        segments_reused,
+        variants,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+    let reps = if quick { 2 } else { 3 };
+
+    bright_bench::banner(
+        "BENCH_PR3",
+        "adaptive-dt transient stepping and checkpoint-branch reuse",
+    );
+    let adaptive = bench_adaptive_vs_fixed(quick);
+    let branch = bench_checkpoint_branch(reps, quick);
+
+    // Two shared prefix segments + one tail per variant.
+    let expected_reuse = 2 * (branch.variants as u64 - 1);
+    let doc = Value::object([
+        (
+            "adaptive_vs_fixed".into(),
+            Value::object([
+                (
+                    "adaptive_solves".into(),
+                    Value::Number(adaptive.adaptive_solves as f64),
+                ),
+                (
+                    "adaptive_steps".into(),
+                    Value::Number(adaptive.adaptive_steps as f64),
+                ),
+                ("adaptive_err_tol_units".into(), Value::Number(adaptive.adaptive_err)),
+                (
+                    "fixed_steps_at_equal_accuracy".into(),
+                    Value::Number(adaptive.fixed_steps as f64),
+                ),
+                ("fixed_dt_s".into(), Value::Number(adaptive.fixed_dt)),
+                ("fixed_err_tol_units".into(), Value::Number(adaptive.fixed_err)),
+                ("step_reduction".into(), Value::Number(adaptive.step_ratio)),
+            ]),
+        ),
+        (
+            "checkpoint_branch".into(),
+            Value::object([
+                ("baseline_s".into(), Value::Number(branch.baseline_s)),
+                ("optimized_s".into(), Value::Number(branch.optimized_s)),
+                ("speedup".into(), Value::Number(branch.speedup())),
+                (
+                    "segments_integrated".into(),
+                    Value::Number(branch.segments_integrated as f64),
+                ),
+                (
+                    "segments_reused".into(),
+                    Value::Number(branch.segments_reused as f64),
+                ),
+                ("variants".into(), Value::Number(branch.variants as f64)),
+            ]),
+        ),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "gates".into(),
+            Value::object([
+                ("adaptive_step_reduction_min".into(), Value::Number(2.0)),
+                ("checkpoint_branch_min_speedup".into(), Value::Number(1.2)),
+                (
+                    "checkpoint_branch_expected_reuse".into(),
+                    Value::Number(expected_reuse as f64),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json_string_pretty() + "\n").expect("write BENCH_PR3.json");
+    println!("  results written to {out_path}");
+
+    // Fail loudly when an acceptance gate regresses.
+    let mut failed = false;
+    if adaptive.step_ratio < 2.0 {
+        eprintln!(
+            "GATE FAILED: adaptive stepping reduces steps only {:.2}x (< 2.0x) at equal accuracy",
+            adaptive.step_ratio
+        );
+        failed = true;
+    }
+    if branch.speedup() < 1.2 {
+        eprintln!(
+            "GATE FAILED: checkpoint-branch batch speedup {:.2}x < required 1.20x",
+            branch.speedup()
+        );
+        failed = true;
+    }
+    if branch.segments_reused < expected_reuse {
+        eprintln!(
+            "GATE FAILED: {} shared segments reused (expected {expected_reuse})",
+            branch.segments_reused
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all performance gates passed");
+}

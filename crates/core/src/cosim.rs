@@ -97,7 +97,7 @@ impl CoSimulation {
 
     /// The cached thermal model, built on first use.
     fn thermal_model(&self) -> Result<&ThermalModel, CoreError> {
-        bright_num::lazy::get_or_try_init(&self.thermal, || self.build_thermal_model())
+        bright_num::lazy::get_or_try_init(&self.thermal, || thermal_model_for(&self.scenario))
     }
 
     /// Number of full thermal-operator assemblies this engine has paid
@@ -105,46 +105,6 @@ impl CoSimulation {
     /// pattern-compatible retargets).
     pub fn thermal_assembly_count(&self) -> usize {
         self.thermal.get().map_or(0, ThermalModel::assembly_count)
-    }
-
-    fn build_thermal_model(&self) -> Result<ThermalModel, CoreError> {
-        let s = &self.scenario;
-        let fluid = TemperatureDependentFluid::vanadium_electrolyte()
-            .at(s.inlet_temperature)
-            .map_err(|e| CoreError::Fluidics(e.to_string()))?;
-        Ok(ThermalModel::new(StackConfig {
-            width: s.floorplan.width(),
-            height: s.floorplan.height(),
-            nx: s.thermal_columns,
-            ny: s.thermal_ny,
-            layers: vec![
-                LayerSpec::Solid {
-                    name: "die".into(),
-                    material: Material::silicon(),
-                    thickness: Meters::from_micrometers(400.0),
-                    sublayers: 2,
-                },
-                LayerSpec::Microchannel {
-                    name: "flow-cell channels".into(),
-                    spec: MicrochannelSpec {
-                        channel_width: Meters::from_micrometers(200.0),
-                        channel_height: Meters::from_micrometers(400.0),
-                        channels_per_cell: s.channel_count / s.thermal_columns,
-                        fluid,
-                        total_flow: s.total_flow,
-                        inlet_temperature: s.inlet_temperature,
-                        wall_material: Material::silicon(),
-                    },
-                },
-                LayerSpec::Solid {
-                    name: "cap".into(),
-                    material: Material::silicon(),
-                    thickness: Meters::from_micrometers(300.0),
-                    sublayers: 1,
-                },
-            ],
-            top_cooling: None,
-        })?)
     }
 
     /// The cached flow-cell channel template, built on first use.
@@ -422,6 +382,49 @@ impl CoSimulation {
         }
         Ok(best)
     }
+}
+
+/// Builds the thermal stack model a scenario describes (die /
+/// flow-cell-channel / cap sandwich on the scenario's grid and lumping).
+/// Shared by the steady co-simulation and the engine's transient
+/// workers, so both integrate the exact same operator.
+pub(crate) fn thermal_model_for(s: &Scenario) -> Result<ThermalModel, CoreError> {
+    let fluid = TemperatureDependentFluid::vanadium_electrolyte()
+        .at(s.inlet_temperature)
+        .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+    Ok(ThermalModel::new(StackConfig {
+        width: s.floorplan.width(),
+        height: s.floorplan.height(),
+        nx: s.thermal_columns,
+        ny: s.thermal_ny,
+        layers: vec![
+            LayerSpec::Solid {
+                name: "die".into(),
+                material: Material::silicon(),
+                thickness: Meters::from_micrometers(400.0),
+                sublayers: 2,
+            },
+            LayerSpec::Microchannel {
+                name: "flow-cell channels".into(),
+                spec: MicrochannelSpec {
+                    channel_width: Meters::from_micrometers(200.0),
+                    channel_height: Meters::from_micrometers(400.0),
+                    channels_per_cell: s.channel_count / s.thermal_columns,
+                    fluid,
+                    total_flow: s.total_flow,
+                    inlet_temperature: s.inlet_temperature,
+                    wall_material: Material::silicon(),
+                },
+            },
+            LayerSpec::Solid {
+                name: "cap".into(),
+                material: Material::silicon(),
+                thickness: Meters::from_micrometers(300.0),
+                sublayers: 1,
+            },
+        ],
+        top_cooling: None,
+    })?)
 }
 
 #[cfg(test)]

@@ -19,6 +19,13 @@
 //! [`ScenarioReport`]s in submission order, with per-request reuse
 //! telemetry and engine-wide [`EngineStats`].
 //!
+//! Time-varying loads ride the same engine as [`ScenarioRequest::Transient`]
+//! requests: [`ScenarioEngine::submit_transient`] /
+//! [`ScenarioEngine::run_pending_transients`] group compatible trace
+//! integrations and serve each group over a segment-prefix tree, so
+//! trace prefixes shared by several requests are integrated once and
+//! branched from checkpoints (see [`crate::transient`]).
+//!
 //! ```no_run
 //! use bright_core::engine::ScenarioEngine;
 //! use bright_core::Scenario;
@@ -45,9 +52,26 @@ use crate::cosim::CoSimulation;
 use crate::reports::CoSimReport;
 use crate::scenario::Scenario;
 use crate::sweeps::{parallel_map, sweep_workers};
+use crate::transient::{
+    serve_transient_group, TransientGroupKey, TransientModelKey, TransientReport,
+    TransientRequest,
+};
 use crate::CoreError;
+use bright_thermal::ThermalModel;
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+/// One request the engine can serve: a steady co-simulation or a
+/// transient trace integration (see [`crate::transient`]).
+#[derive(Debug, Clone)]
+pub enum ScenarioRequest {
+    /// A steady operating point through the full co-simulation.
+    Steady(Scenario),
+    /// A transient power-trace integration (thermal only), grouped by
+    /// operator/stepping compatibility and served over a segment-prefix
+    /// tree with checkpoint branching.
+    Transient(TransientRequest),
+}
 
 /// The operator-pattern fingerprint requests are grouped by: scenarios
 /// with equal keys share thermal and PDN sparsity patterns, so one
@@ -113,15 +137,22 @@ pub struct ScenarioReport {
 /// Engine-wide counters (monotonic over the engine's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Requests served.
+    /// Steady requests served.
     pub requests: u64,
-    /// Batches dispatched ([`ScenarioEngine::run_pending`] calls that
-    /// had work).
+    /// Batches dispatched ([`ScenarioEngine::run_pending`] /
+    /// [`ScenarioEngine::run_pending_transients`] calls that had work).
     pub batches: u64,
     /// Workers built from scratch (one full operator assembly each).
     pub operators_built: u64,
-    /// Requests served by retargeting an existing worker.
+    /// Steady requests served by retargeting an existing worker.
     pub operator_reuses: u64,
+    /// Transient requests served.
+    pub transient_requests: u64,
+    /// Trace-tree nodes integrated (one segment's stepping each).
+    pub trace_segments_integrated: u64,
+    /// Request-segments served from a shared prefix node instead of
+    /// being integrated again (`Σ_nodes requests_under_node − 1`).
+    pub trace_segments_reused: u64,
 }
 
 /// One pattern group's slice of a batch, plus the worker serving it
@@ -147,6 +178,12 @@ struct GroupResult {
 pub struct ScenarioEngine {
     workers: HashMap<PatternKey, CoSimulation>,
     queue: Vec<(u64, Scenario)>,
+    /// Queued transient requests (separate queue, shared id space).
+    transient_queue: Vec<(u64, TransientRequest)>,
+    /// Assembled thermal models cached across batches, keyed by
+    /// operator identity (pattern + flow + inlet) — coarser than the
+    /// serving groups, so dt/tolerance variants share one assembly.
+    transient_models: HashMap<TransientModelKey, ThermalModel>,
     next_id: u64,
     stats: EngineStats,
 }
@@ -168,10 +205,37 @@ impl ScenarioEngine {
         id
     }
 
-    /// Number of queued, not-yet-dispatched requests.
+    /// Queues a transient trace integration and returns its request id
+    /// (shared id space with [`ScenarioEngine::submit`]). Dispatched by
+    /// [`ScenarioEngine::run_pending_transients`].
+    pub fn submit_transient(&mut self, request: TransientRequest) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.transient_queue.push((id, request));
+        id
+    }
+
+    /// Queues either kind of request ([`ScenarioRequest`]) and returns
+    /// its id. Steady requests are dispatched by
+    /// [`ScenarioEngine::run_pending`], transient ones by
+    /// [`ScenarioEngine::run_pending_transients`].
+    pub fn submit_request(&mut self, request: ScenarioRequest) -> u64 {
+        match request {
+            ScenarioRequest::Steady(s) => self.submit(s),
+            ScenarioRequest::Transient(t) => self.submit_transient(t),
+        }
+    }
+
+    /// Number of queued, not-yet-dispatched steady requests.
     #[must_use]
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of queued, not-yet-dispatched transient requests.
+    #[must_use]
+    pub fn pending_transients(&self) -> usize {
+        self.transient_queue.len()
     }
 
     /// Number of pattern workers (cached operator sets) currently held.
@@ -186,10 +250,12 @@ impl ScenarioEngine {
         self.stats
     }
 
-    /// Drops all cached workers (operators, sessions, warm starts); the
-    /// next batch rebuilds on demand. Queue and counters are unaffected.
+    /// Drops all cached workers (operators, sessions, warm starts) and
+    /// cached transient thermal models; the next batch rebuilds on
+    /// demand. Queues and counters are unaffected.
     pub fn evict_workers(&mut self) {
         self.workers.clear();
+        self.transient_models.clear();
     }
 
     /// Convenience: submits every scenario, dispatches, and returns the
@@ -338,6 +404,132 @@ impl ScenarioEngine {
             reused,
         }
     }
+
+    /// Convenience: submits every transient request, dispatches, and
+    /// returns the reports in input order.
+    pub fn run_transient_batch(
+        &mut self,
+        requests: impl IntoIterator<Item = TransientRequest>,
+    ) -> Vec<TransientReport> {
+        for r in requests {
+            self.submit_transient(r);
+        }
+        self.run_pending_transients()
+    }
+
+    /// Dispatches every queued transient request and returns their
+    /// reports in submission order.
+    ///
+    /// Requests are grouped by operator/stepping compatibility (see
+    /// [`crate::transient::TransientRequest`]); each group is served
+    /// over a segment-prefix tree — trace segments shared by several
+    /// requests are integrated once, checkpointed where traces diverge,
+    /// and branched — with groups fanned across the sweep executor. The
+    /// assembled thermal model of each group is cached for later
+    /// batches.
+    pub fn run_pending_transients(&mut self) -> Vec<TransientReport> {
+        let queue = std::mem::take(&mut self.transient_queue);
+        if queue.is_empty() {
+            return Vec::new();
+        }
+        self.stats.batches += 1;
+        self.stats.transient_requests += queue.len() as u64;
+
+        // Validate up front: invalid requests report immediately and
+        // never join a group.
+        let mut reports: Vec<TransientReport> = Vec::new();
+        let mut order: Vec<TransientGroupKey> = Vec::new();
+        let mut groups: HashMap<TransientGroupKey, Vec<(u64, TransientRequest)>> = HashMap::new();
+        for (id, req) in queue {
+            if let Err(e) = req.validate() {
+                reports.push(TransientReport {
+                    request_id: id,
+                    pattern: TransientGroupKey::of(&req).digest(),
+                    result: Err(e),
+                });
+                continue;
+            }
+            match groups.entry(TransientGroupKey::of(&req)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().push((id, req));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(vec![(id, req)]);
+                }
+            }
+        }
+
+        // Pre-assemble one model per distinct operator identity before
+        // dispatch, so every group — including same-batch dt/tolerance
+        // variants sharing an operator — clones an assembled model
+        // instead of re-assembling. A failed build is left to the group
+        // itself, which reports the error per request.
+        for key in &order {
+            let req = &groups[key][0].1;
+            if let std::collections::hash_map::Entry::Vacant(e) =
+                self.transient_models.entry(TransientModelKey::of(req))
+            {
+                if let Ok(m) = crate::cosim::thermal_model_for(&req.scenario) {
+                    if m.assemble().is_ok() {
+                        e.insert(m);
+                    }
+                }
+            }
+        }
+
+        struct TransientJob {
+            key: TransientGroupKey,
+            model_key: TransientModelKey,
+            model: Option<ThermalModel>,
+            requests: Vec<(u64, TransientRequest)>,
+        }
+        let jobs: Vec<Mutex<Option<TransientJob>>> = order
+            .into_iter()
+            .map(|key| {
+                let requests = groups.remove(&key).expect("grouped above");
+                let model_key = TransientModelKey::of(&requests[0].1);
+                // Clone from the cache (a clone carries the assembled
+                // operator).
+                let model = self.transient_models.get(&model_key).cloned();
+                Mutex::new(Some(TransientJob {
+                    key,
+                    model_key,
+                    model,
+                    requests,
+                }))
+            })
+            .collect();
+
+        let results = parallel_map(&jobs, |_, slot| {
+            let job = slot
+                .lock()
+                .expect("transient job mutex poisoned")
+                .take()
+                .expect("each job runs exactly once");
+            let digest = job.key.digest();
+            let (model, outcomes, counters) =
+                serve_transient_group(job.model, &job.requests);
+            (job.model_key, model, digest, outcomes, counters)
+        });
+
+        for (model_key, model, digest, outcomes, counters) in results {
+            if let Some(model) = model {
+                self.transient_models.entry(model_key).or_insert(model);
+            }
+            self.stats.trace_segments_integrated += counters.segments_integrated;
+            self.stats.trace_segments_reused += counters.segments_reused;
+            reports.extend(outcomes.into_iter().map(|(request_id, result)| {
+                TransientReport {
+                    request_id,
+                    pattern: digest.clone(),
+                    result,
+                }
+            }));
+        }
+        reports.sort_unstable_by_key(|r| r.request_id);
+        reports
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +624,118 @@ mod tests {
         let mut bad = flow_scenario(400.0);
         bad.sweep_points = 1;
         let reports = engine.run_batch([flow_scenario(676.0), bad]);
+        assert!(reports[0].result.is_ok());
+        assert!(matches!(
+            reports[1].result,
+            Err(CoreError::InvalidScenario(_))
+        ));
+    }
+
+    #[test]
+    fn transient_batch_shares_prefixes_and_caches_models() {
+        use crate::transient::{LoadStep, SteppingMode, TransientRequest};
+        use bright_floorplan::PowerScenario;
+        use bright_units::Kelvin as K;
+
+        let step = |d: f64, load: PowerScenario| LoadStep { duration: d, load };
+        let request = |tail: PowerScenario| TransientRequest {
+            scenario: Scenario::power7_reduced(),
+            trace: vec![
+                step(0.02, PowerScenario::full_load()),
+                step(0.02, tail),
+            ],
+            initial_temperature: K::new(300.0),
+            stepping: SteppingMode::Fixed { dt: 2e-3 },
+        };
+        let mut engine = ScenarioEngine::new();
+        let reports = engine.run_transient_batch([
+            request(PowerScenario::full_load()),
+            request(PowerScenario::cache_only()),
+        ]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].request_id, 0);
+        assert_eq!(reports[1].request_id, 1);
+        let a = reports[0].result.as_ref().expect("branch A converges");
+        let b = reports[1].result.as_ref().expect("branch B converges");
+        assert!(a.final_peak.value() > b.final_peak.value());
+        assert!((a.shared_time - 0.02).abs() < 1e-15);
+        let stats = engine.stats();
+        assert_eq!(stats.transient_requests, 2);
+        assert_eq!(stats.trace_segments_integrated, 3, "prefix must be shared");
+        assert_eq!(stats.trace_segments_reused, 1);
+
+        // A second batch on the same group reuses the cached model (no
+        // new thermal assembly).
+        let before = engine
+            .transient_models
+            .values()
+            .map(bright_thermal::ThermalModel::assembly_count)
+            .sum::<usize>();
+        assert_eq!(before, 1);
+        engine.run_transient_batch([request(PowerScenario::full_load())]);
+        let after = engine
+            .transient_models
+            .values()
+            .map(bright_thermal::ThermalModel::assembly_count)
+            .sum::<usize>();
+        assert_eq!(after, 1, "second batch must not re-assemble");
+
+        // dt variants are different serving groups but the same
+        // operator identity: one cached model, one assembly — even when
+        // both variants arrive in the same cold batch (the engine
+        // pre-assembles per identity before dispatch).
+        let mut coarser = request(PowerScenario::full_load());
+        coarser.stepping = SteppingMode::Fixed { dt: 4e-3 };
+        engine.run_transient_batch([coarser.clone()]);
+        assert_eq!(engine.transient_models.len(), 1);
+        let after_variant = engine
+            .transient_models
+            .values()
+            .map(bright_thermal::ThermalModel::assembly_count)
+            .sum::<usize>();
+        assert_eq!(after_variant, 1, "dt variant must reuse the model");
+
+        let mut cold = ScenarioEngine::new();
+        cold.run_transient_batch([request(PowerScenario::full_load()), coarser]);
+        assert_eq!(cold.transient_models.len(), 1);
+        assert_eq!(
+            cold.transient_models
+                .values()
+                .map(bright_thermal::ThermalModel::assembly_count)
+                .sum::<usize>(),
+            1,
+            "same-batch dt variants must share one assembly"
+        );
+    }
+
+    #[test]
+    fn transient_invalid_requests_fail_individually() {
+        use crate::transient::{LoadStep, SteppingMode, TransientRequest};
+        use bright_floorplan::PowerScenario;
+
+        let good = TransientRequest {
+            scenario: Scenario::power7_reduced(),
+            trace: vec![LoadStep {
+                duration: 0.01,
+                load: PowerScenario::full_load(),
+            }],
+            initial_temperature: bright_units::Kelvin::new(300.0),
+            stepping: SteppingMode::Fixed { dt: 2e-3 },
+        };
+        let mut bad = good.clone();
+        bad.trace.clear();
+        let mut engine = ScenarioEngine::new();
+        let ids = [
+            engine.submit_request(ScenarioRequest::Transient(good)),
+            engine.submit_request(ScenarioRequest::Transient(bad)),
+        ];
+        assert_eq!(engine.pending_transients(), 2);
+        let reports = engine.run_pending_transients();
+        assert_eq!(engine.pending_transients(), 0);
+        assert_eq!(
+            reports.iter().map(|r| r.request_id).collect::<Vec<_>>(),
+            ids.to_vec()
+        );
         assert!(reports[0].result.is_ok());
         assert!(matches!(
             reports[1].result,

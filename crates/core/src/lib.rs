@@ -19,7 +19,11 @@
 //! thermal enhancement of generation). For streams of operating points
 //! — design sweeps, server-style workloads — the
 //! [`engine::ScenarioEngine`] batches requests by operator pattern and
-//! serves them through cached, retargeted co-simulations.
+//! serves them through cached, retargeted co-simulations. Time-varying
+//! loads (throttling events, dark-silicon duty cycles) are served as
+//! [`transient::TransientRequest`]s: adaptive- or fixed-Δt trace
+//! integrations whose shared segment prefixes are integrated once and
+//! branched from checkpoints.
 //!
 //! # Examples
 //!
@@ -42,11 +46,15 @@ pub mod engine;
 pub mod reports;
 pub mod scenario;
 pub mod sweeps;
+pub mod transient;
 
 pub use cosim::CoSimulation;
-pub use engine::{EngineStats, ScenarioEngine, ScenarioReport};
+pub use engine::{EngineStats, ScenarioEngine, ScenarioReport, ScenarioRequest};
 pub use reports::CoSimReport;
 pub use scenario::Scenario;
+pub use transient::{
+    LoadStep, SteppingMode, TransientOutcome, TransientReport, TransientRequest,
+};
 
 use std::fmt;
 

@@ -90,6 +90,25 @@ pub fn run_scenarios(scenarios: &[Scenario]) -> Vec<Result<CoSimReport, CoreErro
         .collect()
 }
 
+/// Runs many transient trace integrations — the companion of
+/// [`run_scenarios`] for time-varying loads.
+///
+/// Routed through a [`crate::engine::ScenarioEngine`]: requests whose
+/// thermal operator, initial state and stepping agree are grouped, and
+/// trace segments shared across a group are integrated once and
+/// branched from checkpoints (see [`crate::transient`]).
+#[must_use]
+pub fn run_transients(
+    requests: &[crate::transient::TransientRequest],
+) -> Vec<Result<crate::transient::TransientOutcome, CoreError>> {
+    let mut engine = crate::engine::ScenarioEngine::new();
+    engine
+        .run_transient_batch(requests.iter().cloned())
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
 /// One row of a power-density sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerDensityRow {

@@ -1,0 +1,625 @@
+//! Transient scenario requests: time-varying loads served through the
+//! [`crate::engine::ScenarioEngine`] with segment-prefix sharing.
+//!
+//! The paper's transient workloads — pump throttling, dark-silicon duty
+//! cycling — are batches of *related* power traces: many variants that
+//! share their leading segments (the same warm-up, the same nominal
+//! phase) and diverge only at the tail. A [`TransientRequest`] describes
+//! one such integration: a [`crate::Scenario`] (fixing the thermal
+//! stack and coolant operating point), a piecewise-constant trace of
+//! [`LoadStep`]s, and a [`SteppingMode`] (fixed Δt or the adaptive
+//! controller of [`bright_thermal::AdaptiveTransient`]).
+//!
+//! The engine groups requests whose thermal operator, initial state and
+//! stepping agree, then serves each group over a **segment-prefix
+//! tree**: segments shared by several requests are integrated *once*,
+//! a [`bright_thermal::Checkpoint`] is saved where traces diverge, and
+//! each branch restores the checkpoint and continues — bitwise
+//! identical to integrating every request from t = 0, at a fraction of
+//! the solves. [`TransientOutcome::shared_time`] reports how much of a
+//! request's trace was served from shared work.
+
+use crate::cosim::thermal_model_for;
+use crate::engine::PatternKey;
+use crate::scenario::Scenario;
+use crate::CoreError;
+use bright_floorplan::PowerScenario;
+use bright_thermal::{
+    AdaptiveConfig, AdaptiveTransient, Checkpoint, PowerTrace, ThermalModel, TraceSegment,
+    TransientSimulation,
+};
+use bright_units::Kelvin;
+
+/// One piecewise-constant span of a transient load trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadStep {
+    /// Span length (s).
+    pub duration: f64,
+    /// The chip load held over the span (rasterized onto the scenario's
+    /// thermal grid at dispatch).
+    pub load: PowerScenario,
+}
+
+/// How the trace is integrated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SteppingMode {
+    /// Fixed-Δt backward Euler.
+    Fixed {
+        /// The time step (s).
+        dt: f64,
+    },
+    /// Adaptive step-doubling control
+    /// ([`bright_thermal::AdaptiveTransient`]).
+    Adaptive(AdaptiveConfig),
+}
+
+/// A transient integration request for the engine.
+#[derive(Debug, Clone)]
+pub struct TransientRequest {
+    /// The operating point: fixes the thermal stack, grid, coolant flow
+    /// and inlet temperature. (The electrical side of the scenario is
+    /// not exercised by a transient request.)
+    pub scenario: Scenario,
+    /// The load trace, integrated in order.
+    pub trace: Vec<LoadStep>,
+    /// Uniform initial temperature of the whole stack.
+    pub initial_temperature: Kelvin,
+    /// Fixed or adaptive stepping.
+    pub stepping: SteppingMode,
+}
+
+impl TransientRequest {
+    /// An adaptive-Δt request with the controller defaults and the
+    /// coolant inlet as the initial temperature.
+    #[must_use]
+    pub fn adaptive(scenario: Scenario, trace: Vec<LoadStep>) -> Self {
+        let initial_temperature = scenario.inlet_temperature;
+        Self {
+            scenario,
+            trace,
+            initial_temperature,
+            stepping: SteppingMode::Adaptive(AdaptiveConfig::default()),
+        }
+    }
+
+    /// Validates the request.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] describing the first violated
+    /// rule.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.scenario.validate()?;
+        if self.trace.is_empty() {
+            return Err(CoreError::InvalidScenario(
+                "transient request needs at least one trace segment".into(),
+            ));
+        }
+        for (i, step) in self.trace.iter().enumerate() {
+            if !(step.duration > 0.0 && step.duration.is_finite()) {
+                return Err(CoreError::InvalidScenario(format!(
+                    "trace segment {i} duration must be positive, got {}",
+                    step.duration
+                )));
+            }
+        }
+        if !(self.initial_temperature.value() > 0.0 && self.initial_temperature.value().is_finite())
+        {
+            return Err(CoreError::InvalidScenario(format!(
+                "initial temperature must be positive, got {}",
+                self.initial_temperature
+            )));
+        }
+        match &self.stepping {
+            SteppingMode::Fixed { dt } => {
+                if !(*dt > 0.0 && dt.is_finite()) {
+                    return Err(CoreError::InvalidScenario(format!(
+                        "fixed time step must be positive, got {dt}"
+                    )));
+                }
+            }
+            SteppingMode::Adaptive(cfg) => cfg
+                .validate()
+                .map_err(|e| CoreError::InvalidScenario(e.to_string()))?,
+        }
+        Ok(())
+    }
+
+    /// Total trace duration (s).
+    #[must_use]
+    pub fn total_duration(&self) -> f64 {
+        self.trace.iter().map(|s| s.duration).sum()
+    }
+}
+
+/// What a served transient request produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientOutcome {
+    /// Peak temperature of the final field.
+    pub final_peak: Kelvin,
+    /// Peak temperature observed anywhere along the trace.
+    pub trace_peak: Kelvin,
+    /// Simulated end time (s) — the trace duration.
+    pub end_time: f64,
+    /// Accepted (committed) time steps along this request's path.
+    pub steps: u64,
+    /// Linear solves along this request's path, *including* the shared-
+    /// prefix solves paid once for the whole branch.
+    pub solves: u64,
+    /// Adaptive error-test rejections (0 under fixed stepping).
+    pub rejected: u64,
+    /// Seconds of this request's trace that were integrated in a node
+    /// shared with at least one other request of the batch — work this
+    /// request did not pay for alone.
+    pub shared_time: f64,
+}
+
+/// The engine's answer to one transient request.
+#[derive(Debug, Clone)]
+pub struct TransientReport {
+    /// The id returned at submission.
+    pub request_id: u64,
+    /// Digest of the operator-pattern group the request was served in.
+    pub pattern: String,
+    /// The integration outcome.
+    pub result: Result<TransientOutcome, CoreError>,
+}
+
+/// Counters a transient group serving run produces (folded into
+/// [`crate::engine::EngineStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TransientCounters {
+    /// Trace-tree nodes integrated (each = one segment's worth of
+    /// stepping).
+    pub segments_integrated: u64,
+    /// Request-segments served from an already-integrated node:
+    /// `Σ_nodes (requests_under_node − 1)`.
+    pub segments_reused: u64,
+}
+
+/// The thermal-operator identity of a transient request: everything
+/// [`thermal_model_for`] reads. The engine's model cache is keyed by
+/// this (coarser) key so dt/tolerance/initial-temperature variants of
+/// the same operating point share one assembled model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct TransientModelKey {
+    pattern: PatternKey,
+    flow_bits: u64,
+    inlet_bits: u64,
+}
+
+impl TransientModelKey {
+    pub(crate) fn of(req: &TransientRequest) -> Self {
+        Self {
+            pattern: PatternKey::of(&req.scenario),
+            flow_bits: req.scenario.total_flow.value().to_bits(),
+            inlet_bits: req.scenario.inlet_temperature.value().to_bits(),
+        }
+    }
+}
+
+/// The grouping key for transient sharing: requests may share
+/// integration work only when the thermal operator (pattern **and**
+/// coefficients), the initial state and the stepping policy all agree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct TransientGroupKey {
+    pattern: PatternKey,
+    /// Bit patterns of flow, inlet, initial temperature and the
+    /// stepping parameters (exact equality is the sharing condition).
+    bits: Vec<u64>,
+}
+
+impl TransientGroupKey {
+    pub(crate) fn of(req: &TransientRequest) -> Self {
+        let s = &req.scenario;
+        let mut bits = vec![
+            s.total_flow.value().to_bits(),
+            s.inlet_temperature.value().to_bits(),
+            req.initial_temperature.value().to_bits(),
+        ];
+        match &req.stepping {
+            SteppingMode::Fixed { dt } => {
+                bits.push(0);
+                bits.push(dt.to_bits());
+            }
+            SteppingMode::Adaptive(cfg) => {
+                bits.push(1);
+                for v in [
+                    cfg.abs_tol,
+                    cfg.rel_tol,
+                    cfg.dt_init,
+                    cfg.dt_min,
+                    cfg.dt_max,
+                    cfg.safety,
+                    cfg.max_growth,
+                    cfg.min_shrink,
+                ] {
+                    bits.push(v.to_bits());
+                }
+            }
+        }
+        Self {
+            pattern: PatternKey::of(s),
+            bits,
+        }
+    }
+
+    pub(crate) fn digest(&self) -> String {
+        self.pattern.digest()
+    }
+}
+
+/// Per-request results of one group serving run (unordered; the engine
+/// sorts by request id).
+pub(crate) type GroupOutcomes = Vec<(u64, Result<TransientOutcome, CoreError>)>;
+
+/// Per-path accumulator threaded down the prefix tree.
+#[derive(Debug, Clone, Copy)]
+struct PathAcc {
+    peak: f64,
+    steps: u64,
+    solves: u64,
+    rejected: u64,
+    shared_time: f64,
+}
+
+/// One node integration: a single trace segment stepped from an
+/// optional checkpoint; returns the end-of-segment checkpoint and the
+/// node's own counters.
+struct NodeResult {
+    checkpoint: Checkpoint,
+    peak: f64,
+    steps: u64,
+    solves: u64,
+    rejected: u64,
+}
+
+fn integrate_node(
+    model: &ThermalModel,
+    segment: &TraceSegment,
+    initial_temperature: f64,
+    stepping: &SteppingMode,
+    from: Option<&Checkpoint>,
+) -> Result<NodeResult, CoreError> {
+    let trace = PowerTrace::new(vec![segment.clone()])?;
+    match stepping {
+        SteppingMode::Adaptive(cfg) => {
+            let mut integ =
+                AdaptiveTransient::new(model.clone(), trace, initial_temperature, *cfg)?;
+            if let Some(cp) = from {
+                // The checkpoint cursor is tree-global; the node-local
+                // integrator sees a single-segment trace starting now.
+                let mut local = cp.clone();
+                local.segment = 0;
+                local.time_in_segment = 0.0;
+                integ.restore_checkpoint(&local)?;
+            }
+            let peak = integ.run_to_end()?;
+            let stats = integ.stats();
+            Ok(NodeResult {
+                checkpoint: integ.save_checkpoint(),
+                peak,
+                steps: stats.accepted,
+                solves: stats.solves,
+                rejected: stats.rejected,
+            })
+        }
+        SteppingMode::Fixed { dt } => {
+            let mut sim =
+                TransientSimulation::new(model.clone(), &segment.power, initial_temperature, *dt)?;
+            if let Some(cp) = from {
+                sim.restore_checkpoint(cp)?;
+            }
+            let peak = sim.run_trace(&trace)?;
+            Ok(NodeResult {
+                checkpoint: sim.save_checkpoint(),
+                peak,
+                steps: sim.step_count(),
+                solves: sim.solve_count(),
+                rejected: 0,
+            })
+        }
+    }
+}
+
+/// Serves one group of share-compatible requests over the segment-
+/// prefix tree. Returns per-request results (unordered) and the group's
+/// reuse counters, plus the (possibly newly built) thermal model for
+/// the engine's cache.
+pub(crate) fn serve_transient_group(
+    cached_model: Option<ThermalModel>,
+    requests: &[(u64, TransientRequest)],
+) -> (Option<ThermalModel>, GroupOutcomes, TransientCounters) {
+    let mut counters = TransientCounters::default();
+    let mut results: GroupOutcomes = Vec::new();
+    let built = cached_model
+        .map_or_else(|| thermal_model_for(&requests[0].1.scenario), Ok)
+        .and_then(|m| {
+            // Assemble before fanning out: every node clones the model,
+            // and clones of an assembled model carry the operator.
+            m.assemble()?;
+            Ok(m)
+        });
+    let model = match built {
+        Ok(m) => m,
+        Err(e) => {
+            for (id, _) in requests {
+                results.push((*id, Err(e.clone())));
+            }
+            return (None, results, counters);
+        }
+    };
+    let t0 = requests[0].1.initial_temperature.value();
+    let stepping = requests[0].1.stepping;
+    let refs: Vec<&(u64, TransientRequest)> = requests.iter().collect();
+    let acc = PathAcc {
+        peak: t0,
+        steps: 0,
+        solves: 0,
+        rejected: 0,
+        shared_time: 0.0,
+    };
+    serve_node(
+        &model, &refs, 0, None, acc, t0, &stepping, &mut results, &mut counters,
+    );
+    (Some(model), results, counters)
+}
+
+/// Recursive prefix-tree serving: `reqs` all share their first `depth`
+/// trace segments, already integrated into `from`/`acc`.
+#[allow(clippy::too_many_arguments)]
+fn serve_node(
+    model: &ThermalModel,
+    reqs: &[&(u64, TransientRequest)],
+    depth: usize,
+    from: Option<&Checkpoint>,
+    acc: PathAcc,
+    t0: f64,
+    stepping: &SteppingMode,
+    out: &mut GroupOutcomes,
+    counters: &mut TransientCounters,
+) {
+    // Requests whose whole trace is integrated: finalize from the
+    // accumulated path state.
+    for (id, req) in reqs.iter().filter(|(_, r)| r.trace.len() == depth) {
+        let final_peak = from.map_or(t0, |cp| {
+            cp.temperatures
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+        out.push((
+            *id,
+            Ok(TransientOutcome {
+                final_peak: Kelvin::new(final_peak),
+                trace_peak: Kelvin::new(acc.peak),
+                end_time: req.total_duration(),
+                steps: acc.steps,
+                solves: acc.solves,
+                rejected: acc.rejected,
+                shared_time: acc.shared_time,
+            }),
+        ));
+    }
+
+    // Partition the ongoing requests by their next segment (duration
+    // bit pattern + load equality) *and* floorplan: each partition is
+    // one child node. The group key only fingerprints the die extent,
+    // but rasterizing a load depends on the full block layout, so
+    // requests may share a node only when their floorplans are equal.
+    let ongoing: Vec<&&(u64, TransientRequest)> =
+        reqs.iter().filter(|(_, r)| r.trace.len() > depth).collect();
+    let mut partitions: Vec<Vec<&(u64, TransientRequest)>> = Vec::new();
+    for r in ongoing {
+        let step = &r.1.trace[depth];
+        match partitions.iter_mut().find(|p| {
+            let lead = &p[0].1.trace[depth];
+            lead.duration.to_bits() == step.duration.to_bits()
+                && lead.load == step.load
+                && p[0].1.scenario.floorplan == r.1.scenario.floorplan
+        }) {
+            Some(p) => p.push(r),
+            None => partitions.push(vec![r]),
+        }
+    }
+
+    for part in partitions {
+        let lead = &part[0].1;
+        let step = &lead.trace[depth];
+        let power = match step.load.rasterize(&lead.scenario.floorplan, model.grid()) {
+            Ok(p) => p,
+            Err(e) => {
+                let err = CoreError::from(e);
+                for (id, _) in &part {
+                    out.push((*id, Err(err.clone())));
+                }
+                continue;
+            }
+        };
+        let segment = TraceSegment {
+            duration: step.duration,
+            power,
+        };
+        match integrate_node(model, &segment, t0, stepping, from) {
+            Ok(node) => {
+                counters.segments_integrated += 1;
+                counters.segments_reused += part.len() as u64 - 1;
+                let child = PathAcc {
+                    peak: acc.peak.max(node.peak),
+                    steps: acc.steps + node.steps,
+                    solves: acc.solves + node.solves,
+                    rejected: acc.rejected + node.rejected,
+                    shared_time: acc.shared_time
+                        + if part.len() > 1 { step.duration } else { 0.0 },
+                };
+                serve_node(
+                    model,
+                    &part,
+                    depth + 1,
+                    Some(&node.checkpoint),
+                    child,
+                    t0,
+                    stepping,
+                    out,
+                    counters,
+                );
+            }
+            Err(e) => {
+                for (id, _) in &part {
+                    out.push((*id, Err(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_request(segments: &[(f64, PowerScenario)]) -> TransientRequest {
+        TransientRequest {
+            scenario: Scenario::power7_reduced(),
+            trace: segments
+                .iter()
+                .map(|(d, l)| LoadStep {
+                    duration: *d,
+                    load: l.clone(),
+                })
+                .collect(),
+            initial_temperature: Kelvin::new(300.0),
+            stepping: SteppingMode::Fixed { dt: 2e-3 },
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_requests() {
+        let full = PowerScenario::full_load();
+        assert!(base_request(&[(0.01, full.clone())]).validate().is_ok());
+        assert!(base_request(&[]).validate().is_err());
+        assert!(base_request(&[(0.0, full.clone())]).validate().is_err());
+        let mut r = base_request(&[(0.01, full.clone())]);
+        r.initial_temperature = Kelvin::new(-1.0);
+        assert!(r.validate().is_err());
+        let mut r = base_request(&[(0.01, full.clone())]);
+        r.stepping = SteppingMode::Fixed { dt: 0.0 };
+        assert!(r.validate().is_err());
+        let mut r = base_request(&[(0.01, full)]);
+        r.stepping = SteppingMode::Adaptive(AdaptiveConfig {
+            dt_min: -1.0,
+            ..AdaptiveConfig::default()
+        });
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn group_key_separates_incompatible_requests() {
+        let full = PowerScenario::full_load();
+        let a = base_request(&[(0.01, full.clone())]);
+        let mut b = a.clone();
+        assert_eq!(TransientGroupKey::of(&a), TransientGroupKey::of(&b));
+        b.stepping = SteppingMode::Fixed { dt: 1e-3 };
+        assert_ne!(TransientGroupKey::of(&a), TransientGroupKey::of(&b));
+        let mut c = a.clone();
+        c.scenario.total_flow = c.scenario.total_flow * 0.5;
+        assert_ne!(TransientGroupKey::of(&a), TransientGroupKey::of(&c));
+        let mut d = a.clone();
+        d.initial_temperature = Kelvin::new(305.0);
+        assert_ne!(TransientGroupKey::of(&a), TransientGroupKey::of(&d));
+        let _ = full;
+    }
+
+    #[test]
+    fn different_floorplans_never_share_nodes() {
+        // Two requests with identical die extent, grids, trace and
+        // stepping — but different block layouts — fingerprint into the
+        // same group. They must not share prefix nodes (a shared node
+        // would rasterize one request's load onto the other's
+        // floorplan), and each must match its solo run exactly.
+        use bright_floorplan::{Block, BlockKind, Floorplan};
+
+        let full = PowerScenario::full_load();
+        let a = base_request(&[(0.02, full.clone())]);
+        let mut b = a.clone();
+        // Re-tile with core0 reclassified as logic: same rectangles,
+        // different layout, so full_load rasterizes differently.
+        let plan = &a.scenario.floorplan;
+        b.scenario.floorplan = Floorplan::new(
+            plan.width(),
+            plan.height(),
+            plan.blocks()
+                .iter()
+                .map(|blk| {
+                    let kind = if blk.name() == "core0" {
+                        BlockKind::Logic
+                    } else {
+                        blk.kind()
+                    };
+                    Block::new(blk.name(), kind, *blk.rect())
+                })
+                .collect(),
+        )
+        .unwrap();
+        assert_eq!(TransientGroupKey::of(&a), TransientGroupKey::of(&b));
+
+        let (_, grouped, counters) =
+            serve_transient_group(None, &[(0, a.clone()), (1, b.clone())]);
+        assert_eq!(counters.segments_integrated, 2, "must not share");
+        assert_eq!(counters.segments_reused, 0);
+        let get = |rs: &GroupOutcomes, id: u64| {
+            rs.iter().find(|(i, _)| *i == id).unwrap().1.clone().unwrap()
+        };
+        let (_, solo_a, _) = serve_transient_group(None, &[(0, a)]);
+        let (_, solo_b, _) = serve_transient_group(None, &[(1, b)]);
+        assert_eq!(get(&grouped, 0).final_peak, get(&solo_a, 0).final_peak);
+        assert_eq!(get(&grouped, 1).final_peak, get(&solo_b, 1).final_peak);
+        // The reclassified core is powered at logic density: the runs
+        // genuinely differ.
+        assert_ne!(get(&grouped, 0).final_peak, get(&grouped, 1).final_peak);
+    }
+
+    #[test]
+    fn shared_prefix_branches_match_independent_runs() {
+        // Two requests share a 20 ms full-load prefix, then one throttles
+        // the cores off while the other keeps going. Served as a group,
+        // the prefix is integrated once — and each result is bitwise
+        // identical to serving the request alone.
+        let full = PowerScenario::full_load();
+        let cache = PowerScenario::cache_only();
+        let a = base_request(&[(0.02, full.clone()), (0.02, full.clone())]);
+        let b = base_request(&[(0.02, full.clone()), (0.02, cache)]);
+
+        let (_, grouped, counters) =
+            serve_transient_group(None, &[(0, a.clone()), (1, b.clone())]);
+        assert_eq!(grouped.len(), 2);
+        // 3 nodes: shared prefix + two branch tails.
+        assert_eq!(counters.segments_integrated, 3);
+        assert_eq!(counters.segments_reused, 1);
+
+        let (_, solo_a, _) = serve_transient_group(None, &[(0, a)]);
+        let (_, solo_b, _) = serve_transient_group(None, &[(1, b)]);
+        let get = |rs: &[(u64, Result<TransientOutcome, CoreError>)], id: u64| {
+            rs.iter()
+                .find(|(i, _)| *i == id)
+                .unwrap()
+                .1
+                .clone()
+                .unwrap()
+        };
+        let ga = get(&grouped, 0);
+        let gb = get(&grouped, 1);
+        let sa = get(&solo_a, 0);
+        let sb = get(&solo_b, 1);
+        assert_eq!(ga.final_peak, sa.final_peak, "branch A diverged");
+        assert_eq!(gb.final_peak, sb.final_peak, "branch B diverged");
+        assert_eq!(ga.trace_peak, sa.trace_peak);
+        assert_eq!(ga.steps, sa.steps);
+        // The shared prefix is half of each request's trace.
+        assert!((ga.shared_time - 0.02).abs() < 1e-15);
+        assert_eq!(sa.shared_time, 0.0);
+        // Both branches heat up under load.
+        assert!(ga.final_peak.value() > 300.5);
+        // The throttled branch ends cooler than the loaded one.
+        assert!(gb.final_peak.value() < ga.final_peak.value());
+    }
+}

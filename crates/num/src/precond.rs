@@ -21,6 +21,26 @@
 //! separated from application so a [`crate::session::SolverSession`] can
 //! re-run setup only when the operator's *values* change and keep the
 //! pattern-dependent allocations across refreshes.
+//!
+//! # Examples
+//!
+//! Build a preconditioner from its spec and apply it directly (sessions
+//! normally do this internally):
+//!
+//! ```
+//! use bright_num::{PrecondSpec, TripletMatrix};
+//!
+//! let mut t = TripletMatrix::new(2, 2);
+//! t.push(0, 0, 4.0)?;
+//! t.push(1, 1, 2.0)?;
+//! let a = t.to_csr();
+//! let mut jacobi = PrecondSpec::Jacobi.build();
+//! jacobi.setup(&a)?;
+//! let mut z = [0.0; 2];
+//! jacobi.apply(&mut z, &[8.0, 8.0]); // z = M^{-1} r
+//! assert_eq!(z, [2.0, 4.0]);
+//! # Ok::<(), bright_num::NumError>(())
+//! ```
 
 use crate::sparse::CsrMatrix;
 use crate::NumError;

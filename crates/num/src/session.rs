@@ -27,6 +27,28 @@
 //! preconditioner factorization is rebuilt lazily in the clone) and
 //! track [`SessionStats`] so benches and tests can assert how much work
 //! was actually amortized.
+//!
+//! # Examples
+//!
+//! Bind once, then solve repeatedly — the second solve warm-starts from
+//! the first solution and converges immediately:
+//!
+//! ```
+//! use bright_num::{SolverSession, TripletMatrix};
+//!
+//! let mut t = TripletMatrix::new(3, 3);
+//! for i in 0..3 {
+//!     t.push(i, i, 2.0)?;
+//! }
+//! let mut session = SolverSession::default();
+//! session.bind_triplets(&t)?;
+//! let cold = session.solve_spd(&[2.0, 4.0, 6.0])?;
+//! assert_eq!(session.solution(), &[1.0, 2.0, 3.0]);
+//! let warm = session.solve_spd(&[2.0, 4.0, 6.0])?;
+//! assert!(warm.iterations <= cold.iterations);
+//! assert_eq!(session.stats().solves, 2);
+//! # Ok::<(), bright_num::NumError>(())
+//! ```
 
 use crate::precond::{PrecondSpec, Preconditioner};
 use crate::solvers::{
@@ -286,6 +308,22 @@ impl SolverSession {
     /// next point is unrelated to the previous one).
     pub fn reset_warm_start(&mut self) {
         self.x.clear();
+    }
+
+    /// Weighted-RMS distance between the session's current solution and
+    /// a reference field (see [`crate::vec_ops::wrms_diff`]) — the local
+    /// error measure adaptive time steppers compare against 1. The
+    /// coarse/fine comparison of a step-doubling controller reads the
+    /// coarse result out of one solve, then measures the refined result
+    /// against it without copying either.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::vec_ops::wrms_diff`] (mismatched lengths, zero
+    /// tolerances) in debug builds.
+    #[must_use]
+    pub fn solution_wrms_diff(&self, reference: &[f64], abs_tol: f64, rel_tol: f64) -> f64 {
+        crate::vec_ops::wrms_diff(&self.x, reference, abs_tol, rel_tol)
     }
 
     /// Statistics of the last completed solve.

@@ -15,6 +15,28 @@
 //! and the `_preconditioned` entry points accept an already-set-up
 //! preconditioner so sessions can amortize factorizations across solves.
 //! A Gauss–Seidel/SOR smoother is provided for tests and as a fallback.
+//!
+//! # Examples
+//!
+//! ```
+//! use bright_num::solvers::{conjugate_gradient, IterOptions};
+//! use bright_num::TripletMatrix;
+//!
+//! // -u'' = f on 3 interior nodes (SPD tridiagonal system).
+//! let mut t = TripletMatrix::new(3, 3);
+//! for i in 0..3 {
+//!     t.push(i, i, 2.0)?;
+//!     if i > 0 {
+//!         t.push(i, i - 1, -1.0)?;
+//!         t.push(i - 1, i, -1.0)?;
+//!     }
+//! }
+//! let a = t.to_csr();
+//! let sol = conjugate_gradient(&a, &[1.0, 0.0, 1.0], None, &IterOptions::default())?;
+//! assert!((sol.x[1] - 1.0).abs() < 1e-8);
+//! assert!(sol.relative_residual <= 1e-10);
+//! # Ok::<(), bright_num::NumError>(())
+//! ```
 
 use crate::precond::{PrecondSpec, Preconditioner};
 use crate::sparse::CsrMatrix;

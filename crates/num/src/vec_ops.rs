@@ -71,6 +71,55 @@ pub fn all_finite(a: &[f64]) -> bool {
     a.iter().all(|x| x.is_finite())
 }
 
+/// Weighted root-mean-square norm of the difference `a − b`, the local
+/// error measure adaptive time steppers compare against 1:
+///
+/// ```text
+/// wrms = sqrt( (1/n) Σ_i ( (a_i − b_i) / (abs_tol + rel_tol·max(|a_i|,|b_i|)) )² )
+/// ```
+///
+/// A value ≤ 1 means the difference is within the mixed
+/// absolute/relative tolerance in the RMS sense (the SUNDIALS/CVODE
+/// convention). Returns 0 for empty slices.
+///
+/// # Examples
+///
+/// ```
+/// use bright_num::vec_ops::wrms_diff;
+///
+/// // 0.05 K apart on ~300 K fields: well inside atol=0.1.
+/// let err = wrms_diff(&[300.00, 310.00], &[300.05, 310.05], 0.1, 0.0);
+/// assert!(err < 1.0);
+/// // ...but outside atol=0.01.
+/// assert!(wrms_diff(&[300.00], &[300.05], 0.01, 0.0) > 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths, or if
+/// both tolerances are zero/negative (the weight would divide by zero).
+#[must_use]
+pub fn wrms_diff(a: &[f64], b: &[f64], abs_tol: f64, rel_tol: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(
+        abs_tol > 0.0 || rel_tol > 0.0,
+        "wrms_diff needs a positive tolerance"
+    );
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let w = abs_tol + rel_tol * x.abs().max(y.abs());
+            let e = (x - y) / w;
+            e * e
+        })
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +154,22 @@ mod tests {
         assert!(all_finite(&[1.0, -2.0]));
         assert!(!all_finite(&[1.0, f64::NAN]));
         assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn wrms_measures_against_mixed_tolerance() {
+        // Identical vectors: zero error; empty: zero by convention.
+        assert_eq!(wrms_diff(&[1.0, 2.0], &[1.0, 2.0], 1e-3, 1e-3), 0.0);
+        assert_eq!(wrms_diff(&[], &[], 1e-3, 0.0), 0.0);
+        // Pure absolute tolerance: err/atol per component.
+        let e = wrms_diff(&[0.0, 0.0], &[3e-3, 4e-3], 1e-3, 0.0);
+        assert!((e - (12.5_f64).sqrt()).abs() < 1e-12, "e = {e}");
+        // Relative part scales with the magnitude: the same absolute
+        // offset on a large value is "smaller".
+        let small = wrms_diff(&[1.0], &[1.1], 0.0, 0.1);
+        let large = wrms_diff(&[1000.0], &[1000.1], 0.0, 0.1);
+        assert!(large < small);
+        // Boundary: exactly at tolerance -> 1.
+        assert!((wrms_diff(&[0.0], &[0.5], 0.5, 0.0) - 1.0).abs() < 1e-12);
     }
 }

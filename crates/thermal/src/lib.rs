@@ -11,7 +11,9 @@
 //! * [`stack`] — layer stack description (solid layers, microchannel
 //!   layers),
 //! * [`model`] — assembly and the steady-state solver,
-//! * [`transient`] — backward-Euler transient stepping,
+//! * [`transient`] — backward-Euler transient stepping: fixed or
+//!   adaptive Δt, piecewise-constant power traces, and serializable
+//!   checkpoints for branching shared trace prefixes,
 //! * [`presets`] — the POWER7+ stack of the paper's case study.
 //!
 //! # Examples
@@ -42,6 +44,10 @@ pub mod transient;
 pub use materials::Material;
 pub use model::{ThermalModel, ThermalSolution};
 pub use stack::{LayerSpec, MicrochannelSpec, StackConfig};
+pub use transient::{
+    AdaptiveConfig, AdaptiveStats, AdaptiveStep, AdaptiveTransient, Checkpoint, PowerTrace,
+    TraceSegment, TransientSimulation,
+};
 
 use std::fmt;
 

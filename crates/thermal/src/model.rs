@@ -308,6 +308,17 @@ impl ThermalModel {
         bright_num::lazy::get_or_try_init(&self.operator, || self.assemble_operator())
     }
 
+    /// Forces the lazy operator assembly now (idempotent). Callers that
+    /// fan a model out by cloning should assemble first, so every clone
+    /// carries the cached operator instead of re-assembling its own.
+    ///
+    /// # Errors
+    ///
+    /// Assembly errors as in [`ThermalModel::solve_steady`].
+    pub fn assemble(&self) -> Result<(), ThermalError> {
+        self.operator().map(|_| ())
+    }
+
     /// Number of full (symbolic) operator assemblies this model has
     /// performed. Sweeps routed through
     /// [`ThermalModel::refresh_coefficients`] keep this at 1 however
@@ -828,15 +839,28 @@ impl ThermalModel {
             .collect()
     }
 
+    /// Fills `rhs` with the transient steady forcing (base RHS plus the
+    /// power injection at the active layer) — the piece of the transient
+    /// system that changes when the power map changes mid-trace.
+    pub(crate) fn transient_rhs(
+        &self,
+        power: &Field2d,
+        rhs: &mut Vec<f64>,
+    ) -> Result<(), ThermalError> {
+        let sources: &[(usize, &Field2d)] = &[(0, power)];
+        self.validate_sources(sources)?;
+        let op = self.operator()?;
+        self.build_rhs(&op.rhs_base, sources, rhs);
+        Ok(())
+    }
+
     pub(crate) fn assemble_for_transient(
         &self,
         power: &Field2d,
     ) -> Result<(bright_num::CsrMatrix, Vec<f64>), ThermalError> {
-        let sources: &[(usize, &Field2d)] = &[(0, power)];
-        self.validate_sources(sources)?;
+        let mut rhs = Vec::new();
+        self.transient_rhs(power, &mut rhs)?;
         let op = self.operator()?;
-        let mut rhs = Vec::with_capacity(op.rhs_base.len());
-        self.build_rhs(&op.rhs_base, sources, &mut rhs);
         Ok((op.matrix.clone(), rhs))
     }
 }

@@ -1,18 +1,45 @@
-//! Transient thermal simulation (backward Euler).
+//! Transient thermal simulation: backward Euler with fixed or adaptive
+//! time steps, power traces, and checkpoint/restore.
 //!
 //! 3D-ICE's hallmark is fast transient simulation of liquid-cooled
 //! stacks. This module adds first-order implicit time stepping on top of
 //! the steady assembly: `(C/Δt + G)·T⁺ = C/Δt·T + P`, which is
-//! unconditionally stable — large steps simply approach the steady state.
+//! unconditionally stable — large steps simply approach the steady
+//! state.
 //!
-//! The stepper owns a [`SolverSession`] bound to the `C/Δt + G` system:
-//! the pattern, Krylov scratch and preconditioner are set up once at
-//! construction and every step is a warm-started, allocation-free solve.
+//! Three layers build on each other:
+//!
+//! * [`TransientSimulation`] — the fixed-Δt stepper. It owns a
+//!   [`SolverSession`] bound to `G + C/Δt`: pattern, Krylov scratch and
+//!   preconditioner are set up once and every step is a warm-started,
+//!   allocation-free solve. [`TransientSimulation::set_dt`] re-stamps
+//!   the operator *values* through the cached pattern in O(nnz) (the
+//!   conductances never change — only the `C/Δt` diagonal), so changing
+//!   the step size never rebuilds the model or the sparsity.
+//! * [`PowerTrace`] — a piecewise-constant sequence of power maps
+//!   ([`TraceSegment`]s), the time-varying MPSoC loads of the paper's
+//!   throttling and dark-silicon experiments.
+//! * [`AdaptiveTransient`] — a step-doubling local-error controller over
+//!   the stepper: each step is taken once at `h` and twice at `h/2`, the
+//!   weighted-RMS difference ([`bright_num::vec_ops::wrms_diff`])
+//!   estimates the local error, and Δt grows or shrinks within
+//!   [`AdaptiveConfig`] bounds. Steps never straddle a segment boundary.
+//!
+//! Both steppers can [`save_checkpoint`](AdaptiveTransient::save_checkpoint) /
+//! [`restore_checkpoint`](AdaptiveTransient::restore_checkpoint): a
+//! [`Checkpoint`] captures the temperature field (solid *and* fluid
+//! cells), the session warm-start vector, the step size and the trace
+//! cursor, and serializes to JSON via `bright-jsonio`. Restoring and
+//! continuing is bitwise-identical to an uninterrupted run — the solve
+//! warm-starts from the committed field either way — which is what lets
+//! trace segments shared between scenarios be integrated once and
+//! branched (see `bright_core::engine`).
 
 use crate::model::{ThermalModel, ThermalSolution};
 use crate::ThermalError;
+use bright_jsonio::Value;
 use bright_mesh::Field2d;
-use bright_num::{SolverSession, TripletMatrix};
+use bright_num::{CsrMatrix, SolverSession, TripletMatrix};
 
 /// A transient thermal simulation with a fixed power map and time step.
 #[derive(Debug, Clone)]
@@ -20,11 +47,31 @@ pub struct TransientSimulation {
     model: ThermalModel,
     /// Session bound to `G + C/Δt` (pattern + scratch + preconditioner).
     session: SolverSession,
+    /// The steady conductance operator `G` (coefficients fixed for the
+    /// life of the simulation); kept so Δt changes re-stamp values only.
+    conductance: CsrMatrix,
+    /// Scratch triplet list for O(nnz) re-stamps on Δt changes.
+    stamps: TripletMatrix,
     rhs_steady: Vec<f64>,
+    /// Per-cell heat capacity `C` (J/K), Δt-independent.
+    capacity: Vec<f64>,
+    /// The stamped `C/Δt` diagonal.
     capacity_over_dt: Vec<f64>,
     temperatures: Vec<f64>,
     time: f64,
     dt: f64,
+    /// Session coefficient epoch, bumped by every Δt re-stamp.
+    epoch: u64,
+    steps: u64,
+}
+
+fn validate_dt(dt: f64) -> Result<(), ThermalError> {
+    if !(dt > 0.0 && dt.is_finite()) {
+        return Err(ThermalError::InvalidConfig(format!(
+            "time step must be positive, got {dt}"
+        )));
+    }
+    Ok(())
 }
 
 impl TransientSimulation {
@@ -40,11 +87,7 @@ impl TransientSimulation {
         initial_temperature: f64,
         dt: f64,
     ) -> Result<Self, ThermalError> {
-        if !(dt > 0.0 && dt.is_finite()) {
-            return Err(ThermalError::InvalidConfig(format!(
-                "time step must be positive, got {dt}"
-            )));
-        }
+        validate_dt(dt)?;
         if !(initial_temperature > 0.0 && initial_temperature.is_finite()) {
             return Err(ThermalError::InvalidConfig(format!(
                 "initial temperature must be positive, got {initial_temperature}"
@@ -54,31 +97,53 @@ impl TransientSimulation {
         let per_level_caps = model.levels_heat_capacity_volumes();
         let cells = model.grid().len();
         let n = g.rows();
-        let mut capacity_over_dt = vec![0.0; n];
+        let mut capacity = vec![0.0; n];
         for (lvl, cap) in per_level_caps.iter().enumerate() {
             for cell in 0..cells {
-                capacity_over_dt[lvl * cells + cell] = cap / dt;
+                capacity[lvl * cells + cell] = *cap;
             }
         }
-        // System matrix: G + C/dt on the diagonal.
+        let capacity_over_dt: Vec<f64> = capacity.iter().map(|c| c / dt).collect();
+        // System matrix: G + C/dt on the diagonal. The stamp sequence
+        // (row-major G entries, then the capacity diagonal) is fixed for
+        // the simulation's lifetime so `set_dt` can refresh values
+        // through the cached pattern.
         let mut t = TripletMatrix::with_capacity(n, n, g.nnz() + n);
+        Self::stamp_system(&g, &capacity_over_dt, &mut t)?;
+        let mut session = SolverSession::new(ThermalModel::iter_options());
+        session.bind_triplets(&t).map_err(ThermalError::from)?;
+        Ok(Self {
+            model,
+            session,
+            conductance: g,
+            stamps: t,
+            rhs_steady,
+            capacity,
+            capacity_over_dt,
+            temperatures: vec![initial_temperature; n],
+            time: 0.0,
+            dt,
+            epoch: 0,
+            steps: 0,
+        })
+    }
+
+    /// Stamps `G + diag(C/Δt)` into `t` (cleared first). The sequence
+    /// must stay identical between calls — the
+    /// [`bright_num::CsrSymbolic::refresh_values`] contract.
+    fn stamp_system(
+        g: &CsrMatrix,
+        capacity_over_dt: &[f64],
+        t: &mut TripletMatrix,
+    ) -> Result<(), ThermalError> {
+        t.clear();
         for (i, cap) in capacity_over_dt.iter().enumerate() {
             for (j, v) in g.row(i) {
                 t.push(i, j, v).map_err(ThermalError::from)?;
             }
             t.push(i, i, *cap).map_err(ThermalError::from)?;
         }
-        let mut session = SolverSession::new(ThermalModel::iter_options());
-        session.bind_triplets(&t).map_err(ThermalError::from)?;
-        Ok(Self {
-            model,
-            session,
-            rhs_steady,
-            capacity_over_dt,
-            temperatures: vec![initial_temperature; n],
-            time: 0.0,
-            dt,
-        })
+        Ok(())
     }
 
     /// Elapsed simulated time (s).
@@ -87,10 +152,109 @@ impl TransientSimulation {
         self.time
     }
 
-    /// The fixed time step (s).
+    /// The current time step (s).
     #[inline]
     pub fn dt(&self) -> f64 {
         self.dt
+    }
+
+    /// The thermal model being stepped.
+    #[inline]
+    pub fn model(&self) -> &ThermalModel {
+        &self.model
+    }
+
+    /// The current temperature field (all levels, row-major per level;
+    /// fluid cells included).
+    #[inline]
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Peak temperature of the current field (K).
+    pub fn peak(&self) -> f64 {
+        self.temperatures
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Accepted steps so far (committed solves; the adaptive controller
+    /// performs additional trial solves — see
+    /// [`AdaptiveTransient::stats`]).
+    #[inline]
+    pub fn step_count(&self) -> u64 {
+        self.steps
+    }
+
+    /// Linear solves performed by the underlying session (includes
+    /// uncommitted trial solves).
+    #[inline]
+    pub fn solve_count(&self) -> u64 {
+        self.session.stats().solves
+    }
+
+    /// Changes the time step, re-stamping the `C/Δt` diagonal of the
+    /// implicit operator through the cached sparsity pattern — O(nnz),
+    /// no symbolic work, no model rebuild. A no-op when `dt` is bitwise
+    /// equal to the current step.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidConfig`] for a non-positive `dt`,
+    /// * [`ThermalError::Numerical`] if the refresh fails (cannot happen
+    ///   for a well-formed simulation).
+    pub fn set_dt(&mut self, dt: f64) -> Result<(), ThermalError> {
+        validate_dt(dt)?;
+        if dt == self.dt {
+            return Ok(());
+        }
+        self.dt = dt;
+        for (c, cap) in self.capacity_over_dt.iter_mut().zip(&self.capacity) {
+            *c = cap / dt;
+        }
+        Self::stamp_system(&self.conductance, &self.capacity_over_dt, &mut self.stamps)?;
+        self.epoch += 1;
+        self.session
+            .refresh_values(&self.stamps, self.epoch)
+            .map_err(ThermalError::from)
+    }
+
+    /// Swaps the power map driving the simulation (the next trace
+    /// segment). Only the steady forcing changes; the operator is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::PowerMapMismatch`] if the map is not on the model
+    /// grid.
+    pub fn set_power(&mut self, power: &Field2d) -> Result<(), ThermalError> {
+        self.model.transient_rhs(power, &mut self.rhs_steady)
+    }
+
+    /// One backward-Euler solve from the field `from`, *without*
+    /// committing time or temperatures; returns the new field. The
+    /// associated-function shape keeps the borrows disjoint.
+    fn solve_from(
+        session: &mut SolverSession,
+        rhs_steady: &[f64],
+        capacity_over_dt: &[f64],
+        from: &[f64],
+    ) -> Result<Vec<f64>, ThermalError> {
+        {
+            let rhs = session.rhs_mut();
+            rhs.extend_from_slice(rhs_steady);
+            for ((r, c), t) in rhs.iter_mut().zip(capacity_over_dt).zip(from) {
+                *r += c * t;
+            }
+        }
+        // Warm-start from the departing field; the session iterates in
+        // its own buffer, so a failed solve leaves the caller untouched.
+        session.set_warm_start(from);
+        session
+            .solve_general_in_place()
+            .map_err(ThermalError::from)?;
+        Ok(session.solution().to_vec())
     }
 
     /// Advances one step and returns the new peak temperature (K).
@@ -118,11 +282,8 @@ impl TransientSimulation {
             .map_err(ThermalError::from)?;
         self.temperatures.copy_from_slice(self.session.solution());
         self.time += self.dt;
-        Ok(self
-            .temperatures
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max))
+        self.steps += 1;
+        Ok(self.peak())
     }
 
     /// Advances `n` steps.
@@ -138,6 +299,38 @@ impl TransientSimulation {
         Ok(peak)
     }
 
+    /// Integrates a whole power trace at the fixed Δt, switching the
+    /// forcing at each segment boundary (with one shortened remainder
+    /// step per segment when the duration is not a Δt multiple). Returns
+    /// the peak temperature observed *anywhere along the trace*.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSimulation::step`] /
+    /// [`TransientSimulation::set_power`].
+    pub fn run_trace(&mut self, trace: &PowerTrace) -> Result<f64, ThermalError> {
+        let dt = self.dt;
+        let mut peak = self.peak();
+        for seg in trace.segments() {
+            self.set_power(&seg.power)?;
+            // Integer step count (not repeated subtraction, whose
+            // floating-point residue could produce a spurious
+            // near-zero-length extra step on long segments).
+            let full_steps = (seg.duration / dt).floor() as usize;
+            self.set_dt(dt)?;
+            for _ in 0..full_steps {
+                peak = peak.max(self.step()?);
+            }
+            let remainder = seg.duration - full_steps as f64 * dt;
+            if remainder > seg.duration * 1e-9 {
+                self.set_dt(remainder)?;
+                peak = peak.max(self.step()?);
+                self.set_dt(dt)?;
+            }
+        }
+        Ok(peak)
+    }
+
     /// A snapshot of the current temperature field.
     ///
     /// # Errors
@@ -147,6 +340,593 @@ impl TransientSimulation {
     pub fn snapshot(&self) -> Result<ThermalSolution, ThermalError> {
         self.model.wrap_solution(self.temperatures.clone())
     }
+
+    /// Captures the integration state: temperature field (solid + fluid
+    /// cells), session warm-start vector, step size and elapsed time.
+    /// Restoring into a simulation of the same model and continuing is
+    /// bitwise-identical to never having stopped.
+    #[must_use]
+    pub fn save_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            time: self.time,
+            dt: self.dt,
+            segment: 0,
+            time_in_segment: 0.0,
+            temperatures: self.temperatures.clone(),
+            warm_start: self.session.solution().to_vec(),
+        }
+    }
+
+    /// Restores a [`Checkpoint`] saved from a simulation of the same
+    /// model (same grid and layer stack). The trace-cursor fields are
+    /// ignored — the plain stepper has no trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] on a field-size mismatch or a
+    /// non-positive checkpointed Δt.
+    pub fn restore_checkpoint(&mut self, cp: &Checkpoint) -> Result<(), ThermalError> {
+        if cp.temperatures.len() != self.temperatures.len() {
+            return Err(ThermalError::InvalidConfig(format!(
+                "checkpoint field has {} cells but the model has {}",
+                cp.temperatures.len(),
+                self.temperatures.len()
+            )));
+        }
+        self.set_dt(cp.dt)?;
+        self.temperatures.copy_from_slice(&cp.temperatures);
+        self.session.set_warm_start(&cp.warm_start);
+        self.time = cp.time;
+        Ok(())
+    }
+}
+
+/// One piecewise-constant span of a [`PowerTrace`].
+#[derive(Debug, Clone)]
+pub struct TraceSegment {
+    /// Span length (s).
+    pub duration: f64,
+    /// Power-density map (W/m² on the model grid) held over the span.
+    pub power: Field2d,
+}
+
+/// A piecewise-constant power trace: the time-varying MPSoC load the
+/// transient steppers integrate (throttling events, dark-silicon duty
+/// cycles).
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    segments: Vec<TraceSegment>,
+}
+
+impl PowerTrace {
+    /// Builds a trace from its segments.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] for an empty trace or a
+    /// non-positive/non-finite segment duration.
+    pub fn new(segments: Vec<TraceSegment>) -> Result<Self, ThermalError> {
+        if segments.is_empty() {
+            return Err(ThermalError::InvalidConfig(
+                "power trace needs at least one segment".into(),
+            ));
+        }
+        for (i, seg) in segments.iter().enumerate() {
+            if !(seg.duration > 0.0 && seg.duration.is_finite()) {
+                return Err(ThermalError::InvalidConfig(format!(
+                    "segment {i} duration must be positive, got {}",
+                    seg.duration
+                )));
+            }
+        }
+        Ok(Self { segments })
+    }
+
+    /// The segments, in order.
+    #[inline]
+    pub fn segments(&self) -> &[TraceSegment] {
+        &self.segments
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Always `false` (construction rejects empty traces); provided for
+    /// clippy's `len_without_is_empty` convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total trace duration (s).
+    pub fn total_duration(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+}
+
+/// Bounds and tolerances of the adaptive step-size controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Absolute component tolerance (K) of the weighted-RMS error test.
+    pub abs_tol: f64,
+    /// Relative component tolerance of the weighted-RMS error test.
+    pub rel_tol: f64,
+    /// First attempted step (s).
+    pub dt_init: f64,
+    /// Smallest permitted step (s); a step at the floor is accepted even
+    /// when the error test fails (counted in
+    /// [`AdaptiveStats::forced`]).
+    pub dt_min: f64,
+    /// Largest permitted step (s).
+    pub dt_max: f64,
+    /// Safety factor applied to the optimal-step estimate (< 1).
+    pub safety: f64,
+    /// Largest per-step growth factor.
+    pub max_growth: f64,
+    /// Smallest per-step shrink factor.
+    pub min_shrink: f64,
+}
+
+impl Default for AdaptiveConfig {
+    /// Tolerances sized for die-temperature tracking (0.05 K absolute),
+    /// steps from 0.1 ms to 1 s, and the classic 0.9 safety factor.
+    fn default() -> Self {
+        Self {
+            abs_tol: 0.05,
+            rel_tol: 0.0,
+            dt_init: 1e-3,
+            dt_min: 1e-4,
+            dt_max: 1.0,
+            safety: 0.9,
+            max_growth: 4.0,
+            min_shrink: 0.2,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Checks the controller bounds (positive tolerances, ordered Δt
+    /// window containing `dt_init`, in-range safety/growth factors).
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        let bad = |m: String| Err(ThermalError::InvalidConfig(m));
+        if !(self.abs_tol > 0.0 || self.rel_tol > 0.0) {
+            return bad("adaptive stepping needs a positive tolerance".into());
+        }
+        if !(self.dt_min > 0.0 && self.dt_min.is_finite()) {
+            return bad(format!("dt_min must be positive, got {}", self.dt_min));
+        }
+        if !(self.dt_max >= self.dt_min && self.dt_max.is_finite()) {
+            return bad(format!(
+                "dt_max ({}) must be >= dt_min ({})",
+                self.dt_max, self.dt_min
+            ));
+        }
+        if !(self.dt_init >= self.dt_min && self.dt_init <= self.dt_max) {
+            return bad(format!(
+                "dt_init ({}) must lie in [dt_min, dt_max] = [{}, {}]",
+                self.dt_init, self.dt_min, self.dt_max
+            ));
+        }
+        if !(self.safety > 0.0 && self.safety < 1.0) {
+            return bad(format!("safety must be in (0,1), got {}", self.safety));
+        }
+        if !(self.max_growth > 1.0 && self.min_shrink > 0.0 && self.min_shrink < 1.0) {
+            return bad(format!(
+                "growth/shrink bounds out of range: max_growth {}, min_shrink {}",
+                self.max_growth, self.min_shrink
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters of an [`AdaptiveTransient`] integration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Accepted (committed) steps.
+    pub accepted: u64,
+    /// Rejected trial steps (error test failed, Δt shrunk and retried).
+    pub rejected: u64,
+    /// Steps accepted at the Δt floor despite a failed error test.
+    pub forced: u64,
+    /// Linear solves performed (3 per attempt: one full step, two half
+    /// steps).
+    pub solves: u64,
+}
+
+/// The outcome of one accepted adaptive step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveStep {
+    /// Simulated time after the step (s).
+    pub time: f64,
+    /// The committed step size (s).
+    pub dt: f64,
+    /// Peak temperature after the step (K).
+    pub peak: f64,
+    /// The weighted-RMS local-error estimate (≤ 1 unless forced).
+    pub error: f64,
+}
+
+/// Adaptive-Δt integration of a [`PowerTrace`]: a step-doubling local
+/// error estimator over [`TransientSimulation`]. See the [module
+/// docs](self).
+#[derive(Debug, Clone)]
+pub struct AdaptiveTransient {
+    sim: TransientSimulation,
+    cfg: AdaptiveConfig,
+    trace: PowerTrace,
+    /// Trace cursor: current segment and the time already integrated
+    /// into it.
+    segment: usize,
+    time_in_segment: f64,
+    /// The controller's proposal for the next step.
+    dt_next: f64,
+    stats: AdaptiveStats,
+}
+
+impl AdaptiveTransient {
+    /// Creates an adaptive integration of `trace` from a uniform initial
+    /// temperature.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidConfig`] for invalid controller bounds,
+    /// * as [`TransientSimulation::new`] otherwise (the first segment's
+    ///   power map is validated here; later maps when their segment
+    ///   starts).
+    pub fn new(
+        model: ThermalModel,
+        trace: PowerTrace,
+        initial_temperature: f64,
+        cfg: AdaptiveConfig,
+    ) -> Result<Self, ThermalError> {
+        cfg.validate()?;
+        let sim = TransientSimulation::new(
+            model,
+            &trace.segments()[0].power,
+            initial_temperature,
+            cfg.dt_init,
+        )?;
+        Ok(Self {
+            sim,
+            cfg,
+            trace,
+            segment: 0,
+            time_in_segment: 0.0,
+            dt_next: cfg.dt_init,
+            stats: AdaptiveStats::default(),
+        })
+    }
+
+    /// Elapsed simulated time (s).
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.sim.time()
+    }
+
+    /// The current temperature field.
+    #[inline]
+    pub fn temperatures(&self) -> &[f64] {
+        self.sim.temperatures()
+    }
+
+    /// Peak temperature of the current field (K).
+    #[inline]
+    pub fn peak(&self) -> f64 {
+        self.sim.peak()
+    }
+
+    /// The controller configuration.
+    #[inline]
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// The trace being integrated.
+    #[inline]
+    pub fn trace(&self) -> &PowerTrace {
+        &self.trace
+    }
+
+    /// Integration counters.
+    #[inline]
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// The Δt the controller will attempt next.
+    #[inline]
+    pub fn dt_next(&self) -> f64 {
+        self.dt_next
+    }
+
+    /// The trace cursor: index of the segment currently being
+    /// integrated (equals [`PowerTrace::len`] once finished).
+    #[inline]
+    pub fn segment_index(&self) -> usize {
+        self.segment
+    }
+
+    /// True when the whole trace has been integrated.
+    pub fn finished(&self) -> bool {
+        self.segment >= self.trace.len()
+    }
+
+    /// A snapshot of the current temperature field.
+    ///
+    /// # Errors
+    ///
+    /// As [`TransientSimulation::snapshot`].
+    pub fn snapshot(&self) -> Result<ThermalSolution, ThermalError> {
+        self.sim.snapshot()
+    }
+
+    /// Takes one accepted adaptive step (retrying internally on error-
+    /// test failures) and returns its outcome. Steps are clamped to the
+    /// current segment's remaining span, so the power map only ever
+    /// changes *between* steps; crossing a boundary loads the next
+    /// segment's map.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThermalError::InvalidConfig`] when the trace is exhausted
+    ///   ([`AdaptiveTransient::finished`]),
+    /// * solve errors as in [`TransientSimulation::step`].
+    pub fn step(&mut self) -> Result<AdaptiveStep, ThermalError> {
+        if self.finished() {
+            return Err(ThermalError::InvalidConfig(
+                "adaptive step past the end of the power trace".into(),
+            ));
+        }
+        let seg_duration = self.trace.segments()[self.segment].duration;
+        let remaining = seg_duration - self.time_in_segment;
+        let mut h = self.dt_next.clamp(self.cfg.dt_min, self.cfg.dt_max).min(remaining);
+        loop {
+            // Trial: one full step at h, two half steps at h/2, all from
+            // the committed field.
+            self.sim.set_dt(h)?;
+            let y_big = TransientSimulation::solve_from(
+                &mut self.sim.session,
+                &self.sim.rhs_steady,
+                &self.sim.capacity_over_dt,
+                &self.sim.temperatures,
+            )?;
+            self.sim.set_dt(h / 2.0)?;
+            let y_half = TransientSimulation::solve_from(
+                &mut self.sim.session,
+                &self.sim.rhs_steady,
+                &self.sim.capacity_over_dt,
+                &self.sim.temperatures,
+            )?;
+            let y_fine = TransientSimulation::solve_from(
+                &mut self.sim.session,
+                &self.sim.rhs_steady,
+                &self.sim.capacity_over_dt,
+                &y_half,
+            )?;
+            self.stats.solves += 3;
+            // The session's solution is y_fine (the last solve), so the
+            // error test reads it in place against the coarse result.
+            let err =
+                self.sim
+                    .session
+                    .solution_wrms_diff(&y_big, self.cfg.abs_tol, self.cfg.rel_tol);
+            let at_floor = h <= self.cfg.dt_min * (1.0 + 1e-9);
+            // The remainder of a segment may legitimately be shorter
+            // than dt_min; accept it unconditionally too.
+            let is_remainder = h >= remaining * (1.0 - 1e-12);
+            if err <= 1.0 || at_floor || (is_remainder && remaining < self.cfg.dt_min) {
+                if err > 1.0 {
+                    self.stats.forced += 1;
+                }
+                // Commit the refined solution.
+                self.sim.temperatures.copy_from_slice(&y_fine);
+                self.sim.time += h;
+                self.sim.steps += 1;
+                self.time_in_segment += h;
+                self.stats.accepted += 1;
+                // Backward Euler is order 1: the optimal next step
+                // scales as err^(-1/(p+1)) = err^(-1/2).
+                let factor = if err > 1e-12 {
+                    (self.cfg.safety / err.sqrt())
+                        .clamp(self.cfg.min_shrink, self.cfg.max_growth)
+                } else {
+                    self.cfg.max_growth
+                };
+                self.dt_next = (h * factor).clamp(self.cfg.dt_min, self.cfg.dt_max);
+                if self.time_in_segment >= seg_duration * (1.0 - 1e-12) {
+                    self.advance_segment()?;
+                }
+                return Ok(AdaptiveStep {
+                    time: self.sim.time(),
+                    dt: h,
+                    peak: self.sim.peak(),
+                    error: err,
+                });
+            }
+            // Reject: shrink and retry.
+            self.stats.rejected += 1;
+            let factor = (self.cfg.safety / err.sqrt()).clamp(self.cfg.min_shrink, 1.0);
+            h = (h * factor).max(self.cfg.dt_min).min(remaining);
+        }
+    }
+
+    fn advance_segment(&mut self) -> Result<(), ThermalError> {
+        self.segment += 1;
+        self.time_in_segment = 0.0;
+        if let Some(seg) = self.trace.segments().get(self.segment) {
+            self.sim.set_power(&seg.power)?;
+        }
+        Ok(())
+    }
+
+    /// Integrates the remaining trace to its end; returns the peak
+    /// temperature observed anywhere along the way.
+    ///
+    /// # Errors
+    ///
+    /// As [`AdaptiveTransient::step`].
+    pub fn run_to_end(&mut self) -> Result<f64, ThermalError> {
+        let mut peak = self.sim.peak();
+        while !self.finished() {
+            peak = peak.max(self.step()?.peak);
+        }
+        Ok(peak)
+    }
+
+    /// Captures the integration state, including the trace cursor and
+    /// the controller's next-step proposal. Restoring (into this
+    /// integration, or any integration whose trace shares the segments
+    /// up to the cursor) and continuing is bitwise-identical to never
+    /// having stopped.
+    #[must_use]
+    pub fn save_checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            time: self.sim.time(),
+            dt: self.dt_next,
+            segment: self.segment,
+            time_in_segment: self.time_in_segment,
+            temperatures: self.sim.temperatures().to_vec(),
+            warm_start: self.sim.session.solution().to_vec(),
+        }
+    }
+
+    /// Restores a [`Checkpoint`] saved from an integration of the same
+    /// model whose trace agrees with this one up to the checkpoint's
+    /// cursor — the branch operation of segment-prefix sharing.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] on a field-size mismatch, a
+    /// cursor outside this trace, or an invalid checkpointed Δt.
+    pub fn restore_checkpoint(&mut self, cp: &Checkpoint) -> Result<(), ThermalError> {
+        if cp.temperatures.len() != self.sim.temperatures.len() {
+            return Err(ThermalError::InvalidConfig(format!(
+                "checkpoint field has {} cells but the model has {}",
+                cp.temperatures.len(),
+                self.sim.temperatures.len()
+            )));
+        }
+        if cp.segment > self.trace.len() {
+            return Err(ThermalError::InvalidConfig(format!(
+                "checkpoint cursor at segment {} but the trace has {}",
+                cp.segment,
+                self.trace.len()
+            )));
+        }
+        validate_dt(cp.dt)?;
+        self.sim.temperatures.copy_from_slice(&cp.temperatures);
+        self.sim.session.set_warm_start(&cp.warm_start);
+        self.sim.time = cp.time;
+        self.dt_next = cp.dt;
+        self.segment = cp.segment;
+        self.time_in_segment = cp.time_in_segment;
+        if let Some(seg) = self.trace.segments().get(self.segment) {
+            self.sim.set_power(&seg.power)?;
+        }
+        Ok(())
+    }
+}
+
+/// A serializable snapshot of a transient integration: temperature
+/// field (solid and fluid cells), session warm-start vector, step size
+/// and trace cursor. Produced by
+/// [`TransientSimulation::save_checkpoint`] /
+/// [`AdaptiveTransient::save_checkpoint`]; survives a JSON round-trip
+/// bit-exactly (`bright-jsonio` writes shortest-round-trip floats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Simulated time at the capture (s).
+    pub time: f64,
+    /// Fixed Δt ([`TransientSimulation`]) or the controller's next-step
+    /// proposal ([`AdaptiveTransient`]).
+    pub dt: f64,
+    /// Trace cursor: segment index (0 for the plain stepper).
+    pub segment: usize,
+    /// Trace cursor: time already integrated into the segment (s).
+    pub time_in_segment: f64,
+    /// The committed temperature field (K), all levels.
+    pub temperatures: Vec<f64>,
+    /// The session's solution/warm-start vector at capture — carried
+    /// for inspection and forward compatibility. Bitwise continuation
+    /// does not depend on it: every solve re-seeds its warm start from
+    /// the committed [`Checkpoint::temperatures`].
+    pub warm_start: Vec<f64>,
+}
+
+impl Checkpoint {
+    /// The checkpoint as a JSON value tree.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("version".into(), Value::Number(1.0)),
+            ("time".into(), Value::Number(self.time)),
+            ("dt".into(), Value::Number(self.dt)),
+            ("segment".into(), Value::Number(self.segment as f64)),
+            (
+                "time_in_segment".into(),
+                Value::Number(self.time_in_segment),
+            ),
+            (
+                "temperatures".into(),
+                Value::from_f64_slice(&self.temperatures),
+            ),
+            ("warm_start".into(), Value::from_f64_slice(&self.warm_start)),
+        ])
+    }
+
+    /// Compact JSON text of the checkpoint.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Rebuilds a checkpoint from its JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] for missing or mistyped fields.
+    pub fn from_json(v: &Value) -> Result<Self, ThermalError> {
+        let num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ThermalError::InvalidConfig(format!("checkpoint field '{k}'")))
+        };
+        let vecf = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64_vec)
+                .ok_or_else(|| ThermalError::InvalidConfig(format!("checkpoint field '{k}'")))
+        };
+        Ok(Self {
+            time: num("time")?,
+            dt: num("dt")?,
+            segment: v
+                .get("segment")
+                .and_then(Value::as_usize)
+                .ok_or_else(|| ThermalError::InvalidConfig("checkpoint field 'segment'".into()))?,
+            time_in_segment: num("time_in_segment")?,
+            temperatures: vecf("temperatures")?,
+            warm_start: vecf("warm_start")?,
+        })
+    }
+
+    /// Parses a checkpoint from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::from_json`], plus parse errors.
+    pub fn from_json_str(text: &str) -> Result<Self, ThermalError> {
+        let v = Value::parse(text)
+            .map_err(|e| ThermalError::InvalidConfig(format!("checkpoint JSON: {e}")))?;
+        Self::from_json(&v)
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +934,7 @@ mod tests {
     use super::*;
     use crate::presets;
     use bright_floorplan::{power7, PowerScenario};
+    use bright_num::vec_ops::wrms_diff;
 
     fn setup() -> (ThermalModel, Field2d) {
         let model = presets::power7_stack().unwrap();
@@ -205,5 +986,240 @@ mod tests {
         let (model, power) = setup();
         assert!(TransientSimulation::new(model.clone(), &power, 300.0, 0.0).is_err());
         assert!(TransientSimulation::new(model, &power, -3.0, 1e-3).is_err());
+    }
+
+    #[test]
+    fn set_dt_restamp_matches_fresh_construction() {
+        // A simulation re-stamped from 1 ms to 4 ms must take *bitwise*
+        // the same step as one constructed at 4 ms: same operator values
+        // through the same pattern, same warm start, same iteration.
+        let (model, power) = setup();
+        let mut restamped =
+            TransientSimulation::new(model.clone(), &power, 300.0, 1e-3).unwrap();
+        restamped.set_dt(4e-3).unwrap();
+        let mut fresh = TransientSimulation::new(model, &power, 300.0, 4e-3).unwrap();
+        let a = restamped.step().unwrap();
+        let b = fresh.step().unwrap();
+        assert_eq!(a, b, "restamped vs fresh peak");
+        assert_eq!(restamped.temperatures(), fresh.temperatures());
+        // And the restamp was a value refresh, not a rebind.
+        assert_eq!(restamped.session.stats().binds, 1);
+        assert_eq!(restamped.session.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn set_dt_is_noop_for_equal_step_and_rejects_invalid() {
+        let (model, power) = setup();
+        let mut sim = TransientSimulation::new(model, &power, 300.0, 1e-3).unwrap();
+        sim.set_dt(1e-3).unwrap();
+        assert_eq!(sim.session.stats().refreshes, 0, "equal dt must be free");
+        assert!(sim.set_dt(0.0).is_err());
+        assert!(sim.set_dt(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn set_power_redirects_the_forcing() {
+        let (model, power) = setup();
+        let zero = Field2d::zeros(model.grid().clone());
+        let mut sim = TransientSimulation::new(model, &power, 300.0, 5e-3).unwrap();
+        sim.run(40).unwrap();
+        let hot = sim.peak();
+        assert!(hot > 301.0);
+        // Cut the power: the die must cool back toward the inlet.
+        sim.set_power(&zero).unwrap();
+        sim.run(200).unwrap();
+        assert!(sim.peak() < hot - 1.0, "did not cool: {} vs {hot}", sim.peak());
+    }
+
+    #[test]
+    fn adaptive_tracks_step_trace_within_tolerance() {
+        // Step trace: full load for 50 ms, then power off for 150 ms.
+        // The adaptive run must match a fine fixed-dt reference at the
+        // trace end within (a small multiple of) its tolerance, using
+        // far fewer solves than the reference.
+        let (model, power) = setup();
+        let zero = Field2d::zeros(model.grid().clone());
+        let trace = PowerTrace::new(vec![
+            TraceSegment { duration: 0.05, power: power.clone() },
+            TraceSegment { duration: 0.15, power: zero },
+        ])
+        .unwrap();
+
+        let cfg = AdaptiveConfig {
+            abs_tol: 0.02,
+            dt_init: 5e-4,
+            dt_min: 1e-4,
+            dt_max: 0.05,
+            ..AdaptiveConfig::default()
+        };
+        let mut adaptive =
+            AdaptiveTransient::new(model.clone(), trace.clone(), 300.0, cfg).unwrap();
+        adaptive.run_to_end().unwrap();
+        assert!((adaptive.time() - 0.2).abs() < 1e-9, "t = {}", adaptive.time());
+        assert!(adaptive.finished());
+
+        // Fine fixed-dt reference (dt = 0.25 ms -> 800 steps).
+        let mut reference =
+            TransientSimulation::new(model, &trace.segments()[0].power, 300.0, 2.5e-4).unwrap();
+        reference.run_trace(&trace).unwrap();
+        let err = wrms_diff(
+            adaptive.temperatures(),
+            reference.temperatures(),
+            cfg.abs_tol,
+            cfg.rel_tol,
+        );
+        // Global error accumulates over ~O(100) steps of local-error-
+        // controlled stepping; a 5x envelope on the per-step tolerance
+        // is a meaningful bound (failing controllers are off by 100x).
+        assert!(err < 5.0, "adaptive drifted {err} tolerance units from reference");
+        let stats = adaptive.stats();
+        assert!(stats.accepted > 0);
+        assert!(
+            stats.solves < 800 / 2,
+            "adaptive used {} solves vs 800 reference steps",
+            stats.solves
+        );
+    }
+
+    #[test]
+    fn adaptive_grows_dt_toward_steady_state() {
+        let (model, power) = setup();
+        let trace = PowerTrace::new(vec![TraceSegment { duration: 1.0, power }]).unwrap();
+        let cfg = AdaptiveConfig {
+            dt_init: 1e-3,
+            dt_min: 1e-3,
+            dt_max: 0.5,
+            ..AdaptiveConfig::default()
+        };
+        let mut adaptive = AdaptiveTransient::new(model, trace, 300.0, cfg).unwrap();
+        let first = adaptive.step().unwrap();
+        adaptive.run_to_end().unwrap();
+        // The controller must have stretched the step well beyond the
+        // initial one as the field settles.
+        let stats = adaptive.stats();
+        assert!(
+            stats.accepted < 200,
+            "took {} steps for 1 s (fixed 1 ms would take 1000)",
+            stats.accepted
+        );
+        assert!(first.dt <= 1e-3 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn adaptive_rejects_trace_overrun_and_validates_config() {
+        let (model, power) = setup();
+        let trace = PowerTrace::new(vec![TraceSegment { duration: 0.01, power: power.clone() }])
+            .unwrap();
+        let mut a =
+            AdaptiveTransient::new(model.clone(), trace, 300.0, AdaptiveConfig::default())
+                .unwrap();
+        a.run_to_end().unwrap();
+        assert!(a.step().is_err(), "stepping past the trace must fail");
+
+        let bad = AdaptiveConfig { dt_min: 0.0, ..AdaptiveConfig::default() };
+        let trace2 = PowerTrace::new(vec![TraceSegment { duration: 0.01, power }]).unwrap();
+        assert!(AdaptiveTransient::new(model, trace2, 300.0, bad).is_err());
+    }
+
+    #[test]
+    fn power_trace_validation() {
+        let (model, power) = setup();
+        assert!(PowerTrace::new(vec![]).is_err());
+        assert!(PowerTrace::new(vec![TraceSegment { duration: 0.0, power: power.clone() }])
+            .is_err());
+        assert!(PowerTrace::new(vec![TraceSegment {
+            duration: f64::INFINITY,
+            power: power.clone(),
+        }])
+        .is_err());
+        let trace = PowerTrace::new(vec![
+            TraceSegment { duration: 0.5, power: power.clone() },
+            TraceSegment { duration: 0.25, power },
+        ])
+        .unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(!trace.is_empty());
+        assert!((trace.total_duration() - 0.75).abs() < 1e-15);
+        let _ = model;
+    }
+
+    #[test]
+    fn fixed_checkpoint_restore_continues_bitwise() {
+        let (model, power) = setup();
+        // Uninterrupted: 12 steps.
+        let mut full = TransientSimulation::new(model.clone(), &power, 300.0, 2e-3).unwrap();
+        full.run(12).unwrap();
+        // Interrupted: 5 steps, checkpoint through JSON, restore into a
+        // *fresh* simulation, 7 more.
+        let mut first = TransientSimulation::new(model.clone(), &power, 300.0, 2e-3).unwrap();
+        first.run(5).unwrap();
+        let cp = Checkpoint::from_json_str(&first.save_checkpoint().to_json_string()).unwrap();
+        let mut resumed = TransientSimulation::new(model, &power, 300.0, 2e-3).unwrap();
+        resumed.restore_checkpoint(&cp).unwrap();
+        resumed.run(7).unwrap();
+        assert_eq!(resumed.temperatures(), full.temperatures());
+        assert_eq!(resumed.time(), full.time());
+    }
+
+    #[test]
+    fn adaptive_checkpoint_restore_continues_bitwise() {
+        let (model, power) = setup();
+        let zero = Field2d::zeros(model.grid().clone());
+        let trace = PowerTrace::new(vec![
+            TraceSegment { duration: 0.03, power: power.clone() },
+            TraceSegment { duration: 0.05, power: zero },
+        ])
+        .unwrap();
+        let cfg = AdaptiveConfig {
+            dt_init: 1e-3,
+            dt_min: 2e-4,
+            dt_max: 0.02,
+            ..AdaptiveConfig::default()
+        };
+        let mut full = AdaptiveTransient::new(model.clone(), trace.clone(), 300.0, cfg).unwrap();
+        // Integrate the first segment, checkpoint at its boundary, then
+        // finish.
+        while !full.finished() && full.time() < 0.03 - 1e-12 {
+            full.step().unwrap();
+        }
+        let cp = full.save_checkpoint();
+        assert_eq!(cp.segment, 1, "checkpoint should sit at the boundary");
+        full.run_to_end().unwrap();
+
+        let mut branch = AdaptiveTransient::new(model, trace, 300.0, cfg).unwrap();
+        branch
+            .restore_checkpoint(&Checkpoint::from_json_str(&cp.to_json_string()).unwrap())
+            .unwrap();
+        branch.run_to_end().unwrap();
+        assert_eq!(branch.temperatures(), full.temperatures());
+        assert_eq!(branch.time(), full.time());
+    }
+
+    #[test]
+    fn checkpoint_restore_validates_shape() {
+        let (model, power) = setup();
+        let mut sim = TransientSimulation::new(model, &power, 300.0, 1e-3).unwrap();
+        let mut cp = sim.save_checkpoint();
+        cp.temperatures.pop();
+        assert!(sim.restore_checkpoint(&cp).is_err());
+        let mut cp2 = sim.save_checkpoint();
+        cp2.dt = -1.0;
+        assert!(sim.restore_checkpoint(&cp2).is_err());
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrip_is_exact() {
+        let cp = Checkpoint {
+            time: 0.123456789012345,
+            dt: 1.5e-3,
+            segment: 3,
+            time_in_segment: 7.25e-4,
+            temperatures: vec![300.15, 314.999999999999, 2.2250738585072014e-308],
+            warm_start: vec![1.0 / 3.0],
+        };
+        let back = Checkpoint::from_json_str(&cp.to_json_string()).unwrap();
+        assert_eq!(back, cp);
+        assert!(Checkpoint::from_json_str("{}").is_err());
+        assert!(Checkpoint::from_json_str("not json").is_err());
     }
 }

@@ -13,6 +13,49 @@ fn full_load_map(model: &ThermalModel) -> Field2d {
         .unwrap()
 }
 
+/// A coarse stack (fast enough for property-test case counts).
+fn coarse_config(flow_ml_min: f64, inlet_k: f64) -> bright_thermal::stack::StackConfig {
+    use bright_thermal::stack::{MicrochannelSpec, StackConfig};
+    use bright_thermal::Material;
+    use bright_units::Meters;
+    let fluid = bright_flow::fluid::TemperatureDependentFluid::vanadium_electrolyte()
+        .at(Kelvin::new(inlet_k))
+        .unwrap();
+    StackConfig {
+        width: Meters::from_millimeters(8.0),
+        height: Meters::from_millimeters(8.0),
+        nx: 8,
+        ny: 8,
+        layers: vec![
+            LayerSpec::Solid {
+                name: "die".into(),
+                material: Material::silicon(),
+                thickness: Meters::from_micrometers(400.0),
+                sublayers: 2,
+            },
+            LayerSpec::Microchannel {
+                name: "mc".into(),
+                spec: MicrochannelSpec {
+                    channel_width: Meters::from_micrometers(200.0),
+                    channel_height: Meters::from_micrometers(400.0),
+                    channels_per_cell: 1,
+                    fluid,
+                    total_flow: CubicMetersPerSecond::from_milliliters_per_minute(flow_ml_min),
+                    inlet_temperature: Kelvin::new(inlet_k),
+                    wall_material: Material::silicon(),
+                },
+            },
+            LayerSpec::Solid {
+                name: "cap".into(),
+                material: Material::silicon(),
+                thickness: Meters::from_micrometers(300.0),
+                sublayers: 1,
+            },
+        ],
+        top_cooling: None,
+    }
+}
+
 #[test]
 fn linearity_doubling_power_doubles_the_rise() {
     // The network is linear: T(2P) - T_in = 2 (T(P) - T_in).
@@ -240,52 +283,7 @@ fn conventional_heat_sink_baseline_behaves() {
 
 mod refresh_properties {
     use super::*;
-    use bright_thermal::stack::{MicrochannelSpec, StackConfig};
-    use bright_thermal::Material;
-    use bright_units::Meters;
     use proptest::prelude::*;
-
-    /// A coarse stack (fast enough for property-test case counts).
-    fn coarse_config(flow_ml_min: f64, inlet_k: f64) -> StackConfig {
-        let fluid = bright_flow::fluid::TemperatureDependentFluid::vanadium_electrolyte()
-            .at(Kelvin::new(inlet_k))
-            .unwrap();
-        StackConfig {
-            width: Meters::from_millimeters(8.0),
-            height: Meters::from_millimeters(8.0),
-            nx: 8,
-            ny: 8,
-            layers: vec![
-                LayerSpec::Solid {
-                    name: "die".into(),
-                    material: Material::silicon(),
-                    thickness: Meters::from_micrometers(400.0),
-                    sublayers: 2,
-                },
-                LayerSpec::Microchannel {
-                    name: "mc".into(),
-                    spec: MicrochannelSpec {
-                        channel_width: Meters::from_micrometers(200.0),
-                        channel_height: Meters::from_micrometers(400.0),
-                        channels_per_cell: 1,
-                        fluid,
-                        total_flow: CubicMetersPerSecond::from_milliliters_per_minute(
-                            flow_ml_min,
-                        ),
-                        inlet_temperature: Kelvin::new(inlet_k),
-                        wall_material: Material::silicon(),
-                    },
-                },
-                LayerSpec::Solid {
-                    name: "cap".into(),
-                    material: Material::silicon(),
-                    thickness: Meters::from_micrometers(300.0),
-                    sublayers: 1,
-                },
-            ],
-            top_cooling: None,
-        }
-    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
@@ -329,6 +327,52 @@ mod refresh_properties {
             }
             prop_assert_eq!(model.assembly_count(), 1);
             prop_assert_eq!(model.refresh_count(), 1);
+        }
+    }
+}
+
+mod checkpoint_properties {
+    use super::*;
+    use bright_thermal::{Checkpoint, TransientSimulation};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// save -> (JSON round-trip) -> restore -> continue must be
+        /// *bitwise* identical to the uninterrupted fixed-dt run, for
+        /// any split point, step size and operating point: the solve
+        /// warm-starts from the committed field either way, so the
+        /// iterates coincide exactly.
+        #[test]
+        fn save_restore_continue_is_bitwise_identical(
+            pre_steps in 1usize..8,
+            post_steps in 1usize..8,
+            dt_ms in 0.5..8.0f64,
+            flow_ml_min in 40.0..700.0f64,
+        ) {
+            let dt = dt_ms * 1e-3;
+            let model = ThermalModel::new(coarse_config(flow_ml_min, 300.0)).unwrap();
+            let power = Field2d::constant(model.grid().clone(), 5e4); // 5 W/cm^2
+
+            let mut full =
+                TransientSimulation::new(model.clone(), &power, 300.0, dt).unwrap();
+            full.run(pre_steps + post_steps).unwrap();
+
+            let mut first =
+                TransientSimulation::new(model.clone(), &power, 300.0, dt).unwrap();
+            first.run(pre_steps).unwrap();
+            let json = first.save_checkpoint().to_json_string();
+            let cp = Checkpoint::from_json_str(&json).unwrap();
+
+            let mut resumed = TransientSimulation::new(model, &power, 300.0, dt).unwrap();
+            resumed.restore_checkpoint(&cp).unwrap();
+            resumed.run(post_steps).unwrap();
+
+            prop_assert_eq!(resumed.time().to_bits(), full.time().to_bits());
+            for (a, b) in resumed.temperatures().iter().zip(full.temperatures()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "field diverged: {} vs {}", a, b);
+            }
         }
     }
 }

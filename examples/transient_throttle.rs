@@ -1,13 +1,19 @@
 //! Transient thermal response to a pump-throttling event: the chip runs
 //! at full load while the electrolyte flow is cut from 676 to 48 ml/min,
 //! and the die temperature is tracked through the transition (the
-//! dynamic side of the paper's Section III-B flow-throttling experiment).
+//! dynamic side of the paper's Section III-B flow-throttling experiment)
+//! — now with the adaptive-Δt controller, which takes small steps through
+//! the fast initial transient and stretches them as the field settles,
+//! and a mid-trace checkpoint/restore round trip.
 //!
 //! Run with: `cargo run --release --example transient_throttle`
 
 use bright_silicon::floorplan::{power7, PowerScenario};
 use bright_silicon::thermal::presets;
-use bright_silicon::thermal::transient::TransientSimulation;
+use bright_silicon::thermal::transient::{
+    AdaptiveConfig, AdaptiveTransient, Checkpoint, PowerTrace, TraceSegment,
+    TransientSimulation,
+};
 use bright_silicon::units::{Celsius, CubicMetersPerSecond, Kelvin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,37 +28,104 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         steady.max_temperature().to_celsius()
     );
 
-    // Phase 2: throttle the pump to 48 ml/min and watch the die heat up.
+    // Phase 2: throttle the pump to 48 ml/min and watch the die heat up,
+    // letting the controller pick the step size.
     let throttled = presets::power7_stack_at(
         CubicMetersPerSecond::from_milliliters_per_minute(48.0),
         Kelvin::new(300.0),
     )?;
-    let mut sim = TransientSimulation::new(
-        throttled,
-        &power,
+    let trace = PowerTrace::new(vec![TraceSegment {
+        duration: 0.6,
+        power: power.clone(),
+    }])?;
+    let cfg = AdaptiveConfig {
+        abs_tol: 0.05,
+        dt_init: 2e-3,
+        dt_min: 5e-4,
+        dt_max: 0.1,
+        ..AdaptiveConfig::default()
+    };
+    let mut sim = AdaptiveTransient::new(
+        throttled.clone(),
+        trace.clone(),
         steady.max_temperature().value(), // warm start near phase-1 level
-        10e-3,
+        cfg,
     )?;
-    println!("\nphase 2 (48 ml/min): transient after throttling");
-    println!("   t (ms)   peak (degC)");
-    for step in 1..=60 {
-        let peak = sim.step()?;
-        if step % 5 == 0 {
-            println!(
-                "   {:>6.0}   {:>9.2}",
-                sim.time() * 1e3,
-                Celsius::from(Kelvin::new(peak)).value()
-            );
+    println!("\nphase 2 (48 ml/min): adaptive transient after throttling");
+    println!("   t (ms)   dt (ms)   peak (degC)   local err");
+    let mut checkpoint: Option<Checkpoint> = None;
+    while !sim.finished() {
+        let step = sim.step()?;
+        println!(
+            "   {:>6.1}   {:>7.2}   {:>11.2}   {:>9.2e}",
+            step.time * 1e3,
+            step.dt * 1e3,
+            Celsius::from(Kelvin::new(step.peak)).value(),
+            step.error,
+        );
+        // Grab a checkpoint partway through the transition.
+        if checkpoint.is_none() && step.time > 0.1 {
+            checkpoint = Some(sim.save_checkpoint());
         }
     }
+    let stats = sim.stats();
+    let final_peak = sim.peak();
+    println!(
+        "\nadaptive: {} accepted steps ({} rejected), {} solves for {:.0} ms of trace",
+        stats.accepted,
+        stats.rejected,
+        stats.solves,
+        sim.time() * 1e3
+    );
 
-    let snap = sim.snapshot()?;
+    // The fixed-Δt stepper needs its step sized for the *fastest* part
+    // of the transient everywhere:
+    let mut fixed = TransientSimulation::new(
+        throttled,
+        &power,
+        steady.max_temperature().value(),
+        2e-3,
+    )?;
+    fixed.run_trace(&trace)?;
+    println!(
+        "fixed 2 ms:  {} steps ({} solves) for the same trace -> {:.1}x more solves",
+        fixed.step_count(),
+        fixed.solve_count(),
+        fixed.solve_count() as f64 / stats.solves as f64
+    );
+
+    // Checkpoint round trip: restore the mid-trace snapshot (via its
+    // JSON form) and integrate the remainder again — bit-identical end
+    // state.
+    let cp = Checkpoint::from_json_str(&checkpoint.expect("saved mid-trace").to_json_string())?;
+    let resume_from = cp.time;
+    let mut resumed = AdaptiveTransient::new(
+        presets::power7_stack_at(
+            CubicMetersPerSecond::from_milliliters_per_minute(48.0),
+            Kelvin::new(300.0),
+        )?,
+        trace,
+        steady.max_temperature().value(),
+        cfg,
+    )?;
+    resumed.restore_checkpoint(&cp)?;
+    resumed.run_to_end()?;
+    assert_eq!(
+        resumed.temperatures(),
+        sim.temperatures(),
+        "restored run must continue bitwise-identically"
+    );
+    println!(
+        "checkpoint:  restored at t = {:.0} ms and re-integrated to the same field, bit for bit",
+        resume_from * 1e3
+    );
+
     println!(
         "\nafter {:.0} ms the die settles near {:.1} — still well below \
          silicon limits, and (Section III-B) the hotter electrolyte now \
          generates ~20% more electrical power.",
         sim.time() * 1e3,
-        snap.max_temperature().to_celsius()
+        Celsius::from(Kelvin::new(final_peak)).value()
     );
     Ok(())
 }
