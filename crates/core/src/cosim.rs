@@ -95,6 +95,31 @@ impl CoSimulation {
         self.retargets
     }
 
+    /// Replaces the kernel-backend selection of both solver sessions
+    /// (thermal and PDN). Safe between runs and mid-sweep: matvec and
+    /// the default SSOR sweeps are bitwise identical across backends,
+    /// so warm starts and convergence behaviour carry over (IC(0)
+    /// sessions agree to roundoff instead — see
+    /// [`bright_num::SolverSession::set_kernel`]).
+    pub fn set_kernel(&mut self, kernel: bright_num::KernelSpec) {
+        self.thermal_session.set_kernel(kernel);
+        self.pdn_session.set_kernel(kernel);
+    }
+
+    /// Statistics of the thermal solver session — the engine reads
+    /// [`bright_num::SessionStats::kernel_digest`] from here to report
+    /// which kernel path served each request.
+    #[inline]
+    pub fn thermal_session_stats(&self) -> bright_num::SessionStats {
+        self.thermal_session.stats()
+    }
+
+    /// Statistics of the PDN solver session.
+    #[inline]
+    pub fn pdn_session_stats(&self) -> bright_num::SessionStats {
+        self.pdn_session.stats()
+    }
+
     /// The cached thermal model, built on first use.
     fn thermal_model(&self) -> Result<&ThermalModel, CoreError> {
         bright_num::lazy::get_or_try_init(&self.thermal, || thermal_model_for(&self.scenario))

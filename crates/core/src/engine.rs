@@ -57,6 +57,7 @@ use crate::transient::{
     TransientRequest,
 };
 use crate::CoreError;
+use bright_num::{Backend, KernelSpec};
 use bright_thermal::ThermalModel;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -130,6 +131,10 @@ pub struct ScenarioReport {
     /// already existed (cached from this or an earlier batch); false
     /// when it paid for the assembly itself.
     pub reused_operator: bool,
+    /// Kernel path the worker's thermal solve resolved to (e.g.
+    /// `"scalar"`, `"blocked"`, `"threaded(8)"`; empty when the
+    /// request failed before any solve).
+    pub kernel: String,
     /// The co-simulation outcome.
     pub result: Result<CoSimReport, CoreError>,
 }
@@ -153,6 +158,12 @@ pub struct EngineStats {
     /// Request-segments served from a shared prefix node instead of
     /// being integrated again (`Σ_nodes requests_under_node − 1`).
     pub trace_segments_reused: u64,
+    /// Kernel backend that served the most recent steady batch
+    /// ([`Backend::Scalar`] before the first batch).
+    pub kernel_backend: Backend,
+    /// Kernel-pool worker count behind that backend (1 for the
+    /// single-threaded backends).
+    pub kernel_threads: u32,
 }
 
 /// One pattern group's slice of a batch, plus the worker serving it
@@ -161,6 +172,7 @@ struct GroupJob {
     key: PatternKey,
     worker: Option<CoSimulation>,
     requests: Vec<(u64, Scenario)>,
+    kernel: KernelSpec,
 }
 
 /// The outcome of one group job.
@@ -170,6 +182,10 @@ struct GroupResult {
     reports: Vec<ScenarioReport>,
     built: u64,
     reused: u64,
+    /// Kernel path of this group's last served request, tagged with the
+    /// highest request id so the batch-level stats pick a deterministic
+    /// winner (groups come back in arbitrary executor order).
+    kernel: Option<(u64, Backend, u32)>,
 }
 
 /// A long-lived, batched scenario-serving engine. See the [module
@@ -177,6 +193,9 @@ struct GroupResult {
 #[derive(Debug, Default)]
 pub struct ScenarioEngine {
     workers: HashMap<PatternKey, CoSimulation>,
+    /// Kernel-backend selection applied to every worker's sessions
+    /// ([`KernelSpec::Auto`] by default).
+    kernel: KernelSpec,
     queue: Vec<(u64, Scenario)>,
     /// Queued transient requests (separate queue, shared id space).
     transient_queue: Vec<(u64, TransientRequest)>,
@@ -248,6 +267,18 @@ impl ScenarioEngine {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Replaces the kernel-backend selection applied to every worker
+    /// (cached and future) — see [`KernelSpec`]. The default `Auto`
+    /// picks the threaded matvec on large grids and multi-core hosts
+    /// and scalar below the size threshold; `BRIGHT_KERNEL_BACKEND`
+    /// overrides both process-wide.
+    pub fn set_kernel(&mut self, kernel: KernelSpec) {
+        self.kernel = kernel;
+        for worker in self.workers.values_mut() {
+            worker.set_kernel(kernel);
+        }
     }
 
     /// Drops all cached workers (operators, sessions, warm starts) and
@@ -329,6 +360,7 @@ impl ScenarioEngine {
                     key: key.clone(),
                     worker,
                     requests: chunk,
+                    kernel: self.kernel,
                 })));
             }
         }
@@ -345,12 +377,23 @@ impl ScenarioEngine {
 
         // Return one worker per pattern to the cache and fold stats.
         let mut reports: Vec<ScenarioReport> = Vec::new();
+        let mut best_kernel_id = 0u64;
         for r in results {
             if let Some(worker) = r.worker {
                 self.workers.entry(r.key).or_insert(worker);
             }
             self.stats.operators_built += r.built;
             self.stats.operator_reuses += r.reused;
+            if let Some((id, backend, threads)) = r.kernel {
+                // Deterministic across executor scheduling: the group
+                // holding the most recently submitted solved request
+                // wins, regardless of completion order.
+                if id >= best_kernel_id {
+                    best_kernel_id = id;
+                    self.stats.kernel_backend = backend;
+                    self.stats.kernel_threads = threads;
+                }
+            }
             reports.extend(r.reports);
         }
         reports.sort_unstable_by_key(|r| r.request_id);
@@ -364,12 +407,19 @@ impl ScenarioEngine {
             key,
             mut worker,
             requests,
+            kernel,
         } = job;
+        if let Some(w) = &mut worker {
+            w.set_kernel(kernel);
+        }
         let digest = key.digest();
         let mut reports = Vec::with_capacity(requests.len());
         let mut built = 0u64;
         let mut reused = 0u64;
         for (id, scenario) in requests {
+            let solves_before = worker
+                .as_ref()
+                .map_or(0, |w| w.thermal_session_stats().solves);
             let (reused_operator, result) = match &mut worker {
                 // A failed retarget serves nothing, so it is not a reuse.
                 Some(w) => match w.retarget(scenario) {
@@ -379,6 +429,7 @@ impl ScenarioEngine {
                 None => match CoSimulation::new(scenario) {
                     Ok(mut w) => {
                         built += 1;
+                        w.set_kernel(kernel);
                         let r = w.run();
                         worker = Some(w);
                         (false, r)
@@ -389,19 +440,40 @@ impl ScenarioEngine {
             if reused_operator {
                 reused += 1;
             }
+            // Attribute a kernel path only when *this* request actually
+            // solved (a failed request on a warm worker must not
+            // inherit the previous request's digest).
+            let kernel_digest = worker
+                .as_ref()
+                .filter(|w| w.thermal_session_stats().solves > solves_before)
+                .map(|w| w.thermal_session_stats().kernel_digest())
+                .unwrap_or_default();
             reports.push(ScenarioReport {
                 request_id: id,
                 pattern: digest.clone(),
                 reused_operator,
+                kernel: kernel_digest,
                 result,
             });
         }
+        let last_solved_id = reports
+            .iter()
+            .filter(|r| !r.kernel.is_empty())
+            .map(|r| r.request_id)
+            .max();
+        let kernel_used = last_solved_id.and_then(|id| {
+            worker.as_ref().map(|w| {
+                let s = w.thermal_session_stats();
+                (id, s.last_backend, s.kernel_threads.max(1))
+            })
+        });
         GroupResult {
             key,
             worker,
             reports,
             built,
             reused,
+            kernel: kernel_used,
         }
     }
 
@@ -483,6 +555,7 @@ impl ScenarioEngine {
             model_key: TransientModelKey,
             model: Option<ThermalModel>,
             requests: Vec<(u64, TransientRequest)>,
+            kernel: KernelSpec,
         }
         let jobs: Vec<Mutex<Option<TransientJob>>> = order
             .into_iter()
@@ -497,6 +570,7 @@ impl ScenarioEngine {
                     model_key,
                     model,
                     requests,
+                    kernel: self.kernel,
                 }))
             })
             .collect();
@@ -509,7 +583,7 @@ impl ScenarioEngine {
                 .expect("each job runs exactly once");
             let digest = job.key.digest();
             let (model, outcomes, counters) =
-                serve_transient_group(job.model, &job.requests);
+                serve_transient_group(job.model, &job.requests, job.kernel);
             (job.model_key, model, digest, outcomes, counters)
         });
 
@@ -616,6 +690,28 @@ mod tests {
 
         engine.evict_workers();
         assert_eq!(engine.cached_patterns(), 0);
+    }
+
+    #[test]
+    fn reports_record_the_serving_kernel_path() {
+        use bright_num::{Backend, KernelSpec};
+
+        let mut engine = ScenarioEngine::new();
+        engine.set_kernel(KernelSpec::Fixed(Backend::Blocked));
+        let reports = engine.run_batch([flow_scenario(676.0), flow_scenario(300.0)]);
+        for r in &reports {
+            assert!(r.result.is_ok());
+            // The env override (CI backend matrix) may redirect the
+            // fixed choice; any non-empty digest proves the path was
+            // recorded.
+            assert!(!r.kernel.is_empty(), "kernel path missing: {r:?}");
+        }
+        let stats = engine.stats();
+        assert!(stats.kernel_threads >= 1, "{stats:?}");
+        if std::env::var("BRIGHT_KERNEL_BACKEND").is_err() {
+            assert!(reports.iter().all(|r| r.kernel == "blocked"), "{reports:?}");
+            assert_eq!(stats.kernel_backend, Backend::Blocked);
+        }
     }
 
     #[test]

@@ -279,6 +279,7 @@ fn integrate_node(
     segment: &TraceSegment,
     initial_temperature: f64,
     stepping: &SteppingMode,
+    kernel: bright_num::KernelSpec,
     from: Option<&Checkpoint>,
 ) -> Result<NodeResult, CoreError> {
     let trace = PowerTrace::new(vec![segment.clone()])?;
@@ -286,6 +287,7 @@ fn integrate_node(
         SteppingMode::Adaptive(cfg) => {
             let mut integ =
                 AdaptiveTransient::new(model.clone(), trace, initial_temperature, *cfg)?;
+            integ.set_kernel(kernel);
             if let Some(cp) = from {
                 // The checkpoint cursor is tree-global; the node-local
                 // integrator sees a single-segment trace starting now.
@@ -307,6 +309,7 @@ fn integrate_node(
         SteppingMode::Fixed { dt } => {
             let mut sim =
                 TransientSimulation::new(model.clone(), &segment.power, initial_temperature, *dt)?;
+            sim.set_kernel(kernel);
             if let Some(cp) = from {
                 sim.restore_checkpoint(cp)?;
             }
@@ -329,6 +332,7 @@ fn integrate_node(
 pub(crate) fn serve_transient_group(
     cached_model: Option<ThermalModel>,
     requests: &[(u64, TransientRequest)],
+    kernel: bright_num::KernelSpec,
 ) -> (Option<ThermalModel>, GroupOutcomes, TransientCounters) {
     let mut counters = TransientCounters::default();
     let mut results: GroupOutcomes = Vec::new();
@@ -360,7 +364,7 @@ pub(crate) fn serve_transient_group(
         shared_time: 0.0,
     };
     serve_node(
-        &model, &refs, 0, None, acc, t0, &stepping, &mut results, &mut counters,
+        &model, &refs, 0, None, acc, t0, &stepping, kernel, &mut results, &mut counters,
     );
     (Some(model), results, counters)
 }
@@ -376,6 +380,7 @@ fn serve_node(
     acc: PathAcc,
     t0: f64,
     stepping: &SteppingMode,
+    kernel: bright_num::KernelSpec,
     out: &mut GroupOutcomes,
     counters: &mut TransientCounters,
 ) {
@@ -440,7 +445,7 @@ fn serve_node(
             duration: step.duration,
             power,
         };
-        match integrate_node(model, &segment, t0, stepping, from) {
+        match integrate_node(model, &segment, t0, stepping, kernel, from) {
             Ok(node) => {
                 counters.segments_integrated += 1;
                 counters.segments_reused += part.len() as u64 - 1;
@@ -460,6 +465,7 @@ fn serve_node(
                     child,
                     t0,
                     stepping,
+                    kernel,
                     out,
                     counters,
                 );
@@ -563,14 +569,14 @@ mod tests {
         assert_eq!(TransientGroupKey::of(&a), TransientGroupKey::of(&b));
 
         let (_, grouped, counters) =
-            serve_transient_group(None, &[(0, a.clone()), (1, b.clone())]);
+            serve_transient_group(None, &[(0, a.clone()), (1, b.clone())], bright_num::KernelSpec::Auto);
         assert_eq!(counters.segments_integrated, 2, "must not share");
         assert_eq!(counters.segments_reused, 0);
         let get = |rs: &GroupOutcomes, id: u64| {
             rs.iter().find(|(i, _)| *i == id).unwrap().1.clone().unwrap()
         };
-        let (_, solo_a, _) = serve_transient_group(None, &[(0, a)]);
-        let (_, solo_b, _) = serve_transient_group(None, &[(1, b)]);
+        let (_, solo_a, _) = serve_transient_group(None, &[(0, a)], bright_num::KernelSpec::Auto);
+        let (_, solo_b, _) = serve_transient_group(None, &[(1, b)], bright_num::KernelSpec::Auto);
         assert_eq!(get(&grouped, 0).final_peak, get(&solo_a, 0).final_peak);
         assert_eq!(get(&grouped, 1).final_peak, get(&solo_b, 1).final_peak);
         // The reclassified core is powered at logic density: the runs
@@ -590,14 +596,14 @@ mod tests {
         let b = base_request(&[(0.02, full.clone()), (0.02, cache)]);
 
         let (_, grouped, counters) =
-            serve_transient_group(None, &[(0, a.clone()), (1, b.clone())]);
+            serve_transient_group(None, &[(0, a.clone()), (1, b.clone())], bright_num::KernelSpec::Auto);
         assert_eq!(grouped.len(), 2);
         // 3 nodes: shared prefix + two branch tails.
         assert_eq!(counters.segments_integrated, 3);
         assert_eq!(counters.segments_reused, 1);
 
-        let (_, solo_a, _) = serve_transient_group(None, &[(0, a)]);
-        let (_, solo_b, _) = serve_transient_group(None, &[(1, b)]);
+        let (_, solo_a, _) = serve_transient_group(None, &[(0, a)], bright_num::KernelSpec::Auto);
+        let (_, solo_b, _) = serve_transient_group(None, &[(1, b)], bright_num::KernelSpec::Auto);
         let get = |rs: &[(u64, Result<TransientOutcome, CoreError>)], id: u64| {
             rs.iter()
                 .find(|(i, _)| *i == id)

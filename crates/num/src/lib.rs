@@ -10,6 +10,11 @@
 //! * sparse CSR matrices with CG and BiCGSTAB iterative solvers
 //!   ([`sparse`], [`solvers`]) for the thermal network, power grid and the
 //!   full 2-D finite-volume solves,
+//! * multi-backend execution of the hot kernels ([`kernels`]: scalar /
+//!   blocked / threaded matvec, level-scheduled triangular sweeps, a
+//!   persistent worker pool; selected per solve via
+//!   [`solvers::IterOptions`] or the `BRIGHT_KERNEL_BACKEND`
+//!   environment variable),
 //! * pluggable preconditioners ([`precond`]: Jacobi, SSOR, IC(0)) and
 //!   reusable solver sessions ([`session`]) that amortize pattern,
 //!   scratch, warm start and factorization across repeated solves,
@@ -37,6 +42,7 @@
 pub mod dense;
 pub mod error;
 pub mod interp;
+pub mod kernels;
 pub mod lazy;
 pub mod parallel;
 pub mod precond;
@@ -49,6 +55,7 @@ pub mod tridiag;
 pub mod vec_ops;
 
 pub use error::NumError;
+pub use kernels::{Backend, KernelSpec};
 pub use precond::{PrecondSpec, Preconditioner};
 pub use session::{SessionStats, SolverSession};
 pub use solvers::{KrylovWorkspace, SolveStats};

@@ -42,6 +42,9 @@
 //! # Ok::<(), bright_num::NumError>(())
 //! ```
 
+use crate::kernels::{
+    self, chunk_range, Backend, KernelSpec, LevelSchedule, SharedSliceMut, SpinBarrier,
+};
 use crate::sparse::CsrMatrix;
 use crate::NumError;
 
@@ -124,6 +127,13 @@ pub trait Preconditioner: std::fmt::Debug + Send {
     /// [`Preconditioner::setup`] or with mismatched lengths.
     fn apply(&mut self, dst: &mut [f64], src: &[f64]);
 
+    /// Hands the preconditioner the solve's kernel-backend selection
+    /// (see [`KernelSpec`]). Sweep-based implementations use it to
+    /// pick between the sequential and the level-scheduled parallel
+    /// triangular solves; the default implementation ignores it
+    /// (diagonal scaling has nothing to parallelize at these sizes).
+    fn set_kernel(&mut self, _spec: KernelSpec) {}
+
     /// The spec this preconditioner was built from.
     fn spec(&self) -> PrecondSpec;
 }
@@ -147,6 +157,53 @@ impl Preconditioner for IdentityPrecond {
 }
 
 const TINY_DIAGONAL: f64 = f64::MIN_POSITIVE * 16.0;
+
+/// Minimum mean level width *per pool worker* before the `Auto` policy
+/// considers a level-scheduled sweep worthwhile (below this, the
+/// per-level barrier dominates the level's arithmetic).
+const SWEEP_MIN_WIDTH_PER_WORKER: usize = 64;
+
+/// Common gate for the level-scheduled sweep paths: explicit
+/// `Fixed(Threaded)` always qualifies (given a multi-worker pool);
+/// `Auto` qualifies on large systems, on multi-core hosts, outside
+/// sweep fan-out workers — callers add their own level-width check.
+fn sweep_wants_threads(kernel: KernelSpec, rows: usize, work: usize) -> bool {
+    // `kernel_threads()` is the pool's size policy; reading it (unlike
+    // `global_pool()`) does not spawn the pool when the leveled path
+    // ends up rejected.
+    match kernel.effective() {
+        KernelSpec::Fixed(Backend::Threaded) => rows >= 2 && kernels::kernel_threads() > 1,
+        KernelSpec::Auto => {
+            work >= kernels::AUTO_THREADED_MIN_NNZ
+                && rows >= 2
+                && kernels::hardware_threads() >= 2
+                && !crate::parallel::in_fanout_worker()
+                && kernels::kernel_threads() > 1
+        }
+        KernelSpec::Fixed(_) => false,
+    }
+}
+
+/// Shared tail of the leveled-sweep decision: an explicit
+/// `Fixed(Threaded)` always takes the leveled path; `Auto`
+/// additionally requires levels wide enough (per pool worker) that the
+/// per-level barrier does not dominate the level's arithmetic.
+fn leveled_policy(
+    kernel: KernelSpec,
+    fwd: Option<&LevelSchedule>,
+    bwd: Option<&LevelSchedule>,
+) -> bool {
+    match kernel.effective() {
+        KernelSpec::Fixed(Backend::Threaded) => true,
+        _ => {
+            let workers = kernels::kernel_threads() as f64;
+            let wide = |s: Option<&LevelSchedule>| {
+                s.is_some_and(|s| s.mean_width() >= SWEEP_MIN_WIDTH_PER_WORKER as f64 * workers)
+            };
+            wide(fwd) && wide(bwd)
+        }
+    }
+}
 
 /// Diagonal (Jacobi) scaling: `M = diag(A)`.
 #[derive(Debug, Clone, Default)]
@@ -220,6 +277,21 @@ pub struct SsorPrecond {
     upper: TriangleCsr,
     diag: Vec<f64>,
     scratch: Vec<f64>,
+    /// Kernel selection handed down by the solve (see
+    /// [`Preconditioner::set_kernel`]).
+    kernel: KernelSpec,
+    /// Level schedules of the triangular patterns, built once per
+    /// sparsity pattern (invalidated only when the pattern — not the
+    /// values — changes across setups).
+    fwd_levels: Option<LevelSchedule>,
+    bwd_levels: Option<LevelSchedule>,
+    /// Previous triangle patterns (columns *and* row boundaries — the
+    /// flattened column lists alone do not identify a pattern), kept to
+    /// detect pattern changes cheaply in [`Preconditioner::setup`].
+    prev_lower_col: Vec<usize>,
+    prev_upper_col: Vec<usize>,
+    prev_lower_row_ptr: Vec<usize>,
+    prev_upper_row_ptr: Vec<usize>,
 }
 
 impl SsorPrecond {
@@ -232,7 +304,99 @@ impl SsorPrecond {
             upper: TriangleCsr::default(),
             diag: Vec::new(),
             scratch: Vec::new(),
+            kernel: KernelSpec::Auto,
+            fwd_levels: None,
+            bwd_levels: None,
+            prev_lower_col: Vec::new(),
+            prev_upper_col: Vec::new(),
+            prev_lower_row_ptr: Vec::new(),
+            prev_upper_row_ptr: Vec::new(),
         }
+    }
+
+    fn ensure_levels(&mut self) {
+        if self.fwd_levels.is_none() {
+            self.fwd_levels = Some(LevelSchedule::from_lower(
+                &self.lower.row_ptr,
+                &self.lower.col,
+            ));
+        }
+        if self.bwd_levels.is_none() {
+            self.bwd_levels = Some(LevelSchedule::from_upper(
+                &self.upper.row_ptr,
+                &self.upper.col,
+            ));
+        }
+    }
+
+    /// Decides (and prepares for) the level-scheduled parallel sweep.
+    fn use_leveled(&mut self, n: usize) -> bool {
+        if !sweep_wants_threads(self.kernel, n, self.lower.val.len() + self.upper.val.len() + n)
+        {
+            return false;
+        }
+        self.ensure_levels();
+        leveled_policy(self.kernel, self.fwd_levels.as_ref(), self.bwd_levels.as_ref())
+    }
+
+    /// Level-scheduled SSOR application: forward sweep, diagonal
+    /// scaling and backward sweep all inside one pool launch, with a
+    /// spin barrier between levels. Per-row arithmetic is identical to
+    /// the sequential sweep (same gather order), so the result is
+    /// bitwise equal.
+    fn apply_leveled(&mut self, dst: &mut [f64], src: &[f64]) {
+        let n = self.diag.len();
+        let pool = kernels::global_pool();
+        let fwd = self.fwd_levels.as_ref().expect("built in use_leveled");
+        let bwd = self.bwd_levels.as_ref().expect("built in use_leveled");
+        let (lower, upper, diag) = (&self.lower, &self.upper, &self.diag);
+        let w = self.omega;
+        let scale = (2.0 - w) / w;
+        let y = SharedSliceMut::new(&mut self.scratch);
+        let out = SharedSliceMut::new(dst);
+        let barrier = SpinBarrier::new(pool.threads());
+        pool.run(&|wk, total| barrier.guard(|| {
+            let mut sense = false;
+            // Forward sweep: (D/ω + L)·y = src, level by level.
+            for lev in 0..fwd.levels() {
+                let rows = fwd.level_rows(lev);
+                for &iu in &rows[chunk_range(rows.len(), wk, total)] {
+                    let i = iu as usize;
+                    let mut s = src[i];
+                    for (j, v) in lower.row(i) {
+                        // SAFETY: j is in a previous level (ordered by
+                        // the barrier below); i is written only here.
+                        s -= v * unsafe { y.get(j) };
+                    }
+                    unsafe { y.set(i, s * w / diag[i]) };
+                }
+                barrier.wait(&mut sense);
+            }
+            // Diagonal scaling: y ← ((2−ω)/ω)·D·y. The `scale * diag`
+            // grouping matches the sequential sweep's `*yi *= scale * d`
+            // bitwise.
+            for i in chunk_range(n, wk, total) {
+                // SAFETY: disjoint contiguous chunks per worker.
+                unsafe { y.set(i, y.get(i) * (scale * diag[i])) };
+            }
+            barrier.wait(&mut sense);
+            // Backward sweep: (D/ω + U)·dst = y, level by level.
+            for lev in 0..bwd.levels() {
+                let rows = bwd.level_rows(lev);
+                for &iu in &rows[chunk_range(rows.len(), wk, total)] {
+                    let i = iu as usize;
+                    // SAFETY: same-level reads of y are ordered by the
+                    // scale-phase barrier; dst deps are in previous
+                    // levels; i is written only here.
+                    let mut s = unsafe { y.get(i) };
+                    for (j, v) in upper.row(i) {
+                        s -= v * unsafe { out.get(j) };
+                    }
+                    unsafe { out.set(i, s * w / diag[i]) };
+                }
+                barrier.wait(&mut sense);
+            }
+        }));
     }
 }
 
@@ -245,6 +409,12 @@ impl Preconditioner for SsorPrecond {
             )));
         }
         let n = a.rows();
+        // Stash the previous triangle patterns so a values-only refresh
+        // (the common sweep case) keeps the cached level schedules.
+        self.prev_lower_col.clone_from(&self.lower.col);
+        self.prev_upper_col.clone_from(&self.upper.col);
+        self.prev_lower_row_ptr.clone_from(&self.lower.row_ptr);
+        self.prev_upper_row_ptr.clone_from(&self.upper.row_ptr);
         self.lower.clear();
         self.upper.clear();
         self.diag.clear();
@@ -275,13 +445,29 @@ impl Preconditioner for SsorPrecond {
                 return Err(NumError::SingularMatrix { index: i });
             }
         }
+        if self.prev_lower_col != self.lower.col
+            || self.prev_upper_col != self.upper.col
+            || self.prev_lower_row_ptr != self.lower.row_ptr
+            || self.prev_upper_row_ptr != self.upper.row_ptr
+        {
+            self.fwd_levels = None;
+            self.bwd_levels = None;
+        }
         Ok(())
+    }
+
+    fn set_kernel(&mut self, spec: KernelSpec) {
+        self.kernel = spec;
     }
 
     fn apply(&mut self, dst: &mut [f64], src: &[f64]) {
         let n = self.diag.len();
         assert_eq!(dst.len(), n, "SSOR apply: dst length mismatch");
         assert_eq!(src.len(), n, "SSOR apply: src length mismatch");
+        if self.use_leveled(n) {
+            self.apply_leveled(dst, src);
+            return;
+        }
         let w = self.omega;
         let y = &mut self.scratch;
         // Forward sweep: (D/ω + L)·y = src.
@@ -328,11 +514,138 @@ pub struct Ic0Precond {
     col: Vec<usize>,
     val: Vec<f64>,
     scratch: Vec<f64>,
+    /// Kernel selection handed down by the solve.
+    kernel: KernelSpec,
+    /// Strict upper triangle of `Lᵀ` in CSR (row `i` holds `(j, l_ji)`
+    /// for `j > i`), built on demand for the level-scheduled backward
+    /// solve (the sequential path uses a column scatter instead).
+    lt_row_ptr: Vec<usize>,
+    lt_col: Vec<usize>,
+    lt_val: Vec<f64>,
+    /// Values in `lt_*` are stale (factor was re-run since the build).
+    lt_stale: bool,
+    /// Level schedules, cached per sparsity pattern.
+    fwd_levels: Option<LevelSchedule>,
+    bwd_levels: Option<LevelSchedule>,
+    /// Previous factor pattern, for cheap pattern-change detection.
+    prev_col: Vec<usize>,
 }
 
 impl Ic0Precond {
     fn row_range(&self, i: usize) -> std::ops::Range<usize> {
         self.row_ptr[i]..self.row_ptr[i + 1]
+    }
+
+    /// Builds (or refreshes) the transposed strict factor used by the
+    /// parallel backward solve.
+    fn ensure_transpose(&mut self) {
+        if !self.lt_stale {
+            return;
+        }
+        let n = self.scratch.len();
+        self.lt_row_ptr.clear();
+        self.lt_row_ptr.resize(n + 1, 0);
+        for i in 0..n {
+            // Strict lower entries only: the diagonal is each row's
+            // last entry and stays out of the transpose.
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] - 1 {
+                self.lt_row_ptr[self.col[idx] + 1] += 1;
+            }
+        }
+        for k in 0..n {
+            self.lt_row_ptr[k + 1] += self.lt_row_ptr[k];
+        }
+        let nnz = self.lt_row_ptr[n];
+        self.lt_col.clear();
+        self.lt_col.resize(nnz, 0);
+        self.lt_val.clear();
+        self.lt_val.resize(nnz, 0.0);
+        let mut cursor = self.lt_row_ptr.clone();
+        for i in 0..n {
+            for idx in self.row_ptr[i]..self.row_ptr[i + 1] - 1 {
+                let j = self.col[idx];
+                let slot = cursor[j];
+                cursor[j] += 1;
+                self.lt_col[slot] = i;
+                self.lt_val[slot] = self.val[idx];
+            }
+        }
+        self.lt_stale = false;
+    }
+
+    fn ensure_levels(&mut self) {
+        if self.fwd_levels.is_none() {
+            // Forward deps are the strict-lower columns; `from_lower`
+            // ignores the stored diagonal (col == row) by itself.
+            self.fwd_levels = Some(LevelSchedule::from_lower(&self.row_ptr, &self.col));
+        }
+        if self.bwd_levels.is_none() {
+            self.bwd_levels = Some(LevelSchedule::from_upper(
+                &self.lt_row_ptr,
+                &self.lt_col,
+            ));
+        }
+    }
+
+    /// Decides (and prepares for) the level-scheduled solves.
+    fn use_leveled(&mut self, n: usize) -> bool {
+        if !sweep_wants_threads(self.kernel, n, self.val.len()) {
+            return false;
+        }
+        self.ensure_transpose();
+        self.ensure_levels();
+        leveled_policy(self.kernel, self.fwd_levels.as_ref(), self.bwd_levels.as_ref())
+    }
+
+    /// Level-scheduled `L·y = src`, then `Lᵀ·dst = y` via the
+    /// transposed factor (gather form). The forward sweep is bitwise
+    /// identical to the sequential one; the backward sweep sums the
+    /// same terms in a different order (gather vs scatter), so results
+    /// agree to roundoff (~1e-15 relative per entry).
+    fn apply_leveled(&mut self, dst: &mut [f64], src: &[f64]) {
+        let pool = kernels::global_pool();
+        let fwd = self.fwd_levels.as_ref().expect("built in use_leveled");
+        let bwd = self.bwd_levels.as_ref().expect("built in use_leveled");
+        let (row_ptr, col, val) = (&self.row_ptr, &self.col, &self.val);
+        let (lt_row_ptr, lt_col, lt_val) = (&self.lt_row_ptr, &self.lt_col, &self.lt_val);
+        let y = SharedSliceMut::new(&mut self.scratch);
+        let out = SharedSliceMut::new(dst);
+        let barrier = SpinBarrier::new(pool.threads());
+        pool.run(&|wk, total| barrier.guard(|| {
+            let mut sense = false;
+            // Forward solve L·y = src.
+            for lev in 0..fwd.levels() {
+                let rows = fwd.level_rows(lev);
+                for &iu in &rows[chunk_range(rows.len(), wk, total)] {
+                    let i = iu as usize;
+                    let diag_idx = row_ptr[i + 1] - 1;
+                    let mut s = src[i];
+                    for idx in row_ptr[i]..diag_idx {
+                        // SAFETY: deps are in previous levels; i is
+                        // written exactly once, by this worker.
+                        s -= val[idx] * unsafe { y.get(col[idx]) };
+                    }
+                    unsafe { y.set(i, s / val[diag_idx]) };
+                }
+                barrier.wait(&mut sense);
+            }
+            // Backward solve Lᵀ·dst = y (gather over the transpose).
+            for lev in 0..bwd.levels() {
+                let rows = bwd.level_rows(lev);
+                for &iu in &rows[chunk_range(rows.len(), wk, total)] {
+                    let i = iu as usize;
+                    // SAFETY: y writes were ordered by the last forward
+                    // barrier; dst deps are in previous levels; i is
+                    // written exactly once.
+                    let mut s = unsafe { y.get(i) };
+                    for idx in lt_row_ptr[i]..lt_row_ptr[i + 1] {
+                        s -= lt_val[idx] * unsafe { out.get(lt_col[idx]) };
+                    }
+                    unsafe { out.set(i, s / val[row_ptr[i + 1] - 1]) };
+                }
+                barrier.wait(&mut sense);
+            }
+        }));
     }
 
     /// Sparse dot of `L[i, ..limit)` and `L[j, ..limit)` via a merge walk
@@ -363,11 +676,13 @@ impl Ic0Precond {
 impl Preconditioner for Ic0Precond {
     fn setup(&mut self, a: &CsrMatrix) -> Result<(), NumError> {
         let n = a.rows();
+        self.prev_col.clone_from(&self.col);
         self.row_ptr.clear();
         self.col.clear();
         self.val.clear();
         self.scratch.clear();
         self.scratch.resize(n, 0.0);
+        self.lt_stale = true;
         self.row_ptr.reserve(n + 1);
         self.row_ptr.push(0);
         // Copy the lower triangle (incl. diagonal); CSR rows are sorted.
@@ -412,13 +727,25 @@ impl Preconditioner for Ic0Precond {
                 }
             }
         }
+        if self.prev_col != self.col {
+            self.fwd_levels = None;
+            self.bwd_levels = None;
+        }
         Ok(())
+    }
+
+    fn set_kernel(&mut self, spec: KernelSpec) {
+        self.kernel = spec;
     }
 
     fn apply(&mut self, dst: &mut [f64], src: &[f64]) {
         let n = self.scratch.len();
         assert_eq!(dst.len(), n, "IC(0) apply: dst length mismatch");
         assert_eq!(src.len(), n, "IC(0) apply: src length mismatch");
+        if self.use_leveled(n) {
+            self.apply_leveled(dst, src);
+            return;
+        }
         let y = &mut self.scratch;
         // Forward solve L·y = src.
         for i in 0..n {
@@ -610,6 +937,54 @@ mod tests {
         t.push(1, 0, 1.0).unwrap();
         let singular = t.to_csr();
         assert!(SsorPrecond::new(1.0).setup(&singular).is_err());
+    }
+
+    #[test]
+    fn ssor_level_schedules_invalidate_on_row_boundary_changes() {
+        // Two patterns whose strict lower triangles flatten to the SAME
+        // column list ([0, 1]) but with different row boundaries:
+        //   A: row 1 <- {0}, row 2 <- {1}   (chain: 3 levels)
+        //   B: row 2 <- {0, 1}              (rows 0,1 independent)
+        // A column-only pattern check would keep B's cached schedule
+        // when re-setup on A, letting the leveled sweep run rows 0 and
+        // 1 of A in one level despite the 1 <- 0 dependency.
+        let stamp_a = || {
+            let mut t = TripletMatrix::new(3, 3);
+            for i in 0..3 {
+                t.push(i, i, 4.0).unwrap();
+            }
+            t.push(1, 0, -1.0).unwrap();
+            t.push(2, 1, -1.0).unwrap();
+            t.to_csr()
+        };
+        let mut t = TripletMatrix::new(3, 3);
+        for i in 0..3 {
+            t.push(i, i, 4.0).unwrap();
+        }
+        t.push(2, 0, -1.0).unwrap();
+        t.push(2, 1, -1.0).unwrap();
+        let b = t.to_csr();
+        let a = stamp_a();
+
+        let mut leveled = SsorPrecond::new(1.0);
+        leveled.set_kernel(crate::kernels::KernelSpec::Fixed(
+            crate::kernels::Backend::Threaded,
+        ));
+        let src = [1.0, 2.0, 3.0];
+        let mut dst = [0.0; 3];
+        leveled.setup(&b).unwrap();
+        leveled.apply(&mut dst, &src);
+        // Re-setup on the chain pattern: schedules must be rebuilt.
+        leveled.setup(&a).unwrap();
+        leveled.apply(&mut dst, &src);
+
+        let mut seq = SsorPrecond::new(1.0);
+        seq.setup(&a).unwrap();
+        let mut want = [0.0; 3];
+        seq.apply(&mut want, &src);
+        for (got, want) in dst.iter().zip(&want) {
+            assert!(got.to_bits() == want.to_bits(), "{got} vs {want}");
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! # Ok::<(), bright_num::NumError>(())
 //! ```
 
+use crate::kernels::{self, Backend, KernelSpec};
 use crate::precond::{PrecondSpec, Preconditioner};
 use crate::solvers::{
     bicgstab_preconditioned, conjugate_gradient_preconditioned, IterOptions, KrylovWorkspace,
@@ -70,8 +71,9 @@ pub fn next_operator_tag() -> u64 {
     OPERATOR_TAGS.fetch_add(1, Ordering::Relaxed)
 }
 
-/// Counters of the work a session performed (all monotonically
-/// increasing over the session's lifetime).
+/// Counters of the work a session performed (the count fields are
+/// monotonically increasing over the session's lifetime; the kernel
+/// fields describe the most recent solve).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Full binds: pattern + values adopted from an operator.
@@ -82,6 +84,26 @@ pub struct SessionStats {
     pub precond_setups: u64,
     /// Linear solves performed.
     pub solves: u64,
+    /// Kernel backend the last solve's matvec resolved to
+    /// ([`Backend::Scalar`] before the first solve).
+    pub last_backend: Backend,
+    /// Kernel-pool worker count serving the last solve (1 for the
+    /// single-threaded backends, or before the first solve).
+    pub kernel_threads: u32,
+}
+
+impl SessionStats {
+    /// Compact human-readable kernel path of the last solve, e.g.
+    /// `"scalar"`, `"blocked"` or `"threaded(8)"` — engines surface
+    /// this in their per-batch reports.
+    #[must_use]
+    pub fn kernel_digest(&self) -> String {
+        if self.last_backend == Backend::Threaded {
+            format!("threaded({})", self.kernel_threads.max(1))
+        } else {
+            self.last_backend.name().to_string()
+        }
+    }
 }
 
 /// A reusable solve context: cached pattern, numeric operator, Krylov
@@ -179,6 +201,24 @@ impl SolverSession {
             self.precond = None;
             self.precond_stale = true;
         }
+    }
+
+    /// The kernel-backend selection in effect (see [`KernelSpec`]).
+    #[inline]
+    pub fn kernel(&self) -> KernelSpec {
+        self.opts.kernel
+    }
+
+    /// Replaces the kernel-backend selection for subsequent solves.
+    /// Safe to call mid-sweep: the warm start, operator and
+    /// preconditioner are untouched, and matvec (plus the SSOR sweeps)
+    /// is bitwise identical across backends, so convergence behaviour
+    /// carries over — except under the IC(0) preconditioner, whose
+    /// level-scheduled backward solve reorders sums and agrees with
+    /// the sequential one only to roundoff (~1e-12 relative), which
+    /// can shift an iteration count by one.
+    pub fn set_kernel(&mut self, spec: KernelSpec) {
+        self.opts.kernel = spec;
     }
 
     /// True until the session has been bound to an operator.
@@ -391,6 +431,13 @@ impl SolverSession {
             Ok(stats) => {
                 self.last = stats;
                 self.stats.solves += 1;
+                let backend = self.opts.kernel.resolve(self.matrix.rows(), self.matrix.nnz());
+                self.stats.last_backend = backend;
+                self.stats.kernel_threads = if backend == Backend::Threaded {
+                    u32::try_from(kernels::global_pool().threads()).unwrap_or(u32::MAX)
+                } else {
+                    1
+                };
                 Ok(stats)
             }
             Err(e) => {
@@ -567,6 +614,7 @@ mod tests {
             max_iterations: 1,
             tolerance: 1e-14,
             preconditioner: PrecondSpec::Jacobi,
+            ..IterOptions::default()
         });
         s.bind_triplets(&chain(n, 1.0)).unwrap();
         assert!(s.solve_spd(&vec![1.0; n]).is_err());

@@ -38,9 +38,10 @@
 //! # Ok::<(), bright_num::NumError>(())
 //! ```
 
+use crate::kernels::KernelSpec;
 use crate::precond::{PrecondSpec, Preconditioner};
 use crate::sparse::CsrMatrix;
-use crate::vec_ops::{all_finite, axpy, dot, norm2, sub, xpby};
+use crate::vec_ops::{all_finite, axpy, axpy_norm2_sq, dot, dot2, norm2, sub, xpby};
 use crate::NumError;
 
 /// Options controlling an iterative solve.
@@ -54,6 +55,12 @@ pub struct IterOptions {
     /// `_preconditioned` entry points ignore this field and use the
     /// caller-supplied operator instead.
     pub preconditioner: PrecondSpec,
+    /// Kernel backend selection for the hot matvec and triangular-sweep
+    /// kernels ([`KernelSpec::Auto`] by default; overridable
+    /// process-wide via `BRIGHT_KERNEL_BACKEND`). Matvec results are
+    /// bitwise identical across backends, so this is purely a
+    /// performance knob.
+    pub kernel: KernelSpec,
 }
 
 impl Default for IterOptions {
@@ -62,6 +69,7 @@ impl Default for IterOptions {
             tolerance: 1e-10,
             max_iterations: 10_000,
             preconditioner: PrecondSpec::Jacobi,
+            kernel: KernelSpec::Auto,
         }
     }
 }
@@ -182,6 +190,28 @@ fn prime_guess(x: &mut Vec<f64>, n: usize) {
     }
 }
 
+/// Resets the BiCGSTAB recurrence around the current residual `r`:
+/// fresh shadow vector, zeroed search directions, unit scalars. Shared
+/// by the stagnation restart and both residual-replacement paths (the
+/// caller reseeds `rho_new` itself).
+#[allow(clippy::too_many_arguments)]
+fn bicgstab_restart(
+    r: &[f64],
+    r_hat: &mut [f64],
+    v: &mut [f64],
+    p: &mut [f64],
+    rho: &mut f64,
+    alpha: &mut f64,
+    omega: &mut f64,
+) {
+    r_hat.copy_from_slice(r);
+    v.iter_mut().for_each(|vi| *vi = 0.0);
+    p.iter_mut().for_each(|pi| *pi = 0.0);
+    *rho = 1.0;
+    *alpha = 1.0;
+    *omega = 1.0;
+}
+
 /// Preconditioned conjugate gradient for symmetric positive-definite `A`.
 ///
 /// # Errors
@@ -269,28 +299,32 @@ pub fn conjugate_gradient_preconditioned(
             relative_residual: 0.0,
         });
     }
+    let backend = opts.kernel.resolve(a.rows(), a.nnz());
+    m.set_kernel(opts.kernel);
     ws.resize_cg(n);
     let r = &mut ws.r;
     let z = &mut ws.z;
     let p = &mut ws.p;
     let ap = &mut ws.ap;
 
-    a.matvec_into(x, ap)?;
+    a.matvec_into_backend(x, ap, backend)?;
     sub(b, ap, r);
 
     m.apply(z, r);
     p.copy_from_slice(z);
-    let mut rz = dot(r, z);
+    // Fused: r·z (the CG scalar) and r·r (the residual check) in one
+    // pass over r.
+    let (mut rz, mut rr) = dot2(r, z, r);
 
     for it in 0..opts.max_iterations {
-        let res = norm2(r) / b_norm;
+        let res = rr.sqrt() / b_norm;
         if res <= opts.tolerance {
             return Ok(SolveStats {
                 iterations: it,
                 relative_residual: res,
             });
         }
-        a.matvec_into(p, ap)?;
+        a.matvec_into_backend(p, ap, backend)?;
         let pap = dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             return Err(NumError::Breakdown(format!(
@@ -302,14 +336,15 @@ pub fn conjugate_gradient_preconditioned(
         axpy(-alpha, ap, r);
 
         m.apply(z, r);
-        let rz_new = dot(r, z);
+        let (rz_new, rr_new) = dot2(r, z, r);
         let beta = rz_new / rz;
         rz = rz_new;
+        rr = rr_new;
         xpby(z, beta, p);
     }
     Err(NumError::NotConverged {
         iterations: opts.max_iterations,
-        residual: norm2(r) / b_norm,
+        residual: rr.sqrt() / b_norm,
         tolerance: opts.tolerance,
     })
 }
@@ -387,6 +422,8 @@ pub fn bicgstab_preconditioned(
             relative_residual: 0.0,
         });
     }
+    let backend = opts.kernel.resolve(a.rows(), a.nnz());
+    m.set_kernel(opts.kernel);
     ws.resize_bicgstab(n);
     let r = &mut ws.r;
     let r_hat = &mut ws.r_hat;
@@ -397,7 +434,7 @@ pub fn bicgstab_preconditioned(
     let s_hat = &mut ws.s_hat;
     let t = &mut ws.t;
 
-    a.matvec_into(x, v)?;
+    a.matvec_into_backend(x, v, backend)?;
     sub(b, v, r);
     r_hat.copy_from_slice(r);
     v.iter_mut().for_each(|vi| *vi = 0.0);
@@ -406,20 +443,70 @@ pub fn bicgstab_preconditioned(
     let mut rho = 1.0_f64;
     let mut alpha = 1.0_f64;
     let mut omega = 1.0_f64;
+    // Fused: the bi-orthogonality scalar r̂·r and the residual check
+    // r·r in one pass over r (re-fused at the end of every iteration).
+    let (mut rho_new, mut rr) = dot2(r, r_hat, r);
+    let mut restarts = 0usize;
+    const MAX_RESTARTS: usize = 40;
+    // True while `r` holds the directly computed b − A·x (start, and
+    // after every residual replacement) rather than the recursive
+    // update — lets the convergence check skip the verification matvec.
+    let mut r_is_true = true;
 
-    for it in 0..opts.max_iterations {
-        let res = norm2(r) / b_norm;
+    let mut it = 0;
+    while it < opts.max_iterations {
+        let res = rr.sqrt() / b_norm;
         if res <= opts.tolerance {
-            return Ok(SolveStats {
-                iterations: it,
-                relative_residual: res,
-            });
+            if r_is_true {
+                return Ok(SolveStats {
+                    iterations: it,
+                    relative_residual: res,
+                });
+            }
+            // The recursively updated residual can drift from
+            // b − A·x on stagnating solves; verify against the true
+            // residual before reporting convergence (residual
+            // replacement, van der Vorst). Every `Ok` return therefore
+            // carries a genuine relative residual.
+            a.matvec_into_backend(x, t, backend)?;
+            sub(b, t, r);
+            let rr_true = dot(r, r);
+            let res_true = rr_true.sqrt() / b_norm;
+            if res_true <= opts.tolerance {
+                return Ok(SolveStats {
+                    iterations: it,
+                    relative_residual: res_true,
+                });
+            }
+            // Drifted: continue from the current iterate with the true
+            // residual and a fresh shadow vector.
+            restarts += 1;
+            if restarts > MAX_RESTARTS {
+                return Err(NumError::NotConverged {
+                    iterations: it,
+                    residual: res_true,
+                    tolerance: opts.tolerance,
+                });
+            }
+            bicgstab_restart(r, r_hat, v, p, &mut rho, &mut alpha, &mut omega);
+            rho_new = rr_true;
+            rr = rr_true;
+            r_is_true = true;
         }
-        let rho_new = dot(r_hat, r);
         if rho_new.abs() < 1e-300 {
-            return Err(NumError::Breakdown(format!(
-                "rho = {rho_new:.3e} at iteration {it}"
-            )));
+            // The shadow residual has become (numerically) orthogonal
+            // to r while the iterate is not converged — the classic
+            // BiCGSTAB stagnation. Restart the recurrence with
+            // r̂ = r (then r̂·r = ‖r‖² > 0) instead of aborting.
+            restarts += 1;
+            if restarts > MAX_RESTARTS {
+                return Err(NumError::Breakdown(format!(
+                    "rho = {rho_new:.3e} at iteration {it} after {} restarts",
+                    restarts - 1
+                )));
+            }
+            bicgstab_restart(r, r_hat, v, p, &mut rho, &mut alpha, &mut omega);
+            rho_new = rr;
         }
         let beta = (rho_new / rho) * (alpha / omega);
         rho = rho_new;
@@ -428,7 +515,7 @@ pub fn bicgstab_preconditioned(
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
         m.apply(p_hat, p);
-        a.matvec_into(p_hat, v)?;
+        a.matvec_into_backend(p_hat, v, backend)?;
         let rhat_v = dot(r_hat, v);
         if rhat_v.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!(
@@ -436,25 +523,47 @@ pub fn bicgstab_preconditioned(
             )));
         }
         alpha = rho / rhat_v;
-        for i in 0..n {
-            s[i] = r[i] - alpha * v[i];
-        }
-        if norm2(s) / b_norm <= opts.tolerance {
+        // Fused: s = r − α·v and ‖s‖² in one pass.
+        s.copy_from_slice(r);
+        let s_rr = axpy_norm2_sq(-alpha, v, s);
+        if s_rr.sqrt() / b_norm <= opts.tolerance {
+            // Half-step convergence claim: commit x, then verify the
+            // true residual at the top of the next trip (rr ≤ tol²·b²
+            // forces the verified check immediately).
             axpy(alpha, p_hat, x);
-            a.matvec_into(x, t)?;
+            a.matvec_into_backend(x, t, backend)?;
             sub(b, t, r);
-            return Ok(SolveStats {
-                iterations: it + 1,
-                relative_residual: norm2(r) / b_norm,
-            });
+            rr = dot(r, r);
+            let res_true = rr.sqrt() / b_norm;
+            if res_true <= opts.tolerance {
+                return Ok(SolveStats {
+                    iterations: it + 1,
+                    relative_residual: res_true,
+                });
+            }
+            restarts += 1;
+            if restarts > MAX_RESTARTS {
+                return Err(NumError::NotConverged {
+                    iterations: it + 1,
+                    residual: res_true,
+                    tolerance: opts.tolerance,
+                });
+            }
+            bicgstab_restart(r, r_hat, v, p, &mut rho, &mut alpha, &mut omega);
+            rho_new = rr;
+            // (r is now the true residual, but the next loop trip is
+            // guaranteed res > tol, so the flag need not be raised.)
+            it += 1;
+            continue;
         }
         m.apply(s_hat, s);
-        a.matvec_into(s_hat, t)?;
-        let tt = dot(t, t);
+        a.matvec_into_backend(s_hat, t, backend)?;
+        // Fused: t·s and t·t in one pass over t.
+        let (ts, tt) = dot2(t, s, t);
         if tt.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!("t.t = 0 at iteration {it}")));
         }
-        omega = dot(t, s) / tt;
+        omega = ts / tt;
         if omega.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!("omega = 0 at iteration {it}")));
         }
@@ -462,10 +571,13 @@ pub fn bicgstab_preconditioned(
             x[i] += alpha * p_hat[i] + omega * s_hat[i];
             r[i] = s[i] - omega * t[i];
         }
+        (rho_new, rr) = dot2(r, r_hat, r);
+        r_is_true = false;
+        it += 1;
     }
     Err(NumError::NotConverged {
         iterations: opts.max_iterations,
-        residual: norm2(r) / b_norm,
+        residual: rr.sqrt() / b_norm,
         tolerance: opts.tolerance,
     })
 }
@@ -523,11 +635,14 @@ pub fn sor_solve(
     opts: &IterOptions,
 ) -> Result<IterSolution, NumError> {
     let mut x = vec![0.0; b.len()];
+    // Caller-owned residual buffers, reused across sweeps (this loop
+    // used to allocate two fresh vectors per iteration).
+    let mut ax = vec![0.0; b.len()];
+    let mut r = vec![0.0; b.len()];
     let b_norm = norm2(b).max(1e-300);
     for it in 0..opts.max_iterations {
         sor_sweep(a, b, &mut x, relaxation)?;
-        let ax = a.matvec(&x)?;
-        let mut r = vec![0.0; b.len()];
+        a.matvec_into(&x, &mut ax)?;
         sub(b, &ax, &mut r);
         let res = norm2(&r) / b_norm;
         if res <= opts.tolerance {
@@ -538,8 +653,7 @@ pub fn sor_solve(
             });
         }
     }
-    let ax = a.matvec(&x)?;
-    let mut r = vec![0.0; b.len()];
+    a.matvec_into(&x, &mut ax)?;
     sub(b, &ax, &mut r);
     Err(NumError::NotConverged {
         iterations: opts.max_iterations,
@@ -803,6 +917,7 @@ mod tests {
                 tolerance: 1e-9,
                 max_iterations: 5000,
                 preconditioner: PrecondSpec::None,
+                ..IterOptions::default()
             },
         )
         .unwrap();

@@ -134,15 +134,29 @@ impl TridiagonalSystem {
     ///
     /// Returns [`NumError::DimensionMismatch`] if `x.len() != self.len()`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, NumError> {
+        let mut y = vec![0.0; self.len()];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free `y ← A·x` with a caller-owned output buffer —
+    /// the repeated-residual counterpart of
+    /// [`crate::sparse::CsrMatrix::matvec_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] if `x` or `y` do not
+    /// match the system size.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), NumError> {
         let n = self.len();
-        if x.len() != n {
+        if x.len() != n || y.len() != n {
             return Err(NumError::DimensionMismatch(format!(
-                "vector length {} != system size {n}",
-                x.len()
+                "matvec: x has {}, y has {}, system size {n}",
+                x.len(),
+                y.len()
             )));
         }
-        let mut y = vec![0.0; n];
-        for i in 0..n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = self.diag[i] * x[i];
             if i > 0 {
                 acc += self.lower[i - 1] * x[i - 1];
@@ -150,9 +164,9 @@ impl TridiagonalSystem {
             if i + 1 < n {
                 acc += self.upper[i] * x[i + 1];
             }
-            y[i] = acc;
+            *yi = acc;
         }
-        Ok(y)
+        Ok(())
     }
 }
 
