@@ -1,0 +1,299 @@
+//! PR-5 performance gate: retargetable flow-cell sessions. Records the
+//! results in `BENCH_PR5.json`.
+//!
+//! Two benchmark families, mirroring the acceptance criteria:
+//!
+//! * `polarization_retarget_sweep` — a flow/temperature ablation over a
+//!   duct-velocity cell. Baseline rebuilds the `CellModel` per point
+//!   (fresh duct solve + transport-operator factorizations, the
+//!   pre-PR-5 sweep behaviour); the new path retargets one model in
+//!   place (`retarget_flow` / `retarget_temperature`): the geometry
+//!   context and operator storage survive every point. Gate ≥ 1.3×.
+//! * `engine_polarization_batch` — the same ablation served as
+//!   `ScenarioRequest::Polarization` through a `ScenarioEngine`
+//!   (cached, retargeted cell workers) vs. per-request cold models.
+//!   Gate ≥ 1.05× (the engine adds grouping/dispatch overhead on top
+//!   of the same retarget win).
+//!
+//! Usage: `bench_pr5 [--quick] [--out <path>]` (default `BENCH_PR5.json`).
+
+use bright_core::{PolarizationRequest, Scenario, ScenarioEngine};
+use bright_echem::vanadium;
+use bright_flow::RectChannel;
+use bright_flowcell::options::{SolverOptions, TemperatureProfile, VelocityModel};
+use bright_flowcell::{CellGeometry, CellModel};
+use bright_jsonio::Value;
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct SpeedupRow {
+    name: &'static str,
+    baseline_s: f64,
+    optimized_s: f64,
+    points: f64,
+    unit: &'static str,
+}
+
+impl SpeedupRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_s / self.optimized_s
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("name".into(), Value::String(self.name.into())),
+            ("baseline_s".into(), Value::Number(self.baseline_s)),
+            ("optimized_s".into(), Value::Number(self.optimized_s)),
+            ("speedup".into(), Value::Number(self.speedup())),
+            (
+                "optimized_per_sec".into(),
+                Value::Number(self.points / self.optimized_s),
+            ),
+            ("unit".into(), Value::String(self.unit.into())),
+        ])
+    }
+}
+
+fn time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up, then the best of `reps` timed repetitions
+    // (minimum is the least noisy statistic on a shared host).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The duct-velocity cell options of the benchmark: a real Poisson
+/// solve in the geometry context, moderate transport grids.
+fn bench_options() -> SolverOptions {
+    SolverOptions {
+        ny: 32,
+        nx: 80,
+        velocity: VelocityModel::Duct { nz: 16 },
+        ..SolverOptions::default()
+    }
+}
+
+fn bench_geometry() -> CellGeometry {
+    CellGeometry::new(
+        RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .expect("Table II channel"),
+    )
+}
+
+fn cold_model(flow: CubicMetersPerSecond, inlet: Kelvin) -> CellModel {
+    CellModel::new(
+        bench_geometry(),
+        vanadium::power7_cell_chemistry(),
+        flow,
+        TemperatureProfile::Uniform(inlet),
+        bench_options(),
+    )
+    .expect("valid cell")
+}
+
+/// The ablation points: a flow ladder at 300 K plus a temperature
+/// ladder at nominal flow (per-channel ml/min, K).
+fn ablation_points(points: usize) -> Vec<(f64, f64)> {
+    let n_flow = points / 2;
+    let n_temp = points - n_flow;
+    let mut out = Vec::with_capacity(points);
+    for k in 0..n_flow {
+        let ml_min = 7.68 - (7.68 - 0.55) * k as f64 / (n_flow - 1).max(1) as f64;
+        out.push((ml_min, 300.0));
+    }
+    for k in 0..n_temp {
+        let t = 295.0 + 30.0 * k as f64 / (n_temp - 1).max(1) as f64;
+        out.push((7.68, t));
+    }
+    out
+}
+
+fn bench_retarget_sweep(reps: usize, points: usize, curve_n: usize) -> SpeedupRow {
+    let ablation = ablation_points(points);
+
+    // Baseline: rebuild the model at every point — a fresh duct solve
+    // and fresh transport-operator factorizations each time.
+    let baseline_s = time(reps, || {
+        for &(ml_min, t) in &ablation {
+            let model = cold_model(
+                CubicMetersPerSecond::from_milliliters_per_minute(ml_min),
+                Kelvin::new(t),
+            );
+            black_box(model.polarization_curve(curve_n).expect("sweep"));
+        }
+    });
+
+    // Optimized: one model retargeted in place per point.
+    let mut model = cold_model(
+        CubicMetersPerSecond::from_milliliters_per_minute(7.68),
+        Kelvin::new(300.0),
+    );
+    model.warm().expect("context");
+    let optimized_s = time(reps, || {
+        for &(ml_min, t) in &ablation {
+            model
+                .retarget_flow(CubicMetersPerSecond::from_milliliters_per_minute(ml_min))
+                .expect("flow retarget");
+            model
+                .retarget_temperature(TemperatureProfile::Uniform(Kelvin::new(t)))
+                .expect("temperature retarget");
+            black_box(model.polarization_curve(curve_n).expect("sweep"));
+        }
+    });
+    let stats = model.context_stats();
+    assert_eq!(
+        stats.geometry_builds, 1,
+        "retarget sweep must solve the duct exactly once"
+    );
+    assert_eq!(
+        stats.op_builds, 2,
+        "retarget sweep must never rebuild transport operators"
+    );
+    SpeedupRow {
+        name: "polarization_retarget_sweep",
+        baseline_s,
+        optimized_s,
+        points: ablation.len() as f64,
+        unit: "points",
+    }
+}
+
+fn bench_engine_batch(reps: usize, requests: usize, curve_n: usize) -> SpeedupRow {
+    let scenarios: Vec<Scenario> = ablation_points(requests)
+        .into_iter()
+        .map(|(ml_min, t)| {
+            let mut s = Scenario::power7_nominal();
+            s.cell_options = bench_options();
+            s.total_flow = CubicMetersPerSecond::from_milliliters_per_minute(
+                ml_min * s.channel_count as f64,
+            );
+            s.inlet_temperature = Kelvin::new(t);
+            s
+        })
+        .collect();
+
+    // Baseline: every request pays for a cold model.
+    let baseline_s = time(reps, || {
+        for s in &scenarios {
+            let model = cold_model(s.per_channel_flow(), s.inlet_temperature);
+            black_box(
+                model
+                    .polarization_curve(curve_n)
+                    .expect("sweep")
+                    .scaled_parallel(s.channel_count),
+            );
+        }
+    });
+
+    // Optimized: a long-lived engine serves the batch from one cached,
+    // retargeted cell worker.
+    let mut engine = ScenarioEngine::new();
+    let optimized_s = time(reps, || {
+        let reports = engine.run_polarization_batch(scenarios.iter().map(|s| {
+            PolarizationRequest {
+                scenario: s.clone(),
+                points: curve_n,
+            }
+        }));
+        for r in &reports {
+            assert!(r.result.is_ok(), "engine request failed: {:?}", r.result);
+        }
+        black_box(reports);
+    });
+    let stats = engine.stats();
+    assert_eq!(stats.cell_contexts_built, 1, "one pattern, one cold build");
+    SpeedupRow {
+        name: "engine_polarization_batch",
+        baseline_s,
+        optimized_s,
+        points: requests as f64,
+        unit: "requests",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let reps = if quick { 2 } else { 4 };
+    let sweep_points = if quick { 6 } else { 10 };
+    let engine_requests = if quick { 6 } else { 10 };
+    let curve_n = if quick { 6 } else { 8 };
+
+    bright_bench::banner(
+        "BENCH_PR5",
+        "retargetable flow-cell sessions, engine-batched polarization",
+    );
+    let rows = [
+        bench_retarget_sweep(reps, sweep_points, curve_n),
+        bench_engine_batch(reps, engine_requests, curve_n),
+    ];
+    for row in &rows {
+        println!(
+            "  {:<28} baseline {:>9.4} s  optimized {:>9.4} s  speedup {:>5.2}x  ({:.1} {}/s optimized)",
+            row.name,
+            row.baseline_s,
+            row.optimized_s,
+            row.speedup(),
+            row.points / row.optimized_s,
+            row.unit,
+        );
+    }
+
+    let doc = Value::object([
+        (
+            "benchmarks".into(),
+            Value::Array(rows.iter().map(SpeedupRow::to_json).collect()),
+        ),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "gates".into(),
+            Value::object([
+                (
+                    "polarization_retarget_sweep_min_speedup".into(),
+                    Value::Number(1.3),
+                ),
+                (
+                    "engine_polarization_batch_min_speedup".into(),
+                    Value::Number(1.05),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json_string_pretty() + "\n").expect("write BENCH_PR5.json");
+    println!("  results written to {out_path}");
+
+    // Fail loudly when an acceptance gate regresses.
+    let mut failed = false;
+    let gate = |rows: &[SpeedupRow], name: &str, min: f64, failed: &mut bool| {
+        let row = rows.iter().find(|r| r.name == name).expect("known row");
+        if row.speedup() < min {
+            eprintln!(
+                "GATE FAILED: {name} speedup {:.2}x < required {min:.2}x",
+                row.speedup()
+            );
+            *failed = true;
+        }
+    };
+    gate(&rows, "polarization_retarget_sweep", 1.3, &mut failed);
+    gate(&rows, "engine_polarization_batch", 1.05, &mut failed);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all performance gates passed");
+}

@@ -61,6 +61,9 @@ pub struct CoSimulation {
     /// Scenarios this engine has served (1 after `new` + first `run`;
     /// grows with `retarget`).
     retargets: u64,
+    /// Retargets that kept the built flow-cell solve context alive
+    /// (refreshed in place instead of discarded).
+    cell_context_reuses: u64,
 }
 
 impl CoSimulation {
@@ -81,6 +84,7 @@ impl CoSimulation {
                 PowerGrid::default_preconditioner(),
             )),
             retargets: 0,
+            cell_context_reuses: 0,
         })
     }
 
@@ -93,6 +97,25 @@ impl CoSimulation {
     #[inline]
     pub fn retarget_count(&self) -> u64 {
         self.retargets
+    }
+
+    /// Number of retargets that kept the built flow-cell solve context
+    /// (geometry + factored transport operators) and refreshed it in
+    /// place — the electrochemical counterpart of the thermal
+    /// refresh-vs-reassemble accounting.
+    #[inline]
+    pub fn cell_context_reuses(&self) -> u64 {
+        self.cell_context_reuses
+    }
+
+    /// Context telemetry of the cached flow-cell template (all zero
+    /// before the first run builds it) — see
+    /// [`bright_flowcell::CellContextStats`].
+    #[inline]
+    pub fn cell_context_stats(&self) -> bright_flowcell::CellContextStats {
+        self.template
+            .get()
+            .map_or_else(Default::default, bright_flowcell::CellModel::context_stats)
     }
 
     /// Replaces the kernel-backend selection of both solver sessions
@@ -134,24 +157,7 @@ impl CoSimulation {
 
     /// The cached flow-cell channel template, built on first use.
     fn cell_template(&self) -> Result<&CellModel, CoreError> {
-        bright_num::lazy::get_or_try_init(&self.template, || self.build_cell_template())
-    }
-
-    fn build_cell_template(&self) -> Result<CellModel, CoreError> {
-        let s = &self.scenario;
-        let channel = RectChannel::new(
-            Meters::from_micrometers(200.0),
-            Meters::from_micrometers(400.0),
-            Meters::from_millimeters(22.0),
-        )
-        .map_err(|e| CoreError::Fluidics(e.to_string()))?;
-        Ok(CellModel::new(
-            CellGeometry::new(channel),
-            bright_echem::vanadium::power7_cell_chemistry(),
-            s.total_flow / s.channel_count as f64,
-            TemperatureProfile::Uniform(s.inlet_temperature),
-            s.cell_options.clone(),
-        )?)
+        bright_num::lazy::get_or_try_init(&self.template, || cell_model_for(&self.scenario))
     }
 
     /// True when both scenarios produce a thermal operator with the same
@@ -172,8 +178,13 @@ impl CoSimulation {
     ///   coolant property snapshot at the new inlet) instead of rebuilt;
     /// * same PDN key → the cached conductance system is kept, only the
     ///   load RHS changes on the next run;
-    /// * the flow-cell template is rebuilt only when flow, inlet or
-    ///   solver options change (its solve context depends on all three).
+    /// * same cell solver options → the flow-cell template's solve
+    ///   context is **refreshed in place** ([`CellModel::retarget_flow`]
+    ///   / [`CellModel::retarget_temperature`]): the duct velocity
+    ///   solution and the transport-operator storage survive every
+    ///   flow/inlet move (observable via
+    ///   [`CoSimulation::cell_context_reuses`] and
+    ///   [`CoSimulation::cell_context_stats`]).
     ///
     /// Sessions (scratch + warm starts) always survive; warm starts
     /// carry over, which is exactly right for sweeps moving gradually
@@ -183,7 +194,9 @@ impl CoSimulation {
     ///
     /// [`CoreError::InvalidScenario`] for invalid scenarios; thermal
     /// refresh errors as in [`ThermalModel::refresh_microchannels`]. On
-    /// error the engine keeps its previous scenario and caches.
+    /// error the engine keeps its previous scenario; a failed cell
+    /// refresh additionally drops the template so the next run rebuilds
+    /// it cold (still at the previous scenario).
     pub fn retarget(&mut self, scenario: Scenario) -> Result<(), CoreError> {
         scenario.validate()?;
         if Self::thermal_pattern_compatible(&self.scenario, &scenario) {
@@ -208,12 +221,25 @@ impl CoSimulation {
             // (and cold-starts) on the next run.
             self.thermal = OnceLock::new();
         }
-        let template_reusable = self.scenario.channel_count == scenario.channel_count
-            && self.scenario.total_flow.value() == scenario.total_flow.value()
-            && self.scenario.inlet_temperature.value() == scenario.inlet_temperature.value()
-            && self.scenario.cell_options == scenario.cell_options;
-        if !template_reusable {
+        if self.scenario.cell_options != scenario.cell_options {
+            // Different transport grids / velocity model: a genuinely
+            // new cell geometry context is required.
             self.template = OnceLock::new();
+        } else if self.template.get().is_some() {
+            // Same geometry: move the built template in place. Only
+            // what actually changed is touched — an equal-coefficient
+            // retarget costs nothing at all.
+            let template = self.template.get_mut().expect("checked above");
+            if let Err(e) = retarget_cell_to(template, &scenario) {
+                // The thermal operator above may already hold the new
+                // coefficients while `self.scenario` stays old: drop
+                // both caches so the next run rebuilds consistently
+                // from the kept (previous) scenario.
+                self.template = OnceLock::new();
+                self.thermal = OnceLock::new();
+                return Err(e);
+            }
+            self.cell_context_reuses += 1;
         }
         // The PDN cache is validated against its key inside `run`.
         self.scenario = scenario;
@@ -232,9 +258,11 @@ impl CoSimulation {
     /// returned for genuinely broken configurations).
     pub fn run(&mut self) -> Result<CoSimReport, CoreError> {
         // Ensure the cached models exist, then work through direct field
-        // borrows (the sessions need disjoint `&mut` access).
+        // borrows (the sessions need disjoint `&mut` access). Warming
+        // the template builds its solve context once: every array clone
+        // below carries it, and retargets refresh it in place.
         self.thermal_model()?;
-        self.cell_template()?;
+        self.cell_template()?.warm()?;
         let s = &self.scenario;
 
         // 1. Thermal solve under the full chip load, through the
@@ -409,6 +437,50 @@ impl CoSimulation {
     }
 }
 
+/// Builds the single-channel flow-cell template a scenario describes
+/// (Table II channel geometry at the scenario's per-channel flow share
+/// and inlet temperature). Shared by the steady co-simulation and the
+/// engine's polarization workers, so both solve the exact same cell.
+pub(crate) fn cell_model_for(s: &Scenario) -> Result<CellModel, CoreError> {
+    let channel = RectChannel::new(
+        Meters::from_micrometers(200.0),
+        Meters::from_micrometers(400.0),
+        Meters::from_millimeters(22.0),
+    )
+    .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+    Ok(CellModel::new(
+        CellGeometry::new(channel),
+        bright_echem::vanadium::power7_cell_chemistry(),
+        s.per_channel_flow(),
+        TemperatureProfile::Uniform(s.inlet_temperature),
+        s.cell_options.clone(),
+    )?)
+}
+
+/// Retargets a built cell model to a scenario's coefficients in place
+/// (per-channel flow, inlet temperature), touching only what actually
+/// changed. Shared by [`CoSimulation::retarget`] and the engine's
+/// polarization workers so their compare-and-retarget semantics cannot
+/// drift. The scenario's `cell_options` must match the model's (the
+/// callers guarantee this via their pattern keys / options checks).
+///
+/// # Errors
+///
+/// Refresh errors as in the `CellModel::retarget_*` mutators; the
+/// model's context is cleared by the failed mutator, and callers drop
+/// the model itself.
+pub(crate) fn retarget_cell_to(model: &mut CellModel, s: &Scenario) -> Result<(), CoreError> {
+    let per_channel = s.per_channel_flow();
+    if model.flow().value() != per_channel.value() {
+        model.retarget_flow(per_channel)?;
+    }
+    let inlet = TemperatureProfile::Uniform(s.inlet_temperature);
+    if *model.temperature() != inlet {
+        model.retarget_temperature(inlet)?;
+    }
+    Ok(())
+}
+
 /// Builds the thermal stack model a scenario describes (die /
 /// flow-cell-channel / cap sandwich on the scenario's grid and lumping).
 /// Shared by the steady co-simulation and the engine's transient
@@ -581,6 +653,16 @@ mod tests {
         }
         assert_eq!(sim.thermal_assembly_count(), 1, "retargets must not re-assemble");
         assert_eq!(sim.retarget_count(), 3);
+        // The flow-cell side reuses its context just like the thermal
+        // side: every retarget refreshed the template in place…
+        assert_eq!(sim.cell_context_reuses(), 3);
+        let cell = sim.cell_context_stats();
+        // …with zero further duct-profile solves and zero new transport
+        // operator builds (the acceptance criterion of the PR-5 split).
+        assert_eq!(cell.geometry_builds, 1, "{cell:?}");
+        assert_eq!(cell.op_builds, 2, "{cell:?}");
+        assert_eq!(cell.coefficient_refreshes, 3, "{cell:?}");
+        assert!(cell.op_refreshes >= 6, "{cell:?}");
     }
 
     #[test]

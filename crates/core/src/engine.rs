@@ -26,6 +26,16 @@
 //! trace prefixes shared by several requests are integrated once and
 //! branched from checkpoints (see [`crate::transient`]).
 //!
+//! Electrochemical sweeps ride it too, as
+//! [`ScenarioRequest::Polarization`] requests: groups keyed by
+//! [`CellPatternKey`] (transport grids + velocity model) are served by
+//! cached flow-cell workers whose geometry/coefficient contexts are
+//! retargeted in place between requests — the duct velocity solution
+//! and the factored transport operators are paid for once per pattern,
+//! exactly like the thermal operator on the steady path. A mixed batch
+//! of all three kinds dispatches through
+//! [`ScenarioEngine::run_all_pending`].
+//!
 //! ```no_run
 //! use bright_core::engine::ScenarioEngine;
 //! use bright_core::Scenario;
@@ -48,8 +58,8 @@
 //! assert!(stats.operators_built >= 1 && stats.operators_built + stats.operator_reuses == 5);
 //! ```
 
-use crate::cosim::CoSimulation;
-use crate::reports::CoSimReport;
+use crate::cosim::{cell_model_for, CoSimulation};
+use crate::reports::{CoSimReport, PolarizationOutcome};
 use crate::scenario::Scenario;
 use crate::sweeps::{parallel_map, sweep_workers};
 use crate::transient::{
@@ -57,13 +67,15 @@ use crate::transient::{
     TransientRequest,
 };
 use crate::CoreError;
+use bright_flowcell::{CellModel, SolverOptions};
 use bright_num::{Backend, KernelSpec};
 use bright_thermal::ThermalModel;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// One request the engine can serve: a steady co-simulation or a
-/// transient trace integration (see [`crate::transient`]).
+/// One request the engine can serve: a steady co-simulation, a
+/// transient trace integration (see [`crate::transient`]) or an
+/// electrochemical polarization sweep.
 #[derive(Debug, Clone)]
 pub enum ScenarioRequest {
     /// A steady operating point through the full co-simulation.
@@ -72,6 +84,160 @@ pub enum ScenarioRequest {
     /// operator/stepping compatibility and served over a segment-prefix
     /// tree with checkpoint branching.
     Transient(TransientRequest),
+    /// An electrochemical polarization sweep (flow-cell only), grouped
+    /// by cell-geometry pattern and served by cached, retargeted
+    /// [`CellModel`] workers with warm-bracketed voltage ladders.
+    Polarization(PolarizationRequest),
+}
+
+/// The flow-cell geometry fingerprint polarization requests are grouped
+/// by: requests with equal keys share one `GeometryContext` (transport
+/// grids, velocity model, duct solution), so one cached worker serves
+/// them all with in-place coefficient retargets.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellPatternKey {
+    /// Cross-stream cells per half-width.
+    pub ny: usize,
+    /// Marching stations.
+    pub nx: usize,
+    /// Velocity model discriminant (0 = plane Poiseuille, 1 = duct).
+    velocity_kind: u8,
+    /// Duct z-resolution (0 for plane Poiseuille).
+    velocity_nz: usize,
+    /// Product-tracking switch.
+    track_products: bool,
+    /// Contact ASR (bit pattern; keys only need equality).
+    contact_asr_bits: u64,
+}
+
+impl CellPatternKey {
+    /// The pattern key of a set of cell solver options.
+    #[must_use]
+    pub fn of(options: &SolverOptions) -> Self {
+        let (ny, nx, velocity_kind, velocity_nz) = options.geometry_fingerprint();
+        Self {
+            ny,
+            nx,
+            velocity_kind,
+            velocity_nz,
+            track_products: options.track_products,
+            contact_asr_bits: options.contact_asr.to_bits(),
+        }
+    }
+
+    /// Compact human-readable digest (for logs and reports).
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let vel = if self.velocity_kind == 0 {
+            "poiseuille".to_string()
+        } else {
+            format!("duct(nz {})", self.velocity_nz)
+        };
+        format!("cell {}x{} / {vel}", self.nx, self.ny)
+    }
+}
+
+/// An electrochemical polarization sweep request for the engine: the
+/// scenario fixes the cell geometry/options (the pattern) and the
+/// coefficients (per-channel flow, inlet temperature, channel count);
+/// `points` sets the voltage-ladder resolution.
+#[derive(Debug, Clone)]
+pub struct PolarizationRequest {
+    /// The operating point. Only the flow-cell side is exercised: cell
+    /// options, total flow, inlet temperature and channel count.
+    pub scenario: Scenario,
+    /// Points on the voltage ladder (≥ 2; the exact OCV point is
+    /// appended).
+    pub points: usize,
+}
+
+impl PolarizationRequest {
+    /// A request at the scenario's own `sweep_points` resolution.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        let points = scenario.sweep_points;
+        Self { scenario, points }
+    }
+
+    /// Validates the request.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] describing the first violated
+    /// rule.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.scenario.validate()?;
+        if self.points < 2 {
+            return Err(CoreError::InvalidScenario(
+                "polarization request needs at least 2 sweep points".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The engine's answer to one polarization request.
+#[derive(Debug, Clone)]
+pub struct PolarizationReport {
+    /// The id returned at submission.
+    pub request_id: u64,
+    /// Digest of the cell-pattern group the request was served in.
+    pub pattern: String,
+    /// True when the request was served by retargeting a cached worker
+    /// (its geometry context and operator storage were reused); false
+    /// when it paid for the cold build itself.
+    pub reused_context: bool,
+    /// The sweep outcome.
+    pub result: Result<PolarizationOutcome, CoreError>,
+}
+
+/// A report of any request kind, as returned by
+/// [`ScenarioEngine::run_all_pending`] (one shared submission-id
+/// space).
+// The steady variant is inline-larger than the others, but report
+// vectors are short-lived batch outputs, not bulk storage — boxing
+// would only complicate every match site.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum EngineReport {
+    /// A steady co-simulation report.
+    Steady(ScenarioReport),
+    /// A transient trace-integration report.
+    Transient(TransientReport),
+    /// An electrochemical polarization report.
+    Polarization(PolarizationReport),
+}
+
+impl EngineReport {
+    /// The submission id this report answers.
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        match self {
+            EngineReport::Steady(r) => r.request_id,
+            EngineReport::Transient(r) => r.request_id,
+            EngineReport::Polarization(r) => r.request_id,
+        }
+    }
+
+    /// The pattern digest of the group that served this report.
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        match self {
+            EngineReport::Steady(r) => &r.pattern,
+            EngineReport::Transient(r) => &r.pattern,
+            EngineReport::Polarization(r) => &r.pattern,
+        }
+    }
+
+    /// `true` when the underlying result is `Ok`.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        match self {
+            EngineReport::Steady(r) => r.result.is_ok(),
+            EngineReport::Transient(r) => r.result.is_ok(),
+            EngineReport::Polarization(r) => r.result.is_ok(),
+        }
+    }
 }
 
 /// The operator-pattern fingerprint requests are grouped by: scenarios
@@ -158,6 +324,14 @@ pub struct EngineStats {
     /// Request-segments served from a shared prefix node instead of
     /// being integrated again (`Σ_nodes requests_under_node − 1`).
     pub trace_segments_reused: u64,
+    /// Polarization requests served.
+    pub polarization_requests: u64,
+    /// Flow-cell workers built from scratch (one full cell solve
+    /// context — duct solution + operator factorizations — each).
+    pub cell_contexts_built: u64,
+    /// Polarization requests served by retargeting a cached cell worker
+    /// in place.
+    pub cell_context_reuses: u64,
     /// Kernel backend that served the most recent steady batch
     /// ([`Backend::Scalar`] before the first batch).
     pub kernel_backend: Backend,
@@ -193,12 +367,17 @@ struct GroupResult {
 #[derive(Debug, Default)]
 pub struct ScenarioEngine {
     workers: HashMap<PatternKey, CoSimulation>,
+    /// Cached flow-cell workers serving polarization requests, keyed by
+    /// cell-geometry pattern and retargeted in place between requests.
+    cell_workers: HashMap<CellPatternKey, CellModel>,
     /// Kernel-backend selection applied to every worker's sessions
     /// ([`KernelSpec::Auto`] by default).
     kernel: KernelSpec,
     queue: Vec<(u64, Scenario)>,
     /// Queued transient requests (separate queue, shared id space).
     transient_queue: Vec<(u64, TransientRequest)>,
+    /// Queued polarization requests (separate queue, shared id space).
+    polarization_queue: Vec<(u64, PolarizationRequest)>,
     /// Assembled thermal models cached across batches, keyed by
     /// operator identity (pattern + flow + inlet) — coarser than the
     /// serving groups, so dt/tolerance variants share one assembly.
@@ -234,14 +413,27 @@ impl ScenarioEngine {
         id
     }
 
-    /// Queues either kind of request ([`ScenarioRequest`]) and returns
-    /// its id. Steady requests are dispatched by
+    /// Queues a polarization sweep and returns its request id (shared
+    /// id space with [`ScenarioEngine::submit`]). Dispatched by
+    /// [`ScenarioEngine::run_pending_polarizations`].
+    pub fn submit_polarization(&mut self, request: PolarizationRequest) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.polarization_queue.push((id, request));
+        id
+    }
+
+    /// Queues any kind of request ([`ScenarioRequest`]) and returns its
+    /// id. Steady requests are dispatched by
     /// [`ScenarioEngine::run_pending`], transient ones by
-    /// [`ScenarioEngine::run_pending_transients`].
+    /// [`ScenarioEngine::run_pending_transients`], polarization ones by
+    /// [`ScenarioEngine::run_pending_polarizations`] — or everything at
+    /// once by [`ScenarioEngine::run_all_pending`].
     pub fn submit_request(&mut self, request: ScenarioRequest) -> u64 {
         match request {
             ScenarioRequest::Steady(s) => self.submit(s),
             ScenarioRequest::Transient(t) => self.submit_transient(t),
+            ScenarioRequest::Polarization(p) => self.submit_polarization(p),
         }
     }
 
@@ -257,10 +449,23 @@ impl ScenarioEngine {
         self.transient_queue.len()
     }
 
+    /// Number of queued, not-yet-dispatched polarization requests.
+    #[must_use]
+    pub fn pending_polarizations(&self) -> usize {
+        self.polarization_queue.len()
+    }
+
     /// Number of pattern workers (cached operator sets) currently held.
     #[must_use]
     pub fn cached_patterns(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of cached flow-cell workers (one per cell-geometry
+    /// pattern served so far).
+    #[must_use]
+    pub fn cached_cell_patterns(&self) -> usize {
+        self.cell_workers.len()
     }
 
     /// Engine-wide counters.
@@ -281,12 +486,14 @@ impl ScenarioEngine {
         }
     }
 
-    /// Drops all cached workers (operators, sessions, warm starts) and
-    /// cached transient thermal models; the next batch rebuilds on
-    /// demand. Queues and counters are unaffected.
+    /// Drops all cached workers (operators, sessions, warm starts),
+    /// cached transient thermal models and cached flow-cell workers;
+    /// the next batch rebuilds on demand. Queues and counters are
+    /// unaffected.
     pub fn evict_workers(&mut self) {
         self.workers.clear();
         self.transient_models.clear();
+        self.cell_workers.clear();
     }
 
     /// Convenience: submits every scenario, dispatches, and returns the
@@ -604,6 +811,189 @@ impl ScenarioEngine {
         reports.sort_unstable_by_key(|r| r.request_id);
         reports
     }
+
+    /// Convenience: submits every polarization request, dispatches, and
+    /// returns the reports in input order.
+    pub fn run_polarization_batch(
+        &mut self,
+        requests: impl IntoIterator<Item = PolarizationRequest>,
+    ) -> Vec<PolarizationReport> {
+        for r in requests {
+            self.submit_polarization(r);
+        }
+        self.run_pending_polarizations()
+    }
+
+    /// Dispatches every queued polarization request and returns their
+    /// reports in submission order.
+    ///
+    /// Requests are grouped by [`CellPatternKey`]; each group is served
+    /// serially by one cached [`CellModel`] worker whose solve context
+    /// is **retargeted in place** between requests (the duct velocity
+    /// solution and the factored transport operators survive every
+    /// flow/inlet/temperature move), with each sweep warm-bracketing
+    /// its voltage ladder. Distinct pattern groups fan out across the
+    /// sweep executor; workers persist for later batches.
+    pub fn run_pending_polarizations(&mut self) -> Vec<PolarizationReport> {
+        let queue = std::mem::take(&mut self.polarization_queue);
+        if queue.is_empty() {
+            return Vec::new();
+        }
+        self.stats.batches += 1;
+        self.stats.polarization_requests += queue.len() as u64;
+
+        // Validate up front: invalid requests report immediately and
+        // never join a group.
+        let mut reports: Vec<PolarizationReport> = Vec::new();
+        let mut order: Vec<CellPatternKey> = Vec::new();
+        let mut groups: HashMap<CellPatternKey, Vec<(u64, PolarizationRequest)>> = HashMap::new();
+        for (id, req) in queue {
+            if let Err(e) = req.validate() {
+                reports.push(PolarizationReport {
+                    request_id: id,
+                    pattern: CellPatternKey::of(&req.scenario.cell_options).digest(),
+                    reused_context: false,
+                    result: Err(e),
+                });
+                continue;
+            }
+            match groups.entry(CellPatternKey::of(&req.scenario.cell_options)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().push((id, req));
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(e.key().clone());
+                    e.insert(vec![(id, req)]);
+                }
+            }
+        }
+
+        struct CellJob {
+            key: CellPatternKey,
+            worker: Option<CellModel>,
+            requests: Vec<(u64, PolarizationRequest)>,
+        }
+        let jobs: Vec<Mutex<Option<CellJob>>> = order
+            .into_iter()
+            .map(|key| {
+                let requests = groups.remove(&key).expect("grouped above");
+                let worker = self.cell_workers.remove(&key);
+                Mutex::new(Some(CellJob {
+                    key,
+                    worker,
+                    requests,
+                }))
+            })
+            .collect();
+
+        let results = parallel_map(&jobs, |_, slot| {
+            let job = slot
+                .lock()
+                .expect("cell job mutex poisoned")
+                .take()
+                .expect("each job runs exactly once");
+            Self::run_polarization_group(job.key, job.worker, job.requests)
+        });
+
+        for (key, worker, group_reports, built, reused) in results {
+            if let Some(worker) = worker {
+                self.cell_workers.entry(key).or_insert(worker);
+            }
+            self.stats.cell_contexts_built += built;
+            self.stats.cell_context_reuses += reused;
+            reports.extend(group_reports);
+        }
+        reports.sort_unstable_by_key(|r| r.request_id);
+        reports
+    }
+
+    /// Serves one cell-pattern group serially, retargeting its worker
+    /// between requests.
+    #[allow(clippy::type_complexity)]
+    fn run_polarization_group(
+        key: CellPatternKey,
+        mut worker: Option<CellModel>,
+        requests: Vec<(u64, PolarizationRequest)>,
+    ) -> (
+        CellPatternKey,
+        Option<CellModel>,
+        Vec<PolarizationReport>,
+        u64,
+        u64,
+    ) {
+        let digest = key.digest();
+        let mut reports = Vec::with_capacity(requests.len());
+        let mut built = 0u64;
+        let mut reused = 0u64;
+        for (id, req) in requests {
+            let existed = worker.is_some();
+            let result = Self::serve_polarization(&mut worker, &req, &mut built);
+            // A failed retarget serves nothing, so it is not a reuse
+            // (mirroring the steady path's accounting).
+            let reused_context = existed && result.is_ok();
+            if reused_context {
+                reused += 1;
+            }
+            reports.push(PolarizationReport {
+                request_id: id,
+                pattern: digest.clone(),
+                reused_context,
+                result,
+            });
+        }
+        (key, worker, reports, built, reused)
+    }
+
+    /// Serves one polarization request from `worker`, building or
+    /// retargeting it as needed.
+    fn serve_polarization(
+        worker: &mut Option<CellModel>,
+        req: &PolarizationRequest,
+        built: &mut u64,
+    ) -> Result<PolarizationOutcome, CoreError> {
+        if let Some(w) = worker.as_mut() {
+            if let Err(e) = crate::cosim::retarget_cell_to(w, &req.scenario) {
+                // A half-retargeted worker is unsafe to keep: drop it
+                // so the next request rebuilds from its own scenario.
+                *worker = None;
+                return Err(e);
+            }
+        } else {
+            let w = cell_model_for(&req.scenario)?;
+            w.warm()?;
+            *built += 1;
+            *worker = Some(w);
+        }
+        let w = worker.as_ref().expect("built or retargeted above");
+        let curve = w
+            .polarization_curve(req.points)?
+            .scaled_parallel(req.scenario.channel_count);
+        Ok(PolarizationOutcome::from_curve(curve))
+    }
+
+    /// Dispatches **every** queued request — steady, transient and
+    /// polarization — and returns the merged reports in submission
+    /// order (the id space is shared, so a mixed batch interleaves
+    /// exactly as submitted).
+    pub fn run_all_pending(&mut self) -> Vec<EngineReport> {
+        let mut out: Vec<EngineReport> = self
+            .run_pending()
+            .into_iter()
+            .map(EngineReport::Steady)
+            .collect();
+        out.extend(
+            self.run_pending_transients()
+                .into_iter()
+                .map(EngineReport::Transient),
+        );
+        out.extend(
+            self.run_pending_polarizations()
+                .into_iter()
+                .map(EngineReport::Polarization),
+        );
+        out.sort_unstable_by_key(EngineReport::request_id);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -837,6 +1227,138 @@ mod tests {
             reports[1].result,
             Err(CoreError::InvalidScenario(_))
         ));
+    }
+
+    #[test]
+    fn polarization_batch_reuses_one_cell_context_and_matches_cold_sweeps() {
+        let mut engine = ScenarioEngine::new();
+        let mut requests = Vec::new();
+        for ml_min in [676.0, 300.0, 96.0] {
+            requests.push(PolarizationRequest::new(flow_scenario(ml_min)));
+        }
+        let mut warm_inlet = Scenario::power7_reduced();
+        warm_inlet.inlet_temperature = Kelvin::new(310.15);
+        requests.push(PolarizationRequest::new(warm_inlet));
+        let reports = engine.run_polarization_batch(requests.clone());
+        assert_eq!(reports.len(), 4);
+        for (k, report) in reports.iter().enumerate() {
+            assert_eq!(report.request_id, k as u64);
+            assert_eq!(report.reused_context, k > 0, "{report:?}");
+            let warm = report.result.as_ref().expect("sweep converges");
+            // The retargeted worker must match a cold model exactly:
+            // same context-construction arithmetic, so bitwise-equal
+            // curves.
+            let s = &requests[k].scenario;
+            let cold = crate::cosim::cell_model_for(s)
+                .unwrap()
+                .polarization_curve(requests[k].points)
+                .unwrap()
+                .scaled_parallel(s.channel_count);
+            assert_eq!(warm.curve, cold, "request {k} diverged from cold build");
+            assert!(warm.array_ocv.value() > 1.5);
+        }
+        // Lower flow, lower limiting current; warmer inlet, more
+        // current at 1 V.
+        let i = |k: usize| {
+            reports[k]
+                .result
+                .as_ref()
+                .unwrap()
+                .curve
+                .limiting_current()
+                .value()
+        };
+        assert!(i(0) > i(1) && i(1) > i(2), "{} {} {}", i(0), i(1), i(2));
+        let stats = engine.stats();
+        assert_eq!(stats.polarization_requests, 4);
+        assert_eq!(stats.cell_contexts_built, 1, "one pattern, one cold build");
+        assert_eq!(stats.cell_context_reuses, 3);
+        assert_eq!(engine.cached_cell_patterns(), 1);
+
+        // A second batch reuses the cached worker outright.
+        let reports = engine.run_polarization_batch([PolarizationRequest::new(
+            flow_scenario(500.0),
+        )]);
+        assert!(reports[0].reused_context);
+        assert_eq!(engine.stats().cell_contexts_built, 1);
+
+        // The worker's own telemetry shows the geometry/operator reuse.
+        let worker = engine.cell_workers.values().next().expect("cached worker");
+        let cell_stats = worker.context_stats();
+        assert_eq!(cell_stats.geometry_builds, 1, "{cell_stats:?}");
+        assert_eq!(cell_stats.op_builds, 2, "{cell_stats:?}");
+        assert!(cell_stats.coefficient_refreshes >= 4, "{cell_stats:?}");
+
+        engine.evict_workers();
+        assert_eq!(engine.cached_cell_patterns(), 0);
+    }
+
+    #[test]
+    fn invalid_polarization_requests_fail_individually() {
+        let mut engine = ScenarioEngine::new();
+        let mut bad = PolarizationRequest::new(flow_scenario(400.0));
+        bad.points = 1;
+        let reports = engine.run_polarization_batch([
+            PolarizationRequest::new(flow_scenario(676.0)),
+            bad,
+        ]);
+        assert!(reports[0].result.is_ok());
+        assert!(matches!(
+            reports[1].result,
+            Err(CoreError::InvalidScenario(_))
+        ));
+        assert!(!reports[1].reused_context);
+    }
+
+    #[test]
+    fn mixed_batch_returns_reports_in_submission_order() {
+        use crate::transient::{LoadStep, SteppingMode, TransientRequest};
+        use bright_floorplan::PowerScenario;
+
+        let transient = TransientRequest {
+            scenario: Scenario::power7_reduced(),
+            trace: vec![LoadStep {
+                duration: 0.01,
+                load: PowerScenario::full_load(),
+            }],
+            initial_temperature: Kelvin::new(300.0),
+            stepping: SteppingMode::Fixed { dt: 2e-3 },
+        };
+        let mut engine = ScenarioEngine::new();
+        let ids = [
+            engine.submit_request(ScenarioRequest::Polarization(PolarizationRequest::new(
+                flow_scenario(676.0),
+            ))),
+            engine.submit_request(ScenarioRequest::Steady(flow_scenario(400.0))),
+            engine.submit_request(ScenarioRequest::Transient(transient.clone())),
+            engine.submit_request(ScenarioRequest::Steady(flow_scenario(120.0))),
+            engine.submit_request(ScenarioRequest::Polarization(PolarizationRequest::new(
+                flow_scenario(200.0),
+            ))),
+            engine.submit_request(ScenarioRequest::Transient(transient)),
+        ];
+        assert_eq!(engine.pending(), 2);
+        assert_eq!(engine.pending_transients(), 2);
+        assert_eq!(engine.pending_polarizations(), 2);
+        let reports = engine.run_all_pending();
+        assert_eq!(engine.pending(), 0);
+        assert_eq!(engine.pending_transients(), 0);
+        assert_eq!(engine.pending_polarizations(), 0);
+        let got: Vec<u64> = reports.iter().map(EngineReport::request_id).collect();
+        assert_eq!(got, ids.to_vec(), "submission order must survive the merge");
+        assert!(reports.iter().all(EngineReport::is_ok));
+        // Each slot came back as its own kind.
+        assert!(matches!(reports[0], EngineReport::Polarization(_)));
+        assert!(matches!(reports[1], EngineReport::Steady(_)));
+        assert!(matches!(reports[2], EngineReport::Transient(_)));
+        assert!(matches!(reports[3], EngineReport::Steady(_)));
+        assert!(matches!(reports[4], EngineReport::Polarization(_)));
+        assert!(matches!(reports[5], EngineReport::Transient(_)));
+        assert!(!reports[0].pattern().is_empty());
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.transient_requests, 2);
+        assert_eq!(stats.polarization_requests, 2);
     }
 
     #[test]

@@ -49,8 +49,11 @@ pub mod sweeps;
 pub mod transient;
 
 pub use cosim::CoSimulation;
-pub use engine::{EngineStats, ScenarioEngine, ScenarioReport, ScenarioRequest};
-pub use reports::CoSimReport;
+pub use engine::{
+    CellPatternKey, EngineReport, EngineStats, PolarizationReport, PolarizationRequest,
+    ScenarioEngine, ScenarioReport, ScenarioRequest,
+};
+pub use reports::{CoSimReport, PolarizationOutcome};
 pub use scenario::Scenario;
 pub use transient::{
     LoadStep, SteppingMode, TransientOutcome, TransientReport, TransientRequest,

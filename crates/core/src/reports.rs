@@ -284,6 +284,84 @@ impl CoSimReport {
     }
 }
 
+/// What a served electrochemical polarization request produced: the
+/// array-scaled curve plus its headline figures (the Fig. 7 quantities).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolarizationOutcome {
+    /// Array polarization curve (per-channel sweep scaled to the
+    /// scenario's channel count in parallel).
+    pub curve: PolarizationCurve,
+    /// Zero-current intercept.
+    pub array_ocv: Volt,
+    /// Maximum-power point of the curve.
+    pub max_power: PolarizationPoint,
+    /// Interpolated current at the 1.0 V supply point (`None` when the
+    /// curve does not reach 1 V).
+    pub current_at_1v: Option<Ampere>,
+}
+
+impl PolarizationOutcome {
+    /// Derives the outcome from an array-scaled curve.
+    #[must_use]
+    pub fn from_curve(curve: PolarizationCurve) -> Self {
+        Self {
+            array_ocv: curve.open_circuit_voltage(),
+            max_power: curve.max_power_point(),
+            current_at_1v: curve.current_at_voltage(1.0),
+            curve,
+        }
+    }
+
+    /// The outcome as a JSON value tree.
+    pub fn to_json(&self) -> Value {
+        Value::object([
+            ("curve".into(), curve_to_json(&self.curve)),
+            ("array_ocv".into(), Value::Number(self.array_ocv.value())),
+            (
+                "max_power".into(),
+                Value::object([
+                    ("voltage".into(), Value::Number(self.max_power.voltage.value())),
+                    ("current".into(), Value::Number(self.max_power.current.value())),
+                    ("power".into(), Value::Number(self.max_power.power.value())),
+                ]),
+            ),
+            (
+                "current_at_1v".into(),
+                match self.current_at_1v {
+                    Some(i) => Value::Number(i.value()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Rebuilds an outcome from its JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] for missing/mistyped fields.
+    pub fn from_json(v: &Value) -> Result<Self, CoreError> {
+        let mp = v.get("max_power").ok_or_else(|| report_err("max_power"))?;
+        let current_at_1v = match v.get("current_at_1v") {
+            None => return Err(report_err("current_at_1v")),
+            Some(Value::Null) => None,
+            Some(i) => Some(Ampere::new(
+                i.as_f64().ok_or_else(|| report_err("current_at_1v"))?,
+            )),
+        };
+        Ok(Self {
+            curve: curve_from_json(v.get("curve").ok_or_else(|| report_err("curve"))?)?,
+            array_ocv: Volt::new(num_field(v, "array_ocv")?),
+            max_power: PolarizationPoint {
+                voltage: Volt::new(num_field(mp, "voltage")?),
+                current: Ampere::new(num_field(mp, "current")?),
+                power: Watt::new(num_field(mp, "power")?),
+            },
+            current_at_1v,
+        })
+    }
+}
+
 impl OperatingPoint {
     /// The operating point as a JSON value.
     pub fn to_json(&self) -> Value {
@@ -455,6 +533,35 @@ mod tests {
         assert!(t.lines().count() >= 9);
         let v = r.render_voltage_map(16, 8);
         assert!(v.contains("scale:"));
+    }
+
+    #[test]
+    fn polarization_outcome_roundtrips() {
+        let outcome = PolarizationOutcome::from_curve(dummy_report().polarization);
+        assert_eq!(outcome.array_ocv.value(), 1.6);
+        assert!((outcome.current_at_1v.unwrap().value() - 4.0).abs() < 1e-12);
+        let back = PolarizationOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back, outcome);
+        // A curve stopping above 1 V yields a None crossing that
+        // survives the roundtrip.
+        let short = PolarizationCurve::new(vec![
+            PolarizationPoint {
+                voltage: Volt::new(1.6),
+                current: Ampere::new(0.0),
+                power: Watt::new(0.0),
+            },
+            PolarizationPoint {
+                voltage: Volt::new(1.4),
+                current: Ampere::new(1.0),
+                power: Watt::new(1.4),
+            },
+        ])
+        .unwrap();
+        let outcome = PolarizationOutcome::from_curve(short);
+        assert!(outcome.current_at_1v.is_none());
+        let back = PolarizationOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(back, outcome);
+        assert!(PolarizationOutcome::from_json(&Value::object([])).is_err());
     }
 
     #[test]

@@ -132,6 +132,14 @@ impl Scenario {
         }
     }
 
+    /// The per-channel share of the total flow — the coefficient the
+    /// flow-cell template (and the engine's polarization workers) run
+    /// at.
+    #[must_use]
+    pub fn per_channel_flow(&self) -> CubicMetersPerSecond {
+        self.total_flow / self.channel_count as f64
+    }
+
     /// Validates the scenario.
     ///
     /// # Errors

@@ -109,6 +109,26 @@ pub fn run_transients(
         .collect()
 }
 
+/// Runs many electrochemical polarization sweeps — the companion of
+/// [`run_scenarios`] for flow-cell-only ablations (flow, inlet
+/// chemistry, temperature).
+///
+/// Routed through a [`crate::engine::ScenarioEngine`]: requests sharing
+/// a cell-geometry pattern are served by one cached worker whose solve
+/// context is retargeted in place per point (one duct solve and one set
+/// of transport-operator factorizations for the whole batch).
+#[must_use]
+pub fn run_polarizations(
+    requests: &[crate::engine::PolarizationRequest],
+) -> Vec<Result<crate::reports::PolarizationOutcome, CoreError>> {
+    let mut engine = crate::engine::ScenarioEngine::new();
+    engine
+        .run_polarization_batch(requests.iter().cloned())
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
 /// One row of a power-density sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerDensityRow {

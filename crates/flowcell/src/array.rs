@@ -97,18 +97,42 @@ impl CellArray {
         self
     }
 
-    /// The cached per-channel models, built on first use.
+    /// The cached per-channel models, built on first use. The duct
+    /// velocity profile is solved **once** on the template and shared by
+    /// every per-temperature channel model (temperature is a
+    /// coefficient; the geometry context survives it) — and because the
+    /// template keeps its context across
+    /// [`CellArray::with_channel_temperatures`], it is shared across
+    /// temperature-variant arrays too.
     fn channel_models(&self) -> Result<&[CellModel], FlowCellError> {
         let models = bright_num::lazy::get_or_try_init(&self.models, || {
             match &self.per_channel_temperatures {
                 None => Ok(vec![self.template.clone()]),
-                Some(temps) => temps
-                    .iter()
-                    .map(|t| self.template.with_temperature(t.clone()))
-                    .collect::<Result<Vec<_>, _>>(),
+                Some(temps) => {
+                    self.template.warm_geometry()?;
+                    temps
+                        .iter()
+                        .map(|t| self.template.with_temperature(t.clone()))
+                        .collect::<Result<Vec<_>, _>>()
+                }
             }
         })?;
         Ok(models)
+    }
+
+    /// Number of **distinct** built geometry contexts (duct solutions)
+    /// across the template and every cached per-channel model. Stays at
+    /// 1 however many per-channel temperature variants are solved — the
+    /// observable form of the shared duct solution.
+    #[must_use]
+    pub fn distinct_geometry_contexts(&self) -> usize {
+        let mut ptrs: Vec<usize> = std::iter::once(&self.template)
+            .chain(self.models.get().into_iter().flatten())
+            .filter_map(CellModel::geometry_ptr)
+            .collect();
+        ptrs.sort_unstable();
+        ptrs.dedup();
+        ptrs.len()
     }
 
     /// Total array current at a terminal voltage.
@@ -316,6 +340,58 @@ mod tests {
         // Errors propagate from worker threads too.
         let err = map_channels_with_workers(&models, 3, |m| m.solve_at_voltage(-1.0).map(|_| ()));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn per_channel_models_share_one_duct_solution() {
+        use crate::options::{SolverOptions, VelocityModel};
+        use crate::CellGeometry;
+        use bright_echem::vanadium;
+        use bright_flow::RectChannel;
+        use bright_units::{CubicMetersPerSecond, Meters};
+
+        let channel = RectChannel::new(
+            Meters::from_micrometers(200.0),
+            Meters::from_micrometers(400.0),
+            Meters::from_millimeters(22.0),
+        )
+        .unwrap();
+        let template = CellModel::new(
+            CellGeometry::new(channel),
+            vanadium::power7_cell_chemistry(),
+            CubicMetersPerSecond::from_milliliters_per_minute(7.68),
+            TemperatureProfile::Uniform(Kelvin::new(300.0)),
+            SolverOptions {
+                ny: 16,
+                nx: 40,
+                velocity: VelocityModel::Duct { nz: 8 },
+                ..SolverOptions::default()
+            },
+        )
+        .unwrap();
+        let temps = |base: f64| -> Vec<TemperatureProfile> {
+            (0..5)
+                .map(|k| TemperatureProfile::Uniform(Kelvin::new(base + k as f64)))
+                .collect()
+        };
+        let array = CellArray::new(template, 5)
+            .unwrap()
+            .with_channel_temperatures(temps(300.0))
+            .unwrap();
+        array.solve_at_voltage(1.0).unwrap();
+        assert_eq!(
+            array.distinct_geometry_contexts(),
+            1,
+            "all channels must ride one duct solution"
+        );
+        // A temperature-variant array built from the same (already
+        // solved) array keeps sharing the template's duct solution.
+        let variant = array.clone().with_channel_temperatures(temps(305.0)).unwrap();
+        variant.solve_at_voltage(1.0).unwrap();
+        assert_eq!(variant.distinct_geometry_contexts(), 1);
+        assert!(variant
+            .template()
+            .shares_geometry_with(array.template()));
     }
 
     #[test]

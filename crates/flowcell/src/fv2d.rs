@@ -242,6 +242,58 @@ mod tests {
     }
 
     #[test]
+    fn refreshed_transport_op_matches_full_solver() {
+        // The in-place coefficient refresh must leave the marching
+        // discretization agreeing with the full elliptic solve exactly
+        // as a cold-built operator does: start from deliberately wrong
+        // coefficients, refresh to the real ones, and run the same
+        // high-Péclet comparison as `matches_marching_solver_at_high_peclet`.
+        use crate::transport::TransportOp;
+
+        let ny = 48;
+        let nx = 120;
+        let q = 4e-3;
+        let d = 1.26e-10;
+        let velocity = vec![1.5; ny];
+        let dx = 22e-3 / nx as f64;
+        let dy = 100e-6 / ny as f64;
+
+        let full = FullTransportSolution::solve(
+            100e-6,
+            22e-3,
+            &velocity,
+            nx,
+            d,
+            2000.0,
+            &vec![q; nx],
+        )
+        .unwrap();
+
+        let wrong: Vec<f64> = velocity.iter().map(|u| u * 0.1).collect();
+        let mut op = TransportOp::new(&wrong, dx * 2.0, dy, d * 10.0).unwrap();
+        op.refresh(&velocity, dx, dy, d).unwrap();
+
+        let mut marcher =
+            HalfCellMarcher::new(100e-6, 22e-3, nx, velocity, 2000.0, 1.0).unwrap();
+        let mut march_wall = Vec::with_capacity(nx);
+        for _ in 0..nx {
+            marcher.prepare_with(&op).unwrap();
+            marcher.commit(q);
+            march_wall.push(marcher.reactant()[0]);
+        }
+        let full_wall = full.wall_profile();
+        for &i in &[nx / 2, nx - 1] {
+            let dep_full = 2000.0 - full_wall[i];
+            let dep_march = 2000.0 - march_wall[i];
+            let rel = (dep_full - dep_march).abs() / dep_full.max(1e-12);
+            assert!(
+                rel < 0.08,
+                "station {i}: full {dep_full:.2} vs march {dep_march:.2} ({rel:.3})"
+            );
+        }
+    }
+
+    #[test]
     fn mass_balance_of_full_solver() {
         let ny = 32;
         let nx = 60;

@@ -48,6 +48,21 @@ impl Default for SolverOptions {
 }
 
 impl SolverOptions {
+    /// The geometry fingerprint of these options: `(ny, nx, velocity
+    /// kind, duct nz)`. Two option sets with equal fingerprints build
+    /// identical flow-cell geometry contexts (same transport grids and
+    /// normalized velocity shape), so their models can share one duct
+    /// solution — this is what the engine's `CellPatternKey` groups
+    /// polarization requests by.
+    #[must_use]
+    pub fn geometry_fingerprint(&self) -> (usize, usize, u8, usize) {
+        let (kind, nz) = match self.velocity {
+            VelocityModel::PlanePoiseuille => (0, 0),
+            VelocityModel::Duct { nz } => (1, nz),
+        };
+        (self.ny, self.nx, kind, nz)
+    }
+
     /// Validates the discretization parameters.
     ///
     /// # Errors
@@ -157,6 +172,27 @@ mod tests {
     #[test]
     fn default_options_validate() {
         assert!(SolverOptions::default().validate().is_ok());
+    }
+
+    #[test]
+    fn geometry_fingerprint_tracks_grid_and_velocity_only() {
+        let base = SolverOptions::default();
+        let mut same_geometry = base.clone();
+        same_geometry.track_products = false;
+        same_geometry.contact_asr = 1e-3;
+        assert_eq!(base.geometry_fingerprint(), same_geometry.geometry_fingerprint());
+        let mut finer = base.clone();
+        finer.ny += 1;
+        assert_ne!(base.geometry_fingerprint(), finer.geometry_fingerprint());
+        let mut poiseuille = base.clone();
+        poiseuille.velocity = VelocityModel::PlanePoiseuille;
+        assert_ne!(base.geometry_fingerprint(), poiseuille.geometry_fingerprint());
+        let mut coarser_duct = base;
+        coarser_duct.velocity = VelocityModel::Duct { nz: 2 };
+        assert_ne!(
+            coarser_duct.geometry_fingerprint(),
+            SolverOptions::default().geometry_fingerprint()
+        );
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct TransportOp {
     d: f64,
     dy: f64,
     dx: f64,
+    // Band scratch reused across refreshes (the operator's "symbolic"
+    // structure: sized storage that survives coefficient changes).
+    lower: Vec<f64>,
+    diag: Vec<f64>,
+    upper: Vec<f64>,
 }
 
 impl TransportOp {
@@ -91,44 +96,89 @@ impl TransportOp {
     /// diffusivity and [`FlowCellError::Numerical`] if the factorization
     /// fails.
     pub fn new(velocity: &[f64], dx: f64, dy: f64, d: f64) -> Result<Self, FlowCellError> {
+        let ny = velocity.len();
+        let mut op = Self {
+            fac: TridiagonalFactorization::factor(
+                &vec![0.0; ny.saturating_sub(1)],
+                &vec![1.0; ny.max(1)],
+                &vec![0.0; ny.saturating_sub(1)],
+            )
+            .map_err(FlowCellError::from)?,
+            sensitivity: vec![0.0; ny],
+            sens_surface: 0.0,
+            d,
+            dy,
+            dx,
+            lower: vec![0.0; ny.saturating_sub(1)],
+            diag: vec![0.0; ny],
+            upper: vec![0.0; ny.saturating_sub(1)],
+        };
+        op.refresh(velocity, dx, dy, d)?;
+        Ok(op)
+    }
+
+    /// Re-stamps and re-eliminates the operator **in place** for new
+    /// coefficient values (velocity scaling, grid spacings, diffusivity)
+    /// on the same cross-stream grid. No allocation: the band storage
+    /// and the factorization buffers survive. The arithmetic is the same
+    /// as [`TransportOp::new`], so a refreshed operator is bitwise-equal
+    /// to a freshly built one — the flow-cell counterpart of
+    /// `CsrSymbolic::refresh_values` on the thermal side.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowCellError::InvalidConfig`] for a non-positive diffusivity
+    ///   or a velocity profile of a different length,
+    /// * [`FlowCellError::Numerical`] if the re-elimination fails (the
+    ///   operator must then be refreshed again before use).
+    pub fn refresh(
+        &mut self,
+        velocity: &[f64],
+        dx: f64,
+        dy: f64,
+        d: f64,
+    ) -> Result<(), FlowCellError> {
         if !d.is_finite() || d <= 0.0 {
             return Err(FlowCellError::InvalidConfig(format!(
                 "diffusivity must be positive, got {d}"
             )));
         }
-        let ny = velocity.len();
+        let ny = self.sensitivity.len();
+        if velocity.len() != ny {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "velocity profile has {} cells for an operator sized {ny}",
+                velocity.len()
+            )));
+        }
         let w = d / (dy * dy);
-        let mut lower = vec![0.0; ny.saturating_sub(1)];
-        let mut upper = vec![0.0; ny.saturating_sub(1)];
-        let mut diag = vec![0.0; ny];
-        for j in 0..ny {
-            let adv = velocity[j] / dx;
+        for (j, u) in velocity.iter().enumerate() {
+            let adv = u / dx;
             let mut dj = adv;
             if j > 0 {
-                lower[j - 1] = -w;
+                self.lower[j - 1] = -w;
                 dj += w;
             }
             if j + 1 < ny {
-                upper[j] = -w;
+                self.upper[j] = -w;
                 dj += w;
             }
-            diag[j] = dj;
+            self.diag[j] = dj;
         }
-        let fac =
-            TridiagonalFactorization::factor(&lower, &diag, &upper).map_err(FlowCellError::from)?;
-        let mut sensitivity = vec![0.0; ny];
-        sensitivity[0] = 1.0 / dy;
-        fac.solve_in_place(&mut sensitivity)
+        self.fac
+            .refactor(&self.lower, &self.diag, &self.upper)
             .map_err(FlowCellError::from)?;
-        let sens_surface = sensitivity[0] + dy / (2.0 * d);
-        Ok(Self {
-            fac,
-            sensitivity,
-            sens_surface,
-            d,
-            dy,
-            dx,
-        })
+        for s in self.sensitivity.iter_mut() {
+            *s = 0.0;
+        }
+        self.sensitivity[0] = 1.0 / dy;
+        self.fac
+            .solve_in_place(&mut self.sensitivity)
+            .map_err(FlowCellError::from)?;
+        self.sens_surface = self.sensitivity[0] + dy / (2.0 * d);
+        self.d = d;
+        self.dy = dy;
+        self.dx = dx;
+        Ok(())
     }
 
     /// The diffusivity this operator was built for.
@@ -558,6 +608,31 @@ mod tests {
         for (ca, cb) in a.reactant().iter().zip(b.reactant()) {
             assert!((ca - cb).abs() < 1e-6, "{ca} vs {cb}");
         }
+    }
+
+    #[test]
+    fn refreshed_op_matches_fresh_build_bitwise() {
+        // A refreshed operator must be indistinguishable from one built
+        // cold at the new coefficients: same factorization, same
+        // sensitivity, same marching behaviour.
+        let dx = 22e-3 / 60.0;
+        let dy = 100e-6 / 48.0;
+        let slow: Vec<f64> = (0..48).map(|j| 0.8 + 0.01 * j as f64).collect();
+        let fast: Vec<f64> = slow.iter().map(|u| u * 2.5).collect();
+        let mut op = TransportOp::new(&slow, dx, dy, 1.26e-10).unwrap();
+        // Flow change (velocity rescale), then a diffusivity change.
+        for (v, d) in [(&fast, 1.26e-10), (&slow, 4.13e-10)] {
+            op.refresh(v, dx, dy, d).unwrap();
+            let fresh = TransportOp::new(v, dx, dy, d).unwrap();
+            assert_eq!(op.fac, fresh.fac);
+            assert_eq!(op.sensitivity, fresh.sensitivity);
+            assert_eq!(op.sens_surface.to_bits(), fresh.sens_surface.to_bits());
+            assert_eq!(op.diffusivity(), d);
+        }
+        // Wrong-sized profiles and bad diffusivities are rejected.
+        assert!(op.refresh(&slow[..20], dx, dy, 1e-10).is_err());
+        assert!(op.refresh(&slow, dx, dy, 0.0).is_err());
+        assert!(op.refresh(&slow, dx, dy, f64::NAN).is_err());
     }
 
     #[test]

@@ -3,17 +3,21 @@
 //! paper's conclusion describes), plus the dark-silicon framing — what
 //! fraction of the cache demand each design point covers.
 //!
-//! The closing section sweeps the *coupled* system (flow rate and inlet
-//! temperature against peak die temperature) through the batched
-//! [`ScenarioEngine`]: every ablation point shares one cached thermal
-//! operator whose coefficients are re-stamped in place — no per-point
-//! model rebuilds.
+//! The polarization ablations (flow and temperature) route through the
+//! batched [`ScenarioEngine`] as [`ScenarioRequest::Polarization`]
+//! requests: every point shares one cached flow-cell worker whose
+//! geometry context (velocity solution, transport-operator storage)
+//! survives the coefficient retargets — no per-point model rebuilds,
+//! mirroring how the coupled flow/inlet ablation below shares one
+//! thermal operator.
 //!
 //! Run with: `cargo run --release --example design_space`
 
-use bright_silicon::core::engine::ScenarioEngine;
+use bright_silicon::core::engine::{PolarizationRequest, ScenarioEngine};
 use bright_silicon::core::{sweeps, Scenario};
 use bright_silicon::floorplan::power7;
+use bright_silicon::flowcell::options::VelocityModel;
+use bright_silicon::flowcell::SolverOptions;
 use bright_silicon::units::{CubicMetersPerSecond, Kelvin};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,31 +45,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nflow sweep at the Table II geometry:");
+    // One engine serves every ablation below: the polarization batches
+    // share a cached flow-cell worker, the coupled batch a cached
+    // thermal/PDN worker.
+    let mut engine = ScenarioEngine::new();
+    let sweep_request = |f: &dyn Fn(&mut Scenario)| {
+        let mut s = Scenario::power7_nominal();
+        s.cell_options = SolverOptions {
+            ny: 40,
+            nx: 120,
+            velocity: VelocityModel::PlanePoiseuille,
+            ..SolverOptions::default()
+        };
+        f(&mut s);
+        PolarizationRequest {
+            scenario: s,
+            points: 14,
+        }
+    };
+
+    println!("\nflow sweep at the Table II geometry (engine-batched):");
     println!("  Q (uL/min)   P (W/cm2)   array W   x demand");
-    for row in sweeps::flow_sweep(&[400.0, 1600.0, 7681.8, 30000.0], Kelvin::new(300.0))? {
-        let array_w = row.peak_power_density_w_cm2 * electrode_cm2_per_channel * channels;
+    let flows = [400.0, 1600.0, 7681.8, 30000.0];
+    let reports = engine.run_polarization_batch(flows.iter().map(|&ul_min| {
+        sweep_request(&move |s: &mut Scenario| {
+            s.total_flow =
+                CubicMetersPerSecond::from_microliters_per_minute(ul_min * s.channel_count as f64);
+        })
+    }));
+    for (&ul_min, report) in flows.iter().zip(reports) {
+        let outcome = report.result?;
+        let array_w = outcome.max_power.power.value();
         println!(
             "  {:>10.0}   {:>9.3}   {:>7.2}   {:>7.2}",
-            row.flow_ul_min,
-            row.peak_power_density_w_cm2,
+            ul_min,
+            array_w / (electrode_cm2_per_channel * channels),
             array_w,
             array_w / cache_demand_w
         );
     }
 
-    println!("\ntemperature sweep (the 'hot chips help' effect):");
+    println!("\ntemperature sweep (the 'hot chips help' effect, engine-batched):");
     println!("  T (degC)   P (W/cm2)   array W   x demand");
-    for row in sweeps::temperature_sweep(&[290.0, 300.0, 310.0, 320.0, 330.0])? {
-        let array_w = row.peak_power_density_w_cm2 * electrode_cm2_per_channel * channels;
+    let temps_k = [290.0, 300.0, 310.0, 320.0, 330.0];
+    let reports = engine.run_polarization_batch(temps_k.iter().map(|&t| {
+        sweep_request(&move |s: &mut Scenario| {
+            s.inlet_temperature = Kelvin::new(t);
+        })
+    }));
+    for (&t, report) in temps_k.iter().zip(reports) {
+        let outcome = report.result?;
+        let array_w = outcome.max_power.power.value();
         println!(
             "  {:>8.1}   {:>9.3}   {:>7.2}   {:>7.2}",
-            row.temperature_k - 273.15,
-            row.peak_power_density_w_cm2,
+            t - 273.15,
+            array_w / (electrode_cm2_per_channel * channels),
             array_w,
             array_w / cache_demand_w
         );
     }
+    let stats = engine.stats();
+    println!(
+        "  engine: {} polarization requests, {} cell context build(s), {} reuse(s)",
+        stats.polarization_requests, stats.cell_contexts_built, stats.cell_context_reuses
+    );
 
     println!(
         "\nreading: every design point covers the cache rail several times \
@@ -73,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the gap the paper's outlook describes."
     );
 
-    // Coupled flow-rate / inlet-temperature ablation through the batched
+    // Coupled flow-rate / inlet-temperature ablation through the same
     // engine: one thermal operator assembly serves every point below
     // (coefficients are refreshed in place between requests).
     let mut points: Vec<Scenario> = Vec::new();
@@ -87,7 +130,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.inlet_temperature = Kelvin::new(273.15 + inlet_c);
         points.push(s);
     }
-    let mut engine = ScenarioEngine::new();
     let reports = engine.run_batch(points.iter().cloned());
     println!("\ncoupled flow/inlet ablation (batched engine, reduced grid):");
     println!("  Q (ml/min)   T_in (degC)   peak (degC)   boost (%)");
@@ -103,7 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let stats = engine.stats();
     println!(
-        "  engine: {} requests, {} operator build(s), {} reuse(s)",
+        "  engine: {} steady requests, {} operator build(s), {} reuse(s)",
         stats.requests, stats.operators_built, stats.operator_reuses
     );
     Ok(())
