@@ -143,6 +143,21 @@ impl CoSimulation {
         self.pdn_session.stats()
     }
 
+    /// Digest of the recovery rungs that produced the most recent
+    /// thermal/PDN solves, or `None` when both were clean first
+    /// attempts. Each session resets its rung on every clean solve, so
+    /// a stale recovery never leaks into a later request's report.
+    pub(crate) fn recovery_digest(&self) -> Option<String> {
+        let thermal = self.thermal_session.last_recovery().describe();
+        let pdn = self.pdn_session.last_recovery().describe();
+        match (thermal, pdn) {
+            (None, None) => None,
+            (Some(t), None) => Some(format!("thermal: {t}")),
+            (None, Some(p)) => Some(format!("pdn: {p}")),
+            (Some(t), Some(p)) => Some(format!("thermal: {t}; pdn: {p}")),
+        }
+    }
+
     /// The cached thermal model, built on first use.
     fn thermal_model(&self) -> Result<&ThermalModel, CoreError> {
         bright_num::lazy::get_or_try_init(&self.thermal, || thermal_model_for(&self.scenario))

@@ -187,6 +187,12 @@ pub struct PolarizationReport {
     /// (its geometry context and operator storage were reused); false
     /// when it paid for the cold build itself.
     pub reused_context: bool,
+    /// Recovery digest, mirroring
+    /// [`ScenarioReport::degraded`]. Polarization sweeps solve through
+    /// direct factorizations (no iterative sessions, hence no recovery
+    /// ladder), so this is currently always `None`; the field exists so
+    /// mixed batches expose one uniform degradation surface.
+    pub degraded: Option<String>,
     /// The sweep outcome.
     pub result: Result<PolarizationOutcome, CoreError>,
 }
@@ -301,6 +307,12 @@ pub struct ScenarioReport {
     /// `"scalar"`, `"blocked"`, `"threaded(8)"`; empty when the
     /// request failed before any solve).
     pub kernel: String,
+    /// `Some(digest)` when the answer was produced by a session
+    /// recovery rung instead of a clean first attempt (e.g.
+    /// `"thermal: precond-fallback(jacobi)"` — see
+    /// `docs/ROBUSTNESS.md`); `None` for clean solves and for failed
+    /// requests.
+    pub degraded: Option<String>,
     /// The co-simulation outcome.
     pub result: Result<CoSimReport, CoreError>,
 }
@@ -338,6 +350,20 @@ pub struct EngineStats {
     /// Kernel-pool worker count behind that backend (1 for the
     /// single-threaded backends).
     pub kernel_threads: u32,
+    /// Session solves (thermal + PDN, plus transient integrations) that
+    /// succeeded only after the recovery ladder intervened (see
+    /// `docs/ROBUSTNESS.md`).
+    pub recovered_solves: u64,
+    /// Adaptive dt-halving retries transient integrations took after
+    /// solver failures ([`bright_thermal::AdaptiveStats::solver_retries`]).
+    pub solver_retries: u64,
+    /// Cached workers/models dropped because a request they served
+    /// panicked or failed — the next request of the pattern rebuilds
+    /// from scratch instead of trusting suspect state.
+    pub quarantined_workers: u64,
+    /// Requests whose serving code panicked. Each became a per-request
+    /// [`CoreError::WorkerPanic`] while the rest of the batch completed.
+    pub panicked_requests: u64,
 }
 
 /// One pattern group's slice of a batch, plus the worker serving it
@@ -356,6 +382,12 @@ struct GroupResult {
     reports: Vec<ScenarioReport>,
     built: u64,
     reused: u64,
+    /// Session solves that succeeded through the recovery ladder.
+    recovered: u64,
+    /// Workers dropped after a panicking or failing serve.
+    quarantined: u64,
+    /// Requests that panicked (each reported as `WorkerPanic`).
+    panicked: u64,
     /// Kernel path of this group's last served request, tagged with the
     /// highest request id so the batch-level stats pick a deterministic
     /// winner (groups come back in arbitrary executor order).
@@ -591,6 +623,9 @@ impl ScenarioEngine {
             }
             self.stats.operators_built += r.built;
             self.stats.operator_reuses += r.reused;
+            self.stats.recovered_solves += r.recovered;
+            self.stats.quarantined_workers += r.quarantined;
+            self.stats.panicked_requests += r.panicked;
             if let Some((id, backend, threads)) = r.kernel {
                 // Deterministic across executor scheduling: the group
                 // holding the most recently submitted solved request
@@ -623,30 +658,70 @@ impl ScenarioEngine {
         let mut reports = Vec::with_capacity(requests.len());
         let mut built = 0u64;
         let mut reused = 0u64;
+        let mut recovered = 0u64;
+        let mut quarantined = 0u64;
+        let mut panicked = 0u64;
         for (id, scenario) in requests {
             let solves_before = worker
                 .as_ref()
                 .map_or(0, |w| w.thermal_session_stats().solves);
-            let (reused_operator, result) = match &mut worker {
-                // A failed retarget serves nothing, so it is not a reuse.
-                Some(w) => match w.retarget(scenario) {
-                    Ok(()) => (true, w.run()),
-                    Err(e) => (false, Err(e)),
-                },
-                None => match CoSimulation::new(scenario) {
-                    Ok(mut w) => {
-                        built += 1;
-                        w.set_kernel(kernel);
-                        let r = w.run();
-                        worker = Some(w);
-                        (false, r)
-                    }
-                    Err(e) => (false, Err(e)),
-                },
+            let recovered_before = worker.as_ref().map_or(0, |w| {
+                w.thermal_session_stats().recovered_solves
+                    + w.pdn_session_stats().recovered_solves
+            });
+            // Panic isolation: one pathological request must not take
+            // the whole batch (or the engine's caller) down. The worker
+            // holds no locks or global state, so observing it after an
+            // unwind is memory-safe; it is *logically* suspect, which
+            // is why a panicking serve quarantines it below.
+            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                bright_num::faults::maybe_panic();
+                match &mut worker {
+                    // A failed retarget serves nothing, so it is not a
+                    // reuse.
+                    Some(w) => match w.retarget(scenario) {
+                        Ok(()) => (true, w.run()),
+                        Err(e) => (false, Err(e)),
+                    },
+                    None => match CoSimulation::new(scenario) {
+                        Ok(mut w) => {
+                            built += 1;
+                            w.set_kernel(kernel);
+                            let r = w.run();
+                            worker = Some(w);
+                            (false, r)
+                        }
+                        Err(e) => (false, Err(e)),
+                    },
+                }
+            }));
+            let (reused_operator, result) = match served {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    panicked += 1;
+                    (
+                        false,
+                        Err(CoreError::WorkerPanic(crate::panic_message(
+                            payload.as_ref(),
+                        ))),
+                    )
+                }
             };
             if reused_operator {
                 reused += 1;
             }
+            // Degradation accounting must read the worker *before* any
+            // quarantine drops it.
+            let recovered_after = worker.as_ref().map_or(recovered_before, |w| {
+                w.thermal_session_stats().recovered_solves
+                    + w.pdn_session_stats().recovered_solves
+            });
+            recovered += recovered_after.saturating_sub(recovered_before);
+            let degraded = if result.is_ok() && recovered_after > recovered_before {
+                worker.as_ref().and_then(|w| w.recovery_digest())
+            } else {
+                None
+            };
             // Attribute a kernel path only when *this* request actually
             // solved (a failed request on a warm worker must not
             // inherit the previous request's digest).
@@ -655,11 +730,19 @@ impl ScenarioEngine {
                 .filter(|w| w.thermal_session_stats().solves > solves_before)
                 .map(|w| w.thermal_session_stats().kernel_digest())
                 .unwrap_or_default();
+            // A failed serve — panic or error — leaves the worker in an
+            // unknowable intermediate state (half-retargeted operators,
+            // possibly poisoned sessions): quarantine it so the next
+            // request of the pattern rebuilds from its own scenario.
+            if result.is_err() && worker.take().is_some() {
+                quarantined += 1;
+            }
             reports.push(ScenarioReport {
                 request_id: id,
                 pattern: digest.clone(),
                 reused_operator,
                 kernel: kernel_digest,
+                degraded,
                 result,
             });
         }
@@ -680,6 +763,9 @@ impl ScenarioEngine {
             reports,
             built,
             reused,
+            recovered,
+            quarantined,
+            panicked,
             kernel: kernel_used,
         }
     }
@@ -724,6 +810,7 @@ impl ScenarioEngine {
                 reports.push(TransientReport {
                     request_id: id,
                     pattern: TransientGroupKey::of(&req).digest(),
+                    degraded: None,
                     result: Err(e),
                 });
                 continue;
@@ -795,15 +882,33 @@ impl ScenarioEngine {
         });
 
         for (model_key, model, digest, outcomes, counters) in results {
+            if counters.quarantined_models > 0 {
+                // A panicking integration quarantines the whole model
+                // identity: drop the pre-assembled cache entry too, so
+                // the next batch re-assembles from scratch.
+                self.transient_models.remove(&model_key);
+            }
             if let Some(model) = model {
                 self.transient_models.entry(model_key).or_insert(model);
             }
             self.stats.trace_segments_integrated += counters.segments_integrated;
             self.stats.trace_segments_reused += counters.segments_reused;
+            self.stats.recovered_solves += counters.recovered_solves;
+            self.stats.solver_retries += counters.solver_retries;
+            self.stats.panicked_requests += counters.panicked_requests;
+            self.stats.quarantined_workers += counters.quarantined_models;
             reports.extend(outcomes.into_iter().map(|(request_id, result)| {
+                let degraded = match &result {
+                    Ok(o) if o.recovered_solves > 0 || o.solver_retries > 0 => Some(format!(
+                        "thermal: {} ladder-recovered solve(s), {} dt-halving retry(ies)",
+                        o.recovered_solves, o.solver_retries
+                    )),
+                    _ => None,
+                };
                 TransientReport {
                     request_id,
                     pattern: digest.clone(),
+                    degraded,
                     result,
                 }
             }));
@@ -853,6 +958,7 @@ impl ScenarioEngine {
                     request_id: id,
                     pattern: CellPatternKey::of(&req.scenario.cell_options).digest(),
                     reused_context: false,
+                    degraded: None,
                     result: Err(e),
                 });
                 continue;
@@ -895,12 +1001,14 @@ impl ScenarioEngine {
             Self::run_polarization_group(job.key, job.worker, job.requests)
         });
 
-        for (key, worker, group_reports, built, reused) in results {
+        for (key, worker, group_reports, built, reused, quarantined, panicked) in results {
             if let Some(worker) = worker {
                 self.cell_workers.entry(key).or_insert(worker);
             }
             self.stats.cell_contexts_built += built;
             self.stats.cell_context_reuses += reused;
+            self.stats.quarantined_workers += quarantined;
+            self.stats.panicked_requests += panicked;
             reports.extend(group_reports);
         }
         reports.sort_unstable_by_key(|r| r.request_id);
@@ -920,14 +1028,40 @@ impl ScenarioEngine {
         Vec<PolarizationReport>,
         u64,
         u64,
+        u64,
+        u64,
     ) {
         let digest = key.digest();
         let mut reports = Vec::with_capacity(requests.len());
         let mut built = 0u64;
         let mut reused = 0u64;
+        let mut quarantined = 0u64;
+        let mut panicked = 0u64;
         for (id, req) in requests {
             let existed = worker.is_some();
-            let result = Self::serve_polarization(&mut worker, &req, &mut built);
+            // Panic isolation, mirroring the steady path: the request
+            // fails alone and the batch completes.
+            let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                bright_num::faults::maybe_panic();
+                Self::serve_polarization(&mut worker, &req, &mut built)
+            }));
+            let result = match served {
+                Ok(r) => r,
+                Err(payload) => {
+                    panicked += 1;
+                    Err(CoreError::WorkerPanic(crate::panic_message(
+                        payload.as_ref(),
+                    )))
+                }
+            };
+            // Any failed serve leaves the worker suspect: quarantine it
+            // so the next request rebuilds from its own scenario.
+            // (`serve_polarization` already drops half-retargeted
+            // workers itself — `existed` credits that drop — and this
+            // extends the rule to panics and sweep failures.)
+            if result.is_err() && (worker.take().is_some() || existed) {
+                quarantined += 1;
+            }
             // A failed retarget serves nothing, so it is not a reuse
             // (mirroring the steady path's accounting).
             let reused_context = existed && result.is_ok();
@@ -938,10 +1072,13 @@ impl ScenarioEngine {
                 request_id: id,
                 pattern: digest.clone(),
                 reused_context,
+                // Cell sweeps solve through direct factorizations — no
+                // recovery ladder can have produced this answer.
+                degraded: None,
                 result,
             });
         }
-        (key, worker, reports, built, reused)
+        (key, worker, reports, built, reused, quarantined, panicked)
     }
 
     /// Serves one polarization request from `worker`, building or

@@ -85,6 +85,10 @@ pub enum CoreError {
         /// Maximum array power (W).
         available: f64,
     },
+    /// A worker panicked while serving this request; the rest of the
+    /// batch completed and the worker was quarantined (see
+    /// `docs/ROBUSTNESS.md`).
+    WorkerPanic(String),
 }
 
 impl fmt::Display for CoreError {
@@ -101,7 +105,21 @@ impl fmt::Display for CoreError {
                 f,
                 "supply deficit: VRM demands {demand:.2} W but the array peaks at {available:.2} W"
             ),
+            CoreError::WorkerPanic(m) => write!(f, "worker panic: {m}"),
         }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`catch_unwind` gives back a `Box<dyn Any>`; `&str` and `String`
+/// cover every panic raised by this workspace).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -56,8 +56,11 @@ where
     bright_num::parallel::parallel_map_indexed(items, workers, f)
 }
 
-/// Fallible [`parallel_map`]: runs every point, then returns the first
-/// error in input order (or all results).
+/// Fallible [`parallel_map`]: returns all results in input order, or the
+/// first error in input order. Workers stop claiming points once an
+/// error is recorded, so a failure near the front of a large sweep no
+/// longer burns the remaining points (see
+/// [`bright_num::parallel::try_parallel_map_indexed`]).
 ///
 /// # Errors
 ///
@@ -69,7 +72,7 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    parallel_map(items, f).into_iter().collect()
+    bright_num::parallel::try_parallel_map_indexed(items, sweep_workers(items.len()), f)
 }
 
 /// Runs many scenarios through the full co-simulation — the fan-out

@@ -148,6 +148,12 @@ pub struct TransientOutcome {
     pub solves: u64,
     /// Adaptive error-test rejections (0 under fixed stepping).
     pub rejected: u64,
+    /// Linear solves along this request's path that succeeded only
+    /// through the session recovery ladder (see `docs/ROBUSTNESS.md`).
+    pub recovered_solves: u64,
+    /// Adaptive dt-halving retries taken after solver failures along
+    /// this request's path (0 under fixed stepping).
+    pub solver_retries: u64,
     /// Seconds of this request's trace that were integrated in a node
     /// shared with at least one other request of the batch — work this
     /// request did not pay for alone.
@@ -161,6 +167,11 @@ pub struct TransientReport {
     pub request_id: u64,
     /// Digest of the operator-pattern group the request was served in.
     pub pattern: String,
+    /// `Some(digest)` when the integration needed the recovery ladder
+    /// or adaptive dt-halving retries to finish (mirrors
+    /// [`crate::engine::ScenarioReport::degraded`]); `None` for clean
+    /// integrations and failed requests.
+    pub degraded: Option<String>,
     /// The integration outcome.
     pub result: Result<TransientOutcome, CoreError>,
 }
@@ -175,6 +186,17 @@ pub(crate) struct TransientCounters {
     /// Request-segments served from an already-integrated node:
     /// `Σ_nodes (requests_under_node − 1)`.
     pub segments_reused: u64,
+    /// Node-local solves that succeeded through the recovery ladder.
+    pub recovered_solves: u64,
+    /// Adaptive dt-halving retries across the group's nodes.
+    pub solver_retries: u64,
+    /// Requests that received [`CoreError::WorkerPanic`] after a node
+    /// integration panicked.
+    pub panicked_requests: u64,
+    /// 1 when the group's assembled model was withheld from the cache
+    /// because an integration panicked (the engine folds this into
+    /// [`crate::engine::EngineStats::quarantined_workers`]).
+    pub quarantined_models: u64,
 }
 
 /// The thermal-operator identity of a transient request: everything
@@ -260,6 +282,8 @@ struct PathAcc {
     steps: u64,
     solves: u64,
     rejected: u64,
+    recovered: u64,
+    retries: u64,
     shared_time: f64,
 }
 
@@ -272,6 +296,11 @@ struct NodeResult {
     steps: u64,
     solves: u64,
     rejected: u64,
+    /// Ladder-recovered solves of the node-local session (each node
+    /// builds a fresh integrator, so this is the node's own count).
+    recovered: u64,
+    /// Adaptive dt-halving retries of the node-local integrator.
+    retries: u64,
 }
 
 fn integrate_node(
@@ -304,6 +333,8 @@ fn integrate_node(
                 steps: stats.accepted,
                 solves: stats.solves,
                 rejected: stats.rejected,
+                recovered: integ.session_stats().recovered_solves,
+                retries: stats.solver_retries,
             })
         }
         SteppingMode::Fixed { dt } => {
@@ -320,6 +351,8 @@ fn integrate_node(
                 steps: sim.step_count(),
                 solves: sim.solve_count(),
                 rejected: 0,
+                recovered: sim.session_stats().recovered_solves,
+                retries: 0,
             })
         }
     }
@@ -361,11 +394,20 @@ pub(crate) fn serve_transient_group(
         steps: 0,
         solves: 0,
         rejected: 0,
+        recovered: 0,
+        retries: 0,
         shared_time: 0.0,
     };
     serve_node(
         &model, &refs, 0, None, acc, t0, &stepping, kernel, &mut results, &mut counters,
     );
+    if counters.panicked_requests > 0 {
+        // A panicking integration may have unwound mid-clone of the
+        // model's shared operator caches: withhold the model from the
+        // engine's cache so later batches re-assemble from scratch.
+        counters.quarantined_models = 1;
+        return (None, results, counters);
+    }
     (Some(model), results, counters)
 }
 
@@ -402,6 +444,8 @@ fn serve_node(
                 steps: acc.steps,
                 solves: acc.solves,
                 rejected: acc.rejected,
+                recovered_solves: acc.recovered,
+                solver_retries: acc.retries,
                 shared_time: acc.shared_time,
             }),
         ));
@@ -445,15 +489,29 @@ fn serve_node(
             duration: step.duration,
             power,
         };
-        match integrate_node(model, &segment, t0, stepping, kernel, from) {
-            Ok(node) => {
+        // Panic isolation: a node integration that panics fails only
+        // the requests under that node; sibling branches (and the rest
+        // of the batch) still complete. The model is never mutated by
+        // `integrate_node` (each node clones it), so observing it after
+        // an unwind is safe — the group's *cached* copy is still
+        // withheld by `serve_transient_group` as a precaution.
+        let integrated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            bright_num::faults::maybe_panic();
+            integrate_node(model, &segment, t0, stepping, kernel, from)
+        }));
+        match integrated {
+            Ok(Ok(node)) => {
                 counters.segments_integrated += 1;
                 counters.segments_reused += part.len() as u64 - 1;
+                counters.recovered_solves += node.recovered;
+                counters.solver_retries += node.retries;
                 let child = PathAcc {
                     peak: acc.peak.max(node.peak),
                     steps: acc.steps + node.steps,
                     solves: acc.solves + node.solves,
                     rejected: acc.rejected + node.rejected,
+                    recovered: acc.recovered + node.recovered,
+                    retries: acc.retries + node.retries,
                     shared_time: acc.shared_time
                         + if part.len() > 1 { step.duration } else { 0.0 },
                 };
@@ -470,9 +528,16 @@ fn serve_node(
                     counters,
                 );
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 for (id, _) in &part {
                     out.push((*id, Err(e.clone())));
+                }
+            }
+            Err(payload) => {
+                counters.panicked_requests += part.len() as u64;
+                let err = CoreError::WorkerPanic(crate::panic_message(payload.as_ref()));
+                for (id, _) in &part {
+                    out.push((*id, Err(err.clone())));
                 }
             }
         }

@@ -1,0 +1,279 @@
+//! Robustness tests for the engine's fault tolerance: panic-isolated
+//! batches, worker quarantine, recovery-ladder degradation reporting.
+//!
+//! Tests whose name contains `fault` read their plan through
+//! [`FaultPlan::from_env_or`] where the assertion is seed-independent,
+//! so a CI run with `BRIGHT_FAULTS=seed=...` genuinely steers them;
+//! tests that assert exact counts install their own plan.
+
+use bright_core::{
+    CoreError, EngineReport, LoadStep, PolarizationRequest, Scenario, ScenarioEngine,
+    SteppingMode, TransientRequest,
+};
+use bright_num::faults::{self, FaultPlan};
+use bright_units::{CubicMetersPerSecond, Kelvin};
+use proptest::prelude::*;
+
+/// The fault-site opportunity counters are process-global: tests that
+/// install plans must not overlap, or one test's opportunities would
+/// shift another's firing phases.
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn flow_scenario(ml_min: f64) -> Scenario {
+    let mut s = Scenario::power7_reduced();
+    s.total_flow = CubicMetersPerSecond::from_milliliters_per_minute(ml_min);
+    s
+}
+
+fn transient_request(dt: f64) -> TransientRequest {
+    TransientRequest {
+        scenario: Scenario::power7_reduced(),
+        trace: vec![LoadStep {
+            duration: 0.01,
+            load: bright_floorplan::PowerScenario::full_load(),
+        }],
+        initial_temperature: Kelvin::new(300.0),
+        stepping: SteppingMode::Fixed { dt },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// One scripted panic anywhere in a steady batch fails exactly that
+    /// request; every other request still returns, in submission order.
+    #[test]
+    fn fault_one_panicking_request_leaves_the_rest_of_the_batch_intact(
+        n in 4usize..8,
+        shot_salt in 0u64..1000,
+    ) {
+        let _guard = fault_lock();
+        let shot = shot_salt % n as u64 + 1;
+        let mut engine = ScenarioEngine::new();
+        let ids: Vec<u64> = (0..n)
+            .map(|i| engine.submit(flow_scenario(600.0 - 40.0 * i as f64)))
+            .collect();
+        let reports = faults::with_plan(Some(FaultPlan::one_shot_panic(shot)), || {
+            faults::reset_counters();
+            engine.run_pending()
+        });
+        prop_assert_eq!(
+            reports.iter().map(|r| r.request_id).collect::<Vec<_>>(),
+            ids
+        );
+        let mut panics = 0usize;
+        for r in &reports {
+            match &r.result {
+                Err(CoreError::WorkerPanic(m)) => {
+                    panics += 1;
+                    prop_assert!(m.contains("injected worker panic"));
+                }
+                other => prop_assert!(other.is_ok(), "unexpected error: {other:?}"),
+            }
+        }
+        prop_assert_eq!(panics, 1);
+        let stats = engine.stats();
+        prop_assert_eq!(stats.panicked_requests, 1);
+        prop_assert!(stats.quarantined_workers <= 1);
+        // The surviving requests were genuinely served.
+        prop_assert_eq!(
+            reports.iter().filter(|r| r.result.is_ok()).count(),
+            n - 1
+        );
+    }
+}
+
+/// A panicking transient integration fails only the requests of its
+/// group, withholds the group's model from the cache, and the next
+/// batch rebuilds cleanly.
+#[test]
+fn fault_transient_panic_quarantines_the_model_and_rebuild_succeeds() {
+    let _guard = fault_lock();
+    let mut engine = ScenarioEngine::new();
+    // Two groups (dt variants of one operator); the one-shot panic
+    // lands in whichever integrates its node first.
+    let a = engine.submit_transient(transient_request(2e-3));
+    let b = engine.submit_transient(transient_request(4e-3));
+    let reports = faults::with_plan(Some(FaultPlan::one_shot_panic(1)), || {
+        faults::reset_counters();
+        engine.run_pending_transients()
+    });
+    assert_eq!(
+        reports.iter().map(|r| r.request_id).collect::<Vec<_>>(),
+        vec![a, b]
+    );
+    let panicked: Vec<u64> = reports
+        .iter()
+        .filter(|r| matches!(r.result, Err(CoreError::WorkerPanic(_))))
+        .map(|r| r.request_id)
+        .collect();
+    assert_eq!(panicked.len(), 1, "exactly one group absorbs the panic");
+    for r in &reports {
+        if r.request_id != panicked[0] {
+            assert!(r.result.is_ok(), "sibling group must complete: {:?}", r.result);
+        }
+        assert!(r.degraded.is_none(), "no recovery happened here");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.panicked_requests, 1);
+    assert_eq!(stats.quarantined_workers, 1, "panicked group's model withheld");
+
+    // Resubmitting the panicked request succeeds: the one-shot already
+    // fired and the quarantined model is rebuilt from scratch.
+    let dt = if panicked[0] == a { 2e-3 } else { 4e-3 };
+    let retry = faults::with_plan(Some(FaultPlan::one_shot_panic(1)), || {
+        engine.run_transient_batch([transient_request(dt)])
+    });
+    assert!(retry[0].result.is_ok(), "rebuild after quarantine failed");
+}
+
+/// The ISSUE acceptance scenario: a mixed steady/transient/polarization
+/// batch of ≥ 20 requests under a seeded plan combining NaN corruption,
+/// forced breakdowns, budget truncation and one scripted panic. The
+/// caller never panics; only panicked requests error; everything else
+/// completes with `degraded` consistent with the engine counters.
+///
+/// The plan is env-steerable (`BRIGHT_FAULTS`): under a different seed
+/// the scripted panic may not fire, so panic-dependent assertions are
+/// guarded by plan equality with the default.
+#[test]
+fn fault_seeded_mixed_batch_completes_with_consistent_stats() {
+    let _guard = fault_lock();
+    let default_plan = FaultPlan {
+        seed: 5,
+        nan: 5,
+        breakdown: 7,
+        budget: 6,
+        panic: u64::MAX, // one shot, at opportunity n == seed
+    };
+    let plan = FaultPlan::from_env_or(default_plan);
+    let mut engine = ScenarioEngine::new();
+    let mut ids = Vec::new();
+    for i in 0..10 {
+        ids.push(engine.submit(flow_scenario(650.0 - 30.0 * i as f64)));
+    }
+    for _ in 0..6 {
+        ids.push(engine.submit_transient(transient_request(2e-3)));
+    }
+    for i in 0..4 {
+        let mut s = Scenario::power7_reduced();
+        s.inlet_temperature = Kelvin::new(300.0 + i as f64);
+        ids.push(engine.submit_polarization(PolarizationRequest::new(s)));
+    }
+    assert!(ids.len() >= 20);
+    let reports = faults::with_plan(Some(plan), || {
+        faults::reset_counters();
+        engine.run_all_pending()
+    });
+    assert_eq!(
+        reports.iter().map(EngineReport::request_id).collect::<Vec<_>>(),
+        ids
+    );
+
+    let mut worker_panics = 0u64;
+    let mut degraded_ok = 0u64;
+    let mut degraded_steady = 0u64;
+    for r in &reports {
+        let (err, degraded): (Option<&CoreError>, Option<&String>) = match r {
+            EngineReport::Steady(s) => (s.result.as_ref().err(), s.degraded.as_ref()),
+            EngineReport::Transient(t) => {
+                if t.degraded.is_some() {
+                    // A degraded transient report must carry the
+                    // recovery work in its outcome.
+                    let o = t.result.as_ref().expect("degraded implies Ok");
+                    assert!(o.recovered_solves + o.solver_retries > 0);
+                }
+                (t.result.as_ref().err(), t.degraded.as_ref())
+            }
+            EngineReport::Polarization(p) => {
+                assert!(p.degraded.is_none(), "cell sweeps have no recovery ladder");
+                (p.result.as_ref().err(), p.degraded.as_ref())
+            }
+        };
+        match err {
+            None => {
+                if degraded.is_some() {
+                    degraded_ok += 1;
+                    if matches!(r, EngineReport::Steady(_)) {
+                        degraded_steady += 1;
+                    }
+                }
+            }
+            Some(CoreError::WorkerPanic(_)) => {
+                worker_panics += 1;
+                assert!(degraded.is_none(), "a panicked request is not degraded");
+            }
+            // Session faults are injected into first attempts only, so
+            // the recovery ladder must absorb every one of them: the
+            // only admissible per-request error is the scripted panic.
+            Some(other) => panic!("unrecoverable non-panic error leaked: {other}"),
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.panicked_requests, worker_panics);
+    // Steady requests own their recoveries 1:1 (transient requests
+    // sharing a prefix node each report the node's recovered solves,
+    // which the engine counts once — so only the steady bound is
+    // exact).
+    assert!(
+        stats.recovered_solves >= degraded_steady,
+        "each degraded steady report implies at least one recovered \
+         solve ({} degraded vs {} recovered)",
+        degraded_steady,
+        stats.recovered_solves
+    );
+    if plan == default_plan {
+        assert_eq!(worker_panics, 1, "the scripted panic fires exactly once");
+        assert!(
+            stats.recovered_solves > 0,
+            "periods 5/6/7 over a 20-request batch must trip the ladder"
+        );
+        assert!(degraded_ok > 0, "some surviving request must report degraded");
+    }
+}
+
+/// Degradation surfaces end to end on the steady path: a session-level
+/// fault on a mid-batch request recovers through the ladder, the report
+/// carries a digest, and the clean requests around it do not.
+#[test]
+fn fault_degraded_flag_marks_only_the_recovered_request() {
+    let _guard = fault_lock();
+    let mut engine = ScenarioEngine::new();
+    for f in [676.0, 400.0, 200.0] {
+        engine.submit(flow_scenario(f));
+    }
+    // A single forced breakdown: one shot via a period far above the
+    // batch's breakdown-gate opportunity count.
+    let plan = FaultPlan {
+        seed: 4,
+        breakdown: 1 << 40,
+        ..FaultPlan::default()
+    };
+    let reports = faults::with_plan(Some(plan), || {
+        faults::reset_counters();
+        engine.run_pending()
+    });
+    assert_eq!(reports.len(), 3);
+    for r in &reports {
+        assert!(r.result.is_ok(), "ladder must absorb the breakdown");
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.recovered_solves, 1);
+    assert_eq!(stats.panicked_requests, 0);
+    assert_eq!(stats.quarantined_workers, 0);
+    let degraded: Vec<&str> = reports
+        .iter()
+        .filter_map(|r| r.degraded.as_deref())
+        .collect();
+    assert_eq!(degraded.len(), 1, "exactly one request recovered: {reports:?}");
+    assert!(
+        degraded[0].contains("cold-restart")
+            || degraded[0].contains("precond-fallback")
+            || degraded[0].contains("widened-budget"),
+        "digest names the rung: {}",
+        degraded[0]
+    );
+}

@@ -18,6 +18,9 @@
 //! * pluggable preconditioners ([`precond`]: Jacobi, SSOR, IC(0)) and
 //!   reusable solver sessions ([`session`]) that amortize pattern,
 //!   scratch, warm start and factorization across repeated solves,
+//! * a seeded fault-injection harness ([`faults`]) and session recovery
+//!   ladder ([`session::RecoveryPolicy`]) so the failure paths of all of
+//!   the above are deterministic and testable,
 //! * scalar root finding ([`roots`]) for polarization operating points,
 //! * interpolation ([`interp`]) and quadrature ([`quadrature`]) helpers.
 //!
@@ -41,6 +44,7 @@
 
 pub mod dense;
 pub mod error;
+pub mod faults;
 pub mod interp;
 pub mod kernels;
 pub mod lazy;
@@ -55,8 +59,9 @@ pub mod tridiag;
 pub mod vec_ops;
 
 pub use error::NumError;
+pub use faults::{FaultPlan, FaultSite};
 pub use kernels::{Backend, KernelSpec};
 pub use precond::{PrecondSpec, Preconditioner};
-pub use session::{SessionStats, SolverSession};
+pub use session::{RecoveryPolicy, RecoveryRung, SessionStats, SolverSession};
 pub use solvers::{KrylovWorkspace, SolveStats};
 pub use sparse::{CsrMatrix, CsrSymbolic, TripletMatrix};

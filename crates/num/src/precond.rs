@@ -86,6 +86,17 @@ impl PrecondSpec {
         }
     }
 
+    /// The recovery ladder's preconditioner fallback chain, strongest
+    /// first: IC(0) → SSOR(ω=1) → Jacobi.
+    /// [`crate::session::SolverSession`] walks it (skipping the entry
+    /// equal to the configured spec) when a solve breaks down or stalls;
+    /// a chain entry whose setup fails — e.g. IC(0) on a matrix that has
+    /// drifted off SPD — is skipped in favor of the next, weaker one.
+    #[must_use]
+    pub fn fallback_chain() -> [Self; 3] {
+        [Self::Ic0, Self::ssor(), Self::Jacobi]
+    }
+
     /// Short human-readable name (reports, benches).
     #[must_use]
     pub fn name(&self) -> &'static str {

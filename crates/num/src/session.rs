@@ -28,6 +28,23 @@
 //! track [`SessionStats`] so benches and tests can assert how much work
 //! was actually amortized.
 //!
+//! # Failure recovery
+//!
+//! Every solve runs under a [`RecoveryPolicy`] (on by default): when an
+//! attempt ends in [`NumError::NotConverged`] or [`NumError::Breakdown`]
+//! — or when the post-solve NaN/Inf scan of the solution and Krylov
+//! workspace fails — the session climbs an escalation ladder of
+//! [`RecoveryRung`]s: a cold restart with the warm start discarded, the
+//! preconditioner fallback chain ([`PrecondSpec::fallback_chain`],
+//! skipping the configured spec; a fallback is used for that one solve
+//! only and never installed), then a widened iteration budget. Each
+//! step lands in the [`SessionStats`] recovery counters, and
+//! [`SolverSession::last_recovery`] names the rung that produced the
+//! last answer. If the ladder is exhausted *and* non-finite values are
+//! still present in the scratch state, the session is marked *poisoned*:
+//! [`SolverSession::is_current`] reports false and further solves are
+//! refused until a bind or value reload cold-rebuilds the numeric state.
+//!
 //! # Examples
 //!
 //! Bind once, then solve repeatedly — the second solve warm-starts from
@@ -50,8 +67,10 @@
 //! # Ok::<(), bright_num::NumError>(())
 //! ```
 
+use crate::faults::{self, FaultSite};
 use crate::kernels::{self, Backend, KernelSpec};
 use crate::precond::{PrecondSpec, Preconditioner};
+use crate::vec_ops::all_finite;
 use crate::solvers::{
     bicgstab_preconditioned, conjugate_gradient_preconditioned, IterOptions, KrylovWorkspace,
     SolveStats,
@@ -90,6 +109,18 @@ pub struct SessionStats {
     /// Kernel-pool worker count serving the last solve (1 for the
     /// single-threaded backends, or before the first solve).
     pub kernel_threads: u32,
+    /// Solves that succeeded only after climbing the recovery ladder.
+    pub recovered_solves: u64,
+    /// Individual ladder retries attempted (each non-first rung tried
+    /// counts once, whether or not it succeeded).
+    pub recovery_retries: u64,
+    /// Retries that swapped in a fallback preconditioner.
+    pub precond_fallbacks: u64,
+    /// Retries that widened the iteration budget.
+    pub budget_widenings: u64,
+    /// Times the session was marked poisoned by the post-solve
+    /// non-finite state scan.
+    pub poisonings: u64,
 }
 
 impl SessionStats {
@@ -102,6 +133,80 @@ impl SessionStats {
             format!("threaded({})", self.kernel_threads.max(1))
         } else {
             self.last_backend.name().to_string()
+        }
+    }
+}
+
+/// Configuration of the escalation ladder a session climbs when a solve
+/// fails recoverably (see the [module docs](self), "Failure recovery").
+/// The default enables every rung; [`RecoveryPolicy::disabled`] restores
+/// the fail-fast behaviour of earlier revisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Master switch; `false` makes every failure terminal immediately.
+    pub enabled: bool,
+    /// Rung 1: retry once with the warm start discarded.
+    pub retry_cold: bool,
+    /// Rungs 2..: retry with each preconditioner in
+    /// [`PrecondSpec::fallback_chain`] not equal to the configured one.
+    pub precond_fallback: bool,
+    /// Final rung: retry with `max_iterations` multiplied by this factor
+    /// (values ≤ 1 disable the rung).
+    pub widen_budget_by: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            retry_cold: true,
+            precond_fallback: true,
+            widen_budget_by: 4,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy with every rung off: failures surface immediately (the
+    /// pre-recovery behaviour; benches use this as the baseline).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            retry_cold: false,
+            precond_fallback: false,
+            widen_budget_by: 0,
+        }
+    }
+}
+
+/// The ladder rung that produced a solve's answer.
+/// [`RecoveryRung::Clean`] is the ordinary first attempt; everything
+/// else marks a degraded (but converged and validated) solve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecoveryRung {
+    /// First attempt, no recovery involved.
+    #[default]
+    Clean,
+    /// Retried with the warm start discarded.
+    ColdRestart,
+    /// Retried under a fallback preconditioner (the configured one was
+    /// left installed for future solves).
+    PrecondFallback(PrecondSpec),
+    /// Retried with a widened iteration budget.
+    WidenedBudget,
+}
+
+impl RecoveryRung {
+    /// Short human-readable description for degraded-result reporting;
+    /// `None` for a clean solve.
+    #[must_use]
+    pub fn describe(&self) -> Option<String> {
+        match self {
+            Self::Clean => None,
+            Self::ColdRestart => Some("cold-restart".into()),
+            Self::PrecondFallback(spec) => Some(format!("precond-fallback({})", spec.name())),
+            Self::WidenedBudget => Some("widened-budget".into()),
         }
     }
 }
@@ -123,6 +228,9 @@ pub struct SolverSession {
     epoch: u64,
     last: SolveStats,
     stats: SessionStats,
+    policy: RecoveryPolicy,
+    poisoned: bool,
+    last_rung: RecoveryRung,
 }
 
 impl Default for SolverSession {
@@ -152,6 +260,11 @@ impl Clone for SolverSession {
             epoch: self.epoch,
             last: self.last,
             stats: SessionStats::default(),
+            policy: self.policy,
+            // Poison is conservative state, carried so a clone of a
+            // poisoned session also demands a rebind before serving.
+            poisoned: self.poisoned,
+            last_rung: self.last_rung,
         }
     }
 }
@@ -174,6 +287,9 @@ impl SolverSession {
             epoch: 0,
             last: SolveStats::default(),
             stats: SessionStats::default(),
+            policy: RecoveryPolicy::default(),
+            poisoned: false,
+            last_rung: RecoveryRung::Clean,
         }
     }
 
@@ -229,10 +345,12 @@ impl SolverSession {
 
     /// True when the session is current for the operator identified by
     /// `(tag, epoch)` — the check domain solvers run before deciding
-    /// between a no-op, a value reload and a full rebind.
+    /// between a no-op, a value reload and a full rebind. A poisoned
+    /// session is never current: the caller's resync (value reload or
+    /// rebind) is what clears the poison.
     #[must_use]
     pub fn is_current(&self, tag: u64, epoch: u64) -> bool {
-        self.is_bound() && self.operator_tag == tag && self.epoch == epoch
+        !self.poisoned && self.is_bound() && self.operator_tag == tag && self.epoch == epoch
     }
 
     /// The operator tag this session is bound to (0 when unbound).
@@ -252,6 +370,7 @@ impl SolverSession {
     /// drops the warm start (a new operator's solution space is
     /// unrelated).
     pub fn bind(&mut self, symbolic: &CsrSymbolic, matrix: &CsrMatrix, tag: u64, epoch: u64) {
+        self.clear_poison();
         self.symbolic = Some(symbolic.clone());
         self.matrix = matrix.clone();
         self.operator_tag = tag;
@@ -290,6 +409,7 @@ impl SolverSession {
             ));
         };
         symbolic.refresh_values(&mut self.matrix, triplets)?;
+        self.clear_poison();
         self.epoch = epoch;
         self.precond_stale = true;
         self.stats.refreshes += 1;
@@ -305,6 +425,7 @@ impl SolverSession {
     /// [`NumError::DimensionMismatch`] if shapes or nnz differ.
     pub fn load_values(&mut self, src: &CsrMatrix, epoch: u64) -> Result<(), NumError> {
         self.matrix.copy_values_from(src)?;
+        self.clear_poison();
         self.epoch = epoch;
         self.precond_stale = true;
         self.stats.refreshes += 1;
@@ -373,10 +494,52 @@ impl SolverSession {
     }
 
     /// Lifetime counters (binds, refreshes, preconditioner setups,
-    /// solves).
+    /// solves, recovery activity).
     #[inline]
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// The failure-recovery policy in effect.
+    #[inline]
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Replaces the failure-recovery policy for subsequent solves.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// True when the post-solve state validation found non-finite values
+    /// it could not recover from. A poisoned session refuses to solve
+    /// and reports not-current until a bind or value reload rebuilds the
+    /// numeric state (see the [module docs](self)).
+    #[inline]
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The ladder rung that produced the most recent successful solve
+    /// ([`RecoveryRung::Clean`] before the first solve).
+    #[inline]
+    pub fn last_recovery(&self) -> RecoveryRung {
+        self.last_rung
+    }
+
+    /// Cold-rebuilds the numeric scratch state when poisoned: drops the
+    /// preconditioner, workspace and warm start so nothing non-finite
+    /// survives into the next solve. Called by every resync entry point
+    /// (bind / refresh / value load) — each of which also overwrites the
+    /// operator values wholesale, completing the cold re-assembly.
+    fn clear_poison(&mut self) {
+        if self.poisoned {
+            self.poisoned = false;
+            self.precond = None;
+            self.precond_stale = true;
+            self.ws = KrylovWorkspace::new();
+            self.x.clear();
+        }
     }
 
     fn ensure_precond(&mut self) -> Result<(), NumError> {
@@ -395,58 +558,198 @@ impl SolverSession {
         Ok(())
     }
 
+    /// The rungs to attempt for this solve, in order. On a configured
+    /// preconditioner whose setup failed (`precond_broken`), the clean
+    /// and cold-restart attempts are unusable and the ladder starts
+    /// directly at the fallback chain.
+    fn ladder(&self, precond_broken: bool) -> Vec<RecoveryRung> {
+        let mut rungs = Vec::with_capacity(6);
+        if !precond_broken {
+            rungs.push(RecoveryRung::Clean);
+        }
+        if self.policy.enabled {
+            if !precond_broken && self.policy.retry_cold {
+                rungs.push(RecoveryRung::ColdRestart);
+            }
+            if self.policy.precond_fallback {
+                for spec in PrecondSpec::fallback_chain() {
+                    if spec != self.opts.preconditioner {
+                        rungs.push(RecoveryRung::PrecondFallback(spec));
+                    }
+                }
+            }
+            if !precond_broken && self.policy.widen_budget_by > 1 {
+                rungs.push(RecoveryRung::WidenedBudget);
+            }
+        }
+        rungs
+    }
+
     fn solve_with(&mut self, b_is_internal: bool, spd: bool, b: &[f64]) -> Result<SolveStats, NumError> {
         if !self.is_bound() {
             return Err(NumError::InvalidInput("solve on an unbound session".into()));
         }
-        self.ensure_precond()?;
-        let precond = self
-            .precond
-            .as_mut()
-            .expect("preconditioner ensured above")
-            .as_mut();
-        // `b` aliases `self.rhs` on the in-place path; reborrow it from
-        // the field so the borrow checker sees disjoint fields.
-        let rhs = if b_is_internal { &self.rhs } else { b };
-        let result = if spd {
-            conjugate_gradient_preconditioned(
-                &self.matrix,
-                rhs,
-                &mut self.x,
-                &self.opts,
-                &mut self.ws,
-                precond,
-            )
-        } else {
-            bicgstab_preconditioned(
-                &self.matrix,
-                rhs,
-                &mut self.x,
-                &self.opts,
-                &mut self.ws,
-                precond,
-            )
-        };
-        match result {
-            Ok(stats) => {
-                self.last = stats;
-                self.stats.solves += 1;
-                let backend = self.opts.kernel.resolve(self.matrix.rows(), self.matrix.nnz());
-                self.stats.last_backend = backend;
-                self.stats.kernel_threads = if backend == Backend::Threaded {
-                    u32::try_from(kernels::global_pool().threads()).unwrap_or(u32::MAX)
-                } else {
-                    1
-                };
-                Ok(stats)
+        if self.poisoned {
+            return Err(NumError::InvalidInput(
+                "solve on a poisoned session (rebind or reload values to recover)".into(),
+            ));
+        }
+        // A configured preconditioner whose setup collapses (IC(0) on an
+        // operator that drifted off SPD) is itself recoverable through
+        // the fallback chain; anything else is terminal.
+        let mut precond_broken = false;
+        if let Err(e) = self.ensure_precond() {
+            let fallback_can_help = self.policy.enabled
+                && self.policy.precond_fallback
+                && matches!(e, NumError::Breakdown(_) | NumError::SingularMatrix { .. });
+            if !fallback_can_help {
+                return Err(e);
             }
-            Err(e) => {
-                // A failed iterate must not become the next solve's warm
-                // start.
+            precond_broken = true;
+        }
+
+        // Fault-injection gates, sampled once per solve and applied to
+        // the first attempt only (so the ladder can always recover).
+        // No-ops unless a plan is armed; see `crate::faults`.
+        let forced_breakdown = faults::inject(FaultSite::Breakdown);
+        let truncated_budget = faults::inject(FaultSite::BudgetTruncation);
+        let corrupt_state = faults::inject(FaultSite::NanCorruption);
+
+        let mut last_err: Option<NumError> = if precond_broken {
+            Some(NumError::Breakdown(
+                "configured preconditioner setup failed".into(),
+            ))
+        } else {
+            None
+        };
+        for rung in self.ladder(precond_broken) {
+            let first = matches!(rung, RecoveryRung::Clean);
+            if !first {
+                self.stats.recovery_retries += 1;
+                // Every retry discards the (possibly misleading) warm
+                // start and restarts cold.
                 self.x.clear();
-                Err(e)
+            }
+            let mut opts = self.opts.clone();
+            if truncated_budget && first {
+                opts.max_iterations = 1;
+            }
+            let mut fallback: Option<Box<dyn Preconditioner>> = None;
+            match rung {
+                RecoveryRung::PrecondFallback(spec) => {
+                    self.stats.precond_fallbacks += 1;
+                    let mut m = spec.build();
+                    if m.setup(&self.matrix).is_err() {
+                        // E.g. IC(0) on a non-SPD operator: skip to the
+                        // next, weaker rung.
+                        continue;
+                    }
+                    self.stats.precond_setups += 1;
+                    fallback = Some(m);
+                }
+                RecoveryRung::WidenedBudget => {
+                    self.stats.budget_widenings += 1;
+                    opts.max_iterations = self
+                        .opts
+                        .max_iterations
+                        .saturating_mul(self.policy.widen_budget_by as usize);
+                }
+                RecoveryRung::Clean | RecoveryRung::ColdRestart => {}
+            }
+
+            let result = if forced_breakdown && first {
+                Err(NumError::Breakdown(
+                    "injected rho breakdown (bright_num::faults)".into(),
+                ))
+            } else {
+                // `b` aliases `self.rhs` on the in-place path; reborrow
+                // it from the field so the borrow checker sees disjoint
+                // fields.
+                let rhs = if b_is_internal { &self.rhs } else { b };
+                let m: &mut dyn Preconditioner = match fallback.as_mut() {
+                    Some(m) => m.as_mut(),
+                    None => self
+                        .precond
+                        .as_mut()
+                        .expect("preconditioner ensured above")
+                        .as_mut(),
+                };
+                if spd {
+                    conjugate_gradient_preconditioned(
+                        &self.matrix,
+                        rhs,
+                        &mut self.x,
+                        &opts,
+                        &mut self.ws,
+                        m,
+                    )
+                } else {
+                    bicgstab_preconditioned(
+                        &self.matrix,
+                        rhs,
+                        &mut self.x,
+                        &opts,
+                        &mut self.ws,
+                        m,
+                    )
+                }
+            };
+
+            match result {
+                Ok(stats) => {
+                    if corrupt_state && first {
+                        if let Some(slot) = self.x.first_mut() {
+                            *slot = f64::NAN;
+                        }
+                        self.ws.corrupt_residual();
+                    }
+                    if all_finite(&self.x) && self.ws.all_finite() {
+                        self.last = stats;
+                        self.stats.solves += 1;
+                        if !first {
+                            self.stats.recovered_solves += 1;
+                        }
+                        self.last_rung = rung;
+                        let backend =
+                            self.opts.kernel.resolve(self.matrix.rows(), self.matrix.nnz());
+                        self.stats.last_backend = backend;
+                        self.stats.kernel_threads = if backend == Backend::Threaded {
+                            u32::try_from(kernels::global_pool().threads()).unwrap_or(u32::MAX)
+                        } else {
+                            1
+                        };
+                        return Ok(stats);
+                    }
+                    // The iterate converged but left non-finite state
+                    // behind: treat it like a breakdown and keep
+                    // climbing.
+                    last_err = Some(NumError::Breakdown(
+                        "post-solve validation found non-finite state".into(),
+                    ));
+                    self.x.clear();
+                }
+                Err(e @ (NumError::NotConverged { .. } | NumError::Breakdown(_))) => {
+                    // A failed iterate must not become the next solve's
+                    // warm start.
+                    last_err = Some(e);
+                    self.x.clear();
+                }
+                Err(e) => {
+                    self.x.clear();
+                    return Err(e);
+                }
             }
         }
+
+        // Ladder exhausted (or recovery disabled). If non-finite values
+        // are still sitting in the scratch state, quarantine the session
+        // until the owner rebinds or reloads values.
+        self.x.clear();
+        if !self.ws.all_finite() {
+            self.poisoned = true;
+            self.stats.poisonings += 1;
+        }
+        Err(last_err.expect("at least one attempt ran"))
     }
 
     /// Solves `A·x = b` with preconditioned CG (SPD operators),
@@ -616,9 +919,128 @@ mod tests {
             preconditioner: PrecondSpec::Jacobi,
             ..IterOptions::default()
         });
+        // Recovery off: this test pins the clean-path failure contract.
+        s.set_recovery_policy(RecoveryPolicy::disabled());
         s.bind_triplets(&chain(n, 1.0)).unwrap();
         assert!(s.solve_spd(&vec![1.0; n]).is_err());
         assert!(s.solution().is_empty());
+        assert!(!s.poisoned(), "a finite non-converged iterate must not poison");
+    }
+
+    #[test]
+    fn ladder_recovers_a_truncated_budget() {
+        let n = 12;
+        // Four Jacobi iterations at 1e-12 cannot converge; with the
+        // ladder on, the IC(0) fallback rung (exact for a tridiagonal
+        // chain) rescues the solve within the same budget.
+        let mut s = SolverSession::new(IterOptions {
+            max_iterations: 4,
+            tolerance: 1e-12,
+            preconditioner: PrecondSpec::Jacobi,
+            ..IterOptions::default()
+        });
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let stats = s.solve_spd(&vec![1.0; n]).unwrap();
+        assert!(stats.relative_residual <= 1e-12);
+        let session = s.stats();
+        assert_eq!(session.recovered_solves, 1);
+        assert!(session.recovery_retries >= 1);
+        assert!(session.precond_fallbacks >= 1);
+        assert_eq!(
+            s.last_recovery(),
+            RecoveryRung::PrecondFallback(PrecondSpec::Ic0)
+        );
+        assert!(s.last_recovery().describe().unwrap().contains("ic0"));
+        // A recovered solve leaves the *configured* spec installed: the
+        // next solve starts clean again.
+        assert_eq!(s.options().preconditioner, PrecondSpec::Jacobi);
+    }
+
+    #[test]
+    fn injected_breakdown_recovers_on_the_cold_restart_rung() {
+        use crate::faults::{self, FaultPlan};
+        let _serial = faults::test_serial_guard();
+        let n = 24;
+        let mut s = SolverSession::default();
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let b = vec![1.0; n];
+        let clean = {
+            let mut reference = SolverSession::default();
+            reference.bind_triplets(&chain(n, 1.0)).unwrap();
+            reference.solve_spd(&b).unwrap();
+            reference.solution().to_vec()
+        };
+        // Breakdown injected on every solve opportunity: the clean
+        // attempt fails synthetically, the cold restart succeeds.
+        let plan = FaultPlan { seed: 0, breakdown: 1, ..FaultPlan::default() };
+        faults::with_plan(Some(plan), || {
+            s.solve_spd(&b).unwrap();
+        });
+        assert_eq!(s.stats().recovered_solves, 1);
+        assert_eq!(s.last_recovery(), RecoveryRung::ColdRestart);
+        for (a, c) in s.solution().iter().zip(&clean) {
+            assert!((a - c).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn nan_injection_without_recovery_poisons_until_resync() {
+        use crate::faults::{self, FaultPlan};
+        let _serial = faults::test_serial_guard();
+        let n = 16;
+        let t = chain(n, 1.0);
+        let mut s = SolverSession::default();
+        s.set_recovery_policy(RecoveryPolicy::disabled());
+        s.bind_triplets(&t).unwrap();
+        let b = vec![1.0; n];
+        let tag = s.operator_tag();
+        let plan = FaultPlan { seed: 0, nan: 1, ..FaultPlan::default() };
+        faults::with_plan(Some(plan), || {
+            assert!(s.solve_spd(&b).is_err());
+        });
+        assert!(s.poisoned());
+        assert_eq!(s.stats().poisonings, 1);
+        assert!(!s.is_current(tag, 0), "poisoned sessions are never current");
+        // Solving while poisoned is refused even with faults gone.
+        assert!(s.solve_spd(&b).is_err());
+        // A value reload is a cold re-assembly: poison clears and the
+        // result matches a fresh session bitwise.
+        s.refresh_values(&t, 1).unwrap();
+        assert!(!s.poisoned());
+        s.solve_spd(&b).unwrap();
+        let mut fresh = SolverSession::default();
+        fresh.bind_triplets(&t).unwrap();
+        fresh.solve_spd(&b).unwrap();
+        let got: Vec<u64> = s.solution().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = fresh.solution().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn broken_configured_preconditioner_falls_back() {
+        // A non-SPD operator breaks the configured IC(0) setup; the
+        // ladder serves the solve through a fallback instead.
+        let n = 20;
+        // tridiag(-5, 4, -0.5): real positive spectrum (fine for
+        // BiCGSTAB), but the IC(0) pivot goes negative on row 1
+        // (4 - (5/2)² < 0), so the configured setup breaks down.
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0).unwrap();
+            if i > 0 {
+                t.push(i, i - 1, -5.0).unwrap();
+            }
+            if i + 1 < n {
+                t.push(i, i + 1, -0.5).unwrap();
+            }
+        }
+        let mut s = SolverSession::with_preconditioner(PrecondSpec::Ic0);
+        s.bind_triplets(&t).unwrap();
+        let b = vec![1.0; n];
+        let stats = s.solve_general(&b).unwrap();
+        assert!(stats.relative_residual <= s.options().tolerance);
+        assert_eq!(s.stats().recovered_solves, 1);
+        assert!(matches!(s.last_recovery(), RecoveryRung::PrecondFallback(_)));
     }
 
     #[test]

@@ -179,6 +179,28 @@ impl KrylovWorkspace {
         self.s_hat.resize(n, 0.0);
         self.t.resize(n, 0.0);
     }
+
+    /// True when every scratch vector holds only finite values. Sessions
+    /// run this scan (together with one over the solution) after each
+    /// solve; a NaN or infinity that slipped into the scratch state marks
+    /// the session poisoned (see [`crate::session::SolverSession`]).
+    #[must_use]
+    pub fn all_finite(&self) -> bool {
+        [
+            &self.r, &self.z, &self.p, &self.ap, &self.r_hat, &self.v, &self.p_hat, &self.s,
+            &self.s_hat, &self.t,
+        ]
+        .into_iter()
+        .all(|v| crate::vec_ops::all_finite(v))
+    }
+
+    /// Fault-injection hook: plants a NaN in the residual scratch (shared
+    /// by both solvers) so the post-solve state scan trips.
+    pub(crate) fn corrupt_residual(&mut self) {
+        if let Some(slot) = self.r.first_mut() {
+            *slot = f64::NAN;
+        }
+    }
 }
 
 /// Prepares the warm-start/solution buffer: a correctly sized `x` is kept

@@ -23,6 +23,11 @@ fn lcg(seed: u64, i: u64, salt: u64) -> f64 {
 
 /// Random SPD system: symmetric off-diagonals under a dominant diagonal.
 fn random_spd(n: usize, seed: u64) -> bright_num::CsrMatrix {
+    random_spd_triplets(n, seed).to_csr()
+}
+
+/// Triplet form of [`random_spd`], for session `bind_triplets` tests.
+fn random_spd_triplets(n: usize, seed: u64) -> TripletMatrix {
     let mut t = TripletMatrix::new(n, n);
     let mut diag = vec![1.0; n];
     for i in 0..n {
@@ -39,7 +44,7 @@ fn random_spd(n: usize, seed: u64) -> bright_num::CsrMatrix {
     for (i, d) in diag.iter().enumerate() {
         t.push(i, i, d + 0.5).unwrap();
     }
-    t.to_csr()
+    t
 }
 
 /// Random nonsymmetric diagonally dominant system (upwind-like).
@@ -564,5 +569,106 @@ proptest! {
         }
         prop_assert_eq!(session.stats().binds, 1);
         prop_assert_eq!(session.stats().refreshes, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Solves recovered through the session ladder under injected
+    /// faults agree with clean solves to solver tolerance. Every plan
+    /// here uses period 1 (fires on every opportunity), so the
+    /// assertion is independent of the global opportunity counters and
+    /// of any `BRIGHT_FAULTS` seed a CI run installs.
+    #[test]
+    fn fault_recovered_solves_agree_with_clean_solves(
+        n in 4usize..24,
+        seed in 0u64..200,
+        fault in 0usize..3,
+    ) {
+        use bright_num::faults::{self, FaultPlan};
+
+        let t = random_spd_triplets(n, seed);
+        let b: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 211) + 1.0).collect();
+        let opts = IterOptions {
+            tolerance: 1e-11,
+            max_iterations: 10_000,
+            preconditioner: PrecondSpec::ssor(),
+            ..IterOptions::default()
+        };
+
+        let mut clean = SolverSession::new(opts.clone());
+        clean.bind_triplets(&t).unwrap();
+        faults::with_plan(None, || clean.solve_spd(&b)).unwrap();
+
+        let plan = match fault {
+            0 => FaultPlan { nan: 1, ..FaultPlan::default() },
+            1 => FaultPlan { breakdown: 1, ..FaultPlan::default() },
+            _ => FaultPlan { budget: 1, ..FaultPlan::default() },
+        };
+        let mut faulted = SolverSession::new(opts);
+        faulted.bind_triplets(&t).unwrap();
+        faults::with_plan(Some(plan), || faulted.solve_spd(&b)).unwrap();
+        prop_assert!(faulted.stats().recovered_solves >= 1, "ladder never engaged");
+        prop_assert!(!faulted.poisoned());
+        prop_assert!(faulted.last_recovery().describe().is_some());
+
+        let denom = clean
+            .solution()
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-30);
+        for (u, v) in faulted.solution().iter().zip(clean.solution()) {
+            prop_assert!((u - v).abs() / denom < 1e-8, "{} vs {}", u, v);
+        }
+    }
+
+    /// A session poisoned by an unrecovered NaN fault refuses further
+    /// solves, and after a resync its cold-rebuilt solve is bitwise
+    /// equal to a fresh session's.
+    #[test]
+    fn fault_poisoned_session_cold_rebuilds_bitwise_equal_to_fresh(
+        n in 4usize..24,
+        seed in 0u64..200,
+    ) {
+        use bright_num::faults::{self, FaultPlan};
+        use bright_num::{NumError, RecoveryPolicy};
+
+        let t = random_spd_triplets(n, seed);
+        let b: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 223) + 1.0).collect();
+        let opts = IterOptions {
+            tolerance: 1e-11,
+            max_iterations: 10_000,
+            preconditioner: PrecondSpec::ssor(),
+            ..IterOptions::default()
+        };
+
+        let mut s = SolverSession::new(opts.clone());
+        s.set_recovery_policy(RecoveryPolicy::disabled());
+        s.bind_triplets(&t).unwrap();
+        let plan = FaultPlan { nan: 1, ..FaultPlan::default() };
+        prop_assert!(faults::with_plan(Some(plan), || s.solve_spd(&b)).is_err());
+        prop_assert!(s.poisoned());
+        prop_assert_eq!(s.stats().poisonings, 1);
+        prop_assert!(!s.is_current(s.operator_tag(), s.epoch()));
+        // Poisoned sessions refuse to solve until resynced.
+        prop_assert!(matches!(
+            faults::with_plan(None, || s.solve_spd(&b)),
+            Err(NumError::InvalidInput(_))
+        ));
+
+        // Resync clears the poison; the rebuilt state must be
+        // indistinguishable from a fresh session's.
+        s.refresh_values(&t, 1).unwrap();
+        prop_assert!(!s.poisoned());
+        faults::with_plan(None, || s.solve_spd(&b)).unwrap();
+
+        let mut fresh = SolverSession::new(opts);
+        fresh.bind_triplets(&t).unwrap();
+        faults::with_plan(None, || fresh.solve_spd(&b)).unwrap();
+        prop_assert_eq!(s.solution().len(), fresh.solution().len());
+        for (u, v) in s.solution().iter().zip(fresh.solution()) {
+            prop_assert!(u.to_bits() == v.to_bits(), "{} vs {}", u, v);
+        }
     }
 }

@@ -205,11 +205,25 @@ impl TransientSimulation {
     }
 
     /// Session statistics of the internal solver (solves, refreshes,
-    /// kernel path) — engines surface
-    /// [`bright_num::SessionStats::kernel_digest`] in their reports.
+    /// kernel path, recovery counters) — engines surface
+    /// [`bright_num::SessionStats::kernel_digest`] and the recovery
+    /// counters in their reports.
     #[inline]
     pub fn session_stats(&self) -> bright_num::SessionStats {
         self.session.stats()
+    }
+
+    /// Replaces the failure-recovery policy of the internal solver
+    /// session (see [`bright_num::RecoveryPolicy`]).
+    pub fn set_recovery_policy(&mut self, policy: bright_num::RecoveryPolicy) {
+        self.session.set_recovery_policy(policy);
+    }
+
+    /// The ladder rung that produced the session's most recent solve
+    /// (see [`bright_num::RecoveryRung`]).
+    #[inline]
+    pub fn last_recovery(&self) -> bright_num::RecoveryRung {
+        self.session.last_recovery()
     }
 
     /// Changes the time step, re-stamping the `C/Δt` diagonal of the
@@ -557,6 +571,9 @@ pub struct AdaptiveStats {
     /// Linear solves performed (3 per attempt: one full step, two half
     /// steps).
     pub solves: u64,
+    /// Trial attempts whose *solver* failed (as opposed to the error
+    /// test) and were retried at half the step size.
+    pub solver_retries: u64,
 }
 
 /// The outcome of one accepted adaptive step.
@@ -666,6 +683,19 @@ impl AdaptiveTransient {
         self.stats
     }
 
+    /// Session statistics of the underlying simulation's solver (see
+    /// [`TransientSimulation::session_stats`]).
+    #[inline]
+    pub fn session_stats(&self) -> bright_num::SessionStats {
+        self.sim.session_stats()
+    }
+
+    /// Replaces the failure-recovery policy of the underlying solver
+    /// session (see [`bright_num::RecoveryPolicy`]).
+    pub fn set_recovery_policy(&mut self, policy: bright_num::RecoveryPolicy) {
+        self.sim.set_recovery_policy(policy);
+    }
+
     /// The Δt the controller will attempt next.
     #[inline]
     pub fn dt_next(&self) -> f64 {
@@ -714,28 +744,21 @@ impl AdaptiveTransient {
         let remaining = seg_duration - self.time_in_segment;
         let mut h = self.dt_next.clamp(self.cfg.dt_min, self.cfg.dt_max).min(remaining);
         loop {
-            // Trial: one full step at h, two half steps at h/2, all from
-            // the committed field.
-            self.sim.set_dt(h)?;
-            let y_big = TransientSimulation::solve_from(
-                &mut self.sim.session,
-                &self.sim.rhs_steady,
-                &self.sim.capacity_over_dt,
-                &self.sim.temperatures,
-            )?;
-            self.sim.set_dt(h / 2.0)?;
-            let y_half = TransientSimulation::solve_from(
-                &mut self.sim.session,
-                &self.sim.rhs_steady,
-                &self.sim.capacity_over_dt,
-                &self.sim.temperatures,
-            )?;
-            let y_fine = TransientSimulation::solve_from(
-                &mut self.sim.session,
-                &self.sim.rhs_steady,
-                &self.sim.capacity_over_dt,
-                &y_half,
-            )?;
+            let (y_big, y_fine) = match self.trial_solves(h) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // A solver failure mid-trace (one the session's own
+                    // recovery ladder could not absorb): halve Δt and
+                    // retry before aborting the trace. At the Δt floor
+                    // the failure is terminal.
+                    if h <= self.cfg.dt_min * (1.0 + 1e-9) {
+                        return Err(e);
+                    }
+                    self.stats.solver_retries += 1;
+                    h = (h / 2.0).max(self.cfg.dt_min).min(remaining);
+                    continue;
+                }
+            };
             self.stats.solves += 3;
             // The session's solution is y_fine (the last solve), so the
             // error test reads it in place against the coarse result.
@@ -781,6 +804,35 @@ impl AdaptiveTransient {
             let factor = (self.cfg.safety / err.sqrt()).clamp(self.cfg.min_shrink, 1.0);
             h = (h * factor).max(self.cfg.dt_min).min(remaining);
         }
+    }
+
+    /// One trial: a full step at `h` and two half steps at `h/2`, all
+    /// started from the committed field. Returns the coarse and refined
+    /// results; on success the session's solution holds the refined one
+    /// (so the error test can read it in place). A failure leaves the
+    /// committed field untouched.
+    fn trial_solves(&mut self, h: f64) -> Result<(Vec<f64>, Vec<f64>), ThermalError> {
+        self.sim.set_dt(h)?;
+        let y_big = TransientSimulation::solve_from(
+            &mut self.sim.session,
+            &self.sim.rhs_steady,
+            &self.sim.capacity_over_dt,
+            &self.sim.temperatures,
+        )?;
+        self.sim.set_dt(h / 2.0)?;
+        let y_half = TransientSimulation::solve_from(
+            &mut self.sim.session,
+            &self.sim.rhs_steady,
+            &self.sim.capacity_over_dt,
+            &self.sim.temperatures,
+        )?;
+        let y_fine = TransientSimulation::solve_from(
+            &mut self.sim.session,
+            &self.sim.rhs_steady,
+            &self.sim.capacity_over_dt,
+            &y_half,
+        )?;
+        Ok((y_big, y_fine))
     }
 
     fn advance_segment(&mut self) -> Result<(), ThermalError> {
@@ -1230,6 +1282,37 @@ mod tests {
         let mut cp2 = sim.save_checkpoint();
         cp2.dt = -1.0;
         assert!(sim.restore_checkpoint(&cp2).is_err());
+    }
+
+    #[test]
+    fn adaptive_halves_dt_on_solver_faults_and_finishes() {
+        use bright_num::faults::{self, FaultPlan};
+        use bright_num::RecoveryPolicy;
+        let (model, power) = setup();
+        let trace = PowerTrace::new(vec![TraceSegment { duration: 0.02, power }]).unwrap();
+        let cfg = AdaptiveConfig::default();
+        let mut adaptive = AdaptiveTransient::new(model, trace, 300.0, cfg).unwrap();
+        // Disable the session's own ladder so injected breakdowns reach
+        // the adaptive controller's retry path.
+        adaptive.set_recovery_policy(RecoveryPolicy::disabled());
+        // Exactly one breakdown, at the 7th solve opportunity (the
+        // period exceeds any realistic opportunity count): the failed
+        // trial costs one halved-Δt retry, the rest of the trace runs
+        // clean.
+        let plan = FaultPlan { seed: 7, breakdown: 1 << 40, ..FaultPlan::default() };
+        let peak = faults::with_plan(Some(plan), || {
+            faults::reset_counters();
+            adaptive.run_to_end().unwrap()
+        });
+        assert!(peak > 300.0);
+        assert!(adaptive.finished());
+        let stats = adaptive.stats();
+        assert!(
+            stats.solver_retries >= 1,
+            "expected at least one solver retry, got {stats:?}"
+        );
+        // The session never recovered anything itself (ladder off).
+        assert_eq!(adaptive.session_stats().recovered_solves, 0);
     }
 
     #[test]
