@@ -1,0 +1,348 @@
+//! PR-7 performance gate: geometric multigrid preconditioning for
+//! large-grid thermal/PDN solves. Records the results in
+//! `BENCH_PR7.json`.
+//!
+//! Three gate families, mirroring the acceptance criteria:
+//!
+//! * `mesh_independence` — the scaled conduction stack
+//!   ([`bright_thermal::presets::conduction_stack_scaled`]) solved
+//!   under the multigrid preconditioner at plane scales 2 and 8: the
+//!   unknown count grows exactly 16× (77 440 → 1 239 040) while the
+//!   Krylov iteration count must grow by less than 1.5×. At the large
+//!   scale the session's own auto-selection
+//!   ([`bright_num::PrecondSpec::auto_for_grid`]) must have picked
+//!   multigrid — only the small grid forces it explicitly.
+//! * `ssor_comparison` — the same large stack solved cold under
+//!   SSOR(ω = 1.5): multigrid must need ≥ 3× fewer iterations at the
+//!   largest grid (≥ ~500k unknowns).
+//! * `hierarchy_cache` — one session driven through
+//!   bind → solve → coefficient re-stamp → solve on the conduction
+//!   stack: the multigrid hierarchy must be built exactly once and
+//!   refreshed in place exactly once (counter-based, via
+//!   [`bright_num::SessionStats`]).
+//!
+//! A non-gated `pdn_rail` row records the SPD cache-rail sheet at
+//! scale 8 (~577k unknowns), where
+//! [`bright_pdn::PowerGrid::preferred_preconditioner`] auto-selects
+//! multigrid.
+//!
+//! Usage: `bench_pr7 [--quick] [--out <path>]` (default
+//! `BENCH_PR7.json`). `--quick` runs the SSOR comparison at scale 6
+//! (~697k unknowns, still past the ~500k floor) to keep CI wall-clock
+//! in check; the multigrid legs are cheap at every scale.
+
+use bright_floorplan::{power7, PowerScenario};
+use bright_jsonio::Value;
+use bright_num::{MgConfig, PrecondSpec};
+use bright_thermal::presets::conduction_stack_scaled;
+use std::time::Instant;
+
+/// Iteration-growth ceiling while unknowns grow 16×.
+const MAX_ITER_GROWTH: f64 = 1.5;
+/// Required multigrid advantage over SSOR(1.5) at the largest grid.
+const MIN_SSOR_ADVANTAGE: f64 = 3.0;
+
+struct SolveRow {
+    scale: usize,
+    unknowns: usize,
+    iterations: usize,
+    digest: String,
+    bind_s: f64,
+    solve_s: f64,
+}
+
+impl SolveRow {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("scale".into(), Value::Number(self.scale as f64)),
+            ("unknowns".into(), Value::Number(self.unknowns as f64)),
+            ("iterations".into(), Value::Number(self.iterations as f64)),
+            ("preconditioner".into(), Value::String(self.digest.clone())),
+            ("bind_s".into(), Value::Number(self.bind_s)),
+            ("solve_s".into(), Value::Number(self.solve_s)),
+        ])
+    }
+}
+
+/// Cold-solves the scaled conduction stack (full POWER7+ load on both
+/// die faces) with the given preconditioner, `None` meaning whatever
+/// `ThermalModel::solve_options` auto-selects for the grid.
+fn solve_conduction(scale: usize, precond: Option<PrecondSpec>) -> SolveRow {
+    let model = conduction_stack_scaled(scale).expect("conduction preset");
+    let plan = power7::floorplan();
+    let power = PowerScenario::full_load()
+        .rasterize(&plan, model.grid())
+        .expect("rasterize");
+    let t0 = Instant::now();
+    let mut session = model.session().expect("session");
+    if let Some(spec) = precond {
+        session.set_preconditioner(spec);
+    }
+    let bind_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    model
+        .solve_steady_with_sources_warm(&[(0, &power), (2, &power)], &mut session)
+        .expect("steady solve");
+    let solve_s = t1.elapsed().as_secs_f64();
+    let stats = session.last_stats();
+    SolveRow {
+        scale,
+        unknowns: model.grid().len() * model.level_count(),
+        iterations: stats.iterations,
+        digest: session.precond_digest(),
+        bind_s,
+        solve_s,
+    }
+}
+
+/// Forces multigrid on a grid below the auto-selection threshold.
+fn forced_mg(scale: usize) -> PrecondSpec {
+    let model = conduction_stack_scaled(scale).expect("conduction preset");
+    PrecondSpec::Multigrid(MgConfig::for_grid(
+        model.grid().nx(),
+        model.grid().ny(),
+        model.level_count(),
+    ))
+}
+
+struct CacheRow {
+    hierarchy_builds: u64,
+    refreshes: u64,
+    cold_iterations: usize,
+    warm_iterations: usize,
+}
+
+/// Gate 3: bind → solve → coefficient re-stamp → solve must build the
+/// multigrid hierarchy once and refresh its values in place once.
+fn bench_hierarchy_cache() -> CacheRow {
+    let scale = 2;
+    let mut model = conduction_stack_scaled(scale).expect("conduction preset");
+    let plan = power7::floorplan();
+    let power = PowerScenario::full_load()
+        .rasterize(&plan, model.grid())
+        .expect("rasterize");
+    let mut session = model.session().expect("session");
+    session.set_preconditioner(forced_mg(scale));
+    let sources = [(0usize, &power), (2usize, &power)];
+    model
+        .solve_steady_with_sources_warm(&sources, &mut session)
+        .expect("cold solve");
+    let cold_iterations = session.last_stats().iterations;
+    // A value-only re-stamp: the closure touches nothing (the stack has
+    // no microchannel layers), but the model still re-stamps the
+    // operator through the cached pattern and advances its coefficient
+    // epoch — exactly what a flow/inlet sweep does on the fluid stacks.
+    // The session must answer with an O(nnz) value reload, not a
+    // rebind, and the multigrid preconditioner must refresh its cached
+    // hierarchy in place instead of rebuilding it.
+    model
+        .refresh_microchannels(|_| {})
+        .expect("value-only re-stamp");
+    model
+        .solve_steady_with_sources_warm(&sources, &mut session)
+        .expect("warm solve");
+    let stats = session.stats();
+    CacheRow {
+        hierarchy_builds: stats.mg_hierarchy_builds,
+        refreshes: stats.mg_refreshes,
+        cold_iterations,
+        warm_iterations: session.last_stats().iterations,
+    }
+}
+
+struct PdnRow {
+    unknowns: usize,
+    iterations: usize,
+    digest: String,
+    solve_s: f64,
+    min_voltage: f64,
+}
+
+/// Informational: the SPD cache-rail sheet at scale 8, where the PDN
+/// session auto-selects multigrid.
+fn bench_pdn_rail() -> PdnRow {
+    let pg = bright_pdn::presets::power7_cache_rail_scaled(8).expect("pdn preset");
+    let mut session = pg.session();
+    let t0 = Instant::now();
+    let sol = pg.solve_warm(&mut session).expect("pdn solve");
+    let solve_s = t0.elapsed().as_secs_f64();
+    PdnRow {
+        unknowns: pg.grid().len(),
+        iterations: session.last_stats().iterations,
+        digest: session.precond_digest(),
+        solve_s,
+        min_voltage: sol.min_voltage().value(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+
+    bright_bench::banner(
+        "BENCH_PR7",
+        "geometric multigrid: mesh independence, SSOR advantage, hierarchy cache",
+    );
+
+    // Gate 1: iteration growth across a 16× unknown-count jump. The
+    // small grid sits below the auto-selection threshold, so multigrid
+    // is forced there; the large grid must pick it on its own.
+    let small = solve_conduction(2, Some(forced_mg(2)));
+    let large = solve_conduction(8, None);
+    for row in [&small, &large] {
+        println!(
+            "  mesh_independence  scale {}  {:>9} unknowns  {:>4} iterations  {}  bind {:>6.2} s  solve {:>6.2} s",
+            row.scale, row.unknowns, row.iterations, row.digest, row.bind_s, row.solve_s,
+        );
+    }
+
+    // Gate 2: SSOR(1.5) on a ≥ ~500k-unknown grid. Quick mode trims the
+    // grid (scale 6, ~697k) because the point of the gate is the
+    // iteration ratio, not the wall-clock of a deliberately weak
+    // preconditioner at 1.24M unknowns.
+    let ssor_scale = if quick { 6 } else { 8 };
+    let ssor = solve_conduction(ssor_scale, Some(PrecondSpec::Ssor { omega: 1.5 }));
+    let mg_extra;
+    let mg_ref: &SolveRow = if ssor_scale == large.scale {
+        &large
+    } else {
+        mg_extra = solve_conduction(ssor_scale, None);
+        &mg_extra
+    };
+    println!(
+        "  ssor_comparison    scale {}  {:>9} unknowns  ssor(1.5) {} iterations vs multigrid {}  ({:.1}x)",
+        ssor.scale,
+        ssor.unknowns,
+        ssor.iterations,
+        mg_ref.iterations,
+        ssor.iterations as f64 / mg_ref.iterations as f64,
+    );
+
+    // Gate 3: hierarchy caching counters.
+    let cache = bench_hierarchy_cache();
+    println!(
+        "  hierarchy_cache    {} build(s), {} in-place refresh(es); {} cold / {} warm iterations",
+        cache.hierarchy_builds, cache.refreshes, cache.cold_iterations, cache.warm_iterations,
+    );
+
+    // Informational: the SPD PDN rail auto-selects multigrid at scale 8.
+    let pdn = bench_pdn_rail();
+    println!(
+        "  pdn_rail           {:>9} unknowns  {:>4} iterations  {}  solve {:>6.2} s  min {:.4} V",
+        pdn.unknowns, pdn.iterations, pdn.digest, pdn.solve_s, pdn.min_voltage,
+    );
+
+    let growth = large.iterations as f64 / small.iterations as f64;
+    let advantage = ssor.iterations as f64 / mg_ref.iterations as f64;
+    let doc = Value::object([
+        (
+            "mesh_independence".into(),
+            Value::Array(vec![small.to_value(), large.to_value()]),
+        ),
+        (
+            "ssor_comparison".into(),
+            Value::object([
+                ("ssor".into(), ssor.to_value()),
+                ("multigrid".into(), mg_ref.to_value()),
+                ("advantage".into(), Value::Number(advantage)),
+            ]),
+        ),
+        (
+            "hierarchy_cache".into(),
+            Value::object([
+                (
+                    "mg_hierarchy_builds".into(),
+                    Value::Number(cache.hierarchy_builds as f64),
+                ),
+                ("mg_refreshes".into(), Value::Number(cache.refreshes as f64)),
+                (
+                    "cold_iterations".into(),
+                    Value::Number(cache.cold_iterations as f64),
+                ),
+                (
+                    "warm_iterations".into(),
+                    Value::Number(cache.warm_iterations as f64),
+                ),
+            ]),
+        ),
+        (
+            "pdn_rail".into(),
+            Value::object([
+                ("unknowns".into(), Value::Number(pdn.unknowns as f64)),
+                ("iterations".into(), Value::Number(pdn.iterations as f64)),
+                ("preconditioner".into(), Value::String(pdn.digest.clone())),
+                ("solve_s".into(), Value::Number(pdn.solve_s)),
+                ("min_voltage".into(), Value::Number(pdn.min_voltage)),
+            ]),
+        ),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "gates".into(),
+            Value::object([
+                ("max_iteration_growth".into(), Value::Number(MAX_ITER_GROWTH)),
+                ("min_ssor_advantage".into(), Value::Number(MIN_SSOR_ADVANTAGE)),
+                ("unknown_growth".into(), Value::Number(16.0)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json_string_pretty() + "\n").expect("write BENCH_PR7.json");
+    println!("  results written to {out_path}");
+
+    // Fail loudly when an acceptance gate regresses.
+    let mut failed = false;
+    if large.unknowns != 16 * small.unknowns {
+        eprintln!(
+            "GATE FAILED: unknown growth must be exactly 16x, got {} -> {}",
+            small.unknowns, large.unknowns
+        );
+        failed = true;
+    }
+    if growth >= MAX_ITER_GROWTH {
+        eprintln!(
+            "GATE FAILED: multigrid iterations grew {growth:.2}x across a 16x unknown jump \
+             (limit {MAX_ITER_GROWTH}x): {} -> {}",
+            small.iterations, large.iterations
+        );
+        failed = true;
+    }
+    if !large.digest.starts_with("mg(") {
+        eprintln!(
+            "GATE FAILED: the large grid must auto-select multigrid, got {}",
+            large.digest
+        );
+        failed = true;
+    }
+    if ssor.unknowns < 500_000 {
+        eprintln!(
+            "GATE FAILED: the SSOR comparison grid must have >= ~500k unknowns, got {}",
+            ssor.unknowns
+        );
+        failed = true;
+    }
+    if advantage < MIN_SSOR_ADVANTAGE {
+        eprintln!(
+            "GATE FAILED: multigrid advantage over SSOR(1.5) is {advantage:.2}x \
+             (need >= {MIN_SSOR_ADVANTAGE}x): ssor {} vs mg {}",
+            ssor.iterations, mg_ref.iterations
+        );
+        failed = true;
+    }
+    if cache.hierarchy_builds != 1 || cache.refreshes != 1 {
+        eprintln!(
+            "GATE FAILED: bind -> solve -> re-stamp -> solve must build the hierarchy once \
+             and refresh once, got {} build(s) / {} refresh(es)",
+            cache.hierarchy_builds, cache.refreshes
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all multigrid gates passed");
+}

@@ -143,6 +143,23 @@ impl CoSimulation {
         self.pdn_session.stats()
     }
 
+    /// Preconditioner digest of the thermal solve path — the plain
+    /// spec name (`"ssor"`), or the multigrid hierarchy digest
+    /// (`"mg(4 levels, coarse 144, chebyshev)"`) once a multigrid
+    /// solve has run. The engine stamps this into
+    /// [`crate::ScenarioReport::precond`].
+    #[must_use]
+    pub fn precond_digest(&self) -> String {
+        self.thermal_session.precond_digest()
+    }
+
+    /// The preconditioner spec currently configured on the thermal
+    /// session (the engine's batch-level telemetry).
+    #[must_use]
+    pub fn preconditioner_spec(&self) -> bright_num::PrecondSpec {
+        self.thermal_session.options().preconditioner
+    }
+
     /// Digest of the recovery rungs that produced the most recent
     /// thermal/PDN solves, or `None` when both were clean first
     /// attempts. Each session resets its rung on every clean solve, so
@@ -283,6 +300,11 @@ impl CoSimulation {
         // 1. Thermal solve under the full chip load, through the
         //    persistent session (warm-started across runs/retargets).
         let thermal = self.thermal.get().expect("built above");
+        // Adopt the model's size-aware preconditioner (multigrid on
+        // scaled stacked-tier grids, SSOR at paper size); a no-op when
+        // the spec is unchanged, so warm sessions keep their hierarchy.
+        self.thermal_session
+            .set_preconditioner(thermal.solve_options().preconditioner);
         let power_map = s.thermal_load.rasterize(&s.floorplan, thermal.grid())?;
         let chip_power = power_map.integral();
         let thermal_sol = thermal
@@ -348,6 +370,8 @@ impl CoSimulation {
             cache => *cache = Some((key, Self::build_pdn(s)?)),
         }
         let pdn = &self.pdn.as_ref().expect("cached above").1;
+        self.pdn_session
+            .set_preconditioner(pdn.preferred_preconditioner());
         let pdn_sol = pdn.solve_warm(&mut self.pdn_session)?;
 
         // 6. Hydraulics (reusing the step-2 template's geometry).

@@ -307,6 +307,12 @@ pub struct ScenarioReport {
     /// `"scalar"`, `"blocked"`, `"threaded(8)"`; empty when the
     /// request failed before any solve).
     pub kernel: String,
+    /// Preconditioner that served the worker's thermal solve — the
+    /// spec name (`"ssor"`) or a multigrid hierarchy digest
+    /// (`"mg(4 levels, coarse 144, chebyshev)"`); empty when the
+    /// request failed before any solve. Lets degraded and scaled runs
+    /// be diagnosed from the report alone.
+    pub precond: String,
     /// `Some(digest)` when the answer was produced by a session
     /// recovery rung instead of a clean first attempt (e.g.
     /// `"thermal: precond-fallback(jacobi)"` — see
@@ -318,7 +324,7 @@ pub struct ScenarioReport {
 }
 
 /// Engine-wide counters (monotonic over the engine's lifetime).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EngineStats {
     /// Steady requests served.
     pub requests: u64,
@@ -350,6 +356,10 @@ pub struct EngineStats {
     /// Kernel-pool worker count behind that backend (1 for the
     /// single-threaded backends).
     pub kernel_threads: u32,
+    /// Preconditioner spec serving the most recent steady batch's
+    /// thermal solves ([`bright_num::PrecondSpec::Multigrid`] on
+    /// scaled grids; the default spec before the first batch).
+    pub preconditioner: bright_num::PrecondSpec,
     /// Session solves (thermal + PDN, plus transient integrations) that
     /// succeeded only after the recovery ladder intervened (see
     /// `docs/ROBUSTNESS.md`).
@@ -388,10 +398,11 @@ struct GroupResult {
     quarantined: u64,
     /// Requests that panicked (each reported as `WorkerPanic`).
     panicked: u64,
-    /// Kernel path of this group's last served request, tagged with the
-    /// highest request id so the batch-level stats pick a deterministic
-    /// winner (groups come back in arbitrary executor order).
-    kernel: Option<(u64, Backend, u32)>,
+    /// Kernel path and preconditioner spec of this group's last served
+    /// request, tagged with the highest request id so the batch-level
+    /// stats pick a deterministic winner (groups come back in
+    /// arbitrary executor order).
+    kernel: Option<(u64, Backend, u32, bright_num::PrecondSpec)>,
 }
 
 /// A long-lived, batched scenario-serving engine. See the [module
@@ -626,7 +637,7 @@ impl ScenarioEngine {
             self.stats.recovered_solves += r.recovered;
             self.stats.quarantined_workers += r.quarantined;
             self.stats.panicked_requests += r.panicked;
-            if let Some((id, backend, threads)) = r.kernel {
+            if let Some((id, backend, threads, precond)) = r.kernel {
                 // Deterministic across executor scheduling: the group
                 // holding the most recently submitted solved request
                 // wins, regardless of completion order.
@@ -634,6 +645,7 @@ impl ScenarioEngine {
                     best_kernel_id = id;
                     self.stats.kernel_backend = backend;
                     self.stats.kernel_threads = threads;
+                    self.stats.preconditioner = precond;
                 }
             }
             reports.extend(r.reports);
@@ -725,10 +737,14 @@ impl ScenarioEngine {
             // Attribute a kernel path only when *this* request actually
             // solved (a failed request on a warm worker must not
             // inherit the previous request's digest).
-            let kernel_digest = worker
+            let solved_worker = worker
                 .as_ref()
-                .filter(|w| w.thermal_session_stats().solves > solves_before)
+                .filter(|w| w.thermal_session_stats().solves > solves_before);
+            let kernel_digest = solved_worker
                 .map(|w| w.thermal_session_stats().kernel_digest())
+                .unwrap_or_default();
+            let precond_digest = solved_worker
+                .map(CoSimulation::precond_digest)
                 .unwrap_or_default();
             // A failed serve — panic or error — leaves the worker in an
             // unknowable intermediate state (half-retargeted operators,
@@ -742,6 +758,7 @@ impl ScenarioEngine {
                 pattern: digest.clone(),
                 reused_operator,
                 kernel: kernel_digest,
+                precond: precond_digest,
                 degraded,
                 result,
             });
@@ -754,7 +771,7 @@ impl ScenarioEngine {
         let kernel_used = last_solved_id.and_then(|id| {
             worker.as_ref().map(|w| {
                 let s = w.thermal_session_stats();
-                (id, s.last_backend, s.kernel_threads.max(1))
+                (id, s.last_backend, s.kernel_threads.max(1), w.preconditioner_spec())
             })
         });
         GroupResult {
@@ -1232,9 +1249,21 @@ mod tests {
             // fixed choice; any non-empty digest proves the path was
             // recorded.
             assert!(!r.kernel.is_empty(), "kernel path missing: {r:?}");
+            // The preconditioner that served the solve is likewise
+            // stamped on every successful report.
+            assert!(!r.precond.is_empty(), "precond missing: {r:?}");
         }
         let stats = engine.stats();
         assert!(stats.kernel_threads >= 1, "{stats:?}");
+        assert_eq!(
+            stats.preconditioner.name(),
+            reports
+                .last()
+                .map(|r| r.precond.as_str())
+                .map(|p| if p.starts_with("mg(") { "multigrid" } else { p })
+                .unwrap(),
+            "{stats:?}"
+        );
         if std::env::var("BRIGHT_KERNEL_BACKEND").is_err() {
             assert!(reports.iter().all(|r| r.kernel == "blocked"), "{reports:?}");
             assert_eq!(stats.kernel_backend, Backend::Blocked);

@@ -92,9 +92,28 @@ pub enum KernelSpec {
 
 /// `Auto` resolves to `Blocked` at or above this nnz.
 pub const AUTO_BLOCKED_MIN_NNZ: usize = 1_024;
-/// `Auto` resolves to `Threaded` at or above this nnz (multi-core
-/// hosts, outside sweep fan-out workers).
+/// Default nnz at or above which `Auto` resolves to `Threaded`
+/// (multi-core hosts, outside sweep fan-out workers). The
+/// `BRIGHT_KERNEL_AUTO_NNZ` environment variable overrides it at
+/// runtime — see [`auto_threaded_min_nnz`].
 pub const AUTO_THREADED_MIN_NNZ: usize = 50_000;
+
+/// The effective `Auto` → `Threaded` nnz threshold:
+/// `BRIGHT_KERNEL_AUTO_NNZ` when set to a positive integer (read once
+/// per process), otherwise [`AUTO_THREADED_MIN_NNZ`]. Lets deployments
+/// tune the crossover for their core count / memory bandwidth without
+/// rebuilding.
+#[must_use]
+pub fn auto_threaded_min_nnz() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("BRIGHT_KERNEL_AUTO_NNZ")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(AUTO_THREADED_MIN_NNZ)
+    })
+}
 
 impl KernelSpec {
     /// Parses a spec name (`scalar`/`blocked`/`threaded`/`auto`),
@@ -124,7 +143,7 @@ impl KernelSpec {
         match self.effective() {
             Self::Fixed(b) => b,
             Self::Auto => {
-                if nnz >= AUTO_THREADED_MIN_NNZ
+                if nnz >= auto_threaded_min_nnz()
                     && rows >= 2
                     && hardware_threads() >= 2
                     && !crate::parallel::in_fanout_worker()

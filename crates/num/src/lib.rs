@@ -18,6 +18,10 @@
 //! * pluggable preconditioners ([`precond`]: Jacobi, SSOR, IC(0)) and
 //!   reusable solver sessions ([`session`]) that amortize pattern,
 //!   scratch, warm start and factorization across repeated solves,
+//! * a geometric multigrid V-cycle preconditioner ([`multigrid`]:
+//!   structured plane coarsening, Galerkin coarse operators cached per
+//!   pattern, Chebyshev/weighted-Jacobi smoothing) that keeps Krylov
+//!   iteration counts near-mesh-independent on large structured grids,
 //! * a seeded fault-injection harness ([`faults`]) and session recovery
 //!   ladder ([`session::RecoveryPolicy`]) so the failure paths of all of
 //!   the above are deterministic and testable,
@@ -48,6 +52,7 @@ pub mod faults;
 pub mod interp;
 pub mod kernels;
 pub mod lazy;
+pub mod multigrid;
 pub mod parallel;
 pub mod precond;
 pub mod quadrature;
@@ -61,7 +66,8 @@ pub mod vec_ops;
 pub use error::NumError;
 pub use faults::{FaultPlan, FaultSite};
 pub use kernels::{Backend, KernelSpec};
-pub use precond::{PrecondSpec, Preconditioner};
+pub use multigrid::{MgConfig, MgSmoother, MgStats, MultigridPrecond};
+pub use precond::{mg_min_unknowns, PrecondSpec, Preconditioner};
 pub use session::{RecoveryPolicy, RecoveryRung, SessionStats, SolverSession};
 pub use solvers::{KrylovWorkspace, SolveStats};
 pub use sparse::{CsrMatrix, CsrSymbolic, TripletMatrix};

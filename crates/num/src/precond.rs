@@ -45,8 +45,10 @@
 use crate::kernels::{
     self, chunk_range, Backend, KernelSpec, LevelSchedule, SharedSliceMut, SpinBarrier,
 };
+use crate::multigrid::{MgConfig, MgStats, MultigridPrecond};
 use crate::sparse::CsrMatrix;
 use crate::NumError;
+use std::sync::OnceLock;
 
 /// Declarative preconditioner choice, carried by
 /// [`crate::solvers::IterOptions`] and solver sessions.
@@ -65,6 +67,11 @@ pub enum PrecondSpec {
     },
     /// Incomplete Cholesky, zero fill-in. SPD matrices only.
     Ic0,
+    /// Geometric multigrid V-cycle on the structured grid named by the
+    /// [`MgConfig`] (see [`crate::multigrid`]). The strongest option
+    /// for large structured grids: iteration counts stay
+    /// near-mesh-independent where SSOR/IC(0) counts grow with size.
+    Multigrid(MgConfig),
 }
 
 impl PrecondSpec {
@@ -83,6 +90,7 @@ impl PrecondSpec {
             Self::Jacobi => Box::new(JacobiPrecond::default()),
             Self::Ssor { omega } => Box::new(SsorPrecond::new(omega)),
             Self::Ic0 => Box::new(Ic0Precond::default()),
+            Self::Multigrid(config) => Box::new(MultigridPrecond::new(config)),
         }
     }
 
@@ -92,6 +100,9 @@ impl PrecondSpec {
     /// equal to the configured spec) when a solve breaks down or stalls;
     /// a chain entry whose setup fails — e.g. IC(0) on a matrix that has
     /// drifted off SPD — is skipped in favor of the next, weaker one.
+    /// Multigrid is deliberately *not* in the chain: a session
+    /// configured with [`Self::Multigrid`] therefore degrades
+    /// MG → IC(0) → SSOR → Jacobi and never falls back to itself.
     #[must_use]
     pub fn fallback_chain() -> [Self; 3] {
         [Self::Ic0, Self::ssor(), Self::Jacobi]
@@ -105,8 +116,100 @@ impl PrecondSpec {
             Self::Jacobi => "jacobi",
             Self::Ssor { .. } => "ssor",
             Self::Ic0 => "ic0",
+            Self::Multigrid(_) => "multigrid",
         }
     }
+
+    /// Size-aware preconditioner choice for a structured
+    /// `nx × ny × layers` grid: [`Self::Multigrid`] once the grid
+    /// reaches [`mg_min_unknowns`] unknowns, the caller's `fallback`
+    /// below that. A process-wide `BRIGHT_PRECOND` override (`none`,
+    /// `jacobi`, `ssor`, `ssor=<omega>`, `ic0`, `multigrid`) wins over
+    /// both, so CI can force every solve through one preconditioner.
+    #[must_use]
+    pub fn auto_for_grid(nx: usize, ny: usize, layers: usize, fallback: Self) -> Self {
+        match forced_precond() {
+            Some(ForcedPrecond::Spec(spec)) => spec,
+            Some(ForcedPrecond::Multigrid) => Self::Multigrid(MgConfig::for_grid(nx, ny, layers)),
+            None => {
+                if nx * ny * layers >= mg_min_unknowns() {
+                    Self::Multigrid(MgConfig::for_grid(nx, ny, layers))
+                } else {
+                    fallback
+                }
+            }
+        }
+    }
+
+    /// As [`Self::auto_for_grid`] but without the size-based multigrid
+    /// switch: the `BRIGHT_PRECOND` force (if any) wins, otherwise
+    /// `fallback` at every size. For operators outside the geometric
+    /// hierarchy's reach — e.g. the advection-dominated fluid rows of a
+    /// microchannel thermal stack — where multigrid must never be
+    /// auto-picked, but a forced run should still carry the real grid
+    /// geometry so it exercises multigrid's setup-time contraction
+    /// guard (and recovers through the session ladder).
+    #[must_use]
+    pub fn forced_or(nx: usize, ny: usize, layers: usize, fallback: Self) -> Self {
+        match forced_precond() {
+            Some(ForcedPrecond::Spec(spec)) => spec,
+            Some(ForcedPrecond::Multigrid) => Self::Multigrid(MgConfig::for_grid(nx, ny, layers)),
+            None => fallback,
+        }
+    }
+}
+
+/// Default for [`mg_min_unknowns`]: below ~2·10^5 unknowns the
+/// SSOR/IC(0) setup-cost-to-iteration-savings trade still favors the
+/// sweep preconditioners; above it multigrid's mesh independence wins.
+const MG_MIN_UNKNOWNS: usize = 200_000;
+
+/// Grid-size threshold (in unknowns) at which
+/// [`PrecondSpec::auto_for_grid`] switches to multigrid. Defaults to
+/// 200 000; override with the `BRIGHT_MG_MIN_UNKNOWNS` environment
+/// variable (read once per process).
+#[must_use]
+pub fn mg_min_unknowns() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("BRIGHT_MG_MIN_UNKNOWNS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(MG_MIN_UNKNOWNS)
+    })
+}
+
+/// A process-wide forced preconditioner choice (`BRIGHT_PRECOND`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ForcedPrecond {
+    /// A fully-specified spec (geometry-independent choices).
+    Spec(PrecondSpec),
+    /// Multigrid, whose `MgConfig` must be derived from each call
+    /// site's grid geometry.
+    Multigrid,
+}
+
+/// Parses `BRIGHT_PRECOND` once per process: `none`, `jacobi`, `ssor`,
+/// `ssor=<omega>`, `ic0`, or `multigrid`. Unknown values are ignored.
+fn forced_precond() -> Option<ForcedPrecond> {
+    static FORCED: OnceLock<Option<ForcedPrecond>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        let raw = std::env::var("BRIGHT_PRECOND").ok()?;
+        let v = raw.trim().to_ascii_lowercase();
+        match v.as_str() {
+            "none" => Some(ForcedPrecond::Spec(PrecondSpec::None)),
+            "jacobi" => Some(ForcedPrecond::Spec(PrecondSpec::Jacobi)),
+            "ssor" => Some(ForcedPrecond::Spec(PrecondSpec::ssor())),
+            "ic0" => Some(ForcedPrecond::Spec(PrecondSpec::Ic0)),
+            "multigrid" | "mg" => Some(ForcedPrecond::Multigrid),
+            other => other
+                .strip_prefix("ssor=")
+                .and_then(|s| s.parse::<f64>().ok())
+                .filter(|o| o.is_finite() && *o > 0.0 && *o < 2.0)
+                .map(|omega| ForcedPrecond::Spec(PrecondSpec::Ssor { omega })),
+        }
+    })
 }
 
 /// A left preconditioner `M ≈ A`: [`Preconditioner::apply`] computes
@@ -147,6 +250,13 @@ pub trait Preconditioner: std::fmt::Debug + Send {
 
     /// The spec this preconditioner was built from.
     fn spec(&self) -> PrecondSpec;
+
+    /// Multigrid hierarchy/cycle counters, for implementations that
+    /// have them ([`MultigridPrecond`]); `None` for everything else.
+    /// Sessions surface these through `SessionStats`.
+    fn mg_counters(&self) -> Option<MgStats> {
+        None
+    }
 }
 
 /// No-op preconditioner (`M = I`).
@@ -167,7 +277,7 @@ impl Preconditioner for IdentityPrecond {
     }
 }
 
-const TINY_DIAGONAL: f64 = f64::MIN_POSITIVE * 16.0;
+pub(crate) const TINY_DIAGONAL: f64 = f64::MIN_POSITIVE * 16.0;
 
 /// Minimum mean level width *per pool worker* before the `Auto` policy
 /// considers a level-scheduled sweep worthwhile (below this, the
@@ -185,7 +295,7 @@ fn sweep_wants_threads(kernel: KernelSpec, rows: usize, work: usize) -> bool {
     match kernel.effective() {
         KernelSpec::Fixed(Backend::Threaded) => rows >= 2 && kernels::kernel_threads() > 1,
         KernelSpec::Auto => {
-            work >= kernels::AUTO_THREADED_MIN_NNZ
+            work >= kernels::auto_threaded_min_nnz()
                 && rows >= 2
                 && kernels::hardware_threads() >= 2
                 && !crate::parallel::in_fanout_worker()
@@ -1005,6 +1115,7 @@ mod tests {
             PrecondSpec::Jacobi,
             PrecondSpec::Ssor { omega: 1.4 },
             PrecondSpec::Ic0,
+            PrecondSpec::Multigrid(crate::multigrid::MgConfig::for_grid(16, 16, 2)),
         ] {
             let built = spec.build();
             assert_eq!(built.spec(), spec);
@@ -1012,5 +1123,29 @@ mod tests {
         assert_eq!(PrecondSpec::default(), PrecondSpec::Jacobi);
         assert_eq!(PrecondSpec::ssor(), PrecondSpec::Ssor { omega: 1.0 });
         assert_eq!(PrecondSpec::Ic0.name(), "ic0");
+        assert_eq!(
+            PrecondSpec::Multigrid(crate::multigrid::MgConfig::for_grid(4, 4, 1)).name(),
+            "multigrid"
+        );
+    }
+
+    #[test]
+    fn auto_for_grid_switches_on_unknown_count() {
+        if std::env::var_os("BRIGHT_PRECOND").is_some() {
+            // A forced choice overrides the size policy by design;
+            // nothing to assert under the forced-precond CI leg.
+            return;
+        }
+        // Below the threshold: caller fallback; above: multigrid with
+        // the call site's geometry.
+        let small = PrecondSpec::auto_for_grid(10, 10, 1, PrecondSpec::ssor());
+        assert_eq!(small, PrecondSpec::ssor());
+        let n = super::mg_min_unknowns();
+        let side = (n as f64).sqrt().ceil() as usize + 1;
+        let big = PrecondSpec::auto_for_grid(side, side, 1, PrecondSpec::ssor());
+        assert_eq!(
+            big,
+            PrecondSpec::Multigrid(crate::multigrid::MgConfig::for_grid(side, side, 1))
+        );
     }
 }

@@ -121,6 +121,22 @@ pub struct SessionStats {
     /// Times the session was marked poisoned by the post-solve
     /// non-finite state scan.
     pub poisonings: u64,
+    /// Multigrid hierarchy (pattern + values) builds, when the active
+    /// preconditioner is [`PrecondSpec::Multigrid`] (0 otherwise).
+    pub mg_hierarchy_builds: u64,
+    /// Multigrid O(nnz) value-only refreshes into the cached
+    /// hierarchy pattern.
+    pub mg_refreshes: u64,
+    /// Multigrid V-cycles applied across all solves.
+    pub mg_cycles: u64,
+    /// Levels in the current multigrid hierarchy (0 when multigrid is
+    /// not active).
+    pub mg_levels: u32,
+    /// Unknowns on the coarsest multigrid level.
+    pub mg_coarse_rows: u32,
+    /// Resolved multigrid smoother (`"chebyshev"` /
+    /// `"weighted-jacobi"`; empty when multigrid is not active).
+    pub mg_smoother: &'static str,
 }
 
 impl SessionStats {
@@ -134,6 +150,20 @@ impl SessionStats {
         } else {
             self.last_backend.name().to_string()
         }
+    }
+
+    /// Compact multigrid hierarchy digest in the `kernel_digest` style,
+    /// e.g. `"mg(4 levels, coarse 144, chebyshev)"`; `None` when the
+    /// session has not solved through a multigrid preconditioner.
+    #[must_use]
+    pub fn mg_digest(&self) -> Option<String> {
+        if self.mg_levels == 0 {
+            return None;
+        }
+        Some(format!(
+            "mg({} levels, coarse {}, {})",
+            self.mg_levels, self.mg_coarse_rows, self.mg_smoother
+        ))
     }
 }
 
@@ -307,6 +337,17 @@ impl SolverSession {
     #[inline]
     pub fn options(&self) -> &IterOptions {
         &self.opts
+    }
+
+    /// Compact preconditioner digest for reports: the multigrid
+    /// hierarchy digest (`"mg(4 levels, coarse 144, chebyshev)"`) when
+    /// a multigrid solve has run, the configured spec's name
+    /// otherwise.
+    #[must_use]
+    pub fn precond_digest(&self) -> String {
+        self.stats
+            .mg_digest()
+            .unwrap_or_else(|| self.opts.preconditioner.name().to_string())
     }
 
     /// Replaces the preconditioner choice; the new operator is built on
@@ -718,6 +759,16 @@ impl SolverSession {
                         } else {
                             1
                         };
+                        if let Some(mg) =
+                            self.precond.as_ref().and_then(|p| p.mg_counters())
+                        {
+                            self.stats.mg_hierarchy_builds = mg.hierarchy_builds;
+                            self.stats.mg_refreshes = mg.value_refreshes;
+                            self.stats.mg_cycles = mg.cycles;
+                            self.stats.mg_levels = mg.levels;
+                            self.stats.mg_coarse_rows = mg.coarse_rows;
+                            self.stats.mg_smoother = mg.smoother;
+                        }
                         return Ok(stats);
                     }
                     // The iterate converged but left non-finite state
@@ -1041,6 +1092,79 @@ mod tests {
         assert!(stats.relative_residual <= s.options().tolerance);
         assert_eq!(s.stats().recovered_solves, 1);
         assert!(matches!(s.last_recovery(), RecoveryRung::PrecondFallback(_)));
+    }
+
+    #[test]
+    fn injected_breakdown_recovers_through_the_mg_rung() {
+        use crate::faults::{self, FaultPlan};
+        use crate::multigrid::MgConfig;
+        let _serial = faults::test_serial_guard();
+        let n = 24;
+        let spec = PrecondSpec::Multigrid(MgConfig::for_grid(n, 1, 1));
+        let mut s = SolverSession::with_preconditioner(spec);
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let b = vec![1.0; n];
+        // Breakdown injected on the first attempt only: the clean MG
+        // attempt fails synthetically, the cold restart (still MG)
+        // succeeds — MG never falls back to itself, and the fallback
+        // chain below it is the usual IC(0) → SSOR → Jacobi.
+        let plan = FaultPlan { seed: 0, breakdown: 1, ..FaultPlan::default() };
+        faults::with_plan(Some(plan), || {
+            s.solve_spd(&b).unwrap();
+        });
+        assert_eq!(s.stats().recovered_solves, 1);
+        assert_eq!(s.last_recovery(), RecoveryRung::ColdRestart);
+        assert_eq!(s.options().preconditioner, spec);
+        assert!(
+            PrecondSpec::fallback_chain().iter().all(|f| *f != spec),
+            "multigrid must not appear in its own fallback chain"
+        );
+    }
+
+    #[test]
+    fn mg_geometry_mismatch_falls_back_down_the_chain() {
+        use crate::multigrid::MgConfig;
+        let n = 20;
+        // Config names a grid twice the operator's size: MG setup is a
+        // recoverable Breakdown, so the ladder starts at the fallback
+        // chain and the solve still lands.
+        let spec = PrecondSpec::Multigrid(MgConfig::for_grid(2 * n, 1, 1));
+        let mut s = SolverSession::with_preconditioner(spec);
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let b = vec![1.0; n];
+        let stats = s.solve_spd(&b).unwrap();
+        assert!(stats.relative_residual <= s.options().tolerance);
+        assert_eq!(s.stats().recovered_solves, 1);
+        assert!(matches!(s.last_recovery(), RecoveryRung::PrecondFallback(_)));
+    }
+
+    #[test]
+    fn mg_counters_surface_in_session_stats() {
+        use crate::multigrid::MgConfig;
+        let n = 48;
+        let spec = PrecondSpec::Multigrid(MgConfig::for_grid(n, 1, 1));
+        let mut s = SolverSession::with_preconditioner(spec);
+        s.bind_triplets(&chain(n, 1.0)).unwrap();
+        let b = vec![1.0; n];
+        s.solve_spd(&b).unwrap();
+        assert_eq!(s.stats().mg_hierarchy_builds, 1);
+        assert_eq!(s.stats().mg_refreshes, 0);
+        assert!(s.stats().mg_levels >= 1);
+        // Coefficient retarget through the cached pattern: the MG
+        // hierarchy refreshes in place, no rebuild.
+        s.refresh_values(&chain(n, 3.0), 1).unwrap();
+        s.solve_spd(&b).unwrap();
+        assert_eq!(s.stats().mg_hierarchy_builds, 1);
+        assert_eq!(s.stats().mg_refreshes, 1);
+        assert!(s.stats().mg_cycles > 0);
+        let digest = s.precond_digest();
+        assert!(digest.starts_with("mg("), "{digest}");
+        // Non-MG sessions report the plain spec name.
+        let mut plain = SolverSession::default();
+        plain.bind_triplets(&chain(8, 1.0)).unwrap();
+        plain.solve_spd(&[1.0; 8]).unwrap();
+        assert_eq!(plain.precond_digest(), "jacobi");
+        assert_eq!(plain.stats().mg_digest(), None);
     }
 
     #[test]

@@ -491,6 +491,49 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Assembles a CSR matrix directly from its raw arrays — the
+    /// in-crate constructor the multigrid hierarchy uses for its
+    /// Galerkin coarse operators (whose patterns are computed, not
+    /// stamped through a [`TripletMatrix`]). Columns must be sorted
+    /// within each row and `row_ptr` must be a valid prefix-sum.
+    pub(crate) fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), rows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert_eq!(col_idx.len(), values.len());
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Row-pointer array (length `rows + 1`).
+    #[inline]
+    pub(crate) fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Flattened column indices, sorted within each row.
+    #[inline]
+    pub(crate) fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Mutable stored values — the O(nnz) in-place refresh path of the
+    /// multigrid coarse operators.
+    #[inline]
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// Extracts the main diagonal (0.0 where absent from the pattern).
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()

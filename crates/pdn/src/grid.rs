@@ -279,12 +279,29 @@ impl PowerGrid {
         PrecondSpec::Ssor { omega: 1.5 }
     }
 
+    /// Size-aware preconditioner for *this* grid:
+    /// [`PowerGrid::default_preconditioner`] (SSOR ω=1.5) on the
+    /// paper-sized sheets, the geometric-multigrid V-cycle once the
+    /// sheet reaches the `BRIGHT_MG_MIN_UNKNOWNS` threshold (default
+    /// 200 000 unknowns), where SSOR iteration counts stop scaling.
+    /// `BRIGHT_PRECOND` forces a specific choice process-wide.
+    #[must_use]
+    pub fn preferred_preconditioner(&self) -> PrecondSpec {
+        PrecondSpec::auto_for_grid(
+            self.grid.nx(),
+            self.grid.ny(),
+            1,
+            Self::default_preconditioner(),
+        )
+    }
+
     /// Creates a solver session bound to this grid's conductance system
-    /// with the default preconditioner. One session per sweep (or per
-    /// worker thread) amortizes scratch, factorization and warm start.
+    /// with the size-aware [`PowerGrid::preferred_preconditioner`]. One
+    /// session per sweep (or per worker thread) amortizes scratch,
+    /// factorization and warm start.
     #[must_use]
     pub fn session(&self) -> SolverSession {
-        self.session_with(Self::default_preconditioner())
+        self.session_with(self.preferred_preconditioner())
     }
 
     /// As [`PowerGrid::session`] with an explicit preconditioner choice

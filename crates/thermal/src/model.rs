@@ -632,6 +632,49 @@ impl ThermalModel {
         }
     }
 
+    /// True when the stack has at least one microchannel layer. Fluid
+    /// advection makes the operator strongly nonsymmetric, which rules
+    /// out the geometric-multigrid preconditioner (its symmetric
+    /// bilinear transfers produce expansive Galerkin coarse operators
+    /// there — see `docs/MULTIGRID.md`).
+    fn has_fluid_levels(&self) -> bool {
+        self.levels.iter().any(|l| matches!(l, Level::Fluid { .. }))
+    }
+
+    /// Iteration options sized to *this* model's grid and physics: as
+    /// [`ThermalModel::iter_options`], but for conduction-only stacks
+    /// (no microchannel layers — the operator is symmetric) the
+    /// preconditioner comes from [`PrecondSpec::auto_for_grid`], which
+    /// switches to the geometric-multigrid V-cycle once
+    /// `nx·ny·levels` reaches the `BRIGHT_MG_MIN_UNKNOWNS` threshold
+    /// (default 200 000) — the scaled conduction presets land there.
+    /// Stacks with fluid layers keep SSOR at every size: their
+    /// advection-dominated rows are outside the geometric hierarchy's
+    /// reach, and the downstream-ordered sweeps handle them well.
+    /// `BRIGHT_PRECOND` forces a specific choice either way.
+    #[must_use]
+    pub fn solve_options(&self) -> IterOptions {
+        let preconditioner = if self.has_fluid_levels() {
+            PrecondSpec::forced_or(
+                self.grid.nx(),
+                self.grid.ny(),
+                self.level_count(),
+                PrecondSpec::ssor(),
+            )
+        } else {
+            PrecondSpec::auto_for_grid(
+                self.grid.nx(),
+                self.grid.ny(),
+                self.level_count(),
+                PrecondSpec::ssor(),
+            )
+        };
+        IterOptions {
+            preconditioner,
+            ..Self::iter_options()
+        }
+    }
+
     /// Creates a solver session bound to this model's operator, with the
     /// thermal solve defaults. One session per sweep (or per worker
     /// thread) amortizes the Krylov scratch, the preconditioner and the
@@ -657,7 +700,7 @@ impl ThermalModel {
         &self,
         kernel: bright_num::KernelSpec,
     ) -> Result<SolverSession, ThermalError> {
-        let mut session = SolverSession::new(Self::iter_options());
+        let mut session = SolverSession::new(self.solve_options());
         session.set_kernel(kernel);
         let op = self.operator()?;
         session.bind(&op.symbolic, &op.matrix, op.tag, self.epoch);
@@ -770,7 +813,7 @@ impl ThermalModel {
         &self,
         sources: &[(usize, &Field2d)],
     ) -> Result<ThermalSolution, ThermalError> {
-        let mut session = SolverSession::new(Self::iter_options());
+        let mut session = SolverSession::new(self.solve_options());
         self.solve_steady_with_sources_warm(sources, &mut session)
     }
 

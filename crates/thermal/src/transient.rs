@@ -110,7 +110,7 @@ impl TransientSimulation {
         // through the cached pattern.
         let mut t = TripletMatrix::with_capacity(n, n, g.nnz() + n);
         Self::stamp_system(&g, &capacity_over_dt, &mut t)?;
-        let mut session = SolverSession::new(ThermalModel::iter_options());
+        let mut session = SolverSession::new(model.solve_options());
         session.bind_triplets(&t).map_err(ThermalError::from)?;
         Ok(Self {
             model,
