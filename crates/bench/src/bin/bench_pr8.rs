@@ -1,0 +1,330 @@
+//! PR-8 performance gate: the Monte Carlo uncertainty engine. Records
+//! the results in `BENCH_PR8.json`.
+//!
+//! Three gate families, mirroring the acceptance criteria:
+//!
+//! * `throughput` — a seeded yield study served warm through the
+//!   retarget mutators and the shared geometry cache
+//!   ([`bright_core::montecarlo::run`]) versus the naive baseline that
+//!   cold-builds a [`bright_core::CoSimulation`] for every sample.
+//!   Both legs are serial and solve the identical sample sequence; the
+//!   warm path must be ≥ 5× faster at the full sample count.
+//! * `determinism` — the same seeded study run at chunk sizes
+//!   {1, 64, n} × worker counts {1, 4}: every `McReport` JSON document
+//!   must be bitwise identical (samples are a pure function of
+//!   `(seed, index)` and the streaming reduction is a pure function of
+//!   the index range).
+//! * `memory` — the streaming accumulators at 64 and 1024 samples: the
+//!   live merge-forest nodes stay logarithmic (≤ 12) and the total
+//!   accumulator footprint grows by at most 2× while the sample count
+//!   grows 16× — the study never stores per-sample results.
+//!
+//! Usage: `bench_pr8 [--quick] [--out <path>]` (default
+//! `BENCH_PR8.json`). `--quick` shrinks the sample counts (200-sample
+//! throughput/determinism legs, 32/256-sample memory legs) to keep CI
+//! wall-clock in check; the gates themselves are unchanged.
+
+use bright_core::montecarlo::{self, McSpec};
+use bright_core::{CoSimulation, Scenario};
+use bright_jsonio::Value;
+use bright_num::rng::{CorrelatedSampler, Distribution};
+use std::time::Instant;
+
+/// Required speedup of the warm retarget-served study over cold
+/// per-sample co-simulation builds.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+/// Live-node ceiling for the streaming reduction (log2 of any
+/// practical sample count, with slack).
+const MAX_LIVE_NODES: u64 = 12;
+/// Footprint-growth ceiling while the sample count grows 16×.
+const MAX_MEMORY_GROWTH: f64 = 2.0;
+
+/// The reduced-resolution POWER7+ point with thermal and cell grids
+/// coarsened further so one yield solve costs milliseconds and
+/// thousands of them fit in a CI job. The PDN stays at the paper's
+/// Fig. 8 resolution (106×85): the rail-droop metric the yield study
+/// reads comes from that grid, and it is where the engine's amortized
+/// Cholesky factor separates warm serving from per-sample cold builds.
+fn tiny_scenario() -> Scenario {
+    let mut s = Scenario::power7_reduced();
+    s.thermal_columns = 11;
+    s.thermal_ny = 8;
+    s.cell_options.ny = 12;
+    s.cell_options.nx = 24;
+    s
+}
+
+fn spec_for(samples: usize) -> McSpec {
+    let mut spec = McSpec::power7_tolerances(tiny_scenario());
+    spec.samples = samples;
+    spec
+}
+
+struct ThroughputRow {
+    samples: usize,
+    cold_s: f64,
+    warm_s: f64,
+    speedup: f64,
+    cold_skipped: usize,
+    warm_retargets: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl ThroughputRow {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("samples".into(), Value::Number(self.samples as f64)),
+            ("cold_s".into(), Value::Number(self.cold_s)),
+            ("warm_s".into(), Value::Number(self.warm_s)),
+            ("speedup".into(), Value::Number(self.speedup)),
+            ("cold_skipped".into(), Value::Number(self.cold_skipped as f64)),
+            ("warm_retargets".into(), Value::Number(self.warm_retargets as f64)),
+            ("geometry_cache_hits".into(), Value::Number(self.cache_hits as f64)),
+            ("geometry_cache_misses".into(), Value::Number(self.cache_misses as f64)),
+        ])
+    }
+}
+
+/// Gate 1: the warm engine versus per-sample cold builds on the same
+/// sample sequence, both serial.
+fn bench_throughput(samples: usize) -> ThroughputRow {
+    let mut spec = spec_for(samples);
+    spec.chunk = samples;
+    spec.workers = Some(1);
+
+    // Cold baseline: rebuild the full co-simulation (thermal model,
+    // duct solve, flow-cell contexts, PDN factorization) per sample.
+    let marginals: Vec<Distribution> = spec.variables.iter().map(|v| v.distribution).collect();
+    let sampler = CorrelatedSampler::new(spec.seed, marginals, spec.correlation.as_deref())
+        .expect("valid sampler");
+    let mut cold_skipped = 0usize;
+    let t0 = Instant::now();
+    for i in 0..samples {
+        let values = sampler.sample(i as u64);
+        match montecarlo::apply_sample(&spec.base, &spec.variables, &values) {
+            Ok(scenario) => {
+                let mut sim = CoSimulation::new(scenario).expect("valid scenario");
+                sim.run_yield().expect("cold yield solve");
+            }
+            Err(_) => cold_skipped += 1,
+        }
+    }
+    let cold_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let run = montecarlo::run(&spec).expect("warm yield study");
+    let warm_s = t1.elapsed().as_secs_f64();
+
+    ThroughputRow {
+        samples,
+        cold_s,
+        warm_s,
+        speedup: cold_s / warm_s,
+        cold_skipped,
+        warm_retargets: run.stats.retargets,
+        cache_hits: run.stats.geometry_cache_hits,
+        cache_misses: run.stats.geometry_cache_misses,
+    }
+}
+
+struct DeterminismRow {
+    chunk: usize,
+    workers: usize,
+    run_s: f64,
+    json: String,
+}
+
+impl DeterminismRow {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("chunk".into(), Value::Number(self.chunk as f64)),
+            ("workers".into(), Value::Number(self.workers as f64)),
+            ("run_s".into(), Value::Number(self.run_s)),
+            ("json_bytes".into(), Value::Number(self.json.len() as f64)),
+        ])
+    }
+}
+
+/// Gate 2: one seeded study at every (chunk, workers) combination; the
+/// report JSON must never change.
+fn bench_determinism(samples: usize, chunks: &[usize]) -> Vec<DeterminismRow> {
+    let mut rows = Vec::new();
+    for &chunk in chunks {
+        for workers in [1usize, 4] {
+            let mut spec = spec_for(samples);
+            spec.chunk = chunk;
+            spec.workers = Some(workers);
+            let t0 = Instant::now();
+            let run = montecarlo::run(&spec).expect("yield study");
+            rows.push(DeterminismRow {
+                chunk,
+                workers,
+                run_s: t0.elapsed().as_secs_f64(),
+                json: run.report.to_json().to_json_string_pretty(),
+            });
+        }
+    }
+    rows
+}
+
+struct MemoryRow {
+    samples: usize,
+    peak_live_nodes: u64,
+    state_bytes: u64,
+}
+
+impl MemoryRow {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("samples".into(), Value::Number(self.samples as f64)),
+            ("peak_live_nodes".into(), Value::Number(self.peak_live_nodes as f64)),
+            ("state_bytes".into(), Value::Number(self.state_bytes as f64)),
+        ])
+    }
+}
+
+/// Gate 3: streaming footprint at a 16× sample-count spread.
+fn bench_memory(samples: usize) -> MemoryRow {
+    let mut spec = spec_for(samples);
+    spec.chunk = 32.min(samples);
+    let run = montecarlo::run(&spec).expect("yield study");
+    MemoryRow {
+        samples,
+        peak_live_nodes: run.stats.peak_live_nodes,
+        state_bytes: run.stats.accumulator_state_bytes,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+
+    bright_bench::banner(
+        "BENCH_PR8",
+        "Monte Carlo uncertainty engine: warm throughput, bitwise determinism, streaming memory",
+    );
+
+    let tp_samples = if quick { 200 } else { 1000 };
+    let det_samples = if quick { 200 } else { 1000 };
+    let det_chunks: Vec<usize> = vec![1, if quick { 16 } else { 64 }, det_samples];
+    let (mem_small, mem_large) = if quick { (32, 256) } else { (64, 1024) };
+
+    println!("-- throughput ({tp_samples} samples, serial) --");
+    let tp = bench_throughput(tp_samples);
+    println!(
+        "  cold per-sample builds: {:.2} s   warm retarget-served: {:.2} s   speedup {:.2}x",
+        tp.cold_s, tp.warm_s, tp.speedup
+    );
+    println!(
+        "  warm leg: {} retargets, geometry cache {} hits / {} misses",
+        tp.warm_retargets, tp.cache_hits, tp.cache_misses
+    );
+
+    println!("-- determinism ({det_samples} samples, chunks {det_chunks:?} x workers [1, 4]) --");
+    let det = bench_determinism(det_samples, &det_chunks);
+    let identical = det.iter().all(|r| r.json == det[0].json);
+    for r in &det {
+        println!(
+            "  chunk {:>5}  workers {}  {:.2} s  report {}",
+            r.chunk,
+            r.workers,
+            r.run_s,
+            if r.json == det[0].json { "identical" } else { "DIVERGED" }
+        );
+    }
+
+    println!("-- memory ({mem_small} vs {mem_large} samples) --");
+    let mem = [bench_memory(mem_small), bench_memory(mem_large)];
+    for m in &mem {
+        println!(
+            "  {:>5} samples: {:>2} peak live nodes, {} accumulator bytes",
+            m.samples, m.peak_live_nodes, m.state_bytes
+        );
+    }
+    let growth = mem[1].state_bytes as f64 / mem[0].state_bytes.max(1) as f64;
+    println!(
+        "  footprint growth {:.2}x for a {}x sample-count spread",
+        growth,
+        mem[1].samples / mem[0].samples
+    );
+
+    let doc = Value::object([
+        ("bench".into(), Value::String("pr8".into())),
+        ("quick".into(), Value::Bool(quick)),
+        ("throughput".into(), tp.to_value()),
+        (
+            "determinism".into(),
+            Value::object([
+                ("samples".into(), Value::Number(det_samples as f64)),
+                ("bitwise_identical".into(), Value::Bool(identical)),
+                (
+                    "configs".into(),
+                    Value::Array(det.iter().map(DeterminismRow::to_value).collect()),
+                ),
+            ]),
+        ),
+        (
+            "memory".into(),
+            Value::object([
+                ("rows".into(), Value::Array(mem.iter().map(MemoryRow::to_value).collect())),
+                ("growth".into(), Value::Number(growth)),
+            ]),
+        ),
+        (
+            "gates".into(),
+            Value::object([
+                ("min_warm_speedup".into(), Value::Number(MIN_WARM_SPEEDUP)),
+                ("max_live_nodes".into(), Value::Number(MAX_LIVE_NODES as f64)),
+                ("max_memory_growth".into(), Value::Number(MAX_MEMORY_GROWTH)),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json_string_pretty() + "\n").expect("write bench json");
+    println!("wrote {out_path}");
+
+    let mut failed = false;
+    if tp.speedup < MIN_WARM_SPEEDUP {
+        eprintln!(
+            "GATE FAILED: warm Monte Carlo throughput is {:.2}x over cold per-sample builds \
+             (need >= {MIN_WARM_SPEEDUP}x): cold {:.2} s vs warm {:.2} s",
+            tp.speedup, tp.cold_s, tp.warm_s
+        );
+        failed = true;
+    }
+    if !identical {
+        eprintln!(
+            "GATE FAILED: McReport JSON diverged across chunk sizes {det_chunks:?} and \
+             worker counts [1, 4] at seed 2014"
+        );
+        failed = true;
+    }
+    for m in &mem {
+        if m.peak_live_nodes > MAX_LIVE_NODES {
+            eprintln!(
+                "GATE FAILED: {} samples peaked at {} live merge nodes \
+                 (limit {MAX_LIVE_NODES}): the reduction must stay logarithmic",
+                m.samples, m.peak_live_nodes
+            );
+            failed = true;
+        }
+    }
+    if growth > MAX_MEMORY_GROWTH {
+        eprintln!(
+            "GATE FAILED: accumulator footprint grew {growth:.2}x across a 16x sample spread \
+             (limit {MAX_MEMORY_GROWTH}x): {} -> {} bytes",
+            mem[0].state_bytes, mem[1].state_bytes
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all Monte Carlo gates passed");
+}

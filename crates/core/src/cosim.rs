@@ -1,13 +1,13 @@
 //! The coupled electro-thermal-electrical solve.
 
-use crate::reports::{CoSimReport, OperatingPoint};
+use crate::reports::{CoSimReport, OperatingPoint, YieldReport};
 use crate::scenario::{PdnParams, Scenario};
 use crate::CoreError;
 use bright_flow::array::ChannelArray;
 use bright_flow::fluid::TemperatureDependentFluid;
 use bright_flowcell::array::ArrayOperatingPoint;
-use bright_flowcell::options::TemperatureProfile;
-use bright_flowcell::{CellArray, CellGeometry, CellModel};
+use bright_flowcell::options::{SolverOptions, TemperatureProfile};
+use bright_flowcell::{CellArray, CellGeometry, CellModel, GeometryCache};
 use bright_flow::RectChannel;
 use bright_mesh::Grid2d;
 use bright_num::SolverSession;
@@ -15,7 +15,7 @@ use bright_pdn::PowerGrid;
 use bright_thermal::stack::{LayerSpec, MicrochannelSpec, StackConfig};
 use bright_thermal::{Material, ThermalModel};
 use bright_units::{Meters, Volt};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Cache key of the PDN conductance system: everything that shapes the
 /// operator (grid, sheet/port resistances, layout, supply). Loads change
@@ -64,6 +64,18 @@ pub struct CoSimulation {
     /// Retargets that kept the built flow-cell solve context alive
     /// (refreshed in place instead of discarded).
     cell_context_reuses: u64,
+    /// Fingerprint-keyed duct-solve cache consulted by geometry
+    /// retargets. Clones share it (`Arc`), so a fleet of engine workers
+    /// spawned from one co-simulation pays for each distinct sampled
+    /// geometry once.
+    geometry_cache: Arc<GeometryCache>,
+    /// Persistent per-column array for [`CoSimulation::run_yield`]:
+    /// instead of cloning the template into `thermal_columns` fresh
+    /// per-channel models every sample, the array's built models are
+    /// retargeted in place (geometry / ASR / flow / per-channel
+    /// temperature). Retargets are bitwise-equal to cold builds, so the
+    /// cached array cannot drift from a freshly constructed one.
+    yield_array: Option<CellArray>,
 }
 
 impl CoSimulation {
@@ -85,7 +97,22 @@ impl CoSimulation {
             )),
             retargets: 0,
             cell_context_reuses: 0,
+            geometry_cache: Arc::new(GeometryCache::new()),
+            yield_array: None,
         })
+    }
+
+    /// Replaces the geometry cache — Monte Carlo batches hand every
+    /// worker one shared cache so sampled geometries that collide on
+    /// their fingerprint reuse one duct solve across workers.
+    pub fn set_geometry_cache(&mut self, cache: Arc<GeometryCache>) {
+        self.geometry_cache = cache;
+    }
+
+    /// The duct-solve cache geometry retargets consult.
+    #[must_use]
+    pub fn geometry_cache(&self) -> &Arc<GeometryCache> {
+        &self.geometry_cache
     }
 
     /// The scenario being simulated.
@@ -236,16 +263,22 @@ impl CoSimulation {
                 self.scenario.total_flow.value() != scenario.total_flow.value();
             let inlet_changed = self.scenario.inlet_temperature.value()
                 != scenario.inlet_temperature.value();
-            if (flow_changed || inlet_changed) && self.thermal.get().is_some() {
+            let geom_changed = self.scenario.channel_width.value()
+                != scenario.channel_width.value()
+                || self.scenario.channel_height.value() != scenario.channel_height.value();
+            if (flow_changed || inlet_changed || geom_changed) && self.thermal.get().is_some() {
                 let fluid = TemperatureDependentFluid::vanadium_electrolyte()
                     .at(scenario.inlet_temperature)
                     .map_err(|e| CoreError::Fluidics(e.to_string()))?;
                 let (flow, inlet) = (scenario.total_flow, scenario.inlet_temperature);
+                let (cw, ch) = (scenario.channel_width, scenario.channel_height);
                 let model = self.thermal.get_mut().expect("checked above");
                 model.refresh_microchannels(|spec| {
                     spec.fluid = fluid;
                     spec.total_flow = flow;
                     spec.inlet_temperature = inlet;
+                    spec.channel_width = cw;
+                    spec.channel_height = ch;
                 })?;
             }
         } else {
@@ -253,16 +286,18 @@ impl CoSimulation {
             // (and cold-starts) on the next run.
             self.thermal = OnceLock::new();
         }
-        if self.scenario.cell_options != scenario.cell_options {
+        if !cell_shape_compatible(&self.scenario.cell_options, &scenario.cell_options) {
             // Different transport grids / velocity model: a genuinely
             // new cell geometry context is required.
             self.template = OnceLock::new();
         } else if self.template.get().is_some() {
-            // Same geometry: move the built template in place. Only
-            // what actually changed is touched — an equal-coefficient
-            // retarget costs nothing at all.
+            // Same transport shape: move the built template in place
+            // (geometry, contact ASR, flow, temperature — only what
+            // actually changed is touched; an equal-coefficient
+            // retarget costs nothing at all).
+            let cache = Arc::clone(&self.geometry_cache);
             let template = self.template.get_mut().expect("checked above");
-            if let Err(e) = retarget_cell_to(template, &scenario) {
+            if let Err(e) = retarget_cell_to(template, &scenario, Some(&cache)) {
                 // The thermal operator above may already hold the new
                 // coefficients while `self.scenario` stays old: drop
                 // both caches so the next run rebuilds consistently
@@ -409,6 +444,140 @@ impl CoSimulation {
         })
     }
 
+    /// Clears both sessions' warm starts so the next solves are
+    /// history-independent. The Monte Carlo engine calls this before
+    /// every sample: with cold Krylov starts, retarget + run is
+    /// bitwise-equal to a cold-built engine at the same scenario
+    /// (operator value refreshes are property-tested bitwise-equal to
+    /// cold stamps), which is what makes Monte Carlo reports chunk- and
+    /// thread-count independent.
+    pub fn reset_warm_starts(&mut self) {
+        self.thermal_session.reset_warm_start();
+        self.pdn_session.reset_warm_start();
+    }
+
+    /// Runs the lightweight yield-analysis solve: thermal field,
+    /// coupled array at the 1 V rail point, PDN droop and hydraulics —
+    /// skipping the polarization sweep, the isothermal baseline and the
+    /// operating-point ladder that dominate [`CoSimulation::run`] but
+    /// feed none of the Monte Carlo metrics. Every cache and retarget
+    /// path is shared with `run`, and the engine's geometry cache is
+    /// seeded with the template's context so sampled geometries that
+    /// return to a seen fingerprint skip their duct solve.
+    ///
+    /// # Errors
+    ///
+    /// As [`CoSimulation::run`].
+    pub fn run_yield(&mut self) -> Result<YieldReport, CoreError> {
+        self.thermal_model()?;
+        self.cell_template()?.warm()?;
+        self.geometry_cache
+            .warm_from(self.template.get().expect("built above"))?;
+        let s = &self.scenario;
+
+        // Thermal field under the full chip load.
+        let thermal = self.thermal.get().expect("built above");
+        self.thermal_session
+            .set_preconditioner(thermal.solve_options().preconditioner);
+        let power_map = s.thermal_load.rasterize(&s.floorplan, thermal.grid())?;
+        let chip_power = power_map.integral();
+        let thermal_sol = thermal
+            .solve_steady_with_sources_warm(&[(0, &power_map)], &mut self.thermal_session)?;
+
+        // Coupled array at the 1 V rail point only, through the
+        // persistent per-column array: cached per-channel models are
+        // retargeted in place to the sample's geometry / ASR / flow /
+        // temperature profiles instead of being cloned fresh.
+        let template = self.template.get().expect("built above");
+        let group = s.channel_count / s.thermal_columns;
+        let at_1v_cols = if s.couple_temperature {
+            let profiles: Vec<TemperatureProfile> = (0..s.thermal_columns)
+                .map(|ix| TemperatureProfile::Sampled(thermal_sol.channel_profile(ix)))
+                .collect();
+            let geometry = cell_geometry_for(s)?;
+            let contact_asr = s.cell_options.contact_asr;
+            let per_channel = s.per_channel_flow();
+            let reusable = matches!(
+                &self.yield_array,
+                Some(a) if a.count() == s.thermal_columns
+                    && cell_shape_compatible(a.template().options(), template.options())
+            );
+            if reusable {
+                let cache = Arc::clone(&self.geometry_cache);
+                let array = self.yield_array.as_mut().expect("checked above");
+                let refreshed = array
+                    .retarget_models(|m| {
+                        m.retarget_geometry(geometry, Some(&cache))?;
+                        m.retarget_contact_asr(contact_asr)?;
+                        if m.flow().value() != per_channel.value() {
+                            m.retarget_flow(per_channel)?;
+                        }
+                        Ok(())
+                    })
+                    .and_then(|()| array.retarget_channel_temperatures(profiles));
+                if let Err(e) = refreshed {
+                    // Failed mutators clear their contexts; drop the
+                    // array so the next sample rebuilds it cold.
+                    self.yield_array = None;
+                    return Err(e.into());
+                }
+            } else {
+                self.yield_array = Some(
+                    CellArray::new(template.clone(), s.thermal_columns)?
+                        .with_channel_temperatures(profiles)?,
+                );
+            }
+            self.yield_array
+                .as_ref()
+                .expect("set above")
+                .solve_at_voltage(1.0)?
+        } else {
+            CellArray::new(template.clone(), s.thermal_columns)?.solve_at_voltage(1.0)?
+        };
+        let at_1v_current = at_1v_cols.current * group as f64;
+        let at_1v_power = at_1v_cols.power * group as f64;
+
+        // PDN droop through the cached conductance system and its
+        // cached banded Cholesky factor: the matrix never depends on
+        // the load, so per-sample cost is two triangular sweeps — no
+        // iteration, bitwise-deterministic regardless of solve history.
+        let s = &self.scenario;
+        let key = PdnKey::of(s);
+        match &mut self.pdn {
+            Some((cached_key, pdn)) if *cached_key == key => {
+                let rail_map = s.rail_load.rasterize(&s.floorplan, pdn.grid())?;
+                pdn.set_power_density(&rail_map)?;
+            }
+            cache => *cache = Some((key, Self::build_pdn(s)?)),
+        }
+        let pdn = &self.pdn.as_ref().expect("cached above").1;
+        let pdn_sol = pdn.solve_direct()?;
+
+        // Hydraulics at the sampled channel geometry.
+        let template = self.template.get().expect("built above");
+        let channel = *template.geometry().channel();
+        let pitch = Meters::new(s.floorplan.width().value() / s.channel_count as f64);
+        let hydraulic_array = ChannelArray::new(channel, s.channel_count, pitch)?;
+        let props = TemperatureDependentFluid::vanadium_electrolyte()
+            .at(s.inlet_temperature)
+            .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+        let pressure_drop = hydraulic_array.pressure_drop(&props, s.total_flow);
+        let pumping_power =
+            hydraulic_array.pumping_power(&props, s.total_flow, s.pump_efficiency)?;
+
+        Ok(YieldReport {
+            chip_power: bright_units::Watt::new(chip_power),
+            peak_temperature: thermal_sol.max_temperature(),
+            outlet_temperature: thermal_sol.outlet_mean(),
+            current_at_1v: at_1v_current,
+            power_at_1v: at_1v_power,
+            pdn_min_voltage: pdn_sol.min_voltage(),
+            pressure_drop,
+            pumping_power,
+            junction_map: thermal_sol.junction_map().clone(),
+        })
+    }
+
     /// Builds the PDN conductance system for the current scenario, with
     /// the rail load already stamped into the RHS.
     fn build_pdn(s: &Scenario) -> Result<PowerGrid, CoreError> {
@@ -476,19 +645,37 @@ impl CoSimulation {
     }
 }
 
-/// Builds the single-channel flow-cell template a scenario describes
-/// (Table II channel geometry at the scenario's per-channel flow share
-/// and inlet temperature). Shared by the steady co-simulation and the
-/// engine's polarization workers, so both solve the exact same cell.
-pub(crate) fn cell_model_for(s: &Scenario) -> Result<CellModel, CoreError> {
+/// Channel length of the Table II array (fixed — not a sampled
+/// manufacturing parameter).
+const CHANNEL_LENGTH_MM: f64 = 22.0;
+
+/// The flow-cell geometry a scenario describes: its sampled channel
+/// width/height at the fixed Table II length.
+pub(crate) fn cell_geometry_for(s: &Scenario) -> Result<CellGeometry, CoreError> {
     let channel = RectChannel::new(
-        Meters::from_micrometers(200.0),
-        Meters::from_micrometers(400.0),
-        Meters::from_millimeters(22.0),
+        s.channel_width,
+        s.channel_height,
+        Meters::from_millimeters(CHANNEL_LENGTH_MM),
     )
     .map_err(|e| CoreError::Fluidics(e.to_string()))?;
+    Ok(CellGeometry::new(channel))
+}
+
+/// `true` when two option sets describe the same transport shape —
+/// grids, velocity model and physics switches. The contact ASR is
+/// deliberately excluded: it is a coefficient
+/// ([`CellModel::retarget_contact_asr`]), not a shape.
+pub(crate) fn cell_shape_compatible(a: &SolverOptions, b: &SolverOptions) -> bool {
+    a.ny == b.ny && a.nx == b.nx && a.velocity == b.velocity && a.track_products == b.track_products
+}
+
+/// Builds the single-channel flow-cell template a scenario describes
+/// (the scenario's channel geometry at its per-channel flow share and
+/// inlet temperature). Shared by the steady co-simulation and the
+/// engine's polarization workers, so both solve the exact same cell.
+pub(crate) fn cell_model_for(s: &Scenario) -> Result<CellModel, CoreError> {
     Ok(CellModel::new(
-        CellGeometry::new(channel),
+        cell_geometry_for(s)?,
         bright_echem::vanadium::power7_cell_chemistry(),
         s.per_channel_flow(),
         TemperatureProfile::Uniform(s.inlet_temperature),
@@ -497,18 +684,27 @@ pub(crate) fn cell_model_for(s: &Scenario) -> Result<CellModel, CoreError> {
 }
 
 /// Retargets a built cell model to a scenario's coefficients in place
-/// (per-channel flow, inlet temperature), touching only what actually
-/// changed. Shared by [`CoSimulation::retarget`] and the engine's
+/// (channel geometry, contact ASR, per-channel flow, inlet
+/// temperature), touching only what actually changed. Geometry moves
+/// consult `cache` so fingerprint collisions reuse a previous duct
+/// solve. Shared by [`CoSimulation::retarget`] and the engine's
 /// polarization workers so their compare-and-retarget semantics cannot
-/// drift. The scenario's `cell_options` must match the model's (the
-/// callers guarantee this via their pattern keys / options checks).
+/// drift. The scenario's `cell_options` must be shape-compatible with
+/// the model's (the callers guarantee this via their pattern keys /
+/// [`cell_shape_compatible`] checks).
 ///
 /// # Errors
 ///
 /// Refresh errors as in the `CellModel::retarget_*` mutators; the
 /// model's context is cleared by the failed mutator, and callers drop
 /// the model itself.
-pub(crate) fn retarget_cell_to(model: &mut CellModel, s: &Scenario) -> Result<(), CoreError> {
+pub(crate) fn retarget_cell_to(
+    model: &mut CellModel,
+    s: &Scenario,
+    cache: Option<&GeometryCache>,
+) -> Result<(), CoreError> {
+    model.retarget_geometry(cell_geometry_for(s)?, cache)?;
+    model.retarget_contact_asr(s.cell_options.contact_asr)?;
     let per_channel = s.per_channel_flow();
     if model.flow().value() != per_channel.value() {
         model.retarget_flow(per_channel)?;
@@ -543,8 +739,8 @@ pub(crate) fn thermal_model_for(s: &Scenario) -> Result<ThermalModel, CoreError>
             LayerSpec::Microchannel {
                 name: "flow-cell channels".into(),
                 spec: MicrochannelSpec {
-                    channel_width: Meters::from_micrometers(200.0),
-                    channel_height: Meters::from_micrometers(400.0),
+                    channel_width: s.channel_width,
+                    channel_height: s.channel_height,
                     channels_per_cell: s.channel_count / s.thermal_columns,
                     fluid,
                     total_flow: s.total_flow,
@@ -751,3 +947,4 @@ mod tests {
         assert!(text.contains("OCV"));
     }
 }
+

@@ -344,11 +344,13 @@ pub struct EngineStats {
     pub trace_segments_reused: u64,
     /// Polarization requests served.
     pub polarization_requests: u64,
-    /// Flow-cell workers built from scratch (one full cell solve
-    /// context — duct solution + operator factorizations — each).
+    /// Flow-cell solve contexts built from scratch (one duct solution +
+    /// operator factorizations each) — by polarization workers and by
+    /// the steady path's co-simulation workers alike.
     pub cell_contexts_built: u64,
-    /// Polarization requests served by retargeting a cached cell worker
-    /// in place.
+    /// Requests served by retargeting a built flow-cell context in
+    /// place instead of rebuilding it (polarization retargets plus the
+    /// steady path's [`CoSimulation::cell_context_reuses`] deltas).
     pub cell_context_reuses: u64,
     /// Kernel backend that served the most recent steady batch
     /// ([`Backend::Scalar`] before the first batch).
@@ -398,6 +400,13 @@ struct GroupResult {
     quarantined: u64,
     /// Requests that panicked (each reported as `WorkerPanic`).
     panicked: u64,
+    /// Cold flow-cell solve-context builds paid by this group's worker
+    /// ([`bright_flowcell::CellContextStats::coefficient_builds`]
+    /// deltas).
+    cells_built: u64,
+    /// Retargets that refreshed the flow-cell context in place
+    /// ([`CoSimulation::cell_context_reuses`] deltas).
+    cell_reuses: u64,
     /// Kernel path and preconditioner spec of this group's last served
     /// request, tagged with the highest request id so the batch-level
     /// stats pick a deterministic winner (groups come back in
@@ -637,6 +646,8 @@ impl ScenarioEngine {
             self.stats.recovered_solves += r.recovered;
             self.stats.quarantined_workers += r.quarantined;
             self.stats.panicked_requests += r.panicked;
+            self.stats.cell_contexts_built += r.cells_built;
+            self.stats.cell_context_reuses += r.cell_reuses;
             if let Some((id, backend, threads, precond)) = r.kernel {
                 // Deterministic across executor scheduling: the group
                 // holding the most recently submitted solved request
@@ -673,10 +684,16 @@ impl ScenarioEngine {
         let mut recovered = 0u64;
         let mut quarantined = 0u64;
         let mut panicked = 0u64;
+        let mut cells_built = 0u64;
+        let mut cell_reuses = 0u64;
         for (id, scenario) in requests {
             let solves_before = worker
                 .as_ref()
                 .map_or(0, |w| w.thermal_session_stats().solves);
+            let cells_built_before = worker
+                .as_ref()
+                .map_or(0, |w| w.cell_context_stats().coefficient_builds);
+            let cell_reuses_before = worker.as_ref().map_or(0, CoSimulation::cell_context_reuses);
             let recovered_before = worker.as_ref().map_or(0, |w| {
                 w.thermal_session_stats().recovered_solves
                     + w.pdn_session_stats().recovered_solves
@@ -729,6 +746,18 @@ impl ScenarioEngine {
                     + w.pdn_session_stats().recovered_solves
             });
             recovered += recovered_after.saturating_sub(recovered_before);
+            // Flow-cell context accounting: a cold worker (or a rebuild
+            // after a failed refresh) shows up as a coefficient-build
+            // delta, an in-place retarget as a reuse delta. Read before
+            // any quarantine drops the worker.
+            let cells_built_after = worker
+                .as_ref()
+                .map_or(cells_built_before, |w| w.cell_context_stats().coefficient_builds);
+            let cell_reuses_after = worker
+                .as_ref()
+                .map_or(cell_reuses_before, CoSimulation::cell_context_reuses);
+            cells_built += cells_built_after.saturating_sub(cells_built_before);
+            cell_reuses += cell_reuses_after.saturating_sub(cell_reuses_before);
             let degraded = if result.is_ok() && recovered_after > recovered_before {
                 worker.as_ref().and_then(|w| w.recovery_digest())
             } else {
@@ -783,6 +812,8 @@ impl ScenarioEngine {
             recovered,
             quarantined,
             panicked,
+            cells_built,
+            cell_reuses,
             kernel: kernel_used,
         }
     }
@@ -1106,7 +1137,7 @@ impl ScenarioEngine {
         built: &mut u64,
     ) -> Result<PolarizationOutcome, CoreError> {
         if let Some(w) = worker.as_mut() {
-            if let Err(e) = crate::cosim::retarget_cell_to(w, &req.scenario) {
+            if let Err(e) = crate::cosim::retarget_cell_to(w, &req.scenario, None) {
                 // A half-retargeted worker is unsafe to keep: drop it
                 // so the next request rebuilds from its own scenario.
                 *worker = None;
@@ -1194,6 +1225,45 @@ mod tests {
             "{stats:?}"
         );
         assert_eq!(engine.cached_patterns(), 1);
+    }
+
+    #[test]
+    fn steady_path_accounts_cell_contexts() {
+        // Regression for the steady path silently dropping flow-cell
+        // context telemetry: before the fix, only polarization batches
+        // moved `cell_contexts_built` / `cell_context_reuses`, so a
+        // Monte-Carlo-style steady workload reported zero reuse no
+        // matter how well its workers recycled their duct solves.
+        let flows = [676.0, 500.0, 400.0, 300.0, 120.0, 48.0];
+        let n = flows.len();
+        let mut engine = ScenarioEngine::new();
+        let reports = engine.run_batch(flows.iter().map(|&f| flow_scenario(f)));
+        assert!(reports.iter().all(|r| r.result.is_ok()));
+        // The group splits into as many chunks as the executor budget
+        // allows; each chunk cold-builds one worker (and its cell
+        // context), every further request in a chunk retargets it.
+        let budget = sweep_workers(n).max(1).min(n);
+        let chunk_size = n.div_ceil(budget);
+        let chunks = n.div_ceil(chunk_size) as u64;
+        let built_1 = engine.stats().cell_contexts_built;
+        let reused_1 = engine.stats().cell_context_reuses;
+        assert_eq!(built_1, chunks, "{:?}", engine.stats());
+        assert_eq!(built_1 + reused_1, n as u64, "{:?}", engine.stats());
+        // Second batch: the cached pattern worker (and its clones) serve
+        // every request by in-place refresh — zero new contexts.
+        let reports = engine.run_batch(flows.iter().map(|&f| flow_scenario(f)));
+        assert!(reports.iter().all(|r| r.result.is_ok()));
+        assert_eq!(
+            engine.stats().cell_contexts_built,
+            built_1,
+            "warm batch must not rebuild cell contexts"
+        );
+        assert_eq!(
+            engine.stats().cell_context_reuses,
+            reused_1 + n as u64,
+            "{:?}",
+            engine.stats()
+        );
     }
 
     #[test]

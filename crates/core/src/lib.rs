@@ -43,6 +43,7 @@
 
 pub mod cosim;
 pub mod engine;
+pub mod montecarlo;
 pub mod reports;
 pub mod scenario;
 pub mod sweeps;
@@ -53,7 +54,8 @@ pub use engine::{
     CellPatternKey, EngineReport, EngineStats, PolarizationReport, PolarizationRequest,
     ScenarioEngine, ScenarioReport, ScenarioRequest,
 };
-pub use reports::{CoSimReport, PolarizationOutcome};
+pub use montecarlo::{McLimits, McParameter, McReport, McRun, McSpec, McStats, McVariable};
+pub use reports::{CoSimReport, PolarizationOutcome, YieldReport};
 pub use scenario::Scenario;
 pub use transient::{
     LoadStep, SteppingMode, TransientOutcome, TransientReport, TransientRequest,

@@ -25,6 +25,41 @@ pub struct OperatingPoint {
     pub rail_power: Watt,
 }
 
+/// The lightweight per-sample result of [`crate::CoSimulation::run_yield`]
+/// — the metrics the Monte Carlo engine accumulates, without the
+/// polarization sweep, isothermal baseline or operating-point ladder of
+/// the full [`CoSimReport`].
+#[derive(Debug, Clone)]
+pub struct YieldReport {
+    /// Total heat dissipated by the chip (thermal load).
+    pub chip_power: Watt,
+    /// Peak temperature anywhere in the stack.
+    pub peak_temperature: Kelvin,
+    /// Mean fluid outlet temperature.
+    pub outlet_temperature: Kelvin,
+    /// Array current at the 1.0 V supply point (thermally coupled).
+    pub current_at_1v: Ampere,
+    /// Array power at the 1.0 V supply point.
+    pub power_at_1v: Watt,
+    /// Minimum rail voltage over the die.
+    pub pdn_min_voltage: Volt,
+    /// Channel pressure drop at the operating flow.
+    pub pressure_drop: Pascal,
+    /// Pump shaft power.
+    pub pumping_power: Watt,
+    /// Junction (active silicon) temperature map in kelvin.
+    pub junction_map: Field2d,
+}
+
+impl YieldReport {
+    /// Net electrical benefit at the 1 V supply point: generation minus
+    /// pumping cost.
+    #[must_use]
+    pub fn net_power_at_1v(&self) -> Watt {
+        self.power_at_1v - self.pumping_power
+    }
+}
+
 /// Everything the paper reports for one integrated operating point.
 #[derive(Debug, Clone)]
 pub struct CoSimReport {

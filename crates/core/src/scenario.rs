@@ -6,7 +6,7 @@ use bright_flowcell::SolverOptions;
 use bright_floorplan::{power7, Floorplan, PowerScenario};
 use bright_pdn::ports::PortLayout;
 use bright_pdn::Vrm;
-use bright_units::{CubicMetersPerSecond, Kelvin};
+use bright_units::{CubicMetersPerSecond, Kelvin, Meters};
 
 /// PDN parameters of a scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +53,13 @@ pub struct Scenario {
     pub inlet_temperature: Kelvin,
     /// Number of physical channels in the array (88 in Table II).
     pub channel_count: usize,
+    /// Microchannel width (Table II: 200 µm). Shared by the flow-cell
+    /// electrode gap, the thermal microchannel layer and the hydraulic
+    /// array — the Monte Carlo engine samples it as a manufacturing
+    /// tolerance.
+    pub channel_width: Meters,
+    /// Microchannel height (Table II: 400 µm).
+    pub channel_height: Meters,
     /// Thermal grid columns; must divide `channel_count`. Each column
     /// lumps `channel_count / thermal_columns` adjacent channels, which
     /// share a temperature profile.
@@ -86,6 +93,8 @@ impl Scenario {
             total_flow: CubicMetersPerSecond::from_milliliters_per_minute(676.0),
             inlet_temperature: Kelvin::new(300.0),
             channel_count: 88,
+            channel_width: Meters::from_micrometers(200.0),
+            channel_height: Meters::from_micrometers(400.0),
             thermal_columns: 88,
             thermal_ny: 44,
             cell_options: SolverOptions::default(),
@@ -164,6 +173,16 @@ impl Scenario {
                 "flow must be positive, got {}",
                 self.total_flow
             )));
+        }
+        for (name, dim) in [
+            ("channel width", self.channel_width),
+            ("channel height", self.channel_height),
+        ] {
+            if !(dim.value() > 0.0 && dim.is_finite()) {
+                return Err(CoreError::InvalidScenario(format!(
+                    "{name} must be positive, got {dim}"
+                )));
+            }
         }
         if !self.inlet_temperature.is_physical() {
             return Err(CoreError::InvalidScenario(format!(

@@ -1,0 +1,179 @@
+//! Integration tests for the Monte Carlo uncertainty engine: the
+//! determinism contract (bitwise-identical reports across chunk sizes
+//! and worker counts), seed divergence, fault-tolerant batches and the
+//! shared geometry cache.
+
+use bright_core::montecarlo::{self, McParameter, McSpec, McVariable};
+use bright_core::Scenario;
+use bright_num::faults::FaultPlan;
+use bright_num::rng::Distribution;
+
+/// A deliberately coarse scenario so one yield solve costs
+/// milliseconds: the determinism tests below run hundreds of them.
+fn tiny_scenario() -> Scenario {
+    let mut s = Scenario::power7_reduced();
+    s.thermal_columns = 11;
+    s.thermal_ny = 8;
+    s.cell_options.ny = 12;
+    s.cell_options.nx = 24;
+    s.pdn.nx = 24;
+    s.pdn.ny = 20;
+    s
+}
+
+fn tiny_spec(samples: usize) -> McSpec {
+    let mut spec = McSpec::power7_tolerances(tiny_scenario());
+    spec.samples = samples;
+    spec
+}
+
+#[test]
+fn report_is_bitwise_identical_across_chunking_and_workers() {
+    let mut reference: Option<String> = None;
+    for (chunk, workers) in [(24, 1), (1, 1), (7, 1), (24, 4), (5, 4)] {
+        let mut spec = tiny_spec(24);
+        spec.chunk = chunk;
+        spec.workers = Some(workers);
+        let run = montecarlo::run(&spec).unwrap();
+        assert_eq!(run.report.samples, 24);
+        assert_eq!(run.report.evaluated, 24, "all tiny samples solve");
+        let json = run.report.to_json().to_json_string_pretty();
+        match &reference {
+            None => reference = Some(json),
+            Some(r) => assert_eq!(
+                r, &json,
+                "McReport must be bitwise stable (chunk {chunk}, workers {workers})"
+            ),
+        }
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let mut a = tiny_spec(12);
+    a.seed = 1;
+    let mut b = tiny_spec(12);
+    b.seed = 2;
+    let ra = montecarlo::run(&a).unwrap().report;
+    let rb = montecarlo::run(&b).unwrap().report;
+    assert_ne!(
+        ra.to_json().to_json_string(),
+        rb.to_json().to_json_string(),
+        "distinct seeds must explore distinct samples"
+    );
+    // And the physics actually moved: the sampled peak temperatures are
+    // not the same sequence.
+    assert!((ra.metrics[0].mean - rb.metrics[0].mean).abs() > 0.0);
+}
+
+#[test]
+fn accumulator_memory_is_logarithmic_in_samples() {
+    let small = montecarlo::run(&tiny_spec(8)).unwrap().stats;
+    let large = montecarlo::run(&tiny_spec(64)).unwrap().stats;
+    // The forest holds at most popcount(n) live partials and the
+    // sketches are fixed-size: 8× the samples must not grow the state
+    // beyond the log-term slack.
+    assert!(small.peak_live_nodes <= 4, "{small:?}");
+    assert!(large.peak_live_nodes <= 7, "{large:?}");
+    let per_node = |s: &bright_core::McStats| {
+        s.accumulator_state_bytes / s.peak_live_nodes.max(1)
+    };
+    assert!(
+        per_node(&large) <= 2 * per_node(&small),
+        "per-node state must not scale with samples: {small:?} vs {large:?}"
+    );
+}
+
+#[test]
+fn invalid_samples_are_excluded_not_fatal() {
+    let mut spec = tiny_spec(16);
+    // A power scale straddling zero: a fair share of draws are
+    // non-physical and must be skipped without aborting the study.
+    spec.variables = vec![McVariable::new(
+        McParameter::ThermalPowerScale,
+        Distribution::normal(0.3, 0.6),
+    )];
+    spec.correlation = None;
+    let run = montecarlo::run(&spec).unwrap();
+    assert!(run.report.invalid > 0, "{:?}", run.report);
+    assert!(run.report.evaluated > 0, "{:?}", run.report);
+    assert_eq!(
+        run.report.evaluated + run.report.invalid + run.report.failed,
+        16
+    );
+    // Excluded samples never enter the accumulators.
+    assert_eq!(run.report.metrics[0].count, run.report.evaluated);
+    assert_eq!(run.report.over_temperature.trials, run.report.evaluated);
+}
+
+#[test]
+fn coarse_geometry_quanta_share_duct_solves() {
+    let mut spec = tiny_spec(24);
+    spec.chunk = 24;
+    spec.workers = Some(1);
+    // Snap geometry to a 20 µm grid: the ±5/10 µm spreads then land on
+    // a handful of distinct fingerprints, so the shared cache must
+    // serve most samples without a new duct solve.
+    for v in &mut spec.variables {
+        if matches!(
+            v.parameter,
+            McParameter::ChannelWidth | McParameter::ChannelHeight
+        ) {
+            v.quantum = Some(2e-5);
+        }
+    }
+    let run = montecarlo::run(&spec).unwrap();
+    assert_eq!(run.report.evaluated, 24);
+    let stats = &run.stats;
+    assert!(
+        stats.geometry_cache_hits > 0,
+        "quantized geometry must revisit cached duct solves: {stats:?}"
+    );
+    assert!(
+        stats.geometry_cache_misses < 24,
+        "24 samples on a coarse grid cannot all be distinct: {stats:?}"
+    );
+    assert_eq!(stats.retargets + stats.cold_builds, 24, "{stats:?}");
+}
+
+#[test]
+fn seeded_faults_poison_samples_not_the_batch() {
+    bright_num::faults::reset_counters();
+    let mut spec = tiny_spec(24);
+    spec.chunk = 6;
+    spec.workers = Some(2);
+    let plan = FaultPlan {
+        seed: 2014,
+        nan: 3,
+        breakdown: 5,
+        panic: 4,
+        ..FaultPlan::default()
+    };
+    let run = bright_num::faults::with_plan(Some(plan), || montecarlo::run(&spec)).unwrap();
+    let (report, stats) = (&run.report, &run.stats);
+    // The batch completed and every sample is accounted for exactly
+    // once.
+    assert_eq!(
+        report.evaluated + report.invalid + report.failed,
+        24,
+        "{report:?}"
+    );
+    // Scripted worker panics fired and were absorbed as failed samples,
+    // each quarantining its worker.
+    assert!(stats.panicked > 0, "{stats:?}");
+    assert!(report.failed >= stats.panicked, "{report:?} vs {stats:?}");
+    assert!(stats.quarantines >= stats.panicked, "{stats:?}");
+    // The NaN/breakdown sites exercised the session recovery ladder on
+    // samples that still converged (degraded, not lost).
+    assert!(
+        stats.recovered_solves > 0 || stats.degraded > 0,
+        "injected solver faults should surface in the recovery telemetry: {stats:?}"
+    );
+    // Poisoned samples are excluded from every accumulator.
+    assert_eq!(report.metrics[0].count, report.evaluated);
+    assert_eq!(report.over_temperature.trials, report.evaluated);
+    assert_eq!(report.under_power.trials, report.evaluated);
+    // The survivors still produced healthy statistics.
+    assert!(report.evaluated > 0);
+    assert!(report.metrics[0].mean.is_finite());
+}

@@ -77,6 +77,20 @@ impl PowerScenario {
         self
     }
 
+    /// Returns a copy with every density (kind and per-name) multiplied
+    /// by `factor` — the Monte Carlo engine's power-scaling knob for
+    /// workload/process variation studies.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        let scale = |m: &HashMap<String, f64>| {
+            m.iter().map(|(k, d)| (k.clone(), d * factor)).collect()
+        };
+        Self {
+            by_kind: scale(&self.by_kind),
+            by_name: scale(&self.by_name),
+        }
+    }
+
     /// Density applied to a specific block.
     ///
     /// # Errors

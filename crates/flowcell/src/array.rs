@@ -97,6 +97,73 @@ impl CellArray {
         self
     }
 
+    /// Applies an in-place retarget to the template **and** every
+    /// cached per-channel model — the amortized path when one array
+    /// serves a stream of operating points (Monte Carlo studies, design
+    /// sweeps): geometry, flow and ASR updates ride the models'
+    /// existing solve contexts instead of rebuilding them per sample.
+    /// Retargets are bitwise-equal to cold builds (the
+    /// [`CellModel::retarget_geometry`] family's contract), so a
+    /// long-lived retargeted array and a freshly built one solve to
+    /// identical bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first retarget error; failed models clear their
+    /// contexts, so subsequent solves rebuild cold rather than serving
+    /// stale coefficients.
+    pub fn retarget_models<F>(&mut self, mut retarget: F) -> Result<(), FlowCellError>
+    where
+        F: FnMut(&mut CellModel) -> Result<(), FlowCellError>,
+    {
+        retarget(&mut self.template)?;
+        if let Some(models) = self.models.get_mut() {
+            for m in models {
+                retarget(m)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-points the per-channel temperature profiles **in place**:
+    /// when the per-channel models are already built (and match the
+    /// channel count) each one is refreshed through
+    /// [`CellModel::retarget_temperature`] — station chemistry and
+    /// operator re-stamps through existing storage, no new model
+    /// builds; otherwise this falls back to storing the profiles for
+    /// the next lazy build, exactly like
+    /// [`CellArray::with_channel_temperatures`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowCellError::InvalidConfig`] on length mismatch (the array
+    /// is unchanged); retarget errors as [`CellArray::retarget_models`].
+    pub fn retarget_channel_temperatures(
+        &mut self,
+        temps: Vec<TemperatureProfile>,
+    ) -> Result<(), FlowCellError> {
+        if temps.len() != self.count {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "{} temperature profiles for {} channels",
+                temps.len(),
+                self.count
+            )));
+        }
+        match self.models.get_mut() {
+            Some(models) if models.len() == temps.len() => {
+                for (m, t) in models.iter_mut().zip(&temps) {
+                    m.retarget_temperature(t.clone())?;
+                }
+                self.per_channel_temperatures = Some(temps);
+            }
+            _ => {
+                self.per_channel_temperatures = Some(temps);
+                self.models = OnceLock::new();
+            }
+        }
+        Ok(())
+    }
+
     /// The cached per-channel models, built on first use. The duct
     /// velocity profile is solved **once** on the template and shared by
     /// every per-temperature channel model (temperature is a
@@ -392,6 +459,78 @@ mod tests {
         assert!(variant
             .template()
             .shares_geometry_with(array.template()));
+    }
+
+    #[test]
+    fn retargeted_array_matches_fresh_build_bitwise() {
+        let temps = |base: f64| -> Vec<TemperatureProfile> {
+            (0..4)
+                .map(|k| TemperatureProfile::Uniform(Kelvin::new(base + 2.0 * k as f64)))
+                .collect()
+        };
+        let template = presets::power7_channel().unwrap();
+
+        // Long-lived array: built at one operating point, solved (so
+        // the per-channel models and their contexts exist), then moved
+        // in place to a second point.
+        let mut lived = CellArray::new(template.clone(), 4)
+            .unwrap()
+            .with_channel_temperatures(temps(300.0))
+            .unwrap();
+        lived.solve_at_voltage(1.0).unwrap();
+        let flow2 =
+            bright_units::CubicMetersPerSecond::from_milliliters_per_minute(9.0);
+        lived
+            .retarget_models(|m| {
+                m.retarget_contact_asr(2.5e-6)?;
+                m.retarget_flow(flow2)?;
+                Ok(())
+            })
+            .unwrap();
+        lived.retarget_channel_temperatures(temps(306.0)).unwrap();
+        let warm = lived.solve_at_voltage(1.0).unwrap();
+
+        // Fresh array built directly at the second operating point.
+        let mut template2 = template;
+        template2.retarget_contact_asr(2.5e-6).unwrap();
+        template2.retarget_flow(flow2).unwrap();
+        let fresh = CellArray::new(template2, 4)
+            .unwrap()
+            .with_channel_temperatures(temps(306.0))
+            .unwrap()
+            .solve_at_voltage(1.0)
+            .unwrap();
+
+        assert_eq!(warm.current.value().to_bits(), fresh.current.value().to_bits());
+        assert_eq!(warm.power.value().to_bits(), fresh.power.value().to_bits());
+    }
+
+    #[test]
+    fn retarget_channel_temperatures_checks_length_and_falls_back() {
+        let template = presets::power7_channel().unwrap();
+        let mut array = CellArray::new(template, 3).unwrap();
+        // Models not built yet: the call stores profiles for the lazy
+        // build, exactly like with_channel_temperatures.
+        let temps: Vec<TemperatureProfile> = (0..3)
+            .map(|k| TemperatureProfile::Uniform(Kelvin::new(301.0 + k as f64)))
+            .collect();
+        array.retarget_channel_temperatures(temps.clone()).unwrap();
+        let stored = array.solve_at_voltage(1.0).unwrap();
+        let built = CellArray::new(presets::power7_channel().unwrap(), 3)
+            .unwrap()
+            .with_channel_temperatures(temps)
+            .unwrap()
+            .solve_at_voltage(1.0)
+            .unwrap();
+        assert_eq!(stored.current.value().to_bits(), built.current.value().to_bits());
+        // Length mismatch is rejected and leaves the array untouched.
+        assert!(array
+            .retarget_channel_temperatures(vec![TemperatureProfile::Uniform(
+                Kelvin::new(300.0)
+            )])
+            .is_err());
+        let again = array.solve_at_voltage(1.0).unwrap();
+        assert_eq!(again.current.value().to_bits(), stored.current.value().to_bits());
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub use array::CellArray;
 pub use geometry::CellGeometry;
 pub use options::{SolverOptions, TemperatureProfile};
 pub use polarization::PolarizationCurve;
-pub use solver::{CellContextStats, CellModel, CellSolution};
+pub use solver::{CellContextStats, CellModel, CellSolution, GeometryCache};
 
 use std::fmt;
 

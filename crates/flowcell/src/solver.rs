@@ -138,6 +138,132 @@ pub(crate) struct GeometryContext {
     shape_half: Vec<f64>,
 }
 
+/// Fingerprint of everything a [`GeometryContext`] is built from: the
+/// channel dimensions and electrode coverage (bit patterns, so the key
+/// is exact) plus the discretization/velocity half of the solver
+/// options. Two models with equal keys build bitwise-identical
+/// geometry contexts and can share one duct solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct GeometryKey {
+    width_bits: u64,
+    height_bits: u64,
+    length_bits: u64,
+    coverage_bits: u64,
+    ny: usize,
+    nx: usize,
+    velocity_kind: u8,
+    nz: usize,
+}
+
+impl GeometryKey {
+    fn new(geometry: &CellGeometry, options: &SolverOptions) -> Self {
+        let (ny, nx, velocity_kind, nz) = options.geometry_fingerprint();
+        let ch = geometry.channel();
+        Self {
+            width_bits: ch.width().value().to_bits(),
+            height_bits: ch.height().value().to_bits(),
+            length_bits: ch.length().value().to_bits(),
+            coverage_bits: geometry.electrode_coverage().to_bits(),
+            ny,
+            nx,
+            velocity_kind,
+            nz,
+        }
+    }
+}
+
+/// A concurrent, fingerprint-keyed cache of built geometry contexts.
+///
+/// Monte Carlo geometry sampling retargets a cached cell model across
+/// thousands of channel dimensions; when the sampled dimensions are
+/// quantized to a manufacturing grid, fingerprints collide constantly
+/// and the expensive duct Poisson solve should be paid once per
+/// *distinct* geometry, not once per sample. Workers share one cache
+/// (it is `Sync`); [`CellModel::retarget_geometry`] consults it before
+/// building. Hit/miss counters feed `McStats`.
+#[derive(Debug, Default)]
+pub struct GeometryCache {
+    map: std::sync::Mutex<std::collections::HashMap<GeometryKey, Arc<GeometryContext>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl GeometryCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Duct-solve reuses served so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Geometry builds the cache could not avoid.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of distinct geometry contexts held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("geometry cache poisoned").len()
+    }
+
+    /// `true` when no context has been cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Seeds the cache with `model`'s built (or herewith built)
+    /// geometry context, so later retargets back to this geometry hit.
+    /// Neither counter moves: seeding is not a served request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates duct-solver errors when the model had no context yet.
+    pub fn warm_from(&self, model: &CellModel) -> Result<(), FlowCellError> {
+        let geo = Arc::clone(model.geometry_context()?);
+        let key = GeometryKey::new(&model.geometry, &model.options);
+        self.map
+            .lock()
+            .expect("geometry cache poisoned")
+            .entry(key)
+            .or_insert(geo);
+        Ok(())
+    }
+
+    /// Returns the cached context for the fingerprint of `(geometry,
+    /// options)`, or builds, caches and returns it. The boolean is
+    /// `true` when `build` ran (the caller paid for a duct solve).
+    fn get_or_build(
+        &self,
+        geometry: &CellGeometry,
+        options: &SolverOptions,
+        build: impl FnOnce() -> Result<GeometryContext, FlowCellError>,
+    ) -> Result<(Arc<GeometryContext>, bool), FlowCellError> {
+        use std::sync::atomic::Ordering;
+        let key = GeometryKey::new(geometry, options);
+        if let Some(hit) = self.map.lock().expect("geometry cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), false));
+        }
+        // Build outside the lock — the duct solve is the long pole and
+        // must not serialize unrelated lookups. A racing builder of the
+        // same key wins the insert; both results are bitwise-identical
+        // (pure functions of the fingerprint), so either Arc serves.
+        let built = Arc::new(build()?);
+        let mut map = self.map.lock().expect("geometry cache poisoned");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((Arc::clone(entry), true))
+    }
+}
+
 /// One electrode stream's bank of factored transport operators:
 /// a pool of distinct operators plus the station → pool index map
 /// (consecutive equal-diffusivity stations share one operator, so the
@@ -461,6 +587,80 @@ impl CellModel {
         self.chemistry.negative.inlet = negative;
         self.chemistry.positive.inlet = positive;
         self.refresh_context(true, false, true)
+    }
+
+    /// Points this model at a different channel geometry in place: the
+    /// geometry context is swapped (served from `cache` when the
+    /// fingerprint matches a previous build — the duct solve is then
+    /// *not* repeated), and the whole coefficient state is refreshed
+    /// against it through the existing storage. Subsequent solves are
+    /// bitwise-equal to a cold model built at the new geometry. A
+    /// retarget to the current geometry is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Duct-solver errors on a cache miss; refresh errors clear the
+    /// context so the next solve rebuilds cold.
+    pub fn retarget_geometry(
+        &mut self,
+        geometry: CellGeometry,
+        cache: Option<&GeometryCache>,
+    ) -> Result<(), FlowCellError> {
+        if geometry == self.geometry {
+            return Ok(());
+        }
+        self.geometry = geometry;
+        let (new_geo, paid) = match cache {
+            Some(cache) => {
+                cache.get_or_build(&self.geometry, &self.options, || self.build_geometry())?
+            }
+            None => (Arc::new(self.build_geometry()?), true),
+        };
+        if paid {
+            self.geo_builds_paid
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.geo = OnceLock::new();
+        let _ = self.geo.set(Arc::clone(&new_geo));
+        if self.ctx.get().is_none() {
+            // Nothing warm to refresh; the next solve builds cold
+            // against the (possibly cached) context installed above.
+            return Ok(());
+        }
+        if let Some(ctx) = self.ctx.get_mut() {
+            ctx.geo = new_geo;
+            ctx.stats.geometry_builds = self
+                .geo_builds_paid
+                .load(std::sync::atomic::Ordering::Relaxed);
+        }
+        // Everything downstream of geometry changed: stations (new
+        // electrode gap → new ASR), velocity (new cross-section and
+        // shape), operators (new grid spacings), marchers (new grid).
+        self.refresh_context(true, true, true)
+    }
+
+    /// Points this model at a different contact/electrode
+    /// area-specific resistance (Ω·m²) in place: station chemistry
+    /// snapshots are rebuilt with the new series term, while the
+    /// velocity profile, transport operators and marchers all survive
+    /// untouched. A retarget to the current value is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowCellError::InvalidConfig`] for a negative or non-finite
+    /// value (the model is unchanged); refresh errors clear the context
+    /// so the next solve rebuilds cold.
+    pub fn retarget_contact_asr(&mut self, contact_asr: f64) -> Result<(), FlowCellError> {
+        if !(contact_asr >= 0.0 && contact_asr.is_finite()) {
+            return Err(FlowCellError::InvalidConfig(format!(
+                "contact ASR must be non-negative, got {contact_asr}"
+            )));
+        }
+        if contact_asr == self.options.contact_asr {
+            return Ok(());
+        }
+        self.options.contact_asr = contact_asr;
+        self.refresh_context(true, false, false)
     }
 
     /// Context telemetry: geometry builds, coefficient refreshes and
@@ -1309,6 +1509,138 @@ mod tests {
         .solve_at_voltage(1.0)
         .unwrap();
         assert_bitwise_equal(&warm, &cold);
+    }
+
+    #[test]
+    fn retarget_geometry_matches_cold_build_bitwise() {
+        use bright_flow::RectChannel;
+        use bright_units::Meters;
+
+        let mut m = power7_channel_model();
+        m.solve_at_voltage(1.0).unwrap();
+        assert_eq!(m.context_stats().geometry_builds, 1);
+
+        let wider = CellGeometry::new(
+            RectChannel::new(
+                Meters::from_micrometers(210.0),
+                Meters::from_micrometers(400.0),
+                Meters::from_millimeters(22.0),
+            )
+            .unwrap(),
+        );
+        m.retarget_geometry(wider, None).unwrap();
+        let warm = m.solve_at_voltage(0.9).unwrap();
+        let cold = CellModel::new(
+            wider,
+            bright_echem::vanadium::power7_cell_chemistry(),
+            m.flow(),
+            m.temperature().clone(),
+            m.options().clone(),
+        )
+        .unwrap()
+        .solve_at_voltage(0.9)
+        .unwrap();
+        assert_bitwise_equal(&warm, &cold);
+        let stats = m.context_stats();
+        assert_eq!(stats.geometry_builds, 2, "uncached geometry retarget pays a build");
+        assert_eq!(stats.coefficient_builds, 1, "coefficients refreshed, not rebuilt");
+        assert_eq!(stats.coefficient_refreshes, 1);
+        // Retargeting to the current geometry is free.
+        m.retarget_geometry(wider, None).unwrap();
+        assert_eq!(m.context_stats().geometry_builds, 2);
+        assert_eq!(m.context_stats().coefficient_refreshes, 1);
+    }
+
+    #[test]
+    fn geometry_cache_shares_duct_solves_across_retargets() {
+        use bright_flow::RectChannel;
+        use bright_units::Meters;
+
+        let geom = |w_um: f64| {
+            CellGeometry::new(
+                RectChannel::new(
+                    Meters::from_micrometers(w_um),
+                    Meters::from_micrometers(400.0),
+                    Meters::from_millimeters(22.0),
+                )
+                .unwrap(),
+            )
+        };
+        let cache = GeometryCache::new();
+        let mut m = power7_channel_model();
+        m.solve_at_voltage(1.0).unwrap();
+        cache.warm_from(&m).unwrap();
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 1));
+
+        // Oscillate between two sampled geometries: one miss each,
+        // every revisit a hit — the model never pays a second build
+        // for a fingerprint the cache has seen.
+        for (i, w) in [210.0, 220.0, 210.0, 220.0, 200.0].iter().enumerate() {
+            m.retarget_geometry(geom(*w), Some(&cache)).unwrap();
+            m.solve_at_voltage(1.0).unwrap();
+            let _ = i;
+        }
+        assert_eq!(cache.misses(), 2, "only two distinct new fingerprints");
+        assert_eq!(cache.hits(), 3, "revisits (incl. the seeded base) are hits");
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            m.context_stats().geometry_builds,
+            1 + 2,
+            "builds paid: the cold one plus the two cache misses"
+        );
+        // Cached revisit agrees bitwise with a cold model.
+        m.retarget_geometry(geom(210.0), Some(&cache)).unwrap();
+        let warm = m.solve_at_voltage(0.9).unwrap();
+        let cold = CellModel::new(
+            geom(210.0),
+            bright_echem::vanadium::power7_cell_chemistry(),
+            m.flow(),
+            m.temperature().clone(),
+            m.options().clone(),
+        )
+        .unwrap()
+        .solve_at_voltage(0.9)
+        .unwrap();
+        assert_bitwise_equal(&warm, &cold);
+    }
+
+    #[test]
+    fn retarget_contact_asr_matches_cold_build_bitwise() {
+        let mut m = power7_channel_model();
+        m.solve_at_voltage(1.0).unwrap();
+        let base = m.context_stats();
+
+        m.retarget_contact_asr(2e-4).unwrap();
+        let warm = m.solve_at_voltage(1.0).unwrap();
+        let cold = CellModel::new(
+            *m.geometry(),
+            bright_echem::vanadium::power7_cell_chemistry(),
+            m.flow(),
+            m.temperature().clone(),
+            SolverOptions {
+                contact_asr: 2e-4,
+                ..m.options().clone()
+            },
+        )
+        .unwrap()
+        .solve_at_voltage(1.0)
+        .unwrap();
+        assert_bitwise_equal(&warm, &cold);
+        // ASR is a series term in the station balance: higher resistance
+        // must cost current at fixed voltage.
+        assert!(warm.current().value() < m.retarget_contact_asr(0.0).map(|()| {
+            m.solve_at_voltage(1.0).unwrap().current().value()
+        }).unwrap());
+
+        let stats = m.context_stats();
+        assert_eq!(stats.geometry_builds, 1);
+        assert_eq!(stats.op_builds, base.op_builds, "ASR retarget must not touch operators");
+        assert_eq!(stats.op_refreshes, base.op_refreshes, "diffusivities unchanged: no re-stamp");
+        assert_eq!(stats.coefficient_refreshes, 2);
+        // Invalid values are rejected without touching the model.
+        assert!(m.retarget_contact_asr(-1.0).is_err());
+        assert!(m.retarget_contact_asr(f64::NAN).is_err());
+        assert_eq!(m.options().contact_asr, 0.0);
     }
 
     #[test]

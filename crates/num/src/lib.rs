@@ -46,6 +46,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod banded;
 pub mod dense;
 pub mod error;
 pub mod faults;
@@ -56,15 +57,20 @@ pub mod multigrid;
 pub mod parallel;
 pub mod precond;
 pub mod quadrature;
+pub mod rng;
 pub mod roots;
 pub mod session;
 pub mod solvers;
 pub mod sparse;
+pub mod stats;
 pub mod tridiag;
 pub mod vec_ops;
 
+pub use banded::BandedCholesky;
 pub use error::NumError;
 pub use faults::{FaultPlan, FaultSite};
+pub use rng::{CorrelatedSampler, CounterRng, Distribution};
+pub use stats::{Accumulate, DyadicForest, Moments, QuantileSketch, VecMoments};
 pub use kernels::{Backend, KernelSpec};
 pub use multigrid::{MgConfig, MgSmoother, MgStats, MultigridPrecond};
 pub use precond::{mg_min_unknowns, PrecondSpec, Preconditioner};

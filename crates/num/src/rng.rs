@@ -1,0 +1,492 @@
+//! Counter-based deterministic random streams for Monte Carlo sampling.
+//!
+//! The uncertainty engine (`bright_core::montecarlo` in the core
+//! crate) needs draws that are **reproducible from a seed and
+//! independent of chunking and thread count**: sample `i` of parameter
+//! `j` must come out bit-identical whether it is drawn by worker 0 of a
+//! single-threaded run or worker 7 of a chunked batch, and whether any
+//! other sample was drawn before it. Stateful generators (xorshift,
+//! PCG's sequential mode, `rand`'s thread RNGs) cannot give that
+//! without replaying prefixes; a **counter-based** generator can: the
+//! value at counter `c` of stream `s` is a pure hash of `(seed, s, c)`.
+//!
+//! [`CounterRng`] implements exactly that with the splitmix64
+//! finalizer — two xor-shift/multiply rounds whose avalanche carries
+//! every input bit to every output bit. It is not cryptographic; it is
+//! statistically solid for simulation (the same construction backs
+//! splittable RNGs in JAX and in the `rand` crate's `SplitMix64`).
+//!
+//! [`Distribution`] layers the sampling marginals on top. Every draw
+//! starts from a standard normal `z` (Box–Muller over counters `2c`
+//! and `2c+1`); non-normal marginals map through the Gaussian copula
+//! `u = Φ(z)` and their inverse CDF. Keeping a single `z → value` path
+//! for every marginal is what lets a user-supplied correlation matrix
+//! act on *any* mix of marginals: correlate the `z` vector with a
+//! Cholesky factor, then push each component through its own marginal
+//! (see [`CorrelatedSampler`]).
+//!
+//! ```
+//! use bright_num::rng::{CounterRng, Distribution};
+//!
+//! let rng = CounterRng::new(2014, 0);
+//! // Counter-addressed: no state, any order, same bits.
+//! assert_eq!(rng.u64_at(41), rng.u64_at(41));
+//! let d = Distribution::normal(300.0, 2.0);
+//! let x = d.from_standard_normal(rng.normal_at(41));
+//! assert!((x - 300.0).abs() < 20.0);
+//! ```
+
+use crate::error::NumError;
+
+/// 2⁶⁴ / φ, the Weyl increment that decorrelates consecutive counters.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// splitmix64 finalizer: a bijective avalanche mix on 64 bits.
+#[inline]
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A stateless, counter-addressed random stream: `(seed, stream)`
+/// select the stream, and every counter indexes one 64-bit draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+}
+
+impl CounterRng {
+    /// Creates the stream `stream` of the generator seeded by `seed`.
+    /// Distinct `(seed, stream)` pairs give statistically independent
+    /// streams (two mixing rounds separate them even for adjacent
+    /// seeds and stream ids).
+    #[must_use]
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let key = mix64(mix64(seed.wrapping_add(GOLDEN)).wrapping_add(stream.wrapping_mul(GOLDEN)));
+        Self { key }
+    }
+
+    /// The raw 64-bit draw at `counter`.
+    #[inline]
+    #[must_use]
+    pub fn u64_at(&self, counter: u64) -> u64 {
+        mix64(self.key ^ counter.wrapping_mul(GOLDEN))
+    }
+
+    /// The draw at `counter` mapped to `[0, 1)` with 53-bit resolution.
+    #[inline]
+    #[must_use]
+    pub fn unit_f64_at(&self, counter: u64) -> f64 {
+        // Top 53 bits — exactly the resolution of an f64 mantissa.
+        (self.u64_at(counter) >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// A standard-normal draw at `counter` (Box–Muller over the raw
+    /// counters `2·counter` and `2·counter + 1`, so normal and uniform
+    /// consumers of one stream never overlap draws).
+    #[inline]
+    #[must_use]
+    pub fn normal_at(&self, counter: u64) -> f64 {
+        // 1 - u ∈ (0, 1]: keeps ln() finite at u = 0.
+        let u1 = 1.0 - self.unit_f64_at(2 * counter);
+        let u2 = self.unit_f64_at(2 * counter + 1);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// The standard normal CDF `Φ(z)`, via the Abramowitz–Stegun 7.1.26
+/// rational approximation of `erf` (absolute error < 1.5e-7 — well
+/// inside Monte Carlo sampling noise for any practical sample count).
+#[must_use]
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let (sign, x) = if x < 0.0 { (-1.0, -x) } else { (1.0, x) };
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    0.5 * (1.0 + sign * erf)
+}
+
+/// A one-dimensional sampling marginal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Gaussian with the given mean and standard deviation.
+    Normal {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (> 0).
+        std_dev: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound (> `lo`).
+        hi: f64,
+    },
+    /// Triangular on `[lo, hi]` with the given mode — the standard
+    /// "min / most-likely / max" tolerance description.
+    Triangular {
+        /// Lower bound.
+        lo: f64,
+        /// Most likely value (`lo ≤ mode ≤ hi`).
+        mode: f64,
+        /// Upper bound (> `lo`).
+        hi: f64,
+    },
+}
+
+impl Distribution {
+    /// Gaussian marginal.
+    #[must_use]
+    pub fn normal(mean: f64, std_dev: f64) -> Self {
+        Self::Normal { mean, std_dev }
+    }
+
+    /// Uniform marginal on `[lo, hi)`.
+    #[must_use]
+    pub fn uniform(lo: f64, hi: f64) -> Self {
+        Self::Uniform { lo, hi }
+    }
+
+    /// Triangular marginal on `[lo, hi]` peaking at `mode`.
+    #[must_use]
+    pub fn triangular(lo: f64, mode: f64, hi: f64) -> Self {
+        Self::Triangular { lo, mode, hi }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::InvalidInput`] for non-finite parameters, a
+    /// non-positive spread, or an out-of-range mode.
+    pub fn validate(&self) -> Result<(), NumError> {
+        let bad = |msg: String| Err(NumError::InvalidInput(msg));
+        match *self {
+            Self::Normal { mean, std_dev } => {
+                if !(mean.is_finite() && std_dev.is_finite() && std_dev > 0.0) {
+                    return bad(format!("normal({mean}, {std_dev}): need finite mean, std > 0"));
+                }
+            }
+            Self::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+                    return bad(format!("uniform({lo}, {hi}): need finite lo < hi"));
+                }
+            }
+            Self::Triangular { lo, mode, hi } => {
+                if !lo.is_finite()
+                    || !mode.is_finite()
+                    || !hi.is_finite()
+                    || hi <= lo
+                    || !(lo..=hi).contains(&mode)
+                {
+                    return bad(format!(
+                        "triangular({lo}, {mode}, {hi}): need finite lo ≤ mode ≤ hi, lo < hi"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The distribution mean (used by moment-check tests and for
+    /// reporting nominal values).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Normal { mean, .. } => mean,
+            Self::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Self::Triangular { lo, mode, hi } => (lo + mode + hi) / 3.0,
+        }
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        match *self {
+            Self::Normal { std_dev, .. } => std_dev,
+            Self::Uniform { lo, hi } => (hi - lo) / 12.0_f64.sqrt(),
+            Self::Triangular { lo, mode, hi } => {
+                ((lo * lo + mode * mode + hi * hi - lo * mode - lo * hi - mode * hi) / 18.0).sqrt()
+            }
+        }
+    }
+
+    /// Maps a standard-normal draw to this marginal. Normal marginals
+    /// scale directly; Uniform/Triangular go through the Gaussian
+    /// copula `u = Φ(z)` and their inverse CDF, so a correlation
+    /// imposed on the `z` vector survives into the mapped values.
+    #[must_use]
+    pub fn from_standard_normal(&self, z: f64) -> f64 {
+        match *self {
+            Self::Normal { mean, std_dev } => mean + std_dev * z,
+            Self::Uniform { lo, hi } => lo + (hi - lo) * normal_cdf(z),
+            Self::Triangular { lo, mode, hi } => {
+                let u = normal_cdf(z);
+                let split = (mode - lo) / (hi - lo);
+                if u <= split {
+                    lo + ((mode - lo) * (hi - lo) * u).sqrt()
+                } else {
+                    hi - ((hi - mode) * (hi - lo) * (1.0 - u)).sqrt()
+                }
+            }
+        }
+    }
+}
+
+/// A correlated multi-marginal sampler: `k` marginals, a lower
+/// Cholesky factor of the target correlation matrix, and one counter
+/// stream per marginal. Sample `i` of the whole vector is a pure
+/// function of `(seed, i)` — the engine's chunk/thread-independence
+/// rests on this.
+#[derive(Debug, Clone)]
+pub struct CorrelatedSampler {
+    marginals: Vec<Distribution>,
+    /// Row-major k×k lower Cholesky factor (identity when the
+    /// marginals are independent).
+    chol: Vec<f64>,
+    streams: Vec<CounterRng>,
+}
+
+impl CorrelatedSampler {
+    /// Builds a sampler for `marginals` under an optional row-major
+    /// `k×k` correlation matrix (`None` = independent).
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::InvalidInput`] for invalid marginals or a matrix
+    /// that is not a valid correlation matrix (wrong size, asymmetric,
+    /// non-unit diagonal, or not positive definite).
+    pub fn new(
+        seed: u64,
+        marginals: Vec<Distribution>,
+        correlation: Option<&[f64]>,
+    ) -> Result<Self, NumError> {
+        let k = marginals.len();
+        if k == 0 {
+            return Err(NumError::InvalidInput("no marginals".into()));
+        }
+        for m in &marginals {
+            m.validate()?;
+        }
+        let chol = match correlation {
+            Some(c) => cholesky_correlation(k, c)?,
+            None => {
+                let mut id = vec![0.0; k * k];
+                for j in 0..k {
+                    id[j * k + j] = 1.0;
+                }
+                id
+            }
+        };
+        // Stream j+1: stream 0 is reserved for callers that need draws
+        // outside the marginal vector (e.g. scenario-level salt).
+        let streams = (0..k).map(|j| CounterRng::new(seed, j as u64 + 1)).collect();
+        Ok(Self {
+            marginals,
+            chol,
+            streams,
+        })
+    }
+
+    /// Number of marginals.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.marginals.len()
+    }
+
+    /// The marginals being sampled.
+    #[must_use]
+    pub fn marginals(&self) -> &[Distribution] {
+        &self.marginals
+    }
+
+    /// Draws sample `index` of the whole vector into `out`
+    /// (`out.len() == width()`). Pure in `(seed, index)`: any worker
+    /// may draw any sample in any order and get identical bits.
+    pub fn sample_into(&self, index: u64, out: &mut [f64]) {
+        let k = self.marginals.len();
+        debug_assert_eq!(out.len(), k);
+        // Independent standard normals, one per stream, then the
+        // Cholesky factor imposes the correlation: z' = L z.
+        let z: Vec<f64> = self.streams.iter().map(|s| s.normal_at(index)).collect();
+        for (j, slot) in out.iter_mut().enumerate().take(k) {
+            let mut zc = 0.0;
+            for (m, zm) in z.iter().enumerate().take(j + 1) {
+                zc += self.chol[j * k + m] * zm;
+            }
+            *slot = self.marginals[j].from_standard_normal(zc);
+        }
+    }
+
+    /// Convenience: draws sample `index` into a fresh vector.
+    #[must_use]
+    pub fn sample(&self, index: u64) -> Vec<f64> {
+        let mut out = vec![0.0; self.marginals.len()];
+        self.sample_into(index, &mut out);
+        out
+    }
+}
+
+/// Validates a row-major `k×k` correlation matrix and returns its
+/// lower Cholesky factor (row-major, upper triangle zeroed).
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] for wrong size, non-finite entries,
+/// asymmetry, a non-unit diagonal, or off-diagonals outside `[-1, 1]`;
+/// [`NumError::SingularMatrix`] when the matrix is not positive
+/// definite.
+pub fn cholesky_correlation(k: usize, c: &[f64]) -> Result<Vec<f64>, NumError> {
+    if c.len() != k * k {
+        return Err(NumError::InvalidInput(format!(
+            "correlation matrix: expected {k}x{k} = {} entries, got {}",
+            k * k,
+            c.len()
+        )));
+    }
+    for i in 0..k {
+        for j in 0..k {
+            let v = c[i * k + j];
+            if !v.is_finite() || (i != j && v.abs() > 1.0) {
+                return Err(NumError::InvalidInput(format!(
+                    "correlation[{i}][{j}] = {v} out of range"
+                )));
+            }
+            if (v - c[j * k + i]).abs() > 1e-12 {
+                return Err(NumError::InvalidInput(format!(
+                    "correlation matrix asymmetric at ({i}, {j})"
+                )));
+            }
+        }
+        if (c[i * k + i] - 1.0).abs() > 1e-12 {
+            return Err(NumError::InvalidInput(format!(
+                "correlation[{i}][{i}] = {} must be 1",
+                c[i * k + i]
+            )));
+        }
+    }
+    let mut l = vec![0.0; k * k];
+    for i in 0..k {
+        for j in 0..=i {
+            let mut s = c[i * k + j];
+            for m in 0..j {
+                s -= l[i * k + m] * l[j * k + m];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(NumError::SingularMatrix { index: i });
+                }
+                l[i * k + i] = s.sqrt();
+            } else {
+                l[i * k + j] = s / l[j * k + j];
+            }
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_draws_are_pure_and_order_free() {
+        let rng = CounterRng::new(7, 3);
+        let forward: Vec<u64> = (0..16).map(|c| rng.u64_at(c)).collect();
+        let backward: Vec<u64> = (0..16).rev().map(|c| rng.u64_at(c)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>()
+        );
+        // Recreating the stream reproduces it exactly.
+        let again = CounterRng::new(7, 3);
+        assert_eq!(rng.u64_at(123_456), again.u64_at(123_456));
+    }
+
+    #[test]
+    fn seeds_and_streams_decorrelate() {
+        let a = CounterRng::new(1, 0);
+        let b = CounterRng::new(2, 0);
+        let c = CounterRng::new(1, 1);
+        let differs = |x: CounterRng, y: CounterRng| (0..64).any(|i| x.u64_at(i) != y.u64_at(i));
+        assert!(differs(a, b));
+        assert!(differs(a, c));
+    }
+
+    #[test]
+    fn unit_draws_live_in_half_open_interval() {
+        let rng = CounterRng::new(11, 0);
+        for c in 0..10_000 {
+            let u = rng.unit_f64_at(c);
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn normal_cdf_matches_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(-1.96) - 0.024_997_895).abs() < 1e-6);
+        assert!(normal_cdf(8.0) > 1.0 - 1e-9);
+        assert!(normal_cdf(-8.0) < 1e-9);
+    }
+
+    #[test]
+    fn marginal_means_and_stds_are_textbook() {
+        let u = Distribution::uniform(2.0, 6.0);
+        assert!((u.mean() - 4.0).abs() < 1e-12);
+        assert!((u.std_dev() - 4.0 / 12.0_f64.sqrt()).abs() < 1e-12);
+        let t = Distribution::triangular(0.0, 1.0, 2.0);
+        assert!((t.mean() - 1.0).abs() < 1e-12);
+        let n = Distribution::normal(5.0, 0.5);
+        assert!((n.mean() - 5.0).abs() < 1e-12);
+        assert!((n.std_dev() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_marginals_are_rejected() {
+        assert!(Distribution::normal(0.0, 0.0).validate().is_err());
+        assert!(Distribution::normal(f64::NAN, 1.0).validate().is_err());
+        assert!(Distribution::uniform(1.0, 1.0).validate().is_err());
+        assert!(Distribution::triangular(0.0, 3.0, 2.0).validate().is_err());
+        assert!(Distribution::triangular(0.0, 1.0, 2.0).validate().is_ok());
+    }
+
+    #[test]
+    fn cholesky_recovers_identity_and_rejects_bad_matrices() {
+        let id = cholesky_correlation(2, &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(id, vec![1.0, 0.0, 0.0, 1.0]);
+        // ρ = 0.6: L = [[1, 0], [0.6, 0.8]].
+        let l = cholesky_correlation(2, &[1.0, 0.6, 0.6, 1.0]).unwrap();
+        assert!((l[2] - 0.6).abs() < 1e-12 && (l[3] - 0.8).abs() < 1e-12);
+        // Not positive definite (|ρ| > 1 disguised by the pair).
+        assert!(cholesky_correlation(2, &[1.0, 0.9, 0.9, 0.5]).is_err());
+        assert!(cholesky_correlation(2, &[1.0, 2.0, 2.0, 1.0]).is_err());
+        assert!(cholesky_correlation(2, &[1.0, 0.5, 0.4, 1.0]).is_err());
+    }
+
+    #[test]
+    fn correlated_sampler_is_counter_pure() {
+        let s = CorrelatedSampler::new(
+            42,
+            vec![
+                Distribution::normal(0.0, 1.0),
+                Distribution::uniform(0.0, 1.0),
+            ],
+            Some(&[1.0, 0.8, 0.8, 1.0]),
+        )
+        .unwrap();
+        let a = s.sample(999);
+        let b = s.sample(999);
+        assert_eq!(a[0].to_bits(), b[0].to_bits());
+        assert_eq!(a[1].to_bits(), b[1].to_bits());
+    }
+}

@@ -1,0 +1,692 @@
+//! Streaming, parallel-mergeable statistics for Monte Carlo reduction.
+//!
+//! The uncertainty engine evaluates thousands of sampled scenarios and
+//! must reduce them in **O(1) memory per statistic** while staying
+//! **bitwise-reproducible regardless of chunk size and thread count**.
+//! Three building blocks deliver that:
+//!
+//! * [`Moments`] / [`VecMoments`] — Welford/Chan second-moment
+//!   accumulators (count, mean, M2, min, max; `VecMoments` is the
+//!   elementwise vector form used for per-node temperature field maps).
+//!   Chan's pairwise-merge formula is exact in infinite precision but
+//!   **not associative in floats**, so merge *order* matters for the
+//!   last few ulps.
+//! * [`DyadicForest`] — fixes that order. It is a binary-counter
+//!   reduction tree: leaf `i` only ever merges along the dyadic
+//!   bracketing of `i`, so the merge tree is a pure function of the
+//!   sample count `n` — never of chunk boundaries or which thread
+//!   pushed which leaf. Workers build forests over disjoint contiguous
+//!   index ranges; appending them in index order reproduces, node for
+//!   node, the forest a single thread would have built. This is the
+//!   load-bearing piece of the engine's determinism contract
+//!   (docs/MONTECARLO.md).
+//! * [`QuantileSketch`] — a fixed-grid histogram with integer bin
+//!   counts. Integer adds are exact and associative, so sketch merges
+//!   are order-independent for free, at the cost of a bounded-support
+//!   assumption and bin-width quantile resolution.
+//!
+//! [`wilson_interval`] rounds out the failure-probability reporting:
+//! a score interval for binomial proportions that behaves at p near 0
+//! (exactly where yield limits live), unlike the Wald interval.
+
+use crate::error::NumError;
+
+/// A state that can be pairwise-merged inside a [`DyadicForest`].
+///
+/// `merge` must treat an empty state (count 0) as a strict identity:
+/// merging with it must return the other operand **bitwise unchanged**.
+/// The forest relies on this so failed/skipped samples can occupy leaf
+/// slots without perturbing the statistics of the samples that
+/// succeeded.
+pub trait Accumulate: Clone {
+    /// The identity state (zero samples).
+    fn empty() -> Self;
+    /// Pairwise merge; `self` holds lower-index samples than `other`.
+    fn merge(&self, other: &Self) -> Self;
+    /// Number of samples folded into this state.
+    fn count(&self) -> u64;
+}
+
+/// Scalar streaming moments: count, mean, second central moment (M2),
+/// min and max. Merged with Chan's parallel formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Number of samples.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations from the mean (M2).
+    pub m2: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl Moments {
+    /// The state holding exactly one sample.
+    #[must_use]
+    pub fn single(x: f64) -> Self {
+        Self {
+            count: 1,
+            mean: x,
+            m2: 0.0,
+            min: x,
+            max: x,
+        }
+    }
+
+    /// Sample variance (n − 1 denominator); 0 for fewer than 2 samples.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Accumulate for Moments {
+    fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn merge(&self, other: &Self) -> Self {
+        // Identity sides must pass the other operand through bitwise —
+        // the forest's structure proof depends on it.
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        Self {
+            count: self.count + other.count,
+            mean: self.mean + delta * (nb / n),
+            m2: self.m2 + other.m2 + delta * delta * (na * nb / n),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Elementwise vector moments — one [`Moments`]-style accumulator per
+/// component, stored flat. Used for per-node mean/σ temperature field
+/// maps, where the vector is the junction-layer grid.
+///
+/// The zero-length empty state is the merge identity regardless of the
+/// other side's width, so the first real sample fixes the width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VecMoments {
+    /// Number of samples.
+    pub count: u64,
+    /// Per-component running means.
+    pub mean: Vec<f64>,
+    /// Per-component M2 sums.
+    pub m2: Vec<f64>,
+    /// Per-component minima.
+    pub min: Vec<f64>,
+    /// Per-component maxima.
+    pub max: Vec<f64>,
+}
+
+impl VecMoments {
+    /// The state holding one sample vector.
+    #[must_use]
+    pub fn single(x: &[f64]) -> Self {
+        Self {
+            count: 1,
+            mean: x.to_vec(),
+            m2: vec![0.0; x.len()],
+            min: x.to_vec(),
+            max: x.to_vec(),
+        }
+    }
+
+    /// Vector width (0 for the empty state).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Per-component sample standard deviations.
+    #[must_use]
+    pub fn std_dev(&self) -> Vec<f64> {
+        if self.count < 2 {
+            return vec![0.0; self.mean.len()];
+        }
+        let denom = (self.count - 1) as f64;
+        self.m2.iter().map(|m2| (m2 / denom).sqrt()).collect()
+    }
+}
+
+impl Accumulate for VecMoments {
+    fn empty() -> Self {
+        Self {
+            count: 0,
+            mean: Vec::new(),
+            m2: Vec::new(),
+            min: Vec::new(),
+            max: Vec::new(),
+        }
+    }
+
+    fn merge(&self, other: &Self) -> Self {
+        if self.count == 0 {
+            return other.clone();
+        }
+        if other.count == 0 {
+            return self.clone();
+        }
+        assert_eq!(
+            self.mean.len(),
+            other.mean.len(),
+            "VecMoments width mismatch in merge"
+        );
+        let (na, nb) = (self.count as f64, other.count as f64);
+        let n = na + nb;
+        let w = self.mean.len();
+        let mut out = Self {
+            count: self.count + other.count,
+            mean: vec![0.0; w],
+            m2: vec![0.0; w],
+            min: vec![0.0; w],
+            max: vec![0.0; w],
+        };
+        for j in 0..w {
+            let delta = other.mean[j] - self.mean[j];
+            out.mean[j] = self.mean[j] + delta * (nb / n);
+            out.m2[j] = self.m2[j] + other.m2[j] + delta * delta * (na * nb / n);
+            out.min[j] = self.min[j].min(other.min[j]);
+            out.max[j] = self.max[j].max(other.max[j]);
+        }
+        out
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// One node of the forest: a fully merged dyadic block of `2^level`
+/// leaves starting at leaf index `start`.
+#[derive(Debug, Clone)]
+struct ForestNode<T> {
+    level: u32,
+    start: u64,
+    state: T,
+}
+
+/// A binary-counter reduction forest with a merge tree that depends
+/// **only on the number of leaves pushed**, never on how the pushes
+/// were split across chunks or threads.
+///
+/// Push leaves in index order; like a binary counter incrementing, two
+/// adjacent same-level blocks whose union is dyadically aligned merge
+/// immediately, so at most `log2(n) + 1` partial states are alive at
+/// any time — O(1) memory in the sample count for practical `n`.
+/// Workers over disjoint contiguous index ranges each build their own
+/// forest; [`DyadicForest::append`]ing them in range order reproduces
+/// the single-threaded forest node-for-node, which makes the final
+/// [`DyadicForest::finalize`] fold bitwise chunk- and
+/// thread-independent.
+#[derive(Debug, Clone)]
+pub struct DyadicForest<T: Accumulate> {
+    nodes: Vec<ForestNode<T>>,
+    /// Index the next pushed leaf will occupy.
+    next: u64,
+}
+
+impl<T: Accumulate> DyadicForest<T> {
+    /// An empty forest whose first leaf will be index 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::starting_at(0)
+    }
+
+    /// An empty forest whose first leaf will be index `start` — used
+    /// by chunk workers that own the index range `[start, ...)`.
+    #[must_use]
+    pub fn starting_at(start: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            next: start,
+        }
+    }
+
+    /// Index the next pushed leaf will occupy.
+    #[must_use]
+    pub fn next_index(&self) -> u64 {
+        self.next
+    }
+
+    /// Number of partial states currently alive (≤ log2(n) + O(1)).
+    #[must_use]
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Pushes the state for the next leaf index. Failed or skipped
+    /// samples must still push (with `T::empty()`) so the tree shape
+    /// stays a function of the index range alone.
+    pub fn push(&mut self, state: T) {
+        let node = ForestNode {
+            level: 0,
+            start: self.next,
+            state,
+        };
+        self.next += 1;
+        self.insert(node);
+    }
+
+    fn insert(&mut self, node: ForestNode<T>) {
+        self.nodes.push(node);
+        // Binary-counter carry: merge while the last two nodes form an
+        // aligned dyadic pair.
+        while self.nodes.len() >= 2 {
+            let a = &self.nodes[self.nodes.len() - 2];
+            let b = &self.nodes[self.nodes.len() - 1];
+            let k = a.level;
+            let aligned = b.level == k
+                && a.start.is_multiple_of(1u64 << (k + 1))
+                && a.start + (1u64 << k) == b.start;
+            if !aligned {
+                break;
+            }
+            let b = self.nodes.pop().expect("checked len");
+            let a = self.nodes.pop().expect("checked len");
+            self.nodes.push(ForestNode {
+                level: k + 1,
+                start: a.start,
+                state: a.state.merge(&b.state),
+            });
+        }
+    }
+
+    /// Appends a forest built over the index range that starts exactly
+    /// where this one ends. Node-for-node equivalent to having pushed
+    /// the other forest's leaves into `self` directly.
+    ///
+    /// # Panics
+    ///
+    /// If the other forest's range does not start at
+    /// [`Self::next_index`].
+    pub fn append(&mut self, other: Self) {
+        if let Some(first) = other.nodes.first() {
+            assert_eq!(
+                first.start, self.next,
+                "DyadicForest::append: ranges must be contiguous"
+            );
+        }
+        for node in other.nodes {
+            self.insert(node);
+        }
+        self.next = self.next.max(other.next);
+    }
+
+    /// Folds the remaining O(log n) partial states right-to-left (a
+    /// fixed rule, so the result depends only on the leaf count) and
+    /// returns the total.
+    #[must_use]
+    pub fn finalize(&self) -> T {
+        let mut acc = T::empty();
+        for node in self.nodes.iter().rev() {
+            acc = node.state.merge(&acc);
+        }
+        acc
+    }
+}
+
+impl<T: Accumulate> Default for DyadicForest<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-grid streaming quantile estimator: `bins` equal-width
+/// integer counters over `[lo, hi)`, plus out-of-range counters and
+/// exact min/max. Integer merges are exact and associative, so sketch
+/// results are chunk- and thread-order independent without any merge
+/// discipline. Quantile error is bounded by one bin width inside the
+/// grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Samples below `lo`.
+    below: u64,
+    /// Samples at or above `hi`.
+    above: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch over `[lo, hi)` with `bins` equal-width counters.
+    ///
+    /// # Errors
+    ///
+    /// [`NumError::InvalidInput`] unless `lo < hi` are finite and
+    /// `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, NumError> {
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) || bins == 0 {
+            return Err(NumError::InvalidInput(format!(
+                "quantile sketch: need finite lo < hi and bins > 0, got [{lo}, {hi}) x {bins}"
+            )));
+        }
+        Ok(Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        })
+    }
+
+    /// Records one (finite) sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x < self.lo {
+            self.below += 1;
+        } else if x >= self.hi {
+            self.above += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Merges another sketch over the same grid.
+    ///
+    /// # Panics
+    ///
+    /// If the grids differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "QuantileSketch grid mismatch in merge"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.below += other.below;
+        self.above += other.above;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact minimum of the recorded samples (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum of the recorded samples (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by walking the
+    /// cumulative histogram and interpolating linearly inside the
+    /// target bin. Ranks that land below/above the grid return the
+    /// exact min/max. `None` when the sketch is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Target rank in [0, count - 1], nearest-rank with interpolation.
+        let rank = q * (self.count - 1) as f64;
+        if rank < self.below as f64 {
+            return Some(self.min);
+        }
+        let in_grid_end = (self.count - self.above) as f64;
+        if rank >= in_grid_end {
+            return Some(self.max);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let mut cum = self.below as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let c = c as f64;
+            if rank < cum + c {
+                // Uniform-within-bin assumption.
+                let frac = if c > 0.0 { (rank - cum + 0.5) / c } else { 0.5 };
+                let est = self.lo + (i as f64 + frac.clamp(0.0, 1.0)) * w;
+                return Some(est.clamp(self.min, self.max));
+            }
+            cum += c;
+        }
+        Some(self.max)
+    }
+
+    /// Fraction of samples that fell outside `[lo, hi)` — a health
+    /// check that the configured support actually covered the data.
+    #[must_use]
+    pub fn out_of_range_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.below + self.above) as f64 / self.count as f64
+        }
+    }
+
+    /// Size of the sketch state in bytes — constant in the sample
+    /// count, which the bench's O(1)-memory gate asserts directly.
+    #[must_use]
+    pub fn state_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bins.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Wilson score interval for a binomial proportion: `successes`
+/// failures observed in `trials` samples, at normal quantile `z`
+/// (1.959964 for 95%). Returns `(low, high)`; `(0, 1)` when `trials`
+/// is 0. Well-behaved near p = 0 and p = 1, where yield limits live.
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pass(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let m2 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>();
+        (mean, m2)
+    }
+
+    #[test]
+    fn moments_match_two_pass_reference() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.31 - 7.0).collect();
+        let mut forest = DyadicForest::new();
+        for &x in &xs {
+            forest.push(Moments::single(x));
+        }
+        let m = forest.finalize();
+        let (mean, m2) = two_pass(&xs);
+        assert_eq!(m.count, 1000);
+        assert!((m.mean - mean).abs() < 1e-12 * mean.abs().max(1.0));
+        assert!((m.m2 - m2).abs() < 1e-9 * m2.max(1.0));
+    }
+
+    #[test]
+    fn forest_is_bitwise_stable_under_chunk_splits() {
+        let xs: Vec<f64> = (0..537).map(|i| (i as f64 * 0.7193).sin() * 40.0 + 310.0).collect();
+        let mut reference = DyadicForest::new();
+        for &x in &xs {
+            reference.push(Moments::single(x));
+        }
+        let reference = reference.finalize();
+        for chunk in [1usize, 3, 64, 100, 537] {
+            let mut total = DyadicForest::new();
+            let mut start = 0u64;
+            for block in xs.chunks(chunk) {
+                let mut part = DyadicForest::starting_at(start);
+                for &x in block {
+                    part.push(Moments::single(x));
+                }
+                start += block.len() as u64;
+                total.append(part);
+            }
+            let merged = total.finalize();
+            assert_eq!(merged.count, reference.count, "chunk {chunk}");
+            assert_eq!(merged.mean.to_bits(), reference.mean.to_bits(), "chunk {chunk}");
+            assert_eq!(merged.m2.to_bits(), reference.m2.to_bits(), "chunk {chunk}");
+            assert_eq!(merged.min.to_bits(), reference.min.to_bits(), "chunk {chunk}");
+            assert_eq!(merged.max.to_bits(), reference.max.to_bits(), "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_leaves_do_not_perturb_statistics() {
+        // Simulates failed samples: leaf slots filled with the identity.
+        let xs = [3.0, 5.0, 7.0, 11.0];
+        let mut with_gaps = DyadicForest::new();
+        let mut dense = DyadicForest::new();
+        for &x in &xs {
+            with_gaps.push(Moments::single(x));
+            with_gaps.push(Moments::empty());
+            dense.push(Moments::single(x));
+        }
+        let a = with_gaps.finalize();
+        let b = dense.finalize();
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.m2.to_bits(), b.m2.to_bits());
+    }
+
+    #[test]
+    fn forest_memory_stays_logarithmic() {
+        let mut forest = DyadicForest::new();
+        for i in 0..10_000u64 {
+            forest.push(Moments::single(i as f64));
+        }
+        assert!(forest.live_nodes() <= 15, "live = {}", forest.live_nodes());
+    }
+
+    #[test]
+    fn vec_moments_track_each_component() {
+        let mut forest = DyadicForest::new();
+        for i in 0..100 {
+            forest.push(VecMoments::single(&[i as f64, 2.0 * i as f64]));
+        }
+        let v = forest.finalize();
+        assert_eq!(v.count, 100);
+        assert!((v.mean[0] - 49.5).abs() < 1e-12);
+        assert!((v.mean[1] - 99.0).abs() < 1e-12);
+        assert_eq!(v.min[0], 0.0);
+        assert_eq!(v.max[1], 198.0);
+    }
+
+    #[test]
+    fn sketch_quantiles_track_exact_sort() {
+        let xs: Vec<f64> = (0..5000).map(|i| ((i * 631) % 5000) as f64 / 50.0).collect();
+        let mut sketch = QuantileSketch::new(0.0, 100.0, 400).unwrap();
+        for &x in &xs {
+            sketch.record(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let w = 100.0 / 400.0;
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99] {
+            let exact = sorted[(q * (sorted.len() - 1) as f64).round() as usize];
+            let est = sketch.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= 2.0 * w,
+                "q = {q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(sketch.min(), Some(sorted[0]));
+        assert_eq!(sketch.max(), Some(*sorted.last().unwrap()));
+    }
+
+    #[test]
+    fn sketch_merge_is_exact() {
+        let xs: Vec<f64> = (0..999).map(|i| (i as f64 * 1.37).fract() * 10.0).collect();
+        let mut whole = QuantileSketch::new(0.0, 10.0, 64).unwrap();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut merged = QuantileSketch::new(0.0, 10.0, 64).unwrap();
+        for block in xs.chunks(17) {
+            let mut part = QuantileSketch::new(0.0, 10.0, 64).unwrap();
+            for &x in block {
+                part.record(x);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(whole, merged);
+    }
+
+    #[test]
+    fn sketch_counts_out_of_range() {
+        let mut s = QuantileSketch::new(0.0, 1.0, 10).unwrap();
+        s.record(-1.0);
+        s.record(0.5);
+        s.record(2.0);
+        assert_eq!(s.count(), 3);
+        assert!((s.out_of_range_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(2.0));
+    }
+
+    #[test]
+    fn wilson_matches_known_value() {
+        // 10 successes in 100 trials at 95%: standard reference ≈ (0.0552, 0.1744).
+        let (lo, hi) = wilson_interval(10, 100, 1.959_964);
+        assert!((lo - 0.0552).abs() < 5e-4, "lo = {lo}");
+        assert!((hi - 0.1744).abs() < 5e-4, "hi = {hi}");
+        // Degenerate cases stay in [0, 1].
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+        let (lo0, _) = wilson_interval(0, 50, 1.96);
+        assert_eq!(lo0, 0.0);
+    }
+}

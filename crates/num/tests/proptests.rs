@@ -799,3 +799,162 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Statistical correctness: streaming estimators and samplers (the Monte
+// Carlo engine's determinism contract rests on these).
+// ---------------------------------------------------------------------------
+
+use bright_num::rng::{CorrelatedSampler, CounterRng, Distribution};
+use bright_num::stats::{DyadicForest, Moments, QuantileSketch};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chan-merged moments through the dyadic forest are **bitwise**
+    /// identical for any chunking of the index range, and agree with a
+    /// two-pass reference.
+    #[test]
+    fn forest_moments_bitwise_stable_under_any_split(
+        n in 1usize..400,
+        split_seed in 0u64..1000,
+        data_seed in 0u64..1000,
+    ) {
+        let data: Vec<f64> = (0..n).map(|i| lcg(data_seed, i as u64, 101) * 10.0).collect();
+        let mut whole = DyadicForest::new();
+        for &x in &data {
+            whole.push(Moments::single(x));
+        }
+        let total = whole.finalize();
+
+        // Split the range into random-length chunks, build a forest per
+        // chunk (as the Monte Carlo chunk workers do), append in order.
+        let mut merged = DyadicForest::new();
+        let mut start = 0usize;
+        let mut s = split_seed;
+        while start < n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let end = (start + 1 + (s >> 33) as usize % 16).min(n);
+            let mut f = DyadicForest::starting_at(start as u64);
+            for &x in &data[start..end] {
+                f.push(Moments::single(x));
+            }
+            merged.append(f);
+            start = end;
+        }
+        let m = merged.finalize();
+        prop_assert_eq!(m.count, total.count);
+        prop_assert_eq!(m.mean.to_bits(), total.mean.to_bits());
+        prop_assert_eq!(m.m2.to_bits(), total.m2.to_bits());
+        prop_assert_eq!(m.min.to_bits(), total.min.to_bits());
+        prop_assert_eq!(m.max.to_bits(), total.max.to_bits());
+
+        // Two-pass reference.
+        let mean_ref = data.iter().sum::<f64>() / n as f64;
+        let m2_ref: f64 = data.iter().map(|x| (x - mean_ref) * (x - mean_ref)).sum();
+        prop_assert!((total.mean - mean_ref).abs() <= 1e-12 * mean_ref.abs().max(1.0));
+        prop_assert!((total.m2 - m2_ref).abs() <= 1e-10 * m2_ref.max(1.0));
+        let min_ref = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_ref = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(total.min.to_bits(), min_ref.to_bits());
+        prop_assert_eq!(total.max.to_bits(), max_ref.to_bits());
+    }
+
+    /// The fixed-grid sketch's quantiles stay inside the bracketing
+    /// order statistics of an exact sort, up to the bin resolution.
+    #[test]
+    fn quantile_sketch_tracks_exact_sort(n in 1usize..2000, seed in 0u64..500) {
+        let data: Vec<f64> =
+            (0..n).map(|i| 300.0 + lcg(seed, i as u64, 103) * 60.0).collect();
+        let mut sketch = QuantileSketch::new(260.0, 340.0, 800).unwrap();
+        for &x in &data {
+            sketch.record(x);
+        }
+        prop_assert_eq!(sketch.out_of_range_fraction(), 0.0);
+        let mut sorted = data.clone();
+        sorted.sort_by(f64::total_cmp);
+        let bin_width = (340.0 - 260.0) / 800.0;
+        for q in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let est = sketch.quantile(q).unwrap();
+            let rank = q * (n - 1) as f64;
+            let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+            // The estimate must land between the two order statistics
+            // bracketing the rank, up to the bin resolution (the exact
+            // interpolated quantile can sit anywhere between them when
+            // the data is sparse).
+            prop_assert!(
+                est >= sorted[lo] - 2.0 * bin_width - 1e-9
+                    && est <= sorted[hi] + 2.0 * bin_width + 1e-9,
+                "q={} est={} bracket=[{}, {}] (n={})", q, est, sorted[lo], sorted[hi], n
+            );
+        }
+    }
+
+    /// Counter-stream draws mapped through each marginal reproduce its
+    /// mean and standard deviation within CLT bounds at a fixed seed.
+    #[test]
+    fn sampler_moments_within_clt_bounds(seed in 0u64..200) {
+        let n = 4000u64;
+        for dist in [
+            Distribution::normal(2.0, 0.5),
+            Distribution::uniform(-1.0, 3.0),
+            Distribution::triangular(0.0, 1.0, 4.0),
+        ] {
+            let rng = CounterRng::new(seed, 9);
+            let (mut sum, mut sum2) = (0.0, 0.0);
+            for i in 0..n {
+                let x = dist.from_standard_normal(rng.normal_at(i));
+                sum += x;
+                sum2 += x * x;
+            }
+            let mean = sum / n as f64;
+            let std = (sum2 / n as f64 - mean * mean).sqrt();
+            let se = dist.std_dev() / (n as f64).sqrt();
+            prop_assert!(
+                (mean - dist.mean()).abs() < 5.0 * se,
+                "{:?}: mean {} vs {}", dist, mean, dist.mean()
+            );
+            prop_assert!(
+                (std - dist.std_dev()).abs() < 0.1 * dist.std_dev(),
+                "{:?}: std {} vs {}", dist, std, dist.std_dev()
+            );
+        }
+    }
+
+    /// Cholesky-correlated normal pairs reproduce the target Pearson
+    /// correlation within sampling error.
+    #[test]
+    fn correlated_pairs_reproduce_target_correlation(
+        seed in 0u64..100,
+        rho_tenths in -8i32..9,
+    ) {
+        let rho = f64::from(rho_tenths) / 10.0;
+        let c = [1.0, rho, rho, 1.0];
+        let sampler = CorrelatedSampler::new(
+            seed,
+            vec![Distribution::normal(0.0, 1.0), Distribution::normal(5.0, 2.0)],
+            Some(&c),
+        )
+        .unwrap();
+        let n = 4000u64;
+        let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for i in 0..n {
+            let v = sampler.sample(i);
+            let (x, y) = (v[0], v[1]);
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            syy += y * y;
+            sxy += x * y;
+        }
+        let nf = n as f64;
+        let (mx, my) = (sx / nf, sy / nf);
+        let cov = sxy / nf - mx * my;
+        let (vx, vy) = (sxx / nf - mx * mx, syy / nf - my * my);
+        let emp = cov / (vx * vy).sqrt();
+        prop_assert!(
+            (emp - rho).abs() < 0.08,
+            "seed {}: empirical correlation {} vs target {}", seed, emp, rho
+        );
+    }
+}
