@@ -140,6 +140,7 @@ fn bench_seeded_fault_batch() -> FaultBatchRow {
         breakdown: 7,
         budget: 6,
         panic: u64::MAX, // one shot, at opportunity n == seed
+        ..FaultPlan::default()
     };
     let mut engine = ScenarioEngine::new();
     for i in 0..10 {

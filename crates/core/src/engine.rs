@@ -376,6 +376,114 @@ pub struct EngineStats {
     /// Requests whose serving code panicked. Each became a per-request
     /// [`CoreError::WorkerPanic`] while the rest of the batch completed.
     pub panicked_requests: u64,
+    /// Cached workers/models dropped by the LRU bound (or by
+    /// [`ScenarioEngine::evict_workers`]) to keep cache memory inside
+    /// [`EngineStats::cache_capacity`].
+    pub evicted_workers: u64,
+    /// Per-cache-family LRU capacity (steady workers, flow-cell workers
+    /// and transient models each keep at most this many residents);
+    /// `0` = unbounded.
+    pub cache_capacity: u64,
+    /// Cached workers/models currently resident across all three cache
+    /// families.
+    pub cache_residents: u64,
+}
+
+/// A small LRU cache over `HashMap`: each resident carries a last-use
+/// stamp from a monotonically increasing clock, and inserting past the
+/// capacity evicts the least recently stamped entry. Eviction scans are
+/// O(residents), which is the right trade for caches holding a handful
+/// of heavyweight workers (each worth megabytes of factored operators).
+#[derive(Debug)]
+struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    clock: u64,
+    /// Maximum residents; 0 = unbounded.
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K, V> Default for LruCache<K, V> {
+    fn default() -> Self {
+        Self { map: HashMap::new(), clock: 0, capacity: 0, evictions: 0 }
+    }
+}
+
+impl<K: Eq + std::hash::Hash + Clone, V> LruCache<K, V> {
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks up and touches (marks most recently used) an entry.
+    fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.map.get_mut(key).map(|(value, s)| {
+            *s = stamp;
+            &*value
+        })
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(value, _)| value)
+    }
+
+    /// Inserts unless the key is already resident (the existing entry —
+    /// typically the worker that just served the group — wins), then
+    /// enforces the capacity bound.
+    fn insert_if_absent(&mut self, key: K, value: V) {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.map.entry(key).or_insert((value, stamp));
+        self.enforce();
+    }
+
+    /// Applies a new capacity, evicting immediately if over it.
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.enforce();
+    }
+
+    fn enforce(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+    }
+
+    /// Drops every resident, counting them as evictions.
+    fn clear(&mut self) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    #[cfg(test)]
+    fn values(&self) -> impl Iterator<Item = &V> {
+        self.map.values().map(|(value, _)| value)
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.map.values_mut().map(|(value, _)| value)
+    }
 }
 
 /// One pattern group's slice of a batch, plus the worker serving it
@@ -385,6 +493,7 @@ struct GroupJob {
     worker: Option<CoSimulation>,
     requests: Vec<(u64, Scenario)>,
     kernel: KernelSpec,
+    deterministic: bool,
 }
 
 /// The outcome of one group job.
@@ -418,10 +527,10 @@ struct GroupResult {
 /// docs](self).
 #[derive(Debug, Default)]
 pub struct ScenarioEngine {
-    workers: HashMap<PatternKey, CoSimulation>,
+    workers: LruCache<PatternKey, CoSimulation>,
     /// Cached flow-cell workers serving polarization requests, keyed by
     /// cell-geometry pattern and retargeted in place between requests.
-    cell_workers: HashMap<CellPatternKey, CellModel>,
+    cell_workers: LruCache<CellPatternKey, CellModel>,
     /// Kernel-backend selection applied to every worker's sessions
     /// ([`KernelSpec::Auto`] by default).
     kernel: KernelSpec,
@@ -433,7 +542,14 @@ pub struct ScenarioEngine {
     /// Assembled thermal models cached across batches, keyed by
     /// operator identity (pattern + flow + inlet) — coarser than the
     /// serving groups, so dt/tolerance variants share one assembly.
-    transient_models: HashMap<TransientModelKey, ThermalModel>,
+    transient_models: LruCache<TransientModelKey, ThermalModel>,
+    /// Per-cache-family LRU bound applied by
+    /// [`ScenarioEngine::set_cache_capacity`] (0 = unbounded).
+    cache_capacity: usize,
+    /// When set, every steady serve runs with cold Krylov starts so its
+    /// answer is history-independent (see
+    /// [`ScenarioEngine::set_deterministic`]).
+    deterministic: bool,
     next_id: u64,
     stats: EngineStats,
 }
@@ -520,10 +636,71 @@ impl ScenarioEngine {
         self.cell_workers.len()
     }
 
-    /// Engine-wide counters.
+    /// Engine-wide counters. The cache fields (`evicted_workers`,
+    /// `cache_capacity`, `cache_residents`) are computed from the live
+    /// caches at call time.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.evicted_workers = self.workers.evictions()
+            + self.cell_workers.evictions()
+            + self.transient_models.evictions();
+        stats.cache_capacity = self.cache_capacity as u64;
+        stats.cache_residents =
+            (self.workers.len() + self.cell_workers.len() + self.transient_models.len()) as u64;
+        stats
+    }
+
+    /// Bounds each worker cache family (steady pattern workers,
+    /// flow-cell workers, transient thermal models) to at most
+    /// `capacity` residents, evicting least-recently-used entries
+    /// immediately and on every future insert. `0` (the default)
+    /// removes the bound. Evictions are counted in
+    /// [`EngineStats::evicted_workers`].
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache_capacity = capacity;
+        self.workers.set_capacity(capacity);
+        self.cell_workers.set_capacity(capacity);
+        self.transient_models.set_capacity(capacity);
+    }
+
+    /// Switches history-independent steady serving on or off. When on,
+    /// a retargeted worker resets its sessions' warm starts before each
+    /// run, making every answer bitwise-equal to a cold-built engine at
+    /// the same scenario (the PR-8 Monte Carlo mechanism) at the cost of
+    /// a few extra Krylov iterations per solve. The durable scenario
+    /// service relies on this: a job's report must not depend on which
+    /// jobs happened to warm the cache before it — with or without a
+    /// crash/restart in between.
+    pub fn set_deterministic(&mut self, deterministic: bool) {
+        self.deterministic = deterministic;
+    }
+
+    /// The kernel-backend selection workers serve with (the durable
+    /// service's per-segment transient path passes this to its own
+    /// integrations).
+    pub(crate) fn kernel(&self) -> KernelSpec {
+        self.kernel
+    }
+
+    /// Clones an assembled thermal model for `request` out of the
+    /// transient cache, building (and caching) it on a miss. Used by
+    /// the durable service to integrate a trace segment-by-segment with
+    /// checkpoints persisted between segments; sharing this cache keeps
+    /// the service's per-segment serving on the same operator-reuse
+    /// path as [`ScenarioEngine::run_pending_transients`].
+    pub(crate) fn cached_transient_model(
+        &mut self,
+        request: &TransientRequest,
+    ) -> Result<ThermalModel, CoreError> {
+        let key = TransientModelKey::of(request);
+        if let Some(model) = self.transient_models.get(&key) {
+            return Ok(model.clone());
+        }
+        let model = crate::cosim::thermal_model_for(&request.scenario)?;
+        model.assemble().map_err(|e| CoreError::Thermal(e.to_string()))?;
+        self.transient_models.insert_if_absent(key, model.clone());
+        Ok(model)
     }
 
     /// Replaces the kernel-backend selection applied to every worker
@@ -620,6 +797,7 @@ impl ScenarioEngine {
                     worker,
                     requests: chunk,
                     kernel: self.kernel,
+                    deterministic: self.deterministic,
                 })));
             }
         }
@@ -639,7 +817,7 @@ impl ScenarioEngine {
         let mut best_kernel_id = 0u64;
         for r in results {
             if let Some(worker) = r.worker {
-                self.workers.entry(r.key).or_insert(worker);
+                self.workers.insert_if_absent(r.key, worker);
             }
             self.stats.operators_built += r.built;
             self.stats.operator_reuses += r.reused;
@@ -673,6 +851,7 @@ impl ScenarioEngine {
             mut worker,
             requests,
             kernel,
+            deterministic,
         } = job;
         if let Some(w) = &mut worker {
             w.set_kernel(kernel);
@@ -709,7 +888,15 @@ impl ScenarioEngine {
                     // A failed retarget serves nothing, so it is not a
                     // reuse.
                     Some(w) => match w.retarget(scenario) {
-                        Ok(()) => (true, w.run()),
+                        Ok(()) => {
+                            // History-independent mode: with cold Krylov
+                            // starts, a retargeted run is bitwise-equal
+                            // to a cold-built worker at this scenario.
+                            if deterministic {
+                                w.reset_warm_starts();
+                            }
+                            (true, w.run())
+                        }
                         Err(e) => (false, Err(e)),
                     },
                     None => match CoSimulation::new(scenario) {
@@ -881,12 +1068,11 @@ impl ScenarioEngine {
         // itself, which reports the error per request.
         for key in &order {
             let req = &groups[key][0].1;
-            if let std::collections::hash_map::Entry::Vacant(e) =
-                self.transient_models.entry(TransientModelKey::of(req))
-            {
+            let model_key = TransientModelKey::of(req);
+            if !self.transient_models.contains_key(&model_key) {
                 if let Ok(m) = crate::cosim::thermal_model_for(&req.scenario) {
                     if m.assemble().is_ok() {
-                        e.insert(m);
+                        self.transient_models.insert_if_absent(model_key, m);
                     }
                 }
             }
@@ -937,7 +1123,7 @@ impl ScenarioEngine {
                 self.transient_models.remove(&model_key);
             }
             if let Some(model) = model {
-                self.transient_models.entry(model_key).or_insert(model);
+                self.transient_models.insert_if_absent(model_key, model);
             }
             self.stats.trace_segments_integrated += counters.segments_integrated;
             self.stats.trace_segments_reused += counters.segments_reused;
@@ -1051,7 +1237,7 @@ impl ScenarioEngine {
 
         for (key, worker, group_reports, built, reused, quarantined, panicked) in results {
             if let Some(worker) = worker {
-                self.cell_workers.entry(key).or_insert(worker);
+                self.cell_workers.insert_if_absent(key, worker);
             }
             self.stats.cell_contexts_built += built;
             self.stats.cell_context_reuses += reused;
@@ -1304,6 +1490,87 @@ mod tests {
 
         engine.evict_workers();
         assert_eq!(engine.cached_patterns(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used_and_counts() {
+        let mut engine = ScenarioEngine::new();
+        engine.set_cache_capacity(1);
+        // Two distinct patterns: only the most recently returned worker
+        // may stay resident.
+        let mut coarse = Scenario::power7_reduced();
+        coarse.thermal_columns = 11;
+        coarse.thermal_ny = 11;
+        let reports = engine.run_batch([flow_scenario(676.0), coarse.clone()]);
+        assert!(reports.iter().all(|r| r.result.is_ok()));
+        assert_eq!(engine.cached_patterns(), 1, "bound must hold");
+        let stats = engine.stats();
+        assert_eq!(stats.cache_capacity, 1);
+        assert_eq!(stats.cache_residents, 1);
+        assert!(stats.evicted_workers >= 1, "{stats:?}");
+
+        // The unbounded default never evicts.
+        let mut open = ScenarioEngine::new();
+        open.run_batch([flow_scenario(676.0), coarse]);
+        assert_eq!(open.cached_patterns(), 2);
+        assert_eq!(open.stats().evicted_workers, 0);
+        assert_eq!(open.stats().cache_capacity, 0);
+        assert_eq!(open.stats().cache_residents, 2);
+
+        // Tightening the bound on a warm engine evicts immediately.
+        open.set_cache_capacity(1);
+        assert_eq!(open.cached_patterns(), 1);
+        assert!(open.stats().evicted_workers >= 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_the_stalest_entry() {
+        let mut cache: LruCache<u32, &str> = LruCache::default();
+        cache.set_capacity(2);
+        cache.insert_if_absent(1, "a");
+        cache.insert_if_absent(2, "b");
+        // Touch 1 so 2 becomes the eviction candidate.
+        assert_eq!(cache.get(&1), Some(&"a"));
+        cache.insert_if_absent(3, "c");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains_key(&1), "recently used entry survives");
+        assert!(!cache.contains_key(&2), "stalest entry evicted");
+        assert!(cache.contains_key(&3));
+        assert_eq!(cache.evictions(), 1);
+        // An insert over a resident key keeps the existing value and
+        // does not evict.
+        cache.insert_if_absent(1, "z");
+        assert_eq!(cache.get(&1), Some(&"a"));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn deterministic_mode_is_history_independent() {
+        // A warm engine that served other scenarios first must, in
+        // deterministic mode, answer bitwise-identically to a cold
+        // engine asked only the final question — the property the
+        // durable service's crash recovery leans on.
+        let mut warm = ScenarioEngine::new();
+        warm.set_deterministic(true);
+        warm.run_batch([flow_scenario(676.0), flow_scenario(400.0)]);
+        let warm_reports = warm.run_batch([flow_scenario(250.0)]);
+        assert!(warm_reports[0].reused_operator, "cache must be in play");
+
+        let mut cold = ScenarioEngine::new();
+        cold.set_deterministic(true);
+        let cold_reports = cold.run_batch([flow_scenario(250.0)]);
+
+        let warm_json = warm_reports[0]
+            .result
+            .as_ref()
+            .expect("warm serve converges")
+            .to_json_string();
+        let cold_json = cold_reports[0]
+            .result
+            .as_ref()
+            .expect("cold serve converges")
+            .to_json_string();
+        assert_eq!(warm_json, cold_json, "history leaked into the answer");
     }
 
     #[test]

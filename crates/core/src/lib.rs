@@ -46,6 +46,7 @@ pub mod engine;
 pub mod montecarlo;
 pub mod reports;
 pub mod scenario;
+pub mod service;
 pub mod sweeps;
 pub mod transient;
 
@@ -57,6 +58,10 @@ pub use engine::{
 pub use montecarlo::{McLimits, McParameter, McReport, McRun, McSpec, McStats, McVariable};
 pub use reports::{CoSimReport, PolarizationOutcome, YieldReport};
 pub use scenario::Scenario;
+pub use service::{
+    DrainSummary, JobId, JobKind, JobSpec, JobStatus, LoadRef, Overrides, PartialReport, Priority,
+    ReportPayload, ScenarioService, ServiceClock, ServiceConfig, ServiceError, ServiceStats,
+};
 pub use transient::{
     LoadStep, SteppingMode, TransientOutcome, TransientReport, TransientRequest,
 };

@@ -1,0 +1,581 @@
+//! The durable job store: a file layout plus a write-ahead journal that
+//! together make the service crash-recoverable.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! journal.log          append-only, one checksummed JSON record/line
+//! jobs/<id>.json       the job spec (checksummed envelope, atomic)
+//! reports/<id>.json    the completed report (checksummed, atomic)
+//! checkpoints/<id>.json transient resume state (checkpoint + progress)
+//! cancel/<id>          cancellation marker (empty file)
+//! status.json          operator snapshot, rewritten after each drain
+//! ```
+//!
+//! Every record and file carries an FNV-1a checksum
+//! ([`bright_jsonio::checksummed`]); files are written with atomic
+//! temp-file + rename. The journal is the source of truth: a spec or
+//! report file only counts once its `submit`/`done` record landed, so a
+//! kill between a file write and its record simply re-runs that step.
+//! Both write paths honour the [`bright_num::faults`] crash and
+//! torn-write sites, which is how the recovery test matrix exercises a
+//! kill at every write point.
+
+use super::ServiceError;
+use crate::service::job::{JobId, JobSpec, ReportPayload};
+use bright_jsonio::{checksummed, Value};
+use bright_num::faults;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One write-ahead journal record. Records are idempotent to replay;
+/// the last record of a job wins.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// The job's spec file is on disk and the job is accepted.
+    Submitted {
+        /// The job.
+        id: JobId,
+    },
+    /// An attempt began.
+    Started {
+        /// The job.
+        id: JobId,
+        /// 0-based attempt number.
+        attempt: u32,
+    },
+    /// A transient job finished integrating trace segment `index` and
+    /// persisted its checkpoint.
+    Segment {
+        /// The job.
+        id: JobId,
+        /// 0-based segment index.
+        index: usize,
+    },
+    /// The job's report file is on disk and the job is complete.
+    Done {
+        /// The job.
+        id: JobId,
+    },
+    /// An attempt failed.
+    Failed {
+        /// The job.
+        id: JobId,
+        /// 0-based attempt number that failed.
+        attempt: u32,
+        /// The error digest (includes the recovery-ladder digest when
+        /// the engine degraded before failing).
+        error: String,
+        /// `true` ends the job; `false` re-queues it for a backoff
+        /// retry.
+        permanent: bool,
+        /// Earliest service-clock time (ms) the retry may dispatch.
+        not_before_ms: u64,
+    },
+    /// The job was cancelled.
+    Cancelled {
+        /// The job.
+        id: JobId,
+    },
+}
+
+impl JournalEvent {
+    /// The record as a JSON value tree.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let (event, id, extra): (&str, &JobId, Vec<(String, Value)>) = match self {
+            Self::Submitted { id } => ("submit", id, vec![]),
+            Self::Started { id, attempt } => (
+                "start",
+                id,
+                vec![("attempt".into(), Value::Number(f64::from(*attempt)))],
+            ),
+            Self::Segment { id, index } => (
+                "segment",
+                id,
+                vec![("index".into(), Value::Number(*index as f64))],
+            ),
+            Self::Done { id } => ("done", id, vec![]),
+            Self::Failed {
+                id,
+                attempt,
+                error,
+                permanent,
+                not_before_ms,
+            } => (
+                "fail",
+                id,
+                vec![
+                    ("attempt".into(), Value::Number(f64::from(*attempt))),
+                    ("error".into(), Value::String(error.clone())),
+                    ("permanent".into(), Value::Bool(*permanent)),
+                    (
+                        "not_before_ms".into(),
+                        Value::Number(*not_before_ms as f64),
+                    ),
+                ],
+            ),
+            Self::Cancelled { id } => ("cancel", id, vec![]),
+        };
+        let mut fields = vec![
+            ("event".into(), Value::String(event.into())),
+            ("id".into(), Value::String(id.encode())),
+        ];
+        fields.extend(extra);
+        Value::object(fields)
+    }
+
+    /// Rebuilds a record from its JSON value tree.
+    #[must_use]
+    pub fn from_json(v: &Value) -> Option<Self> {
+        let id = JobId::decode(v.get("id")?.as_str()?)?;
+        let num = |field: &str| v.get(field).and_then(Value::as_f64);
+        match v.get("event")?.as_str()? {
+            "submit" => Some(Self::Submitted { id }),
+            "start" => Some(Self::Started {
+                id,
+                attempt: num("attempt")? as u32,
+            }),
+            "segment" => Some(Self::Segment {
+                id,
+                index: num("index")? as usize,
+            }),
+            "done" => Some(Self::Done { id }),
+            "fail" => Some(Self::Failed {
+                id,
+                attempt: num("attempt")? as u32,
+                error: v.get("error")?.as_str()?.to_owned(),
+                permanent: v.get("permanent")?.as_bool()?,
+                not_before_ms: num("not_before_ms")? as u64,
+            }),
+            "cancel" => Some(Self::Cancelled { id }),
+            _ => None,
+        }
+    }
+}
+
+/// A job's state as reconstructed by [`JobStore::recover`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayedStatus {
+    /// Waiting to run (submitted, failed-retryable, or interrupted
+    /// mid-attempt — an interrupted transient resumes from its
+    /// persisted checkpoint).
+    Queued {
+        /// Earliest dispatch time (ms); 0 when immediately ready.
+        not_before_ms: u64,
+        /// `true` when the journal shows an attempt that started but
+        /// neither finished nor failed — i.e. the crash hit mid-run.
+        interrupted: bool,
+    },
+    /// Complete, report verified on disk.
+    Done,
+    /// Permanently failed.
+    Failed {
+        /// The recorded error digest.
+        error: String,
+    },
+    /// Cancelled.
+    Cancelled,
+}
+
+/// One job as reconstructed by [`JobStore::recover`].
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// The job id.
+    pub id: JobId,
+    /// The persisted spec.
+    pub spec: JobSpec,
+    /// The replayed terminal-or-queued state.
+    pub status: ReplayedStatus,
+    /// Attempts already consumed (started and then failed or
+    /// interrupted).
+    pub attempts: u32,
+}
+
+/// What [`JobStore::recover`] found.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Every journaled job in submission order.
+    pub jobs: Vec<ReplayedJob>,
+    /// Total `submit` records ever written — the mint sequence for the
+    /// next submission.
+    pub submitted_total: u64,
+    /// Journal lines dropped because their checksum or structure was
+    /// invalid (a torn tail write leaves exactly one).
+    pub dropped_records: u64,
+    /// Jobs whose `done` record exists but whose report file is missing
+    /// or corrupt — re-queued for a re-run.
+    pub requeued_missing_reports: u64,
+}
+
+/// The on-disk store. All methods inject the `crash` and `torn` fault
+/// sites around their writes (see [`bright_num::faults`]); none of them
+/// are otherwise fallible in normal operation beyond I/O errors.
+#[derive(Debug)]
+pub struct JobStore {
+    root: PathBuf,
+}
+
+impl JobStore {
+    /// Opens (creating if absent) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn open(root: &Path) -> Result<Self, ServiceError> {
+        for sub in ["jobs", "reports", "checkpoints", "cancel"] {
+            std::fs::create_dir_all(root.join(sub))
+                .map_err(|e| store_err(&root.join(sub), &e))?;
+        }
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The store root.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.root.join("journal.log")
+    }
+
+    /// Path of a job's spec file.
+    #[must_use]
+    pub fn spec_path(&self, id: JobId) -> PathBuf {
+        self.root.join("jobs").join(format!("{}.json", id.encode()))
+    }
+
+    /// Path of a job's report file.
+    #[must_use]
+    pub fn report_path(&self, id: JobId) -> PathBuf {
+        self.root
+            .join("reports")
+            .join(format!("{}.json", id.encode()))
+    }
+
+    /// Path of a job's checkpoint (transient resume state) file.
+    #[must_use]
+    pub fn checkpoint_path(&self, id: JobId) -> PathBuf {
+        self.root
+            .join("checkpoints")
+            .join(format!("{}.json", id.encode()))
+    }
+
+    fn cancel_path(&self, id: JobId) -> PathBuf {
+        self.root.join("cancel").join(id.encode())
+    }
+
+    /// Writes a checksummed JSON document atomically, honouring the
+    /// crash and torn-write fault sites.
+    fn write_document(&self, path: &Path, payload: &Value) -> Result<(), ServiceError> {
+        faults::maybe_crash();
+        let text = checksummed::to_string(payload);
+        if let Some(prefix) = faults::torn_write(text.len()) {
+            let _ = checksummed::write_atomic(path, &text[..prefix]);
+            faults::torn_write_panic();
+        }
+        checksummed::write_atomic(path, &text).map_err(|e| store_err(path, &e))?;
+        faults::maybe_crash();
+        Ok(())
+    }
+
+    /// Persists a job spec (before its `submit` record).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn write_spec(&self, id: JobId, spec: &JobSpec) -> Result<(), ServiceError> {
+        self.write_document(&self.spec_path(id), &spec.to_json())
+    }
+
+    /// Reads and verifies a job spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] when missing, corrupt or mistyped.
+    pub fn read_spec(&self, id: JobId) -> Result<JobSpec, ServiceError> {
+        let path = self.spec_path(id);
+        let payload = checksummed::read_verified(&path)
+            .map_err(|e| ServiceError::Store(format!("spec {}: {e}", path.display())))?;
+        JobSpec::from_json(&payload)
+            .map_err(|e| ServiceError::Store(format!("spec {}: {e}", path.display())))
+    }
+
+    /// Persists a completed report (before its `done` record).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn write_report(&self, id: JobId, report: &ReportPayload) -> Result<(), ServiceError> {
+        self.write_document(&self.report_path(id), &report.to_json())
+    }
+
+    /// Reads and verifies a completed report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] when missing, corrupt or mistyped.
+    pub fn read_report(&self, id: JobId) -> Result<ReportPayload, ServiceError> {
+        let path = self.report_path(id);
+        let payload = checksummed::read_verified(&path)
+            .map_err(|e| ServiceError::Store(format!("report {}: {e}", path.display())))?;
+        ReportPayload::from_json(&payload)
+            .map_err(|e| ServiceError::Store(format!("report {}: {e}", path.display())))
+    }
+
+    /// Persists a transient job's resume state (checkpoint + progress).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn write_checkpoint(&self, id: JobId, state: &Value) -> Result<(), ServiceError> {
+        self.write_document(&self.checkpoint_path(id), state)
+    }
+
+    /// Loads a transient job's resume state. `None` when absent or
+    /// corrupt — the caller falls back to a cold re-run, never fails.
+    #[must_use]
+    pub fn load_checkpoint(&self, id: JobId) -> Option<Value> {
+        checksummed::read_verified(&self.checkpoint_path(id)).ok()
+    }
+
+    /// Removes a job's resume state (after completion).
+    pub fn remove_checkpoint(&self, id: JobId) {
+        let _ = std::fs::remove_file(self.checkpoint_path(id));
+    }
+
+    /// Drops a cancellation marker for `id` (cross-process requests;
+    /// the service also checks this at transient segment boundaries).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn request_cancel(&self, id: JobId) -> Result<(), ServiceError> {
+        let path = self.cancel_path(id);
+        std::fs::write(&path, b"").map_err(|e| store_err(&path, &e))
+    }
+
+    /// `true` when a cancellation marker exists for `id`.
+    #[must_use]
+    pub fn cancel_requested(&self, id: JobId) -> bool {
+        self.cancel_path(id).exists()
+    }
+
+    /// Removes a job's cancellation marker.
+    pub fn clear_cancel(&self, id: JobId) {
+        let _ = std::fs::remove_file(self.cancel_path(id));
+    }
+
+    /// Appends one record to the journal: a checksummed single-line
+    /// JSON envelope. Records that are externally acknowledged —
+    /// `submit`, `cancel` and permanent `fail` — are fsynced before
+    /// returning; the rest (`start`, `segment`, `done`, retryable
+    /// `fail`) are only written: losing an unsynced tail record merely
+    /// replays the job from an earlier state, which re-runs
+    /// idempotently to a bitwise-identical report. Honours the crash
+    /// and torn-write fault sites — a torn append leaves a
+    /// prefix-of-a-line tail that [`JobStore::recover`] drops.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn append(&self, event: &JournalEvent) -> Result<(), ServiceError> {
+        use std::io::{Read, Seek, SeekFrom};
+        faults::maybe_crash();
+        let mut line = format!("{}\n", checksummed::to_string(&event.to_json()));
+        let path = self.journal_path();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| store_err(&path, &e))?;
+        // A torn append from a previous life leaves an unterminated
+        // partial line. Terminate it first so replay drops exactly that
+        // garbage line instead of it fusing with (and destroying) this
+        // record.
+        let len = file.metadata().map_err(|e| store_err(&path, &e))?.len();
+        if len > 0 {
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::Start(len - 1))
+                .and_then(|_| file.read_exact(&mut last))
+                .map_err(|e| store_err(&path, &e))?;
+            if last[0] != b'\n' {
+                line.insert(0, '\n');
+            }
+        }
+        if let Some(prefix) = faults::torn_write(line.len()) {
+            let _ = file.write_all(&line.as_bytes()[..prefix]);
+            let _ = file.sync_all();
+            faults::torn_write_panic();
+        }
+        let acked = matches!(
+            event,
+            JournalEvent::Submitted { .. }
+                | JournalEvent::Cancelled { .. }
+                | JournalEvent::Failed { permanent: true, .. }
+        );
+        file.write_all(line.as_bytes())
+            .and_then(|()| if acked { file.sync_all() } else { Ok(()) })
+            .map_err(|e| store_err(&path, &e))?;
+        faults::maybe_crash();
+        Ok(())
+    }
+
+    /// Replays the journal into per-job states. Torn or corrupt lines
+    /// are dropped (counted); `done` jobs whose report file is missing
+    /// or fails verification are re-queued.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] only on I/O failure reading the journal
+    /// — corruption is tolerated, not fatal.
+    pub fn recover(&self) -> Result<Recovered, ServiceError> {
+        let mut out = Recovered::default();
+        let path = self.journal_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(store_err(&path, &e)),
+        };
+        // Replay in order; index per id for last-state-wins.
+        let mut order: Vec<JobId> = Vec::new();
+        let mut states: std::collections::HashMap<JobId, (ReplayedStatus, u32)> =
+            std::collections::HashMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let Some(event) = checksummed::parse(line)
+                .ok()
+                .as_ref()
+                .and_then(JournalEvent::from_json)
+            else {
+                out.dropped_records += 1;
+                continue;
+            };
+            match event {
+                JournalEvent::Submitted { id } => {
+                    out.submitted_total += 1;
+                    if !states.contains_key(&id) {
+                        order.push(id);
+                    }
+                    states.insert(
+                        id,
+                        (
+                            ReplayedStatus::Queued {
+                                not_before_ms: 0,
+                                interrupted: false,
+                            },
+                            0,
+                        ),
+                    );
+                }
+                JournalEvent::Started { id, attempt } => {
+                    if let Some((status, attempts)) = states.get_mut(&id) {
+                        *status = ReplayedStatus::Queued {
+                            not_before_ms: 0,
+                            interrupted: true,
+                        };
+                        *attempts = attempt + 1;
+                    }
+                }
+                JournalEvent::Segment { .. } => {
+                    // Progress only; the checkpoint file carries the
+                    // resume state.
+                }
+                JournalEvent::Done { id } => {
+                    if let Some((status, _)) = states.get_mut(&id) {
+                        *status = ReplayedStatus::Done;
+                    }
+                }
+                JournalEvent::Failed {
+                    id,
+                    error,
+                    permanent,
+                    not_before_ms,
+                    ..
+                } => {
+                    if let Some((status, _)) = states.get_mut(&id) {
+                        *status = if permanent {
+                            ReplayedStatus::Failed { error }
+                        } else {
+                            ReplayedStatus::Queued {
+                                not_before_ms,
+                                interrupted: false,
+                            }
+                        };
+                    }
+                }
+                JournalEvent::Cancelled { id } => {
+                    if let Some((status, _)) = states.get_mut(&id) {
+                        *status = ReplayedStatus::Cancelled;
+                    }
+                }
+            }
+        }
+        for id in order {
+            let (mut status, attempts) = states.remove(&id).expect("ordered ids are inserted");
+            // A done job must still have a verifiable report; a kill (or
+            // corruption) between the report write and now re-runs it.
+            if status == ReplayedStatus::Done && self.read_report(id).is_err() {
+                out.requeued_missing_reports += 1;
+                status = ReplayedStatus::Queued {
+                    not_before_ms: 0,
+                    interrupted: false,
+                };
+            }
+            // A job whose spec no longer verifies cannot be served;
+            // surface it as a permanent failure rather than dropping it
+            // silently.
+            let spec = match self.read_spec(id) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    out.jobs.push(ReplayedJob {
+                        id,
+                        spec: JobSpec::steady("power7_reduced"),
+                        status: ReplayedStatus::Failed {
+                            error: format!("spec unreadable after recovery: {e}"),
+                        },
+                        attempts,
+                    });
+                    continue;
+                }
+            };
+            if status != ReplayedStatus::Done {
+                // Stale terminal artifacts from a replaced run are
+                // impossible (ids are unique), but a re-queued job must
+                // not keep a checkpoint of a *finished* integration if
+                // the report vanished mid-write: the resume path
+                // handles that by serving zero remaining segments.
+            } else {
+                self.remove_checkpoint(id);
+            }
+            out.jobs.push(ReplayedJob {
+                id,
+                spec,
+                status,
+                attempts,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Writes the operator status snapshot (plain JSON, atomic).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Store`] on I/O failure.
+    pub fn write_status(&self, status: &Value) -> Result<(), ServiceError> {
+        let path = self.root.join("status.json");
+        checksummed::write_atomic(&path, &status.to_json_string_pretty())
+            .map_err(|e| store_err(&path, &e))
+    }
+}
+
+fn store_err(path: &Path, e: &dyn std::fmt::Display) -> ServiceError {
+    ServiceError::Store(format!("{}: {e}", path.display()))
+}

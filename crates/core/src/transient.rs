@@ -160,6 +160,59 @@ pub struct TransientOutcome {
     pub shared_time: f64,
 }
 
+impl TransientOutcome {
+    /// The outcome as a JSON value tree. Numbers round-trip exactly
+    /// (`bright-jsonio` emits shortest-exact f64 text and the counters
+    /// fit in f64), so serialized outcomes are bitwise-comparable.
+    #[must_use]
+    pub fn to_json(&self) -> bright_jsonio::Value {
+        use bright_jsonio::Value;
+        Value::object([
+            ("final_peak".into(), Value::Number(self.final_peak.value())),
+            ("trace_peak".into(), Value::Number(self.trace_peak.value())),
+            ("end_time".into(), Value::Number(self.end_time)),
+            ("steps".into(), Value::Number(self.steps as f64)),
+            ("solves".into(), Value::Number(self.solves as f64)),
+            ("rejected".into(), Value::Number(self.rejected as f64)),
+            (
+                "recovered_solves".into(),
+                Value::Number(self.recovered_solves as f64),
+            ),
+            (
+                "solver_retries".into(),
+                Value::Number(self.solver_retries as f64),
+            ),
+            ("shared_time".into(), Value::Number(self.shared_time)),
+        ])
+    }
+
+    /// Rebuilds an outcome from its JSON value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Report`] for missing/mistyped fields.
+    pub fn from_json(v: &bright_jsonio::Value) -> Result<Self, CoreError> {
+        use bright_jsonio::Value;
+        let num = |field: &str| -> Result<f64, CoreError> {
+            v.get(field).and_then(Value::as_f64).ok_or_else(|| {
+                CoreError::Report(format!("missing or mistyped field '{field}'"))
+            })
+        };
+        let count = |field: &str| -> Result<u64, CoreError> { Ok(num(field)? as u64) };
+        Ok(Self {
+            final_peak: Kelvin::new(num("final_peak")?),
+            trace_peak: Kelvin::new(num("trace_peak")?),
+            end_time: num("end_time")?,
+            steps: count("steps")?,
+            solves: count("solves")?,
+            rejected: count("rejected")?,
+            recovered_solves: count("recovered_solves")?,
+            solver_retries: count("solver_retries")?,
+            shared_time: num("shared_time")?,
+        })
+    }
+}
+
 /// The engine's answer to one transient request.
 #[derive(Debug, Clone)]
 pub struct TransientReport {
@@ -290,20 +343,20 @@ struct PathAcc {
 /// One node integration: a single trace segment stepped from an
 /// optional checkpoint; returns the end-of-segment checkpoint and the
 /// node's own counters.
-struct NodeResult {
-    checkpoint: Checkpoint,
-    peak: f64,
-    steps: u64,
-    solves: u64,
-    rejected: u64,
+pub(crate) struct NodeResult {
+    pub(crate) checkpoint: Checkpoint,
+    pub(crate) peak: f64,
+    pub(crate) steps: u64,
+    pub(crate) solves: u64,
+    pub(crate) rejected: u64,
     /// Ladder-recovered solves of the node-local session (each node
     /// builds a fresh integrator, so this is the node's own count).
-    recovered: u64,
+    pub(crate) recovered: u64,
     /// Adaptive dt-halving retries of the node-local integrator.
-    retries: u64,
+    pub(crate) retries: u64,
 }
 
-fn integrate_node(
+pub(crate) fn integrate_node(
     model: &ThermalModel,
     segment: &TraceSegment,
     initial_temperature: f64,
@@ -561,6 +614,26 @@ mod tests {
             initial_temperature: Kelvin::new(300.0),
             stepping: SteppingMode::Fixed { dt: 2e-3 },
         }
+    }
+
+    #[test]
+    fn transient_outcome_json_roundtrips_exactly() {
+        let outcome = TransientOutcome {
+            final_peak: Kelvin::new(313.728_491_220_01),
+            trace_peak: Kelvin::new(314.002_213_7),
+            end_time: 0.04,
+            steps: 20,
+            solves: 23,
+            rejected: 1,
+            recovered_solves: 2,
+            solver_retries: 1,
+            shared_time: 0.02,
+        };
+        let text = outcome.to_json().to_json_string();
+        let v = bright_jsonio::Value::parse(&text).unwrap();
+        let back = TransientOutcome::from_json(&v).unwrap();
+        assert_eq!(back, outcome, "round-trip must be exact");
+        assert!(TransientOutcome::from_json(&bright_jsonio::Value::object([])).is_err());
     }
 
     #[test]

@@ -148,6 +148,7 @@ fn fault_seeded_mixed_batch_completes_with_consistent_stats() {
         breakdown: 7,
         budget: 6,
         panic: u64::MAX, // one shot, at opportunity n == seed
+        ..FaultPlan::default()
     };
     let plan = FaultPlan::from_env_or(default_plan);
     let mut engine = ScenarioEngine::new();

@@ -411,6 +411,113 @@ fn write_number(x: f64, out: &mut String) {
     }
 }
 
+/// Durable-document helpers: checksummed JSON envelopes and atomic
+/// file replacement.
+///
+/// The scenario service persists job specs, reports, checkpoints and
+/// journal records as JSON documents that must survive a process kill at
+/// any instant. Two mechanisms compose to make that true:
+///
+/// * **Checksummed envelopes** ([`checksummed::to_string`] /
+///   [`checksummed::parse`]): the payload's compact JSON text is tagged
+///   with its FNV-1a 64 digest, so a torn or bit-rotted record is
+///   *detected* on read instead of silently mis-parsed.
+/// * **Atomic replacement** ([`checksummed::write_atomic`]): content is
+///   written to a sibling temp file, flushed, and renamed over the
+///   target, so readers only ever observe the old document or the new
+///   one — never a prefix.
+pub mod checksummed {
+    use super::{JsonError, Value};
+    use std::fs;
+    use std::io::Write;
+    use std::path::Path;
+
+    /// FNV-1a 64-bit digest of `bytes` — small, dependency-free, and
+    /// plenty for torn-write *detection* (the threat model is power
+    /// loss, not an adversary).
+    #[must_use]
+    pub fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Wraps `payload` in a checksummed envelope:
+    /// `{"crc":"<16 hex>","payload":<compact payload JSON>}`.
+    #[must_use]
+    pub fn to_string(payload: &Value) -> String {
+        let body = payload.to_json_string();
+        let crc = fnv1a64(body.as_bytes());
+        format!("{{\"crc\":\"{crc:016x}\",\"payload\":{body}}}")
+    }
+
+    /// Parses a checksummed envelope and returns the verified payload.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON, a missing/mistyped `crc` or
+    /// `payload` field, or a digest mismatch (a torn or corrupted
+    /// record).
+    pub fn parse(text: &str) -> Result<Value, JsonError> {
+        let envelope = Value::parse(text)?;
+        let crc_text = envelope
+            .get("crc")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError { offset: 0, message: "missing 'crc' field".into() })?;
+        let expected = u64::from_str_radix(crc_text, 16)
+            .map_err(|_| JsonError { offset: 0, message: "malformed 'crc' field".into() })?;
+        let payload = envelope
+            .get("payload")
+            .ok_or_else(|| JsonError { offset: 0, message: "missing 'payload' field".into() })?;
+        let actual = fnv1a64(payload.to_json_string().as_bytes());
+        if actual != expected {
+            return Err(JsonError {
+                offset: 0,
+                message: format!("checksum mismatch: stored {expected:016x}, computed {actual:016x}"),
+            });
+        }
+        Ok(payload.clone())
+    }
+
+    /// Writes `text` to `path` atomically: a sibling `.tmp` file is
+    /// written, flushed to disk, and renamed over the target. A kill at
+    /// any point leaves either the previous document or the new one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Reads a checksummed document written by [`to_string`] +
+    /// [`write_atomic`] and returns the verified payload.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] when the file is unreadable, torn or corrupted
+    /// (I/O errors are folded into the message — callers treat every
+    /// failure mode as "document not trustworthy").
+    pub fn read_verified(path: &Path) -> Result<Value, JsonError> {
+        let text = fs::read_to_string(path).map_err(|e| JsonError {
+            offset: 0,
+            message: format!("read {}: {e}", path.display()),
+        })?;
+        parse(&text)
+    }
+}
+
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
     for ch in s.chars() {
@@ -496,5 +603,42 @@ mod tests {
         assert!(Value::parse(r#""\ud83dx""#).is_err());
         assert!(Value::parse(r#""\ud83dA""#).is_err()); // bad low
         assert!(Value::parse(r#""\ude00""#).is_err()); // lone low
+    }
+
+    #[test]
+    fn checksummed_envelope_round_trips_and_detects_corruption() {
+        let payload = Value::object([
+            ("id".into(), Value::String("01ABC".into())),
+            ("value".into(), Value::Number(0.1 + 0.2)),
+        ]);
+        let text = checksummed::to_string(&payload);
+        assert_eq!(checksummed::parse(&text).unwrap(), payload);
+        // Any payload byte flip trips the digest.
+        let corrupt = text.replace("01ABC", "01ABD");
+        assert!(checksummed::parse(&corrupt).is_err());
+        // A truncated record fails to parse at all.
+        assert!(checksummed::parse(&text[..text.len() - 4]).is_err());
+        // Missing/garbled envelope fields are errors, not panics.
+        assert!(checksummed::parse("{\"payload\":1.0}").is_err());
+        assert!(checksummed::parse("{\"crc\":\"zz\",\"payload\":1.0}").is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_read_verifies() {
+        let dir = std::env::temp_dir().join(format!("bright_jsonio_t{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        let a = Value::object([("v".into(), Value::Number(1.0))]);
+        let b = Value::object([("v".into(), Value::Number(2.0))]);
+        checksummed::write_atomic(&path, &checksummed::to_string(&a)).unwrap();
+        assert_eq!(checksummed::read_verified(&path).unwrap(), a);
+        checksummed::write_atomic(&path, &checksummed::to_string(&b)).unwrap();
+        assert_eq!(checksummed::read_verified(&path).unwrap(), b);
+        // No temp-file debris after a completed write.
+        assert!(!dir.join("doc.json.tmp").exists());
+        // Corruption on disk is detected.
+        std::fs::write(&path, "{\"crc\":\"0\",\"payload\":{}}").unwrap();
+        assert!(checksummed::read_verified(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1004,6 +1004,46 @@ impl Checkpoint {
             .map_err(|e| ThermalError::InvalidConfig(format!("checkpoint JSON: {e}")))?;
         Self::from_json(&v)
     }
+
+    /// Persists the checkpoint to `path` as a checksummed JSON envelope
+    /// written with atomic temp-file + rename, so a kill at any instant
+    /// leaves either the previous checkpoint or this one — never a
+    /// prefix. Honours the [`bright_num::faults`] torn-write site: when
+    /// it fires, a truncated record is persisted and the process "dies"
+    /// (panics with [`bright_num::faults::TORN_PANIC_PAYLOAD`]), which
+    /// is exactly the disk state [`Checkpoint::load_from_file`] must
+    /// detect afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] wrapping the underlying I/O
+    /// error.
+    pub fn save_to_file(&self, path: &std::path::Path) -> Result<(), ThermalError> {
+        let text = bright_jsonio::checksummed::to_string(&self.to_json());
+        if let Some(prefix) = bright_num::faults::torn_write(text.len()) {
+            let _ = bright_jsonio::checksummed::write_atomic(path, &text[..prefix]);
+            bright_num::faults::torn_write_panic();
+        }
+        bright_jsonio::checksummed::write_atomic(path, &text).map_err(|e| {
+            ThermalError::InvalidConfig(format!("checkpoint write {}: {e}", path.display()))
+        })
+    }
+
+    /// Loads a checkpoint persisted by [`Checkpoint::save_to_file`],
+    /// verifying the record checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::InvalidConfig`] when the file is missing,
+    /// truncated, corrupted (checksum mismatch) or structurally
+    /// invalid. Callers use the error as a fall-back-to-cold-re-run
+    /// signal, never as a reason to fail the job.
+    pub fn load_from_file(path: &std::path::Path) -> Result<Self, ThermalError> {
+        let payload = bright_jsonio::checksummed::read_verified(path).map_err(|e| {
+            ThermalError::InvalidConfig(format!("checkpoint {}: {e}", path.display()))
+        })?;
+        Self::from_json(&payload)
+    }
 }
 
 #[cfg(test)]
@@ -1329,5 +1369,50 @@ mod tests {
         assert_eq!(back, cp);
         assert!(Checkpoint::from_json_str("{}").is_err());
         assert!(Checkpoint::from_json_str("not json").is_err());
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_detects_corruption_and_torn_writes() {
+        use bright_num::faults;
+
+        let dir = std::env::temp_dir().join(format!("bright_thermal_cp{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.checkpoint.json");
+        let cp = Checkpoint {
+            time: 0.02,
+            dt: 2e-3,
+            segment: 1,
+            time_in_segment: 0.0,
+            temperatures: vec![300.0, 301.5, 0.1 + 0.2],
+            warm_start: vec![1.0 / 3.0],
+        };
+        cp.save_to_file(&path).unwrap();
+        assert_eq!(Checkpoint::load_from_file(&path).unwrap(), cp);
+        assert!(!dir.join("job.checkpoint.json.tmp").exists());
+
+        // A missing file is an error (the cold-re-run signal)...
+        assert!(Checkpoint::load_from_file(&dir.join("absent.json")).is_err());
+        // ...and so are truncation and byte corruption.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(Checkpoint::load_from_file(&path).is_err());
+        std::fs::write(&path, text.replace("300.0", "333.0")).unwrap();
+        assert!(Checkpoint::load_from_file(&path).is_err());
+
+        // An injected torn write persists a truncated record and panics
+        // like a power cut; the reload detects the damage.
+        cp.save_to_file(&path).unwrap();
+        let killed = std::panic::catch_unwind(|| {
+            faults::with_scope(Some(faults::FaultPlan::one_shot_torn(1)), || {
+                cp.save_to_file(&path)
+            })
+        });
+        let payload = killed.expect_err("torn site must fire on the first write");
+        assert!(faults::is_injected_kill(payload.as_ref()));
+        assert!(Checkpoint::load_from_file(&path).is_err(), "torn record must not verify");
+        // Re-saving cleanly repairs the document.
+        cp.save_to_file(&path).unwrap();
+        assert_eq!(Checkpoint::load_from_file(&path).unwrap(), cp);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
