@@ -1,0 +1,442 @@
+//! PR-10 performance gate: the TR-BDF2 embedded pair vs. legacy
+//! step-doubling, coefficient-ramp traces without re-assembly, and
+//! live-integrator carry-down in the engine's prefix tree. Records the
+//! results in `BENCH_PR10.json`.
+//!
+//! Three benchmark families, mirroring the acceptance criteria:
+//!
+//! * `trbdf2_vs_step_doubling` — the throttling trace (full load →
+//!   gated → full load on the 48 ml/min POWER7+ stack) integrated by
+//!   both adaptive controllers *at equal boundary-sampled accuracy*:
+//!   both are measured against a fine-Δt reference at every segment
+//!   boundary, and the step-doubling baseline is the loosest tolerance
+//!   (halving ladder) whose tracking error does not exceed the TR-BDF2
+//!   run's. Gate: TR-BDF2 needs ≥ 1.8× fewer linear solves — the
+//!   embedded estimate is free where step-doubling pays a third solve
+//!   per step.
+//! * `ramp_trace` — a pump spin-down ramp (676 → 48 ml/min, then hold)
+//!   riding a single model. Gates: exactly one operator assembly (ramps
+//!   must ride O(nnz) value refreshes) and a positive re-stamp count.
+//! * `carry_down` — a duty-cycle batch over the engine's prefix tree.
+//!   Gate: every single-child chain extends the parent's live
+//!   integrator instead of rebuilding from its checkpoint.
+//!
+//! Usage: `bench_pr10 [--quick] [--out <path>]` (default `BENCH_PR10.json`).
+
+use bright_core::{LoadRamp, LoadStep, ScenarioEngine, SteppingMode, TransientRequest};
+use bright_floorplan::{power7, PowerScenario};
+use bright_jsonio::Value;
+use bright_num::vec_ops::wrms_diff;
+use bright_thermal::{
+    presets, AdaptiveConfig, AdaptiveTransient, CoefficientRamp, Controller, PowerTrace,
+    ThermalModel, TraceSegment, TransientSimulation,
+};
+use bright_units::{CubicMetersPerSecond, Kelvin};
+
+/// The throttling trace: full load, a power-gated dip, full load again —
+/// on the 48 ml/min (throttled-pump) stack. Identical to the PR-3
+/// setup, so the two benchmark files stay comparable.
+fn throttling_setup(scale: f64) -> (ThermalModel, PowerTrace, AdaptiveConfig) {
+    let model = presets::power7_stack_at(
+        CubicMetersPerSecond::from_milliliters_per_minute(48.0),
+        Kelvin::new(300.0),
+    )
+    .expect("Table II stack");
+    let plan = power7::floorplan();
+    let full = PowerScenario::full_load()
+        .rasterize(&plan, model.grid())
+        .expect("power map");
+    let gated = PowerScenario::cache_only()
+        .rasterize(&plan, model.grid())
+        .expect("power map");
+    let trace = PowerTrace::new(vec![
+        TraceSegment::constant(0.10 * scale, full.clone()),
+        TraceSegment::constant(0.30 * scale, gated),
+        TraceSegment::constant(0.20 * scale, full),
+    ])
+    .expect("valid trace");
+    let cfg = AdaptiveConfig {
+        abs_tol: 0.01,
+        dt_init: 1e-3,
+        dt_min: 2.5e-4,
+        dt_max: 0.1,
+        ..AdaptiveConfig::default()
+    };
+    (model, trace, cfg)
+}
+
+/// Integrates the trace at fixed Δt, sampling the field at every
+/// segment boundary.
+fn run_fixed_sampled(model: &ThermalModel, trace: &PowerTrace, t0: f64, dt: f64) -> Vec<Vec<f64>> {
+    let mut sim = TransientSimulation::new(model.clone(), &trace.segments()[0].power, t0, dt)
+        .expect("fixed sim");
+    let mut samples = Vec::with_capacity(trace.len());
+    for seg in trace.segments() {
+        let single = PowerTrace::new(vec![seg.clone()]).expect("segment trace");
+        sim.run_trace(&single).expect("fixed trace");
+        samples.push(sim.temperatures().to_vec());
+    }
+    samples
+}
+
+/// Runs one adaptive controller over the trace, sampling at segment
+/// boundaries; returns (solves, accepted steps, samples).
+fn run_adaptive_sampled(
+    model: &ThermalModel,
+    trace: &PowerTrace,
+    t0: f64,
+    cfg: AdaptiveConfig,
+) -> (u64, u64, Vec<Vec<f64>>) {
+    let mut sim = AdaptiveTransient::new(model.clone(), trace.clone(), t0, cfg)
+        .expect("adaptive sim");
+    let mut samples: Vec<Vec<f64>> = Vec::with_capacity(trace.len());
+    let mut cursor = 0;
+    while !sim.finished() {
+        sim.step().expect("adaptive step");
+        if sim.segment_index() > cursor {
+            samples.push(sim.temperatures().to_vec());
+            cursor = sim.segment_index();
+        }
+    }
+    let stats = sim.stats();
+    (stats.solves, stats.accepted, samples)
+}
+
+/// Tracking error in *base* tolerance units: worst weighted-RMS
+/// distance from the reference over the boundary samples.
+fn tracking_err(samples: &[Vec<f64>], reference: &[Vec<f64>], cfg: &AdaptiveConfig) -> f64 {
+    samples
+        .iter()
+        .zip(reference)
+        .map(|(s, r)| wrms_diff(s, r, cfg.abs_tol, cfg.rel_tol))
+        .fold(0.0, f64::max)
+}
+
+struct PairRow {
+    trbdf2_solves: u64,
+    trbdf2_steps: u64,
+    trbdf2_err: f64,
+    doubling_solves: u64,
+    doubling_steps: u64,
+    doubling_err: f64,
+    doubling_abs_tol: f64,
+    solve_ratio: f64,
+}
+
+fn bench_trbdf2_vs_step_doubling(quick: bool) -> PairRow {
+    let scale = if quick { 0.5 } else { 1.0 };
+    let (model, trace, cfg) = throttling_setup(scale);
+    let t0 = 300.0;
+
+    // Reference: fine fixed Δt at the controllers' step floor.
+    let ref_samples = run_fixed_sampled(&model, &trace, t0, cfg.dt_min);
+
+    let (t_solves, t_steps, t_samples) = run_adaptive_sampled(&model, &trace, t0, cfg);
+    let t_err = tracking_err(&t_samples, &ref_samples, &cfg);
+    println!(
+        "  tr-bdf2:       {t_steps:>4} steps, {t_solves:>4} solves, tracking err {t_err:.3} tol units"
+    );
+
+    // Step-doubling at equal accuracy: the loosest tolerance (halving
+    // ladder from 8x the base) whose tracking error does not exceed the
+    // TR-BDF2 run's. If even the tightest candidate is less accurate,
+    // its solve count still *under*-states what equal accuracy would
+    // cost, so the gate stays conservative.
+    let mut d_solves = 0;
+    let mut d_steps = 0;
+    let mut d_err = f64::INFINITY;
+    let mut d_tol = 0.0;
+    let mut tol_scale = 8.0;
+    while tol_scale >= 1.0 / 64.0 {
+        let d_cfg = AdaptiveConfig {
+            controller: Controller::StepDoubling,
+            abs_tol: cfg.abs_tol * tol_scale,
+            rel_tol: cfg.rel_tol * tol_scale,
+            ..cfg
+        };
+        let (solves, steps, samples) = run_adaptive_sampled(&model, &trace, t0, d_cfg);
+        let err = tracking_err(&samples, &ref_samples, &cfg);
+        println!(
+            "  step-doubling (tol x{tol_scale:>6.3}): {steps:>4} steps, {solves:>4} solves, \
+             tracking err {err:.3} tol units"
+        );
+        d_solves = solves;
+        d_steps = steps;
+        d_err = err;
+        d_tol = d_cfg.abs_tol;
+        if err <= t_err {
+            break;
+        }
+        tol_scale /= 2.0;
+    }
+    let solve_ratio = d_solves as f64 / t_solves as f64;
+    println!(
+        "  trbdf2_vs_step_doubling: {d_solves} solves vs {t_solves} => {solve_ratio:.2}x fewer \
+         at equal boundary-sampled accuracy"
+    );
+    PairRow {
+        trbdf2_solves: t_solves,
+        trbdf2_steps: t_steps,
+        trbdf2_err: t_err,
+        doubling_solves: d_solves,
+        doubling_steps: d_steps,
+        doubling_err: d_err,
+        doubling_abs_tol: d_tol,
+        solve_ratio,
+    }
+}
+
+struct RampRow {
+    solves: u64,
+    refreshes: u64,
+    assemblies: usize,
+}
+
+/// A pump spin-down (676 → 48 ml/min over the first segment, held for
+/// the second) under full load, integrated by TR-BDF2 on one model.
+fn bench_ramp_trace(quick: bool) -> RampRow {
+    let scale = if quick { 0.5 } else { 1.0 };
+    let model = presets::power7_stack().expect("Table II stack");
+    let plan = power7::floorplan();
+    let full = PowerScenario::full_load()
+        .rasterize(&plan, model.grid())
+        .expect("power map");
+    let (nominal_flow, inlet) = model.operating_point().expect("liquid-cooled preset");
+    let throttled = CubicMetersPerSecond::from_milliliters_per_minute(48.0);
+    let trace = PowerTrace::new(vec![
+        TraceSegment::constant(0.15 * scale, full.clone()).with_ramp(CoefficientRamp {
+            flow_start: nominal_flow,
+            flow_end: throttled,
+            inlet_start: inlet,
+            inlet_end: inlet,
+        }),
+        TraceSegment::constant(0.25 * scale, full).with_ramp(CoefficientRamp {
+            flow_start: throttled,
+            flow_end: throttled,
+            inlet_start: inlet,
+            inlet_end: inlet,
+        }),
+    ])
+    .expect("valid trace");
+    let cfg = AdaptiveConfig {
+        abs_tol: 0.01,
+        dt_init: 1e-3,
+        dt_min: 2.5e-4,
+        dt_max: 0.1,
+        ..AdaptiveConfig::default()
+    };
+    let mut sim = AdaptiveTransient::new(model, trace, 300.0, cfg).expect("adaptive sim");
+    sim.run_to_end().expect("ramped trace");
+    let row = RampRow {
+        solves: sim.stats().solves,
+        refreshes: sim.coefficient_refreshes(),
+        assemblies: sim.model().assembly_count(),
+    };
+    println!(
+        "  ramp_trace: {} solves, {} coefficient re-stamps, {} operator assembly",
+        row.solves, row.refreshes, row.assemblies
+    );
+    row
+}
+
+struct CarryRow {
+    solo_carried: u64,
+    solo_expected: u64,
+    batch_carried: u64,
+    batch_expected: u64,
+    segments_integrated: u64,
+    segments_reused: u64,
+}
+
+fn bench_carry_down(quick: bool) -> CarryRow {
+    let seg_s = if quick { 0.02 } else { 0.04 };
+    let dimmed = |dark: usize| {
+        let mut load = PowerScenario::full_load();
+        for i in 0..dark {
+            load.set_block_density(
+                format!("core{i}"),
+                bright_units::WattPerSquareMeter::new(0.0),
+            );
+        }
+        load
+    };
+    let request = |k: usize| TransientRequest {
+        scenario: bright_core::Scenario::power7_reduced(),
+        trace: vec![
+            LoadStep::new(seg_s, PowerScenario::full_load())
+                .with_ramp(LoadRamp::flow(1.0, 0.5)),
+            LoadStep::new(seg_s, PowerScenario::cache_only())
+                .with_ramp(LoadRamp::flow(0.5, 0.5)),
+            LoadStep::new(seg_s, dimmed(k + 1)),
+        ],
+        initial_temperature: Kelvin::new(300.0),
+        stepping: SteppingMode::Adaptive(AdaptiveConfig::default()),
+    };
+
+    // Solo: a 3-segment chain is single-child all the way down — both
+    // interior boundaries must extend the live integrator.
+    let mut engine = ScenarioEngine::new();
+    let reports = engine.run_transient_batch([request(0)]);
+    assert!(reports[0].result.is_ok(), "solo trace failed");
+    let solo_carried = engine.stats().trace_integrators_carried;
+    let solo_expected = 2;
+
+    // Batched: four variants share a 2-segment prefix, so the second
+    // prefix segment rides the live integrator; the four tails branch
+    // from its checkpoint.
+    let mut engine = ScenarioEngine::new();
+    let reports = engine.run_transient_batch((0..4).map(request));
+    for r in &reports {
+        assert!(r.result.is_ok(), "batched variant failed: {:?}", r.result);
+    }
+    let stats = engine.stats();
+    println!(
+        "  carry_down: solo {} / {} carried, batch {} / {} carried \
+         ({} nodes integrated, {} reused)",
+        solo_carried,
+        solo_expected,
+        stats.trace_integrators_carried,
+        1,
+        stats.trace_segments_integrated,
+        stats.trace_segments_reused
+    );
+    CarryRow {
+        solo_carried,
+        solo_expected,
+        batch_carried: stats.trace_integrators_carried,
+        batch_expected: 1,
+        segments_integrated: stats.trace_segments_integrated,
+        segments_reused: stats.trace_segments_reused,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
+
+    bright_bench::banner(
+        "BENCH_PR10",
+        "TR-BDF2 embedded pair, coefficient ramps, live-integrator carry-down",
+    );
+    let pair = bench_trbdf2_vs_step_doubling(quick);
+    let ramp = bench_ramp_trace(quick);
+    let carry = bench_carry_down(quick);
+
+    let doc = Value::object([
+        (
+            "trbdf2_vs_step_doubling".into(),
+            Value::object([
+                ("trbdf2_solves".into(), Value::Number(pair.trbdf2_solves as f64)),
+                ("trbdf2_steps".into(), Value::Number(pair.trbdf2_steps as f64)),
+                ("trbdf2_err_tol_units".into(), Value::Number(pair.trbdf2_err)),
+                (
+                    "step_doubling_solves_at_equal_accuracy".into(),
+                    Value::Number(pair.doubling_solves as f64),
+                ),
+                (
+                    "step_doubling_steps".into(),
+                    Value::Number(pair.doubling_steps as f64),
+                ),
+                (
+                    "step_doubling_err_tol_units".into(),
+                    Value::Number(pair.doubling_err),
+                ),
+                (
+                    "step_doubling_abs_tol".into(),
+                    Value::Number(pair.doubling_abs_tol),
+                ),
+                ("solve_reduction".into(), Value::Number(pair.solve_ratio)),
+            ]),
+        ),
+        (
+            "ramp_trace".into(),
+            Value::object([
+                ("solves".into(), Value::Number(ramp.solves as f64)),
+                (
+                    "coefficient_refreshes".into(),
+                    Value::Number(ramp.refreshes as f64),
+                ),
+                ("assemblies".into(), Value::Number(ramp.assemblies as f64)),
+            ]),
+        ),
+        (
+            "carry_down".into(),
+            Value::object([
+                ("solo_carried".into(), Value::Number(carry.solo_carried as f64)),
+                ("batch_carried".into(), Value::Number(carry.batch_carried as f64)),
+                (
+                    "segments_integrated".into(),
+                    Value::Number(carry.segments_integrated as f64),
+                ),
+                (
+                    "segments_reused".into(),
+                    Value::Number(carry.segments_reused as f64),
+                ),
+            ]),
+        ),
+        ("quick".into(), Value::Bool(quick)),
+        (
+            "gates".into(),
+            Value::object([
+                ("solve_reduction_min".into(), Value::Number(1.8)),
+                ("ramp_max_assemblies".into(), Value::Number(1.0)),
+                (
+                    "solo_carried_expected".into(),
+                    Value::Number(carry.solo_expected as f64),
+                ),
+                (
+                    "batch_carried_expected".into(),
+                    Value::Number(carry.batch_expected as f64),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.to_json_string_pretty() + "\n").expect("write BENCH_PR10.json");
+    println!("  results written to {out_path}");
+
+    // Fail loudly when an acceptance gate regresses.
+    let mut failed = false;
+    if pair.solve_ratio < 1.8 {
+        eprintln!(
+            "GATE FAILED: TR-BDF2 cuts solves only {:.2}x (< 1.8x) vs step-doubling at equal \
+             boundary-sampled accuracy",
+            pair.solve_ratio
+        );
+        failed = true;
+    }
+    if ramp.assemblies != 1 {
+        eprintln!(
+            "GATE FAILED: ramped trace re-assembled the operator ({} assemblies, expected 1)",
+            ramp.assemblies
+        );
+        failed = true;
+    }
+    if ramp.refreshes == 0 {
+        eprintln!("GATE FAILED: ramped trace performed no coefficient re-stamps");
+        failed = true;
+    }
+    if carry.solo_carried != carry.solo_expected {
+        eprintln!(
+            "GATE FAILED: solo chain carried {} live integrators (expected {})",
+            carry.solo_carried, carry.solo_expected
+        );
+        failed = true;
+    }
+    if carry.batch_carried != carry.batch_expected {
+        eprintln!(
+            "GATE FAILED: batched prefix carried {} live integrators (expected {})",
+            carry.batch_carried, carry.batch_expected
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  all performance gates passed");
+}

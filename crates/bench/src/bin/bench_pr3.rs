@@ -70,9 +70,9 @@ fn throttling_setup(scale: f64) -> (ThermalModel, PowerTrace, AdaptiveConfig) {
         .rasterize(&plan, model.grid())
         .expect("power map");
     let trace = PowerTrace::new(vec![
-        TraceSegment { duration: 0.10 * scale, power: full.clone() },
-        TraceSegment { duration: 0.30 * scale, power: gated },
-        TraceSegment { duration: 0.20 * scale, power: full },
+        TraceSegment::constant(0.10 * scale, full.clone()),
+        TraceSegment::constant(0.30 * scale, gated),
+        TraceSegment::constant(0.20 * scale, full),
     ])
     .expect("valid trace");
     let cfg = AdaptiveConfig {
@@ -220,10 +220,10 @@ fn duty_cycle_requests(variants: usize, seg_s: f64) -> Vec<TransientRequest> {
             scenario: bright_core::Scenario::power7_reduced(),
             trace: vec![
                 // Shared warm-up prefix...
-                LoadStep { duration: seg_s, load: PowerScenario::full_load() },
-                LoadStep { duration: seg_s, load: PowerScenario::cache_only() },
+                LoadStep::new(seg_s, PowerScenario::full_load()),
+                LoadStep::new(seg_s, PowerScenario::cache_only()),
                 // ...then a distinct duty-cycle tail per variant.
-                LoadStep { duration: seg_s, load: dimmed(k + 1) },
+                LoadStep::new(seg_s, dimmed(k + 1)),
             ],
             initial_temperature: Kelvin::new(300.0),
             stepping: SteppingMode::Adaptive(AdaptiveConfig::default()),

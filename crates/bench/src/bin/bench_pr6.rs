@@ -126,10 +126,7 @@ fn bench_seeded_fault_batch() -> FaultBatchRow {
     };
     let transient_request = || TransientRequest {
         scenario: Scenario::power7_reduced(),
-        trace: vec![LoadStep {
-            duration: 0.01,
-            load: bright_floorplan::PowerScenario::full_load(),
-        }],
+        trace: vec![LoadStep::new(0.01, bright_floorplan::PowerScenario::full_load())],
         initial_temperature: Kelvin::new(300.0),
         stepping: SteppingMode::Fixed { dt: 2e-3 },
     };

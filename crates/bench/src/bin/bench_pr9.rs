@@ -65,8 +65,8 @@ fn coarse(mut spec: JobSpec) -> JobSpec {
 fn transient_kind(scale: f64) -> JobKind {
     JobKind::Transient {
         trace: vec![
-            (3e-3, LoadRef { base: "full_load".into(), scale }),
-            (3e-3, LoadRef::cache_only()),
+            (3e-3, LoadRef { base: "full_load".into(), scale }, None),
+            (3e-3, LoadRef::cache_only(), None),
         ],
         initial_temperature_k: 300.0,
         stepping: SteppingMode::Fixed { dt: 1e-3 },
@@ -190,12 +190,11 @@ fn bench_clean_path(n: usize) -> CleanPath {
                 scenario,
                 trace: trace
                     .iter()
-                    .map(|(duration, load)| LoadStep {
-                        duration: *duration,
-                        load: match load.base.as_str() {
+                    .map(|(duration, load, _)| {
+                        LoadStep::new(*duration, match load.base.as_str() {
                             "full_load" => PowerScenario::full_load().scaled(load.scale),
                             _ => PowerScenario::cache_only().scaled(load.scale),
-                        },
+                        })
                     })
                     .collect(),
                 initial_temperature: Kelvin::new(*initial_temperature_k),

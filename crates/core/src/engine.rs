@@ -342,6 +342,9 @@ pub struct EngineStats {
     /// Request-segments served from a shared prefix node instead of
     /// being integrated again (`Σ_nodes requests_under_node − 1`).
     pub trace_segments_reused: u64,
+    /// Trace-tree nodes served by carrying the parent's live integrator
+    /// down a single-child chain (no rebuild, no checkpoint restore).
+    pub trace_integrators_carried: u64,
     /// Polarization requests served.
     pub polarization_requests: u64,
     /// Flow-cell solve contexts built from scratch (one duct solution +
@@ -1127,6 +1130,7 @@ impl ScenarioEngine {
             }
             self.stats.trace_segments_integrated += counters.segments_integrated;
             self.stats.trace_segments_reused += counters.segments_reused;
+            self.stats.trace_integrators_carried += counters.integrators_carried;
             self.stats.recovered_solves += counters.recovered_solves;
             self.stats.solver_retries += counters.solver_retries;
             self.stats.panicked_requests += counters.panicked_requests;
@@ -1626,7 +1630,7 @@ mod tests {
         use bright_floorplan::PowerScenario;
         use bright_units::Kelvin as K;
 
-        let step = |d: f64, load: PowerScenario| LoadStep { duration: d, load };
+        let step = |d: f64, load: PowerScenario| LoadStep::new(d, load);
         let request = |tail: PowerScenario| TransientRequest {
             scenario: Scenario::power7_reduced(),
             trace: vec![
@@ -1704,10 +1708,7 @@ mod tests {
 
         let good = TransientRequest {
             scenario: Scenario::power7_reduced(),
-            trace: vec![LoadStep {
-                duration: 0.01,
-                load: PowerScenario::full_load(),
-            }],
+            trace: vec![LoadStep::new(0.01, PowerScenario::full_load())],
             initial_temperature: bright_units::Kelvin::new(300.0),
             stepping: SteppingMode::Fixed { dt: 2e-3 },
         };
@@ -1820,10 +1821,7 @@ mod tests {
 
         let transient = TransientRequest {
             scenario: Scenario::power7_reduced(),
-            trace: vec![LoadStep {
-                duration: 0.01,
-                load: PowerScenario::full_load(),
-            }],
+            trace: vec![LoadStep::new(0.01, PowerScenario::full_load())],
             initial_temperature: Kelvin::new(300.0),
             stepping: SteppingMode::Fixed { dt: 2e-3 },
         };

@@ -63,7 +63,7 @@ pub use service::{
     ReportPayload, ScenarioService, ServiceClock, ServiceConfig, ServiceError, ServiceStats,
 };
 pub use transient::{
-    LoadStep, SteppingMode, TransientOutcome, TransientReport, TransientRequest,
+    LoadRamp, LoadStep, SteppingMode, TransientOutcome, TransientReport, TransientRequest,
 };
 
 use std::fmt;

@@ -952,6 +952,40 @@ mod tests {
     }
 
     #[test]
+    fn load_ramps_track_sampled_operating_points() {
+        // LoadRamp is *relative* (flow as a scale of the scenario's
+        // nominal flow, inlet as a Kelvin offset), so a Monte
+        // Carlo-perturbed scenario carries its transient ramps with it:
+        // resolving against the sampled scenario sweeps around the
+        // sampled operating point, not the base one.
+        use crate::transient::LoadRamp;
+
+        let base = Scenario::power7_reduced();
+        let vars = vec![
+            McVariable::new(McParameter::TotalFlow, Distribution::normal(1.0, 0.1)),
+            McVariable::new(McParameter::InletTemperature, Distribution::normal(1.0, 0.1)),
+        ];
+        let sampled = apply_sample(&base, &vars, &[2e-6, 305.0]).unwrap();
+        let ramp = LoadRamp {
+            flow_scale_from: 1.0,
+            flow_scale_to: 0.25,
+            inlet_offset_from_k: 0.0,
+            inlet_offset_to_k: 4.0,
+        };
+        let resolved = ramp.resolve(&sampled);
+        assert_eq!(resolved.flow_start.value(), 2e-6);
+        assert_eq!(resolved.flow_end.value(), 2e-6 * 0.25);
+        assert_eq!(resolved.inlet_start.value(), 305.0);
+        assert_eq!(resolved.inlet_end.value(), 309.0);
+        // And it still resolves differently against the base — the
+        // perturbation really flowed through.
+        assert_ne!(
+            ramp.resolve(&base).flow_start.value(),
+            resolved.flow_start.value()
+        );
+    }
+
+    #[test]
     fn out_of_domain_samples_are_invalid() {
         let base = Scenario::power7_reduced();
         let vars =

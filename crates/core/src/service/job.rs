@@ -4,7 +4,7 @@
 //! per-kind report payloads the service persists.
 
 use crate::scenario::Scenario;
-use crate::transient::{LoadStep, SteppingMode, TransientOutcome};
+use crate::transient::{LoadRamp, LoadStep, SteppingMode, TransientOutcome};
 use crate::{CoreError, CoSimReport, PolarizationOutcome};
 use bright_floorplan::PowerScenario;
 use bright_jsonio::Value;
@@ -313,8 +313,9 @@ pub enum JobKind {
     /// checkpoint persisted between segments so a crash resumes instead
     /// of recomputing.
     Transient {
-        /// The piecewise-constant load trace: (duration s, load).
-        trace: Vec<(f64, LoadRef)>,
+        /// The piecewise-constant load trace: (duration s, load,
+        /// optional coolant coefficient ramp).
+        trace: Vec<(f64, LoadRef, Option<LoadRamp>)>,
         /// Initial uniform temperature (K).
         initial_temperature_k: f64,
         /// Stepping policy.
@@ -339,13 +340,16 @@ impl JobKind {
     }
 
     /// Builds the engine-facing trace for a transient job.
-    pub(crate) fn load_steps(trace: &[(f64, LoadRef)]) -> Result<Vec<LoadStep>, CoreError> {
+    pub(crate) fn load_steps(
+        trace: &[(f64, LoadRef, Option<LoadRamp>)],
+    ) -> Result<Vec<LoadStep>, CoreError> {
         trace
             .iter()
-            .map(|(duration, load)| {
+            .map(|(duration, load, ramp)| {
                 Ok(LoadStep {
                     duration: *duration,
                     load: load.resolve()?,
+                    ramp: *ramp,
                 })
             })
             .collect()
@@ -365,11 +369,15 @@ impl JobKind {
                     Value::Array(
                         trace
                             .iter()
-                            .map(|(d, l)| {
-                                Value::object([
-                                    ("duration".into(), Value::Number(*d)),
-                                    ("load".into(), l.to_json()),
-                                ])
+                            .map(|(d, l, ramp)| {
+                                let mut fields = vec![
+                                    ("duration".to_string(), Value::Number(*d)),
+                                    ("load".to_string(), l.to_json()),
+                                ];
+                                if let Some(r) = ramp {
+                                    fields.push(("ramp".to_string(), ramp_to_json(r)));
+                                }
+                                Value::object(fields)
                             })
                             .collect(),
                     ),
@@ -402,6 +410,7 @@ impl JobKind {
                             LoadRef::from_json(
                                 step.get("load").ok_or_else(|| spec_err("load"))?,
                             )?,
+                            step.get("ramp").map(ramp_from_json).transpose()?,
                         ))
                     })
                     .collect::<Result<Vec<_>, CoreError>>()?;
@@ -424,6 +433,33 @@ impl JobKind {
     }
 }
 
+fn ramp_to_json(ramp: &LoadRamp) -> Value {
+    Value::object([
+        (
+            "flow_scale_from".into(),
+            Value::Number(ramp.flow_scale_from),
+        ),
+        ("flow_scale_to".into(), Value::Number(ramp.flow_scale_to)),
+        (
+            "inlet_offset_from_k".into(),
+            Value::Number(ramp.inlet_offset_from_k),
+        ),
+        (
+            "inlet_offset_to_k".into(),
+            Value::Number(ramp.inlet_offset_to_k),
+        ),
+    ])
+}
+
+fn ramp_from_json(v: &Value) -> Result<LoadRamp, CoreError> {
+    Ok(LoadRamp {
+        flow_scale_from: num_field(v, "flow_scale_from")?,
+        flow_scale_to: num_field(v, "flow_scale_to")?,
+        inlet_offset_from_k: num_field(v, "inlet_offset_from_k")?,
+        inlet_offset_to_k: num_field(v, "inlet_offset_to_k")?,
+    })
+}
+
 fn stepping_to_json(stepping: &SteppingMode) -> Value {
     match stepping {
         SteppingMode::Fixed { dt } => Value::object([
@@ -440,6 +476,10 @@ fn stepping_to_json(stepping: &SteppingMode) -> Value {
             ("safety".into(), Value::Number(cfg.safety)),
             ("max_growth".into(), Value::Number(cfg.max_growth)),
             ("min_shrink".into(), Value::Number(cfg.min_shrink)),
+            (
+                "controller".into(),
+                Value::String(cfg.controller.as_str().into()),
+            ),
         ]),
     }
 }
@@ -458,6 +498,15 @@ fn stepping_from_json(v: &Value) -> Result<SteppingMode, CoreError> {
             safety: num_field(v, "safety")?,
             max_growth: num_field(v, "max_growth")?,
             min_shrink: num_field(v, "min_shrink")?,
+            // Specs written by pre-TR-BDF2 builds carry no controller
+            // field; they ran step-doubling's *semantics* but re-runs
+            // adopt the current default estimator.
+            controller: match v.get("controller").and_then(Value::as_str) {
+                None => bright_thermal::Controller::default(),
+                Some(text) => bright_thermal::Controller::parse(text).ok_or_else(|| {
+                    CoreError::Report(format!("unknown controller '{text}'"))
+                })?,
+            },
         })),
         other => Err(CoreError::Report(format!("unknown stepping mode '{other}'"))),
     }
@@ -719,13 +768,19 @@ mod tests {
             },
             kind: JobKind::Transient {
                 trace: vec![
-                    (0.01, LoadRef::full_load()),
+                    (0.01, LoadRef::full_load(), None),
                     (
                         0.02,
                         LoadRef {
                             base: "cache_only".into(),
                             scale: 1.5,
                         },
+                        Some(LoadRamp {
+                            flow_scale_from: 1.0,
+                            flow_scale_to: 0.4,
+                            inlet_offset_from_k: 0.0,
+                            inlet_offset_to_k: 5.5,
+                        }),
                     ),
                 ],
                 initial_temperature_k: 300.0,
@@ -743,7 +798,7 @@ mod tests {
 
         let adaptive = JobSpec {
             kind: JobKind::Transient {
-                trace: vec![(0.01, LoadRef::full_load())],
+                trace: vec![(0.01, LoadRef::full_load(), None)],
                 initial_temperature_k: 300.0,
                 stepping: SteppingMode::Adaptive(AdaptiveConfig::default()),
             },

@@ -42,7 +42,7 @@ pub use job::{JobId, JobKind, JobSpec, LoadRef, Overrides, Priority, ReportPaylo
 pub use store::{JobStore, JournalEvent, Recovered, ReplayedJob, ReplayedStatus};
 
 use crate::engine::{PolarizationRequest, ScenarioEngine};
-use crate::transient::{integrate_node, TransientOutcome, TransientRequest};
+use crate::transient::{integrate_node, LiveIntegrator, TransientOutcome, TransientRequest};
 use crate::{CoreError, EngineStats};
 use bright_jsonio::Value;
 use bright_thermal::{Checkpoint, TraceSegment};
@@ -251,6 +251,7 @@ struct TransientProgress {
     rejected: u64,
     recovered: u64,
     retries: u64,
+    refreshes: u64,
 }
 
 impl TransientProgress {
@@ -266,6 +267,7 @@ impl TransientProgress {
             ("rejected".into(), Value::Number(self.rejected as f64)),
             ("recovered".into(), Value::Number(self.recovered as f64)),
             ("retries".into(), Value::Number(self.retries as f64)),
+            ("refreshes".into(), Value::Number(self.refreshes as f64)),
         ])
     }
 
@@ -279,6 +281,9 @@ impl TransientProgress {
             rejected: num("rejected")? as u64,
             recovered: num("recovered")? as u64,
             retries: num("retries")? as u64,
+            // Absent in checkpoints persisted by pre-ramp builds; those
+            // traces could not ramp, so zero is exact.
+            refreshes: num("refreshes").unwrap_or(0.0) as u64,
         })
     }
 }
@@ -869,6 +874,10 @@ impl ScenarioService {
             ..TransientProgress::default()
         };
         let mut checkpoint: Option<Checkpoint> = None;
+        // The live integrator carried across segment boundaries within
+        // this attempt (checkpoints are still persisted per boundary —
+        // durability is unchanged; only the rebuild cost is skipped).
+        let mut live: Option<LiveIntegrator> = None;
         match self.load_resume_state(id) {
             ResumeState::None => {}
             ResumeState::Corrupt => {
@@ -918,23 +927,22 @@ impl ScenarioService {
             let segment = TraceSegment {
                 duration: step.duration,
                 power,
+                ramp: step.ramp.map(|r| r.resolve(&request.scenario)),
             };
+            let carried = live.take();
+            let kernel = self.engine.kernel();
+            let model_ref = &model;
+            let stepping = &request.stepping;
+            let from = checkpoint.as_ref();
             // Panic isolation as in the engine: a panicking integration
             // fails this attempt (retryable), not the service. Injected
             // *kill* payloads (crash/torn sites) must keep unwinding —
             // they model the process dying.
-            let integrated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let integrated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
                 bright_num::faults::maybe_panic();
-                integrate_node(
-                    &model,
-                    &segment,
-                    t0,
-                    &request.stepping,
-                    self.engine.kernel(),
-                    checkpoint.as_ref(),
-                )
+                integrate_node(model_ref, &segment, t0, stepping, kernel, from, carried)
             }));
-            let node = match integrated {
+            let (node, next_live) = match integrated {
                 Ok(result) => result?,
                 Err(payload) => {
                     if bright_num::faults::is_injected_kill(payload.as_ref()) {
@@ -951,6 +959,7 @@ impl ScenarioService {
             progress.rejected += node.rejected;
             progress.recovered += node.recovered;
             progress.retries += node.retries;
+            progress.refreshes += node.refreshes;
             progress.segments_done = index + 1;
             let state = Value::object([
                 ("checkpoint".into(), node.checkpoint.to_json()),
@@ -963,6 +972,7 @@ impl ScenarioService {
                 .append(&JournalEvent::Segment { id, index })
                 .map_err(|e| CoreError::Report(e.to_string()))?;
             checkpoint = Some(node.checkpoint);
+            live = Some(next_live);
         }
         let final_peak = checkpoint.as_ref().map_or(t0, |cp| {
             cp.temperatures
@@ -979,6 +989,7 @@ impl ScenarioService {
             rejected: progress.rejected,
             recovered_solves: progress.recovered,
             solver_retries: progress.retries,
+            coefficient_refreshes: progress.refreshes,
             shared_time: 0.0,
         })))
     }

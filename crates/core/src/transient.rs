@@ -25,10 +25,81 @@ use crate::scenario::Scenario;
 use crate::CoreError;
 use bright_floorplan::PowerScenario;
 use bright_thermal::{
-    AdaptiveConfig, AdaptiveTransient, Checkpoint, PowerTrace, ThermalModel, TraceSegment,
-    TransientSimulation,
+    AdaptiveConfig, AdaptiveTransient, Checkpoint, CoefficientRamp, Controller, PowerTrace,
+    ThermalModel, TraceSegment, TransientSimulation,
 };
-use bright_units::Kelvin;
+use bright_units::{CubicMetersPerSecond, Kelvin};
+
+/// A coolant-coefficient sweep across one [`LoadStep`], expressed
+/// *relative* to the scenario's nominal operating point: flow as a
+/// scale factor of [`Scenario::total_flow`], inlet as a Kelvin offset
+/// from [`Scenario::inlet_temperature`]. Relative form keeps the ramp
+/// meaningful across scenarios (and across Monte Carlo samples that
+/// perturb the nominal point); it is resolved to an absolute
+/// [`bright_thermal::CoefficientRamp`] at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadRamp {
+    /// Flow scale at the step's start (1.0 = nominal).
+    pub flow_scale_from: f64,
+    /// Flow scale at the step's end.
+    pub flow_scale_to: f64,
+    /// Inlet-temperature offset at the step's start (K).
+    pub inlet_offset_from_k: f64,
+    /// Inlet-temperature offset at the step's end (K).
+    pub inlet_offset_to_k: f64,
+}
+
+impl LoadRamp {
+    /// A pure pump-throttling ramp: flow sweeps between the given
+    /// scales, inlet stays nominal.
+    #[must_use]
+    pub fn flow(from_scale: f64, to_scale: f64) -> Self {
+        Self {
+            flow_scale_from: from_scale,
+            flow_scale_to: to_scale,
+            inlet_offset_from_k: 0.0,
+            inlet_offset_to_k: 0.0,
+        }
+    }
+
+    /// Checks the endpoints: positive finite flow scales, finite inlet
+    /// offsets.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, s) in [("start", self.flow_scale_from), ("end", self.flow_scale_to)] {
+            if !(s > 0.0 && s.is_finite()) {
+                return Err(CoreError::InvalidScenario(format!(
+                    "ramp flow scale at {name} must be positive, got {s}"
+                )));
+            }
+        }
+        for (name, o) in [("start", self.inlet_offset_from_k), ("end", self.inlet_offset_to_k)] {
+            if !o.is_finite() {
+                return Err(CoreError::InvalidScenario(format!(
+                    "ramp inlet offset at {name} must be finite, got {o}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the relative ramp against a scenario's nominal
+    /// operating point into the absolute thermal-layer form.
+    #[must_use]
+    pub fn resolve(&self, scenario: &Scenario) -> CoefficientRamp {
+        let flow = scenario.total_flow.value();
+        let inlet = scenario.inlet_temperature.value();
+        CoefficientRamp {
+            flow_start: CubicMetersPerSecond::new(flow * self.flow_scale_from),
+            flow_end: CubicMetersPerSecond::new(flow * self.flow_scale_to),
+            inlet_start: Kelvin::new(inlet + self.inlet_offset_from_k),
+            inlet_end: Kelvin::new(inlet + self.inlet_offset_to_k),
+        }
+    }
+}
 
 /// One piecewise-constant span of a transient load trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +109,25 @@ pub struct LoadStep {
     /// The chip load held over the span (rasterized onto the scenario's
     /// thermal grid at dispatch).
     pub load: PowerScenario,
+    /// Optional coolant coefficient sweep across the span (pump
+    /// throttling, inlet drift); `None` holds the scenario's nominal
+    /// operating point.
+    pub ramp: Option<LoadRamp>,
+}
+
+impl LoadStep {
+    /// A constant-coefficient step (the pre-ramp shape: load only).
+    #[must_use]
+    pub fn new(duration: f64, load: PowerScenario) -> Self {
+        Self { duration, load, ramp: None }
+    }
+
+    /// Attaches a coefficient ramp to the step.
+    #[must_use]
+    pub fn with_ramp(mut self, ramp: LoadRamp) -> Self {
+        self.ramp = Some(ramp);
+        self
+    }
 }
 
 /// How the trace is integrated.
@@ -48,8 +138,9 @@ pub enum SteppingMode {
         /// The time step (s).
         dt: f64,
     },
-    /// Adaptive step-doubling control
-    /// ([`bright_thermal::AdaptiveTransient`]).
+    /// Adaptive Δt control ([`bright_thermal::AdaptiveTransient`]) —
+    /// the TR-BDF2 embedded pair by default, or legacy step-doubling
+    /// via [`AdaptiveConfig::controller`].
     Adaptive(AdaptiveConfig),
 }
 
@@ -101,6 +192,19 @@ impl TransientRequest {
                     "trace segment {i} duration must be positive, got {}",
                     step.duration
                 )));
+            }
+            if let Some(ramp) = &step.ramp {
+                ramp.validate().map_err(|e| {
+                    CoreError::InvalidScenario(format!("trace segment {i}: {e}"))
+                })?;
+                if let SteppingMode::Adaptive(cfg) = &self.stepping {
+                    if cfg.controller == Controller::StepDoubling {
+                        return Err(CoreError::InvalidScenario(format!(
+                            "trace segment {i}: coefficient ramps require the TR-BDF2 \
+                             controller (or fixed stepping)"
+                        )));
+                    }
+                }
             }
         }
         if !(self.initial_temperature.value() > 0.0 && self.initial_temperature.value().is_finite())
@@ -154,6 +258,10 @@ pub struct TransientOutcome {
     /// Adaptive dt-halving retries taken after solver failures along
     /// this request's path (0 under fixed stepping).
     pub solver_retries: u64,
+    /// O(nnz) coolant-coefficient re-stamps performed along this
+    /// request's path (0 for ramp-free traces — the zero-re-assembly
+    /// observable of coefficient transients).
+    pub coefficient_refreshes: u64,
     /// Seconds of this request's trace that were integrated in a node
     /// shared with at least one other request of the batch — work this
     /// request did not pay for alone.
@@ -182,6 +290,10 @@ impl TransientOutcome {
                 "solver_retries".into(),
                 Value::Number(self.solver_retries as f64),
             ),
+            (
+                "coefficient_refreshes".into(),
+                Value::Number(self.coefficient_refreshes as f64),
+            ),
             ("shared_time".into(), Value::Number(self.shared_time)),
         ])
     }
@@ -208,6 +320,12 @@ impl TransientOutcome {
             rejected: count("rejected")?,
             recovered_solves: count("recovered_solves")?,
             solver_retries: count("solver_retries")?,
+            // Absent in outcomes journalled by pre-ramp builds: those
+            // traces could not ramp, so zero is exact, not a guess.
+            coefficient_refreshes: v
+                .get("coefficient_refreshes")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0) as u64,
             shared_time: num("shared_time")?,
         })
     }
@@ -246,6 +364,10 @@ pub(crate) struct TransientCounters {
     /// Requests that received [`CoreError::WorkerPanic`] after a node
     /// integration panicked.
     pub panicked_requests: u64,
+    /// Tree nodes served by *extending a live integrator* carried down
+    /// a single-child chain instead of rebuilding one from the parent's
+    /// checkpoint (construction, re-assembly and restore all skipped).
+    pub integrators_carried: u64,
     /// 1 when the group's assembled model was withheld from the cache
     /// because an integration panicked (the engine folds this into
     /// [`crate::engine::EngineStats::quarantined_workers`]).
@@ -311,6 +433,12 @@ impl TransientGroupKey {
                 ] {
                     bits.push(v.to_bits());
                 }
+                // Different estimators take different step sequences:
+                // never share nodes across controllers.
+                bits.push(match cfg.controller {
+                    Controller::TrBdf2 => 0,
+                    Controller::StepDoubling => 1,
+                });
             }
         }
         Self {
@@ -337,7 +465,22 @@ struct PathAcc {
     rejected: u64,
     recovered: u64,
     retries: u64,
+    refreshes: u64,
     shared_time: f64,
+}
+
+/// A transient integrator kept alive between tree nodes. Along a
+/// single-child chain the parent's integrator is *carried down* and
+/// extended in place ([`AdaptiveTransient::push_segment`] /
+/// [`TransientSimulation::run_trace`] continuation) — skipping the
+/// model clone, session re-bind and checkpoint restore a fresh node
+/// build pays. At branch points every child starts from the parent's
+/// checkpoint instead, which is bitwise-identical to continuing live
+/// (both paths re-stamp coefficients and re-seed warm starts from
+/// committed state), so carry-down is purely a cost optimization.
+pub(crate) enum LiveIntegrator {
+    Adaptive(Box<AdaptiveTransient>),
+    Fixed(Box<TransientSimulation>),
 }
 
 /// One node integration: a single trace segment stepped from an
@@ -349,11 +492,14 @@ pub(crate) struct NodeResult {
     pub(crate) steps: u64,
     pub(crate) solves: u64,
     pub(crate) rejected: u64,
-    /// Ladder-recovered solves of the node-local session (each node
-    /// builds a fresh integrator, so this is the node's own count).
+    /// Ladder-recovered solves during this node's stepping (counted as
+    /// a session delta, so carried-live integrators don't re-report the
+    /// parent path's recoveries).
     pub(crate) recovered: u64,
-    /// Adaptive dt-halving retries of the node-local integrator.
+    /// Adaptive dt-halving retries during this node's stepping.
     pub(crate) retries: u64,
+    /// Coefficient re-stamps during this node's stepping.
+    pub(crate) refreshes: u64,
 }
 
 pub(crate) fn integrate_node(
@@ -363,50 +509,106 @@ pub(crate) fn integrate_node(
     stepping: &SteppingMode,
     kernel: bright_num::KernelSpec,
     from: Option<&Checkpoint>,
-) -> Result<NodeResult, CoreError> {
-    let trace = PowerTrace::new(vec![segment.clone()])?;
-    match stepping {
-        SteppingMode::Adaptive(cfg) => {
+    live: Option<LiveIntegrator>,
+) -> Result<(NodeResult, LiveIntegrator), CoreError> {
+    match (stepping, live) {
+        (SteppingMode::Adaptive(_), Some(LiveIntegrator::Adaptive(mut integ))) => {
+            // Carried live: extend the finished integrator's trace and
+            // keep stepping — no clone, no re-bind, no restore.
+            let before = integ.stats();
+            let recovered_before = integ.session_stats().recovered_solves;
+            let refreshes_before = integ.coefficient_refreshes();
+            integ.push_segment(segment.clone())?;
+            let peak = integ.run_to_end()?;
+            let stats = integ.stats();
+            let node = NodeResult {
+                checkpoint: integ.save_checkpoint(),
+                peak,
+                steps: stats.accepted - before.accepted,
+                solves: stats.solves - before.solves,
+                rejected: stats.rejected - before.rejected,
+                recovered: integ.session_stats().recovered_solves - recovered_before,
+                retries: stats.solver_retries - before.solver_retries,
+                refreshes: integ.coefficient_refreshes() - refreshes_before,
+            };
+            Ok((node, LiveIntegrator::Adaptive(integ)))
+        }
+        (SteppingMode::Adaptive(cfg), _) => {
+            let trace = PowerTrace::new(vec![segment.clone()])?;
             let mut integ =
                 AdaptiveTransient::new(model.clone(), trace, initial_temperature, *cfg)?;
             integ.set_kernel(kernel);
+            // Coefficient baseline first: the restore's re-arm sync is
+            // this node's work (the carried path counts its
+            // push_segment re-arm the same way), so it must land in the
+            // delta.
+            let refreshes_before = integ.coefficient_refreshes();
             if let Some(cp) = from {
                 // The checkpoint cursor is tree-global; the node-local
                 // integrator sees a single-segment trace starting now.
+                // Its step counters are path-cumulative: snapshot after
+                // the restore so this node reports only its own work.
                 let mut local = cp.clone();
                 local.segment = 0;
                 local.time_in_segment = 0.0;
                 integ.restore_checkpoint(&local)?;
             }
+            let before = integ.stats();
             let peak = integ.run_to_end()?;
             let stats = integ.stats();
-            Ok(NodeResult {
+            let node = NodeResult {
                 checkpoint: integ.save_checkpoint(),
                 peak,
-                steps: stats.accepted,
-                solves: stats.solves,
-                rejected: stats.rejected,
+                steps: stats.accepted - before.accepted,
+                solves: stats.solves - before.solves,
+                rejected: stats.rejected - before.rejected,
                 recovered: integ.session_stats().recovered_solves,
-                retries: stats.solver_retries,
-            })
+                retries: stats.solver_retries - before.solver_retries,
+                refreshes: integ.coefficient_refreshes() - refreshes_before,
+            };
+            Ok((node, LiveIntegrator::Adaptive(Box::new(integ))))
         }
-        SteppingMode::Fixed { dt } => {
-            let mut sim =
-                TransientSimulation::new(model.clone(), &segment.power, initial_temperature, *dt)?;
-            sim.set_kernel(kernel);
-            if let Some(cp) = from {
-                sim.restore_checkpoint(cp)?;
-            }
+        (SteppingMode::Fixed { dt }, live) => {
+            let trace = PowerTrace::new(vec![segment.clone()])?;
+            let (mut sim, refreshes_before) = match live {
+                Some(LiveIntegrator::Fixed(sim)) => {
+                    let r = sim.coefficient_refreshes();
+                    (sim, r)
+                }
+                // A stepping-mode mismatch cannot happen (the group key
+                // fixes the mode); rebuild defensively if it ever does.
+                _ => {
+                    let mut sim = Box::new(TransientSimulation::new(
+                        model.clone(),
+                        &segment.power,
+                        initial_temperature,
+                        *dt,
+                    )?);
+                    sim.set_kernel(kernel);
+                    // Baseline before the restore: its re-arm sync is
+                    // node work, same as the carried path's.
+                    let r = sim.coefficient_refreshes();
+                    if let Some(cp) = from {
+                        sim.restore_checkpoint(cp)?;
+                    }
+                    (sim, r)
+                }
+            };
+            let steps_before = sim.step_count();
+            let solves_before = sim.solve_count();
+            let recovered_before = sim.session_stats().recovered_solves;
             let peak = sim.run_trace(&trace)?;
-            Ok(NodeResult {
+            let node = NodeResult {
                 checkpoint: sim.save_checkpoint(),
                 peak,
-                steps: sim.step_count(),
-                solves: sim.solve_count(),
+                steps: sim.step_count() - steps_before,
+                solves: sim.solve_count() - solves_before,
                 rejected: 0,
-                recovered: sim.session_stats().recovered_solves,
+                recovered: sim.session_stats().recovered_solves - recovered_before,
                 retries: 0,
-            })
+                refreshes: sim.coefficient_refreshes() - refreshes_before,
+            };
+            Ok((node, LiveIntegrator::Fixed(sim)))
         }
     }
 }
@@ -449,10 +651,11 @@ pub(crate) fn serve_transient_group(
         rejected: 0,
         recovered: 0,
         retries: 0,
+        refreshes: 0,
         shared_time: 0.0,
     };
     serve_node(
-        &model, &refs, 0, None, acc, t0, &stepping, kernel, &mut results, &mut counters,
+        &model, &refs, 0, None, None, acc, t0, &stepping, kernel, &mut results, &mut counters,
     );
     if counters.panicked_requests > 0 {
         // A panicking integration may have unwound mid-clone of the
@@ -465,13 +668,16 @@ pub(crate) fn serve_transient_group(
 }
 
 /// Recursive prefix-tree serving: `reqs` all share their first `depth`
-/// trace segments, already integrated into `from`/`acc`.
+/// trace segments, already integrated into `from`/`acc`. `live` holds
+/// the parent node's still-live integrator when this node is its only
+/// child; it is extended in place instead of restoring the checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn serve_node(
     model: &ThermalModel,
     reqs: &[&(u64, TransientRequest)],
     depth: usize,
     from: Option<&Checkpoint>,
+    live: Option<LiveIntegrator>,
     acc: PathAcc,
     t0: f64,
     stepping: &SteppingMode,
@@ -499,16 +705,19 @@ fn serve_node(
                 rejected: acc.rejected,
                 recovered_solves: acc.recovered,
                 solver_retries: acc.retries,
+                coefficient_refreshes: acc.refreshes,
                 shared_time: acc.shared_time,
             }),
         ));
     }
 
     // Partition the ongoing requests by their next segment (duration
-    // bit pattern + load equality) *and* floorplan: each partition is
-    // one child node. The group key only fingerprints the die extent,
-    // but rasterizing a load depends on the full block layout, so
-    // requests may share a node only when their floorplans are equal.
+    // bit pattern + load equality + coefficient ramp) *and* floorplan:
+    // each partition is one child node. The group key only fingerprints
+    // the die extent, but rasterizing a load depends on the full block
+    // layout, so requests may share a node only when their floorplans
+    // are equal. (Within a group the nominal operating point is bit-
+    // equal, so equal relative ramps resolve to equal absolute ramps.)
     let ongoing: Vec<&&(u64, TransientRequest)> =
         reqs.iter().filter(|(_, r)| r.trace.len() > depth).collect();
     let mut partitions: Vec<Vec<&(u64, TransientRequest)>> = Vec::new();
@@ -518,6 +727,7 @@ fn serve_node(
             let lead = &p[0].1.trace[depth];
             lead.duration.to_bits() == step.duration.to_bits()
                 && lead.load == step.load
+                && lead.ramp == step.ramp
                 && p[0].1.scenario.floorplan == r.1.scenario.floorplan
         }) {
             Some(p) => p.push(r),
@@ -525,6 +735,10 @@ fn serve_node(
         }
     }
 
+    // A live integrator carries down only along a single-child chain;
+    // at a branch point every child restores the checkpoint instead.
+    let single_child = partitions.len() == 1;
+    let mut live = if single_child { live } else { None };
     for part in partitions {
         let lead = &part[0].1;
         let step = &lead.trace[depth];
@@ -541,23 +755,31 @@ fn serve_node(
         let segment = TraceSegment {
             duration: step.duration,
             power,
+            ramp: step.ramp.map(|r| r.resolve(&lead.scenario)),
         };
+        let carried = live.take();
+        let was_carried = carried.is_some();
         // Panic isolation: a node integration that panics fails only
         // the requests under that node; sibling branches (and the rest
         // of the batch) still complete. The model is never mutated by
         // `integrate_node` (each node clones it), so observing it after
         // an unwind is safe — the group's *cached* copy is still
-        // withheld by `serve_transient_group` as a precaution.
-        let integrated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // withheld by `serve_transient_group` as a precaution. A
+        // carried integrator is consumed by the closure; if it unwinds,
+        // the integrator is dropped with it.
+        let integrated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
             bright_num::faults::maybe_panic();
-            integrate_node(model, &segment, t0, stepping, kernel, from)
+            integrate_node(model, &segment, t0, stepping, kernel, from, carried)
         }));
         match integrated {
-            Ok(Ok(node)) => {
+            Ok(Ok((node, next_live))) => {
                 counters.segments_integrated += 1;
                 counters.segments_reused += part.len() as u64 - 1;
                 counters.recovered_solves += node.recovered;
                 counters.solver_retries += node.retries;
+                if was_carried {
+                    counters.integrators_carried += 1;
+                }
                 let child = PathAcc {
                     peak: acc.peak.max(node.peak),
                     steps: acc.steps + node.steps,
@@ -565,6 +787,7 @@ fn serve_node(
                     rejected: acc.rejected + node.rejected,
                     recovered: acc.recovered + node.recovered,
                     retries: acc.retries + node.retries,
+                    refreshes: acc.refreshes + node.refreshes,
                     shared_time: acc.shared_time
                         + if part.len() > 1 { step.duration } else { 0.0 },
                 };
@@ -573,6 +796,7 @@ fn serve_node(
                     &part,
                     depth + 1,
                     Some(&node.checkpoint),
+                    Some(next_live),
                     child,
                     t0,
                     stepping,
@@ -606,10 +830,7 @@ mod tests {
             scenario: Scenario::power7_reduced(),
             trace: segments
                 .iter()
-                .map(|(d, l)| LoadStep {
-                    duration: *d,
-                    load: l.clone(),
-                })
+                .map(|(d, l)| LoadStep::new(*d, l.clone()))
                 .collect(),
             initial_temperature: Kelvin::new(300.0),
             stepping: SteppingMode::Fixed { dt: 2e-3 },
@@ -628,6 +849,7 @@ mod tests {
             recovered_solves: 2,
             solver_retries: 1,
             shared_time: 0.02,
+            coefficient_refreshes: 4,
         };
         let text = outcome.to_json().to_json_string();
         let v = bright_jsonio::Value::parse(&text).unwrap();
@@ -670,7 +892,109 @@ mod tests {
         let mut d = a.clone();
         d.initial_temperature = Kelvin::new(305.0);
         assert_ne!(TransientGroupKey::of(&a), TransientGroupKey::of(&d));
+        // Controller variants step differently and must never share a
+        // serving group even when every tolerance agrees.
+        let mut e = a.clone();
+        e.stepping = SteppingMode::Adaptive(AdaptiveConfig::default());
+        let mut f = e.clone();
+        f.stepping = SteppingMode::Adaptive(AdaptiveConfig {
+            controller: Controller::StepDoubling,
+            ..AdaptiveConfig::default()
+        });
+        assert_ne!(TransientGroupKey::of(&e), TransientGroupKey::of(&f));
         let _ = full;
+    }
+
+    #[test]
+    fn ramp_validation_requires_trbdf2() {
+        let full = PowerScenario::full_load();
+        let mut r = base_request(&[(0.01, full.clone())]);
+        r.trace[0].ramp = Some(LoadRamp::flow(1.0, 0.25));
+        // Fixed stepping syncs per step; fine.
+        assert!(r.validate().is_ok());
+        // TR-BDF2 stages sync inside the step; fine.
+        r.stepping = SteppingMode::Adaptive(AdaptiveConfig::default());
+        assert!(r.validate().is_ok());
+        // Step-doubling has no stage-level sync points: rejected.
+        r.stepping = SteppingMode::Adaptive(AdaptiveConfig {
+            controller: Controller::StepDoubling,
+            ..AdaptiveConfig::default()
+        });
+        assert!(r.validate().is_err());
+        // Degenerate ramp endpoints are caught per step.
+        let mut r = base_request(&[(0.01, full)]);
+        r.trace[0].ramp = Some(LoadRamp::flow(0.0, 1.0));
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn ramped_branches_partition_carry_and_match_solo() {
+        // Two adaptive requests share a throttling first segment (flow
+        // ramped to a quarter), then diverge *only in the second
+        // segment's ramp*: one holds the throttled point, the other
+        // snaps back to nominal. The differing ramps must split the
+        // tree (sharing the tail would integrate the wrong operator),
+        // the prefix is still shared, and every grouped result is
+        // bitwise identical to its solo run — the solo chain rides the
+        // carried live integrator while grouped branches restore the
+        // divergence checkpoint, so this equality is the
+        // carry-down-vs-restore equivalence check at the engine layer.
+        let full = PowerScenario::full_load();
+        let mk = |tail: Option<LoadRamp>| {
+            let mut r = base_request(&[(0.02, full.clone()), (0.02, full.clone())]);
+            r.trace[0].ramp = Some(LoadRamp::flow(1.0, 0.25));
+            r.trace[1].ramp = tail;
+            r.stepping = SteppingMode::Adaptive(AdaptiveConfig::default());
+            r
+        };
+        let a = mk(Some(LoadRamp::flow(0.25, 0.25)));
+        let b = mk(None);
+
+        let (_, grouped, counters) = serve_transient_group(
+            None,
+            &[(0, a.clone()), (1, b.clone())],
+            bright_num::KernelSpec::Auto,
+        );
+        assert_eq!(counters.segments_integrated, 3, "tails must not merge");
+        assert_eq!(counters.segments_reused, 1, "prefix must be shared");
+        // The prefix node branches two ways, so nothing is carried.
+        assert_eq!(counters.integrators_carried, 0);
+
+        let (_, solo_a, ca) =
+            serve_transient_group(None, &[(0, a)], bright_num::KernelSpec::Auto);
+        let (_, solo_b, cb) =
+            serve_transient_group(None, &[(1, b)], bright_num::KernelSpec::Auto);
+        // Solo chains are single-child all the way down: the second
+        // segment extends the live integrator instead of rebuilding.
+        assert_eq!(ca.integrators_carried, 1);
+        assert_eq!(cb.integrators_carried, 1);
+
+        let get = |rs: &GroupOutcomes, id: u64| {
+            rs.iter().find(|(i, _)| *i == id).unwrap().1.clone().unwrap()
+        };
+        let (ga, gb) = (get(&grouped, 0), get(&grouped, 1));
+        let (sa, sb) = (get(&solo_a, 0), get(&solo_b, 1));
+        // Everything except the serving-path bookkeeping (shared time,
+        // re-stamps actually performed) must agree bitwise.
+        let flat = |o: &TransientOutcome| TransientOutcome {
+            shared_time: 0.0,
+            coefficient_refreshes: 0,
+            ..*o
+        };
+        assert_eq!(flat(&ga), flat(&sa), "carried solo vs restored branch diverged (A)");
+        assert_eq!(flat(&gb), flat(&sb), "carried solo vs restored branch diverged (B)");
+        // The re-stamp counter is honest per-path work, not a trace
+        // property. With a tail ramp both paths re-stamp identically;
+        // without one, the carried integrator pays a single extra
+        // re-stamp to walk back to the nominal point, while the
+        // restored branch's fresh operator already sits there.
+        assert_eq!(ga.coefficient_refreshes, sa.coefficient_refreshes);
+        assert_eq!(sb.coefficient_refreshes, gb.coefficient_refreshes + 1);
+        // Ramps ran: mid-trace coefficient re-stamps were counted.
+        assert!(ga.coefficient_refreshes > 0, "ramp must refresh coefficients");
+        // Holding the throttled flow ends hotter than snapping back.
+        assert!(ga.final_peak.value() > gb.final_peak.value());
+        assert!((ga.shared_time - 0.02).abs() < 1e-15);
     }
 
     #[test]

@@ -31,10 +31,7 @@ fn flow_scenario(ml_min: f64) -> Scenario {
 fn transient_request(dt: f64) -> TransientRequest {
     TransientRequest {
         scenario: Scenario::power7_reduced(),
-        trace: vec![LoadStep {
-            duration: 0.01,
-            load: bright_floorplan::PowerScenario::full_load(),
-        }],
+        trace: vec![LoadStep::new(0.01, bright_floorplan::PowerScenario::full_load())],
         initial_temperature: Kelvin::new(300.0),
         stepping: SteppingMode::Fixed { dt },
     }

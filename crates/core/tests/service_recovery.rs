@@ -52,7 +52,10 @@ fn steady_spec() -> JobSpec {
 fn transient_spec() -> JobSpec {
     let mut spec = coarse(JobSpec::steady("power7_reduced"));
     spec.kind = JobKind::Transient {
-        trace: vec![(3e-3, LoadRef::full_load()), (3e-3, LoadRef::cache_only())],
+        trace: vec![
+            (3e-3, LoadRef::full_load(), None),
+            (3e-3, LoadRef::cache_only(), None),
+        ],
         initial_temperature_k: 300.0,
         stepping: SteppingMode::Fixed { dt: 1e-3 },
     };

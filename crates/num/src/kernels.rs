@@ -627,6 +627,52 @@ pub(crate) fn matvec_threaded(
     });
 }
 
+/// Fused CSR matvec + dot epilogue: computes `y = A·x` and returns
+/// `w·y` in the same pass over the rows, using the in-order scalar
+/// row kernel. The dot accumulates over the same 64-element pairwise
+/// chunk tree as [`crate::vec_ops::dot`], with each leaf filling its
+/// rows of `y` before reducing them, so the result is **bitwise
+/// identical** to a matvec followed by `dot(w, y)` — the rows of `y`
+/// are still hot in cache when the epilogue reads them, which is the
+/// whole point: BiCGSTAB's `A·p̂` / `(r̂, A·p̂)` pair becomes one
+/// traversal instead of two.
+pub(crate) fn matvec_dot_scalar(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    w: &[f64],
+) -> f64 {
+    crate::vec_ops::reduce_chunks(y.len(), |lo, hi| {
+        for i in lo..hi {
+            let (a, b) = (row_ptr[i], row_ptr[i + 1]);
+            y[i] = row_dot_scalar(&col_idx[a..b], &values[a..b], x);
+        }
+        crate::vec_ops::chunk_dot(&w[lo..hi], &y[lo..hi])
+    })
+}
+
+/// [`matvec_dot_scalar`] with the 4-way unrolled row kernel (the
+/// blocked backend). Same chunk tree, same in-order accumulators:
+/// bitwise identical to the scalar variant.
+pub(crate) fn matvec_dot_unrolled(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    w: &[f64],
+) -> f64 {
+    crate::vec_ops::reduce_chunks(y.len(), |lo, hi| {
+        for i in lo..hi {
+            let (a, b) = (row_ptr[i], row_ptr[i + 1]);
+            y[i] = row_dot_unrolled(&col_idx[a..b], &values[a..b], x);
+        }
+        crate::vec_ops::chunk_dot(&w[lo..hi], &y[lo..hi])
+    })
+}
+
 // ---------------------------------------------------------------------
 // Level scheduling
 // ---------------------------------------------------------------------

@@ -537,8 +537,9 @@ pub fn bicgstab_preconditioned(
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
         m.apply(p_hat, p);
-        a.matvec_into_backend(p_hat, v, backend)?;
-        let rhat_v = dot(r_hat, v);
+        // Fused: v = A·p̂ and (r̂, v) in one pass over the rows —
+        // bitwise identical to matvec followed by dot.
+        let rhat_v = a.matvec_dot_into_backend(p_hat, v, r_hat, backend)?;
         if rhat_v.abs() < 1e-300 {
             return Err(NumError::Breakdown(format!(
                 "r_hat.v = {rhat_v:.3e} at iteration {it}"

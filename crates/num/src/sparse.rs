@@ -462,6 +462,67 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Fused matrix–vector product plus dot epilogue: `y ← A·x`,
+    /// returning `w·y` from the same pass over the rows.
+    ///
+    /// On the `Scalar` and `Blocked` backends the dot rides the row
+    /// loop directly (each 64-row pairwise-reduction leaf fills its
+    /// rows of `y`, then reduces them while they are still in cache).
+    /// The `Threaded` backend runs the sharded matvec and a separate
+    /// [`vec_ops::dot`](crate::vec_ops::dot) — fusing across the
+    /// barrier would change nothing (the matvec already saturates the
+    /// pool) and the follow-up dot uses the same chunk tree anyway.
+    ///
+    /// All three paths are **bitwise identical** to
+    /// [`CsrMatrix::matvec_into_backend`] followed by
+    /// `vec_ops::dot(w, y)`: the rows of `y` get the same in-order
+    /// accumulators, and the dot combines 64-element chunk sums in the
+    /// same length-determined pairwise tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::DimensionMismatch`] on size mismatch.
+    pub fn matvec_dot_into_backend(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        w: &[f64],
+        backend: Backend,
+    ) -> Result<f64, NumError> {
+        if x.len() != self.cols || y.len() != self.rows || w.len() != self.rows {
+            return Err(NumError::DimensionMismatch(format!(
+                "matvec_dot: A is {}x{}, x has {}, y has {}, w has {}",
+                self.rows,
+                self.cols,
+                x.len(),
+                y.len(),
+                w.len()
+            )));
+        }
+        Ok(match backend {
+            Backend::Scalar => kernels::matvec_dot_scalar(
+                &self.row_ptr,
+                &self.col_idx,
+                &self.values,
+                x,
+                y,
+                w,
+            ),
+            Backend::Blocked => kernels::matvec_dot_unrolled(
+                &self.row_ptr,
+                &self.col_idx,
+                &self.values,
+                x,
+                y,
+                w,
+            ),
+            Backend::Threaded => {
+                kernels::matvec_threaded(&self.row_ptr, &self.col_idx, &self.values, x, y);
+                crate::vec_ops::dot(w, y)
+            }
+        })
+    }
+
     /// Copies the stored values of a same-pattern matrix into this one —
     /// the O(nnz) sync path solver sessions use when the owning solver
     /// has already refreshed its own copy of the operator.

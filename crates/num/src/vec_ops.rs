@@ -27,7 +27,7 @@ const PAIRWISE_CHUNK: usize = 64;
 /// called once per chunk, left to right, so it may carry side effects
 /// (the fused kernels update `y` inside the leaf).
 #[inline]
-fn reduce_chunks<F: FnMut(usize, usize) -> f64>(len: usize, mut leaf: F) -> f64 {
+pub(crate) fn reduce_chunks<F: FnMut(usize, usize) -> f64>(len: usize, mut leaf: F) -> f64 {
     // After pushing chunk k, merge once per trailing 1-bit of k: the
     // standard pairwise-summation stack, depth ≤ 64.
     let mut stack = [0.0f64; 64];
@@ -93,7 +93,7 @@ fn reduce_chunks2<F: FnMut(usize, usize) -> (f64, f64)>(len: usize, mut leaf: F)
 }
 
 #[inline]
-fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
     let mut acc = 0.0;
     for (x, y) in a.iter().zip(b) {
         acc += x * y;
@@ -295,6 +295,57 @@ pub fn wrms_diff(a: &[f64], b: &[f64], abs_tol: f64, rel_tol: f64) -> f64 {
         acc
     });
     (sum / a.len() as f64).sqrt()
+}
+
+/// Weighted root-mean-square norm of an explicit error vector against
+/// tolerance weights built from a reference solution:
+///
+/// ```text
+/// wrms = sqrt( (1/n) Σ_i ( err_i / (abs_tol + rel_tol·|ref_i|) )² )
+/// ```
+///
+/// This is the embedded-estimate companion to [`wrms_diff`]: the
+/// TR-BDF2 controller produces a local-truncation-error *vector*
+/// directly (no second solution to diff against), and weights it by
+/// the magnitude of the accepted solution. Same SUNDIALS convention:
+/// ≤ 1 means within tolerance in the RMS sense. Returns 0 for empty
+/// slices; chunked pairwise accumulation like every reduction here.
+///
+/// # Examples
+///
+/// ```
+/// use bright_num::vec_ops::wrms;
+///
+/// // A 0.02 K error estimate on a ~300 K field, atol = 0.05.
+/// let e = wrms(&[0.02, -0.02], &[300.0, 310.0], 0.05, 0.0);
+/// assert!(e < 1.0);
+/// assert!(wrms(&[0.2], &[300.0], 0.05, 0.0) > 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths, or if
+/// both tolerances are zero/negative.
+#[must_use]
+pub fn wrms(err: &[f64], reference: &[f64], abs_tol: f64, rel_tol: f64) -> f64 {
+    debug_assert_eq!(err.len(), reference.len());
+    debug_assert!(
+        abs_tol > 0.0 || rel_tol > 0.0,
+        "wrms needs a positive tolerance"
+    );
+    if err.is_empty() {
+        return 0.0;
+    }
+    let sum = reduce_chunks(err.len(), |lo, hi| {
+        let mut acc = 0.0;
+        for (e, r) in err[lo..hi].iter().zip(&reference[lo..hi]) {
+            let w = abs_tol + rel_tol * r.abs();
+            let x = e / w;
+            acc += x * x;
+        }
+        acc
+    });
+    (sum / err.len() as f64).sqrt()
 }
 
 #[cfg(test)]

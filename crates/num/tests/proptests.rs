@@ -400,6 +400,41 @@ proptest! {
     }
 
     #[test]
+    fn fused_matvec_dot_bitwise_matches_unfused(n in 1usize..90, seed in 0u64..400) {
+        // The fused A·x / (w, A·x) epilogue must be bitwise identical
+        // to the unfused matvec-then-dot sequence on every backend:
+        // same in-order row accumulators, same pairwise chunk tree.
+        // Sizes straddle the 64-element reduction chunk so partial
+        // leaves and multi-chunk merges are both exercised.
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = lcg(seed, (i * n + j) as u64, 211);
+                if v.abs() > 0.3 {
+                    t.push(i, j, v).unwrap();
+                }
+            }
+        }
+        let a = t.to_csr();
+        let x: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 223)).collect();
+        let w: Vec<f64> = (0..n).map(|i| lcg(seed, i as u64, 227)).collect();
+        let mut y_ref = vec![0.0; n];
+        a.matvec_into_backend(&x, &mut y_ref, Backend::Scalar).unwrap();
+        let dot_ref = vec_ops::dot(&w, &y_ref);
+        for backend in [Backend::Scalar, Backend::Blocked, Backend::Threaded] {
+            let mut y = vec![f64::NAN; n];
+            let d = a.matvec_dot_into_backend(&x, &mut y, &w, backend).unwrap();
+            prop_assert!(
+                d.to_bits() == dot_ref.to_bits(),
+                "{backend}: fused dot {d} vs unfused {dot_ref}"
+            );
+            for (s, v) in y_ref.iter().zip(&y) {
+                prop_assert!(s.to_bits() == v.to_bits(), "{backend}: y {s} vs {v}");
+            }
+        }
+    }
+
+    #[test]
     fn leveled_sweeps_match_sequential_across_preconditioners(
         n in 2usize..40,
         seed in 0u64..300,

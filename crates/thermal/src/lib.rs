@@ -11,9 +11,10 @@
 //! * [`stack`] — layer stack description (solid layers, microchannel
 //!   layers),
 //! * [`model`] — assembly and the steady-state solver,
-//! * [`transient`] — backward-Euler transient stepping: fixed or
-//!   adaptive Δt, piecewise-constant power traces, and serializable
-//!   checkpoints for branching shared trace prefixes,
+//! * [`transient`] — transient stepping: fixed backward-Euler or
+//!   adaptive TR-BDF2 Δt control, piecewise-constant power traces with
+//!   optional coolant coefficient ramps, and serializable checkpoints
+//!   for branching shared trace prefixes,
 //! * [`presets`] — the POWER7+ stack of the paper's case study.
 //!
 //! # Examples
@@ -45,8 +46,8 @@ pub use materials::Material;
 pub use model::{ThermalModel, ThermalSolution};
 pub use stack::{LayerSpec, MicrochannelSpec, StackConfig};
 pub use transient::{
-    AdaptiveConfig, AdaptiveStats, AdaptiveStep, AdaptiveTransient, Checkpoint, PowerTrace,
-    TraceSegment, TransientSimulation,
+    AdaptiveConfig, AdaptiveStats, AdaptiveStep, AdaptiveTransient, Checkpoint, CoefficientRamp,
+    Controller, PowerTrace, TraceSegment, TransientSimulation,
 };
 
 use std::fmt;

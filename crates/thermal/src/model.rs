@@ -924,6 +924,30 @@ impl ThermalModel {
         let op = self.operator()?;
         Ok((op.matrix.clone(), rhs))
     }
+
+    /// The current coefficient operating point: the first microchannel
+    /// layer's (total flow, inlet temperature). `None` for stacks
+    /// without fluid layers — those have no rampable coefficients.
+    #[must_use]
+    pub fn operating_point(&self) -> Option<(CubicMetersPerSecond, Kelvin)> {
+        self.config.layers.iter().find_map(|l| match l {
+            LayerSpec::Microchannel { spec, .. } => {
+                Some((spec.total_flow, spec.inlet_temperature))
+            }
+            _ => None,
+        })
+    }
+
+    /// Copies the cached operator's values into a same-pattern matrix —
+    /// the O(nnz) sync the transient stepper uses after a
+    /// [`ThermalModel::refresh_coefficients`] mid-trace.
+    pub(crate) fn copy_operator_values_into(
+        &self,
+        dst: &mut bright_num::CsrMatrix,
+    ) -> Result<(), ThermalError> {
+        let op = self.operator()?;
+        dst.copy_values_from(&op.matrix).map_err(ThermalError::from)
+    }
 }
 
 impl ThermalSolution {

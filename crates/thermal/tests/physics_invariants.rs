@@ -376,3 +376,124 @@ mod checkpoint_properties {
         }
     }
 }
+
+mod trbdf2_properties {
+    use super::*;
+    use bright_num::vec_ops::wrms_diff;
+    use bright_thermal::{
+        AdaptiveConfig, AdaptiveTransient, Checkpoint, CoefficientRamp, PowerTrace,
+        TraceSegment, TransientSimulation,
+    };
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// TR-BDF2 at its default (tight) tolerance must land within
+        /// the controller's own error bound of a fine fixed-dt
+        /// backward-Euler reference, for any operating point and load
+        /// level: the embedded estimate really controls the global
+        /// boundary-sampled error, not just the per-step one.
+        #[test]
+        fn trbdf2_tracks_fine_reference_within_bound(
+            flow_ml_min in 40.0..700.0f64,
+            power_w_cm2 in 1.0..12.0f64,
+            duration_ms in 20.0..60.0f64,
+        ) {
+            let model =
+                ThermalModel::new(coarse_config(flow_ml_min, 300.0)).unwrap();
+            let power =
+                Field2d::constant(model.grid().clone(), power_w_cm2 * 1e4);
+            let duration = duration_ms * 1e-3;
+            let cfg = AdaptiveConfig {
+                dt_init: 1e-3,
+                dt_min: 1e-4,
+                dt_max: 0.02,
+                ..AdaptiveConfig::default()
+            };
+            let trace = PowerTrace::new(vec![TraceSegment::constant(
+                duration,
+                power.clone(),
+            )])
+            .unwrap();
+            let mut sim =
+                AdaptiveTransient::new(model.clone(), trace, 300.0, cfg).unwrap();
+            sim.run_to_end().unwrap();
+
+            // Reference: fixed backward Euler at the controller's floor.
+            let mut reference =
+                TransientSimulation::new(model, &power, 300.0, cfg.dt_min).unwrap();
+            let steps = (duration / cfg.dt_min).round() as usize;
+            reference.run(steps).unwrap();
+
+            let err = wrms_diff(
+                sim.temperatures(),
+                reference.temperatures(),
+                cfg.abs_tol,
+                cfg.rel_tol,
+            );
+            // wrms <= 1 is "within tolerance"; allow slack for the
+            // reference's own first-order error at its floor step.
+            prop_assert!(
+                err < 2.0,
+                "TR-BDF2 drifted {err} tolerance units from the fine reference"
+            );
+        }
+
+        /// save -> (versioned JSON) -> restore -> continue is bitwise
+        /// for the TR-BDF2 controller *mid-ramp*: the restore re-syncs
+        /// the coefficients to where the ramp stood, so the remaining
+        /// steps reproduce the uninterrupted run exactly — for any
+        /// split point and ramp endpoints.
+        #[test]
+        fn mid_ramp_save_restore_continue_is_bitwise(
+            split_steps in 2usize..6,
+            flow_to_scale in 0.1..1.0f64,
+            inlet_drift_k in 0.0..6.0f64,
+        ) {
+            let flow0 = 600.0;
+            let model = ThermalModel::new(coarse_config(flow0, 300.0)).unwrap();
+            let power = Field2d::constant(model.grid().clone(), 5e4);
+            let ramp = CoefficientRamp {
+                flow_start: CubicMetersPerSecond::from_milliliters_per_minute(flow0),
+                flow_end: CubicMetersPerSecond::from_milliliters_per_minute(
+                    flow0 * flow_to_scale,
+                ),
+                inlet_start: Kelvin::new(300.0),
+                inlet_end: Kelvin::new(300.0 + inlet_drift_k),
+            };
+            let trace = PowerTrace::new(vec![
+                TraceSegment::constant(0.03, power).with_ramp(ramp),
+            ])
+            .unwrap();
+            let cfg = AdaptiveConfig {
+                dt_init: 1e-3,
+                dt_min: 2e-4,
+                dt_max: 5e-3,
+                ..AdaptiveConfig::default()
+            };
+
+            let mut full =
+                AdaptiveTransient::new(model.clone(), trace.clone(), 300.0, cfg)
+                    .unwrap();
+            for _ in 0..split_steps {
+                full.step().unwrap();
+            }
+            prop_assert!(!full.finished(), "split point must be mid-trace");
+            let json = full.save_checkpoint().to_json_string();
+            let cp = Checkpoint::from_json_str(&json).unwrap();
+            full.run_to_end().unwrap();
+
+            let mut resumed =
+                AdaptiveTransient::new(model, trace, 300.0, cfg).unwrap();
+            resumed.restore_checkpoint(&cp).unwrap();
+            resumed.run_to_end().unwrap();
+
+            prop_assert_eq!(resumed.time().to_bits(), full.time().to_bits());
+            prop_assert_eq!(resumed.stats(), full.stats());
+            for (a, b) in resumed.temperatures().iter().zip(full.temperatures()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "field diverged: {} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -52,14 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reports = engine.run_transient_batch([0usize, 2, 4].map(|dark| TransientRequest {
         scenario: Scenario::power7_reduced(),
         trace: vec![
-            LoadStep {
-                duration: 0.06,
-                load: PowerScenario::full_load(),
-            },
-            LoadStep {
-                duration: 0.06,
-                load: dimmed(dark),
-            },
+            LoadStep::new(0.06, PowerScenario::full_load()),
+            LoadStep::new(0.06, dimmed(dark)),
         ],
         initial_temperature: Kelvin::new(300.0),
         stepping: SteppingMode::Adaptive(AdaptiveConfig::default()),

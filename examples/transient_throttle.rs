@@ -1,17 +1,20 @@
 //! Transient thermal response to a pump-throttling event: the chip runs
-//! at full load while the electrolyte flow is cut from 676 to 48 ml/min,
-//! and the die temperature is tracked through the transition (the
-//! dynamic side of the paper's Section III-B flow-throttling experiment)
-//! — now with the adaptive-Δt controller, which takes small steps through
-//! the fast initial transient and stretches them as the field settles,
-//! and a mid-trace checkpoint/restore round trip.
+//! at full load while the electrolyte flow is ramped from 676 down to
+//! 48 ml/min, and the die temperature is tracked through the transition
+//! (the dynamic side of the paper's Section III-B flow-throttling
+//! experiment). The throttle is modelled as a *coefficient ramp* riding
+//! a single thermal model — the operator is re-stamped in place each
+//! step (an O(nnz) value refresh, never a re-assembly) while the
+//! TR-BDF2 controller picks the step size: small through the fast part
+//! of the spin-down, stretching as the field settles. A mid-ramp
+//! checkpoint/restore round trip closes the loop.
 //!
 //! Run with: `cargo run --release --example transient_throttle`
 
 use bright_silicon::floorplan::{power7, PowerScenario};
 use bright_silicon::thermal::presets;
 use bright_silicon::thermal::transient::{
-    AdaptiveConfig, AdaptiveTransient, Checkpoint, PowerTrace, TraceSegment,
+    AdaptiveConfig, AdaptiveTransient, Checkpoint, CoefficientRamp, PowerTrace, TraceSegment,
     TransientSimulation,
 };
 use bright_silicon::units::{Celsius, CubicMetersPerSecond, Kelvin};
@@ -28,16 +31,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         steady.max_temperature().to_celsius()
     );
 
-    // Phase 2: throttle the pump to 48 ml/min and watch the die heat up,
-    // letting the controller pick the step size.
-    let throttled = presets::power7_stack_at(
-        CubicMetersPerSecond::from_milliliters_per_minute(48.0),
-        Kelvin::new(300.0),
-    )?;
-    let trace = PowerTrace::new(vec![TraceSegment {
-        duration: 0.6,
-        power: power.clone(),
-    }])?;
+    // Phase 2: spin the pump down to 48 ml/min over 150 ms, then hold.
+    // One model carries the whole trace; the ramp re-stamps its
+    // convection coefficients in place as the flow falls.
+    let (nominal_flow, inlet) = nominal.operating_point().expect("liquid-cooled preset");
+    let throttled_flow = CubicMetersPerSecond::from_milliliters_per_minute(48.0);
+    let spin_down = CoefficientRamp {
+        flow_start: nominal_flow,
+        flow_end: throttled_flow,
+        inlet_start: inlet,
+        inlet_end: inlet,
+    };
+    let hold = CoefficientRamp {
+        flow_start: throttled_flow,
+        flow_end: throttled_flow,
+        inlet_start: inlet,
+        inlet_end: inlet,
+    };
+    let trace = PowerTrace::new(vec![
+        TraceSegment::constant(0.15, power.clone()).with_ramp(spin_down),
+        TraceSegment::constant(0.45, power.clone()).with_ramp(hold),
+    ])?;
     let cfg = AdaptiveConfig {
         abs_tol: 0.05,
         dt_init: 2e-3,
@@ -46,12 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..AdaptiveConfig::default()
     };
     let mut sim = AdaptiveTransient::new(
-        throttled.clone(),
+        nominal.clone(),
         trace.clone(),
-        steady.max_temperature().value(), // warm start near phase-1 level
+        steady.max_temperature().value(), // warm start at the phase-1 level
         cfg,
     )?;
-    println!("\nphase 2 (48 ml/min): adaptive transient after throttling");
+    println!("\nphase 2 (676 -> 48 ml/min over 150 ms): TR-BDF2 through the ramp");
     println!("   t (ms)   dt (ms)   peak (degC)   local err");
     let mut checkpoint: Option<Checkpoint> = None;
     while !sim.finished() {
@@ -63,8 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Celsius::from(Kelvin::new(step.peak)).value(),
             step.error,
         );
-        // Grab a checkpoint partway through the transition.
-        if checkpoint.is_none() && step.time > 0.1 {
+        // Grab a checkpoint mid-ramp, while the coefficients are still
+        // in flight.
+        if checkpoint.is_none() && step.time > 0.05 {
             checkpoint = Some(sim.save_checkpoint());
         }
     }
@@ -77,11 +92,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.solves,
         sim.time() * 1e3
     );
+    assert_eq!(
+        sim.model().assembly_count(),
+        1,
+        "ramps must ride value refreshes, never re-assembly"
+    );
+    println!(
+        "ramp cost:  {} coefficient re-stamps, {} operator assembly (the one at construction)",
+        sim.coefficient_refreshes(),
+        sim.model().assembly_count()
+    );
 
-    // The fixed-Δt stepper needs its step sized for the *fastest* part
-    // of the transient everywhere:
+    // The fixed-dt stepper integrates the same ramped trace, but needs
+    // its step sized for the *fastest* part of the transient everywhere:
     let mut fixed = TransientSimulation::new(
-        throttled,
+        nominal,
         &power,
         steady.max_temperature().value(),
         2e-3,
@@ -94,16 +119,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fixed.solve_count() as f64 / stats.solves as f64
     );
 
-    // Checkpoint round trip: restore the mid-trace snapshot (via its
-    // JSON form) and integrate the remainder again — bit-identical end
-    // state.
-    let cp = Checkpoint::from_json_str(&checkpoint.expect("saved mid-trace").to_json_string())?;
+    // Checkpoint round trip: restore the mid-ramp snapshot (via its
+    // JSON form) into a fresh model and integrate the remainder again —
+    // bit-identical end state, coefficients re-synced to where the ramp
+    // stood.
+    let cp = Checkpoint::from_json_str(&checkpoint.expect("saved mid-ramp").to_json_string())?;
     let resume_from = cp.time;
     let mut resumed = AdaptiveTransient::new(
-        presets::power7_stack_at(
-            CubicMetersPerSecond::from_milliliters_per_minute(48.0),
-            Kelvin::new(300.0),
-        )?,
+        presets::power7_stack()?,
         trace,
         steady.max_temperature().value(),
         cfg,
@@ -116,7 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "restored run must continue bitwise-identically"
     );
     println!(
-        "checkpoint:  restored at t = {:.0} ms and re-integrated to the same field, bit for bit",
+        "checkpoint:  restored mid-ramp at t = {:.0} ms and re-integrated to the same field, bit for bit",
         resume_from * 1e3
     );
 
